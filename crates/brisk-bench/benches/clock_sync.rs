@@ -1,0 +1,56 @@
+//! E6/A1 micro-benchmarks: cost of one synchronization round's planning,
+//! and of a full simulated round including network flight times.
+
+use brisk_clock::SkewSample;
+use brisk_core::{NodeId, SyncConfig, UtcMicros};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn samples_for(node: u32, skew: i64, n: usize) -> Vec<(NodeId, SkewSample)> {
+    (0..n)
+        .map(|i| {
+            (
+                NodeId(node),
+                SkewSample {
+                    t_master_send: UtcMicros::from_micros(i as i64 * 1_000),
+                    t_slave: UtcMicros::from_micros(i as i64 * 1_000 + 150 + skew),
+                    t_master_recv: UtcMicros::from_micros(i as i64 * 1_000 + 300),
+                },
+            )
+        })
+        .collect()
+}
+
+fn bench_sync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock_sync");
+    for nodes in [2usize, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("plan_round", nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let mut master =
+                    brisk_clock::SyncMaster::new(SyncConfig::default()).unwrap();
+                master.begin_round();
+                for n in 0..nodes {
+                    for (node, s) in samples_for(n as u32, (n as i64 * 37) % 900, 4) {
+                        master.add_sample(node, s);
+                    }
+                }
+                black_box(master.finish_round().unwrap())
+            });
+        });
+    }
+    group.bench_function("full_sim_round_8_nodes", |b| {
+        b.iter(|| {
+            let cfg = brisk_sim::SyncSimConfig {
+                nodes: 8,
+                duration: Duration::from_secs(6), // exactly one round
+                ..brisk_sim::SyncSimConfig::default()
+            };
+            black_box(brisk_sim::SyncSimulation::new(cfg).run().unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync);
+criterion_main!(benches);

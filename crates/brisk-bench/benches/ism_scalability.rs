@@ -1,0 +1,83 @@
+//! E5 micro-benchmark: ISM pipeline cost per record as the number of
+//! source nodes grows. The paper found the ISM's CPU demand to be the
+//! bottleneck, with aggregate throughput roughly constant from 1 to 8
+//! external sensors — i.e. per-record cost independent of fan-in.
+
+use brisk_bench::rig::six_i32_fields;
+use brisk_core::{EventRecord, EventTypeId, IsmConfig, NodeId, SensorId, SorterConfig, UtcMicros};
+use brisk_ism::IsmCore;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Pre-build per-node batches with interleaved timestamps.
+fn make_batches(nodes: usize, per_node: usize) -> Vec<(usize, Vec<EventRecord>)> {
+    let mut out = Vec::new();
+    let batch_size = 256;
+    for node in 0..nodes {
+        let mut seq = 0u64;
+        for chunk_start in (0..per_node).step_by(batch_size) {
+            let records: Vec<EventRecord> = (chunk_start
+                ..(chunk_start + batch_size).min(per_node))
+                .map(|i| {
+                    let ts = (i * nodes + node) as i64; // interleaved across nodes
+                    let r = EventRecord::new(
+                        NodeId(node as u32),
+                        SensorId(0),
+                        EventTypeId(1),
+                        seq,
+                        UtcMicros::from_micros(ts),
+                        six_i32_fields(seq),
+                    )
+                    .unwrap();
+                    seq += 1;
+                    r
+                })
+                .collect();
+            out.push((node, records));
+        }
+    }
+    out
+}
+
+fn bench_ism(c: &mut Criterion) {
+    let per_node = 4_096;
+    let mut group = c.benchmark_group("ism_pipeline");
+    for nodes in [1usize, 2, 4, 8] {
+        let total = (nodes * per_node) as u64;
+        group.throughput(Throughput::Elements(total));
+        group.bench_with_input(
+            BenchmarkId::new("push_tick_drain", nodes),
+            &nodes,
+            |b, &nodes| {
+                let batches = make_batches(nodes, per_node);
+                b.iter_batched(
+                    || {
+                        let cfg = IsmConfig {
+                            sorter: SorterConfig {
+                                initial_frame_us: 1_000,
+                                ..SorterConfig::default()
+                            },
+                            ..IsmConfig::default()
+                        };
+                        IsmCore::new(cfg).unwrap()
+                    },
+                    |mut core| {
+                        let mut now = 0i64;
+                        for (_, records) in &batches {
+                            now += 50;
+                            core.push_batch(records.clone(), UtcMicros::from_micros(now))
+                                .unwrap();
+                            core.tick(UtcMicros::from_micros(now)).unwrap();
+                        }
+                        black_box(core.drain_all().unwrap())
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ism);
+criterion_main!(benches);

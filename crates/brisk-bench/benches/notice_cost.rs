@@ -1,0 +1,69 @@
+//! E1 micro-benchmark: cost of one `NOTICE` through the sensor path
+//! (clock read + dynamic record build + ring-buffer publish).
+//!
+//! Paper reference: "The CPU time taken by an average [NOTICE] varied from
+//! 3.6 to 18.6 microseconds on three different platforms" (§4).
+
+use brisk_bench::rig::six_i32_fields;
+use brisk_clock::{Clock, SystemClock};
+use brisk_core::{EventTypeId, NodeId, UtcMicros, Value};
+use brisk_ringbuf::RingSet;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_notice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("notice_cost");
+    group.throughput(Throughput::Elements(1));
+
+    type ShapeFn = fn(u64) -> Vec<Value>;
+    let shapes: Vec<(&str, ShapeFn)> = vec![
+        ("six_i32_paper", six_i32_fields),
+        ("empty", |_| vec![]),
+        ("eight_i32", |i| vec![Value::I32(i as i32); 8]),
+        ("ts_and_str", |i| {
+            vec![
+                Value::Ts(UtcMicros::from_micros(i as i64)),
+                Value::Str("abcdefgh12345678".into()),
+            ]
+        }),
+    ];
+    for (name, make) in shapes {
+        group.bench_function(name, |b| {
+            let rings = RingSet::new(NodeId(0), 1 << 22);
+            let mut port = rings.register();
+            let clock = SystemClock;
+            let mut drain_buf = Vec::new();
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let ok = port
+                    .emit(EventTypeId(1), clock.now(), black_box(make(i)))
+                    .unwrap();
+                if !ok {
+                    // Ring filled: drain it inline (amortized; rare).
+                    drain_buf.clear();
+                    rings.drain_into(usize::MAX, &mut drain_buf).unwrap();
+                }
+                black_box(ok)
+            });
+        });
+    }
+
+    // Field construction alone, to separate record-build cost from the
+    // ring publish.
+    group.bench_function("fields_only_six_i32", |b| {
+        let mut i = 0u64;
+        b.iter_batched(
+            || {
+                i += 1;
+                i
+            },
+            |i| black_box(six_i32_fields(i)),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_notice);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! E7 micro-benchmarks: on-line sorter cost per record, and whole
+//! sorting-experiment runs for the adaptive-frame variants.
+
+use brisk_core::config::FrameGrowth;
+use brisk_core::{EventRecord, EventTypeId, NodeId, SensorId, SorterConfig, UtcMicros};
+use brisk_ism::OnlineSorter;
+use brisk_sim::{run_sorting_experiment, DelayModel, SortingConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn interleaved_records(sources: usize, total: usize) -> Vec<EventRecord> {
+    (0..total)
+        .map(|i| {
+            let node = i % sources;
+            EventRecord::new(
+                NodeId(node as u32),
+                SensorId(0),
+                EventTypeId(1),
+                (i / sources) as u64,
+                UtcMicros::from_micros(i as i64 * 7),
+                vec![],
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+fn bench_sorter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_sorter");
+    let total = 16_384;
+    for sources in [1usize, 4, 16, 64] {
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_with_input(
+            BenchmarkId::new("push_poll", sources),
+            &sources,
+            |b, &sources| {
+                let records = interleaved_records(sources, total);
+                b.iter_batched(
+                    || records.clone(),
+                    |records| {
+                        let cfg = SorterConfig {
+                            initial_frame_us: 100,
+                            ..SorterConfig::default()
+                        };
+                        let mut sorter = OnlineSorter::new(cfg, 0).unwrap();
+                        let mut released = 0usize;
+                        for (i, rec) in records.into_iter().enumerate() {
+                            let now = UtcMicros::from_micros(i as i64 * 7);
+                            sorter.push(rec);
+                            if i % 256 == 0 {
+                                released += sorter.poll(now).len();
+                            }
+                        }
+                        released += sorter.drain_all().len();
+                        black_box(released)
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sorting_experiment");
+    group.sample_size(10);
+    for (name, decay) in [("fast_decay", 0.5f64), ("slow_decay", 0.99)] {
+        group.bench_function(name, |b| {
+            let cfg = SortingConfig {
+                nodes: 4,
+                events_per_node: 2_000,
+                delay: DelayModel {
+                    base_us: 100,
+                    jitter_us: 2_000,
+                    ..DelayModel::ideal()
+                },
+                sorter: SorterConfig {
+                    initial_frame_us: 0,
+                    min_frame_us: 0,
+                    growth: FrameGrowth::ToObservedLateness,
+                    decay_factor: decay,
+                    ..SorterConfig::default()
+                },
+                ..SortingConfig::default()
+            };
+            b.iter(|| black_box(run_sorting_experiment(&cfg).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorter);
+criterion_main!(benches);

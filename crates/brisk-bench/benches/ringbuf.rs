@@ -1,0 +1,85 @@
+//! Micro-benchmarks for the sensor→EXS ring-buffer substrate: the raw
+//! publish/consume cost that bounds E1's NOTICE figure from below.
+
+use brisk_core::{EventTypeId, NodeId, SensorId, UtcMicros, Value};
+use brisk_ringbuf::{ByteRing, RecordRing};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("byte_ring");
+    group.throughput(Throughput::Elements(1));
+    for size in [8usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("push_pop", size),
+            &size,
+            |b, &size| {
+                let (mut p, mut cons) = ByteRing::with_capacity(1 << 16);
+                let payload = vec![0xabu8; size];
+                let mut out = Vec::new();
+                b.iter(|| {
+                    assert!(p.push(black_box(&payload)));
+                    assert!(cons.pop(&mut out));
+                    black_box(out.len())
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("record_ring");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("emit_pop_six_i32", |b| {
+        let (mut port, mut cons) = RecordRing::create(NodeId(0), SensorId(0), 1 << 16);
+        let fields = vec![Value::I32(7); 6];
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            port.emit(
+                EventTypeId(1),
+                UtcMicros::from_micros(i as i64),
+                black_box(fields.clone()),
+            )
+            .unwrap();
+            black_box(cons.pop().unwrap())
+        });
+    });
+    group.finish();
+
+    // Cross-thread sustained throughput: producer and consumer pinned to
+    // their own threads, measuring whole-pipe elements/second.
+    let mut group = c.benchmark_group("byte_ring_cross_thread");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("pipe_100k_x32B", |b| {
+        b.iter(|| {
+            let (mut p, mut cons) = ByteRing::with_capacity(1 << 16);
+            let producer = std::thread::spawn(move || {
+                let payload = [0u8; 32];
+                let mut sent = 0u32;
+                while sent < 100_000 {
+                    if p.push(&payload) {
+                        sent += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            let mut out = Vec::new();
+            let mut got = 0u32;
+            while got < 100_000 {
+                if cons.pop(&mut out) {
+                    got += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            producer.join().unwrap();
+            black_box(got)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! CLI driver: regenerate the paper's evaluation tables.
+//!
+//! ```text
+//! experiments <id>... [--quick]
+//!   ids: e1 e2 e3 e4 e5 e6 e7 a1 a2 all
+//! ```
+
+use brisk_bench::experiments as x;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() {
+        eprintln!("usage: experiments <e1|e2|e3|e4|e5|e6|e7|a1|a2|a3|all>... [--quick]");
+        std::process::exit(2);
+    }
+    println!(
+        "BRISK experiment harness ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    for id in ids {
+        match id {
+            "e1" => x::e1_notice_cost(quick),
+            "e2" => x::e2_exs_utilization(quick),
+            "e3" => x::e3_throughput(quick),
+            "e4" => x::e4_latency(quick),
+            "e5" => x::e5_scalability(quick),
+            "e6" => x::e6_clock_sync(quick),
+            "e7" => x::e7_sorting(quick),
+            "a1" => x::a1_sync_ablation(quick),
+            "a2" => x::a2_cre_ablation(quick),
+            "a3" => x::a3_header_compression(quick),
+            "all" => x::run_all(quick),
+            other => {
+                eprintln!("unknown experiment id: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

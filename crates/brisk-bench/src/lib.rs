@@ -1,0 +1,19 @@
+//! # brisk-bench — experiment harness
+//!
+//! Regenerates every measurement in the paper's evaluation (§4). Each
+//! experiment id maps to one function here and one subcommand of the
+//! `experiments` binary; see DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! ```text
+//! cargo run --release -p brisk-bench --bin experiments -- all
+//! cargo run --release -p brisk-bench --bin experiments -- e3 --quick
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod experiments;
+pub mod rig;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,161 @@
+//! Reusable pipeline rigs for the experiments: ISM + N instrumented nodes
+//! over a chosen transport.
+
+use brisk_clock::{Clock, SystemClock};
+use brisk_core::{EventTypeId, ExsConfig, IsmConfig, NodeId, Result, SyncConfig, Value};
+use brisk_ism::{IsmHandle, IsmServer};
+use brisk_lis::{spawn_exs, ExsHandle, Lis};
+use brisk_net::Transport;
+use brisk_ringbuf::SensorPort;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Start an ISM server on `transport` at `addr` with the given knobs.
+pub fn start_ism(
+    transport: &dyn Transport,
+    addr: &str,
+    ism_cfg: IsmConfig,
+    sync_cfg: SyncConfig,
+) -> Result<IsmHandle> {
+    let listener = transport.listen(addr)?;
+    let server = IsmServer::new(ism_cfg, sync_cfg, Arc::new(SystemClock))?;
+    server.spawn(listener)
+}
+
+/// One instrumented node: its LIS facade and its running EXS.
+pub struct Node {
+    /// Sensor-side facade.
+    pub lis: Lis<SystemClock>,
+    /// Running external sensor.
+    pub exs: ExsHandle,
+    /// Node id.
+    pub node: NodeId,
+}
+
+/// Start a node connected to the ISM at `addr`.
+pub fn start_node(
+    transport: &dyn Transport,
+    addr: &str,
+    node: NodeId,
+    cfg: ExsConfig,
+) -> Result<Node> {
+    let clock = Arc::new(SystemClock);
+    let lis = Lis::new(node, Arc::clone(&clock), &cfg);
+    let exs = spawn_exs(
+        node,
+        Arc::clone(lis.rings()),
+        clock,
+        transport.connect(addr)?,
+        cfg,
+    )?;
+    Ok(Node { lis, exs, node })
+}
+
+/// Emit `count` six-integer records (the paper's workload) as fast as the
+/// ring accepts them. Returns how many were accepted (vs dropped).
+pub fn blast_events(port: &mut SensorPort, clock: &impl Clock, count: u64) -> u64 {
+    let mut accepted = 0;
+    for i in 0..count {
+        let fields = six_i32_fields(i);
+        loop {
+            match port.emit(EventTypeId(1), clock.now(), fields.clone()) {
+                Ok(true) => {
+                    accepted += 1;
+                    break;
+                }
+                Ok(false) => std::thread::yield_now(), // ring full: retry
+                Err(_) => return accepted,
+            }
+        }
+    }
+    accepted
+}
+
+/// Emit records at a target rate for `duration`. Returns (emitted,
+/// dropped).
+pub fn paced_events(
+    port: &mut SensorPort,
+    clock: &impl Clock,
+    rate_hz: f64,
+    duration: Duration,
+) -> (u64, u64) {
+    let start = Instant::now();
+    let interval = Duration::from_secs_f64(1.0 / rate_hz);
+    let mut emitted = 0u64;
+    let mut dropped = 0u64;
+    let mut next = start;
+    while start.elapsed() < duration {
+        let now = Instant::now();
+        if now < next {
+            let wait = next - now;
+            if wait > Duration::from_micros(100) {
+                std::thread::sleep(wait - Duration::from_micros(50));
+            }
+            continue;
+        }
+        next += interval;
+        match port.emit(EventTypeId(1), clock.now(), six_i32_fields(emitted)) {
+            Ok(true) => emitted += 1,
+            Ok(false) => dropped += 1,
+            Err(_) => break,
+        }
+    }
+    (emitted, dropped)
+}
+
+/// The paper's record shape: "six fields of type integer".
+pub fn six_i32_fields(i: u64) -> Vec<Value> {
+    vec![
+        Value::I32(i as i32),
+        Value::I32((i >> 8) as i32),
+        Value::I32(1),
+        Value::I32(2),
+        Value::I32(3),
+        Value::I32(4),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_net::MemTransport;
+
+    #[test]
+    fn rig_round_trips_events() {
+        let t = MemTransport::new();
+        let ism = start_ism(&t, "ism", IsmConfig::default(), SyncConfig::default()).unwrap();
+        let mut reader = ism.memory().reader();
+        let node = start_node(&t, "ism", NodeId(1), ExsConfig::default()).unwrap();
+        let mut port = node.lis.register();
+        let accepted = blast_events(&mut port, &SystemClock, 500);
+        assert_eq!(accepted, 500);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut total = 0;
+        while total < 500 && Instant::now() < deadline {
+            total += reader.poll().unwrap().0.len();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(total, 500);
+        node.exs.stop().unwrap();
+        ism.stop().unwrap();
+    }
+
+    #[test]
+    fn paced_generator_hits_rate_roughly() {
+        let t = MemTransport::new();
+        let ism = start_ism(&t, "ism", IsmConfig::default(), SyncConfig::default()).unwrap();
+        let node = start_node(&t, "ism", NodeId(1), ExsConfig::default()).unwrap();
+        let mut port = node.lis.register();
+        let (emitted, dropped) = paced_events(
+            &mut port,
+            &SystemClock,
+            2_000.0,
+            Duration::from_millis(500),
+        );
+        assert!(dropped < emitted / 10, "dropped {dropped} of {emitted}");
+        let rate = emitted as f64 / 0.5;
+        assert!((1_000.0..3_000.0).contains(&rate), "rate {rate}");
+        node.exs.stop().unwrap();
+        ism.stop().unwrap();
+    }
+}

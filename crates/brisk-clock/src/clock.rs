@@ -1,0 +1,259 @@
+//! Clock abstractions: real and simulated time sources.
+
+use brisk_core::UtcMicros;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Something that can be asked for the current time.
+///
+/// Implementations must be cheap and callable from any thread; BRISK
+/// sensors read the clock on every `NOTICE`.
+pub trait Clock: Send + Sync {
+    /// Current time according to this clock.
+    fn now(&self) -> UtcMicros;
+}
+
+/// The real system clock — the `gettimeofday` of the paper.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> UtcMicros {
+        UtcMicros::now()
+    }
+}
+
+/// Shared *true time* driving a set of [`SimClock`]s.
+///
+/// In the simulator there is one authoritative virtual time line; each
+/// node's `SimClock` derives its (skewed, drifting) local reading from it.
+/// The discrete-event engine advances this source.
+#[derive(Clone, Debug)]
+pub struct SimTimeSource {
+    now_us: Arc<AtomicI64>,
+}
+
+impl Default for SimTimeSource {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimTimeSource {
+    /// New source starting at t = 0.
+    pub fn new() -> Self {
+        SimTimeSource {
+            now_us: Arc::new(AtomicI64::new(0)),
+        }
+    }
+
+    /// New source starting at the given time.
+    pub fn starting_at(t: UtcMicros) -> Self {
+        SimTimeSource {
+            now_us: Arc::new(AtomicI64::new(t.as_micros())),
+        }
+    }
+
+    /// Current true time.
+    pub fn now(&self) -> UtcMicros {
+        UtcMicros::from_micros(self.now_us.load(Ordering::Acquire))
+    }
+
+    /// Jump true time to `t`. Panics (in debug builds) on time reversal —
+    /// the simulator only ever moves forward.
+    pub fn advance_to(&self, t: UtcMicros) {
+        let prev = self.now_us.swap(t.as_micros(), Ordering::AcqRel);
+        debug_assert!(prev <= t.as_micros(), "simulated time went backwards");
+    }
+
+    /// Advance true time by `delta_us`.
+    pub fn advance_by(&self, delta_us: i64) {
+        debug_assert!(delta_us >= 0);
+        self.now_us.fetch_add(delta_us, Ordering::AcqRel);
+    }
+}
+
+/// A simulated local clock: a skewed, drifting, quantized view of a
+/// [`SimTimeSource`].
+///
+/// `local(t) = (t - epoch) * (1 + drift_ppm/1e6) + epoch + offset`
+/// rounded down to `granularity_us`. Drift is applied relative to the
+/// source's value when the clock was created, so two clocks created
+/// together diverge linearly — the behaviour the paper's synchronization
+/// algorithm has to fight.
+pub struct SimClock {
+    source: SimTimeSource,
+    epoch_us: i64,
+    drift_ppm: f64,
+    offset_us: AtomicI64,
+    granularity_us: i64,
+}
+
+impl SimClock {
+    /// Create a simulated clock.
+    ///
+    /// * `offset_us` — initial skew from true time,
+    /// * `drift_ppm` — rate error in parts per million (+50 ppm gains 50 µs
+    ///   per true second),
+    /// * `granularity_us` — reading quantum (1 = microsecond clock).
+    pub fn new(source: SimTimeSource, offset_us: i64, drift_ppm: f64, granularity_us: i64) -> Self {
+        assert!(granularity_us >= 1, "granularity must be at least 1 µs");
+        let epoch_us = source.now().as_micros();
+        SimClock {
+            source,
+            epoch_us,
+            drift_ppm,
+            offset_us: AtomicI64::new(offset_us),
+            granularity_us,
+        }
+    }
+
+    /// The underlying true-time source.
+    pub fn source(&self) -> &SimTimeSource {
+        &self.source
+    }
+
+    /// Current offset (initial skew plus all corrections applied so far).
+    pub fn offset_us(&self) -> i64 {
+        self.offset_us.load(Ordering::Acquire)
+    }
+
+    /// Apply a correction: shift this clock by `delta_us` (positive
+    /// advances it). This models the EXS adjusting its clock at the end of
+    /// a sync round.
+    pub fn adjust(&self, delta_us: i64) {
+        self.offset_us.fetch_add(delta_us, Ordering::AcqRel);
+    }
+
+    /// The clock's error relative to true time right now (reading minus
+    /// true time); what experiments measure but real systems cannot see.
+    pub fn error_us(&self) -> i64 {
+        self.now().as_micros() - self.source.now().as_micros()
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> UtcMicros {
+        let t = self.source.now().as_micros();
+        let elapsed = (t - self.epoch_us) as f64;
+        let drifted = self.epoch_us as f64 + elapsed * (1.0 + self.drift_ppm / 1e6);
+        let raw = drifted as i64 + self.offset_us.load(Ordering::Acquire);
+        let quantized = raw.div_euclid(self.granularity_us) * self.granularity_us;
+        UtcMicros::from_micros(quantized)
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for Arc<C> {
+    fn now(&self) -> UtcMicros {
+        (**self).now()
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for &C {
+    fn now(&self) -> UtcMicros {
+        (**self).now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_ticks() {
+        let c = SystemClock;
+        let a = c.now();
+        assert!(a.as_micros() > 0);
+    }
+
+    #[test]
+    fn sim_source_advances() {
+        let src = SimTimeSource::new();
+        assert_eq!(src.now(), UtcMicros::ZERO);
+        src.advance_by(1_000);
+        assert_eq!(src.now(), UtcMicros::from_millis(1));
+        src.advance_to(UtcMicros::from_secs(2));
+        assert_eq!(src.now(), UtcMicros::from_secs(2));
+    }
+
+    #[test]
+    fn sim_clock_offset_applies() {
+        let src = SimTimeSource::new();
+        let c = SimClock::new(src.clone(), 500, 0.0, 1);
+        assert_eq!(c.now(), UtcMicros::from_micros(500));
+        src.advance_by(100);
+        assert_eq!(c.now(), UtcMicros::from_micros(600));
+        assert_eq!(c.error_us(), 500);
+    }
+
+    #[test]
+    fn sim_clock_drifts_linearly() {
+        let src = SimTimeSource::new();
+        let c = SimClock::new(src.clone(), 0, 50.0, 1); // +50 ppm
+        src.advance_by(1_000_000); // one true second
+        assert_eq!(c.now().as_micros(), 1_000_050);
+        src.advance_by(1_000_000);
+        assert_eq!(c.now().as_micros(), 2_000_100);
+    }
+
+    #[test]
+    fn negative_drift_lags() {
+        let src = SimTimeSource::new();
+        let c = SimClock::new(src.clone(), 0, -100.0, 1);
+        src.advance_by(10_000_000); // 10 s
+        assert_eq!(c.now().as_micros(), 10_000_000 - 1_000);
+    }
+
+    #[test]
+    fn drift_is_relative_to_creation_epoch() {
+        let src = SimTimeSource::new();
+        src.advance_by(5_000_000);
+        let c = SimClock::new(src.clone(), 0, 100.0, 1);
+        // No elapsed time since creation: no drift error yet.
+        assert_eq!(c.now(), src.now());
+        src.advance_by(1_000_000);
+        assert_eq!(c.error_us(), 100);
+    }
+
+    #[test]
+    fn adjust_shifts_reading() {
+        let src = SimTimeSource::new();
+        let c = SimClock::new(src.clone(), 0, 0.0, 1);
+        c.adjust(250);
+        assert_eq!(c.now().as_micros(), 250);
+        c.adjust(-100);
+        assert_eq!(c.now().as_micros(), 150);
+        assert_eq!(c.offset_us(), 150);
+    }
+
+    #[test]
+    fn granularity_quantizes_readings() {
+        let src = SimTimeSource::new();
+        let c = SimClock::new(src.clone(), 0, 0.0, 10);
+        src.advance_by(27);
+        assert_eq!(c.now().as_micros(), 20);
+        src.advance_by(3);
+        assert_eq!(c.now().as_micros(), 30);
+    }
+
+    #[test]
+    fn clock_trait_objects_work() {
+        let src = SimTimeSource::new();
+        let sim: Arc<dyn Clock> = Arc::new(SimClock::new(src.clone(), 7, 0.0, 1));
+        assert_eq!(sim.now().as_micros(), 7);
+        let r: &dyn Clock = &SystemClock;
+        assert!(r.now().as_micros() > 0);
+    }
+
+    #[test]
+    fn two_clocks_diverge_then_converge_after_adjust() {
+        let src = SimTimeSource::new();
+        let fast = SimClock::new(src.clone(), 0, 40.0, 1);
+        let slow = SimClock::new(src.clone(), 0, -40.0, 1);
+        src.advance_by(10_000_000);
+        let gap = fast.now().as_micros() - slow.now().as_micros();
+        assert_eq!(gap, 800);
+        slow.adjust(gap);
+        assert_eq!(fast.now(), slow.now());
+    }
+}

@@ -1,0 +1,119 @@
+//! The EXS-maintained correction value.
+//!
+//! "The raw local time is obtained by a call to `gettimeofday` … which is
+//! added to a correction value maintained by the EXS, before sending the
+//! record to the ISM" (§3.2). [`CorrectedClock`] packages a raw clock with
+//! that correction value; the sync slave adjusts the correction, never the
+//! underlying clock (stepping the OS clock would perturb the application).
+
+use crate::clock::Clock;
+use brisk_core::UtcMicros;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A clock plus an atomically-updatable correction value (microseconds).
+pub struct CorrectedClock<C: Clock> {
+    raw: C,
+    correction_us: AtomicI64,
+}
+
+impl<C: Clock> CorrectedClock<C> {
+    /// Wrap a raw clock with zero initial correction.
+    pub fn new(raw: C) -> Arc<Self> {
+        Arc::new(CorrectedClock {
+            raw,
+            correction_us: AtomicI64::new(0),
+        })
+    }
+
+    /// Raw, uncorrected reading.
+    pub fn raw_now(&self) -> UtcMicros {
+        self.raw.now()
+    }
+
+    /// Current correction value in microseconds.
+    pub fn correction_us(&self) -> i64 {
+        self.correction_us.load(Ordering::Acquire)
+    }
+
+    /// Add `delta_us` to the correction value (a sync-round adjustment).
+    pub fn adjust(&self, delta_us: i64) {
+        self.correction_us.fetch_add(delta_us, Ordering::AcqRel);
+    }
+
+    /// Overwrite the correction value.
+    pub fn set_correction(&self, value_us: i64) {
+        self.correction_us.store(value_us, Ordering::Release);
+    }
+
+    /// Access the wrapped raw clock.
+    pub fn raw_clock(&self) -> &C {
+        &self.raw
+    }
+}
+
+impl<C: Clock> Clock for CorrectedClock<C> {
+    /// Corrected reading: raw time plus the correction value.
+    fn now(&self) -> UtcMicros {
+        self.raw.now().offset(self.correction_us.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{SimClock, SimTimeSource};
+
+    #[test]
+    fn zero_correction_is_transparent() {
+        let src = SimTimeSource::new();
+        src.advance_by(123);
+        let cc = CorrectedClock::new(SimClock::new(src.clone(), 0, 0.0, 1));
+        assert_eq!(cc.now(), cc.raw_now());
+        assert_eq!(cc.correction_us(), 0);
+    }
+
+    #[test]
+    fn adjust_accumulates() {
+        let src = SimTimeSource::new();
+        let cc = CorrectedClock::new(SimClock::new(src.clone(), 0, 0.0, 1));
+        cc.adjust(100);
+        cc.adjust(-30);
+        assert_eq!(cc.correction_us(), 70);
+        assert_eq!(cc.now().as_micros(), 70);
+        assert_eq!(cc.raw_now().as_micros(), 0);
+    }
+
+    #[test]
+    fn set_correction_overwrites() {
+        let src = SimTimeSource::new();
+        let cc = CorrectedClock::new(SimClock::new(src.clone(), 0, 0.0, 1));
+        cc.adjust(500);
+        cc.set_correction(-5);
+        assert_eq!(cc.correction_us(), -5);
+        src.advance_by(10);
+        assert_eq!(cc.now().as_micros(), 5);
+    }
+
+    #[test]
+    fn correction_composes_with_skewed_raw_clock() {
+        let src = SimTimeSource::new();
+        // Raw clock is 1 ms ahead of true time; correction cancels it.
+        let cc = CorrectedClock::new(SimClock::new(src.clone(), 1_000, 0.0, 1));
+        cc.adjust(-1_000);
+        src.advance_by(42);
+        assert_eq!(cc.now().as_micros(), 42);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let src = SimTimeSource::new();
+        let cc = CorrectedClock::new(SimClock::new(src.clone(), 0, 0.0, 1));
+        let cc2 = Arc::clone(&cc);
+        let h = std::thread::spawn(move || {
+            cc2.adjust(11);
+        });
+        h.join().unwrap();
+        assert_eq!(cc.correction_us(), 11);
+    }
+}

@@ -1,0 +1,33 @@
+//! # brisk-clock — clocks and distributed clock synchronization
+//!
+//! "Processes that make up a parallel/distributed system run on processors
+//! that may have non-synchronized clocks" (§2). BRISK synchronizes the
+//! external-sensor (EXS) clocks "using a modification of Cristian's
+//! centralized clock synchronization algorithm" in which "the master (ISM)
+//! time is used only as a common reference point for computing relative
+//! skews of the slave (EXS) clocks" (§3.3).
+//!
+//! This crate provides:
+//!
+//! * [`clock::Clock`] — the read-a-timestamp abstraction, with
+//!   [`clock::SystemClock`] (real `gettimeofday` equivalent) and
+//!   [`clock::SimClock`] (a simulated clock with configurable constant
+//!   offset, drift in parts-per-million and read granularity, driven by a
+//!   shared [`clock::SimTimeSource`]);
+//! * [`correction::CorrectedClock`] — a clock plus the EXS-maintained
+//!   *correction value* added to every raw reading (§3.2);
+//! * [`sync`] — the synchronization algorithm itself, written as pure
+//!   functions over skew samples so the same code runs on the real TCP
+//!   transport and inside the deterministic simulator, plus the
+//!   [`sync::SyncMaster`] / [`sync::SyncSlave`] state machines.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod clock;
+pub mod correction;
+pub mod sync;
+
+pub use clock::{Clock, SimClock, SimTimeSource, SystemClock};
+pub use correction::CorrectedClock;
+pub use sync::{Correction, SkewEstimate, SkewSample, SyncMaster, SyncOutcome, SyncSlave};

@@ -1,0 +1,254 @@
+//! Analysis utilities for consumers, tests and the experiment harness.
+
+use brisk_core::{EventRecord, UtcMicros};
+use std::collections::HashMap;
+
+/// Checks a delivered stream for timestamp order — the metric the on-line
+/// sorting experiments (E7) optimize.
+#[derive(Debug, Default)]
+pub struct OrderChecker {
+    last_ts: Option<UtcMicros>,
+    total: u64,
+    inversions: u64,
+    max_inversion_us: i64,
+    per_seq: HashMap<(u32, u32), u64>,
+    seq_gaps: u64,
+}
+
+impl OrderChecker {
+    /// New checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe one delivered record.
+    pub fn observe(&mut self, rec: &EventRecord) {
+        self.total += 1;
+        if let Some(last) = self.last_ts {
+            if rec.ts < last {
+                self.inversions += 1;
+                self.max_inversion_us = self.max_inversion_us.max(last.micros_since(rec.ts));
+            }
+        }
+        self.last_ts = Some(rec.ts);
+        // Per-sensor sequence continuity (detects drops).
+        let key = (rec.node.raw(), rec.sensor.raw());
+        if let Some(&prev) = self.per_seq.get(&key) {
+            if rec.seq > prev + 1 {
+                self.seq_gaps += rec.seq - prev - 1;
+            }
+        }
+        self.per_seq.insert(key, rec.seq);
+    }
+
+    /// Records observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Timestamp inversions observed (adjacent pairs out of order).
+    pub fn inversions(&self) -> u64 {
+        self.inversions
+    }
+
+    /// Largest single inversion in microseconds.
+    pub fn max_inversion_us(&self) -> i64 {
+        self.max_inversion_us
+    }
+
+    /// Fraction of adjacent pairs out of order.
+    pub fn inversion_rate(&self) -> f64 {
+        if self.total <= 1 {
+            0.0
+        } else {
+            self.inversions as f64 / (self.total - 1) as f64
+        }
+    }
+
+    /// Records lost according to per-sensor sequence gaps.
+    pub fn seq_gaps(&self) -> u64 {
+        self.seq_gaps
+    }
+}
+
+/// Tracks delivery latency: time between a record's (synchronized)
+/// creation timestamp and the moment the consumer sees it.
+#[derive(Debug, Default)]
+pub struct LatencyTracker {
+    samples_us: Vec<i64>,
+}
+
+impl LatencyTracker {
+    /// New tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe a record delivered at `now`.
+    pub fn observe(&mut self, rec: &EventRecord, now: UtcMicros) {
+        self.samples_us.push(now.micros_since(rec.ts));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// True if no samples were taken.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Summary over all samples (µs).
+    pub fn summary(&self) -> SummaryStats {
+        SummaryStats::of(self.samples_us.iter().map(|&v| v as f64))
+    }
+}
+
+/// Order statistics over a set of samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SummaryStats {
+    /// Sample count.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+}
+
+impl SummaryStats {
+    /// Compute summary statistics of `samples`. Empty input yields zeros.
+    pub fn of(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut v: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return SummaryStats::default();
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let count = v.len();
+        let sum: f64 = v.iter().sum();
+        let mean = sum / count as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        let pct = |p: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            v[idx.min(count - 1)]
+        };
+        SummaryStats {
+            count,
+            min: v[0],
+            max: v[count - 1],
+            mean,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            stddev: var.sqrt(),
+        }
+    }
+}
+
+impl std::fmt::Display for SummaryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={:.1} p50={:.1} mean={:.1} p95={:.1} p99={:.1} max={:.1} sd={:.1}",
+            self.count, self.min, self.p50, self.mean, self.p95, self.p99, self.max, self.stddev
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_core::{EventTypeId, NodeId, SensorId};
+
+    fn rec(node: u32, seq: u64, ts: i64) -> EventRecord {
+        EventRecord::new(
+            NodeId(node),
+            SensorId(0),
+            EventTypeId(1),
+            seq,
+            UtcMicros::from_micros(ts),
+            vec![],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn order_checker_counts_inversions() {
+        let mut c = OrderChecker::new();
+        for (node, seq, ts) in [(0, 0, 10), (1, 0, 20), (0, 1, 15), (1, 1, 30)] {
+            c.observe(&rec(node, seq, ts));
+        }
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.inversions(), 1);
+        assert_eq!(c.max_inversion_us(), 5);
+        assert!((c.inversion_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_checker_clean_stream() {
+        let mut c = OrderChecker::new();
+        for i in 0..10 {
+            c.observe(&rec(0, i, i as i64));
+        }
+        assert_eq!(c.inversions(), 0);
+        assert_eq!(c.inversion_rate(), 0.0);
+        assert_eq!(c.seq_gaps(), 0);
+    }
+
+    #[test]
+    fn order_checker_detects_seq_gaps() {
+        let mut c = OrderChecker::new();
+        c.observe(&rec(0, 0, 0));
+        c.observe(&rec(0, 3, 1)); // dropped 1 and 2
+        c.observe(&rec(1, 5, 2)); // first from this sensor: no gap counted
+        assert_eq!(c.seq_gaps(), 2);
+    }
+
+    #[test]
+    fn latency_tracker_summary() {
+        let mut t = LatencyTracker::new();
+        for i in 1..=100 {
+            t.observe(&rec(0, i, 0), UtcMicros::from_micros(i as i64));
+        }
+        let s = t.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.p50 - 50.0).abs() <= 1.0);
+        assert!((s.p95 - 95.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn summary_stats_edge_cases() {
+        assert_eq!(SummaryStats::of(std::iter::empty()).count, 0);
+        let one = SummaryStats::of([42.0]);
+        assert_eq!(one.count, 1);
+        assert_eq!(one.min, 42.0);
+        assert_eq!(one.max, 42.0);
+        assert_eq!(one.p99, 42.0);
+        assert_eq!(one.stddev, 0.0);
+        // NaN/inf are filtered, not propagated.
+        let s = SummaryStats::of([1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn summary_display_is_compact() {
+        let s = SummaryStats::of([1.0, 2.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("mean=2.0"));
+    }
+}

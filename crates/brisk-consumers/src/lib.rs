@@ -1,0 +1,26 @@
+//! # brisk-consumers — instrumentation data consumer tools
+//!
+//! Consumers sit at the right edge of Fig. 1: they read the ISM's output
+//! memory buffer, or receive records pushed through sinks.
+//!
+//! * [`visual`] — the stand-in for the paper's "object-oriented framework
+//!   for the development of on-line performance visualization" (§3.5): a
+//!   [`visual::VisualObject`] trait whose `update` method receives records
+//!   "as PICL strings", exactly like the CORBA-called remote methods of the
+//!   original (the CORBA/MICO RPC layer is replaced by the trait boundary —
+//!   see DESIGN.md), plus a registry/sink and a few ready-made objects.
+//! * [`analysis`] — order checking, latency tracking and summary
+//!   statistics used by tests and by the experiment harness.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod analysis;
+pub mod profile;
+pub mod visual;
+
+pub use analysis::{LatencyTracker, OrderChecker, SummaryStats};
+pub use profile::{CounterSample, ProfileBuilder, Profiles, ScopeProfile};
+pub use visual::{
+    EventCounter, RateMeter, TextPane, VisualObject, VisualObjectRegistry, VisualObjectSink,
+};

@@ -1,0 +1,302 @@
+//! Profile reconstruction from the sorted event stream.
+//!
+//! Consumes records produced by `brisk_lis::profiling` (scope enter/exit
+//! pairs and counter snapshots) and rebuilds the classic profiling views:
+//! per-scope call counts and duration statistics, and per-counter time
+//! series. Together with the emission side this is the paper's promised
+//! "hybrid monitoring approach for tracing or profiling" emulated on the
+//! event-based kernel (§2).
+
+use crate::analysis::SummaryStats;
+use brisk_core::{EventRecord, UtcMicros, Value};
+use std::collections::HashMap;
+
+/// Discriminator values (must match `brisk_lis::profiling::kind`; the
+/// constants are duplicated rather than imported to keep the consumer
+/// crate independent of the sensor crate, as a real deployment's analysis
+/// tools would be).
+mod kind {
+    pub const ENTER: u8 = 1;
+    pub const EXIT: u8 = 2;
+    pub const COUNTER: u8 = 3;
+}
+
+/// Aggregated statistics for one scope (event type).
+#[derive(Clone, Debug, Default)]
+pub struct ScopeProfile {
+    /// Completed activations (matched enter/exit pairs).
+    pub calls: u64,
+    /// Activations whose ENTER was never seen (exit-only).
+    pub unmatched_exits: u64,
+    /// Activations whose EXIT was never seen (still open at the end).
+    pub open: u64,
+    /// Duration samples in microseconds (from the EXIT record's elapsed
+    /// field, which is immune to cross-node timestamp adjustment).
+    durations_us: Vec<i64>,
+}
+
+impl ScopeProfile {
+    /// Duration summary statistics (µs).
+    pub fn durations(&self) -> SummaryStats {
+        SummaryStats::of(self.durations_us.iter().map(|&v| v as f64))
+    }
+
+    /// Total time spent in the scope (µs).
+    pub fn total_us(&self) -> i64 {
+        self.durations_us.iter().sum()
+    }
+}
+
+/// One sample of a counter's time series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Snapshot timestamp.
+    pub ts: UtcMicros,
+    /// Running value at the snapshot.
+    pub value: u64,
+    /// Increment since the previous snapshot.
+    pub delta: u64,
+}
+
+/// Builds profiles from a delivered record stream.
+#[derive(Default)]
+pub struct ProfileBuilder {
+    scopes: HashMap<u32, ScopeProfile>,
+    open: HashMap<(u32, u32, u32, u64), UtcMicros>,
+    counters: HashMap<(u32, u32), Vec<CounterSample>>,
+    ignored: u64,
+}
+
+impl ProfileBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that carried no recognizable profiling discriminator.
+    pub fn ignored(&self) -> u64 {
+        self.ignored
+    }
+
+    /// Feed one delivered record.
+    pub fn observe(&mut self, rec: &EventRecord) {
+        let Some(Value::U8(kind_byte)) = rec.fields.first() else {
+            self.ignored += 1;
+            return;
+        };
+        match *kind_byte {
+            kind::ENTER => {
+                let Some(scope_id) = rec.fields.get(1).and_then(Value::as_i64) else {
+                    self.ignored += 1;
+                    return;
+                };
+                self.open.insert(
+                    (
+                        rec.node.raw(),
+                        rec.sensor.raw(),
+                        rec.event_type.raw(),
+                        scope_id as u64,
+                    ),
+                    rec.ts,
+                );
+            }
+            kind::EXIT => {
+                let (Some(scope_id), Some(elapsed)) = (
+                    rec.fields.get(1).and_then(Value::as_i64),
+                    rec.fields.get(2).and_then(Value::as_i64),
+                ) else {
+                    self.ignored += 1;
+                    return;
+                };
+                let profile = self.scopes.entry(rec.event_type.raw()).or_default();
+                let key = (
+                    rec.node.raw(),
+                    rec.sensor.raw(),
+                    rec.event_type.raw(),
+                    scope_id as u64,
+                );
+                if self.open.remove(&key).is_some() {
+                    profile.calls += 1;
+                } else {
+                    profile.unmatched_exits += 1;
+                    profile.calls += 1; // elapsed is still valid
+                }
+                profile.durations_us.push(elapsed);
+            }
+            kind::COUNTER => {
+                let (Some(value), Some(delta)) = (
+                    rec.fields.get(1).and_then(Value::as_i64),
+                    rec.fields.get(2).and_then(Value::as_i64),
+                ) else {
+                    self.ignored += 1;
+                    return;
+                };
+                self.counters
+                    .entry((rec.node.raw(), rec.event_type.raw()))
+                    .or_default()
+                    .push(CounterSample {
+                        ts: rec.ts,
+                        value: value as u64,
+                        delta: delta as u64,
+                    });
+            }
+            _ => self.ignored += 1,
+        }
+    }
+
+    /// Finalize: mark still-open scopes and return the per-scope profiles
+    /// keyed by event type.
+    pub fn finish(mut self) -> Profiles {
+        for (_, _, event_type, _) in self.open.keys() {
+            self.scopes.entry(*event_type).or_default().open += 1;
+        }
+        Profiles {
+            scopes: self.scopes,
+            counters: self.counters,
+        }
+    }
+}
+
+/// Finished profiles.
+#[derive(Default)]
+pub struct Profiles {
+    scopes: HashMap<u32, ScopeProfile>,
+    counters: HashMap<(u32, u32), Vec<CounterSample>>,
+}
+
+impl Profiles {
+    /// Profile for one scope event type.
+    pub fn scope(&self, event_type: u32) -> Option<&ScopeProfile> {
+        self.scopes.get(&event_type)
+    }
+
+    /// All scope event types observed, sorted.
+    pub fn scope_types(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.scopes.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Counter time series for `(node, event_type)`.
+    pub fn counter(&self, node: u32, event_type: u32) -> Option<&[CounterSample]> {
+        self.counters.get(&(node, event_type)).map(Vec::as_slice)
+    }
+
+    /// All counter keys observed, sorted.
+    pub fn counter_keys(&self) -> Vec<(u32, u32)> {
+        let mut v: Vec<(u32, u32)> = self.counters.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_core::{EventTypeId, NodeId, SensorId};
+
+    fn rec(node: u32, ety: u32, seq: u64, ts: i64, fields: Vec<Value>) -> EventRecord {
+        EventRecord::new(
+            NodeId(node),
+            SensorId(0),
+            EventTypeId(ety),
+            seq,
+            UtcMicros::from_micros(ts),
+            fields,
+        )
+        .unwrap()
+    }
+
+    fn enter(node: u32, ety: u32, seq: u64, ts: i64, id: u64) -> EventRecord {
+        rec(node, ety, seq, ts, vec![Value::U8(1), Value::U64(id)])
+    }
+
+    fn exit(node: u32, ety: u32, seq: u64, ts: i64, id: u64, elapsed: i64) -> EventRecord {
+        rec(
+            node,
+            ety,
+            seq,
+            ts,
+            vec![Value::U8(2), Value::U64(id), Value::I64(elapsed)],
+        )
+    }
+
+    #[test]
+    fn matched_pairs_build_durations() {
+        let mut b = ProfileBuilder::new();
+        for i in 0..10u64 {
+            b.observe(&enter(0, 5, 2 * i, i as i64 * 100, i));
+            b.observe(&exit(0, 5, 2 * i + 1, i as i64 * 100 + 30, i, 30));
+        }
+        let p = b.finish();
+        let scope = p.scope(5).unwrap();
+        assert_eq!(scope.calls, 10);
+        assert_eq!(scope.open, 0);
+        assert_eq!(scope.unmatched_exits, 0);
+        assert_eq!(scope.total_us(), 300);
+        let s = scope.durations();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.min, 30.0);
+        assert_eq!(s.max, 30.0);
+    }
+
+    #[test]
+    fn open_scopes_and_orphan_exits_are_counted() {
+        let mut b = ProfileBuilder::new();
+        b.observe(&enter(0, 1, 0, 0, 7)); // never exits
+        b.observe(&exit(0, 1, 1, 50, 8, 50)); // never entered
+        let p = b.finish();
+        let scope = p.scope(1).unwrap();
+        assert_eq!(scope.open, 1);
+        assert_eq!(scope.unmatched_exits, 1);
+        assert_eq!(scope.calls, 1);
+    }
+
+    #[test]
+    fn scopes_keyed_by_origin_do_not_collide() {
+        let mut b = ProfileBuilder::new();
+        // Same scope id, different nodes: independent activations.
+        b.observe(&enter(0, 2, 0, 0, 1));
+        b.observe(&enter(1, 2, 0, 10, 1));
+        b.observe(&exit(0, 2, 1, 100, 1, 100));
+        b.observe(&exit(1, 2, 1, 60, 1, 50));
+        let p = b.finish();
+        let scope = p.scope(2).unwrap();
+        assert_eq!(scope.calls, 2);
+        assert_eq!(scope.open, 0);
+        assert_eq!(scope.unmatched_exits, 0);
+        assert_eq!(scope.total_us(), 150);
+    }
+
+    #[test]
+    fn counter_series_reconstructed() {
+        let mut b = ProfileBuilder::new();
+        for (i, (v, d)) in [(5u64, 5u64), (12, 7), (20, 8)].iter().enumerate() {
+            b.observe(&rec(
+                3,
+                9,
+                i as u64,
+                i as i64 * 1_000,
+                vec![Value::U8(3), Value::U64(*v), Value::U64(*d)],
+            ));
+        }
+        let p = b.finish();
+        let series = p.counter(3, 9).unwrap();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[2].value, 20);
+        assert_eq!(series.iter().map(|s| s.delta).sum::<u64>(), 20);
+        assert_eq!(p.counter_keys(), vec![(3, 9)]);
+    }
+
+    #[test]
+    fn unrecognized_records_are_ignored_not_fatal() {
+        let mut b = ProfileBuilder::new();
+        b.observe(&rec(0, 1, 0, 0, vec![Value::I32(42)]));
+        b.observe(&rec(0, 1, 1, 0, vec![]));
+        b.observe(&rec(0, 1, 2, 0, vec![Value::U8(99)]));
+        b.observe(&rec(0, 1, 3, 0, vec![Value::U8(1)])); // ENTER missing id
+        assert_eq!(b.ignored(), 4);
+        let p = b.finish();
+        assert!(p.scope_types().is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! The visual-object framework (CORBA-free stand-in for §3.5's
+//! "CORBA-enabled visual objects").
+//!
+//! "Through an optionally linked, portable implementation of CORBA 2.0
+//! called MICO, the ISM can call remote visual objects' methods and pass
+//! instrumentation data records to be processed as PICL strings." The
+//! remote-method-call boundary is preserved as the [`VisualObject`] trait:
+//! each object receives the record *as a PICL string*, so any object
+//! written against this trait would port directly onto an RPC transport.
+
+use brisk_core::{EventRecord, Result};
+use brisk_ism::EventSink;
+use brisk_picl::{PiclRecord, TsMode};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A visualization endpoint. `update` is the remote method of the original
+/// framework; it receives one PICL-formatted record.
+pub trait VisualObject: Send {
+    /// A short name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Process one record, delivered as a PICL string.
+    fn update(&mut self, picl_line: &str) -> Result<()>;
+}
+
+/// An ordered list of visual objects sharing one record stream.
+#[derive(Default)]
+pub struct VisualObjectRegistry {
+    objects: Vec<Box<dyn VisualObject>>,
+}
+
+impl VisualObjectRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach an object.
+    pub fn register(&mut self, obj: Box<dyn VisualObject>) {
+        self.objects.push(obj);
+    }
+
+    /// Number of attached objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if no objects are attached.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Dispatch one PICL line to every object.
+    pub fn dispatch(&mut self, picl_line: &str) -> Result<()> {
+        for obj in &mut self.objects {
+            obj.update(picl_line)?;
+        }
+        Ok(())
+    }
+}
+
+/// [`EventSink`] adapter: converts each sorted record to a PICL string and
+/// dispatches it to a registry. This is what the ISM links when the
+/// visual-object output is enabled.
+pub struct VisualObjectSink {
+    registry: Arc<Mutex<VisualObjectRegistry>>,
+    mode: TsMode,
+}
+
+impl VisualObjectSink {
+    /// New sink over a shared registry, rendering timestamps per `mode`.
+    pub fn new(registry: Arc<Mutex<VisualObjectRegistry>>, mode: TsMode) -> Self {
+        VisualObjectSink { registry, mode }
+    }
+}
+
+impl EventSink for VisualObjectSink {
+    fn on_record(&mut self, rec: &EventRecord) -> Result<()> {
+        let line = PiclRecord::from_event(rec, self.mode).to_line();
+        self.registry.lock().dispatch(&line)
+    }
+}
+
+/// Visual object: counts events per node (a minimal "activity bar chart").
+#[derive(Default)]
+pub struct EventCounter {
+    counts: Arc<Mutex<HashMap<u32, u64>>>,
+}
+
+impl EventCounter {
+    /// New counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared view of the per-node counts.
+    pub fn counts(&self) -> Arc<Mutex<HashMap<u32, u64>>> {
+        Arc::clone(&self.counts)
+    }
+}
+
+impl VisualObject for EventCounter {
+    fn name(&self) -> &str {
+        "event-counter"
+    }
+
+    fn update(&mut self, picl_line: &str) -> Result<()> {
+        let rec = PiclRecord::parse_line(picl_line)?;
+        *self.counts.lock().entry(rec.node).or_insert(0) += 1;
+        Ok(())
+    }
+}
+
+/// Visual object: sliding-window event-rate meter (events/second over the
+/// last `window_us` of trace time).
+pub struct RateMeter {
+    window_us: i64,
+    timestamps: std::collections::VecDeque<i64>,
+    rate: Arc<Mutex<f64>>,
+}
+
+impl RateMeter {
+    /// New meter with the given window (µs of trace time).
+    pub fn new(window_us: i64) -> Self {
+        RateMeter {
+            window_us: window_us.max(1),
+            timestamps: std::collections::VecDeque::new(),
+            rate: Arc::new(Mutex::new(0.0)),
+        }
+    }
+
+    /// Shared view of the current rate (events/second).
+    pub fn rate(&self) -> Arc<Mutex<f64>> {
+        Arc::clone(&self.rate)
+    }
+}
+
+impl VisualObject for RateMeter {
+    fn name(&self) -> &str {
+        "rate-meter"
+    }
+
+    fn update(&mut self, picl_line: &str) -> Result<()> {
+        let rec = PiclRecord::parse_line(picl_line)?;
+        let ts = match rec.clock {
+            brisk_picl::record::ClockField::UtcMicros(us) => us,
+            brisk_picl::record::ClockField::Seconds(s) => (s * 1e6) as i64,
+        };
+        self.timestamps.push_back(ts);
+        let horizon = ts - self.window_us;
+        while self.timestamps.front().is_some_and(|&t| t < horizon) {
+            self.timestamps.pop_front();
+        }
+        *self.rate.lock() = self.timestamps.len() as f64 / (self.window_us as f64 / 1e6);
+        Ok(())
+    }
+}
+
+/// Visual object: retains the most recent `max_lines` PICL lines, like a
+/// scrolling text console.
+pub struct TextPane {
+    max_lines: usize,
+    lines: Arc<Mutex<std::collections::VecDeque<String>>>,
+}
+
+impl TextPane {
+    /// New pane holding at most `max_lines`.
+    pub fn new(max_lines: usize) -> Self {
+        TextPane {
+            max_lines: max_lines.max(1),
+            lines: Arc::new(Mutex::new(std::collections::VecDeque::new())),
+        }
+    }
+
+    /// Shared view of the retained lines.
+    pub fn lines(&self) -> Arc<Mutex<std::collections::VecDeque<String>>> {
+        Arc::clone(&self.lines)
+    }
+}
+
+impl VisualObject for TextPane {
+    fn name(&self) -> &str {
+        "text-pane"
+    }
+
+    fn update(&mut self, picl_line: &str) -> Result<()> {
+        let mut lines = self.lines.lock();
+        lines.push_back(picl_line.to_owned());
+        while lines.len() > self.max_lines {
+            lines.pop_front();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_core::{EventTypeId, NodeId, SensorId, UtcMicros, Value};
+
+    fn rec(node: u32, seq: u64, ts: i64) -> EventRecord {
+        EventRecord::new(
+            NodeId(node),
+            SensorId(0),
+            EventTypeId(1),
+            seq,
+            UtcMicros::from_micros(ts),
+            vec![Value::I32(seq as i32)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sink_feeds_all_registered_objects() {
+        let counter = EventCounter::new();
+        let counts = counter.counts();
+        let pane = TextPane::new(10);
+        let lines = pane.lines();
+        let registry = Arc::new(Mutex::new(VisualObjectRegistry::new()));
+        registry.lock().register(Box::new(counter));
+        registry.lock().register(Box::new(pane));
+        assert_eq!(registry.lock().len(), 2);
+
+        let mut sink = VisualObjectSink::new(Arc::clone(&registry), TsMode::Utc);
+        for i in 0..4 {
+            sink.on_record(&rec(i % 2, i as u64, i as i64)).unwrap();
+        }
+        assert_eq!(counts.lock()[&0], 2);
+        assert_eq!(counts.lock()[&1], 2);
+        assert_eq!(lines.lock().len(), 4);
+    }
+
+    #[test]
+    fn rate_meter_windows_correctly() {
+        let meter = RateMeter::new(1_000_000); // 1 s window
+        let rate = meter.rate();
+        let registry = Arc::new(Mutex::new(VisualObjectRegistry::new()));
+        registry.lock().register(Box::new(meter));
+        let mut sink = VisualObjectSink::new(registry, TsMode::Utc);
+        // 10 events spread over 1 s → 10 ev/s.
+        for i in 0..10 {
+            sink.on_record(&rec(0, i, i as i64 * 100_000)).unwrap();
+        }
+        assert!((*rate.lock() - 10.0).abs() < 1e-9);
+        // A burst 10 s later: old events fall out of the window.
+        sink.on_record(&rec(0, 10, 10_000_000)).unwrap();
+        assert!((*rate.lock() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_pane_caps_lines() {
+        let pane = TextPane::new(3);
+        let lines = pane.lines();
+        let registry = Arc::new(Mutex::new(VisualObjectRegistry::new()));
+        registry.lock().register(Box::new(pane));
+        let mut sink = VisualObjectSink::new(registry, TsMode::Utc);
+        for i in 0..10 {
+            sink.on_record(&rec(0, i, i as i64)).unwrap();
+        }
+        let lines = lines.lock();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.back().unwrap().contains(" 9 "), "newest retained");
+    }
+
+    #[test]
+    fn objects_receive_parseable_picl() {
+        struct Checker;
+        impl VisualObject for Checker {
+            fn name(&self) -> &str {
+                "checker"
+            }
+            fn update(&mut self, line: &str) -> Result<()> {
+                PiclRecord::parse_line(line).map(|_| ())
+            }
+        }
+        let registry = Arc::new(Mutex::new(VisualObjectRegistry::new()));
+        registry.lock().register(Box::new(Checker));
+        let mut sink = VisualObjectSink::new(registry, TsMode::SecondsSince(UtcMicros::ZERO));
+        sink.on_record(&rec(3, 1, 2_500_000)).unwrap();
+    }
+}

@@ -1,0 +1,364 @@
+//! Configuration: the "tuning knobs" of BRISK's subsystems.
+//!
+//! The paper adds "tuning knobs to many of BRISK's subsystems, so that users
+//! can trade-off among the various simple and complex IS performance metrics
+//! in a specific working environment" (§2). Each knob cluster gets a struct
+//! here; defaults follow the values stated or implied by the paper.
+
+use crate::error::{BriskError, Result};
+use std::time::Duration;
+
+/// External sensor (EXS) knobs: batching and latency control (§3.4, Fig. 1
+/// "batching, latency control").
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExsConfig {
+    /// Capacity of the sensor→EXS ring buffer in bytes.
+    pub ring_capacity: usize,
+    /// Flush a batch to the ISM once it holds this many records.
+    pub max_batch_records: usize,
+    /// Flush a batch once its encoded size reaches this many bytes.
+    pub max_batch_bytes: usize,
+    /// Flush a non-empty batch after this long even if it is not full —
+    /// the *latency control* knob. The paper's worst-case latency lower
+    /// bound "was found to depend on waiting select system calls, which can
+    /// delay an event record for up to 40 ms"; this plays the role of that
+    /// select timeout.
+    pub flush_timeout: Duration,
+    /// How long the EXS sleeps when the ring buffer is empty. The EXS "may
+    /// be assigned a lower priority" (§3.1); a larger idle sleep keeps its
+    /// CPU utilization negligible at low event rates.
+    pub idle_sleep: Duration,
+}
+
+impl Default for ExsConfig {
+    fn default() -> Self {
+        ExsConfig {
+            ring_capacity: 1 << 20,
+            max_batch_records: 256,
+            max_batch_bytes: 60 * 1024,
+            flush_timeout: Duration::from_millis(40),
+            idle_sleep: Duration::from_micros(200),
+        }
+    }
+}
+
+impl ExsConfig {
+    /// Validate knob values.
+    pub fn validate(&self) -> Result<()> {
+        if self.ring_capacity < 1024 {
+            return Err(BriskError::Config(
+                "ring_capacity must be at least 1 KiB".into(),
+            ));
+        }
+        if self.max_batch_records == 0 {
+            return Err(BriskError::Config("max_batch_records must be > 0".into()));
+        }
+        if self.max_batch_bytes < 64 {
+            return Err(BriskError::Config(
+                "max_batch_bytes must be at least 64".into(),
+            ));
+        }
+        if self.flush_timeout.is_zero() {
+            return Err(BriskError::Config("flush_timeout must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Clock-synchronization knobs (§3.3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyncConfig {
+    /// Period between synchronization rounds. The paper's evaluation used a
+    /// "5 s polling period".
+    pub poll_period: Duration,
+    /// How many times the master queries each slave per round, "to average
+    /// the results".
+    pub samples_per_slave: usize,
+    /// The "small threshold" on the average relative skew below which the
+    /// correction is damped (microseconds).
+    pub skew_threshold_us: i64,
+    /// The damping factor applied below the threshold — "a fixed portion of
+    /// the relative skew (0.7 in the current implementation)".
+    pub damping: f64,
+    /// Use the unmodified Cristian algorithm (slaves are driven toward the
+    /// *master* clock, full correction always) instead of BRISK's
+    /// most-ahead-slave variant. Ablation knob for experiment A1.
+    pub original_cristian: bool,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        SyncConfig {
+            poll_period: Duration::from_secs(5),
+            samples_per_slave: 4,
+            skew_threshold_us: 50,
+            damping: 0.7,
+            original_cristian: false,
+        }
+    }
+}
+
+impl SyncConfig {
+    /// Validate knob values.
+    pub fn validate(&self) -> Result<()> {
+        if self.poll_period.is_zero() {
+            return Err(BriskError::Config("poll_period must be > 0".into()));
+        }
+        if self.samples_per_slave == 0 {
+            return Err(BriskError::Config("samples_per_slave must be > 0".into()));
+        }
+        if !(0.0..=1.0).contains(&self.damping) {
+            return Err(BriskError::Config(
+                "damping must be within [0, 1]".into(),
+            ));
+        }
+        if self.skew_threshold_us < 0 {
+            return Err(BriskError::Config(
+                "skew_threshold_us must be non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// On-line sorting knobs (§3.6).
+///
+/// The sorter "delays each instrumentation data record for `T` time units
+/// after its creation", grows `T` when an inversion is detected and then
+/// "exponentially decreases the time frame". The evaluation varied four
+/// parameters; these knobs are that parameter space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SorterConfig {
+    /// Initial time frame `T` in microseconds.
+    pub initial_frame_us: i64,
+    /// Lower bound for `T` as it decays.
+    pub min_frame_us: i64,
+    /// Upper bound for `T` as it grows.
+    pub max_frame_us: i64,
+    /// Growth policy on an observed inversion.
+    pub growth: FrameGrowth,
+    /// Per-decay-step multiplier in (0, 1]; 1.0 disables decay. A *small*
+    /// exponent constant (multiplier close to 1, i.e. "a large T's
+    /// half-life") is the paper's recommendation for non-latency-critical
+    /// applications.
+    pub decay_factor: f64,
+    /// How often the exponential decay step is applied.
+    pub decay_interval: Duration,
+}
+
+/// How the time frame grows when two successive records from different
+/// external sensors are extracted out of order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FrameGrowth {
+    /// Set `T` to the observed lateness of the late record (the paper's
+    /// recommended strategy for latency-critical applications: "setting the
+    /// time frame T to be as large as the latest late event's lateness").
+    ToObservedLateness,
+    /// Multiply `T` by this factor.
+    Multiplicative(f64),
+    /// Add this many microseconds.
+    Additive(i64),
+}
+
+impl Default for SorterConfig {
+    fn default() -> Self {
+        SorterConfig {
+            initial_frame_us: 2_000,
+            min_frame_us: 100,
+            max_frame_us: 2_000_000,
+            growth: FrameGrowth::ToObservedLateness,
+            decay_factor: 0.95,
+            decay_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+impl SorterConfig {
+    /// Validate knob values.
+    pub fn validate(&self) -> Result<()> {
+        if self.initial_frame_us < 0 || self.min_frame_us < 0 {
+            return Err(BriskError::Config("frames must be non-negative".into()));
+        }
+        if self.min_frame_us > self.max_frame_us {
+            return Err(BriskError::Config(
+                "min_frame_us must not exceed max_frame_us".into(),
+            ));
+        }
+        if !(self.min_frame_us..=self.max_frame_us).contains(&self.initial_frame_us) {
+            return Err(BriskError::Config(
+                "initial_frame_us must lie within [min, max]".into(),
+            ));
+        }
+        if !(0.0 < self.decay_factor && self.decay_factor <= 1.0) {
+            return Err(BriskError::Config(
+                "decay_factor must be in (0, 1]".into(),
+            ));
+        }
+        match self.growth {
+            FrameGrowth::Multiplicative(f) if f < 1.0 => Err(BriskError::Config(
+                "multiplicative growth factor must be >= 1".into(),
+            )),
+            FrameGrowth::Additive(a) if a < 0 => Err(BriskError::Config(
+                "additive growth must be non-negative".into(),
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Causally-related-event (CRE) handling knobs (§3.6).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CreConfig {
+    /// "A causally-marked event of either type is kept in memory no longer
+    /// than a specified timeout, because its peer may have been dropped."
+    pub hold_timeout: Duration,
+    /// When a consequence's timestamp must be overridden, place it this many
+    /// microseconds after its reason.
+    pub tachyon_bump_us: i64,
+    /// Trigger "an extra round of the clock synchronization algorithm
+    /// immediately" when a tachyon is repaired.
+    pub extra_sync_on_tachyon: bool,
+}
+
+impl Default for CreConfig {
+    fn default() -> Self {
+        CreConfig {
+            hold_timeout: Duration::from_secs(2),
+            tachyon_bump_us: 1,
+            extra_sync_on_tachyon: true,
+        }
+    }
+}
+
+impl CreConfig {
+    /// Validate knob values.
+    pub fn validate(&self) -> Result<()> {
+        if self.hold_timeout.is_zero() {
+            return Err(BriskError::Config("hold_timeout must be > 0".into()));
+        }
+        if self.tachyon_bump_us <= 0 {
+            return Err(BriskError::Config("tachyon_bump_us must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// ISM knobs: the sorter and CRE configs plus resource bounds.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct IsmConfig {
+    /// On-line sorter knobs.
+    pub sorter: SorterConfig,
+    /// CRE matcher knobs.
+    pub cre: CreConfig,
+    /// Drop events older than the frame when memory pressure exceeds this
+    /// many buffered records (Fig. 1 "event dropping"). `0` disables the
+    /// bound.
+    pub max_buffered_records: usize,
+}
+
+impl IsmConfig {
+    /// Validate all nested knob values.
+    pub fn validate(&self) -> Result<()> {
+        self.sorter.validate()?;
+        self.cre.validate()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // single-knob mutation is the point of these tests
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        ExsConfig::default().validate().unwrap();
+        SyncConfig::default().validate().unwrap();
+        SorterConfig::default().validate().unwrap();
+        CreConfig::default().validate().unwrap();
+        IsmConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn default_values_match_paper() {
+        let sync = SyncConfig::default();
+        assert_eq!(sync.poll_period, Duration::from_secs(5));
+        assert!((sync.damping - 0.7).abs() < f64::EPSILON);
+        let exs = ExsConfig::default();
+        assert_eq!(exs.flush_timeout, Duration::from_millis(40));
+    }
+
+    #[test]
+    fn exs_validation_catches_bad_knobs() {
+        let mut c = ExsConfig::default();
+        c.ring_capacity = 10;
+        assert!(c.validate().is_err());
+        let mut c = ExsConfig::default();
+        c.max_batch_records = 0;
+        assert!(c.validate().is_err());
+        let mut c = ExsConfig::default();
+        c.flush_timeout = Duration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = ExsConfig::default();
+        c.max_batch_bytes = 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sync_validation() {
+        let mut c = SyncConfig::default();
+        c.damping = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = SyncConfig::default();
+        c.samples_per_slave = 0;
+        assert!(c.validate().is_err());
+        let mut c = SyncConfig::default();
+        c.skew_threshold_us = -1;
+        assert!(c.validate().is_err());
+        let mut c = SyncConfig::default();
+        c.poll_period = Duration::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sorter_validation() {
+        let mut c = SorterConfig::default();
+        c.min_frame_us = 10;
+        c.max_frame_us = 5;
+        assert!(c.validate().is_err());
+        let mut c = SorterConfig::default();
+        c.initial_frame_us = c.max_frame_us + 1;
+        assert!(c.validate().is_err());
+        let mut c = SorterConfig::default();
+        c.decay_factor = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = SorterConfig::default();
+        c.decay_factor = 1.0;
+        assert!(c.validate().is_ok(), "1.0 disables decay and is legal");
+        let mut c = SorterConfig::default();
+        c.growth = FrameGrowth::Multiplicative(0.5);
+        assert!(c.validate().is_err());
+        let mut c = SorterConfig::default();
+        c.growth = FrameGrowth::Additive(-1);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cre_validation() {
+        let mut c = CreConfig::default();
+        c.hold_timeout = Duration::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = CreConfig::default();
+        c.tachyon_bump_us = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ism_validation_is_recursive() {
+        let mut c = IsmConfig::default();
+        c.sorter.decay_factor = 2.0;
+        assert!(c.validate().is_err());
+        let mut c = IsmConfig::default();
+        c.cre.tachyon_bump_us = -3;
+        assert!(c.validate().is_err());
+    }
+}

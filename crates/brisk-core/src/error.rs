@@ -1,0 +1,128 @@
+//! The shared error type for all BRISK crates.
+
+use std::fmt;
+use std::io;
+
+/// Result alias using [`BriskError`].
+pub type Result<T> = std::result::Result<T, BriskError>;
+
+/// Errors surfaced by BRISK components.
+///
+/// A single error enum is used across the kernel so that the LIS, ISM and
+/// transfer protocol can propagate failures through trait objects without
+/// generic error plumbing — the kernel is meant to stay "compact, with a
+/// comprehensible source code" (§2).
+#[derive(Debug)]
+pub enum BriskError {
+    /// Encoding or decoding of a wire/native representation failed.
+    Codec(String),
+    /// The record or descriptor violates a structural constraint (e.g. more
+    /// fields than [`crate::descriptor::MAX_FIELDS`]).
+    Malformed(String),
+    /// A ring buffer was full and the record was dropped (non-blocking
+    /// sensors never stall the application).
+    RingFull,
+    /// Underlying transport failure.
+    Io(io::Error),
+    /// Protocol violation: unexpected message kind, bad magic, or a peer
+    /// speaking a different protocol version.
+    Protocol(String),
+    /// The peer disconnected in an orderly way.
+    Disconnected,
+    /// Clock-synchronization failure (e.g. no usable samples in a round).
+    Sync(String),
+    /// Invalid configuration value.
+    Config(String),
+    /// The component was asked to do something after shutdown.
+    Shutdown,
+}
+
+impl fmt::Display for BriskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BriskError::Codec(m) => write!(f, "codec error: {m}"),
+            BriskError::Malformed(m) => write!(f, "malformed record: {m}"),
+            BriskError::RingFull => write!(f, "ring buffer full"),
+            BriskError::Io(e) => write!(f, "io error: {e}"),
+            BriskError::Protocol(m) => write!(f, "protocol error: {m}"),
+            BriskError::Disconnected => write!(f, "peer disconnected"),
+            BriskError::Sync(m) => write!(f, "clock sync error: {m}"),
+            BriskError::Config(m) => write!(f, "configuration error: {m}"),
+            BriskError::Shutdown => write!(f, "component is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for BriskError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BriskError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for BriskError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            BriskError::Disconnected
+        } else {
+            BriskError::Io(e)
+        }
+    }
+}
+
+impl BriskError {
+    /// True if the error indicates the peer went away (orderly or not),
+    /// as opposed to a local/logic failure.
+    pub fn is_disconnect(&self) -> bool {
+        match self {
+            BriskError::Disconnected => true,
+            BriskError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::UnexpectedEof
+            ),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(BriskError::RingFull.to_string(), "ring buffer full");
+        assert!(BriskError::Codec("x".into()).to_string().contains("x"));
+        assert!(BriskError::Protocol("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+    }
+
+    #[test]
+    fn io_eof_becomes_disconnected() {
+        let e: BriskError = io::Error::new(io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(e, BriskError::Disconnected));
+        assert!(e.is_disconnect());
+    }
+
+    #[test]
+    fn io_reset_is_disconnect() {
+        let e: BriskError = io::Error::new(io::ErrorKind::ConnectionReset, "rst").into();
+        assert!(e.is_disconnect());
+        let e: BriskError = io::Error::new(io::ErrorKind::PermissionDenied, "no").into();
+        assert!(!e.is_disconnect());
+    }
+
+    #[test]
+    fn source_chains_io() {
+        use std::error::Error;
+        let e: BriskError = io::Error::other("inner").into();
+        assert!(e.source().is_some());
+        assert!(BriskError::Shutdown.source().is_none());
+    }
+}

@@ -1,0 +1,98 @@
+//! Identifier newtypes used throughout BRISK.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw identifier value.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies one node of the target system (one LIS / external sensor).
+    /// The ISM keys its per-sensor queues and the clock-sync slave table by
+    /// this id.
+    NodeId,
+    u32
+);
+
+id_newtype!(
+    /// Identifies one internal sensor (one instrumented thread or process)
+    /// within a node.
+    SensorId,
+    u32
+);
+
+id_newtype!(
+    /// Application-defined event type, analogous to the event number passed
+    /// to the paper's `NOTICE` macros and recorded in PICL traces.
+    EventTypeId,
+    u32
+);
+
+id_newtype!(
+    /// The `u_long` identifier the user supplies in `X_REASON` / `X_CONSEQ`
+    /// fields, "determining which consequence events must follow respective
+    /// reason events" (§3.2).
+    CorrelationId,
+    u64
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn round_trip_raw() {
+        assert_eq!(NodeId::from(7).raw(), 7);
+        assert_eq!(SensorId(3).raw(), 3);
+        assert_eq!(EventTypeId(9).raw(), 9);
+        assert_eq!(CorrelationId(u64::MAX).raw(), u64::MAX);
+    }
+
+    #[test]
+    fn hashable_and_ordered() {
+        let mut s = HashSet::new();
+        s.insert(NodeId(1));
+        s.insert(NodeId(1));
+        s.insert(NodeId(2));
+        assert_eq!(s.len(), 2);
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(NodeId(5).to_string(), "5");
+        assert_eq!(format!("{:?}", CorrelationId(8)), "CorrelationId(8)");
+    }
+}

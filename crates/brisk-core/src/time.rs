@@ -1,0 +1,221 @@
+//! Microsecond-resolution UTC timestamps.
+//!
+//! The paper embeds "an eight-byte `longlong_t`, representing the number of
+//! microseconds of Universal Coordinated Time (UTC)" into event records
+//! (§3.2). [`UtcMicros`] is that value as a signed 64-bit integer so that
+//! clock *corrections* (which may be negative intermediate quantities) can
+//! be expressed with plain arithmetic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// A point in time: microseconds since the Unix epoch, UTC.
+///
+/// The inner representation is public knowledge for the wire formats (XDR
+/// `hyper`, native `i64` little-endian) but should be accessed through
+/// [`UtcMicros::as_micros`] in application code.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct UtcMicros(i64);
+
+impl UtcMicros {
+    /// The zero timestamp (the Unix epoch itself).
+    pub const ZERO: UtcMicros = UtcMicros(0);
+
+    /// Largest representable timestamp; used as a sentinel by the on-line
+    /// sorter's heap.
+    pub const MAX: UtcMicros = UtcMicros(i64::MAX);
+
+    /// Construct from a raw microsecond count.
+    #[inline]
+    pub const fn from_micros(us: i64) -> Self {
+        UtcMicros(us)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: i64) -> Self {
+        UtcMicros(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: i64) -> Self {
+        UtcMicros(s * 1_000_000)
+    }
+
+    /// The raw microsecond count.
+    #[inline]
+    pub const fn as_micros(self) -> i64 {
+        self.0
+    }
+
+    /// Timestamp as floating-point seconds since the epoch. The ISM's PICL
+    /// output mode can emit timestamps "as the (floating-point) number of
+    /// seconds since the ISM was run" (§3.5); this is the primitive for it.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Read the real system clock, like the `gettimeofday` call inside the
+    /// paper's `NOTICE` macro.
+    pub fn now() -> Self {
+        let since = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or(Duration::ZERO);
+        UtcMicros(since.as_micros() as i64)
+    }
+
+    /// Signed difference `self - other` in microseconds.
+    #[inline]
+    pub fn micros_since(self, other: UtcMicros) -> i64 {
+        self.0 - other.0
+    }
+
+    /// Saturating addition of a signed microsecond offset (a clock
+    /// *correction value* in the paper's terms).
+    #[inline]
+    pub fn offset(self, delta_us: i64) -> Self {
+        UtcMicros(self.0.saturating_add(delta_us))
+    }
+
+    /// Convert to a `Duration` since the epoch. Negative timestamps clamp
+    /// to zero (they only arise from artificial test inputs).
+    pub fn to_duration(self) -> Duration {
+        if self.0 <= 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(self.0 as u64)
+        }
+    }
+}
+
+impl fmt::Debug for UtcMicros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UtcMicros({}us)", self.0)
+    }
+}
+
+impl fmt::Display for UtcMicros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.0.div_euclid(1_000_000);
+        let us = self.0.rem_euclid(1_000_000);
+        write!(f, "{secs}.{us:06}")
+    }
+}
+
+impl Add<Duration> for UtcMicros {
+    type Output = UtcMicros;
+    #[inline]
+    fn add(self, rhs: Duration) -> UtcMicros {
+        UtcMicros(self.0.saturating_add(rhs.as_micros() as i64))
+    }
+}
+
+impl AddAssign<Duration> for UtcMicros {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for UtcMicros {
+    type Output = UtcMicros;
+    #[inline]
+    fn sub(self, rhs: Duration) -> UtcMicros {
+        UtcMicros(self.0.saturating_sub(rhs.as_micros() as i64))
+    }
+}
+
+impl SubAssign<Duration> for UtcMicros {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sub<UtcMicros> for UtcMicros {
+    type Output = i64;
+    /// Difference in microseconds (signed).
+    #[inline]
+    fn sub(self, rhs: UtcMicros) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(UtcMicros::from_secs(2), UtcMicros::from_millis(2_000));
+        assert_eq!(UtcMicros::from_millis(3), UtcMicros::from_micros(3_000));
+        assert_eq!(UtcMicros::from_secs(1).as_micros(), 1_000_000);
+    }
+
+    #[test]
+    fn ordering_follows_micros() {
+        let a = UtcMicros::from_micros(10);
+        let b = UtcMicros::from_micros(11);
+        assert!(a < b);
+        assert_eq!(b.micros_since(a), 1);
+        assert_eq!(a.micros_since(b), -1);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let t = UtcMicros::from_secs(5);
+        assert_eq!(t + Duration::from_micros(7), UtcMicros::from_micros(5_000_007));
+        assert_eq!(t - Duration::from_secs(1), UtcMicros::from_secs(4));
+        let mut u = t;
+        u += Duration::from_millis(1);
+        u -= Duration::from_millis(1);
+        assert_eq!(u, t);
+    }
+
+    #[test]
+    fn signed_offset() {
+        let t = UtcMicros::from_micros(100);
+        assert_eq!(t.offset(-40).as_micros(), 60);
+        assert_eq!(t.offset(40).as_micros(), 140);
+    }
+
+    #[test]
+    fn display_zero_pads_fraction() {
+        assert_eq!(UtcMicros::from_micros(1_000_001).to_string(), "1.000001");
+        assert_eq!(UtcMicros::from_micros(42).to_string(), "0.000042");
+    }
+
+    #[test]
+    fn now_is_recent_and_monotonic_enough() {
+        let a = UtcMicros::now();
+        let b = UtcMicros::now();
+        // 2020-01-01 in micros; a sanity lower bound for a working clock.
+        assert!(a.as_micros() > 1_577_836_800_000_000);
+        assert!(b >= a || a.micros_since(b) < 1_000); // tolerate tiny step-backs
+    }
+
+    #[test]
+    fn secs_f64_round_trip() {
+        let t = UtcMicros::from_micros(1_500_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_bounds() {
+        assert_eq!(UtcMicros::MAX + Duration::from_secs(1), UtcMicros::MAX);
+        let min = UtcMicros::from_micros(i64::MIN);
+        assert_eq!(min - Duration::from_secs(1), min);
+    }
+
+    #[test]
+    fn to_duration_clamps_negative() {
+        assert_eq!(UtcMicros::from_micros(-5).to_duration(), Duration::ZERO);
+        assert_eq!(
+            UtcMicros::from_micros(250).to_duration(),
+            Duration::from_micros(250)
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for brisk-core encodings and invariants.
+
+use brisk_core::binenc;
+use brisk_core::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary `Value` of any type.
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i8>().prop_map(Value::I8),
+        any::<u8>().prop_map(Value::U8),
+        any::<i16>().prop_map(Value::I16),
+        any::<u16>().prop_map(Value::U16),
+        any::<i32>().prop_map(Value::I32),
+        any::<u32>().prop_map(Value::U32),
+        any::<i64>().prop_map(Value::I64),
+        any::<u64>().prop_map(Value::U64),
+        any::<f32>().prop_map(Value::F32),
+        any::<f64>().prop_map(Value::F64),
+        any::<bool>().prop_map(Value::Bool),
+        ".{0,40}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+        any::<i64>().prop_map(|us| Value::Ts(UtcMicros::from_micros(us))),
+        any::<u64>().prop_map(|id| Value::Reason(CorrelationId(id))),
+        any::<u64>().prop_map(|id| Value::Conseq(CorrelationId(id))),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = EventRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<i64>(),
+        proptest::collection::vec(arb_value(), 0..=8),
+    )
+        .prop_map(|(node, sensor, ety, seq, ts, fields)| {
+            EventRecord::new(
+                NodeId(node),
+                SensorId(sensor),
+                EventTypeId(ety),
+                seq,
+                UtcMicros::from_micros(ts),
+                fields,
+            )
+            .expect("<=8 fields by construction")
+        })
+}
+
+/// NaN-tolerant record equality: `Value::F32(NaN) != Value::F32(NaN)` under
+/// `PartialEq`, but the codec must still preserve the bit pattern.
+fn bitwise_eq(a: &EventRecord, b: &EventRecord) -> bool {
+    if (a.node, a.sensor, a.event_type, a.seq, a.ts) != (b.node, b.sensor, b.event_type, b.seq, b.ts)
+    {
+        return false;
+    }
+    if a.fields.len() != b.fields.len() {
+        return false;
+    }
+    a.fields.iter().zip(&b.fields).all(|(x, y)| match (x, y) {
+        (Value::F32(p), Value::F32(q)) => p.to_bits() == q.to_bits(),
+        (Value::F64(p), Value::F64(q)) => p.to_bits() == q.to_bits(),
+        _ => x == y,
+    })
+}
+
+proptest! {
+    #[test]
+    fn binenc_round_trips(rec in arb_record()) {
+        let mut buf = Vec::new();
+        let n = binenc::encode_record(&rec, &mut buf);
+        prop_assert_eq!(n, buf.len());
+        prop_assert_eq!(n, binenc::record_size(&rec));
+        let (back, used) = binenc::decode_record(&buf).unwrap();
+        prop_assert_eq!(used, n);
+        prop_assert!(bitwise_eq(&back, &rec));
+    }
+
+    #[test]
+    fn binenc_rejects_any_truncation(rec in arb_record()) {
+        let mut buf = Vec::new();
+        binenc::encode_record(&rec, &mut buf);
+        // Cut at a few representative points instead of all (keeps the
+        // test fast for long records).
+        for cut in [0, 1, buf.len() / 2, buf.len().saturating_sub(1)] {
+            if cut < buf.len() {
+                prop_assert!(binenc::decode_record(&buf[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn descriptor_pack_unpack(rec in arb_record()) {
+        let d = rec.descriptor();
+        let packed = d.pack();
+        let (back, used) = RecordDescriptor::unpack(&packed).unwrap();
+        prop_assert_eq!(&back, &d);
+        prop_assert_eq!(used, packed.len());
+        prop_assert_eq!(packed.len(), d.packed_size());
+    }
+
+    #[test]
+    fn correction_is_invertible(rec in arb_record(), delta in -1_000_000i64..1_000_000) {
+        // Keep timestamps away from the saturation boundaary so the shift
+        // is exactly invertible.
+        prop_assume!(rec.ts.as_micros().checked_add(delta).is_some());
+        prop_assume!(rec.fields.iter().all(|f| match f {
+            Value::Ts(t) => t.as_micros().checked_add(delta).is_some()
+                && t.as_micros().checked_add(delta).unwrap().checked_sub(delta).is_some(),
+            _ => true,
+        }));
+        let mut shifted = rec.clone();
+        shifted.apply_correction(delta);
+        shifted.apply_correction(-delta);
+        prop_assert!(bitwise_eq(&shifted, &rec));
+    }
+
+    #[test]
+    fn sort_key_total_order_consistent(a in arb_record(), b in arb_record()) {
+        // sort_key comparison must agree with timestamp ordering whenever
+        // timestamps differ.
+        if a.ts < b.ts {
+            prop_assert!(a.sort_key() < b.sort_key());
+        } else if a.ts > b.ts {
+            prop_assert!(a.sort_key() > b.sort_key());
+        }
+    }
+
+    #[test]
+    fn concatenated_records_decode_all(recs in proptest::collection::vec(arb_record(), 0..20)) {
+        let mut buf = Vec::new();
+        for r in &recs {
+            binenc::encode_record(r, &mut buf);
+        }
+        let back = binenc::decode_all(&buf).unwrap();
+        prop_assert_eq!(back.len(), recs.len());
+        for (x, y) in back.iter().zip(&recs) {
+            prop_assert!(bitwise_eq(x, y));
+        }
+    }
+}

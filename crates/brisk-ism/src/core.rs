@@ -1,0 +1,280 @@
+//! The transport-free ISM composition: CRE switch → on-line sorter →
+//! output stage (Fig. 1).
+//!
+//! [`IsmCore`] is deliberately free of threads, sockets and wall clocks:
+//! the caller feeds it batches and drives `tick` with the current
+//! (synchronized) time. The threaded [`crate::server::IsmServer`] drives it
+//! in real deployments; the deterministic simulator in `brisk-sim` drives
+//! it in experiments E5–E7.
+
+use crate::cre::{CreMatcher, CreStats};
+use crate::output::{EventSink, MemoryBuffer};
+use crate::sorter::{OnlineSorter, SorterStats};
+use brisk_core::{EventRecord, IsmConfig, Result, UtcMicros};
+use std::sync::Arc;
+
+/// Aggregate counters of one core.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IsmCoreStats {
+    /// Records received in batches.
+    pub records_in: u64,
+    /// Records delivered to the output stage.
+    pub records_out: u64,
+    /// Batches received.
+    pub batches_in: u64,
+}
+
+/// Default capacity of the output memory buffer (bytes).
+pub const DEFAULT_MEMORY_BYTES: usize = 8 << 20;
+
+/// The ISM pipeline core.
+pub struct IsmCore {
+    cre: CreMatcher,
+    sorter: OnlineSorter,
+    memory: Arc<MemoryBuffer>,
+    sinks: Vec<Box<dyn EventSink>>,
+    stats: IsmCoreStats,
+    extra_sync_pending: bool,
+}
+
+impl IsmCore {
+    /// New core with the default-sized memory buffer.
+    pub fn new(cfg: IsmConfig) -> Result<Self> {
+        Self::with_memory(cfg, DEFAULT_MEMORY_BYTES)
+    }
+
+    /// New core with an explicit memory-buffer capacity.
+    pub fn with_memory(cfg: IsmConfig, memory_bytes: usize) -> Result<Self> {
+        cfg.validate()?;
+        Ok(IsmCore {
+            cre: CreMatcher::new(cfg.cre.clone())?,
+            sorter: OnlineSorter::new(cfg.sorter.clone(), cfg.max_buffered_records)?,
+            memory: MemoryBuffer::new(memory_bytes),
+            sinks: Vec::new(),
+            stats: IsmCoreStats::default(),
+            extra_sync_pending: false,
+        })
+    }
+
+    /// The default output: the shared memory buffer consumers read.
+    pub fn memory(&self) -> &Arc<MemoryBuffer> {
+        &self.memory
+    }
+
+    /// Attach an additional output sink (PICL file, visual object, …).
+    pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> IsmCoreStats {
+        self.stats
+    }
+
+    /// Sorter counters (time frame, inversions, …).
+    pub fn sorter_stats(&self) -> SorterStats {
+        self.sorter.stats()
+    }
+
+    /// Current adaptive time frame `T` (µs).
+    pub fn frame_us(&self) -> i64 {
+        self.sorter.frame_us()
+    }
+
+    /// CRE counters (tachyons repaired, held, …).
+    pub fn cre_stats(&self) -> CreStats {
+        self.cre.stats()
+    }
+
+    /// Accept one batch of records (already correction-adjusted by the
+    /// EXS). `now` is the ISM's current time.
+    pub fn push_batch(
+        &mut self,
+        records: impl IntoIterator<Item = EventRecord>,
+        now: UtcMicros,
+    ) -> Result<()> {
+        self.stats.batches_in += 1;
+        for rec in records {
+            self.stats.records_in += 1;
+            let out = self.cre.process(rec, now);
+            if out.request_extra_sync {
+                self.extra_sync_pending = true;
+            }
+            for passed in out.pass {
+                self.sorter.push(passed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance the pipeline: expire held CRE records, release everything
+    /// whose delay elapsed, and deliver it to the outputs. Returns the
+    /// number of records delivered.
+    pub fn tick(&mut self, now: UtcMicros) -> Result<usize> {
+        for expired in self.cre.expire(now) {
+            self.sorter.push(expired);
+        }
+        let released = self.sorter.poll(now);
+        self.deliver(released)
+    }
+
+    /// True exactly once after a tachyon repair requested an extra clock
+    /// synchronization round (§3.6); the caller (server or simulator)
+    /// translates this into an immediate round.
+    pub fn take_extra_sync_request(&mut self) -> bool {
+        std::mem::take(&mut self.extra_sync_pending)
+    }
+
+    /// Shutdown path: flush every held and delayed record to the outputs
+    /// in merged order, then flush the sinks.
+    pub fn drain_all(&mut self) -> Result<usize> {
+        for expired in self.cre.expire(UtcMicros::MAX) {
+            self.sorter.push(expired);
+        }
+        let released = self.sorter.drain_all();
+        let n = self.deliver(released)?;
+        for sink in &mut self.sinks {
+            sink.flush()?;
+        }
+        Ok(n)
+    }
+
+    fn deliver(&mut self, records: Vec<EventRecord>) -> Result<usize> {
+        let n = records.len();
+        for rec in records {
+            self.memory.write(&rec);
+            for sink in &mut self.sinks {
+                sink.on_record(&rec)?;
+            }
+            self.stats.records_out += 1;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::VecSink;
+    use brisk_core::{
+        CorrelationId, EventTypeId, NodeId, SensorId, SorterConfig, Value,
+    };
+
+    fn rec(node: u32, seq: u64, ts: i64, fields: Vec<Value>) -> EventRecord {
+        EventRecord::new(
+            NodeId(node),
+            SensorId(0),
+            EventTypeId(1),
+            seq,
+            UtcMicros::from_micros(ts),
+            fields,
+        )
+        .unwrap()
+    }
+
+    fn core_with_frame(frame_us: i64) -> IsmCore {
+        let cfg = IsmConfig {
+            sorter: SorterConfig {
+                initial_frame_us: frame_us,
+                min_frame_us: 0,
+                ..SorterConfig::default()
+            },
+            ..IsmConfig::default()
+        };
+        IsmCore::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_sorted_delivery() {
+        let mut core = core_with_frame(100);
+        let sink = VecSink::new();
+        core.add_sink(Box::new(sink.clone()));
+        core.push_batch(
+            vec![rec(0, 0, 300, vec![]), rec(0, 1, 500, vec![])],
+            UtcMicros::from_micros(500),
+        )
+        .unwrap();
+        core.push_batch(vec![rec(1, 0, 400, vec![])], UtcMicros::from_micros(500))
+            .unwrap();
+        let n = core.tick(UtcMicros::from_micros(1_000)).unwrap();
+        assert_eq!(n, 3);
+        let ts: Vec<i64> = sink.snapshot().iter().map(|r| r.ts.as_micros()).collect();
+        assert_eq!(ts, vec![300, 400, 500]);
+        assert_eq!(core.stats().records_in, 3);
+        assert_eq!(core.stats().records_out, 3);
+        assert_eq!(core.stats().batches_in, 2);
+    }
+
+    #[test]
+    fn memory_buffer_receives_everything() {
+        let mut core = core_with_frame(0);
+        let mut reader = core.memory().reader();
+        core.push_batch(
+            (0..20).map(|i| rec(0, i, i as i64, vec![Value::U64(i)])),
+            UtcMicros::ZERO,
+        )
+        .unwrap();
+        core.tick(UtcMicros::from_micros(100)).unwrap();
+        let (got, missed) = reader.poll().unwrap();
+        assert_eq!(missed, 0);
+        assert_eq!(got.len(), 20);
+    }
+
+    #[test]
+    fn tachyon_repair_flows_through_and_requests_sync() {
+        let mut core = core_with_frame(0);
+        let sink = VecSink::new();
+        core.add_sink(Box::new(sink.clone()));
+        let reason = rec(0, 0, 1_000, vec![Value::Reason(CorrelationId(5))]);
+        let conseq = rec(1, 0, 900, vec![Value::Conseq(CorrelationId(5))]);
+        core.push_batch(vec![reason], UtcMicros::from_micros(1_000))
+            .unwrap();
+        core.push_batch(vec![conseq], UtcMicros::from_micros(1_000))
+            .unwrap();
+        assert!(core.take_extra_sync_request());
+        assert!(!core.take_extra_sync_request(), "request is one-shot");
+        core.tick(UtcMicros::from_micros(10_000)).unwrap();
+        let got = sink.snapshot();
+        assert_eq!(got.len(), 2);
+        assert!(got[0].ts < got[1].ts, "causality restored in output order");
+        assert_eq!(core.cre_stats().tachyons_repaired, 1);
+    }
+
+    #[test]
+    fn held_conseq_expires_through_tick() {
+        let mut core = core_with_frame(0);
+        let conseq = rec(1, 0, 900, vec![Value::Conseq(CorrelationId(9))]);
+        core.push_batch(vec![conseq], UtcMicros::ZERO).unwrap();
+        // Before the hold timeout: nothing comes out.
+        assert_eq!(core.tick(UtcMicros::from_millis(100)).unwrap(), 0);
+        // After (default hold timeout 2 s): the orphan is released.
+        let n = core.tick(UtcMicros::from_secs(3)).unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn drain_all_flushes_held_and_delayed() {
+        let mut core = core_with_frame(1_000_000);
+        let sink = VecSink::new();
+        core.add_sink(Box::new(sink.clone()));
+        core.push_batch(
+            vec![
+                rec(0, 0, 100, vec![]),
+                rec(1, 0, 50, vec![Value::Conseq(CorrelationId(1))]),
+            ],
+            UtcMicros::from_micros(100),
+        )
+        .unwrap();
+        assert_eq!(core.tick(UtcMicros::from_micros(200)).unwrap(), 0);
+        let n = core.drain_all().unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = IsmConfig::default();
+        cfg.sorter.decay_factor = 7.0;
+        assert!(IsmCore::new(cfg).is_err());
+    }
+}

@@ -1,0 +1,440 @@
+//! Causally-related event (CRE) handling (§3.2, §3.6).
+//!
+//! Users mark causally-related events with `X_REASON` / `X_CONSEQ` fields
+//! carrying the same identifier: "determining which consequence events must
+//! follow respective reason events". If clock synchronization fails to
+//! prevent *tachyons* — "a consequence event that appears to happen before
+//! its reason event" — the ISM post-processes them:
+//!
+//! * reasons are remembered in a hash table keyed by correlation id;
+//! * a consequence whose reason is known and whose timestamp is not after
+//!   the reason's gets its timestamp **overridden** to just after the
+//!   reason ("the time-stamps must reflect the causality") and an **extra
+//!   synchronization round** is requested;
+//! * a consequence arriving before its reason is **held** until the reason
+//!   shows up ("it is kept in memory until the corresponding reason event
+//!   record is processed");
+//! * "a causally-marked event of either type is kept in memory no longer
+//!   than a specified timeout, because its peer may have been dropped."
+
+use brisk_core::{CorrelationId, CreConfig, EventRecord, Result, UtcMicros};
+use std::collections::HashMap;
+
+/// Counters describing CRE behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CreStats {
+    /// Records that passed through unmarked.
+    pub unmarked: u64,
+    /// Reason records processed.
+    pub reasons: u64,
+    /// Consequence records processed.
+    pub conseqs: u64,
+    /// Tachyons repaired by timestamp override.
+    pub tachyons_repaired: u64,
+    /// Consequences held waiting for their reason.
+    pub held: u64,
+    /// Held consequences released because the timeout expired.
+    pub expired: u64,
+    /// Extra synchronization rounds requested.
+    pub extra_syncs_requested: u64,
+}
+
+/// What the matcher did with one input record.
+#[derive(Debug, PartialEq)]
+pub struct CreOutput {
+    /// Records ready to continue down the pipeline (the input and possibly
+    /// previously-held consequences it unblocked), in the order they should
+    /// be pushed to the sorter.
+    pub pass: Vec<EventRecord>,
+    /// True if a tachyon was repaired and an extra sync round should run
+    /// (§3.6; honoured when [`CreConfig::extra_sync_on_tachyon`] is set).
+    pub request_extra_sync: bool,
+}
+
+struct ReasonEntry {
+    ts: UtcMicros,
+    seen_at: UtcMicros,
+}
+
+struct HeldConseq {
+    rec: EventRecord,
+    held_at: UtcMicros,
+}
+
+/// The CRE hash-table matcher.
+///
+/// ```
+/// use brisk_core::{CorrelationId, CreConfig, EventRecord, EventTypeId,
+///                  NodeId, SensorId, UtcMicros, Value};
+/// use brisk_ism::CreMatcher;
+///
+/// let mut cre = CreMatcher::new(CreConfig::default()).unwrap();
+/// let reason = EventRecord::new(
+///     NodeId(0), SensorId(0), EventTypeId(1), 0, UtcMicros::from_micros(100),
+///     vec![Value::Reason(CorrelationId(7))],
+/// ).unwrap();
+/// // The "effect" carries an EARLIER timestamp — a tachyon.
+/// let conseq = EventRecord::new(
+///     NodeId(1), SensorId(0), EventTypeId(2), 0, UtcMicros::from_micros(90),
+///     vec![Value::Conseq(CorrelationId(7))],
+/// ).unwrap();
+///
+/// cre.process(reason, UtcMicros::ZERO);
+/// let out = cre.process(conseq, UtcMicros::ZERO);
+/// // Repaired: the consequence now sits just after its reason, and an
+/// // extra clock-sync round is requested.
+/// assert!(out.pass[0].ts.as_micros() > 100);
+/// assert!(out.request_extra_sync);
+/// ```
+pub struct CreMatcher {
+    cfg: CreConfig,
+    reasons: HashMap<CorrelationId, ReasonEntry>,
+    waiting: HashMap<CorrelationId, Vec<HeldConseq>>,
+    stats: CreStats,
+}
+
+impl CreMatcher {
+    /// New matcher with the given knobs.
+    pub fn new(cfg: CreConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(CreMatcher {
+            cfg,
+            reasons: HashMap::new(),
+            waiting: HashMap::new(),
+            stats: CreStats::default(),
+        })
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CreStats {
+        self.stats
+    }
+
+    /// Consequences currently held.
+    pub fn held_count(&self) -> usize {
+        self.waiting.values().map(Vec::len).sum()
+    }
+
+    /// Remembered reasons.
+    pub fn reason_count(&self) -> usize {
+        self.reasons.len()
+    }
+
+    /// Process one record. `now` is the ISM's current time (used for the
+    /// hold timeout).
+    pub fn process(&mut self, mut rec: EventRecord, now: UtcMicros) -> CreOutput {
+        let mut out = CreOutput {
+            pass: Vec::with_capacity(1),
+            request_extra_sync: false,
+        };
+        // A record can be a reason, a consequence, or (rarely) both — e.g.
+        // a relay hop that is caused by one event and causes another.
+        let reason_id = rec.reason_id();
+        let conseq_id = rec.conseq_id();
+
+        if let Some(id) = conseq_id {
+            self.stats.conseqs += 1;
+            match self.reasons.get(&id) {
+                Some(entry) => {
+                    if rec.ts <= entry.ts {
+                        // Tachyon: consequence not after its reason.
+                        rec.override_ts(entry.ts.offset(self.cfg.tachyon_bump_us));
+                        self.stats.tachyons_repaired += 1;
+                        if self.cfg.extra_sync_on_tachyon {
+                            self.stats.extra_syncs_requested += 1;
+                            out.request_extra_sync = true;
+                        }
+                    }
+                }
+                None => {
+                    // Reason not seen yet: hold.
+                    self.stats.held += 1;
+                    self.waiting
+                        .entry(id)
+                        .or_default()
+                        .push(HeldConseq { rec, held_at: now });
+                    return out;
+                }
+            }
+        }
+
+        if let Some(id) = reason_id {
+            self.stats.reasons += 1;
+            let reason_ts = rec.ts;
+            self.reasons.insert(
+                id,
+                ReasonEntry {
+                    ts: reason_ts,
+                    seen_at: now,
+                },
+            );
+            // Release any consequences that were waiting for this reason.
+            if let Some(held) = self.waiting.remove(&id) {
+                // The reason itself goes first so consumers see causality.
+                out.pass.push(rec);
+                for mut h in held {
+                    if h.rec.ts <= reason_ts {
+                        h.rec
+                            .override_ts(reason_ts.offset(self.cfg.tachyon_bump_us));
+                        self.stats.tachyons_repaired += 1;
+                        if self.cfg.extra_sync_on_tachyon {
+                            self.stats.extra_syncs_requested += 1;
+                            out.request_extra_sync = true;
+                        }
+                    }
+                    out.pass.push(h.rec);
+                }
+                return out;
+            }
+        } else if conseq_id.is_none() {
+            self.stats.unmarked += 1;
+        }
+
+        out.pass.push(rec);
+        out
+    }
+
+    /// Expire held consequences and stale reasons per the hold timeout.
+    /// Returns timed-out consequences (released unmodified — "its peer may
+    /// have been dropped").
+    pub fn expire(&mut self, now: UtcMicros) -> Vec<EventRecord> {
+        let timeout_us = self.cfg.hold_timeout.as_micros() as i64;
+        let mut released = Vec::new();
+        self.waiting.retain(|_, held| {
+            held.retain_mut(|h| {
+                if now.micros_since(h.held_at) >= timeout_us {
+                    released.push(std::mem::replace(
+                        &mut h.rec,
+                        EventRecord::new(
+                            0.into(),
+                            0.into(),
+                            0.into(),
+                            0,
+                            UtcMicros::ZERO,
+                            vec![],
+                        )
+                        .expect("empty record"),
+                    ));
+                    false
+                } else {
+                    true
+                }
+            });
+            !held.is_empty()
+        });
+        self.stats.expired += released.len() as u64;
+        self.reasons
+            .retain(|_, entry| now.micros_since(entry.seen_at) < timeout_us);
+        // Held consequences are released in arrival order best-effort; sort
+        // by origin sequence for determinism.
+        released.sort_by_key(|r| r.sort_key());
+        released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_core::{EventTypeId, NodeId, SensorId, Value};
+    use std::time::Duration;
+
+    fn reason(id: u64, ts: i64) -> EventRecord {
+        EventRecord::new(
+            NodeId(0),
+            SensorId(0),
+            EventTypeId(1),
+            0,
+            UtcMicros::from_micros(ts),
+            vec![Value::Reason(CorrelationId(id))],
+        )
+        .unwrap()
+    }
+
+    fn conseq(id: u64, ts: i64) -> EventRecord {
+        EventRecord::new(
+            NodeId(1),
+            SensorId(0),
+            EventTypeId(2),
+            0,
+            UtcMicros::from_micros(ts),
+            vec![Value::Conseq(CorrelationId(id))],
+        )
+        .unwrap()
+    }
+
+    fn plain(ts: i64) -> EventRecord {
+        EventRecord::new(
+            NodeId(2),
+            SensorId(0),
+            EventTypeId(3),
+            0,
+            UtcMicros::from_micros(ts),
+            vec![Value::I32(1)],
+        )
+        .unwrap()
+    }
+
+    fn matcher() -> CreMatcher {
+        CreMatcher::new(CreConfig {
+            hold_timeout: Duration::from_millis(100),
+            tachyon_bump_us: 1,
+            extra_sync_on_tachyon: true,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn unmarked_records_pass_through() {
+        let mut m = matcher();
+        let out = m.process(plain(10), UtcMicros::ZERO);
+        assert_eq!(out.pass.len(), 1);
+        assert!(!out.request_extra_sync);
+        assert_eq!(m.stats().unmarked, 1);
+    }
+
+    #[test]
+    fn ordered_pair_passes_untouched() {
+        let mut m = matcher();
+        let now = UtcMicros::ZERO;
+        let out = m.process(reason(7, 100), now);
+        assert_eq!(out.pass.len(), 1);
+        let out = m.process(conseq(7, 150), now);
+        assert_eq!(out.pass[0].ts.as_micros(), 150);
+        assert!(!out.request_extra_sync);
+        assert_eq!(m.stats().tachyons_repaired, 0);
+    }
+
+    #[test]
+    fn tachyon_after_reason_is_bumped() {
+        let mut m = matcher();
+        let now = UtcMicros::ZERO;
+        m.process(reason(7, 100), now);
+        let out = m.process(conseq(7, 90), now);
+        assert_eq!(out.pass[0].ts.as_micros(), 101, "reason ts + bump");
+        assert!(out.request_extra_sync);
+        assert_eq!(m.stats().tachyons_repaired, 1);
+        assert_eq!(m.stats().extra_syncs_requested, 1);
+    }
+
+    #[test]
+    fn equal_timestamps_also_count_as_tachyon() {
+        let mut m = matcher();
+        m.process(reason(7, 100), UtcMicros::ZERO);
+        let out = m.process(conseq(7, 100), UtcMicros::ZERO);
+        assert_eq!(out.pass[0].ts.as_micros(), 101);
+    }
+
+    #[test]
+    fn conseq_before_reason_is_held_then_released() {
+        let mut m = matcher();
+        let now = UtcMicros::ZERO;
+        let out = m.process(conseq(9, 50), now);
+        assert!(out.pass.is_empty());
+        assert_eq!(m.held_count(), 1);
+        // Reason arrives with a LATER ts: held conseq was a tachyon.
+        let out = m.process(reason(9, 80), now);
+        assert_eq!(out.pass.len(), 2);
+        assert_eq!(out.pass[0].ts.as_micros(), 80, "reason first");
+        assert_eq!(out.pass[1].ts.as_micros(), 81, "conseq bumped past reason");
+        assert!(out.request_extra_sync);
+        assert_eq!(m.held_count(), 0);
+    }
+
+    #[test]
+    fn held_conseq_with_good_ts_released_unmodified() {
+        let mut m = matcher();
+        let now = UtcMicros::ZERO;
+        m.process(conseq(9, 500), now);
+        let out = m.process(reason(9, 80), now);
+        assert_eq!(out.pass.len(), 2);
+        assert_eq!(out.pass[1].ts.as_micros(), 500);
+        assert!(!out.request_extra_sync);
+    }
+
+    #[test]
+    fn multiple_held_conseqs_released_together() {
+        let mut m = matcher();
+        let now = UtcMicros::ZERO;
+        m.process(conseq(9, 50), now);
+        m.process(conseq(9, 60), now);
+        let out = m.process(reason(9, 100), now);
+        assert_eq!(out.pass.len(), 3);
+        assert_eq!(m.stats().tachyons_repaired, 2);
+    }
+
+    #[test]
+    fn hold_timeout_releases_unmatched_conseq() {
+        let mut m = matcher();
+        let t0 = UtcMicros::ZERO;
+        m.process(conseq(11, 50), t0);
+        assert!(m.expire(t0 + Duration::from_millis(50)).is_empty());
+        let released = m.expire(t0 + Duration::from_millis(100));
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].ts.as_micros(), 50, "released unmodified");
+        assert_eq!(m.stats().expired, 1);
+        assert_eq!(m.held_count(), 0);
+    }
+
+    #[test]
+    fn reasons_expire_too() {
+        let mut m = matcher();
+        let t0 = UtcMicros::ZERO;
+        m.process(reason(12, 100), t0);
+        assert_eq!(m.reason_count(), 1);
+        m.expire(t0 + Duration::from_millis(100));
+        assert_eq!(m.reason_count(), 0);
+        // A conseq arriving after its reason expired is held (peer gone).
+        let out = m.process(conseq(12, 90), t0 + Duration::from_millis(100));
+        assert!(out.pass.is_empty());
+        assert_eq!(m.held_count(), 1);
+    }
+
+    #[test]
+    fn extra_sync_can_be_disabled() {
+        let mut m = CreMatcher::new(CreConfig {
+            extra_sync_on_tachyon: false,
+            ..CreConfig::default()
+        })
+        .unwrap();
+        m.process(reason(1, 100), UtcMicros::ZERO);
+        let out = m.process(conseq(1, 50), UtcMicros::ZERO);
+        assert!(!out.request_extra_sync);
+        assert_eq!(m.stats().tachyons_repaired, 1);
+        assert_eq!(m.stats().extra_syncs_requested, 0);
+    }
+
+    #[test]
+    fn record_that_is_both_reason_and_conseq() {
+        // A relay hop: conseq of id 1, reason for id 2.
+        let mut m = matcher();
+        let now = UtcMicros::ZERO;
+        m.process(reason(1, 100), now);
+        let hop = EventRecord::new(
+            NodeId(3),
+            SensorId(0),
+            EventTypeId(4),
+            0,
+            UtcMicros::from_micros(90),
+            vec![
+                Value::Conseq(CorrelationId(1)),
+                Value::Reason(CorrelationId(2)),
+            ],
+        )
+        .unwrap();
+        let out = m.process(hop, now);
+        // Tachyon vs reason 1 repaired; registered as reason 2 with the
+        // corrected timestamp.
+        assert_eq!(out.pass[0].ts.as_micros(), 101);
+        let out = m.process(conseq(2, 95), now);
+        assert_eq!(out.pass[0].ts.as_micros(), 102, "chained repair");
+    }
+
+    #[test]
+    fn different_ids_do_not_interact() {
+        let mut m = matcher();
+        m.process(reason(1, 100), UtcMicros::ZERO);
+        let out = m.process(conseq(2, 50), UtcMicros::ZERO);
+        assert!(out.pass.is_empty(), "conseq 2 must wait for reason 2");
+        assert_eq!(m.stats().tachyons_repaired, 0);
+    }
+}

@@ -1,0 +1,369 @@
+//! ISM output stage (§3.5, Fig. 1 right side).
+//!
+//! "Each instrumentation data record, after being extracted from the ISM's
+//! heap, is written to a memory buffer using the same binary structure used
+//! by the NOTICE macros. Optionally, a PICL trace record can be generated
+//! … or it may pass instrumentation data to a list of CORBA-enabled visual
+//! objects." The visual-object path is the [`EventSink`] trait; its
+//! concrete implementations (and the memory-buffer consumer utilities)
+//! live in `brisk-consumers`.
+
+use brisk_core::{binenc, BriskError, EventRecord, Result};
+use brisk_picl::{PiclWriter, TsMode};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::Arc;
+
+/// A consumer of the ISM's sorted output stream.
+pub trait EventSink: Send {
+    /// Deliver one sorted record.
+    fn on_record(&mut self, rec: &EventRecord) -> Result<()>;
+
+    /// Flush any buffering (called at shutdown and checkpoints).
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Blanket sink over a closure, handy in tests and small tools.
+impl<F: FnMut(&EventRecord) -> Result<()> + Send> EventSink for F {
+    fn on_record(&mut self, rec: &EventRecord) -> Result<()> {
+        self(rec)
+    }
+}
+
+struct MemoryBufferInner {
+    /// Encoded records, oldest first.
+    records: VecDeque<Vec<u8>>,
+    /// Total encoded bytes currently held.
+    bytes: usize,
+    /// Global index of `records.front()` (grows monotonically as old
+    /// records are evicted).
+    first_index: u64,
+    evicted: u64,
+    written: u64,
+}
+
+/// The ISM's default output: a bounded in-memory log of encoded records
+/// that any number of consumer tools read at their own pace.
+///
+/// Records are stored in the *native* binary encoding ("the same binary
+/// structure used by the NOTICE macros"). When the byte bound is exceeded
+/// the oldest records are evicted; a slow reader observes the eviction as
+/// an explicit `missed` count rather than silently corrupted data.
+pub struct MemoryBuffer {
+    capacity_bytes: usize,
+    inner: Mutex<MemoryBufferInner>,
+}
+
+impl MemoryBuffer {
+    /// New buffer bounded to roughly `capacity_bytes` of encoded records.
+    pub fn new(capacity_bytes: usize) -> Arc<Self> {
+        Arc::new(MemoryBuffer {
+            capacity_bytes: capacity_bytes.max(1024),
+            inner: Mutex::new(MemoryBufferInner {
+                records: VecDeque::new(),
+                bytes: 0,
+                first_index: 0,
+                evicted: 0,
+                written: 0,
+            }),
+        })
+    }
+
+    /// Append one record.
+    pub fn write(&self, rec: &EventRecord) {
+        let mut encoded = Vec::with_capacity(rec.native_size());
+        binenc::encode_record(rec, &mut encoded);
+        let mut inner = self.inner.lock();
+        inner.bytes += encoded.len();
+        inner.records.push_back(encoded);
+        inner.written += 1;
+        while inner.bytes > self.capacity_bytes && inner.records.len() > 1 {
+            let old = inner.records.pop_front().expect("non-empty");
+            inner.bytes -= old.len();
+            inner.first_index += 1;
+            inner.evicted += 1;
+        }
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// True if no record is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total records ever written.
+    pub fn written(&self) -> u64 {
+        self.inner.lock().written
+    }
+
+    /// Records evicted to stay within the byte bound.
+    pub fn evicted(&self) -> u64 {
+        self.inner.lock().evicted
+    }
+
+    /// Create a reader starting at the oldest available record.
+    pub fn reader(self: &Arc<Self>) -> MemoryBufferReader {
+        MemoryBufferReader {
+            buffer: Arc::clone(self),
+            next_index: self.inner.lock().first_index,
+        }
+    }
+
+    /// Create a reader that only sees records written from now on.
+    pub fn reader_from_now(self: &Arc<Self>) -> MemoryBufferReader {
+        let inner = self.inner.lock();
+        MemoryBufferReader {
+            buffer: Arc::clone(self),
+            next_index: inner.first_index + inner.records.len() as u64,
+        }
+    }
+}
+
+/// A cursor over a [`MemoryBuffer`]; many can coexist.
+pub struct MemoryBufferReader {
+    buffer: Arc<MemoryBuffer>,
+    next_index: u64,
+}
+
+impl MemoryBufferReader {
+    /// Read all records available since the last poll. Returns the decoded
+    /// records and the number missed due to eviction (0 for a reader that
+    /// keeps up).
+    pub fn poll(&mut self) -> Result<(Vec<EventRecord>, u64)> {
+        let inner = self.buffer.inner.lock();
+        let mut missed = 0;
+        if self.next_index < inner.first_index {
+            missed = inner.first_index - self.next_index;
+            self.next_index = inner.first_index;
+        }
+        let skip = (self.next_index - inner.first_index) as usize;
+        let mut out = Vec::with_capacity(inner.records.len().saturating_sub(skip));
+        for encoded in inner.records.iter().skip(skip) {
+            let (rec, used) = binenc::decode_record(encoded)?;
+            if used != encoded.len() {
+                return Err(BriskError::Codec("trailing bytes in memory buffer".into()));
+            }
+            out.push(rec);
+        }
+        self.next_index += out.len() as u64;
+        Ok((out, missed))
+    }
+}
+
+/// Sink adapter writing into a [`MemoryBuffer`].
+pub struct MemoryBufferSink(pub Arc<MemoryBuffer>);
+
+impl EventSink for MemoryBufferSink {
+    fn on_record(&mut self, rec: &EventRecord) -> Result<()> {
+        self.0.write(rec);
+        Ok(())
+    }
+}
+
+/// Sink writing PICL ASCII trace records to any `Write` target ("it may
+/// log instrumentation data to trace files in the PICL ASCII format").
+pub struct PiclFileSink {
+    writer: PiclWriter<Box<dyn Write + Send>>,
+}
+
+impl PiclFileSink {
+    /// New sink over `target` (typically a `File`) with the given timestamp
+    /// mode.
+    pub fn new(target: Box<dyn Write + Send>, mode: TsMode) -> Result<Self> {
+        Ok(PiclFileSink {
+            writer: PiclWriter::new(target, mode)?,
+        })
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.writer.records_written()
+    }
+}
+
+impl EventSink for PiclFileSink {
+    fn on_record(&mut self, rec: &EventRecord) -> Result<()> {
+        self.writer.write_event(rec)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Test/diagnostic sink collecting records into a shared vector.
+#[derive(Clone, Default)]
+pub struct VecSink(pub Arc<Mutex<Vec<EventRecord>>>);
+
+impl VecSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything collected.
+    pub fn snapshot(&self) -> Vec<EventRecord> {
+        self.0.lock().clone()
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.0.lock().len()
+    }
+
+    /// True if nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for VecSink {
+    fn on_record(&mut self, rec: &EventRecord) -> Result<()> {
+        self.0.lock().push(rec.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_core::{EventTypeId, NodeId, SensorId, UtcMicros, Value};
+
+    fn rec(seq: u64) -> EventRecord {
+        EventRecord::new(
+            NodeId(1),
+            SensorId(0),
+            EventTypeId(1),
+            seq,
+            UtcMicros::from_micros(seq as i64),
+            vec![Value::U64(seq)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reader_sees_records_in_order() {
+        let buf = MemoryBuffer::new(1 << 20);
+        let mut reader = buf.reader();
+        for i in 0..10 {
+            buf.write(&rec(i));
+        }
+        let (got, missed) = reader.poll().unwrap();
+        assert_eq!(missed, 0);
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[4].seq, 4);
+        // Second poll: nothing new.
+        let (got, missed) = reader.poll().unwrap();
+        assert!(got.is_empty());
+        assert_eq!(missed, 0);
+    }
+
+    #[test]
+    fn incremental_reads() {
+        let buf = MemoryBuffer::new(1 << 20);
+        let mut reader = buf.reader();
+        buf.write(&rec(0));
+        assert_eq!(reader.poll().unwrap().0.len(), 1);
+        buf.write(&rec(1));
+        buf.write(&rec(2));
+        let (got, _) = reader.poll().unwrap();
+        assert_eq!(got.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn eviction_reports_missed() {
+        // Tiny buffer: each encoded record is ~38 bytes, cap floor is 1024.
+        let buf = MemoryBuffer::new(1024);
+        let mut reader = buf.reader();
+        for i in 0..100 {
+            buf.write(&rec(i));
+        }
+        assert!(buf.evicted() > 0);
+        let (got, missed) = reader.poll().unwrap();
+        assert_eq!(missed, buf.evicted());
+        assert_eq!(got.len() as u64 + missed, 100);
+        // The survivors are the newest, contiguous.
+        assert_eq!(got.last().unwrap().seq, 99);
+        let seqs: Vec<u64> = got.iter().map(|r| r.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn multiple_independent_readers() {
+        let buf = MemoryBuffer::new(1 << 20);
+        let mut r1 = buf.reader();
+        buf.write(&rec(0));
+        let mut r2 = buf.reader();
+        buf.write(&rec(1));
+        assert_eq!(r1.poll().unwrap().0.len(), 2);
+        assert_eq!(r2.poll().unwrap().0.len(), 2, "r2 starts at oldest available");
+        let mut r3 = buf.reader_from_now();
+        buf.write(&rec(2));
+        assert_eq!(r3.poll().unwrap().0.len(), 1, "r3 sees only new records");
+    }
+
+    #[test]
+    fn memory_buffer_sink_writes_through() {
+        let buf = MemoryBuffer::new(1 << 20);
+        let mut sink = MemoryBufferSink(Arc::clone(&buf));
+        sink.on_record(&rec(7)).unwrap();
+        assert_eq!(buf.written(), 1);
+        assert_eq!(buf.reader().poll().unwrap().0[0].seq, 7);
+    }
+
+    #[test]
+    fn picl_sink_produces_parseable_trace() {
+        use brisk_picl::read_trace;
+        let shared: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink =
+            PiclFileSink::new(Box::new(SharedWriter(Arc::clone(&shared))), TsMode::Utc).unwrap();
+        for i in 0..5 {
+            sink.on_record(&rec(i)).unwrap();
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.records_written(), 5);
+        let text = String::from_utf8(shared.lock().clone()).unwrap();
+        let parsed = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 5);
+    }
+
+    #[test]
+    fn closure_sink_works() {
+        let mut count = 0;
+        {
+            let mut sink = |_rec: &EventRecord| -> Result<()> {
+                count += 1;
+                Ok(())
+            };
+            sink.on_record(&rec(0)).unwrap();
+            sink.on_record(&rec(1)).unwrap();
+        }
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn vec_sink_collects() {
+        let sink = VecSink::new();
+        let mut s2 = sink.clone();
+        s2.on_record(&rec(3)).unwrap();
+        assert_eq!(sink.snapshot()[0].seq, 3);
+        assert_eq!(sink.len(), 1);
+    }
+}

@@ -1,0 +1,448 @@
+//! Per-connection pump threads.
+//!
+//! The ISM keeps one long-lived connection per external sensor. Each
+//! connection gets a *pump* thread that (a) forwards incoming event batches
+//! to the manager and (b) executes clock-sync poll exchanges on the
+//! manager's behalf. Running the poll exchange *on the pump thread* stamps
+//! `t_master_send` / `t_master_recv` right at the socket, keeping manager
+//! scheduling delays out of the skew samples.
+
+use brisk_clock::{Clock, SkewSample};
+use brisk_core::{BriskError, EventRecord, NodeId, Result};
+use brisk_net::Connection;
+use brisk_proto::Message;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Commands the manager sends to a pump.
+#[derive(Debug)]
+pub enum PumpCommand {
+    /// Run a poll exchange of `samples` polls for round `round` and report
+    /// a [`PumpEvent::SyncSamples`].
+    SyncRound {
+        /// Round number.
+        round: u64,
+        /// Number of poll/reply pairs to collect.
+        samples: u32,
+    },
+    /// Forward a `SyncAdjust` to the slave.
+    Adjust {
+        /// Round that produced the correction.
+        round: u64,
+        /// Microseconds the slave should add to its correction value.
+        advance_us: i64,
+    },
+    /// Send `Shutdown` to the slave and exit.
+    Shutdown,
+}
+
+/// Events pumps send to the manager.
+#[derive(Debug)]
+pub enum PumpEvent {
+    /// A batch of records arrived.
+    Batch {
+        /// Origin node.
+        node: NodeId,
+        /// The records.
+        records: Vec<EventRecord>,
+    },
+    /// A sync round's samples are ready (possibly fewer than requested if
+    /// replies timed out).
+    SyncSamples {
+        /// The slave node.
+        node: NodeId,
+        /// Round number.
+        round: u64,
+        /// Collected samples.
+        samples: Vec<SkewSample>,
+    },
+    /// The connection ended (orderly or not).
+    Disconnected {
+        /// The node that went away.
+        node: NodeId,
+    },
+}
+
+/// Handle the manager holds for one pump.
+pub struct PumpHandle {
+    /// The node this pump serves.
+    pub node: NodeId,
+    cmd_tx: Sender<PumpCommand>,
+    join: std::thread::JoinHandle<()>,
+}
+
+impl PumpHandle {
+    /// Send a command; returns `false` if the pump is gone.
+    pub fn command(&self, cmd: PumpCommand) -> bool {
+        self.cmd_tx.send(cmd).is_ok()
+    }
+
+    /// Wait for the pump thread to finish.
+    pub fn join(self) {
+        let _ = self.join.join();
+    }
+}
+
+/// How long a pump waits for one `SyncReply` before skipping the sample.
+const SAMPLE_TIMEOUT: Duration = Duration::from_secs(1);
+/// Pump receive granularity while idle.
+const IDLE_RECV: Duration = Duration::from_millis(5);
+
+/// Perform the server-side handshake: read the `Hello` and return the
+/// node id. Call before [`spawn_pump`].
+pub fn handshake(conn: &mut Box<dyn Connection>, timeout: Duration) -> Result<NodeId> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let budget = deadline.saturating_duration_since(Instant::now());
+        if budget.is_zero() {
+            return Err(BriskError::Protocol("handshake timed out".into()));
+        }
+        match conn.recv(Some(budget))? {
+            Some(frame) => {
+                return match Message::decode(&frame)? {
+                    Message::Hello { node, .. } => Ok(node),
+                    other => Err(BriskError::Protocol(format!(
+                        "expected Hello, got {other:?}"
+                    ))),
+                }
+            }
+            None => continue,
+        }
+    }
+}
+
+/// Spawn a pump for a connection that already completed [`handshake`].
+pub fn spawn_pump(
+    node: NodeId,
+    conn: Box<dyn Connection>,
+    clock: Arc<dyn Clock>,
+    events: Sender<PumpEvent>,
+) -> Result<PumpHandle> {
+    let (cmd_tx, cmd_rx) = unbounded();
+    let join = std::thread::Builder::new()
+        .name(format!("brisk-pump-{node}"))
+        .spawn(move || {
+            let mut pump = Pump {
+                node,
+                conn,
+                clock,
+                events,
+                cmd_rx,
+            };
+            pump.run();
+        })
+        .map_err(BriskError::Io)?;
+    Ok(PumpHandle { node, cmd_tx, join })
+}
+
+struct Pump {
+    node: NodeId,
+    conn: Box<dyn Connection>,
+    clock: Arc<dyn Clock>,
+    events: Sender<PumpEvent>,
+    cmd_rx: Receiver<PumpCommand>,
+}
+
+impl Pump {
+    fn run(&mut self) {
+        loop {
+            // Commands first: sync traffic must not starve behind batches.
+            match self.cmd_rx.try_recv() {
+                Ok(PumpCommand::SyncRound { round, samples }) => {
+                    if self.do_sync_round(round, samples).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                Ok(PumpCommand::Adjust { round, advance_us }) => {
+                    if self
+                        .conn
+                        .send(&Message::SyncAdjust { round, advance_us }.encode())
+                        .is_err()
+                    {
+                        break;
+                    }
+                    continue;
+                }
+                Ok(PumpCommand::Shutdown) => {
+                    let _ = self.conn.send(&Message::Shutdown.encode());
+                    // Drain whatever the EXS flushed before its own
+                    // Shutdown so no records are lost at teardown.
+                    let deadline = Instant::now() + Duration::from_secs(2);
+                    while Instant::now() < deadline {
+                        match self.conn.recv(Some(IDLE_RECV)) {
+                            Ok(Some(frame)) => match Message::decode(&frame) {
+                                Ok(msg) => {
+                                    if self.dispatch(msg).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(_) => break,
+                            },
+                            Ok(None) => continue,
+                            Err(_) => break,
+                        }
+                    }
+                    break;
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => break,
+            }
+            // Then inbound traffic.
+            match self.conn.recv(Some(IDLE_RECV)) {
+                Ok(Some(frame)) => match Message::decode(&frame) {
+                    Ok(msg) => {
+                        if self.dispatch(msg).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                },
+                Ok(None) => {}
+                Err(_) => break,
+            }
+        }
+        let _ = self.events.send(PumpEvent::Disconnected { node: self.node });
+    }
+
+    /// Forward one inbound message. `Err` means the connection is done.
+    fn dispatch(&mut self, msg: Message) -> Result<()> {
+        match msg {
+            Message::EventBatch { node, records } => {
+                let _ = self.events.send(PumpEvent::Batch { node, records });
+                Ok(())
+            }
+            Message::SyncReply { .. } => Ok(()), // stale reply; drop
+            Message::Shutdown => Err(BriskError::Disconnected),
+            other => Err(BriskError::Protocol(format!(
+                "unexpected message at ISM: {other:?}"
+            ))),
+        }
+    }
+
+    fn do_sync_round(&mut self, round: u64, samples: u32) -> Result<()> {
+        let mut collected = Vec::with_capacity(samples as usize);
+        'sampling: for sample in 0..samples {
+            let t0 = self.clock.now();
+            self.conn
+                .send(
+                    &Message::SyncPoll {
+                        round,
+                        sample,
+                        master_send: t0,
+                    }
+                    .encode(),
+                )?;
+            let deadline = Instant::now() + SAMPLE_TIMEOUT;
+            loop {
+                let budget = deadline.saturating_duration_since(Instant::now());
+                if budget.is_zero() {
+                    continue 'sampling; // sample lost; move on
+                }
+                match self.conn.recv(Some(budget))? {
+                    None => continue 'sampling,
+                    Some(frame) => match Message::decode(&frame)? {
+                        Message::SyncReply {
+                            round: r,
+                            sample: s,
+                            slave_time,
+                            ..
+                        } if r == round && s == sample => {
+                            let t1 = self.clock.now();
+                            collected.push(SkewSample {
+                                t_master_send: t0,
+                                t_slave: slave_time,
+                                t_master_recv: t1,
+                            });
+                            break;
+                        }
+                        // Batches keep flowing during the exchange.
+                        other => self.dispatch(other)?,
+                    },
+                }
+            }
+        }
+        let _ = self.events.send(PumpEvent::SyncSamples {
+            node: self.node,
+            round,
+            samples: collected,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_clock::SystemClock;
+    use brisk_core::{EventTypeId, SensorId, UtcMicros};
+    use brisk_net::{MemTransport, Transport};
+
+    fn mem_pair() -> (Box<dyn Connection>, Box<dyn Connection>) {
+        let t = MemTransport::new();
+        let mut l = t.listen("x").unwrap();
+        let c = t.connect("x").unwrap();
+        let s = l.accept(Some(Duration::from_secs(1))).unwrap().unwrap();
+        (s, c)
+    }
+
+    #[test]
+    fn handshake_accepts_hello_only() {
+        let (mut server, mut client) = mem_pair();
+        client
+            .send(
+                &Message::Hello {
+                    node: NodeId(5),
+                    version: brisk_proto::VERSION,
+                }
+                .encode(),
+            )
+            .unwrap();
+        assert_eq!(handshake(&mut server, Duration::from_secs(1)).unwrap(), NodeId(5));
+
+        let (mut server, mut client) = mem_pair();
+        client.send(&Message::Shutdown.encode()).unwrap();
+        assert!(handshake(&mut server, Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn handshake_times_out() {
+        let (mut server, _client) = mem_pair();
+        assert!(handshake(&mut server, Duration::from_millis(30)).is_err());
+    }
+
+    #[test]
+    fn pump_forwards_batches_and_reports_disconnect() {
+        let (server, mut client) = mem_pair();
+        let (tx, rx) = unbounded();
+        let pump = spawn_pump(NodeId(5), server, Arc::new(SystemClock), tx).unwrap();
+        let rec = EventRecord::new(
+            NodeId(5),
+            SensorId(0),
+            EventTypeId(1),
+            0,
+            UtcMicros::from_micros(9),
+            vec![],
+        )
+        .unwrap();
+        client
+            .send(
+                &Message::EventBatch {
+                    node: NodeId(5),
+                    records: vec![rec.clone()],
+                }
+                .encode(),
+            )
+            .unwrap();
+        match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            PumpEvent::Batch { node, records } => {
+                assert_eq!(node, NodeId(5));
+                assert_eq!(records, vec![rec]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(client);
+        match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            PumpEvent::Disconnected { node } => assert_eq!(node, NodeId(5)),
+            other => panic!("unexpected {other:?}"),
+        }
+        pump.join();
+    }
+
+    #[test]
+    fn sync_round_collects_samples_while_batches_flow() {
+        let (server, mut client) = mem_pair();
+        let (tx, rx) = unbounded();
+        let pump = spawn_pump(NodeId(2), server, Arc::new(SystemClock), tx).unwrap();
+        // Slave side: answer 3 polls, interleaving a batch.
+        let slave = std::thread::spawn(move || {
+            let mut answered = 0;
+            while answered < 3 {
+                if let Ok(Some(frame)) = client.recv(Some(Duration::from_secs(1))) {
+                    match Message::decode(&frame).unwrap() {
+                        Message::SyncPoll {
+                            round,
+                            sample,
+                            master_send,
+                        } => {
+                            if answered == 1 {
+                                client
+                                    .send(
+                                        &Message::EventBatch {
+                                            node: NodeId(2),
+                                            records: vec![],
+                                        }
+                                        .encode(),
+                                    )
+                                    .unwrap();
+                            }
+                            client
+                                .send(
+                                    &Message::SyncReply {
+                                        round,
+                                        sample,
+                                        master_send,
+                                        slave_time: UtcMicros::now(),
+                                    }
+                                    .encode(),
+                                )
+                                .unwrap();
+                            answered += 1;
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            }
+            client
+        });
+        assert!(pump.command(PumpCommand::SyncRound { round: 9, samples: 3 }));
+        let mut batches = 0;
+        let mut samples = None;
+        for _ in 0..2 {
+            match rx.recv_timeout(Duration::from_secs(2)).unwrap() {
+                PumpEvent::Batch { .. } => batches += 1,
+                PumpEvent::SyncSamples {
+                    node,
+                    round,
+                    samples: s,
+                } => {
+                    assert_eq!(node, NodeId(2));
+                    assert_eq!(round, 9);
+                    samples = Some(s);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(batches, 1);
+        let samples = samples.expect("sync samples event");
+        assert_eq!(samples.len(), 3);
+        for s in samples {
+            assert!(s.rtt_us() >= 0);
+        }
+        drop(slave.join().unwrap());
+        pump.command(PumpCommand::Shutdown);
+        pump.join();
+    }
+
+    #[test]
+    fn adjust_command_reaches_slave() {
+        let (server, mut client) = mem_pair();
+        let (tx, _rx) = unbounded();
+        let pump = spawn_pump(NodeId(2), server, Arc::new(SystemClock), tx).unwrap();
+        pump.command(PumpCommand::Adjust {
+            round: 1,
+            advance_us: 123,
+        });
+        let frame = client.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        assert_eq!(
+            Message::decode(&frame).unwrap(),
+            Message::SyncAdjust {
+                round: 1,
+                advance_us: 123
+            }
+        );
+        pump.command(PumpCommand::Shutdown);
+        pump.join();
+    }
+}

@@ -1,0 +1,512 @@
+//! The threaded ISM server: accept loop + manager loop over the core.
+//!
+//! Threads:
+//!
+//! * **accept** — accepts EXS connections, performs the `Hello` handshake
+//!   and spawns a pump per connection;
+//! * **pump** (one per connection, see [`crate::pump`]) — forwards batches,
+//!   runs poll exchanges;
+//! * **manager** — owns the [`IsmCore`] and the [`SyncMaster`]; consumes
+//!   pump events, ticks the pipeline, schedules synchronization rounds
+//!   every `poll_period`, plus the *extra* rounds requested by tachyon
+//!   repairs (§3.6).
+
+use crate::core::{IsmCore, IsmCoreStats};
+use crate::cre::CreStats;
+use crate::output::MemoryBuffer;
+use crate::pump::{handshake, spawn_pump, PumpCommand, PumpEvent, PumpHandle};
+use crate::sorter::SorterStats;
+use brisk_clock::{Clock, SyncMaster, SyncOutcome};
+use brisk_core::{BriskError, IsmConfig, NodeId, Result, SyncConfig};
+use brisk_net::Listener;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Final report returned when the server stops.
+#[derive(Clone, Debug, Default)]
+pub struct IsmReport {
+    /// Pipeline counters.
+    pub core: IsmCoreStats,
+    /// Sorter counters.
+    pub sorter: SorterStats,
+    /// CRE counters.
+    pub cre: CreStats,
+    /// Completed synchronization rounds.
+    pub sync_rounds: u64,
+    /// Outcome of the last round, if any.
+    pub last_sync: Option<SyncOutcome>,
+}
+
+/// The ISM server, pre-spawn. Attach sinks via [`IsmServer::core_mut`],
+/// then call [`IsmServer::spawn`].
+pub struct IsmServer {
+    core: IsmCore,
+    sync: SyncMaster,
+    clock: Arc<dyn Clock>,
+}
+
+/// Manager tick granularity: how often the pipeline is polled when no
+/// traffic arrives. This bounds added release latency on top of the
+/// sorter's time frame.
+const TICK: Duration = Duration::from_millis(1);
+/// How long the manager waits for all slaves' samples before closing a
+/// round with whatever arrived.
+const ROUND_DEADLINE: Duration = Duration::from_secs(2);
+
+impl IsmServer {
+    /// New server.
+    pub fn new(cfg: IsmConfig, sync_cfg: SyncConfig, clock: Arc<dyn Clock>) -> Result<Self> {
+        Ok(IsmServer {
+            core: IsmCore::new(cfg)?,
+            sync: SyncMaster::new(sync_cfg)?,
+            clock,
+        })
+    }
+
+    /// Access the core (e.g. to attach sinks) before spawning.
+    pub fn core_mut(&mut self) -> &mut IsmCore {
+        &mut self.core
+    }
+
+    /// The output memory buffer (clone the `Arc` to create readers).
+    pub fn memory(&self) -> Arc<MemoryBuffer> {
+        Arc::clone(self.core.memory())
+    }
+
+    /// Start the accept and manager threads.
+    pub fn spawn(self, mut listener: Box<dyn Listener>) -> Result<IsmHandle> {
+        let addr = listener.local_addr();
+        let memory = Arc::clone(self.core.memory());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (event_tx, event_rx) = unbounded::<PumpEvent>();
+        let (pump_tx, pump_rx) = unbounded::<PumpHandle>();
+
+        // Accept thread.
+        let accept_stop = Arc::clone(&stop);
+        let accept_clock = Arc::clone(&self.clock);
+        let accept_events = event_tx.clone();
+        let accept_join = std::thread::Builder::new()
+            .name("brisk-ism-accept".into())
+            .spawn(move || {
+                accept_loop(&mut listener, accept_stop, accept_clock, accept_events, pump_tx)
+            })
+            .map_err(BriskError::Io)?;
+
+        // Manager thread.
+        let mgr_stop = Arc::clone(&stop);
+        let manager = Manager {
+            core: self.core,
+            sync: self.sync,
+            clock: self.clock,
+            events: event_rx,
+            new_pumps: pump_rx,
+            pumps: HashMap::new(),
+            round: None,
+            last_round_finished: Instant::now(),
+        };
+        let manager_join = std::thread::Builder::new()
+            .name("brisk-ism-manager".into())
+            .spawn(move || manager.run(mgr_stop))
+            .map_err(BriskError::Io)?;
+
+        Ok(IsmHandle {
+            addr,
+            memory,
+            stop,
+            accept_join,
+            manager_join,
+        })
+    }
+}
+
+fn accept_loop(
+    listener: &mut Box<dyn Listener>,
+    stop: Arc<AtomicBool>,
+    clock: Arc<dyn Clock>,
+    events: Sender<PumpEvent>,
+    pumps: Sender<PumpHandle>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept(Some(Duration::from_millis(50))) {
+            Ok(Some(mut conn)) => {
+                match handshake(&mut conn, Duration::from_secs(5)) {
+                    Ok(node) => {
+                        if let Ok(handle) =
+                            spawn_pump(node, conn, Arc::clone(&clock), events.clone())
+                        {
+                            if pumps.send(handle).is_err() {
+                                return; // manager gone
+                            }
+                        }
+                    }
+                    Err(_) => continue, // bad client; drop it
+                }
+            }
+            Ok(None) => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+struct RoundInFlight {
+    round: u64,
+    expected: HashSet<NodeId>,
+    started: Instant,
+}
+
+struct Manager {
+    core: IsmCore,
+    sync: SyncMaster,
+    clock: Arc<dyn Clock>,
+    events: Receiver<PumpEvent>,
+    new_pumps: Receiver<PumpHandle>,
+    pumps: HashMap<NodeId, PumpHandle>,
+    round: Option<RoundInFlight>,
+    last_round_finished: Instant,
+}
+
+impl Manager {
+    fn run(mut self, stop: Arc<AtomicBool>) -> Result<IsmReport> {
+        while !stop.load(Ordering::Relaxed) {
+            // Register newly-accepted connections.
+            while let Ok(handle) = self.new_pumps.try_recv() {
+                self.pumps.insert(handle.node, handle);
+            }
+            // Consume pump events for up to one tick.
+            match self.events.recv_timeout(TICK) {
+                Ok(ev) => {
+                    self.handle_event(ev)?;
+                    // Opportunistically drain whatever else queued up.
+                    while let Ok(ev) = self.events.try_recv() {
+                        self.handle_event(ev)?;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            // Advance the pipeline.
+            self.core.tick(self.clock.now())?;
+            // Round scheduling: periodic, plus tachyon-triggered extras.
+            let extra = self.core.take_extra_sync_request();
+            let due = self.last_round_finished.elapsed() >= self.sync.config().poll_period;
+            if self.round.is_none() && !self.pumps.is_empty() && (due || extra) {
+                self.begin_round();
+            }
+            self.maybe_close_round(false)?;
+        }
+        // Shutdown: stop pumps, drain stragglers, flush pipeline.
+        for (_, handle) in self.pumps.iter() {
+            handle.command(PumpCommand::Shutdown);
+        }
+        let deadline = Instant::now() + Duration::from_secs(3);
+        let mut live = self.pumps.len();
+        while live > 0 && Instant::now() < deadline {
+            match self.events.recv_timeout(Duration::from_millis(20)) {
+                Ok(PumpEvent::Disconnected { .. }) => live -= 1,
+                Ok(ev) => self.handle_event(ev)?,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        for (_, handle) in self.pumps.drain() {
+            handle.join();
+        }
+        self.core.drain_all()?;
+        Ok(IsmReport {
+            core: self.core.stats(),
+            sorter: self.core.sorter_stats(),
+            cre: self.core.cre_stats(),
+            sync_rounds: self.sync.rounds_completed(),
+            last_sync: self.sync.last_outcome().cloned(),
+        })
+    }
+
+    fn handle_event(&mut self, ev: PumpEvent) -> Result<()> {
+        match ev {
+            PumpEvent::Batch { records, .. } => {
+                self.core.push_batch(records, self.clock.now())?;
+            }
+            PumpEvent::SyncSamples {
+                node,
+                round,
+                samples,
+            } => {
+                if let Some(r) = &mut self.round {
+                    if r.round == round {
+                        for s in samples {
+                            self.sync.add_sample(node, s);
+                        }
+                        r.expected.remove(&node);
+                        self.maybe_close_round(true)?;
+                    }
+                }
+            }
+            PumpEvent::Disconnected { node } => {
+                if let Some(handle) = self.pumps.remove(&node) {
+                    handle.join();
+                }
+                if let Some(r) = &mut self.round {
+                    r.expected.remove(&node);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn begin_round(&mut self) {
+        let round = self.sync.begin_round();
+        let samples = self.sync.samples_per_slave() as u32;
+        let mut expected = HashSet::new();
+        for (node, handle) in &self.pumps {
+            if handle.command(PumpCommand::SyncRound { round, samples }) {
+                expected.insert(*node);
+            }
+        }
+        if expected.is_empty() {
+            self.last_round_finished = Instant::now();
+            return;
+        }
+        self.round = Some(RoundInFlight {
+            round,
+            expected,
+            started: Instant::now(),
+        });
+    }
+
+    fn maybe_close_round(&mut self, complete_check_only: bool) -> Result<()> {
+        let close = match &self.round {
+            Some(r) => {
+                r.expected.is_empty()
+                    || (!complete_check_only && r.started.elapsed() > ROUND_DEADLINE)
+            }
+            None => false,
+        };
+        if !close {
+            return Ok(());
+        }
+        self.round = None;
+        let outcome = self.sync.finish_round()?;
+        for c in &outcome.corrections {
+            if let Some(handle) = self.pumps.get(&c.node) {
+                handle.command(PumpCommand::Adjust {
+                    round: self.sync.rounds_completed(),
+                    advance_us: c.advance_us,
+                });
+            }
+        }
+        self.last_round_finished = Instant::now();
+        Ok(())
+    }
+}
+
+/// Handle to a running ISM server.
+pub struct IsmHandle {
+    addr: String,
+    memory: Arc<MemoryBuffer>,
+    stop: Arc<AtomicBool>,
+    accept_join: std::thread::JoinHandle<()>,
+    manager_join: std::thread::JoinHandle<Result<IsmReport>>,
+}
+
+impl IsmHandle {
+    /// Address external sensors should connect to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The output memory buffer.
+    pub fn memory(&self) -> &Arc<MemoryBuffer> {
+        &self.memory
+    }
+
+    /// Stop the server and collect the final report.
+    pub fn stop(self) -> Result<IsmReport> {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.accept_join.join();
+        self.manager_join
+            .join()
+            .map_err(|_| BriskError::Sync("ISM manager thread panicked".into()))?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_clock::SystemClock;
+    use brisk_core::{EventTypeId, UtcMicros, Value};
+    use brisk_lis_like::*;
+
+    /// Minimal in-test EXS substitute: we drive the protocol by hand so the
+    /// server tests do not depend on brisk-lis (which depends on this
+    /// crate's siblings only, but keeping the dependency graph acyclic for
+    /// tests is simpler).
+    mod brisk_lis_like {
+        pub use brisk_net::{Connection, MemTransport, TcpTransport, Transport};
+        pub use brisk_proto::Message;
+    }
+
+    fn start_server() -> (IsmHandle, Arc<MemTransport>) {
+        let t = MemTransport::new();
+        let listener = t.listen("ism").unwrap();
+        let server = IsmServer::new(
+            IsmConfig::default(),
+            SyncConfig {
+                poll_period: Duration::from_millis(50),
+                ..SyncConfig::default()
+            },
+            Arc::new(SystemClock),
+        )
+        .unwrap();
+        (server.spawn(listener).unwrap(), t)
+    }
+
+    fn hello(conn: &mut Box<dyn Connection>, node: u32) {
+        conn.send(
+            &Message::Hello {
+                node: NodeId(node),
+                version: brisk_proto::VERSION,
+            }
+            .encode(),
+        )
+        .unwrap();
+    }
+
+    fn batch(node: u32, seqs: std::ops::Range<u64>) -> Message {
+        Message::EventBatch {
+            node: NodeId(node),
+            records: seqs
+                .map(|i| {
+                    brisk_core::EventRecord::new(
+                        NodeId(node),
+                        brisk_core::SensorId(0),
+                        EventTypeId(1),
+                        i,
+                        UtcMicros::now(),
+                        vec![Value::U64(i)],
+                    )
+                    .unwrap()
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn records_reach_memory_buffer() {
+        let (handle, t) = start_server();
+        let mut reader = handle.memory().reader();
+        let mut conn = t.connect("ism").unwrap();
+        hello(&mut conn, 1);
+        conn.send(&batch(1, 0..10).encode()).unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut total = 0;
+        while total < 10 && Instant::now() < deadline {
+            let (recs, _) = reader.poll().unwrap();
+            total += recs.len();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(total, 10);
+        let report = handle.stop().unwrap();
+        assert_eq!(report.core.records_in, 10);
+        assert_eq!(report.core.records_out, 10);
+    }
+
+    #[test]
+    fn multiple_nodes_merge() {
+        let (handle, t) = start_server();
+        let mut reader = handle.memory().reader();
+        let mut conns: Vec<Box<dyn Connection>> = (1..=3)
+            .map(|n| {
+                let mut c = t.connect("ism").unwrap();
+                hello(&mut c, n);
+                c
+            })
+            .collect();
+        for (i, c) in conns.iter_mut().enumerate() {
+            c.send(&batch(i as u32 + 1, 0..5).encode()).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut got = Vec::new();
+        while got.len() < 15 && Instant::now() < deadline {
+            let (recs, _) = reader.poll().unwrap();
+            got.extend(recs);
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(got.len(), 15);
+        // Output must be timestamp-sorted.
+        assert!(got.windows(2).all(|w| w[0].ts <= w[1].ts));
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn server_answers_nothing_until_clients_connect_then_syncs() {
+        let (handle, t) = start_server();
+        let mut conn = t.connect("ism").unwrap();
+        hello(&mut conn, 1);
+        // Expect a SyncPoll within a few poll periods; answer a few.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut polls_answered = 0;
+        while polls_answered < 4 && Instant::now() < deadline {
+            if let Ok(Some(frame)) = conn.recv(Some(Duration::from_millis(100))) {
+                if let Message::SyncPoll {
+                    round,
+                    sample,
+                    master_send,
+                } = Message::decode(&frame).unwrap()
+                {
+                    conn.send(
+                        &Message::SyncReply {
+                            round,
+                            sample,
+                            master_send,
+                            slave_time: UtcMicros::now(),
+                        }
+                        .encode(),
+                    )
+                    .unwrap();
+                    polls_answered += 1;
+                }
+            }
+        }
+        assert!(polls_answered >= 4, "master must poll its slave");
+        let report = handle.stop().unwrap();
+        assert!(report.sync_rounds >= 1);
+    }
+
+    #[test]
+    fn stop_with_no_clients_is_clean() {
+        let (handle, _t) = start_server();
+        std::thread::sleep(Duration::from_millis(50));
+        let report = handle.stop().unwrap();
+        assert_eq!(report.core.records_in, 0);
+    }
+
+    #[test]
+    fn works_over_real_tcp() {
+        let t = TcpTransport;
+        let listener = t.listen("127.0.0.1:0").unwrap();
+        let server = IsmServer::new(
+            IsmConfig::default(),
+            SyncConfig::default(),
+            Arc::new(SystemClock),
+        )
+        .unwrap();
+        let handle = server.spawn(listener).unwrap();
+        let mut reader = handle.memory().reader();
+        let mut conn = t.connect(handle.addr()).unwrap();
+        hello(&mut conn, 7);
+        conn.send(&batch(7, 0..20).encode()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut total = 0;
+        while total < 20 && Instant::now() < deadline {
+            let (recs, _) = reader.poll().unwrap();
+            total += recs.len();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(total, 20);
+        handle.stop().unwrap();
+    }
+}

@@ -1,0 +1,435 @@
+//! Dynamic on-line sorting (§3.5, §3.6).
+//!
+//! "For dynamic merging/on-line sorting and extracting instrumentation data
+//! records from multiple queues, the ISM uses a heap having one entry for
+//! each queue." Queues are keyed by *(node, sensor)*: within one sensor,
+//! records arrive in emission order with timestamps from one clock, so each
+//! queue is non-decreasing in timestamp — the precondition a heap-of-heads
+//! merge needs. (The paper keys by external sensor; one queue per internal
+//! sensor is the same idea one level finer, needed because our EXS drains
+//! multiple sensor rings round-robin.)
+//!
+//! "Using the synchronized embedded time-stamps, its current time, and a
+//! user-specified time frame `T`, the ISM delays each instrumentation data
+//! record for `T` time units after its creation. If the ISM detects that
+//! two successive records from different external sensors have been
+//! extracted out of order, it increases the time frame; then, it
+//! exponentially decreases the time frame to reduce the amount of
+//! instrumentation data delayed in memory. This method of sorting results
+//! in a trade-off between the event ordering and latency."
+
+use brisk_core::config::FrameGrowth;
+use brisk_core::{EventRecord, NodeId, Result, SensorId, SorterConfig, UtcMicros};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::cmp::Reverse;
+
+/// Key of one input queue.
+type QueueKey = (NodeId, SensorId);
+
+/// Heap entry: the head record's sort key plus its queue.
+type HeapEntry = Reverse<((UtcMicros, u32, u32, u64), QueueKey)>;
+
+/// Counters describing sorter behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SorterStats {
+    /// Records accepted.
+    pub pushed: u64,
+    /// Records released to the output stage.
+    pub released: u64,
+    /// Out-of-order extractions observed (each grows `T`).
+    pub inversions: u64,
+    /// Records released early because the buffer bound was hit
+    /// (Fig. 1 "event dropping" under memory pressure).
+    pub forced_releases: u64,
+    /// Exponential decay steps applied to `T`.
+    pub decays: u64,
+}
+
+/// The adaptive-time-frame k-way merge.
+///
+/// ```
+/// use brisk_core::{EventRecord, EventTypeId, NodeId, SensorId, SorterConfig, UtcMicros};
+/// use brisk_ism::OnlineSorter;
+///
+/// let mut sorter = OnlineSorter::new(
+///     SorterConfig { initial_frame_us: 1_000, ..SorterConfig::default() },
+///     0, // unbounded buffering
+/// ).unwrap();
+/// let rec = |node: u32, ts: i64| EventRecord::new(
+///     NodeId(node), SensorId(0), EventTypeId(1), 0,
+///     UtcMicros::from_micros(ts), vec![],
+/// ).unwrap();
+///
+/// // Records from two nodes arrive out of order…
+/// sorter.push(rec(0, 300));
+/// sorter.push(rec(1, 100));
+/// // …and nothing is released until the frame T has passed…
+/// assert!(sorter.poll(UtcMicros::from_micros(1_050)).is_empty());
+/// // …after which they come out merged by timestamp.
+/// let out = sorter.poll(UtcMicros::from_micros(2_000));
+/// assert_eq!(out[0].ts.as_micros(), 100);
+/// assert_eq!(out[1].ts.as_micros(), 300);
+/// ```
+pub struct OnlineSorter {
+    cfg: SorterConfig,
+    /// Upper bound on buffered records; 0 = unbounded.
+    max_buffered: usize,
+    queues: HashMap<QueueKey, VecDeque<EventRecord>>,
+    /// Min-heap over the head of every non-empty queue.
+    heads: BinaryHeap<HeapEntry>,
+    buffered: usize,
+    frame_us: i64,
+    last_released_ts: Option<UtcMicros>,
+    last_released_from: Option<QueueKey>,
+    last_decay_at: Option<UtcMicros>,
+    stats: SorterStats,
+}
+
+impl OnlineSorter {
+    /// New sorter. `max_buffered` bounds in-memory records (0 = unbounded).
+    pub fn new(cfg: SorterConfig, max_buffered: usize) -> Result<Self> {
+        cfg.validate()?;
+        Ok(OnlineSorter {
+            frame_us: cfg.initial_frame_us,
+            cfg,
+            max_buffered,
+            queues: HashMap::new(),
+            heads: BinaryHeap::new(),
+            buffered: 0,
+            last_released_ts: None,
+            last_released_from: None,
+            last_decay_at: None,
+            stats: SorterStats::default(),
+        })
+    }
+
+    /// Current time frame `T` in microseconds.
+    pub fn frame_us(&self) -> i64 {
+        self.frame_us
+    }
+
+    /// Records currently delayed in memory.
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> SorterStats {
+        self.stats
+    }
+
+    /// Accept a batch from one node. Records are appended to their
+    /// per-sensor queues in arrival order ("the in-order arrival of these
+    /// batches is guaranteed by the socket stream protocol").
+    pub fn push_batch(&mut self, records: impl IntoIterator<Item = EventRecord>) {
+        for rec in records {
+            self.push(rec);
+        }
+    }
+
+    /// Accept one record.
+    pub fn push(&mut self, rec: EventRecord) {
+        let key = (rec.node, rec.sensor);
+        let q = self.queues.entry(key).or_default();
+        let was_empty = q.is_empty();
+        // Defensive: a sensor whose clock stepped backwards could emit a
+        // non-monotone stream; clamp so the queue invariant holds and the
+        // inversion is surfaced by the merge rather than corrupting it.
+        let mut rec = rec;
+        if let Some(back) = q.back() {
+            if rec.ts < back.ts {
+                rec.ts = back.ts;
+            }
+        }
+        q.push_back(rec);
+        self.buffered += 1;
+        self.stats.pushed += 1;
+        if was_empty {
+            let head = self.queues[&key].front().expect("just pushed");
+            self.heads.push(Reverse((head.sort_key(), key)));
+        }
+    }
+
+    /// Release every record whose delay has expired, in merged timestamp
+    /// order. `now` is the ISM's current (synchronized) time.
+    pub fn poll(&mut self, now: UtcMicros) -> Vec<EventRecord> {
+        self.maybe_decay(now);
+        let mut out = Vec::new();
+        loop {
+            // Memory pressure: release the globally-smallest head early.
+            let force = self.max_buffered != 0 && self.buffered > self.max_buffered;
+            let Some(&Reverse((key_ts, qkey))) = self.heads.peek() else {
+                break;
+            };
+            let release_deadline = key_ts.0.offset(self.frame_us);
+            if !force && now < release_deadline {
+                break;
+            }
+            self.heads.pop();
+            let q = self.queues.get_mut(&qkey).expect("queue for heap entry");
+            let rec = q.pop_front().expect("non-empty queue in heap");
+            self.buffered -= 1;
+            if let Some(next) = q.front() {
+                self.heads.push(Reverse((next.sort_key(), qkey)));
+            }
+            if force {
+                self.stats.forced_releases += 1;
+            }
+            self.stats.released += 1;
+            self.observe_release(&rec, now);
+            out.push(rec);
+        }
+        out
+    }
+
+    /// Inversion detection and frame growth: "two successive records from
+    /// different external sensors … extracted out of order".
+    fn observe_release(&mut self, rec: &EventRecord, _now: UtcMicros) {
+        let from = (rec.node, rec.sensor);
+        if let (Some(last_ts), Some(last_from)) = (self.last_released_ts, self.last_released_from)
+        {
+            if rec.ts < last_ts && from != last_from {
+                self.stats.inversions += 1;
+                let lateness = last_ts.micros_since(rec.ts);
+                let grown = match self.cfg.growth {
+                    FrameGrowth::ToObservedLateness => self.frame_us.max(lateness),
+                    FrameGrowth::Multiplicative(f) => {
+                        ((self.frame_us as f64) * f) as i64
+                    }
+                    FrameGrowth::Additive(a) => self.frame_us + a,
+                };
+                self.frame_us = grown.clamp(self.cfg.min_frame_us, self.cfg.max_frame_us);
+            }
+        }
+        // "Two SUCCESSIVE records": the comparison baseline is always the
+        // record released immediately before this one.
+        self.last_released_ts = Some(rec.ts);
+        self.last_released_from = Some(from);
+    }
+
+    fn maybe_decay(&mut self, now: UtcMicros) {
+        let interval_us = self.cfg.decay_interval.as_micros() as i64;
+        let last = *self.last_decay_at.get_or_insert(now);
+        if now.micros_since(last) < interval_us {
+            return;
+        }
+        // Apply one decay step per elapsed interval.
+        let steps = (now.micros_since(last) / interval_us).min(64) as u32;
+        if self.cfg.decay_factor < 1.0 {
+            let factor = self.cfg.decay_factor.powi(steps as i32);
+            self.frame_us = (((self.frame_us as f64) * factor) as i64)
+                .clamp(self.cfg.min_frame_us, self.cfg.max_frame_us);
+            self.stats.decays += steps as u64;
+        }
+        self.last_decay_at = Some(last.offset(steps as i64 * interval_us));
+    }
+
+    /// Unconditionally release everything in merged order (shutdown path).
+    pub fn drain_all(&mut self) -> Vec<EventRecord> {
+        let saved_frame = self.frame_us;
+        self.frame_us = 0;
+        let out = self.poll(UtcMicros::MAX);
+        self.frame_us = saved_frame;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_core::EventTypeId;
+    use std::time::Duration;
+
+    fn rec(node: u32, sensor: u32, seq: u64, ts: i64) -> EventRecord {
+        EventRecord::new(
+            NodeId(node),
+            SensorId(sensor),
+            EventTypeId(1),
+            seq,
+            UtcMicros::from_micros(ts),
+            vec![],
+        )
+        .unwrap()
+    }
+
+    fn cfg(initial: i64) -> SorterConfig {
+        SorterConfig {
+            initial_frame_us: initial,
+            min_frame_us: 0,
+            max_frame_us: 1_000_000,
+            growth: FrameGrowth::ToObservedLateness,
+            decay_factor: 0.5,
+            decay_interval: Duration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn records_are_delayed_t_after_creation() {
+        let mut s = OnlineSorter::new(cfg(1_000), 0).unwrap();
+        s.push(rec(0, 0, 0, 5_000));
+        // Before ts+T: nothing.
+        assert!(s.poll(UtcMicros::from_micros(5_999)).is_empty());
+        // At ts+T: released.
+        let out = s.poll(UtcMicros::from_micros(6_000));
+        assert_eq!(out.len(), 1);
+        assert_eq!(s.buffered(), 0);
+    }
+
+    #[test]
+    fn merge_is_timestamp_ordered_across_sources() {
+        let mut s = OnlineSorter::new(cfg(0), 0).unwrap();
+        s.push_batch([rec(0, 0, 0, 10), rec(0, 0, 1, 30), rec(0, 0, 2, 50)]);
+        s.push_batch([rec(1, 0, 0, 20), rec(1, 0, 1, 40)]);
+        s.push_batch([rec(2, 0, 0, 25)]);
+        let out = s.poll(UtcMicros::from_micros(1_000));
+        let ts: Vec<i64> = out.iter().map(|r| r.ts.as_micros()).collect();
+        assert_eq!(ts, vec![10, 20, 25, 30, 40, 50]);
+    }
+
+    #[test]
+    fn equal_timestamps_break_ties_deterministically() {
+        let mut s = OnlineSorter::new(cfg(0), 0).unwrap();
+        s.push(rec(1, 0, 0, 10));
+        s.push(rec(0, 0, 0, 10));
+        let out = s.poll(UtcMicros::from_micros(1_000));
+        assert_eq!(out[0].node, NodeId(0));
+        assert_eq!(out[1].node, NodeId(1));
+    }
+
+    #[test]
+    fn inversion_grows_frame_to_observed_lateness() {
+        let mut s = OnlineSorter::new(cfg(0), 0).unwrap();
+        // Release node 0's record at ts=100 first (T=0, it is released as
+        // soon as polled)…
+        s.push(rec(0, 0, 0, 100));
+        assert_eq!(s.poll(UtcMicros::from_micros(100)).len(), 1);
+        // …then node 1's record arrives late with ts=40: inversion.
+        s.push(rec(1, 0, 0, 40));
+        let out = s.poll(UtcMicros::from_micros(200));
+        assert_eq!(out.len(), 1);
+        assert_eq!(s.stats().inversions, 1);
+        assert_eq!(s.frame_us(), 60, "grown to the observed lateness");
+    }
+
+    #[test]
+    fn same_source_out_of_order_is_not_an_inversion() {
+        // Within one sensor the sorter clamps (defensive monotonicity), so
+        // no inversion is counted.
+        let mut s = OnlineSorter::new(cfg(0), 0).unwrap();
+        s.push(rec(0, 0, 0, 100));
+        s.push(rec(0, 0, 1, 50)); // clamped to 100
+        let out = s.poll(UtcMicros::from_micros(1_000));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].ts.as_micros(), 100);
+        assert_eq!(s.stats().inversions, 0);
+    }
+
+    #[test]
+    fn multiplicative_and_additive_growth() {
+        let mut c = cfg(100);
+        c.growth = FrameGrowth::Multiplicative(2.0);
+        let mut s = OnlineSorter::new(c, 0).unwrap();
+        s.push(rec(0, 0, 0, 100));
+        s.poll(UtcMicros::from_micros(200));
+        s.push(rec(1, 0, 0, 40));
+        s.poll(UtcMicros::from_micros(400));
+        assert_eq!(s.frame_us(), 200);
+
+        let mut c = cfg(100);
+        c.growth = FrameGrowth::Additive(35);
+        let mut s = OnlineSorter::new(c, 0).unwrap();
+        s.push(rec(0, 0, 0, 100));
+        s.poll(UtcMicros::from_micros(200));
+        s.push(rec(1, 0, 0, 40));
+        s.poll(UtcMicros::from_micros(400));
+        assert_eq!(s.frame_us(), 135);
+    }
+
+    #[test]
+    fn frame_decays_exponentially_and_clamps() {
+        let mut c = cfg(1_000);
+        c.min_frame_us = 100;
+        let mut s = OnlineSorter::new(c, 0).unwrap();
+        let t0 = UtcMicros::ZERO;
+        s.poll(t0); // initializes decay timer
+        s.poll(t0 + Duration::from_millis(100));
+        assert_eq!(s.frame_us(), 500);
+        s.poll(t0 + Duration::from_millis(200));
+        assert_eq!(s.frame_us(), 250);
+        // Far in the future: clamped at min.
+        s.poll(t0 + Duration::from_secs(10));
+        assert_eq!(s.frame_us(), 100);
+        assert!(s.stats().decays >= 3);
+    }
+
+    #[test]
+    fn larger_frame_orders_late_traffic_correctly() {
+        // With T large enough, a late-delivered record still comes out in
+        // order — the ordering/latency trade-off.
+        let mut s = OnlineSorter::new(cfg(1_000), 0).unwrap();
+        s.push(rec(0, 0, 0, 100));
+        // Node 1's ts=50 record arrives AFTER node 0's ts=100 one.
+        s.push(rec(1, 0, 0, 50));
+        let out = s.poll(UtcMicros::from_micros(2_000));
+        let ts: Vec<i64> = out.iter().map(|r| r.ts.as_micros()).collect();
+        assert_eq!(ts, vec![50, 100]);
+        assert_eq!(s.stats().inversions, 0);
+    }
+
+    #[test]
+    fn memory_pressure_forces_early_release() {
+        let mut s = OnlineSorter::new(cfg(1_000_000), 3).unwrap();
+        for i in 0..5 {
+            s.push(rec(0, 0, i, 10 + i as i64));
+        }
+        // Frame is huge; without pressure nothing would be released.
+        let out = s.poll(UtcMicros::from_micros(20));
+        assert_eq!(out.len(), 2, "buffered must drop to the bound");
+        assert_eq!(s.buffered(), 3);
+        assert_eq!(s.stats().forced_releases, 2);
+    }
+
+    #[test]
+    fn drain_all_empties_in_order_and_restores_frame() {
+        let mut s = OnlineSorter::new(cfg(500), 0).unwrap();
+        s.push(rec(0, 0, 0, 30));
+        s.push(rec(1, 0, 0, 10));
+        s.push(rec(2, 0, 0, 20));
+        let out = s.drain_all();
+        let ts: Vec<i64> = out.iter().map(|r| r.ts.as_micros()).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+        assert_eq!(s.frame_us(), 500);
+        assert_eq!(s.buffered(), 0);
+    }
+
+    #[test]
+    fn stats_track_pushes_and_releases() {
+        let mut s = OnlineSorter::new(cfg(0), 0).unwrap();
+        s.push_batch((0..10).map(|i| rec(0, 0, i, i as i64)));
+        let out = s.poll(UtcMicros::from_micros(100));
+        assert_eq!(out.len(), 10);
+        let st = s.stats();
+        assert_eq!(st.pushed, 10);
+        assert_eq!(st.released, 10);
+    }
+
+    #[test]
+    fn interleaved_push_poll_still_sorted_with_adequate_frame() {
+        let mut s = OnlineSorter::new(cfg(100), 0).unwrap();
+        let mut released = Vec::new();
+        // Two sources, slightly out of phase, delivered in dribbles.
+        for step in 0..50i64 {
+            s.push(rec(0, 0, step as u64, step * 10));
+            if step % 3 == 0 {
+                s.push(rec(1, 0, (step / 3) as u64, step * 10 - 5));
+            }
+            released.extend(s.poll(UtcMicros::from_micros(step * 10)));
+        }
+        released.extend(s.drain_all());
+        let ts: Vec<i64> = released.iter().map(|r| r.ts.as_micros()).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted, "output must be globally sorted");
+        assert_eq!(released.len(), 50 + 17);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests for the on-line sorter's invariants.
+
+use brisk_core::config::FrameGrowth;
+use brisk_core::{EventRecord, EventTypeId, NodeId, SensorId, SorterConfig, UtcMicros};
+use brisk_ism::OnlineSorter;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A batch of per-source monotone streams plus an interleaved arrival
+/// schedule: `(source, creation_ts)` pairs in arrival order.
+fn arb_workload() -> impl Strategy<Value = Vec<(u32, i64)>> {
+    // Per-arrival: source id 0..4, creation-time increment 0..100, and a
+    // per-record lateness 0..2000 (how long after creation it arrives).
+    proptest::collection::vec((0u32..4, 0i64..100), 1..200).prop_map(|steps| {
+        let mut per_source_ts = [0i64; 4];
+        let mut out = Vec::with_capacity(steps.len());
+        for (src, inc) in steps {
+            per_source_ts[src as usize] += inc;
+            out.push((src, per_source_ts[src as usize]));
+        }
+        out
+    })
+}
+
+fn rec(source: u32, seq: u64, ts: i64) -> EventRecord {
+    EventRecord::new(
+        NodeId(source),
+        SensorId(0),
+        EventTypeId(1),
+        seq,
+        UtcMicros::from_micros(ts),
+        vec![],
+    )
+    .unwrap()
+}
+
+fn sorter(initial: i64, max: i64, decay: f64) -> OnlineSorter {
+    OnlineSorter::new(
+        SorterConfig {
+            initial_frame_us: initial,
+            min_frame_us: 0,
+            max_frame_us: max,
+            growth: FrameGrowth::ToObservedLateness,
+            decay_factor: decay,
+            decay_interval: Duration::from_millis(10),
+        },
+        0,
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// Conservation: every pushed record is released exactly once, no
+    /// matter how pushes and polls interleave.
+    #[test]
+    fn conservation(workload in arb_workload(), frame in 0i64..5_000) {
+        let mut s = sorter(frame, 1_000_000, 0.9);
+        let mut seqs = std::collections::HashSet::new();
+        let mut released = Vec::new();
+        let mut seq_per_source = [0u64; 4];
+        for (i, &(src, ts)) in workload.iter().enumerate() {
+            let seq = seq_per_source[src as usize];
+            seq_per_source[src as usize] += 1;
+            prop_assert!(seqs.insert((src, seq)));
+            s.push(rec(src, seq, ts));
+            if i % 7 == 0 {
+                released.extend(s.poll(UtcMicros::from_micros(ts)));
+            }
+        }
+        released.extend(s.drain_all());
+        prop_assert_eq!(released.len(), workload.len());
+        let mut seen = std::collections::HashSet::new();
+        for r in &released {
+            prop_assert!(seen.insert((r.node.raw(), r.seq)), "duplicate release");
+        }
+        prop_assert_eq!(s.buffered(), 0);
+    }
+
+    /// With a frame at least as large as any possible lateness and arrival
+    /// polls that never outrun creation time, the output is perfectly
+    /// sorted.
+    #[test]
+    fn sufficient_frame_gives_total_order(workload in arb_workload()) {
+        // Max lateness: each record arrives when pushed; we poll at the
+        // max creation time seen so far. Worst-case disorder is bounded by
+        // the largest per-source ts difference at any poll = bounded by
+        // total span. Use a frame covering the whole span.
+        let span = workload.iter().map(|&(_, ts)| ts).max().unwrap_or(0) + 1;
+        let mut s = sorter(span, span.max(1), 1.0);
+        let mut max_seen = 0;
+        let mut out = Vec::new();
+        let mut seq_per_source = [0u64; 4];
+        for &(src, ts) in &workload {
+            let seq = seq_per_source[src as usize];
+            seq_per_source[src as usize] += 1;
+            s.push(rec(src, seq, ts));
+            max_seen = max_seen.max(ts);
+            out.extend(s.poll(UtcMicros::from_micros(max_seen)));
+        }
+        out.extend(s.drain_all());
+        for w in out.windows(2) {
+            prop_assert!(w[0].ts <= w[1].ts, "out of order: {:?} then {:?}", w[0].ts, w[1].ts);
+        }
+    }
+
+    /// Per-source FIFO: the sorter never reorders two records of the same
+    /// (node, sensor) stream.
+    #[test]
+    fn per_source_fifo(workload in arb_workload(), frame in 0i64..2_000) {
+        let mut s = sorter(frame, 100_000, 0.8);
+        let mut out = Vec::new();
+        let mut seq_per_source = [0u64; 4];
+        for &(src, ts) in &workload {
+            let seq = seq_per_source[src as usize];
+            seq_per_source[src as usize] += 1;
+            s.push(rec(src, seq, ts));
+            out.extend(s.poll(UtcMicros::from_micros(ts)));
+        }
+        out.extend(s.drain_all());
+        for src in 0..4u32 {
+            let seqs: Vec<u64> = out
+                .iter()
+                .filter(|r| r.node == NodeId(src))
+                .map(|r| r.seq)
+                .collect();
+            prop_assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    /// The frame always stays within its configured bounds, whatever the
+    /// traffic does.
+    #[test]
+    fn frame_respects_bounds(workload in arb_workload(), max_frame in 1i64..3_000) {
+        let mut s = sorter(0, max_frame, 0.5);
+        for (i, &(src, ts)) in workload.iter().enumerate() {
+            s.push(rec(src, i as u64, ts));
+            s.poll(UtcMicros::from_micros(ts));
+            prop_assert!(s.frame_us() >= 0);
+            prop_assert!(s.frame_us() <= max_frame, "frame {} > max {}", s.frame_us(), max_frame);
+        }
+    }
+
+    /// A record is never released before its creation time plus the frame
+    /// active at release (unless forced by the buffer bound, which these
+    /// runs never hit).
+    #[test]
+    fn no_premature_release(ts in 0i64..10_000, frame in 1i64..5_000) {
+        let mut s = sorter(frame, frame, 1.0);
+        s.push(rec(0, 0, ts));
+        // One microsecond before the deadline: nothing.
+        let early = s.poll(UtcMicros::from_micros(ts + frame - 1));
+        prop_assert!(early.is_empty());
+        let on_time = s.poll(UtcMicros::from_micros(ts + frame));
+        prop_assert_eq!(on_time.len(), 1);
+    }
+
+    /// Buffer-bound pressure releases early but still in merged order and
+    /// without loss.
+    #[test]
+    fn memory_pressure_keeps_order_and_conservation(
+        workload in arb_workload(),
+        bound in 1usize..20,
+    ) {
+        let mut s = OnlineSorter::new(
+            SorterConfig {
+                initial_frame_us: 1_000_000, // effectively infinite
+                min_frame_us: 0,
+                max_frame_us: 1_000_000,
+                decay_factor: 1.0,
+                ..SorterConfig::default()
+            },
+            bound,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        for (i, &(src, ts)) in workload.iter().enumerate() {
+            s.push(rec(src, i as u64, ts));
+            out.extend(s.poll(UtcMicros::from_micros(ts)));
+            prop_assert!(s.buffered() <= bound.max(1));
+        }
+        out.extend(s.drain_all());
+        prop_assert_eq!(out.len(), workload.len());
+    }
+}

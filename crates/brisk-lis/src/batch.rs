@@ -1,0 +1,250 @@
+//! Batching and latency control (§3.4, Fig. 1).
+//!
+//! "Events of interest … may together form large volumes of instrumentation
+//! data … On the other hand, in time-critical applications … it may be
+//! desired that important events be delivered to a central place as soon as
+//! possible. Clearly, these two requirements are in contradiction." (§2)
+//!
+//! The [`Batcher`] resolves the contradiction with knobs: a batch is
+//! flushed when it reaches `max_batch_records` records or
+//! `max_batch_bytes` encoded bytes (throughput mode), or when its oldest
+//! record has waited `flush_timeout` (latency mode). The EXS main loop
+//! drives it with the current time, so the same logic runs under real and
+//! simulated clocks.
+
+use brisk_core::{EventRecord, ExsConfig, UtcMicros};
+
+/// Why a batch was emitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The record-count knob tripped.
+    Records,
+    /// The encoded-size knob tripped.
+    Bytes,
+    /// The oldest buffered record hit the flush timeout.
+    Timeout,
+    /// An explicit flush (shutdown, or a caller forcing latency).
+    Forced,
+}
+
+/// Accumulates records and decides when to emit a batch.
+#[derive(Debug)]
+pub struct Batcher {
+    cfg: ExsConfig,
+    pending: Vec<EventRecord>,
+    pending_bytes: usize,
+    oldest_enqueued_at: Option<UtcMicros>,
+    batches_emitted: u64,
+    records_emitted: u64,
+}
+
+impl Batcher {
+    /// New batcher with the given knobs.
+    pub fn new(cfg: ExsConfig) -> Self {
+        let cap = cfg.max_batch_records;
+        Batcher {
+            cfg,
+            pending: Vec::with_capacity(cap),
+            pending_bytes: 0,
+            oldest_enqueued_at: None,
+            batches_emitted: 0,
+            records_emitted: 0,
+        }
+    }
+
+    /// Number of records currently buffered.
+    pub fn pending_records(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Estimated wire size of the buffered records.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending_bytes
+    }
+
+    /// Batches emitted so far.
+    pub fn batches_emitted(&self) -> u64 {
+        self.batches_emitted
+    }
+
+    /// Records emitted so far.
+    pub fn records_emitted(&self) -> u64 {
+        self.records_emitted
+    }
+
+    /// Add a record (stamped as arriving at `now`). Returns a full batch if
+    /// one of the size knobs tripped.
+    pub fn push(&mut self, rec: EventRecord, now: UtcMicros) -> Option<(Vec<EventRecord>, FlushReason)> {
+        self.pending_bytes += rec.xdr_payload_size();
+        self.pending.push(rec);
+        if self.oldest_enqueued_at.is_none() {
+            self.oldest_enqueued_at = Some(now);
+        }
+        if self.pending.len() >= self.cfg.max_batch_records {
+            return Some((self.take(), FlushReason::Records));
+        }
+        if self.pending_bytes >= self.cfg.max_batch_bytes {
+            return Some((self.take(), FlushReason::Bytes));
+        }
+        None
+    }
+
+    /// Check the latency knob: if the oldest buffered record has waited at
+    /// least `flush_timeout`, emit what we have.
+    pub fn poll_timeout(&mut self, now: UtcMicros) -> Option<(Vec<EventRecord>, FlushReason)> {
+        let oldest = self.oldest_enqueued_at?;
+        let waited = now.micros_since(oldest);
+        if waited >= self.cfg.flush_timeout.as_micros() as i64 {
+            Some((self.take(), FlushReason::Timeout))
+        } else {
+            None
+        }
+    }
+
+    /// Time until the latency knob would trip, if anything is pending; the
+    /// EXS uses it to size its blocking waits.
+    pub fn time_to_deadline(&self, now: UtcMicros) -> Option<i64> {
+        let oldest = self.oldest_enqueued_at?;
+        Some(self.cfg.flush_timeout.as_micros() as i64 - now.micros_since(oldest))
+    }
+
+    /// Unconditionally emit everything buffered (may be empty).
+    pub fn flush(&mut self) -> Option<(Vec<EventRecord>, FlushReason)> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        Some((self.take(), FlushReason::Forced))
+    }
+
+    fn take(&mut self) -> Vec<EventRecord> {
+        self.pending_bytes = 0;
+        self.oldest_enqueued_at = None;
+        self.batches_emitted += 1;
+        self.records_emitted += self.pending.len() as u64;
+        std::mem::take(&mut self.pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_core::{EventTypeId, NodeId, SensorId, Value};
+    use std::time::Duration;
+
+    fn rec(seq: u64) -> EventRecord {
+        EventRecord::new(
+            NodeId(1),
+            SensorId(0),
+            EventTypeId(1),
+            seq,
+            UtcMicros::from_micros(seq as i64),
+            vec![Value::I32(0); 6],
+        )
+        .unwrap()
+    }
+
+    fn cfg(records: usize, bytes: usize, timeout_ms: u64) -> ExsConfig {
+        ExsConfig {
+            max_batch_records: records,
+            max_batch_bytes: bytes,
+            flush_timeout: Duration::from_millis(timeout_ms),
+            ..ExsConfig::default()
+        }
+    }
+
+    #[test]
+    fn record_count_knob_trips() {
+        let mut b = Batcher::new(cfg(3, 1 << 20, 40));
+        let now = UtcMicros::ZERO;
+        assert!(b.push(rec(0), now).is_none());
+        assert!(b.push(rec(1), now).is_none());
+        let (batch, reason) = b.push(rec(2), now).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(reason, FlushReason::Records);
+        assert_eq!(b.pending_records(), 0);
+        assert_eq!(b.batches_emitted(), 1);
+        assert_eq!(b.records_emitted(), 3);
+    }
+
+    #[test]
+    fn byte_knob_trips() {
+        // Each six-i32 record is 56 XDR bytes; 100 bytes → 2 records.
+        let mut b = Batcher::new(cfg(1000, 100, 40));
+        let now = UtcMicros::ZERO;
+        assert!(b.push(rec(0), now).is_none());
+        let (batch, reason) = b.push(rec(1), now).unwrap();
+        assert_eq!(reason, FlushReason::Bytes);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(b.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn timeout_knob_trips_on_oldest_record() {
+        let mut b = Batcher::new(cfg(1000, 1 << 20, 40));
+        let t0 = UtcMicros::ZERO;
+        b.push(rec(0), t0);
+        // 30 ms later: not yet.
+        assert!(b.poll_timeout(t0 + Duration::from_millis(30)).is_none());
+        b.push(rec(1), t0 + Duration::from_millis(30));
+        // 41 ms after the FIRST record: trips even though the second is young.
+        let (batch, reason) = b.poll_timeout(t0 + Duration::from_millis(41)).unwrap();
+        assert_eq!(reason, FlushReason::Timeout);
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn timeout_resets_after_flush() {
+        let mut b = Batcher::new(cfg(1000, 1 << 20, 40));
+        let t0 = UtcMicros::ZERO;
+        b.push(rec(0), t0);
+        b.poll_timeout(t0 + Duration::from_millis(50)).unwrap();
+        // New record restarts the deadline.
+        b.push(rec(1), t0 + Duration::from_millis(60));
+        assert!(b.poll_timeout(t0 + Duration::from_millis(90)).is_none());
+        assert!(b.poll_timeout(t0 + Duration::from_millis(100)).is_some());
+    }
+
+    #[test]
+    fn empty_batcher_never_times_out() {
+        let mut b = Batcher::new(cfg(10, 1 << 20, 40));
+        assert!(b.poll_timeout(UtcMicros::from_secs(100)).is_none());
+        assert!(b.time_to_deadline(UtcMicros::ZERO).is_none());
+        assert!(b.flush().is_none());
+    }
+
+    #[test]
+    fn time_to_deadline_counts_down() {
+        let mut b = Batcher::new(cfg(10, 1 << 20, 40));
+        let t0 = UtcMicros::ZERO;
+        b.push(rec(0), t0);
+        assert_eq!(b.time_to_deadline(t0), Some(40_000));
+        assert_eq!(b.time_to_deadline(t0 + Duration::from_millis(15)), Some(25_000));
+        assert_eq!(b.time_to_deadline(t0 + Duration::from_millis(45)), Some(-5_000));
+    }
+
+    #[test]
+    fn forced_flush_emits_partial_batch() {
+        let mut b = Batcher::new(cfg(10, 1 << 20, 40));
+        b.push(rec(0), UtcMicros::ZERO);
+        let (batch, reason) = b.flush().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(reason, FlushReason::Forced);
+        assert!(b.flush().is_none());
+    }
+
+    #[test]
+    fn batches_preserve_order() {
+        let mut b = Batcher::new(cfg(4, 1 << 20, 40));
+        let mut emitted = Vec::new();
+        for i in 0..10 {
+            if let Some((batch, _)) = b.push(rec(i), UtcMicros::ZERO) {
+                emitted.extend(batch);
+            }
+        }
+        if let Some((batch, _)) = b.flush() {
+            emitted.extend(batch);
+        }
+        let seqs: Vec<u64> = emitted.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,545 @@
+//! The external sensor (EXS).
+//!
+//! "The memory is read by an external sensor, which runs as another process
+//! on the same node and may be assigned a lower priority" (§3.1). The EXS:
+//!
+//! 1. drains the node's sensor rings,
+//! 2. adds the clock-sync *correction value* to every timestamp (§3.2),
+//! 3. batches records under the latency-control knobs and ships batches to
+//!    the ISM over the transfer protocol (§3.4),
+//! 4. acts as the clock-sync *slave*: answers `SyncPoll`s with its corrected
+//!    time and applies `SyncAdjust`s to the correction value (§3.3).
+//!
+//! When there is nothing to do, the EXS parks in a short timed `recv` on
+//! its ISM connection — the "waiting select system call" the paper
+//! identifies as the worst-case latency contributor (§4): an event arriving
+//! right after the EXS goes to sleep waits out the poll interval, and a
+//! partial batch waits out the flush timeout.
+//!
+//! All EXS *deadlines* (the flush timeout in particular) are measured on
+//! the node's clock, not on wall time, so the whole component is
+//! deterministic under a simulated clock. The flip side: a simulated clock
+//! that stops advancing freezes those deadlines — tests and examples that
+//! drive a `SimClock` must keep advancing it (or call the handle's `stop`,
+//! which force-flushes) for timeout flushes to fire.
+
+use crate::batch::{Batcher, FlushReason};
+use brisk_clock::{Clock, CorrectedClock};
+use brisk_core::{BriskError, EventRecord, ExsConfig, NodeId, Result};
+use brisk_net::Connection;
+use brisk_proto::Message;
+use brisk_ringbuf::RingSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Counters the EXS maintains while running.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExsStats {
+    /// Records drained from sensor rings.
+    pub records_drained: u64,
+    /// Records sent to the ISM.
+    pub records_sent: u64,
+    /// Batches sent.
+    pub batches_sent: u64,
+    /// Batches flushed by the record-count knob.
+    pub flush_records: u64,
+    /// Batches flushed by the byte-size knob.
+    pub flush_bytes: u64,
+    /// Batches flushed by the latency timeout.
+    pub flush_timeout: u64,
+    /// Batches flushed explicitly (shutdown).
+    pub flush_forced: u64,
+    /// Sync polls answered.
+    pub sync_replies: u64,
+    /// Sync adjustments applied.
+    pub adjustments: u64,
+    /// Nanoseconds spent doing work (excludes waiting); the E2 utilization
+    /// numerator.
+    pub busy_nanos: u64,
+    /// Loop iterations executed.
+    pub iterations: u64,
+}
+
+/// What one [`ExternalSensor::step`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExsStep {
+    /// Work was done (records moved or messages handled).
+    Busy,
+    /// Nothing to do; the step waited.
+    Idle,
+    /// The ISM asked us to shut down (orderly `Shutdown` message).
+    Shutdown,
+    /// The connection dropped without an orderly shutdown.
+    Disconnected,
+}
+
+/// The external sensor: one per node.
+pub struct ExternalSensor {
+    node: NodeId,
+    rings: Arc<RingSet>,
+    clock: Arc<CorrectedClock<Arc<dyn Clock>>>,
+    conn: Box<dyn Connection>,
+    cfg: ExsConfig,
+    batcher: Batcher,
+    stats: ExsStats,
+    drain_buf: Vec<EventRecord>,
+}
+
+impl ExternalSensor {
+    /// Connect-side constructor: sends the `Hello` preamble immediately.
+    ///
+    /// `raw_clock` is the same clock the node's sensors sample; the EXS
+    /// wraps it with the correction value it maintains.
+    pub fn new(
+        node: NodeId,
+        rings: Arc<RingSet>,
+        raw_clock: Arc<dyn Clock>,
+        mut conn: Box<dyn Connection>,
+        cfg: ExsConfig,
+    ) -> Result<Self> {
+        cfg.validate()?;
+        conn.send(&Message::Hello {
+            node,
+            version: brisk_proto::VERSION,
+        }
+        .encode())?;
+        Ok(ExternalSensor {
+            node,
+            rings,
+            clock: CorrectedClock::new(raw_clock),
+            conn,
+            batcher: Batcher::new(cfg.clone()),
+            cfg,
+            stats: ExsStats::default(),
+            drain_buf: Vec::with_capacity(512),
+        })
+    }
+
+    /// The node this EXS serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The corrected clock (shared view; records are stamped with raw time
+    /// by sensors and shifted by this clock's correction on the way out).
+    pub fn corrected_clock(&self) -> &Arc<CorrectedClock<Arc<dyn Clock>>> {
+        &self.clock
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ExsStats {
+        self.stats
+    }
+
+    /// Run one iteration: drain, batch, ship, answer control traffic.
+    pub fn step(&mut self) -> Result<ExsStep> {
+        let work_start = Instant::now();
+        self.stats.iterations += 1;
+
+        // 1. Drain sensor rings and apply the correction value.
+        let correction = self.clock.correction_us();
+        self.drain_buf.clear();
+        let drained = self
+            .rings
+            .drain_into(self.cfg.max_batch_records * 2, &mut self.drain_buf)?;
+        self.stats.records_drained += drained as u64;
+        let now = self.clock.now();
+        let mut pending = std::mem::take(&mut self.drain_buf);
+        for mut rec in pending.drain(..) {
+            rec.apply_correction(correction);
+            if let Some((batch, reason)) = self.batcher.push(rec, now) {
+                self.send_batch(batch, reason)?;
+            }
+        }
+        self.drain_buf = pending; // keep the allocation (workhorse buffer)
+
+        // 2. Latency control: flush a stale partial batch.
+        if let Some((batch, reason)) = self.batcher.poll_timeout(self.clock.now()) {
+            self.send_batch(batch, reason)?;
+        }
+
+        // 3. Control traffic. When busy, poll without blocking; when idle,
+        //    this wait is the EXS's sleep (bounded by the idle knob and by
+        //    the batch deadline so a partial batch cannot oversleep).
+        let busy = drained > 0;
+        let wait = if busy {
+            Duration::ZERO
+        } else {
+            let mut w = self.cfg.idle_sleep;
+            if let Some(dl) = self.batcher.time_to_deadline(self.clock.now()) {
+                let dl = Duration::from_micros(dl.max(0) as u64);
+                w = w.min(dl.max(Duration::from_micros(1)));
+            }
+            w
+        };
+        self.stats.busy_nanos += work_start.elapsed().as_nanos() as u64;
+        let msg = match self.conn.recv(Some(wait)) {
+            Ok(Some(frame)) => Some(Message::decode(&frame)?),
+            Ok(None) => None,
+            Err(e) if e.is_disconnect() => return Ok(ExsStep::Disconnected),
+            Err(e) => return Err(e),
+        };
+        if let Some(msg) = msg {
+            let handle_start = Instant::now();
+            let outcome = self.handle_control(msg)?;
+            self.stats.busy_nanos += handle_start.elapsed().as_nanos() as u64;
+            if outcome == ExsStep::Shutdown {
+                return Ok(ExsStep::Shutdown);
+            }
+            return Ok(ExsStep::Busy);
+        }
+        Ok(if busy { ExsStep::Busy } else { ExsStep::Idle })
+    }
+
+    fn handle_control(&mut self, msg: Message) -> Result<ExsStep> {
+        match msg {
+            Message::SyncPoll {
+                round,
+                sample,
+                master_send,
+            } => {
+                // Reply with the *corrected* local time: slaves converge on
+                // each other through their corrections.
+                let reply = Message::SyncReply {
+                    round,
+                    sample,
+                    master_send,
+                    slave_time: self.clock.now(),
+                };
+                self.conn.send(&reply.encode())?;
+                self.stats.sync_replies += 1;
+                Ok(ExsStep::Busy)
+            }
+            Message::SyncAdjust { advance_us, .. } => {
+                self.clock.adjust(advance_us);
+                self.stats.adjustments += 1;
+                Ok(ExsStep::Busy)
+            }
+            Message::Shutdown => Ok(ExsStep::Shutdown),
+            other => Err(BriskError::Protocol(format!(
+                "unexpected message at EXS: {other:?}"
+            ))),
+        }
+    }
+
+    fn send_batch(&mut self, records: Vec<EventRecord>, reason: FlushReason) -> Result<()> {
+        let n = records.len() as u64;
+        let msg = Message::EventBatch {
+            node: self.node,
+            records,
+        };
+        self.conn.send(&msg.encode())?;
+        self.stats.records_sent += n;
+        self.stats.batches_sent += 1;
+        match reason {
+            FlushReason::Records => self.stats.flush_records += 1,
+            FlushReason::Bytes => self.stats.flush_bytes += 1,
+            FlushReason::Timeout => self.stats.flush_timeout += 1,
+            FlushReason::Forced => self.stats.flush_forced += 1,
+        }
+        Ok(())
+    }
+
+    /// Run until `stop` is raised or the ISM shuts us down. Flushes pending
+    /// records and sends `Shutdown` on the way out. Returns final stats.
+    pub fn run(mut self, stop: &AtomicBool) -> Result<ExsStats> {
+        while !stop.load(Ordering::Relaxed) {
+            match self.step()? {
+                ExsStep::Shutdown | ExsStep::Disconnected => break,
+                ExsStep::Busy | ExsStep::Idle => {}
+            }
+        }
+        self.finish()
+    }
+
+    /// Orderly teardown: drain the rings, flush everything buffered and
+    /// send `Shutdown`, so no accepted record is lost. Consumes the EXS
+    /// and returns its final stats.
+    pub fn finish(mut self) -> Result<ExsStats> {
+        self.drain_buf.clear();
+        let correction = self.clock.correction_us();
+        self.rings.drain_into(usize::MAX, &mut self.drain_buf)?;
+        self.stats.records_drained += self.drain_buf.len() as u64;
+        let now = self.clock.now();
+        let pending = std::mem::take(&mut self.drain_buf);
+        for mut rec in pending {
+            rec.apply_correction(correction);
+            if let Some((batch, reason)) = self.batcher.push(rec, now) {
+                self.send_batch(batch, reason)?;
+            }
+        }
+        if let Some((batch, reason)) = self.batcher.flush() {
+            self.send_batch(batch, reason)?;
+        }
+        let _ = self.conn.send(&Message::Shutdown.encode());
+        Ok(self.stats)
+    }
+}
+
+/// Handle to an EXS running on its own thread.
+pub struct ExsHandle {
+    stop: Arc<AtomicBool>,
+    clock: Arc<CorrectedClock<Arc<dyn Clock>>>,
+    join: std::thread::JoinHandle<Result<ExsStats>>,
+}
+
+impl ExsHandle {
+    /// The EXS's corrected clock (e.g. to observe the correction value).
+    pub fn corrected_clock(&self) -> &Arc<CorrectedClock<Arc<dyn Clock>>> {
+        &self.clock
+    }
+
+    /// Signal the EXS to stop.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Signal and wait for the EXS; returns its final stats.
+    pub fn stop(self) -> Result<ExsStats> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.join
+            .join()
+            .map_err(|_| BriskError::Sync("EXS thread panicked".into()))?
+    }
+}
+
+/// Spawn an EXS on a dedicated thread (the usual deployment: "runs as
+/// another process on the same node", here a thread).
+pub fn spawn_exs(
+    node: NodeId,
+    rings: Arc<RingSet>,
+    raw_clock: Arc<dyn Clock>,
+    conn: Box<dyn Connection>,
+    cfg: ExsConfig,
+) -> Result<ExsHandle> {
+    let exs = ExternalSensor::new(node, rings, raw_clock, conn, cfg)?;
+    let clock = Arc::clone(exs.corrected_clock());
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name(format!("brisk-exs-{node}"))
+        .spawn(move || exs.run(&stop2))
+        .map_err(BriskError::Io)?;
+    Ok(ExsHandle { stop, clock, join })
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // single-knob mutation is the point of these tests
+mod tests {
+    use super::*;
+    use brisk_clock::{SimClock, SimTimeSource, SystemClock};
+    use brisk_core::{EventTypeId, UtcMicros, Value};
+    use brisk_net::{LinkModel, MemTransport, Transport};
+
+    struct Rig {
+        exs: ExternalSensor,
+        ism_side: Box<dyn Connection>,
+        src: SimTimeSource,
+        rings: Arc<RingSet>,
+    }
+
+    fn rig(cfg: ExsConfig, clock_offset: i64) -> Rig {
+        let t = MemTransport::with_model(LinkModel::ideal());
+        let mut l = t.listen("ism").unwrap();
+        let conn = t.connect("ism").unwrap();
+        let ism_side = l.accept(Some(Duration::from_secs(1))).unwrap().unwrap();
+        let src = SimTimeSource::new();
+        let raw: Arc<dyn Clock> = Arc::new(SimClock::new(src.clone(), clock_offset, 0.0, 1));
+        let rings = RingSet::new(NodeId(7), cfg.ring_capacity);
+        let exs = ExternalSensor::new(NodeId(7), Arc::clone(&rings), raw, conn, cfg).unwrap();
+        Rig {
+            exs,
+            ism_side,
+            src,
+            rings,
+        }
+    }
+
+    fn recv_msg(conn: &mut Box<dyn Connection>) -> Message {
+        let frame = conn.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        Message::decode(&frame).unwrap()
+    }
+
+    #[test]
+    fn hello_is_sent_on_connect() {
+        let mut r = rig(ExsConfig::default(), 0);
+        assert_eq!(
+            recv_msg(&mut r.ism_side),
+            Message::Hello {
+                node: NodeId(7),
+                version: brisk_proto::VERSION
+            }
+        );
+        let _ = &r.exs;
+    }
+
+    #[test]
+    fn records_flow_and_get_corrected() {
+        let mut cfg = ExsConfig::default();
+        cfg.max_batch_records = 2;
+        let mut r = rig(cfg, 0);
+        recv_msg(&mut r.ism_side); // hello
+
+        // Apply a known correction, then emit records with raw timestamps.
+        r.exs.corrected_clock().adjust(1_000);
+        let mut port = r.rings.register();
+        r.src.advance_by(50);
+        port.emit(EventTypeId(1), UtcMicros::from_micros(50), vec![Value::I32(1)])
+            .unwrap();
+        port.emit(EventTypeId(1), UtcMicros::from_micros(51), vec![Value::I32(2)])
+            .unwrap();
+
+        r.exs.step().unwrap();
+        match recv_msg(&mut r.ism_side) {
+            Message::EventBatch { node, records } => {
+                assert_eq!(node, NodeId(7));
+                assert_eq!(records.len(), 2);
+                assert_eq!(records[0].ts, UtcMicros::from_micros(1_050));
+                assert_eq!(records[1].ts, UtcMicros::from_micros(1_051));
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert_eq!(r.exs.stats().records_sent, 2);
+        assert_eq!(r.exs.stats().flush_records, 1);
+    }
+
+    #[test]
+    fn partial_batch_flushes_on_timeout() {
+        let mut cfg = ExsConfig::default();
+        cfg.max_batch_records = 100;
+        cfg.flush_timeout = Duration::from_millis(40);
+        let mut r = rig(cfg, 0);
+        recv_msg(&mut r.ism_side); // hello
+
+        let mut port = r.rings.register();
+        port.emit(EventTypeId(1), UtcMicros::ZERO, vec![]).unwrap();
+        r.exs.step().unwrap(); // drains; batch stays partial
+        assert_eq!(r.exs.stats().batches_sent, 0);
+
+        r.src.advance_by(41_000); // 41 ms of sim time
+        r.exs.step().unwrap();
+        match recv_msg(&mut r.ism_side) {
+            Message::EventBatch { records, .. } => assert_eq!(records.len(), 1),
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert_eq!(r.exs.stats().flush_timeout, 1);
+    }
+
+    #[test]
+    fn sync_poll_answered_with_corrected_time() {
+        let mut r = rig(ExsConfig::default(), 500);
+        recv_msg(&mut r.ism_side); // hello
+        r.exs.corrected_clock().adjust(-200);
+        r.src.advance_by(1_000);
+        r.ism_side
+            .send(
+                &Message::SyncPoll {
+                    round: 3,
+                    sample: 1,
+                    master_send: UtcMicros::from_micros(42),
+                }
+                .encode(),
+            )
+            .unwrap();
+        r.exs.step().unwrap();
+        match recv_msg(&mut r.ism_side) {
+            Message::SyncReply {
+                round,
+                sample,
+                master_send,
+                slave_time,
+            } => {
+                assert_eq!(round, 3);
+                assert_eq!(sample, 1);
+                assert_eq!(master_send, UtcMicros::from_micros(42));
+                // raw = 1000 + 500 offset, correction −200 → 1300.
+                assert_eq!(slave_time, UtcMicros::from_micros(1_300));
+            }
+            other => panic!("expected reply, got {other:?}"),
+        }
+        assert_eq!(r.exs.stats().sync_replies, 1);
+    }
+
+    #[test]
+    fn sync_adjust_moves_correction() {
+        let mut r = rig(ExsConfig::default(), 0);
+        recv_msg(&mut r.ism_side);
+        r.ism_side
+            .send(&Message::SyncAdjust { round: 1, advance_us: 777 }.encode())
+            .unwrap();
+        r.exs.step().unwrap();
+        assert_eq!(r.exs.corrected_clock().correction_us(), 777);
+        assert_eq!(r.exs.stats().adjustments, 1);
+    }
+
+    #[test]
+    fn shutdown_message_stops_step() {
+        let mut r = rig(ExsConfig::default(), 0);
+        recv_msg(&mut r.ism_side);
+        r.ism_side.send(&Message::Shutdown.encode()).unwrap();
+        assert_eq!(r.exs.step().unwrap(), ExsStep::Shutdown);
+    }
+
+    #[test]
+    fn unexpected_message_is_protocol_error() {
+        let mut r = rig(ExsConfig::default(), 0);
+        recv_msg(&mut r.ism_side);
+        r.ism_side
+            .send(
+                &Message::Hello {
+                    node: NodeId(1),
+                    version: brisk_proto::VERSION,
+                }
+                .encode(),
+            )
+            .unwrap();
+        assert!(r.exs.step().is_err());
+    }
+
+    #[test]
+    fn run_flushes_pending_records_on_stop() {
+        let t = MemTransport::new();
+        let mut l = t.listen("ism").unwrap();
+        let conn = t.connect("ism").unwrap();
+        let mut ism_side = l.accept(Some(Duration::from_secs(1))).unwrap().unwrap();
+        let rings = RingSet::new(NodeId(1), 1 << 20);
+        let mut port = rings.register();
+        for i in 0..5 {
+            port.emit(EventTypeId(1), UtcMicros::from_micros(i), vec![]).unwrap();
+        }
+        let handle = spawn_exs(
+            NodeId(1),
+            rings,
+            Arc::new(SystemClock),
+            conn,
+            ExsConfig::default(),
+        )
+        .unwrap();
+        // Give the EXS a moment to drain, then stop it.
+        std::thread::sleep(Duration::from_millis(20));
+        let stats = handle.stop().unwrap();
+        assert_eq!(stats.records_drained, 5);
+        assert_eq!(stats.records_sent, 5);
+
+        // ISM side sees hello, one batch (possibly several), then Shutdown.
+        let mut seen_records = 0;
+        loop {
+            match recv_msg(&mut ism_side) {
+                Message::Hello { .. } => {}
+                Message::EventBatch { records, .. } => seen_records += records.len(),
+                Message::Shutdown => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(seen_records, 5);
+    }
+
+    #[test]
+    fn idle_steps_report_idle() {
+        let mut r = rig(ExsConfig::default(), 0);
+        recv_msg(&mut r.ism_side);
+        assert_eq!(r.exs.step().unwrap(), ExsStep::Idle);
+        assert!(r.exs.stats().iterations >= 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # brisk-lis — the local instrumentation server
+//!
+//! One LIS runs on each node of the target system (§3.1, §3.2). It has two
+//! halves:
+//!
+//! * **Internal sensors** — the instrumentation points inside the
+//!   application. The original's cpp `NOTICE` macros become the
+//!   [`notice!`] macro, which samples the clock, builds a dynamically-typed
+//!   record and writes it to the node's shared ring buffer without ever
+//!   blocking. The paper's "utility tool … to create custom NOTICE macros
+//!   having user-defined field types" (an on-demand partial evaluation of
+//!   the sensors) becomes the [`define_notice!`] macro, which generates a
+//!   monomorphic, statically-typed emit function.
+//! * **The external sensor (EXS)** — [`exs::ExternalSensor`], a separate
+//!   thread (the original used a separate, lower-priority process) that
+//!   drains the ring buffers, adds the clock-sync correction value to every
+//!   timestamp, batches records under the latency-control knobs
+//!   ([`brisk_core::ExsConfig`]) and ships batches to the ISM over the
+//!   transfer protocol. It also answers clock-sync polls and applies
+//!   adjustments (the sync *slave* role).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod batch;
+pub mod exs;
+pub mod profiling;
+pub mod sensor;
+pub mod supervisor;
+
+pub use batch::{Batcher, FlushReason};
+pub use exs::{spawn_exs, ExsHandle, ExsStats, ExternalSensor};
+pub use profiling::{CounterSensor, Scope, SensorGate};
+pub use sensor::Lis;
+pub use supervisor::{spawn_exs_supervised, SupervisedExsHandle, SupervisorConfig};

@@ -1,0 +1,393 @@
+//! Higher-level monitoring methods built on the event-based kernel.
+//!
+//! The paper positions BRISK as a kernel able to "emulate other
+//! methods/techniques (e.g., a hybrid monitoring approach for tracing or
+//! profiling) by a software, event-based monitoring approach" (§2). This
+//! module is that emulation layer:
+//!
+//! * [`Scope`] — tracing/profiling: RAII enter/exit event pairs with an
+//!   elapsed-time field, from which `brisk-consumers`' profile builder
+//!   reconstructs per-scope call counts and durations.
+//! * [`CounterSensor`] — sampled counters: local accumulation with periodic
+//!   snapshot events, trading temporal resolution for intrusion (the
+//!   classic hybrid-monitoring trick of keeping counts in memory and
+//!   draining them on a clock).
+//! * [`SensorGate`] — dynamic monitoring control: tools can enable or
+//!   disable event types at run time without touching the application,
+//!   supporting the "users can only specify what to monitor" goal.
+
+use brisk_clock::Clock;
+use brisk_core::{EventTypeId, UtcMicros, Value};
+use brisk_ringbuf::SensorPort;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Field-0 discriminator for records emitted by this module.
+pub mod kind {
+    /// Scope entry.
+    pub const ENTER: u8 = 1;
+    /// Scope exit (carries the elapsed time).
+    pub const EXIT: u8 = 2;
+    /// Counter snapshot (carries the running value and the delta since the
+    /// previous snapshot).
+    pub const COUNTER: u8 = 3;
+}
+
+/// RAII tracing scope: emits an `ENTER` record on creation and an `EXIT`
+/// record (with elapsed microseconds) on drop.
+///
+/// ```
+/// use brisk_clock::SystemClock;
+/// use brisk_core::{EventTypeId, ExsConfig, NodeId};
+/// use brisk_lis::{profiling::Scope, Lis};
+/// use std::sync::Arc;
+///
+/// let lis = Lis::new(NodeId(0), Arc::new(SystemClock), &ExsConfig::default());
+/// let mut port = lis.register();
+/// {
+///     let _scope = Scope::enter(&mut port, &**lis.clock(), EventTypeId(7), 42);
+///     // ... the instrumented region ...
+/// } // EXIT emitted here
+/// ```
+pub struct Scope<'p, C: Clock + ?Sized> {
+    port: &'p mut SensorPort,
+    clock: &'p C,
+    event_type: EventTypeId,
+    scope_id: u64,
+    entered_at: UtcMicros,
+}
+
+impl<'p, C: Clock + ?Sized> Scope<'p, C> {
+    /// Enter a scope, emitting the `ENTER` record. `scope_id` correlates
+    /// the pair; use anything unique per activation (loop index, request
+    /// id, …).
+    pub fn enter(
+        port: &'p mut SensorPort,
+        clock: &'p C,
+        event_type: EventTypeId,
+        scope_id: u64,
+    ) -> Self {
+        let entered_at = clock.now();
+        let _ = port.emit(
+            event_type,
+            entered_at,
+            vec![Value::U8(kind::ENTER), Value::U64(scope_id)],
+        );
+        Scope {
+            port,
+            clock,
+            event_type,
+            scope_id,
+            entered_at,
+        }
+    }
+
+    /// Time spent in the scope so far.
+    pub fn elapsed_us(&self) -> i64 {
+        self.clock.now().micros_since(self.entered_at)
+    }
+}
+
+impl<C: Clock + ?Sized> Drop for Scope<'_, C> {
+    fn drop(&mut self) {
+        let now = self.clock.now();
+        let elapsed = now.micros_since(self.entered_at);
+        let _ = self.port.emit(
+            self.event_type,
+            now,
+            vec![
+                Value::U8(kind::EXIT),
+                Value::U64(self.scope_id),
+                Value::I64(elapsed),
+            ],
+        );
+    }
+}
+
+/// A sampled counter: cheap local increments, one snapshot event per
+/// flush interval.
+pub struct CounterSensor {
+    event_type: EventTypeId,
+    value: u64,
+    delta: u64,
+    flush_every_us: i64,
+    last_flush: Option<UtcMicros>,
+    snapshots: u64,
+}
+
+impl CounterSensor {
+    /// New counter flushing a snapshot at most every `flush_every`.
+    pub fn new(event_type: EventTypeId, flush_every: Duration) -> Self {
+        CounterSensor {
+            event_type,
+            value: 0,
+            delta: 0,
+            flush_every_us: flush_every.as_micros() as i64,
+            last_flush: None,
+            snapshots: 0,
+        }
+    }
+
+    /// Current running value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Snapshot events emitted so far.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots
+    }
+
+    /// Add `delta`; emits a snapshot if the flush interval has elapsed.
+    /// Returns `true` if a snapshot record was emitted.
+    pub fn add(&mut self, port: &mut SensorPort, clock: &impl Clock, delta: u64) -> bool {
+        self.value += delta;
+        self.delta += delta;
+        let now = clock.now();
+        let due = match self.last_flush {
+            None => true,
+            Some(last) => now.micros_since(last) >= self.flush_every_us,
+        };
+        if due {
+            self.flush_at(port, now)
+        } else {
+            false
+        }
+    }
+
+    /// Force a snapshot now (e.g. at shutdown).
+    pub fn flush(&mut self, port: &mut SensorPort, clock: &impl Clock) -> bool {
+        let now = clock.now();
+        self.flush_at(port, now)
+    }
+
+    fn flush_at(&mut self, port: &mut SensorPort, now: UtcMicros) -> bool {
+        let published = port
+            .emit(
+                self.event_type,
+                now,
+                vec![
+                    Value::U8(kind::COUNTER),
+                    Value::U64(self.value),
+                    Value::U64(self.delta),
+                ],
+            )
+            .unwrap_or(false);
+        self.last_flush = Some(now);
+        self.delta = 0;
+        self.snapshots += 1;
+        published
+    }
+}
+
+/// Run-time monitoring switchboard: one enable bit per event type
+/// (0..=63), plus a default for higher ids. Cheap enough to consult on
+/// every `notice!`; shared between the application and control tools.
+pub struct SensorGate {
+    mask: AtomicU64,
+    /// Bit 0: default for event types >= 64.
+    high_default: AtomicU64,
+}
+
+impl SensorGate {
+    /// New gate with everything enabled.
+    pub fn all_enabled() -> Arc<Self> {
+        Arc::new(SensorGate {
+            mask: AtomicU64::new(u64::MAX),
+            high_default: AtomicU64::new(1),
+        })
+    }
+
+    /// New gate with everything disabled.
+    pub fn all_disabled() -> Arc<Self> {
+        Arc::new(SensorGate {
+            mask: AtomicU64::new(0),
+            high_default: AtomicU64::new(0),
+        })
+    }
+
+    /// Enable one event type.
+    pub fn enable(&self, ty: EventTypeId) {
+        if ty.raw() < 64 {
+            self.mask.fetch_or(1 << ty.raw(), Ordering::Relaxed);
+        } else {
+            self.high_default.store(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Disable one event type.
+    pub fn disable(&self, ty: EventTypeId) {
+        if ty.raw() < 64 {
+            self.mask.fetch_and(!(1 << ty.raw()), Ordering::Relaxed);
+        } else {
+            self.high_default.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Should events of this type be emitted right now?
+    #[inline]
+    pub fn permits(&self, ty: EventTypeId) -> bool {
+        if ty.raw() < 64 {
+            self.mask.load(Ordering::Relaxed) & (1 << ty.raw()) != 0
+        } else {
+            self.high_default.load(Ordering::Relaxed) != 0
+        }
+    }
+}
+
+/// A [`notice!`](crate::notice) that first consults a [`SensorGate`];
+/// returns `false` without touching the clock or the ring when the event
+/// type is disabled.
+#[macro_export]
+macro_rules! notice_gated {
+    ($gate:expr, $port:expr, $clock:expr, $event_type:expr $(, $field:expr)* $(,)?) => {{
+        let __ty = $event_type;
+        if $gate.permits(__ty) {
+            $crate::notice!($port, $clock, __ty $(, $field)*)
+        } else {
+            false
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lis;
+    use brisk_clock::{SimClock, SimTimeSource};
+    use brisk_core::{ExsConfig, NodeId};
+
+    fn sim_lis() -> (Lis<SimClock>, SimTimeSource) {
+        let src = SimTimeSource::new();
+        let clock = Arc::new(SimClock::new(src.clone(), 0, 0.0, 1));
+        (Lis::new(NodeId(0), clock, &ExsConfig::default()), src)
+    }
+
+    #[test]
+    fn scope_emits_matched_pair_with_elapsed() {
+        let (lis, src) = sim_lis();
+        let mut port = lis.register();
+        {
+            let scope = Scope::enter(&mut port, &**lis.clock(), EventTypeId(5), 99);
+            src.advance_by(1_234);
+            assert_eq!(scope.elapsed_us(), 1_234);
+        }
+        let mut out = Vec::new();
+        lis.rings().drain_into(10, &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].fields[0], Value::U8(kind::ENTER));
+        assert_eq!(out[0].fields[1], Value::U64(99));
+        assert_eq!(out[1].fields[0], Value::U8(kind::EXIT));
+        assert_eq!(out[1].fields[1], Value::U64(99));
+        assert_eq!(out[1].fields[2], Value::I64(1_234));
+        assert_eq!(out[1].ts.micros_since(out[0].ts), 1_234);
+    }
+
+    #[test]
+    fn nested_scopes_via_separate_ids() {
+        let (lis, src) = sim_lis();
+        let mut outer_port = lis.register();
+        let mut inner_port = lis.register();
+        {
+            let _outer = Scope::enter(&mut outer_port, &**lis.clock(), EventTypeId(1), 1);
+            src.advance_by(10);
+            {
+                let _inner = Scope::enter(&mut inner_port, &**lis.clock(), EventTypeId(2), 2);
+                src.advance_by(5);
+            }
+            src.advance_by(10);
+        }
+        let mut out = Vec::new();
+        lis.rings().drain_into(10, &mut out).unwrap();
+        assert_eq!(out.len(), 4);
+        let exit_elapsed: Vec<i64> = out
+            .iter()
+            .filter(|r| r.fields[0] == Value::U8(kind::EXIT))
+            .map(|r| r.fields[2].as_i64().unwrap())
+            .collect();
+        assert!(exit_elapsed.contains(&5));
+        assert!(exit_elapsed.contains(&25));
+    }
+
+    #[test]
+    fn counter_snapshots_on_interval() {
+        let (lis, src) = sim_lis();
+        let mut port = lis.register();
+        let mut counter = CounterSensor::new(EventTypeId(9), Duration::from_millis(10));
+        assert!(counter.add(&mut port, &**lis.clock(), 1)); // first add flushes
+        for _ in 0..100 {
+            src.advance_by(100); // 0.1 ms steps: below the interval
+            counter.add(&mut port, &**lis.clock(), 1);
+        }
+        assert_eq!(counter.value(), 101);
+        let mut out = Vec::new();
+        lis.rings().drain_into(usize::MAX, &mut out).unwrap();
+        // 100 * 0.1ms = 10 ms elapsed → first flush + one more.
+        assert_eq!(out.len() as u64, counter.snapshots());
+        assert!(out.len() < 10, "snapshots must be sparse: {}", out.len());
+        // The final snapshot's running value + validity of delta split.
+        let last = out.last().unwrap();
+        assert_eq!(last.fields[0], Value::U8(kind::COUNTER));
+        let total: i64 = out
+            .iter()
+            .map(|r| r.fields[2].as_i64().unwrap())
+            .sum();
+        let last_value = last.fields[1].as_i64().unwrap();
+        assert_eq!(total, last_value, "deltas sum to the running value");
+    }
+
+    #[test]
+    fn counter_forced_flush() {
+        let (lis, _src) = sim_lis();
+        let mut port = lis.register();
+        let mut counter = CounterSensor::new(EventTypeId(9), Duration::from_secs(3600));
+        counter.add(&mut port, &**lis.clock(), 5);
+        counter.add(&mut port, &**lis.clock(), 7); // within interval: no event
+        counter.flush(&mut port, &**lis.clock());
+        let mut out = Vec::new();
+        lis.rings().drain_into(usize::MAX, &mut out).unwrap();
+        assert_eq!(out.len(), 2); // first add + forced flush
+        assert_eq!(out[1].fields[1], Value::U64(12));
+        assert_eq!(out[1].fields[2], Value::U64(7));
+    }
+
+    #[test]
+    fn gate_controls_emission() {
+        let (lis, _src) = sim_lis();
+        let mut port = lis.register();
+        let gate = SensorGate::all_enabled();
+        assert!(notice_gated!(gate, port, lis.clock(), EventTypeId(3), 1i32));
+        gate.disable(EventTypeId(3));
+        assert!(!notice_gated!(gate, port, lis.clock(), EventTypeId(3), 2i32));
+        assert!(notice_gated!(gate, port, lis.clock(), EventTypeId(4), 3i32));
+        gate.enable(EventTypeId(3));
+        assert!(notice_gated!(gate, port, lis.clock(), EventTypeId(3), 4i32));
+        let mut out = Vec::new();
+        lis.rings().drain_into(usize::MAX, &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|r| r.fields[0] != Value::I32(2)));
+    }
+
+    #[test]
+    fn gate_high_event_types_use_default() {
+        let gate = SensorGate::all_enabled();
+        assert!(gate.permits(EventTypeId(1_000)));
+        gate.disable(EventTypeId(1_000));
+        assert!(!gate.permits(EventTypeId(2_000)), "high ids share the default");
+        assert!(gate.permits(EventTypeId(3)), "low ids unaffected");
+        gate.enable(EventTypeId(5_000));
+        assert!(gate.permits(EventTypeId(1_000)));
+    }
+
+    #[test]
+    fn all_disabled_gate_blocks_everything() {
+        let gate = SensorGate::all_disabled();
+        assert!(!gate.permits(EventTypeId(0)));
+        assert!(!gate.permits(EventTypeId(63)));
+        assert!(!gate.permits(EventTypeId(64)));
+        gate.enable(EventTypeId(2));
+        assert!(gate.permits(EventTypeId(2)));
+        assert!(!gate.permits(EventTypeId(3)));
+    }
+}

@@ -1,0 +1,224 @@
+//! Internal sensors: the `notice!` macro family and the per-node LIS
+//! registration facade.
+
+use brisk_clock::Clock;
+use brisk_core::{ExsConfig, NodeId, SensorId};
+use brisk_ringbuf::{RingSet, SensorPort};
+use std::sync::Arc;
+
+/// Per-node facade bundling the ring set and the clock used by sensors.
+///
+/// Instrumented code holds a [`SensorPort`] (one per thread) created via
+/// [`Lis::register`] and fires [`crate::notice!`] on it.
+pub struct Lis<C: Clock> {
+    rings: Arc<RingSet>,
+    clock: Arc<C>,
+}
+
+impl<C: Clock> Lis<C> {
+    /// Create the LIS facade for `node`, sizing rings per `cfg`.
+    pub fn new(node: NodeId, clock: Arc<C>, cfg: &ExsConfig) -> Self {
+        Lis {
+            rings: RingSet::new(node, cfg.ring_capacity),
+            clock,
+        }
+    }
+
+    /// The node's ring set (the EXS drains this).
+    pub fn rings(&self) -> &Arc<RingSet> {
+        &self.rings
+    }
+
+    /// The clock sensors sample (raw local time; the EXS applies the
+    /// correction value later, per §3.2).
+    pub fn clock(&self) -> &Arc<C> {
+        &self.clock
+    }
+
+    /// Register a new internal sensor (typically one per instrumented
+    /// thread).
+    pub fn register(&self) -> SensorPort {
+        self.rings.register()
+    }
+
+    /// Register a sensor with an explicit id.
+    pub fn register_with_id(&self, sensor: SensorId) -> SensorPort {
+        self.rings.register_with_id(sensor)
+    }
+}
+
+/// Fire an event notification: the Rust `NOTICE` macro (§3.2).
+///
+/// ```
+/// use brisk_core::{EventTypeId, NodeId, ExsConfig, UtcMicros};
+/// use brisk_clock::SystemClock;
+/// use brisk_lis::{notice, Lis};
+/// use std::sync::Arc;
+///
+/// let lis = Lis::new(NodeId(0), Arc::new(SystemClock), &ExsConfig::default());
+/// let mut port = lis.register();
+/// // Up to eight dynamically-typed fields.
+/// let published = notice!(port, lis.clock(), EventTypeId(1), 42i32, "phase-a", 2.5f64);
+/// assert!(published);
+/// ```
+///
+/// Expansion cost is one clock read, one record construction and one ring
+/// write; on overflow the record is dropped, never blocking the caller.
+/// Returns `true` if the record was published.
+#[macro_export]
+macro_rules! notice {
+    ($port:expr, $clock:expr, $event_type:expr $(, $field:expr)* $(,)?) => {{
+        let __ts = $crate::sensor::__clock_now(&$clock);
+        let __fields: ::std::vec::Vec<::brisk_core::Value> =
+            ::std::vec![$(::brisk_core::Value::from($field)),*];
+        match $port.emit($event_type, __ts, __fields) {
+            Ok(published) => published,
+            Err(_) => false,
+        }
+    }};
+}
+
+/// Generate a specialized, statically-typed notice function — the
+/// equivalent of the paper's custom-NOTICE-macro generator utility.
+///
+/// ```
+/// use brisk_core::{EventTypeId, NodeId, ExsConfig};
+/// use brisk_clock::SystemClock;
+/// use brisk_lis::{define_notice, Lis};
+/// use std::sync::Arc;
+///
+/// define_notice! {
+///     /// Work-item completion event.
+///     pub fn notice_work_done(items: i32, elapsed_us: i64, queue: &str);
+/// }
+///
+/// let lis = Lis::new(NodeId(0), Arc::new(SystemClock), &ExsConfig::default());
+/// let mut port = lis.register();
+/// notice_work_done(&mut port, &*lis.clock(), EventTypeId(3), 10, 2500, "rx");
+/// ```
+///
+/// The generated function takes `(&mut SensorPort, &impl Clock,
+/// EventTypeId, <your fields>)` and returns `bool` (published or dropped).
+#[macro_export]
+macro_rules! define_notice {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($arg:ident : $ty:ty),* $(,)?);) => {
+        $(#[$meta])*
+        #[inline]
+        $vis fn $name(
+            port: &mut ::brisk_ringbuf::SensorPort,
+            clock: &impl ::brisk_clock::Clock,
+            event_type: ::brisk_core::EventTypeId,
+            $($arg: $ty),*
+        ) -> bool {
+            let ts = ::brisk_clock::Clock::now(clock);
+            let fields: ::std::vec::Vec<::brisk_core::Value> =
+                ::std::vec![$(::brisk_core::Value::from($arg)),*];
+            match port.emit(event_type, ts, fields) {
+                Ok(published) => published,
+                Err(_) => false,
+            }
+        }
+    };
+}
+
+/// Implementation detail of [`notice!`]: reads a clock through any level of
+/// reference/`Arc` indirection.
+#[doc(hidden)]
+pub fn __clock_now<C: Clock + ?Sized>(clock: &C) -> brisk_core::UtcMicros {
+    clock.now()
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // single-knob mutation is the point of these tests
+mod tests {
+    use super::*;
+    use brisk_clock::{SimClock, SimTimeSource};
+    use brisk_core::{CorrelationId, EventTypeId, UtcMicros, Value};
+
+    fn sim_lis() -> (Lis<SimClock>, SimTimeSource) {
+        let src = SimTimeSource::new();
+        let clock = Arc::new(SimClock::new(src.clone(), 0, 0.0, 1));
+        (
+            Lis::new(NodeId(4), clock, &ExsConfig::default()),
+            src,
+        )
+    }
+
+    #[test]
+    fn notice_publishes_with_sampled_clock() {
+        let (lis, src) = sim_lis();
+        let mut port = lis.register();
+        src.advance_by(777);
+        assert!(notice!(port, lis.clock(), EventTypeId(2), 5i32, "tag"));
+        let mut out = Vec::new();
+        lis.rings().drain_into(10, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ts, UtcMicros::from_micros(777));
+        assert_eq!(out[0].event_type, EventTypeId(2));
+        assert_eq!(out[0].fields, vec![Value::I32(5), Value::Str("tag".into())]);
+        assert_eq!(out[0].node, NodeId(4));
+    }
+
+    #[test]
+    fn notice_supports_zero_fields_and_trailing_comma() {
+        let (lis, _src) = sim_lis();
+        let mut port = lis.register();
+        assert!(notice!(port, lis.clock(), EventTypeId(1)));
+        assert!(notice!(port, lis.clock(), EventTypeId(1), 1u8,));
+        let mut out = Vec::new();
+        lis.rings().drain_into(10, &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out[0].fields.is_empty());
+    }
+
+    #[test]
+    fn notice_system_types_via_values() {
+        let (lis, _src) = sim_lis();
+        let mut port = lis.register();
+        assert!(notice!(
+            port,
+            lis.clock(),
+            EventTypeId(9),
+            Value::Reason(CorrelationId(31)),
+            Value::Ts(UtcMicros::from_micros(5)),
+        ));
+        let mut out = Vec::new();
+        lis.rings().drain_into(10, &mut out).unwrap();
+        assert_eq!(out[0].reason_id(), Some(CorrelationId(31)));
+    }
+
+    define_notice! {
+        /// Test-only specialized sensor.
+        pub fn notice_pair(a: i32, b: f64);
+    }
+
+    #[test]
+    fn define_notice_generates_typed_emitter() {
+        let (lis, src) = sim_lis();
+        let mut port = lis.register();
+        src.advance_by(10);
+        assert!(notice_pair(&mut port, &**lis.clock(), EventTypeId(8), 3, 0.5));
+        let mut out = Vec::new();
+        lis.rings().drain_into(10, &mut out).unwrap();
+        assert_eq!(out[0].fields, vec![Value::I32(3), Value::F64(0.5)]);
+        assert_eq!(out[0].ts.as_micros(), 10);
+    }
+
+    #[test]
+    fn notice_returns_false_on_full_ring() {
+        let src = SimTimeSource::new();
+        let clock = Arc::new(SimClock::new(src.clone(), 0, 0.0, 1));
+        let mut cfg = ExsConfig::default();
+        cfg.ring_capacity = 1024; // tiny: fills quickly
+        let lis = Lis::new(NodeId(1), clock, &cfg);
+        let mut port = lis.register();
+        let mut dropped = false;
+        for _ in 0..200 {
+            if !notice!(port, lis.clock(), EventTypeId(1), 0i64, 0i64, 0i64) {
+                dropped = true;
+                break;
+            }
+        }
+        assert!(dropped);
+    }
+}

@@ -1,0 +1,424 @@
+//! Supervised external sensor: automatic reconnection.
+//!
+//! "An off-the-shelf distributed IS that is robust, portable and flexible
+//! would benefit both designers and users" (§1). The plain
+//! [`crate::spawn_exs`] terminates when its ISM connection dies; the
+//! supervisor keeps the node's instrumentation alive across manager
+//! restarts and network blips: it reconnects with exponential backoff,
+//! re-sends the `Hello` preamble, and **carries the clock-sync correction
+//! value over** to the new incarnation so the node does not fall back to
+//! raw, unsynchronized time while the master re-converges.
+//!
+//! Loss semantics on an abrupt disconnect match a real TCP deployment:
+//! records already handed to the dead connection (at most one in-flight
+//! batch) are gone; everything still in the rings survives and flows once
+//! the new connection is up.
+
+use crate::exs::{ExsStats, ExsStep, ExternalSensor};
+use brisk_clock::Clock;
+use brisk_core::{BriskError, ExsConfig, NodeId, Result};
+use brisk_net::Connection;
+use brisk_ringbuf::RingSet;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Reconnection policy.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// First reconnect delay; doubles per consecutive failure.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Give up after this many consecutive failed connection attempts
+    /// (`None` = retry forever).
+    pub max_consecutive_failures: Option<u32>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(5),
+            max_consecutive_failures: None,
+        }
+    }
+}
+
+/// Aggregate statistics across all incarnations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisedStats {
+    /// Combined EXS counters.
+    pub exs: ExsStats,
+    /// How many times a connection was (re-)established.
+    pub connects: u64,
+    /// How many abrupt disconnects were survived.
+    pub reconnects: u64,
+}
+
+/// Factory producing a fresh connection to the ISM.
+pub type ConnectFn = Box<dyn Fn() -> Result<Box<dyn Connection>> + Send>;
+
+/// Handle to a supervised EXS.
+pub struct SupervisedExsHandle {
+    stop: Arc<AtomicBool>,
+    connects: Arc<AtomicU64>,
+    join: std::thread::JoinHandle<Result<SupervisedStats>>,
+}
+
+impl SupervisedExsHandle {
+    /// Connections established so far (1 = never reconnected).
+    pub fn connects(&self) -> u64 {
+        self.connects.load(Ordering::Relaxed)
+    }
+
+    /// Signal and wait; returns aggregate stats.
+    pub fn stop(self) -> Result<SupervisedStats> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.join
+            .join()
+            .map_err(|_| BriskError::Sync("supervised EXS thread panicked".into()))?
+    }
+}
+
+fn accumulate(total: &mut ExsStats, part: ExsStats) {
+    total.records_drained += part.records_drained;
+    total.records_sent += part.records_sent;
+    total.batches_sent += part.batches_sent;
+    total.flush_records += part.flush_records;
+    total.flush_bytes += part.flush_bytes;
+    total.flush_timeout += part.flush_timeout;
+    total.flush_forced += part.flush_forced;
+    total.sync_replies += part.sync_replies;
+    total.adjustments += part.adjustments;
+    total.busy_nanos += part.busy_nanos;
+    total.iterations += part.iterations;
+}
+
+/// Spawn a supervised EXS. `connect` is invoked for the initial connection
+/// and after every disconnect.
+pub fn spawn_exs_supervised(
+    node: NodeId,
+    rings: Arc<RingSet>,
+    raw_clock: Arc<dyn Clock>,
+    connect: ConnectFn,
+    cfg: ExsConfig,
+    sup: SupervisorConfig,
+) -> Result<SupervisedExsHandle> {
+    cfg.validate()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let connects = Arc::new(AtomicU64::new(0));
+    let stop2 = Arc::clone(&stop);
+    let connects2 = Arc::clone(&connects);
+    let join = std::thread::Builder::new()
+        .name(format!("brisk-exs-sup-{node}"))
+        .spawn(move || {
+            supervise(node, rings, raw_clock, connect, cfg, sup, stop2, connects2)
+        })
+        .map_err(BriskError::Io)?;
+    Ok(SupervisedExsHandle {
+        stop,
+        connects,
+        join,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn supervise(
+    node: NodeId,
+    rings: Arc<RingSet>,
+    raw_clock: Arc<dyn Clock>,
+    connect: ConnectFn,
+    cfg: ExsConfig,
+    sup: SupervisorConfig,
+    stop: Arc<AtomicBool>,
+    connects: Arc<AtomicU64>,
+) -> Result<SupervisedStats> {
+    let mut stats = SupervisedStats::default();
+    // Correction value survives reconnects.
+    let carried_correction = AtomicI64::new(0);
+    let mut backoff = sup.initial_backoff;
+    let mut consecutive_failures = 0u32;
+
+    'lifetime: while !stop.load(Ordering::Relaxed) {
+        // Establish (or re-establish) the connection.
+        let conn = match connect() {
+            Ok(c) => c,
+            Err(_) => {
+                consecutive_failures += 1;
+                if let Some(max) = sup.max_consecutive_failures {
+                    if consecutive_failures >= max {
+                        return Err(BriskError::Io(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionRefused,
+                            format!("gave up after {consecutive_failures} attempts"),
+                        )));
+                    }
+                }
+                // Interruptible backoff.
+                let deadline = std::time::Instant::now() + backoff;
+                while std::time::Instant::now() < deadline {
+                    if stop.load(Ordering::Relaxed) {
+                        break 'lifetime;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                backoff = (backoff * 2).min(sup.max_backoff);
+                continue;
+            }
+        };
+        consecutive_failures = 0;
+        backoff = sup.initial_backoff;
+        let mut exs = ExternalSensor::new(
+            node,
+            Arc::clone(&rings),
+            Arc::clone(&raw_clock),
+            conn,
+            cfg.clone(),
+        )?;
+        exs.corrected_clock()
+            .set_correction(carried_correction.load(Ordering::Relaxed));
+        connects.fetch_add(1, Ordering::Relaxed);
+        stats.connects += 1;
+        if stats.connects > 1 {
+            stats.reconnects += 1;
+        }
+
+        // Drive the incarnation.
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                // Orderly stop: flush and exit for good.
+                carried_correction
+                    .store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
+                // A connection that dies during the final flush is fine.
+                if let Ok(part) = exs.finish() {
+                    accumulate(&mut stats.exs, part);
+                }
+                break 'lifetime;
+            }
+            match exs.step() {
+                Ok(ExsStep::Shutdown) => {
+                    // The ISM asked us to stop — honour it, do not reconnect.
+                    carried_correction
+                        .store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
+                    if let Ok(part) = exs.finish() {
+                        accumulate(&mut stats.exs, part);
+                    }
+                    break 'lifetime;
+                }
+                Ok(ExsStep::Disconnected) => {
+                    carried_correction
+                        .store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
+                    accumulate(&mut stats.exs, exs.stats());
+                    break; // reconnect
+                }
+                Ok(_) => {}
+                Err(e) if e.is_disconnect() => {
+                    carried_correction
+                        .store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
+                    accumulate(&mut stats.exs, exs.stats());
+                    break; // reconnect
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_clock::SystemClock;
+    use brisk_core::{EventTypeId, UtcMicros, Value};
+    use brisk_net::{MemTransport, Transport};
+    use brisk_proto::Message;
+
+    /// A hand-rolled "ISM" that accepts connections one at a time and can
+    /// kill them, counting the records received across connections.
+    fn recv_records(
+        conn: &mut Box<dyn Connection>,
+        budget: Duration,
+    ) -> (usize, bool /* disconnected */) {
+        let deadline = std::time::Instant::now() + budget;
+        let mut n = 0;
+        while std::time::Instant::now() < deadline {
+            match conn.recv(Some(Duration::from_millis(10))) {
+                Ok(Some(frame)) => {
+                    if let Ok(Message::EventBatch { records, .. }) = Message::decode(&frame) {
+                        n += records.len();
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => return (n, true),
+            }
+        }
+        (n, false)
+    }
+
+    #[test]
+    fn survives_server_side_disconnect() {
+        let t = MemTransport::new();
+        let mut listener = t.listen("ism").unwrap();
+        let rings = RingSet::new(NodeId(1), 1 << 20);
+        let mut port = rings.register();
+        let t2 = Arc::clone(&t);
+        let handle = spawn_exs_supervised(
+            NodeId(1),
+            Arc::clone(&rings),
+            Arc::new(SystemClock),
+            Box::new(move || t2.connect("ism")),
+            ExsConfig {
+                flush_timeout: Duration::from_millis(5),
+                ..ExsConfig::default()
+            },
+            SupervisorConfig::default(),
+        )
+        .unwrap();
+
+        // First connection: receive some records, then kill it.
+        let mut conn1 = listener.accept(Some(Duration::from_secs(5))).unwrap().unwrap();
+        for i in 0..50 {
+            port.emit(EventTypeId(1), UtcMicros::now(), vec![Value::I32(i)])
+                .unwrap();
+        }
+        let (got1, _) = recv_records(&mut conn1, Duration::from_millis(300));
+        assert!(got1 > 0, "first connection must carry records");
+        drop(conn1); // abrupt server-side disconnect
+
+        // The supervisor must reconnect…
+        let mut conn2 = listener.accept(Some(Duration::from_secs(5))).unwrap().unwrap();
+        // …re-send Hello…
+        let frame = conn2.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        assert!(matches!(
+            Message::decode(&frame).unwrap(),
+            Message::Hello { node: NodeId(1), .. }
+        ));
+        // …and keep delivering new records.
+        for i in 50..80 {
+            port.emit(EventTypeId(1), UtcMicros::now(), vec![Value::I32(i)])
+                .unwrap();
+        }
+        let (got2, _) = recv_records(&mut conn2, Duration::from_millis(300));
+        assert!(got2 > 0, "records must flow on the new connection");
+
+        assert_eq!(handle.connects(), 2);
+        let stats = handle.stop().unwrap();
+        assert_eq!(stats.connects, 2);
+        assert_eq!(stats.reconnects, 1);
+    }
+
+    #[test]
+    fn correction_value_carries_across_reconnect() {
+        let t = MemTransport::new();
+        let mut listener = t.listen("ism").unwrap();
+        let rings = RingSet::new(NodeId(1), 1 << 20);
+        let t2 = Arc::clone(&t);
+        let handle = spawn_exs_supervised(
+            NodeId(1),
+            rings,
+            Arc::new(SystemClock),
+            Box::new(move || t2.connect("ism")),
+            ExsConfig::default(),
+            SupervisorConfig::default(),
+        )
+        .unwrap();
+
+        let mut conn1 = listener.accept(Some(Duration::from_secs(5))).unwrap().unwrap();
+        let _hello = conn1.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        // Adjust the slave's correction, then kill the connection.
+        conn1
+            .send(&Message::SyncAdjust { round: 1, advance_us: 12_345 }.encode())
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        drop(conn1);
+
+        let mut conn2 = listener.accept(Some(Duration::from_secs(5))).unwrap().unwrap();
+        let _hello = conn2.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        // Poll the new incarnation: its reply must include the carried
+        // correction (clock reads now + 12_345 ± scheduling slack).
+        let before = UtcMicros::now();
+        conn2
+            .send(
+                &Message::SyncPoll {
+                    round: 2,
+                    sample: 0,
+                    master_send: before,
+                }
+                .encode(),
+            )
+            .unwrap();
+        let reply = loop {
+            let frame = conn2.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+            if let Message::SyncReply { slave_time, .. } = Message::decode(&frame).unwrap() {
+                break slave_time;
+            }
+        };
+        let skew = reply.micros_since(UtcMicros::now());
+        assert!(
+            (8_000..=12_345).contains(&skew),
+            "slave clock must be ~12.3 ms ahead (carried correction), got {skew}"
+        );
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn gives_up_after_max_failures() {
+        let rings = RingSet::new(NodeId(1), 1 << 20);
+        let handle = spawn_exs_supervised(
+            NodeId(1),
+            rings,
+            Arc::new(SystemClock),
+            Box::new(|| {
+                Err(BriskError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "nobody home",
+                )))
+            }),
+            ExsConfig::default(),
+            SupervisorConfig {
+                initial_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                max_consecutive_failures: Some(3),
+            },
+        )
+        .unwrap();
+        // Give the thread time to burn its three attempts (1 + 2 ms
+        // backoff) before asking it to stop.
+        std::thread::sleep(Duration::from_millis(200));
+        let err = handle.stop().unwrap_err();
+        assert!(err.to_string().contains("gave up"));
+    }
+
+    #[test]
+    fn orderly_ism_shutdown_is_honoured_not_retried() {
+        let t = MemTransport::new();
+        let mut listener = t.listen("ism").unwrap();
+        let rings = RingSet::new(NodeId(1), 1 << 20);
+        let t2 = Arc::clone(&t);
+        let handle = spawn_exs_supervised(
+            NodeId(1),
+            rings,
+            Arc::new(SystemClock),
+            Box::new(move || t2.connect("ism")),
+            ExsConfig::default(),
+            SupervisorConfig::default(),
+        )
+        .unwrap();
+        let mut conn = listener.accept(Some(Duration::from_secs(5))).unwrap().unwrap();
+        let _hello = conn.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        conn.send(&Message::Shutdown.encode()).unwrap();
+        // The supervisor must exit on its own, without a reconnect attempt.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while handle.connects() < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(
+            listener.accept(Some(Duration::from_millis(100))).unwrap().is_none(),
+            "no reconnect after an orderly shutdown"
+        );
+        let stats = handle.stop().unwrap();
+        assert_eq!(stats.connects, 1);
+        assert_eq!(stats.reconnects, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Shared framing over any stream socket.
+//!
+//! Both the TCP and Unix-domain transports speak the same wire framing — a
+//! 4-byte big-endian length prefix per frame. [`FramedConnection`]
+//! implements it once over anything satisfying [`RawStream`].
+
+use crate::traits::Connection;
+use crate::MAX_FRAME_BYTES;
+use brisk_core::{BriskError, Result};
+use std::io::{ErrorKind, Read, Write};
+use std::time::Duration;
+
+/// The socket operations framing needs beyond `Read + Write`.
+pub trait RawStream: Read + Write + Send {
+    /// Set (or clear) the read timeout.
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+    /// Toggle non-blocking mode.
+    fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()>;
+    /// Human-readable peer identity.
+    fn peer_label(&self) -> String;
+}
+
+impl RawStream for std::net::TcpStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        std::net::TcpStream::set_read_timeout(self, timeout)
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        std::net::TcpStream::set_nonblocking(self, nonblocking)
+    }
+
+    fn peer_label(&self) -> String {
+        self.peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into())
+    }
+}
+
+#[cfg(unix)]
+impl RawStream for std::os::unix::net::UnixStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        std::os::unix::net::UnixStream::set_read_timeout(self, timeout)
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        std::os::unix::net::UnixStream::set_nonblocking(self, nonblocking)
+    }
+
+    fn peer_label(&self) -> String {
+        self.peer_addr()
+            .ok()
+            .and_then(|a| a.as_pathname().map(|p| p.display().to_string()))
+            .unwrap_or_else(|| "<unix-peer>".into())
+    }
+}
+
+/// One framed connection over a raw stream socket.
+pub struct FramedConnection<S: RawStream> {
+    stream: S,
+    /// Bytes received but not yet consumed as a whole frame. A timeout may
+    /// strike mid-frame; the partial bytes are kept here so nothing is
+    /// lost.
+    rbuf: Vec<u8>,
+    /// Send scratch: prefix + payload are combined into one `write` — one
+    /// syscall per frame, and (on Unix sockets) one kernel skb instead of
+    /// two, which doubles how many small unread frames fit in the socket
+    /// buffer before backpressure.
+    wbuf: Vec<u8>,
+    peer: String,
+}
+
+impl<S: RawStream> FramedConnection<S> {
+    /// Wrap a connected stream.
+    pub fn new(stream: S) -> Self {
+        let peer = stream.peer_label();
+        FramedConnection {
+            stream,
+            rbuf: Vec::with_capacity(64 * 1024),
+            wbuf: Vec::with_capacity(4 * 1024),
+            peer,
+        }
+    }
+
+    /// If `rbuf` holds a complete frame, detach and return it.
+    fn try_extract_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        if self.rbuf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(self.rbuf[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(BriskError::Protocol(format!(
+                "frame length {len} exceeds {MAX_FRAME_BYTES}"
+            )));
+        }
+        if self.rbuf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.rbuf[4..4 + len].to_vec();
+        self.rbuf.drain(..4 + len);
+        Ok(Some(frame))
+    }
+
+    fn recv_inner(&mut self) -> Result<Option<Vec<u8>>> {
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            if let Some(frame) = self.try_extract_frame()? {
+                return Ok(Some(frame));
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(BriskError::Disconnected),
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+impl<S: RawStream> Connection for FramedConnection<S> {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        if frame.len() > MAX_FRAME_BYTES {
+            return Err(BriskError::Protocol(format!(
+                "frame length {} exceeds {MAX_FRAME_BYTES}",
+                frame.len()
+            )));
+        }
+        self.wbuf.clear();
+        self.wbuf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        self.wbuf.extend_from_slice(frame);
+        self.stream.write_all(&self.wbuf)?;
+        Ok(())
+    }
+
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Vec<u8>>> {
+        // A zero timeout means "poll without blocking": the EXS uses it on
+        // its hot path, so it must cost one non-blocking read, not a 1 ms
+        // stall. std rejects Duration::ZERO in set_read_timeout, hence the
+        // nonblocking-mode branch.
+        let nonblocking = timeout == Some(Duration::ZERO);
+        if nonblocking {
+            self.stream.set_nonblocking(true)?;
+        } else {
+            self.stream.set_nonblocking(false)?;
+            let timeout = timeout.map(|t| t.max(Duration::from_millis(1)));
+            self.stream.set_read_timeout(timeout)?;
+        }
+        let result = self.recv_inner();
+        if nonblocking {
+            self.stream.set_nonblocking(false)?;
+        }
+        result
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}

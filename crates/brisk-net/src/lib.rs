@@ -1,0 +1,40 @@
+//! # brisk-net — transport substrate
+//!
+//! BRISK sends instrumentation data "over a TCP stream socket" (§3.4); the
+//! in-order, reliable delivery of batches "is guaranteed by the socket
+//! stream protocol" (§3.5). This crate provides that substrate behind a
+//! small trait surface so the LIS and ISM are transport-agnostic:
+//!
+//! * [`traits`] — [`traits::Transport`], [`traits::Listener`],
+//!   [`traits::Connection`]: blocking, frame-oriented (each frame is one
+//!   protocol message; framing is a 4-byte big-endian length prefix on the
+//!   wire).
+//! * [`tcp`] — the real `std::net` TCP implementation. One OS thread per
+//!   connection mirrors the 1999 design (a handful of long-lived
+//!   connections, one per external sensor).
+//! * [`uds`] — Unix-domain sockets for co-located deployments (Unix only).
+//! * [`mem`] — an in-process transport with a configurable link model
+//!   (latency, jitter, drop-on-connect), used by tests and by experiments
+//!   that need a network without the OS in the loop. (The fully
+//!   deterministic virtual-time network lives in `brisk-sim`.)
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod framed;
+pub mod mem;
+pub mod tcp;
+pub mod traits;
+#[cfg(unix)]
+pub mod uds;
+
+pub use framed::{FramedConnection, RawStream};
+pub use mem::{LinkModel, MemTransport};
+pub use tcp::TcpTransport;
+pub use traits::{Connection, Listener, Transport};
+#[cfg(unix)]
+pub use uds::UdsTransport;
+
+/// Upper bound on one frame; a corrupt length prefix must not cause a
+/// multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;

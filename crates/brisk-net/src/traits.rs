@@ -1,0 +1,46 @@
+//! Transport abstraction: blocking, frame-oriented, reliable, in-order.
+
+use brisk_core::Result;
+use std::time::Duration;
+
+/// A bidirectional, reliable, in-order frame channel between an external
+/// sensor and the ISM.
+pub trait Connection: Send {
+    /// Send one frame. Blocks until the frame is handed to the transport.
+    fn send(&mut self, frame: &[u8]) -> Result<()>;
+
+    /// Receive one frame.
+    ///
+    /// * `Ok(Some(frame))` — a frame arrived;
+    /// * `Ok(None)` — the timeout elapsed with no complete frame (only when
+    ///   a timeout was given);
+    /// * `Err(BriskError::Disconnected)` — the peer closed the channel.
+    ///
+    /// A `None` timeout blocks indefinitely. This is the "waiting select
+    /// system call" of the paper's latency analysis: the ISM's receive loop
+    /// runs on it.
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Vec<u8>>>;
+
+    /// Human-readable peer identity, for diagnostics.
+    fn peer(&self) -> String;
+}
+
+/// Accepts incoming connections (the ISM side).
+pub trait Listener: Send {
+    /// Accept one connection, or `Ok(None)` on timeout.
+    fn accept(&mut self, timeout: Option<Duration>) -> Result<Option<Box<dyn Connection>>>;
+
+    /// The address peers should connect to.
+    fn local_addr(&self) -> String;
+}
+
+/// A transport: a way to listen and to connect.
+pub trait Transport: Send + Sync {
+    /// Bind a listener. `addr` syntax is transport-specific (`host:port`
+    /// for TCP, any string key for the in-memory transport; for TCP, port 0
+    /// picks a free port, see [`Listener::local_addr`]).
+    fn listen(&self, addr: &str) -> Result<Box<dyn Listener>>;
+
+    /// Connect to a listener.
+    fn connect(&self, addr: &str) -> Result<Box<dyn Connection>>;
+}

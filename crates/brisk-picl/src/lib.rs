@@ -1,0 +1,38 @@
+//! # brisk-picl — PICL ASCII trace records
+//!
+//! The ISM "may log instrumentation data to trace files in the PICL ASCII
+//! format" (§3.1), referencing P. H. Worley's *A new PICL trace file
+//! format* (ORNL/TM-12125, 1992). Consumers that cannot read the ISM's
+//! binary memory buffer receive records "as PICL strings" (§3.5) — that
+//! conversion lives here too.
+//!
+//! ## Format
+//!
+//! One record per line, whitespace-separated:
+//!
+//! ```text
+//! <rectype> <event> <clock> <node> <sensor> <seq> <n> <datum>*
+//! ```
+//!
+//! * `rectype` — numeric record class (PICL distinguishes entry/exit/
+//!   marker/... record types; BRISK maps every application event to the
+//!   *marker* class and uses distinct classes for its own bookkeeping);
+//! * `event` — the application event type;
+//! * `clock` — timestamp, either microseconds of UTC (integer) or seconds
+//!   since the ISM started (fixed-point decimal), matching the paper's two
+//!   output modes;
+//! * `node`, `sensor`, `seq` — record origin;
+//! * `n` — number of data fields, each rendered as an integer, a decimal,
+//!   or a double-quoted string with `\"`/`\\`/`\n` escapes.
+//!
+//! Comment lines start with `%`. A parser is provided so tests and
+//! downstream tools can round-trip trace files.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod record;
+pub mod writer;
+
+pub use record::{PiclDatum, PiclRecord, RecType, TsMode};
+pub use writer::{read_trace, PiclWriter};

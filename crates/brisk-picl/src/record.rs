@@ -1,0 +1,414 @@
+//! PICL record model and the EventRecord conversion.
+
+use brisk_core::{BriskError, EventRecord, Result, UtcMicros, Value};
+use std::fmt;
+
+/// PICL record classes used by BRISK.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum RecType {
+    /// An application event (`NOTICE`). PICL's user-defined marker class.
+    Marker = 21,
+    /// A BRISK bookkeeping record (sync rounds, drops, …).
+    System = 90,
+}
+
+impl RecType {
+    fn from_u32(v: u32) -> Result<Self> {
+        Ok(match v {
+            21 => RecType::Marker,
+            90 => RecType::System,
+            _ => return Err(BriskError::Codec(format!("unknown PICL rectype {v}"))),
+        })
+    }
+}
+
+/// Timestamp rendering mode (§3.5): "with the time-stamps either in the UTC
+/// format or as the (floating-point) number of seconds since the ISM was
+/// run".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TsMode {
+    /// Integer microseconds of UTC.
+    Utc,
+    /// Seconds (6 decimal places) since the given origin.
+    SecondsSince(UtcMicros),
+}
+
+/// One data field of a PICL record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PiclDatum {
+    /// Integer datum.
+    Int(i64),
+    /// Floating-point datum.
+    Double(f64),
+    /// String datum.
+    Str(String),
+}
+
+impl fmt::Display for PiclDatum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PiclDatum::Int(v) => write!(f, "{v}"),
+            // `{:?}` prints f64 with enough digits to round-trip exactly.
+            PiclDatum::Double(v) => write!(f, "{v:?}"),
+            PiclDatum::Str(s) => {
+                write!(f, "\"")?;
+                for ch in s.chars() {
+                    match ch {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+        }
+    }
+}
+
+/// One PICL trace record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PiclRecord {
+    /// Record class.
+    pub rectype: RecType,
+    /// Event type number.
+    pub event: u32,
+    /// Rendered clock field.
+    pub clock: ClockField,
+    /// Originating node.
+    pub node: u32,
+    /// Originating sensor.
+    pub sensor: u32,
+    /// Per-sensor sequence number.
+    pub seq: u64,
+    /// Data fields.
+    pub data: Vec<PiclDatum>,
+}
+
+/// A clock value as it appears in the trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClockField {
+    /// Microseconds of UTC.
+    UtcMicros(i64),
+    /// Seconds since the ISM started.
+    Seconds(f64),
+}
+
+impl fmt::Display for ClockField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockField::UtcMicros(us) => write!(f, "{us}"),
+            ClockField::Seconds(s) => write!(f, "{s:.6}"),
+        }
+    }
+}
+
+impl PiclRecord {
+    /// Convert an event record, rendering its timestamp per `mode`.
+    pub fn from_event(rec: &EventRecord, mode: TsMode) -> Self {
+        let clock = match mode {
+            TsMode::Utc => ClockField::UtcMicros(rec.ts.as_micros()),
+            TsMode::SecondsSince(origin) => {
+                ClockField::Seconds(rec.ts.micros_since(origin) as f64 / 1e6)
+            }
+        };
+        let data = rec
+            .fields
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => PiclDatum::Str(s.clone()),
+                Value::Bytes(b) => {
+                    // PICL is text; render bytes as hex.
+                    PiclDatum::Str(b.iter().map(|x| format!("{x:02x}")).collect())
+                }
+                Value::F32(x) => PiclDatum::Double(*x as f64),
+                Value::F64(x) => PiclDatum::Double(*x),
+                Value::U64(x) => {
+                    // Preserve values above i64::MAX textually.
+                    if let Ok(v) = i64::try_from(*x) {
+                        PiclDatum::Int(v)
+                    } else {
+                        PiclDatum::Str(x.to_string())
+                    }
+                }
+                Value::Ts(t) => PiclDatum::Int(t.as_micros()),
+                Value::Reason(id) | Value::Conseq(id) => {
+                    if let Ok(v) = i64::try_from(id.raw()) {
+                        PiclDatum::Int(v)
+                    } else {
+                        PiclDatum::Str(id.raw().to_string())
+                    }
+                }
+                other => PiclDatum::Int(other.as_i64().unwrap_or(0)),
+            })
+            .collect();
+        PiclRecord {
+            rectype: RecType::Marker,
+            event: rec.event_type.raw(),
+            clock,
+            node: rec.node.raw(),
+            sensor: rec.sensor.raw(),
+            seq: rec.seq,
+            data,
+        }
+    }
+
+    /// Render as one trace line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        use fmt::Write as _;
+        let mut line = String::with_capacity(48 + self.data.len() * 12);
+        let _ = write!(
+            line,
+            "{} {} {} {} {} {} {}",
+            self.rectype as u32, self.event, self.clock, self.node, self.sensor, self.seq,
+            self.data.len()
+        );
+        for d in &self.data {
+            let _ = write!(line, " {d}");
+        }
+        line
+    }
+
+    /// Parse one trace line (comments and blank lines are the caller's
+    /// concern).
+    pub fn parse_line(line: &str) -> Result<PiclRecord> {
+        let mut toks = Tokenizer::new(line);
+        let rectype = RecType::from_u32(toks.u32()?)?;
+        let event = toks.u32()?;
+        let clock_tok = toks.raw()?;
+        let clock = if clock_tok.contains('.') {
+            ClockField::Seconds(
+                clock_tok
+                    .parse::<f64>()
+                    .map_err(|e| BriskError::Codec(format!("bad clock {clock_tok:?}: {e}")))?,
+            )
+        } else {
+            ClockField::UtcMicros(
+                clock_tok
+                    .parse::<i64>()
+                    .map_err(|e| BriskError::Codec(format!("bad clock {clock_tok:?}: {e}")))?,
+            )
+        };
+        let node = toks.u32()?;
+        let sensor = toks.u32()?;
+        let seq = toks.u64()?;
+        let n = toks.u32()? as usize;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(toks.datum()?);
+        }
+        toks.finish()?;
+        Ok(PiclRecord {
+            rectype,
+            event,
+            clock,
+            node,
+            sensor,
+            seq,
+            data,
+        })
+    }
+}
+
+/// Whitespace tokenizer aware of quoted strings.
+struct Tokenizer<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(line: &'a str) -> Self {
+        Tokenizer { rest: line.trim() }
+    }
+
+    fn raw(&mut self) -> Result<&'a str> {
+        self.rest = self.rest.trim_start();
+        if self.rest.is_empty() {
+            return Err(BriskError::Codec("unexpected end of PICL line".into()));
+        }
+        let end = self
+            .rest
+            .find(char::is_whitespace)
+            .unwrap_or(self.rest.len());
+        let tok = &self.rest[..end];
+        self.rest = &self.rest[end..];
+        Ok(tok)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        let t = self.raw()?;
+        t.parse()
+            .map_err(|e| BriskError::Codec(format!("bad integer {t:?}: {e}")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        let t = self.raw()?;
+        t.parse()
+            .map_err(|e| BriskError::Codec(format!("bad integer {t:?}: {e}")))
+    }
+
+    fn datum(&mut self) -> Result<PiclDatum> {
+        self.rest = self.rest.trim_start();
+        if let Some(stripped) = self.rest.strip_prefix('"') {
+            // Quoted string with escapes.
+            let mut out = String::new();
+            let mut chars = stripped.char_indices();
+            loop {
+                let Some((i, c)) = chars.next() else {
+                    return Err(BriskError::Codec("unterminated PICL string".into()));
+                };
+                match c {
+                    '"' => {
+                        self.rest = &stripped[i + 1..];
+                        return Ok(PiclDatum::Str(out));
+                    }
+                    '\\' => match chars.next() {
+                        Some((_, '"')) => out.push('"'),
+                        Some((_, '\\')) => out.push('\\'),
+                        Some((_, 'n')) => out.push('\n'),
+                        other => {
+                            return Err(BriskError::Codec(format!(
+                                "bad escape in PICL string: {other:?}"
+                            )))
+                        }
+                    },
+                    c => out.push(c),
+                }
+            }
+        }
+        let t = self.raw()?;
+        if t.contains('.') || t.contains("inf") || t.contains("NaN") || t.contains('e') {
+            t.parse::<f64>()
+                .map(PiclDatum::Double)
+                .map_err(|e| BriskError::Codec(format!("bad datum {t:?}: {e}")))
+        } else {
+            t.parse::<i64>()
+                .map(PiclDatum::Int)
+                .map_err(|e| BriskError::Codec(format!("bad datum {t:?}: {e}")))
+        }
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        if self.rest.trim().is_empty() {
+            Ok(())
+        } else {
+            Err(BriskError::Codec(format!(
+                "trailing tokens on PICL line: {:?}",
+                self.rest.trim()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_core::{CorrelationId, EventTypeId, NodeId, SensorId};
+
+    fn rec(fields: Vec<Value>) -> EventRecord {
+        EventRecord::new(
+            NodeId(2),
+            SensorId(1),
+            EventTypeId(14),
+            9,
+            UtcMicros::from_micros(1_500_000),
+            fields,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn utc_mode_renders_micros() {
+        let p = PiclRecord::from_event(&rec(vec![Value::I32(5)]), TsMode::Utc);
+        assert_eq!(p.clock, ClockField::UtcMicros(1_500_000));
+        assert_eq!(p.to_line(), "21 14 1500000 2 1 9 1 5");
+    }
+
+    #[test]
+    fn seconds_mode_is_relative_to_origin() {
+        let p = PiclRecord::from_event(
+            &rec(vec![]),
+            TsMode::SecondsSince(UtcMicros::from_micros(500_000)),
+        );
+        assert_eq!(p.clock, ClockField::Seconds(1.0));
+        assert_eq!(p.to_line(), "21 14 1.000000 2 1 9 0");
+    }
+
+    #[test]
+    fn all_value_kinds_map_to_data() {
+        let p = PiclRecord::from_event(
+            &rec(vec![
+                Value::I32(-3),
+                Value::F64(2.5),
+                Value::Str("hi there".into()),
+                Value::Bytes(vec![0xde, 0xad]),
+                Value::Ts(UtcMicros::from_micros(7)),
+                Value::Reason(CorrelationId(11)),
+                Value::Bool(true),
+            ]),
+            TsMode::Utc,
+        );
+        assert_eq!(
+            p.data,
+            vec![
+                PiclDatum::Int(-3),
+                PiclDatum::Double(2.5),
+                PiclDatum::Str("hi there".into()),
+                PiclDatum::Str("dead".into()),
+                PiclDatum::Int(7),
+                PiclDatum::Int(11),
+                PiclDatum::Int(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn huge_u64_preserved_as_string() {
+        let p = PiclRecord::from_event(&rec(vec![Value::U64(u64::MAX)]), TsMode::Utc);
+        assert_eq!(p.data, vec![PiclDatum::Str(u64::MAX.to_string())]);
+    }
+
+    #[test]
+    fn line_round_trip_plain() {
+        let p = PiclRecord::from_event(&rec(vec![Value::I32(1), Value::F64(0.5)]), TsMode::Utc);
+        let line = p.to_line();
+        let back = PiclRecord::parse_line(&line).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn line_round_trip_with_tricky_strings() {
+        for s in ["", "plain", "with space", "q\"uote", "back\\slash", "new\nline"] {
+            let p = PiclRecord::from_event(&rec(vec![Value::Str(s.into())]), TsMode::Utc);
+            let line = p.to_line();
+            let back = PiclRecord::parse_line(&line).unwrap();
+            assert_eq!(back, p, "for {s:?} line {line:?}");
+        }
+    }
+
+    #[test]
+    fn seconds_clock_round_trips() {
+        let p = PiclRecord::from_event(
+            &rec(vec![]),
+            TsMode::SecondsSince(UtcMicros::ZERO),
+        );
+        let back = PiclRecord::parse_line(&p.to_line()).unwrap();
+        assert_eq!(back.clock, ClockField::Seconds(1.5));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(PiclRecord::parse_line("").is_err());
+        assert!(PiclRecord::parse_line("21 14").is_err());
+        assert!(PiclRecord::parse_line("99 1 0 0 0 0 0").is_err()); // bad rectype
+        assert!(PiclRecord::parse_line("21 14 0 0 0 0 1 \"open").is_err()); // unterminated
+        assert!(PiclRecord::parse_line("21 14 0 0 0 0 0 extra").is_err()); // trailing
+        assert!(PiclRecord::parse_line("21 14 0 0 0 0 2 1").is_err()); // missing datum
+    }
+
+    #[test]
+    fn negative_double_datum_parses() {
+        let back = PiclRecord::parse_line("21 1 0 0 0 0 1 -2.75").unwrap();
+        assert_eq!(back.data, vec![PiclDatum::Double(-2.75)]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the PICL trace format.
+
+use brisk_core::{CorrelationId, EventRecord, EventTypeId, NodeId, SensorId, UtcMicros, Value};
+use brisk_picl::{read_trace, PiclRecord, PiclWriter, TsMode};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(Value::I32),
+        any::<i64>().prop_map(Value::I64),
+        (-1e12f64..1e12).prop_map(Value::F64),
+        any::<bool>().prop_map(Value::Bool),
+        // Arbitrary printable-ish strings incl. quotes/backslashes/newlines.
+        "[ -~\\n]{0,24}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
+        any::<i64>().prop_map(|us| Value::Ts(UtcMicros::from_micros(us))),
+        (0u64..u64::MAX).prop_map(|id| Value::Reason(CorrelationId(id))),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = EventRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        -1_000_000_000i64..1_000_000_000,
+        proptest::collection::vec(arb_value(), 0..=8),
+    )
+        .prop_map(|(node, sensor, ety, seq, ts, fields)| {
+            EventRecord::new(
+                NodeId(node),
+                SensorId(sensor),
+                EventTypeId(ety),
+                seq,
+                UtcMicros::from_micros(ts),
+                fields,
+            )
+            .unwrap()
+        })
+}
+
+proptest! {
+    /// Every event record converts to a PICL line that parses back to the
+    /// same PICL record (UTC mode).
+    #[test]
+    fn line_round_trip_utc(rec in arb_record()) {
+        let p = PiclRecord::from_event(&rec, TsMode::Utc);
+        let line = p.to_line();
+        let back = PiclRecord::parse_line(&line).unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    /// Whole traces round-trip through the writer/reader, preserving
+    /// record count and origin metadata.
+    #[test]
+    fn trace_round_trip(records in proptest::collection::vec(arb_record(), 0..30)) {
+        let mut w = PiclWriter::new(Vec::new(), TsMode::Utc).unwrap();
+        for r in &records {
+            w.write_event(r).unwrap();
+        }
+        let bytes = w.into_inner().unwrap();
+        let parsed = read_trace(&bytes[..]).unwrap();
+        prop_assert_eq!(parsed.len(), records.len());
+        for (p, r) in parsed.iter().zip(&records) {
+            prop_assert_eq!(p.node, r.node.raw());
+            prop_assert_eq!(p.sensor, r.sensor.raw());
+            prop_assert_eq!(p.seq, r.seq);
+            prop_assert_eq!(p.event, r.event_type.raw());
+            prop_assert_eq!(p.data.len(), r.fields.len());
+        }
+    }
+
+    /// The parser never panics on arbitrary input lines.
+    #[test]
+    fn parser_never_panics(line in ".*") {
+        let _ = PiclRecord::parse_line(&line);
+    }
+
+    /// Seconds-mode clocks survive the text round trip to microsecond
+    /// precision.
+    #[test]
+    fn seconds_mode_precision(ts in 0i64..100_000_000_000) {
+        let rec = EventRecord::new(
+            NodeId(0),
+            SensorId(0),
+            EventTypeId(0),
+            0,
+            UtcMicros::from_micros(ts),
+            vec![],
+        )
+        .unwrap();
+        let p = PiclRecord::from_event(&rec, TsMode::SecondsSince(UtcMicros::ZERO));
+        let back = PiclRecord::parse_line(&p.to_line()).unwrap();
+        match back.clock {
+            brisk_picl::record::ClockField::Seconds(s) => {
+                let us = (s * 1e6).round() as i64;
+                prop_assert!((us - ts).abs() <= 1, "{} vs {}", us, ts);
+            }
+            other => prop_assert!(false, "unexpected clock {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! # brisk-proto — the BRISK transfer protocol messages
+//!
+//! The transfer protocol (TP) between an external sensor and the ISM is
+//! XDR-based (§3.4). Each transport frame carries exactly one
+//! [`Message`]; framing (length prefixes) is the transport's job
+//! (`brisk-net`), encoding is this crate's.
+//!
+//! Message set:
+//!
+//! * [`Message::Hello`] — sent by the EXS when it connects; carries the
+//!   protocol magic/version and the node id, which subsequent batches from
+//!   this connection implicitly belong to.
+//! * [`Message::EventBatch`] — a batch of event records. "The external
+//!   sensor packages instrumentation data in XDR format with the
+//!   meta-information header compressed" — each record body embeds its
+//!   packed descriptor, see [`brisk_xdr::values`].
+//! * [`Message::SyncPoll`] / [`Message::SyncReply`] /
+//!   [`Message::SyncAdjust`] — the clock-synchronization exchange (§3.3).
+//!   The poll carries the master send time so the reply can echo it; the
+//!   sample index lets the master average several exchanges per round.
+//! * [`Message::Shutdown`] — orderly termination.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use brisk_core::{BriskError, EventRecord, NodeId, Result, UtcMicros};
+use brisk_xdr::values::{decode_record_body, encode_record_body};
+use brisk_xdr::{XdrDecoder, XdrEncoder};
+
+/// Protocol magic: "BRSK".
+pub const MAGIC: u32 = 0x4252_534B;
+
+/// Protocol version implemented by this crate.
+pub const VERSION: u32 = 1;
+
+/// Maximum records accepted in one batch.
+pub const MAX_BATCH_RECORDS: usize = 65_536;
+
+/// Message discriminants on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+enum Tag {
+    Hello = 1,
+    EventBatch = 2,
+    SyncPoll = 3,
+    SyncReply = 4,
+    SyncAdjust = 5,
+    Shutdown = 6,
+}
+
+impl Tag {
+    fn from_u32(v: u32) -> Result<Tag> {
+        Ok(match v {
+            1 => Tag::Hello,
+            2 => Tag::EventBatch,
+            3 => Tag::SyncPoll,
+            4 => Tag::SyncReply,
+            5 => Tag::SyncAdjust,
+            6 => Tag::Shutdown,
+            _ => return Err(BriskError::Protocol(format!("unknown message tag {v}"))),
+        })
+    }
+}
+
+/// One protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Connection preamble from the external sensor.
+    Hello {
+        /// Node this connection serves.
+        node: NodeId,
+        /// Protocol version spoken by the sender.
+        version: u32,
+    },
+    /// A batch of event records from one node.
+    EventBatch {
+        /// Originating node (redundant with Hello; kept so a batch is
+        /// self-describing for trace files and debugging).
+        node: NodeId,
+        /// The records, in per-sensor sequence order.
+        records: Vec<EventRecord>,
+    },
+    /// Master→slave: "what time is it?" — sample `sample` of round `round`.
+    SyncPoll {
+        /// Synchronization round number.
+        round: u64,
+        /// Sample index within the round.
+        sample: u32,
+        /// Master clock at send time, echoed back in the reply.
+        master_send: UtcMicros,
+    },
+    /// Slave→master reply to a poll.
+    SyncReply {
+        /// Round number echoed from the poll.
+        round: u64,
+        /// Sample index echoed from the poll.
+        sample: u32,
+        /// Master send time echoed from the poll.
+        master_send: UtcMicros,
+        /// Slave's corrected clock reading when the poll arrived.
+        slave_time: UtcMicros,
+    },
+    /// Master→slave: advance your correction value.
+    SyncAdjust {
+        /// Round that produced this correction.
+        round: u64,
+        /// Microseconds to add to the slave's correction value.
+        advance_us: i64,
+    },
+    /// Orderly shutdown notice (either direction).
+    Shutdown,
+}
+
+impl Message {
+    /// Encode into a transport frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = XdrEncoder::with_capacity(64);
+        match self {
+            Message::Hello { node, version } => {
+                e.uint(Tag::Hello as u32);
+                e.uint(MAGIC);
+                e.uint(*version);
+                e.uint(node.raw());
+            }
+            Message::EventBatch { node, records } => {
+                e.uint(Tag::EventBatch as u32);
+                e.uint(node.raw());
+                e.uint(records.len() as u32);
+                for r in records {
+                    encode_record_body(r, &mut e);
+                }
+            }
+            Message::SyncPoll {
+                round,
+                sample,
+                master_send,
+            } => {
+                e.uint(Tag::SyncPoll as u32);
+                e.uhyper(*round);
+                e.uint(*sample);
+                e.hyper(master_send.as_micros());
+            }
+            Message::SyncReply {
+                round,
+                sample,
+                master_send,
+                slave_time,
+            } => {
+                e.uint(Tag::SyncReply as u32);
+                e.uhyper(*round);
+                e.uint(*sample);
+                e.hyper(master_send.as_micros());
+                e.hyper(slave_time.as_micros());
+            }
+            Message::SyncAdjust { round, advance_us } => {
+                e.uint(Tag::SyncAdjust as u32);
+                e.uhyper(*round);
+                e.hyper(*advance_us);
+            }
+            Message::Shutdown => {
+                e.uint(Tag::Shutdown as u32);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decode a transport frame.
+    pub fn decode(frame: &[u8]) -> Result<Message> {
+        let mut d = XdrDecoder::new(frame);
+        let tag = Tag::from_u32(d.uint()?)?;
+        let msg = match tag {
+            Tag::Hello => {
+                let magic = d.uint()?;
+                if magic != MAGIC {
+                    return Err(BriskError::Protocol(format!(
+                        "bad magic {magic:#x}, expected {MAGIC:#x}"
+                    )));
+                }
+                let version = d.uint()?;
+                if version != VERSION {
+                    return Err(BriskError::Protocol(format!(
+                        "unsupported protocol version {version}"
+                    )));
+                }
+                Message::Hello {
+                    node: NodeId(d.uint()?),
+                    version,
+                }
+            }
+            Tag::EventBatch => {
+                let node = NodeId(d.uint()?);
+                let count = d.uint()? as usize;
+                if count > MAX_BATCH_RECORDS {
+                    return Err(BriskError::Protocol(format!(
+                        "batch of {count} records exceeds {MAX_BATCH_RECORDS}"
+                    )));
+                }
+                let mut records = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    records.push(decode_record_body(node, &mut d)?);
+                }
+                Message::EventBatch { node, records }
+            }
+            Tag::SyncPoll => Message::SyncPoll {
+                round: d.uhyper()?,
+                sample: d.uint()?,
+                master_send: UtcMicros::from_micros(d.hyper()?),
+            },
+            Tag::SyncReply => Message::SyncReply {
+                round: d.uhyper()?,
+                sample: d.uint()?,
+                master_send: UtcMicros::from_micros(d.hyper()?),
+                slave_time: UtcMicros::from_micros(d.hyper()?),
+            },
+            Tag::SyncAdjust => Message::SyncAdjust {
+                round: d.uhyper()?,
+                advance_us: d.hyper()?,
+            },
+            Tag::Shutdown => Message::Shutdown,
+        };
+        d.finish()?;
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_core::{EventTypeId, SensorId, Value};
+
+    fn rec(seq: u64, ts: i64) -> EventRecord {
+        EventRecord::new(
+            NodeId(3),
+            SensorId(1),
+            EventTypeId(7),
+            seq,
+            UtcMicros::from_micros(ts),
+            vec![Value::I32(seq as i32), Value::Str(format!("r{seq}"))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hello_round_trip() {
+        let m = Message::Hello {
+            node: NodeId(9),
+            version: VERSION,
+        };
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn hello_rejects_bad_magic_and_version() {
+        let m = Message::Hello {
+            node: NodeId(9),
+            version: VERSION,
+        };
+        let mut bytes = m.encode();
+        bytes[4] ^= 0xff; // clobber magic
+        assert!(Message::decode(&bytes).is_err());
+
+        let mut bytes = m.encode();
+        bytes[11] = 99; // version -> 99
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let m = Message::EventBatch {
+            node: NodeId(3),
+            records: (0..10).map(|i| rec(i, i as i64 * 100)).collect(),
+        };
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_batch_round_trip() {
+        let m = Message::EventBatch {
+            node: NodeId(3),
+            records: vec![],
+        };
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn batch_count_bound_enforced() {
+        // Forge a batch header claiming too many records.
+        let mut e = XdrEncoder::new();
+        e.uint(2); // EventBatch tag
+        e.uint(3); // node
+        e.uint((MAX_BATCH_RECORDS + 1) as u32);
+        assert!(Message::decode(e.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn sync_messages_round_trip() {
+        for m in [
+            Message::SyncPoll {
+                round: 5,
+                sample: 2,
+                master_send: UtcMicros::from_micros(123),
+            },
+            Message::SyncReply {
+                round: 5,
+                sample: 2,
+                master_send: UtcMicros::from_micros(123),
+                slave_time: UtcMicros::from_micros(456),
+            },
+            Message::SyncAdjust {
+                round: 5,
+                advance_us: -42,
+            },
+            Message::Shutdown,
+        ] {
+            assert_eq!(Message::decode(&m.encode()).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut e = XdrEncoder::new();
+        e.uint(77);
+        assert!(Message::decode(e.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Message::Shutdown.encode();
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let m = Message::EventBatch {
+            node: NodeId(3),
+            records: vec![rec(0, 1)],
+        };
+        let bytes = m.encode();
+        for cut in [0, 3, 8, bytes.len() - 1] {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn batch_wire_size_is_modest() {
+        // 256 six-i32 records must stay near 256 * 56 bytes + small header.
+        let records: Vec<EventRecord> = (0..256)
+            .map(|i| {
+                EventRecord::new(
+                    NodeId(1),
+                    SensorId(0),
+                    EventTypeId(1),
+                    i,
+                    UtcMicros::from_micros(i as i64),
+                    vec![Value::I32(0); 6],
+                )
+                .unwrap()
+            })
+            .collect();
+        let m = Message::EventBatch {
+            node: NodeId(1),
+            records,
+        };
+        let bytes = m.encode();
+        assert_eq!(bytes.len(), 12 + 256 * 56);
+    }
+}

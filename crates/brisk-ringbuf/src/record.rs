@@ -1,0 +1,429 @@
+//! Typed record rings: the internal-sensor writing surface.
+//!
+//! A [`SensorPort`] is the handle an instrumented thread holds; it plays the
+//! role of the per-process shared-memory segment the paper's `NOTICE`
+//! macros write to. Each port owns the producing half of one SPSC ring and
+//! a private sequence counter. Sequence numbers are assigned even to
+//! records that end up dropped, so downstream tools can detect loss from
+//! gaps.
+//!
+//! A [`RingSet`] collects the consuming halves for one node; the external
+//! sensor drains them all in its polling loop.
+
+use crate::spsc::{ByteRing, RingConsumer, RingProducer, RingStats};
+use brisk_core::binenc;
+use brisk_core::{EventRecord, EventTypeId, NodeId, Result, SensorId, UtcMicros, Value};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Producer handle used by one internal sensor.
+pub struct SensorPort {
+    node: NodeId,
+    sensor: SensorId,
+    seq: u64,
+    producer: RingProducer,
+    scratch: Vec<u8>,
+}
+
+impl SensorPort {
+    /// The node this port belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// This port's sensor id.
+    pub fn sensor(&self) -> SensorId {
+        self.sensor
+    }
+
+    /// Sequence number the next record will get.
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Emit a record with the given event type, timestamp and fields.
+    /// Returns `Ok(true)` if published, `Ok(false)` if dropped (ring full);
+    /// the sequence number advances either way.
+    pub fn emit(
+        &mut self,
+        event_type: EventTypeId,
+        ts: UtcMicros,
+        fields: Vec<Value>,
+    ) -> Result<bool> {
+        let rec = EventRecord::new(self.node, self.sensor, event_type, self.seq, ts, fields)?;
+        self.seq += 1;
+        Ok(self.push_encoded(&rec))
+    }
+
+    /// Emit a pre-built record, overriding its origin and sequence fields
+    /// with this port's. Used by the `notice!` macro expansion.
+    pub fn emit_record(&mut self, mut rec: EventRecord) -> bool {
+        rec.node = self.node;
+        rec.sensor = self.sensor;
+        rec.seq = self.seq;
+        self.seq += 1;
+        self.push_encoded(&rec)
+    }
+
+    fn push_encoded(&mut self, rec: &EventRecord) -> bool {
+        self.scratch.clear();
+        binenc::encode_record(rec, &mut self.scratch);
+        self.producer.push(&self.scratch)
+    }
+
+    /// Traffic counters of the underlying ring.
+    pub fn stats(&self) -> RingStats {
+        self.producer.stats()
+    }
+}
+
+/// Consumer handle for one sensor's ring.
+pub struct RecordConsumer {
+    sensor: SensorId,
+    consumer: RingConsumer,
+    scratch: Vec<u8>,
+}
+
+impl RecordConsumer {
+    /// The sensor this consumer reads from.
+    pub fn sensor(&self) -> SensorId {
+        self.sensor
+    }
+
+    /// Pop one record, if available. A frame that fails to decode is a
+    /// logic error (the port encoded it) and is surfaced as `Err`.
+    pub fn pop(&mut self) -> Result<Option<EventRecord>> {
+        if !self.consumer.pop(&mut self.scratch) {
+            return Ok(None);
+        }
+        let (rec, used) = binenc::decode_record(&self.scratch)?;
+        debug_assert_eq!(used, self.scratch.len());
+        Ok(Some(rec))
+    }
+
+    /// Drain up to `max` records into `out`. Returns how many were read.
+    pub fn drain_into(&mut self, max: usize, out: &mut Vec<EventRecord>) -> Result<usize> {
+        let mut n = 0;
+        while n < max {
+            match self.pop()? {
+                Some(rec) => {
+                    out.push(rec);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(n)
+    }
+
+    /// True if no record is currently buffered.
+    pub fn is_empty(&self) -> bool {
+        self.consumer.is_empty()
+    }
+
+    /// Traffic counters of the underlying ring.
+    pub fn stats(&self) -> RingStats {
+        self.consumer.stats()
+    }
+}
+
+/// One ring per record-producing sensor plus its consumer side; what the
+/// external sensor polls.
+pub struct RecordRing;
+
+impl RecordRing {
+    /// Create one sensor ring, returning the sensor-side port and the
+    /// EXS-side consumer.
+    pub fn create(
+        node: NodeId,
+        sensor: SensorId,
+        capacity: usize,
+    ) -> (SensorPort, RecordConsumer) {
+        let (producer, consumer) = ByteRing::with_capacity(capacity);
+        (
+            SensorPort {
+                node,
+                sensor,
+                seq: 0,
+                producer,
+                scratch: Vec::with_capacity(256),
+            },
+            RecordConsumer {
+                sensor,
+                consumer,
+                scratch: Vec::with_capacity(256),
+            },
+        )
+    }
+}
+
+/// The per-node collection of sensor rings.
+///
+/// Registration may happen while the external sensor is draining (new
+/// threads can be instrumented at any time), so the consumer list is behind
+/// a mutex; the drain path holds the lock only while it works, which is
+/// fine because there is exactly one drainer (the EXS).
+pub struct RingSet {
+    node: NodeId,
+    capacity_per_ring: usize,
+    consumers: Mutex<Vec<RecordConsumer>>,
+    next_sensor: Mutex<u32>,
+}
+
+impl RingSet {
+    /// New ring set for the given node. `capacity_per_ring` sizes each
+    /// sensor's ring (the `ring_capacity` knob).
+    pub fn new(node: NodeId, capacity_per_ring: usize) -> Arc<Self> {
+        Arc::new(RingSet {
+            node,
+            capacity_per_ring,
+            consumers: Mutex::new(Vec::new()),
+            next_sensor: Mutex::new(0),
+        })
+    }
+
+    /// The node this set belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Register a new internal sensor, allocating the next sensor id.
+    pub fn register(self: &Arc<Self>) -> SensorPort {
+        let mut next = self.next_sensor.lock();
+        let sensor = SensorId(*next);
+        *next += 1;
+        drop(next);
+        self.register_with_id(sensor)
+    }
+
+    /// Register a sensor with an explicit id.
+    pub fn register_with_id(self: &Arc<Self>, sensor: SensorId) -> SensorPort {
+        let (port, consumer) = RecordRing::create(self.node, sensor, self.capacity_per_ring);
+        self.consumers.lock().push(consumer);
+        port
+    }
+
+    /// Number of registered sensors.
+    pub fn sensor_count(&self) -> usize {
+        self.consumers.lock().len()
+    }
+
+    /// Drain up to `max_total` records across all rings (round-robin over
+    /// rings, in registration order) into `out`. Returns how many records
+    /// were read.
+    pub fn drain_into(&self, max_total: usize, out: &mut Vec<EventRecord>) -> Result<usize> {
+        let mut consumers = self.consumers.lock();
+        let mut total = 0;
+        for c in consumers.iter_mut() {
+            if total >= max_total {
+                break;
+            }
+            total += c.drain_into(max_total - total, out)?;
+        }
+        Ok(total)
+    }
+
+    /// Aggregated traffic counters across all rings.
+    pub fn stats(&self) -> RingStats {
+        let consumers = self.consumers.lock();
+        let mut agg = RingStats::default();
+        for c in consumers.iter() {
+            let s = c.stats();
+            agg.produced += s.produced;
+            agg.dropped += s.dropped;
+            agg.consumed += s.consumed;
+        }
+        agg
+    }
+
+    /// True if every ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.consumers.lock().iter().all(|c| c.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn fields(i: i32) -> Vec<Value> {
+        vec![Value::I32(i), Value::Str(format!("e{i}"))]
+    }
+
+    #[test]
+    fn port_round_trips_records() {
+        let (mut port, mut cons) = RecordRing::create(NodeId(1), SensorId(2), 4096);
+        assert!(port
+            .emit(EventTypeId(7), UtcMicros::from_micros(10), fields(0))
+            .unwrap());
+        let rec = cons.pop().unwrap().unwrap();
+        assert_eq!(rec.node, NodeId(1));
+        assert_eq!(rec.sensor, SensorId(2));
+        assert_eq!(rec.event_type, EventTypeId(7));
+        assert_eq!(rec.seq, 0);
+        assert_eq!(rec.fields, fields(0));
+        assert!(cons.pop().unwrap().is_none());
+    }
+
+    #[test]
+    fn seq_advances_even_on_drop() {
+        let (mut port, mut cons) = RecordRing::create(NodeId(1), SensorId(0), 64);
+        // Fill the tiny ring until a drop occurs.
+        let mut dropped = false;
+        for i in 0..20 {
+            let ok = port
+                .emit(EventTypeId(1), UtcMicros::ZERO, fields(i))
+                .unwrap();
+            if !ok {
+                dropped = true;
+                break;
+            }
+        }
+        assert!(dropped, "64-byte ring must overflow");
+        let stats = port.stats();
+        assert!(stats.dropped >= 1);
+        // Drain and observe the seq gap once more records flow.
+        let mut out = Vec::new();
+        cons.drain_into(usize::MAX, &mut out).unwrap();
+        let last_seq = out.last().unwrap().seq;
+        assert!(port.emit(EventTypeId(1), UtcMicros::ZERO, vec![]).unwrap());
+        let next = cons.pop().unwrap().unwrap();
+        assert!(
+            next.seq > last_seq + 1,
+            "gap {} -> {} must reveal the drop",
+            last_seq,
+            next.seq
+        );
+    }
+
+    #[test]
+    fn emit_record_overrides_origin() {
+        let (mut port, mut cons) = RecordRing::create(NodeId(5), SensorId(6), 1024);
+        let rec = EventRecord::new(
+            NodeId(99),
+            SensorId(99),
+            EventTypeId(3),
+            99,
+            UtcMicros::from_micros(1),
+            vec![],
+        )
+        .unwrap();
+        assert!(port.emit_record(rec));
+        let got = cons.pop().unwrap().unwrap();
+        assert_eq!(got.node, NodeId(5));
+        assert_eq!(got.sensor, SensorId(6));
+        assert_eq!(got.seq, 0);
+    }
+
+    #[test]
+    fn ring_set_round_robin_drain() {
+        let set = RingSet::new(NodeId(1), 4096);
+        let mut a = set.register();
+        let mut b = set.register();
+        assert_eq!(set.sensor_count(), 2);
+        assert_ne!(a.sensor(), b.sensor());
+        for i in 0..5 {
+            a.emit(EventTypeId(1), UtcMicros::from_micros(i), vec![]).unwrap();
+            b.emit(EventTypeId(2), UtcMicros::from_micros(i), vec![]).unwrap();
+        }
+        let mut out = Vec::new();
+        let n = set.drain_into(usize::MAX, &mut out).unwrap();
+        assert_eq!(n, 10);
+        assert_eq!(out.iter().filter(|r| r.sensor == a.sensor()).count(), 5);
+        assert_eq!(out.iter().filter(|r| r.sensor == b.sensor()).count(), 5);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn ring_set_drain_respects_budget() {
+        let set = RingSet::new(NodeId(1), 4096);
+        let mut a = set.register();
+        for i in 0..10 {
+            a.emit(EventTypeId(1), UtcMicros::from_micros(i), vec![]).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(set.drain_into(3, &mut out).unwrap(), 3);
+        assert_eq!(set.drain_into(100, &mut out).unwrap(), 7);
+    }
+
+    #[test]
+    fn ring_set_aggregated_stats() {
+        let set = RingSet::new(NodeId(1), 4096);
+        let mut a = set.register();
+        let mut b = set.register();
+        a.emit(EventTypeId(1), UtcMicros::ZERO, vec![]).unwrap();
+        b.emit(EventTypeId(1), UtcMicros::ZERO, vec![]).unwrap();
+        b.emit(EventTypeId(1), UtcMicros::ZERO, vec![]).unwrap();
+        let stats = set.stats();
+        assert_eq!(stats.produced, 3);
+        assert_eq!(stats.consumed, 0);
+        let mut out = Vec::new();
+        set.drain_into(usize::MAX, &mut out).unwrap();
+        assert_eq!(set.stats().consumed, 3);
+    }
+
+    #[test]
+    fn multi_threaded_sensors_one_drainer() {
+        let set = RingSet::new(NodeId(1), 1 << 16);
+        const SENSORS: usize = 4;
+        const PER_SENSOR: u64 = 5_000;
+        let mut handles = Vec::new();
+        for _ in 0..SENSORS {
+            let mut port = set.register();
+            handles.push(thread::spawn(move || {
+                let mut sent = 0u64;
+                for i in 0..PER_SENSOR {
+                    if port
+                        .emit(EventTypeId(1), UtcMicros::from_micros(i as i64), vec![
+                            Value::U64(i),
+                        ])
+                        .unwrap()
+                    {
+                        sent += 1;
+                    } else {
+                        // Ring full: spin briefly and retry once.
+                        std::thread::yield_now();
+                        if port
+                            .emit(EventTypeId(1), UtcMicros::from_micros(i as i64), vec![
+                                Value::U64(i),
+                            ])
+                            .unwrap()
+                        {
+                            sent += 1;
+                        }
+                    }
+                }
+                sent
+            }));
+        }
+        let drainer = {
+            let set = Arc::clone(&set);
+            thread::spawn(move || {
+                let mut out = Vec::new();
+                let mut idle = 0;
+                while idle < 1000 {
+                    if set.drain_into(1024, &mut out).unwrap() == 0 {
+                        idle += 1;
+                        thread::yield_now();
+                    } else {
+                        idle = 0;
+                    }
+                }
+                out
+            })
+        };
+        let sent: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let drained = drainer.join().unwrap();
+        assert_eq!(drained.len() as u64, sent);
+        // Per-sensor sequence order must be preserved.
+        for s in 0..SENSORS as u32 {
+            let seqs: Vec<u64> = drained
+                .iter()
+                .filter(|r| r.sensor == SensorId(s))
+                .map(|r| r.seq)
+                .collect();
+            assert!(seqs.windows(2).all(|w| w[0] < w[1]), "sensor {s} out of order");
+        }
+    }
+}

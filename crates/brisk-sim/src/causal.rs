@@ -1,0 +1,203 @@
+//! Causal ping-pong experiment (A2): tachyon repair on/off.
+//!
+//! Two nodes exchange request/response messages. Node B's clock runs
+//! behind node A's by more than the message latency, so B's *consequence*
+//! records carry timestamps earlier than their *reason* records — tachyons
+//! (§3.6). With CRE markers enabled the ISM repairs them by overriding
+//! timestamps; without markers the consumer sees causality violations.
+
+use brisk_core::{
+    CorrelationId, EventRecord, EventTypeId, IsmConfig, NodeId, Result, SensorId, UtcMicros, Value,
+};
+use brisk_ism::IsmCore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one causal experiment run.
+#[derive(Clone, Debug)]
+pub struct CausalConfig {
+    /// Number of request/response exchanges.
+    pub exchanges: usize,
+    /// Node B clock offset relative to node A (µs; negative = behind).
+    pub clock_offset_us: i64,
+    /// One-way message latency between the nodes (µs).
+    pub message_delay_us: i64,
+    /// Mean spacing between exchanges (µs).
+    pub spacing_us: i64,
+    /// Whether events carry `X_REASON`/`X_CONSEQ` markers (CRE repair on).
+    pub mark_causality: bool,
+    /// ISM pipeline knobs.
+    pub ism: IsmConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CausalConfig {
+    fn default() -> Self {
+        CausalConfig {
+            exchanges: 1_000,
+            clock_offset_us: -500, // B half a millisecond behind A
+            message_delay_us: 100, // messages much faster than the skew
+            spacing_us: 1_000,
+            mark_causality: true,
+            ism: IsmConfig::default(),
+            seed: 0xCA_05A1,
+        }
+    }
+}
+
+/// Result of one causal experiment run.
+#[derive(Clone, Debug, Default)]
+pub struct CausalReport {
+    /// Records the consumer received.
+    pub delivered: u64,
+    /// Consequence records whose timestamp is not after their reason's, as
+    /// seen by the consumer (causality violations that survived).
+    pub visible_tachyons: u64,
+    /// Tachyons the CRE matcher repaired.
+    pub repaired_tachyons: u64,
+    /// Extra synchronization rounds the core requested.
+    pub extra_sync_requests: u64,
+}
+
+/// Run one causal ping-pong experiment.
+pub fn run_causal_experiment(cfg: &CausalConfig) -> Result<CausalReport> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut core = IsmCore::new(cfg.ism.clone())?;
+    let mut reader = core.memory().reader();
+    let mut report = CausalReport::default();
+
+    let mut t_true = 0i64; // true time, µs
+    for i in 0..cfg.exchanges {
+        let id = CorrelationId(i as u64);
+        t_true += rng.gen_range(1..=cfg.spacing_us.max(1));
+
+        // Node A sends a request: reason event stamped with A's clock
+        // (A's clock == true time).
+        let reason_fields = if cfg.mark_causality {
+            vec![Value::Reason(id), Value::I32(i as i32)]
+        } else {
+            vec![Value::I32(i as i32)]
+        };
+        let reason = EventRecord::new(
+            NodeId(0),
+            SensorId(0),
+            EventTypeId(1),
+            i as u64,
+            UtcMicros::from_micros(t_true),
+            reason_fields,
+        )?;
+
+        // Node B receives it `message_delay` later and records the
+        // consequence with B's skewed clock.
+        let recv_true = t_true + cfg.message_delay_us;
+        let conseq_fields = if cfg.mark_causality {
+            vec![Value::Conseq(id), Value::I32(i as i32)]
+        } else {
+            vec![Value::I32(i as i32)]
+        };
+        let conseq = EventRecord::new(
+            NodeId(1),
+            SensorId(0),
+            EventTypeId(2),
+            i as u64,
+            UtcMicros::from_micros(recv_true + cfg.clock_offset_us),
+            conseq_fields,
+        )?;
+
+        // Batches arrive at the ISM a little after each event.
+        let now = UtcMicros::from_micros(recv_true + cfg.message_delay_us);
+        core.push_batch(vec![reason], now)?;
+        core.push_batch(vec![conseq], now)?;
+        if core.take_extra_sync_request() {
+            report.extra_sync_requests += 1;
+        }
+        core.tick(now)?;
+        t_true = recv_true;
+    }
+    core.drain_all()?;
+
+    // Consumer-side check: for each exchange, did the response appear to
+    // precede the request?
+    let (records, _missed) = reader.poll()?;
+    let idx_of = |rec: &EventRecord| -> i32 {
+        rec.fields
+            .iter()
+            .find_map(|f| match f {
+                Value::I32(v) => Some(*v),
+                _ => None,
+            })
+            .expect("exchange index field")
+    };
+    // Two passes: the check must be order-independent because an unrepaired
+    // tachyonic consequence is (correctly) sorted BEFORE its reason.
+    let mut reason_ts = std::collections::HashMap::new();
+    for rec in &records {
+        report.delivered += 1;
+        if rec.event_type == EventTypeId(1) {
+            reason_ts.insert(idx_of(rec), rec.ts);
+        }
+    }
+    for rec in &records {
+        if rec.event_type == EventTypeId(2) {
+            if let Some(&rts) = reason_ts.get(&idx_of(rec)) {
+                if rec.ts <= rts {
+                    report.visible_tachyons += 1;
+                }
+            }
+        }
+    }
+    report.repaired_tachyons = core.cre_stats().tachyons_repaired;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cre_on_repairs_all_tachyons() {
+        let cfg = CausalConfig::default();
+        let r = run_causal_experiment(&cfg).unwrap();
+        assert_eq!(r.delivered, 2 * cfg.exchanges as u64);
+        assert_eq!(r.visible_tachyons, 0, "CRE must repair every tachyon");
+        assert!(r.repaired_tachyons as usize >= cfg.exchanges / 2);
+        assert!(r.extra_sync_requests > 0);
+    }
+
+    #[test]
+    fn cre_off_leaks_tachyons() {
+        let cfg = CausalConfig {
+            mark_causality: false,
+            ..CausalConfig::default()
+        };
+        let r = run_causal_experiment(&cfg).unwrap();
+        assert_eq!(r.delivered, 2 * cfg.exchanges as u64);
+        assert!(
+            r.visible_tachyons as usize > cfg.exchanges / 2,
+            "unmarked events must expose causality violations: {}",
+            r.visible_tachyons
+        );
+        assert_eq!(r.repaired_tachyons, 0);
+    }
+
+    #[test]
+    fn well_synchronized_clocks_need_no_repair() {
+        let cfg = CausalConfig {
+            clock_offset_us: 0,
+            ..CausalConfig::default()
+        };
+        let r = run_causal_experiment(&cfg).unwrap();
+        assert_eq!(r.visible_tachyons, 0);
+        assert_eq!(r.repaired_tachyons, 0, "no tachyons to repair");
+        assert_eq!(r.extra_sync_requests, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CausalConfig::default();
+        let a = run_causal_experiment(&cfg).unwrap();
+        let b = run_causal_experiment(&cfg).unwrap();
+        assert_eq!(a.repaired_tachyons, b.repaired_tachyons);
+    }
+}

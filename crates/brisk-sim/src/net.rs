@@ -1,0 +1,155 @@
+//! One-way message delay model for the simulated LAN.
+
+use brisk_core::UtcMicros;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A parameterized one-way delay distribution with optional periodic
+/// *disturbance windows* during which latency inflates — modelling the
+/// paper's "disturbances of various sources in the LAN" that degraded
+/// clock-sync quality past 200 µs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DelayModel {
+    /// Minimum one-way delay (µs).
+    pub base_us: i64,
+    /// Uniform jitter added on top: `[0, jitter_us]` (µs).
+    pub jitter_us: i64,
+    /// Probability of a queuing spike on any message.
+    pub spike_probability: f64,
+    /// Spike magnitude (µs), uniform in `[0, spike_us]`.
+    pub spike_us: i64,
+    /// Disturbance window period (µs); 0 disables disturbances.
+    pub disturbance_period_us: i64,
+    /// Disturbance window length (µs) at the start of each period.
+    pub disturbance_len_us: i64,
+    /// Extra delay (µs), uniform in `[0, disturbance_extra_us]`, applied to
+    /// messages sent inside a disturbance window.
+    pub disturbance_extra_us: i64,
+}
+
+impl DelayModel {
+    /// A quiet LAN: ~150 µs ± 50 µs, rare small spikes. Matches the
+    /// "light working conditions" of the paper's evaluation.
+    pub fn quiet_lan() -> Self {
+        DelayModel {
+            base_us: 150,
+            jitter_us: 50,
+            spike_probability: 0.01,
+            spike_us: 500,
+            disturbance_period_us: 0,
+            disturbance_len_us: 0,
+            disturbance_extra_us: 0,
+        }
+    }
+
+    /// A LAN with periodic disturbances: every 60 s (simulated), a 5 s
+    /// window inflates delays by up to 2 ms.
+    pub fn disturbed_lan() -> Self {
+        DelayModel {
+            disturbance_period_us: 60_000_000,
+            disturbance_len_us: 5_000_000,
+            disturbance_extra_us: 2_000,
+            ..Self::quiet_lan()
+        }
+    }
+
+    /// An ideal zero-delay network (useful to isolate algorithmic effects).
+    pub fn ideal() -> Self {
+        DelayModel {
+            base_us: 0,
+            jitter_us: 0,
+            spike_probability: 0.0,
+            spike_us: 0,
+            disturbance_period_us: 0,
+            disturbance_len_us: 0,
+            disturbance_extra_us: 0,
+        }
+    }
+
+    /// True if `now` falls inside a disturbance window.
+    pub fn disturbed_at(&self, now: UtcMicros) -> bool {
+        if self.disturbance_period_us <= 0 || self.disturbance_len_us <= 0 {
+            return false;
+        }
+        now.as_micros().rem_euclid(self.disturbance_period_us) < self.disturbance_len_us
+    }
+
+    /// Draw a one-way delay for a message sent at `now`.
+    pub fn sample(&self, rng: &mut StdRng, now: UtcMicros) -> i64 {
+        let mut d = self.base_us;
+        if self.jitter_us > 0 {
+            d += rng.gen_range(0..=self.jitter_us);
+        }
+        if self.spike_probability > 0.0 && rng.gen_bool(self.spike_probability.min(1.0)) {
+            d += rng.gen_range(0..=self.spike_us.max(1));
+        }
+        if self.disturbed_at(now) && self.disturbance_extra_us > 0 {
+            d += rng.gen_range(0..=self.disturbance_extra_us);
+        }
+        d.max(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_model_is_zero() {
+        let m = DelayModel::ideal();
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in [0i64, 1_000, 1_000_000] {
+            assert_eq!(m.sample(&mut rng, UtcMicros::from_micros(t)), 0);
+        }
+    }
+
+    #[test]
+    fn quiet_lan_within_bounds() {
+        let m = DelayModel::quiet_lan();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let d = m.sample(&mut rng, UtcMicros::ZERO);
+            assert!((150..=150 + 50 + 500).contains(&d), "delay {d}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = DelayModel::disturbed_lan();
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100)
+                .map(|i| m.sample(&mut rng, UtcMicros::from_micros(i * 1_000)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn disturbance_windows_are_periodic() {
+        let m = DelayModel::disturbed_lan();
+        assert!(m.disturbed_at(UtcMicros::from_micros(0)));
+        assert!(m.disturbed_at(UtcMicros::from_micros(4_999_999)));
+        assert!(!m.disturbed_at(UtcMicros::from_micros(5_000_000)));
+        assert!(!m.disturbed_at(UtcMicros::from_micros(59_999_999)));
+        assert!(m.disturbed_at(UtcMicros::from_micros(60_000_000)));
+    }
+
+    #[test]
+    fn disturbance_inflates_mean_delay() {
+        let m = DelayModel::disturbed_lan();
+        let mut rng = StdRng::seed_from_u64(3);
+        let inside: i64 = (0..2_000)
+            .map(|_| m.sample(&mut rng, UtcMicros::from_micros(1_000)))
+            .sum();
+        let outside: i64 = (0..2_000)
+            .map(|_| m.sample(&mut rng, UtcMicros::from_micros(10_000_000)))
+            .sum();
+        assert!(
+            inside > outside + 100_000,
+            "disturbed mean must be clearly higher: {inside} vs {outside}"
+        );
+    }
+}

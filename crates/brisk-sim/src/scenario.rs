@@ -1,0 +1,249 @@
+//! Workload scenarios: synthetic event-arrival processes.
+//!
+//! "Different parallel/distributed applications may require very different
+//! instrumentation/experiment scenarios, and the IS should be able to
+//! support them" (§2). This module provides the arrival-process generators
+//! the experiments draw workloads from — uniform-with-jitter (the paper's
+//! "simple looping applications"), Poisson, bursty, and phased — all
+//! seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An event-arrival process: generates inter-arrival gaps in microseconds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Fixed mean spacing with uniform jitter: gaps in
+    /// `mean × [1−jitter, 1+jitter]`. `jitter = 0` is a strict loop — the
+    /// paper's evaluation workload.
+    Uniform {
+        /// Events per second.
+        rate_hz: f64,
+        /// Jitter fraction in `[0, 1)`.
+        jitter: f64,
+    },
+    /// Memoryless arrivals (exponential gaps) at the given mean rate.
+    Poisson {
+        /// Events per second.
+        rate_hz: f64,
+    },
+    /// `burst_size` back-to-back events (spaced `intra_gap_us`), then a
+    /// pause so the long-run rate matches `rate_hz`.
+    Bursty {
+        /// Long-run events per second.
+        rate_hz: f64,
+        /// Events per burst.
+        burst_size: u32,
+        /// Spacing inside a burst (µs).
+        intra_gap_us: i64,
+    },
+    /// Alternating phases of different rates (e.g. compute/communicate),
+    /// each lasting `phase_us`.
+    Phased {
+        /// Rates cycled through, one per phase (events per second).
+        rates_hz: Vec<f64>,
+        /// Phase length (µs).
+        phase_us: i64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generate `count` creation timestamps (µs), starting after t = 0.
+    pub fn generate(&self, rng: &mut StdRng, count: usize) -> Vec<i64> {
+        let mut out = Vec::with_capacity(count);
+        let mut t = 0f64;
+        match self {
+            ArrivalProcess::Uniform { rate_hz, jitter } => {
+                let mean = 1e6 / rate_hz.max(1e-9);
+                let jitter = jitter.clamp(0.0, 0.999);
+                for _ in 0..count {
+                    let factor = if jitter == 0.0 {
+                        1.0
+                    } else {
+                        rng.gen_range(1.0 - jitter..1.0 + jitter)
+                    };
+                    t += mean * factor;
+                    out.push(t as i64);
+                }
+            }
+            ArrivalProcess::Poisson { rate_hz } => {
+                let mean = 1e6 / rate_hz.max(1e-9);
+                for _ in 0..count {
+                    // Inverse-CDF exponential sampling.
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    t += -mean * u.ln();
+                    out.push(t as i64);
+                }
+            }
+            ArrivalProcess::Bursty {
+                rate_hz,
+                burst_size,
+                intra_gap_us,
+            } => {
+                let burst_size = (*burst_size).max(1) as usize;
+                let burst_period = burst_size as f64 * 1e6 / rate_hz.max(1e-9);
+                let mut burst_start = 0f64;
+                let mut produced = 0usize;
+                while produced < count {
+                    for k in 0..burst_size.min(count - produced) {
+                        out.push((burst_start + (k as i64 * intra_gap_us) as f64) as i64);
+                    }
+                    produced += burst_size.min(count - produced);
+                    burst_start += burst_period;
+                }
+                out.truncate(count);
+            }
+            ArrivalProcess::Phased { rates_hz, phase_us } => {
+                assert!(!rates_hz.is_empty(), "at least one phase rate");
+                let phase_us = (*phase_us).max(1) as f64;
+                let mut phase = 0usize;
+                let mut phase_end = phase_us;
+                for _ in 0..count {
+                    let rate = rates_hz[phase % rates_hz.len()].max(1e-9);
+                    t += 1e6 / rate;
+                    while t >= phase_end {
+                        phase += 1;
+                        phase_end += phase_us;
+                    }
+                    out.push(t as i64);
+                }
+            }
+        }
+        out
+    }
+
+    /// The process's long-run mean rate (events per second).
+    pub fn mean_rate_hz(&self) -> f64 {
+        match self {
+            ArrivalProcess::Uniform { rate_hz, .. } => *rate_hz,
+            ArrivalProcess::Poisson { rate_hz } => *rate_hz,
+            ArrivalProcess::Bursty { rate_hz, .. } => *rate_hz,
+            ArrivalProcess::Phased { rates_hz, .. } => {
+                // Harmonic mean: phases have equal durations, so the rate
+                // averages over time, weighted by events ∝ rate.
+                rates_hz.iter().sum::<f64>() / rates_hz.len() as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rate_of(ts: &[i64]) -> f64 {
+        let span = (*ts.last().unwrap() - ts[0]) as f64 / 1e6;
+        (ts.len() - 1) as f64 / span
+    }
+
+    fn gaps(ts: &[i64]) -> Vec<i64> {
+        ts.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    #[test]
+    fn uniform_hits_rate_and_is_monotone() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = ArrivalProcess::Uniform {
+            rate_hz: 1_000.0,
+            jitter: 0.5,
+        };
+        let ts = p.generate(&mut rng, 10_000);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        let r = rate_of(&ts);
+        assert!((900.0..1_100.0).contains(&r), "rate {r}");
+    }
+
+    #[test]
+    fn uniform_zero_jitter_is_exact_loop() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = ArrivalProcess::Uniform {
+            rate_hz: 500.0,
+            jitter: 0.0,
+        };
+        let ts = p.generate(&mut rng, 100);
+        let g = gaps(&ts);
+        assert!(g.iter().all(|&x| x == 2_000), "strict 2 ms spacing: {g:?}");
+    }
+
+    #[test]
+    fn poisson_rate_and_variability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = ArrivalProcess::Poisson { rate_hz: 2_000.0 };
+        let ts = p.generate(&mut rng, 50_000);
+        let r = rate_of(&ts);
+        assert!((1_900.0..2_100.0).contains(&r), "rate {r}");
+        // Coefficient of variation of exponential gaps ≈ 1.
+        let g = gaps(&ts);
+        let mean = g.iter().sum::<i64>() as f64 / g.len() as f64;
+        let var = g
+            .iter()
+            .map(|&x| (x as f64 - mean) * (x as f64 - mean))
+            .sum::<f64>()
+            / g.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((0.9..1.1).contains(&cv), "CV {cv}");
+    }
+
+    #[test]
+    fn bursty_long_run_rate_holds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = ArrivalProcess::Bursty {
+            rate_hz: 1_000.0,
+            burst_size: 50,
+            intra_gap_us: 5,
+        };
+        let ts = p.generate(&mut rng, 10_000);
+        let r = rate_of(&ts);
+        assert!((900.0..1_150.0).contains(&r), "rate {r}");
+        // Gap distribution must be bimodal: tiny within bursts, large between.
+        let g = gaps(&ts);
+        let tiny = g.iter().filter(|&&x| x <= 5).count();
+        let large = g.iter().filter(|&&x| x > 10_000).count();
+        assert!(tiny > g.len() * 8 / 10);
+        assert!(large > 0);
+    }
+
+    #[test]
+    fn phased_alternates_rates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = ArrivalProcess::Phased {
+            rates_hz: vec![10_000.0, 100.0],
+            phase_us: 100_000, // 100 ms phases
+        };
+        let ts = p.generate(&mut rng, 5_000);
+        // Count events in the first fast phase vs the first slow phase.
+        let fast = ts.iter().filter(|&&t| t < 100_000).count();
+        let slow = ts
+            .iter()
+            .filter(|&&t| (100_000..200_000).contains(&t))
+            .count();
+        assert!(fast > slow * 10, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = ArrivalProcess::Poisson { rate_hz: 1_000.0 };
+        let a = p.generate(&mut StdRng::seed_from_u64(9), 100);
+        let b = p.generate(&mut StdRng::seed_from_u64(9), 100);
+        let c = p.generate(&mut StdRng::seed_from_u64(10), 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_rate_reported() {
+        assert_eq!(
+            ArrivalProcess::Uniform { rate_hz: 5.0, jitter: 0.1 }.mean_rate_hz(),
+            5.0
+        );
+        assert_eq!(
+            ArrivalProcess::Phased {
+                rates_hz: vec![100.0, 300.0],
+                phase_us: 1
+            }
+            .mean_rate_hz(),
+            200.0
+        );
+    }
+}

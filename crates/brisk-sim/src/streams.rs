@@ -1,0 +1,287 @@
+//! On-line-sorting experiment driver (E7).
+//!
+//! "The on-line sorting algorithm was evaluated using streams of
+//! artificially delayed event records, and by varying four quantitative and
+//! qualitative parameters" (§4). The four parameters map onto
+//! [`SortingConfig`]: the initial time frame, the growth policy, the decay
+//! constant, and the delivery-delay distribution.
+
+use crate::net::DelayModel;
+use crate::scenario::ArrivalProcess;
+use brisk_core::{EventRecord, EventTypeId, NodeId, Result, SensorId, SorterConfig, UtcMicros};
+use brisk_ism::OnlineSorter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of one sorting experiment run.
+#[derive(Clone, Debug)]
+pub struct SortingConfig {
+    /// Number of event-producing nodes.
+    pub nodes: usize,
+    /// Events generated per node.
+    pub events_per_node: usize,
+    /// Event-creation process per node (experiment scenario knob).
+    pub arrivals: ArrivalProcess,
+    /// Delivery-delay distribution (experiment parameter 4).
+    pub delay: DelayModel,
+    /// Sorter knobs (experiment parameters 1–3: initial frame, growth
+    /// policy, decay constant).
+    pub sorter: SorterConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SortingConfig {
+    fn default() -> Self {
+        SortingConfig {
+            nodes: 4,
+            events_per_node: 5_000,
+            arrivals: ArrivalProcess::Uniform {
+                rate_hz: 1_000.0,
+                jitter: 0.5,
+            },
+            delay: DelayModel::quiet_lan(),
+            sorter: SorterConfig::default(),
+            seed: 0x50_127,
+        }
+    }
+}
+
+/// Result of one sorting experiment run.
+#[derive(Clone, Debug, Default)]
+pub struct SortingReport {
+    /// Records delivered to the consumer.
+    pub delivered: u64,
+    /// Adjacent out-of-order pairs at the consumer.
+    pub inversions: u64,
+    /// Inversion rate (inversions / adjacent pairs).
+    pub inversion_rate: f64,
+    /// Mean sorter-added latency: release time − arrival time (µs).
+    pub mean_added_latency_us: f64,
+    /// Maximum sorter-added latency (µs).
+    pub max_added_latency_us: i64,
+    /// Mean end-to-end latency: release time − creation time (µs).
+    pub mean_end_latency_us: f64,
+    /// Time frame `T` when the run ended (µs).
+    pub final_frame_us: i64,
+    /// Largest `T` reached (µs).
+    pub max_frame_us: i64,
+    /// Sorter inversions (frame growth triggers; differs from consumer
+    /// inversions only through forced releases).
+    pub sorter_inversions: u64,
+}
+
+/// One in-flight event.
+struct Arrival {
+    at_us: i64,
+    rec: EventRecord,
+}
+
+/// Run one sorting experiment.
+pub fn run_sorting_experiment(cfg: &SortingConfig) -> Result<SortingReport> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Generate creation times per node, then delivery arrivals.
+    let mut arrivals: Vec<Arrival> = Vec::with_capacity(cfg.nodes * cfg.events_per_node);
+    let mut creation_of = std::collections::HashMap::new();
+    for node in 0..cfg.nodes {
+        let creation_times = cfg.arrivals.generate(&mut rng, cfg.events_per_node);
+        for (seq, &t) in creation_times.iter().enumerate() {
+            let created = UtcMicros::from_micros(t);
+            let delay = cfg.delay.sample(&mut rng, created);
+            let rec = EventRecord::new(
+                NodeId(node as u32),
+                SensorId(0),
+                EventTypeId(1),
+                seq as u64,
+                created,
+                vec![],
+            )?;
+            creation_of.insert((node as u32, seq as u64), created.as_micros());
+            arrivals.push(Arrival {
+                at_us: created.as_micros() + delay,
+                rec,
+            });
+        }
+    }
+    arrivals.sort_by_key(|a| a.at_us);
+
+    let mut sorter = OnlineSorter::new(cfg.sorter.clone(), 0)?;
+    let mut report = SortingReport::default();
+    let mut last_ts: Option<UtcMicros> = None;
+    let mut added_sum = 0f64;
+    let mut end_sum = 0f64;
+    let mut arrival_of = std::collections::HashMap::new();
+
+    let mut consume = |records: Vec<EventRecord>,
+                       now_us: i64,
+                       report: &mut SortingReport,
+                       arrival_of: &std::collections::HashMap<(u32, u64), i64>| {
+        for rec in records {
+            report.delivered += 1;
+            if let Some(last) = last_ts {
+                if rec.ts < last {
+                    report.inversions += 1;
+                }
+            }
+            last_ts = Some(rec.ts);
+            let key = (rec.node.raw(), rec.seq);
+            let arrived = arrival_of[&key];
+            let added = now_us - arrived;
+            report.max_added_latency_us = report.max_added_latency_us.max(added);
+            added_sum += added as f64;
+            end_sum += (now_us - creation_of[&key]) as f64;
+        }
+    };
+
+    for arrival in &arrivals {
+        arrival_of.insert((arrival.rec.node.raw(), arrival.rec.seq), arrival.at_us);
+    }
+    for arrival in arrivals {
+        let now = UtcMicros::from_micros(arrival.at_us);
+        sorter.push(arrival.rec);
+        let released = sorter.poll(now);
+        report.max_frame_us = report.max_frame_us.max(sorter.frame_us());
+        consume(released, arrival.at_us, &mut report, &arrival_of);
+    }
+    // Final flush at a time far enough past the last arrival.
+    let end = arrival_of.values().copied().max().unwrap_or(0) + cfg.sorter.max_frame_us + 1;
+    let released = sorter.poll(UtcMicros::from_micros(end));
+    consume(released, end, &mut report, &arrival_of);
+    let leftovers = sorter.drain_all();
+    consume(leftovers, end, &mut report, &arrival_of);
+
+    report.final_frame_us = sorter.frame_us();
+    report.sorter_inversions = sorter.stats().inversions;
+    if report.delivered > 1 {
+        report.inversion_rate = report.inversions as f64 / (report.delivered - 1) as f64;
+        report.mean_added_latency_us = added_sum / report.delivered as f64;
+        report.mean_end_latency_us = end_sum / report.delivered as f64;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_core::config::FrameGrowth;
+
+    fn base() -> SortingConfig {
+        SortingConfig {
+            nodes: 4,
+            events_per_node: 2_000,
+            ..SortingConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_events_are_delivered_exactly_once() {
+        let cfg = base();
+        let r = run_sorting_experiment(&cfg).unwrap();
+        assert_eq!(r.delivered, (cfg.nodes * cfg.events_per_node) as u64);
+    }
+
+    #[test]
+    fn zero_frame_no_decay_yields_inversions_under_jitter() {
+        let mut cfg = base();
+        cfg.sorter.initial_frame_us = 0;
+        cfg.sorter.min_frame_us = 0;
+        cfg.sorter.max_frame_us = 0; // adaptive growth disabled
+        cfg.sorter.decay_factor = 1.0;
+        cfg.delay = DelayModel {
+            base_us: 100,
+            jitter_us: 2_000, // jitter far above inter-event spacing
+            ..DelayModel::ideal()
+        };
+        let r = run_sorting_experiment(&cfg).unwrap();
+        assert!(r.inversions > 0, "no buffering must leak disorder");
+        assert_eq!(r.max_added_latency_us, 0, "T=0 adds no latency");
+    }
+
+    #[test]
+    fn large_fixed_frame_eliminates_inversions_at_latency_cost() {
+        let mut cfg = base();
+        cfg.sorter.initial_frame_us = 10_000; // far above max delay jitter
+        cfg.sorter.min_frame_us = 10_000;
+        cfg.sorter.max_frame_us = 10_000;
+        cfg.sorter.decay_factor = 1.0;
+        let r = run_sorting_experiment(&cfg).unwrap();
+        assert_eq!(r.inversions, 0);
+        assert!(r.mean_added_latency_us > 1_000.0);
+    }
+
+    #[test]
+    fn adaptive_frame_reduces_inversions_vs_no_frame() {
+        let delay = DelayModel {
+            base_us: 100,
+            jitter_us: 2_000,
+            ..DelayModel::ideal()
+        };
+        let mut none = base();
+        none.delay = delay.clone();
+        none.sorter.initial_frame_us = 0;
+        none.sorter.min_frame_us = 0;
+        none.sorter.max_frame_us = 0;
+        none.sorter.decay_factor = 1.0;
+
+        let mut adaptive = base();
+        adaptive.delay = delay;
+        adaptive.sorter.initial_frame_us = 0;
+        adaptive.sorter.min_frame_us = 0;
+        adaptive.sorter.growth = FrameGrowth::ToObservedLateness;
+        adaptive.sorter.decay_factor = 0.98;
+
+        let r_none = run_sorting_experiment(&none).unwrap();
+        let r_adaptive = run_sorting_experiment(&adaptive).unwrap();
+        assert!(
+            r_adaptive.inversion_rate < r_none.inversion_rate / 2.0,
+            "adaptive {} vs none {}",
+            r_adaptive.inversion_rate,
+            r_none.inversion_rate
+        );
+        assert!(r_adaptive.max_frame_us > 0, "frame must have grown");
+    }
+
+    #[test]
+    fn slower_decay_orders_better_than_fast_decay() {
+        // The paper: "a small exponent constant for reducing T (i.e. a
+        // large T's half-life) helps" in non-latency-critical settings.
+        let delay = DelayModel {
+            base_us: 100,
+            jitter_us: 3_000,
+            spike_probability: 0.05,
+            spike_us: 5_000,
+            ..DelayModel::ideal()
+        };
+        let mk = |decay: f64| {
+            let mut cfg = base();
+            cfg.delay = delay.clone();
+            cfg.sorter.initial_frame_us = 0;
+            cfg.sorter.min_frame_us = 0;
+            cfg.sorter.decay_factor = decay;
+            cfg.sorter.decay_interval = std::time::Duration::from_millis(10);
+            cfg
+        };
+        let fast = run_sorting_experiment(&mk(0.5)).unwrap();
+        let slow = run_sorting_experiment(&mk(0.99)).unwrap();
+        assert!(
+            slow.inversion_rate <= fast.inversion_rate,
+            "slow decay {} must not be worse than fast decay {}",
+            slow.inversion_rate,
+            fast.inversion_rate
+        );
+        assert!(
+            slow.mean_added_latency_us >= fast.mean_added_latency_us,
+            "the price of slow decay is latency"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = base();
+        let a = run_sorting_experiment(&cfg).unwrap();
+        let b = run_sorting_experiment(&cfg).unwrap();
+        assert_eq!(a.inversions, b.inversions);
+        assert_eq!(a.mean_added_latency_us, b.mean_added_latency_us);
+    }
+}

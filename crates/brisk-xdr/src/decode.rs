@@ -1,0 +1,267 @@
+//! XDR decoding (RFC 1832 subset).
+
+use crate::pad4;
+use brisk_core::{BriskError, Result};
+
+/// Streaming XDR decoder over a borrowed byte slice.
+///
+/// The decoder is strict: truncation, non-zero padding bytes and invalid
+/// boolean discriminants are all rejected, so every value has exactly one
+/// encoding (canonical form) — important because the protocol layer hashes
+/// and compares encoded descriptors.
+#[derive(Debug)]
+pub struct XdrDecoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XdrDecoder<'a> {
+    /// Decode from the whole slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        XdrDecoder { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when all input has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Error unless all input was consumed — used by message decoders to
+    /// reject trailing garbage.
+    pub fn finish(&self) -> Result<()> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(BriskError::Codec(format!(
+                "{} trailing bytes after XDR value",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(BriskError::Codec(format!(
+                "truncated XDR input: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// XDR `int`.
+    pub fn int(&mut self) -> Result<i32> {
+        Ok(i32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// XDR `unsigned int`.
+    pub fn uint(&mut self) -> Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// XDR `hyper`.
+    pub fn hyper(&mut self) -> Result<i64> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// XDR `unsigned hyper`.
+    pub fn uhyper(&mut self) -> Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// XDR `float`.
+    pub fn float(&mut self) -> Result<f32> {
+        Ok(f32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// XDR `double`.
+    pub fn double(&mut self) -> Result<f64> {
+        Ok(f64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// XDR `bool` (int restricted to 0/1).
+    pub fn boolean(&mut self) -> Result<bool> {
+        match self.int()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(BriskError::Codec(format!("invalid XDR bool {v}"))),
+        }
+    }
+
+    /// XDR fixed-length `opaque[n]`.
+    pub fn opaque_fixed(&mut self, n: usize) -> Result<&'a [u8]> {
+        let payload = self.take(n)?;
+        let padding = self.take(pad4(n) - n)?;
+        if padding.iter().any(|&b| b != 0) {
+            return Err(BriskError::Codec("non-zero XDR padding".into()));
+        }
+        Ok(payload)
+    }
+
+    /// XDR variable-length `opaque<>`, with an upper bound on the length to
+    /// keep a corrupt length word from asking for gigabytes.
+    pub fn opaque_bounded(&mut self, max_len: usize) -> Result<&'a [u8]> {
+        let len = self.uint()? as usize;
+        if len > max_len {
+            return Err(BriskError::Codec(format!(
+                "opaque length {len} exceeds bound {max_len}"
+            )));
+        }
+        self.opaque_fixed(len)
+    }
+
+    /// XDR variable-length `opaque<>` bounded only by the input size.
+    pub fn opaque(&mut self) -> Result<&'a [u8]> {
+        let bound = self.remaining();
+        self.opaque_bounded(bound)
+    }
+
+    /// XDR `string<>` (UTF-8 validated).
+    pub fn string(&mut self) -> Result<&'a str> {
+        let bytes = self.opaque()?;
+        std::str::from_utf8(bytes)
+            .map_err(|e| BriskError::Codec(format!("invalid UTF-8 in XDR string: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::XdrEncoder;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = XdrEncoder::new();
+        e.int(-7)
+            .uint(42)
+            .hyper(i64::MIN)
+            .uhyper(u64::MAX)
+            .float(2.5)
+            .double(-0.125)
+            .boolean(true)
+            .boolean(false);
+        let bytes = e.into_bytes();
+        let mut d = XdrDecoder::new(&bytes);
+        assert_eq!(d.int().unwrap(), -7);
+        assert_eq!(d.uint().unwrap(), 42);
+        assert_eq!(d.hyper().unwrap(), i64::MIN);
+        assert_eq!(d.uhyper().unwrap(), u64::MAX);
+        assert_eq!(d.float().unwrap(), 2.5);
+        assert_eq!(d.double().unwrap(), -0.125);
+        assert!(d.boolean().unwrap());
+        assert!(!d.boolean().unwrap());
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn opaque_round_trip() {
+        for payload in [&b""[..], b"a", b"ab", b"abc", b"abcd", b"abcde"] {
+            let mut e = XdrEncoder::new();
+            e.opaque(payload);
+            let bytes = e.into_bytes();
+            let mut d = XdrDecoder::new(&bytes);
+            assert_eq!(d.opaque().unwrap(), payload);
+            d.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn string_round_trip_and_utf8_check() {
+        let mut e = XdrEncoder::new();
+        e.string("héllo");
+        let bytes = e.into_bytes();
+        let mut d = XdrDecoder::new(&bytes);
+        assert_eq!(d.string().unwrap(), "héllo");
+
+        // Corrupt a UTF-8 continuation byte.
+        let mut bad = XdrEncoder::new();
+        bad.opaque(&[0xff, 0xfe]);
+        let bytes = bad.into_bytes();
+        assert!(XdrDecoder::new(&bytes).string().is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut e = XdrEncoder::new();
+        e.hyper(1);
+        let bytes = e.into_bytes();
+        assert!(XdrDecoder::new(&bytes[..7]).hyper().is_err());
+        assert!(XdrDecoder::new(&[]).int().is_err());
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        let mut e = XdrEncoder::new();
+        e.int(2);
+        let bytes = e.into_bytes();
+        assert!(XdrDecoder::new(&bytes).boolean().is_err());
+    }
+
+    #[test]
+    fn nonzero_padding_rejected() {
+        // opaque<1> with a dirty pad byte.
+        let bytes = [0, 0, 0, 1, b'x', 1, 0, 0];
+        assert!(XdrDecoder::new(&bytes).opaque().is_err());
+        let clean = [0, 0, 0, 1, b'x', 0, 0, 0];
+        assert_eq!(XdrDecoder::new(&clean).opaque().unwrap(), b"x");
+    }
+
+    #[test]
+    fn opaque_bound_enforced() {
+        let mut e = XdrEncoder::new();
+        e.opaque(&[0u8; 100]);
+        let bytes = e.into_bytes();
+        let mut d = XdrDecoder::new(&bytes);
+        assert!(d.opaque_bounded(50).is_err());
+        let mut d = XdrDecoder::new(&bytes);
+        assert!(d.opaque_bounded(100).is_ok());
+    }
+
+    #[test]
+    fn huge_length_word_is_rejected_not_allocated() {
+        // Length claims 4 GiB with only 4 bytes of data present.
+        let bytes = [0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0];
+        let mut d = XdrDecoder::new(&bytes);
+        assert!(d.opaque().is_err());
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let mut e = XdrEncoder::new();
+        e.int(1).int(2);
+        let bytes = e.into_bytes();
+        let mut d = XdrDecoder::new(&bytes);
+        d.int().unwrap();
+        assert!(d.finish().is_err());
+        d.int().unwrap();
+        d.finish().unwrap();
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn position_tracks_consumption() {
+        let mut e = XdrEncoder::new();
+        e.int(1).opaque(b"xyz");
+        let bytes = e.into_bytes();
+        let mut d = XdrDecoder::new(&bytes);
+        assert_eq!(d.position(), 0);
+        d.int().unwrap();
+        assert_eq!(d.position(), 4);
+        d.opaque().unwrap();
+        assert_eq!(d.position(), 12);
+        assert_eq!(d.remaining(), 0);
+    }
+}

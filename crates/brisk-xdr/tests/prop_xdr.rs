@@ -1,0 +1,129 @@
+//! Property-based tests for the XDR codec.
+
+use brisk_core::prelude::*;
+use brisk_xdr::values::{decode_record_body, decode_value, encode_record_body, encode_value};
+use brisk_xdr::{pad4, XdrDecoder, XdrEncoder};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i8>().prop_map(Value::I8),
+        any::<u8>().prop_map(Value::U8),
+        any::<i16>().prop_map(Value::I16),
+        any::<u16>().prop_map(Value::U16),
+        any::<i32>().prop_map(Value::I32),
+        any::<u32>().prop_map(Value::U32),
+        any::<i64>().prop_map(Value::I64),
+        any::<u64>().prop_map(Value::U64),
+        any::<f32>().prop_map(Value::F32),
+        any::<f64>().prop_map(Value::F64),
+        any::<bool>().prop_map(Value::Bool),
+        ".{0,32}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(Value::Bytes),
+        any::<i64>().prop_map(|us| Value::Ts(UtcMicros::from_micros(us))),
+        any::<u64>().prop_map(|id| Value::Reason(CorrelationId(id))),
+        any::<u64>().prop_map(|id| Value::Conseq(CorrelationId(id))),
+    ]
+}
+
+fn values_bitwise_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::F32(p), Value::F32(q)) => p.to_bits() == q.to_bits(),
+        (Value::F64(p), Value::F64(q)) => p.to_bits() == q.to_bits(),
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #[test]
+    fn value_round_trips_and_is_aligned(v in arb_value()) {
+        let mut e = XdrEncoder::new();
+        encode_value(&v, &mut e);
+        let bytes = e.into_bytes();
+        prop_assert_eq!(bytes.len() % 4, 0);
+        prop_assert_eq!(bytes.len(), v.xdr_size());
+        let mut d = XdrDecoder::new(&bytes);
+        let back = decode_value(v.value_type(), &mut d).unwrap();
+        prop_assert!(values_bitwise_eq(&back, &v));
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn int_round_trip(v in any::<i32>()) {
+        let mut e = XdrEncoder::new();
+        e.int(v);
+        let b = e.into_bytes();
+        prop_assert_eq!(XdrDecoder::new(&b).int().unwrap(), v);
+    }
+
+    #[test]
+    fn hyper_round_trip(v in any::<i64>()) {
+        let mut e = XdrEncoder::new();
+        e.hyper(v);
+        let b = e.into_bytes();
+        prop_assert_eq!(XdrDecoder::new(&b).hyper().unwrap(), v);
+    }
+
+    #[test]
+    fn opaque_round_trip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut e = XdrEncoder::new();
+        e.opaque(&data);
+        let b = e.into_bytes();
+        prop_assert_eq!(b.len(), 4 + pad4(data.len()));
+        let mut d = XdrDecoder::new(&b);
+        prop_assert_eq!(d.opaque().unwrap(), &data[..]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn string_round_trip(s in ".{0,64}") {
+        let mut e = XdrEncoder::new();
+        e.string(&s);
+        let b = e.into_bytes();
+        let mut d = XdrDecoder::new(&b);
+        prop_assert_eq!(d.string().unwrap(), &s[..]);
+    }
+
+    #[test]
+    fn record_body_round_trips(
+        node in any::<u32>(),
+        sensor in any::<u32>(),
+        ety in any::<u32>(),
+        seq in any::<u64>(),
+        ts in any::<i64>(),
+        fields in proptest::collection::vec(arb_value(), 0..=8),
+    ) {
+        let rec = EventRecord::new(
+            NodeId(node), SensorId(sensor), EventTypeId(ety), seq,
+            UtcMicros::from_micros(ts), fields,
+        ).unwrap();
+        let mut e = XdrEncoder::new();
+        encode_record_body(&rec, &mut e);
+        let bytes = e.into_bytes();
+        prop_assert_eq!(bytes.len() % 4, 0);
+        let mut d = XdrDecoder::new(&bytes);
+        let back = decode_record_body(NodeId(node), &mut d).unwrap();
+        d.finish().unwrap();
+        prop_assert_eq!(back.node, rec.node);
+        prop_assert_eq!(back.sensor, rec.sensor);
+        prop_assert_eq!(back.event_type, rec.event_type);
+        prop_assert_eq!(back.seq, rec.seq);
+        prop_assert_eq!(back.ts, rec.ts);
+        prop_assert_eq!(back.fields.len(), rec.fields.len());
+        for (x, y) in back.fields.iter().zip(&rec.fields) {
+            prop_assert!(values_bitwise_eq(x, y));
+        }
+    }
+
+    /// Fuzz the decoder with arbitrary bytes: it must error or succeed, but
+    /// never panic, and never read past the input.
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut d = XdrDecoder::new(&bytes);
+        let _ = decode_record_body(NodeId(0), &mut d);
+        let mut d = XdrDecoder::new(&bytes);
+        let _ = d.opaque();
+        let mut d = XdrDecoder::new(&bytes);
+        let _ = d.string();
+    }
+}

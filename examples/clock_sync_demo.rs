@@ -1,0 +1,83 @@
+//! Clock-synchronization demo on the simulated cluster.
+//!
+//! ```text
+//! cargo run --release --example clock_sync_demo
+//! ```
+//!
+//! Reproduces the paper's §4 scenario — eight external-sensor clocks,
+//! 5-second polling, ten minutes — and prints the pairwise clock spread
+//! over time as a text chart, for a quiet LAN, a disturbed LAN, and the
+//! original Cristian algorithm for comparison.
+
+use brisk::sim::{DelayModel, SyncSimConfig, SyncSimulation};
+use brisk_core::SyncConfig;
+use std::time::Duration;
+
+fn chart(label: &str, cfg: SyncSimConfig) {
+    let report = SyncSimulation::new(cfg).run().unwrap();
+    println!("\n--- {label} ---");
+    println!(
+        "initial spread {} µs | post-warmup max {} µs, mean {:.0} µs | {:.1}% of samples <200 µs | {} rounds",
+        report.initial_spread_us,
+        report.max_spread_after_warmup_us,
+        report.mean_spread_after_warmup_us,
+        100.0 * report.fraction_under_200us,
+        report.rounds,
+    );
+    // One bucket per 20 s; bar height ∝ max spread in the bucket.
+    let bucket_us = 20_000_000i64;
+    let mut buckets: Vec<(i64, i64, bool)> = Vec::new();
+    for s in &report.samples {
+        let b = s.t_us / bucket_us;
+        if buckets.last().map(|&(i, _, _)| i) != Some(b) {
+            buckets.push((b, 0, false));
+        }
+        let last = buckets.last_mut().unwrap();
+        last.1 = last.1.max(s.max_pairwise_us);
+        last.2 |= s.disturbed;
+    }
+    for (b, max_spread, disturbed) in buckets {
+        let bar_len = ((max_spread as f64).log10().max(0.0) * 12.0) as usize;
+        println!(
+            "t={:>4}s |{}{} {} µs{}",
+            b * 20,
+            "█".repeat(bar_len.min(70)),
+            if bar_len > 70 { "…" } else { "" },
+            max_spread,
+            if disturbed { "  [disturbance]" } else { "" },
+        );
+    }
+}
+
+fn main() {
+    let base = SyncSimConfig {
+        nodes: 8,
+        duration: Duration::from_secs(600),
+        ..SyncSimConfig::default()
+    };
+
+    chart("quiet LAN, BRISK modified Cristian", base.clone());
+
+    chart(
+        "disturbed LAN (periodic latency bursts), BRISK modified Cristian",
+        SyncSimConfig {
+            delay: DelayModel::disturbed_lan(),
+            ..base.clone()
+        },
+    );
+
+    chart(
+        "quiet LAN, ORIGINAL Cristian (ablation A1)",
+        SyncSimConfig {
+            sync: SyncConfig {
+                original_cristian: true,
+                ..SyncConfig::default()
+            },
+            ..base
+        },
+    );
+
+    println!("\nNote how BRISK's variant only ever ADVANCES slave clocks toward the");
+    println!("most-ahead one (conservative against network noise), at the price of a");
+    println!("small collective positive drift — exactly the trade-off described in §3.3.");
+}

@@ -1,0 +1,74 @@
+//! Quickstart: one node, one manager, a hundred events.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Demonstrates the minimal BRISK pipeline: start an ISM, start a node's
+//! LIS + external sensor, fire `notice!` events, and read the sorted
+//! stream back from the ISM's memory buffer.
+
+use brisk::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    // 1. The manager (ISM). MemTransport keeps the example self-contained;
+    //    swap in `TcpTransport` + "127.0.0.1:0" for a real socket.
+    let transport = MemTransport::new();
+    let listener = transport.listen("ism").unwrap();
+    let server = IsmServer::new(
+        IsmConfig::default(),
+        SyncConfig::default(),
+        Arc::new(SystemClock),
+    )
+    .unwrap();
+    let ism = server.spawn(listener).unwrap();
+    let mut reader = ism.memory().reader();
+
+    // 2. One node: sensors write to lock-free rings; the external sensor
+    //    drains them, applies the clock correction, batches and ships.
+    let clock = Arc::new(SystemClock);
+    let cfg = ExsConfig::default();
+    let lis = Lis::new(NodeId(1), Arc::clone(&clock), &cfg);
+    let exs = spawn_exs(
+        NodeId(1),
+        Arc::clone(lis.rings()),
+        clock,
+        transport.connect("ism").unwrap(),
+        cfg,
+    )
+    .unwrap();
+
+    // 3. Instrument the "application".
+    let mut port = lis.register();
+    for i in 0..100i32 {
+        let phase = if i % 2 == 0 { "compute" } else { "exchange" };
+        notice!(port, lis.clock(), EventTypeId(1), i, phase, 2.5f64 * i as f64);
+    }
+    println!("fired 100 events from node 1");
+
+    // 4. Consume the sorted stream.
+    let mut got = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while got.len() < 100 && Instant::now() < deadline {
+        let (records, _missed) = reader.poll().unwrap();
+        got.extend(records);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!("received {} records; first three:", got.len());
+    for rec in got.iter().take(3) {
+        println!("  {rec}");
+    }
+    assert!(
+        got.windows(2).all(|w| w[0].ts <= w[1].ts),
+        "ISM output is timestamp-sorted"
+    );
+
+    let exs_stats = exs.stop().unwrap();
+    let report = ism.stop().unwrap();
+    println!(
+        "EXS sent {} records in {} batches; ISM delivered {}",
+        exs_stats.records_sent, exs_stats.batches_sent, report.core.records_out
+    );
+}

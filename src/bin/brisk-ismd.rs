@@ -1,0 +1,186 @@
+//! `brisk-ismd` — the standalone instrumentation system manager daemon.
+//!
+//! One of the paper's "two executables" (§2): run it once per monitoring
+//! domain, point external sensors at it, and read the sorted stream from
+//! its outputs.
+//!
+//! ```text
+//! brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] [--ts utc|secs]
+//!            [--poll-period-ms N] [--stats-every-s N]
+//! ```
+//!
+//! Runs until stdin closes or a line `quit` arrives (daemon managers send
+//! EOF; interactive users type quit), then flushes and prints a final
+//! report.
+
+use brisk::prelude::*;
+use std::io::BufRead;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    tcp: Option<String>,
+    #[cfg(unix)]
+    uds: Option<String>,
+    picl: Option<String>,
+    ts_secs: bool,
+    poll_period: Duration,
+    stats_every: Duration,
+}
+
+fn parse_args() -> std::result::Result<Args, String> {
+    let mut args = Args {
+        tcp: None,
+        #[cfg(unix)]
+        uds: None,
+        picl: None,
+        ts_secs: false,
+        poll_period: Duration::from_secs(5),
+        stats_every: Duration::from_secs(10),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--tcp" => args.tcp = Some(val("--tcp")?),
+            #[cfg(unix)]
+            "--uds" => args.uds = Some(val("--uds")?),
+            "--picl" => args.picl = Some(val("--picl")?),
+            "--ts" => {
+                args.ts_secs = match val("--ts")?.as_str() {
+                    "utc" => false,
+                    "secs" => true,
+                    other => return Err(format!("unknown --ts mode {other:?}")),
+                }
+            }
+            "--poll-period-ms" => {
+                args.poll_period = Duration::from_millis(
+                    val("--poll-period-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --poll-period-ms: {e}"))?,
+                )
+            }
+            "--stats-every-s" => {
+                args.stats_every = Duration::from_secs(
+                    val("--stats-every-s")?
+                        .parse()
+                        .map_err(|e| format!("bad --stats-every-s: {e}"))?,
+                )
+            }
+            "--help" | "-h" => {
+                return Err("usage: brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] \
+                            [--ts utc|secs] [--poll-period-ms N] [--stats-every-s N]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut server = IsmServer::new(
+        IsmConfig::default(),
+        SyncConfig {
+            poll_period: args.poll_period,
+            ..SyncConfig::default()
+        },
+        Arc::new(SystemClock),
+    )
+    .expect("default configuration is valid");
+
+    if let Some(path) = &args.picl {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create PICL file {path}: {e}");
+            std::process::exit(1);
+        });
+        let mode = if args.ts_secs {
+            TsMode::SecondsSince(UtcMicros::now())
+        } else {
+            TsMode::Utc
+        };
+        server
+            .core_mut()
+            .add_sink(Box::new(PiclFileSink::new(Box::new(file), mode).unwrap()));
+        eprintln!("PICL trace -> {path}");
+    }
+
+    // Bind the requested transport (TCP by default).
+    let listener = {
+        #[cfg(unix)]
+        if let Some(path) = &args.uds {
+            brisk::net::UdsTransport.listen(path).unwrap_or_else(|e| {
+                eprintln!("cannot bind unix socket {path}: {e}");
+                std::process::exit(1);
+            })
+        } else {
+            let addr = args.tcp.as_deref().unwrap_or("127.0.0.1:7787");
+            TcpTransport.listen(addr).unwrap_or_else(|e| {
+                eprintln!("cannot bind {addr}: {e}");
+                std::process::exit(1);
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            let addr = args.tcp.as_deref().unwrap_or("127.0.0.1:7787");
+            TcpTransport.listen(addr).unwrap_or_else(|e| {
+                eprintln!("cannot bind {addr}: {e}");
+                std::process::exit(1);
+            })
+        }
+    };
+    let handle = server.spawn(listener).expect("spawn ISM");
+    eprintln!("brisk-ismd listening on {}", handle.addr());
+    eprintln!("send `quit` or close stdin to stop");
+
+    // Periodic stats on stderr; stop on stdin EOF / `quit`.
+    let memory = Arc::clone(handle.memory());
+    let stats_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stats_thread = {
+        let stop = Arc::clone(&stats_stop);
+        let every = args.stats_every;
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                std::thread::sleep(every);
+                let written = memory.written();
+                eprintln!(
+                    "[ismd] records delivered: {written} (+{} since last)",
+                    written - last
+                );
+                last = written;
+            }
+        })
+    };
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    stats_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let report = handle.stop().expect("orderly ISM shutdown");
+    let _ = stats_thread.join();
+    eprintln!(
+        "[ismd] final: {} records in, {} out, {} batches, {} sync rounds, {} tachyons repaired",
+        report.core.records_in,
+        report.core.records_out,
+        report.core.batches_in,
+        report.sync_rounds,
+        report.cre.tachyons_repaired,
+    );
+}

@@ -1,0 +1,192 @@
+//! `brisk-load` — an instrumented demo application / load generator.
+//!
+//! The counterpart executable to `brisk-ismd`: it *is* an instrumented
+//! node — sensors, ring buffers and an external sensor — generating a
+//! configurable event load against a running manager. Use it to smoke-test
+//! a deployment or to drive throughput experiments across real machines.
+//!
+//! ```text
+//! brisk-load [--tcp HOST:PORT | --uds PATH] [--node N] [--sensors N]
+//!            [--rate EV_PER_S] [--duration-s N] [--causal]
+//! ```
+
+use brisk::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    tcp: Option<String>,
+    #[cfg(unix)]
+    uds: Option<String>,
+    node: u32,
+    sensors: u32,
+    rate: f64,
+    duration: Duration,
+    causal: bool,
+}
+
+fn parse_args() -> std::result::Result<Args, String> {
+    let mut args = Args {
+        tcp: None,
+        #[cfg(unix)]
+        uds: None,
+        node: 1,
+        sensors: 2,
+        rate: 10_000.0,
+        duration: Duration::from_secs(10),
+        causal: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--tcp" => args.tcp = Some(val("--tcp")?),
+            #[cfg(unix)]
+            "--uds" => args.uds = Some(val("--uds")?),
+            "--node" => args.node = val("--node")?.parse().map_err(|e| format!("{e}"))?,
+            "--sensors" => {
+                args.sensors = val("--sensors")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--rate" => args.rate = val("--rate")?.parse().map_err(|e| format!("{e}"))?,
+            "--duration-s" => {
+                args.duration = Duration::from_secs(
+                    val("--duration-s")?.parse().map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--causal" => args.causal = true,
+            "--help" | "-h" => {
+                return Err("usage: brisk-load [--tcp HOST:PORT | --uds PATH] [--node N] \
+                            [--sensors N] [--rate EV_PER_S] [--duration-s N] [--causal]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.sensors == 0 {
+        return Err("--sensors must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn connect(args: &Args) -> brisk_core::Result<Box<dyn Connection>> {
+    #[cfg(unix)]
+    if let Some(path) = &args.uds {
+        return brisk::net::UdsTransport.connect(path);
+    }
+    let addr = args.tcp.as_deref().unwrap_or("127.0.0.1:7787");
+    TcpTransport.connect(addr)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let clock = Arc::new(SystemClock);
+    let cfg = ExsConfig::default();
+    let lis = Lis::new(NodeId(args.node), Arc::clone(&clock), &cfg);
+    let conn = connect(&args).unwrap_or_else(|e| {
+        eprintln!("cannot connect to the ISM: {e}");
+        std::process::exit(1);
+    });
+    let exs = spawn_exs(
+        NodeId(args.node),
+        Arc::clone(lis.rings()),
+        clock,
+        conn,
+        cfg,
+    )
+    .expect("spawn EXS");
+    eprintln!(
+        "brisk-load: node {} with {} sensors at {} ev/s for {:?}{}",
+        args.node,
+        args.sensors,
+        args.rate,
+        args.duration,
+        if args.causal { " (causally marked)" } else { "" },
+    );
+
+    // One worker thread per sensor, each pacing its share of the rate.
+    let per_sensor_rate = args.rate / args.sensors as f64;
+    let mut workers = Vec::new();
+    for s in 0..args.sensors {
+        let mut port = lis.register();
+        let clock = Arc::clone(lis.clock());
+        let duration = args.duration;
+        let causal = args.causal;
+        let node = args.node;
+        workers.push(std::thread::spawn(move || {
+            let interval = Duration::from_secs_f64(1.0 / per_sensor_rate.max(0.001));
+            let start = Instant::now();
+            let mut next = start;
+            let mut emitted = 0u64;
+            let mut dropped = 0u64;
+            while start.elapsed() < duration {
+                let now = Instant::now();
+                if now < next {
+                    std::thread::sleep((next - now).min(Duration::from_millis(1)));
+                    continue;
+                }
+                next += interval;
+                let ok = if causal && emitted.is_multiple_of(2) {
+                    // Mark pairs: even events are reasons, odd the conseqs.
+                    let id = CorrelationId((node as u64) << 32 | (s as u64) << 24 | emitted);
+                    notice!(
+                        port,
+                        clock,
+                        EventTypeId(1),
+                        Value::Reason(id),
+                        emitted as i64
+                    )
+                } else if causal {
+                    let id =
+                        CorrelationId((node as u64) << 32 | (s as u64) << 24 | (emitted - 1));
+                    notice!(
+                        port,
+                        clock,
+                        EventTypeId(2),
+                        Value::Conseq(id),
+                        emitted as i64
+                    )
+                } else {
+                    notice!(
+                        port,
+                        clock,
+                        EventTypeId(1),
+                        emitted as i64,
+                        (emitted * 31 % 1_000) as i32,
+                        s
+                    )
+                };
+                if ok {
+                    emitted += 1;
+                } else {
+                    dropped += 1;
+                }
+            }
+            (emitted, dropped)
+        }));
+    }
+    let mut total_emitted = 0u64;
+    let mut total_dropped = 0u64;
+    for w in workers {
+        let (e, d) = w.join().expect("worker");
+        total_emitted += e;
+        total_dropped += d;
+    }
+    // Give the EXS a moment to drain the tail, then stop it (flushes).
+    std::thread::sleep(Duration::from_millis(100));
+    let stats = exs.stop().expect("EXS shutdown");
+    eprintln!(
+        "brisk-load: emitted {total_emitted} (dropped {total_dropped}); EXS sent {} records \
+         in {} batches, answered {} sync polls, applied {} adjustments",
+        stats.records_sent, stats.batches_sent, stats.sync_replies, stats.adjustments,
+    );
+}
