@@ -25,19 +25,22 @@ fn samples_for(node: u32, skew: i64, n: usize) -> Vec<(NodeId, SkewSample)> {
 fn bench_sync(c: &mut Criterion) {
     let mut group = c.benchmark_group("clock_sync");
     for nodes in [2usize, 8, 32, 128] {
-        group.bench_with_input(BenchmarkId::new("plan_round", nodes), &nodes, |b, &nodes| {
-            b.iter(|| {
-                let mut master =
-                    brisk_clock::SyncMaster::new(SyncConfig::default()).unwrap();
-                master.begin_round();
-                for n in 0..nodes {
-                    for (node, s) in samples_for(n as u32, (n as i64 * 37) % 900, 4) {
-                        master.add_sample(node, s);
+        group.bench_with_input(
+            BenchmarkId::new("plan_round", nodes),
+            &nodes,
+            |b, &nodes| {
+                b.iter(|| {
+                    let mut master = brisk_clock::SyncMaster::new(SyncConfig::default()).unwrap();
+                    master.begin_round();
+                    for n in 0..nodes {
+                        for (node, s) in samples_for(n as u32, (n as i64 * 37) % 900, 4) {
+                            master.add_sample(node, s);
+                        }
                     }
-                }
-                black_box(master.finish_round().unwrap())
-            });
-        });
+                    black_box(master.finish_round().unwrap())
+                });
+            },
+        );
     }
     group.bench_function("full_sim_round_8_nodes", |b| {
         b.iter(|| {

@@ -16,8 +16,7 @@ fn make_batches(nodes: usize, per_node: usize) -> Vec<(usize, Vec<EventRecord>)>
     for node in 0..nodes {
         let mut seq = 0u64;
         for chunk_start in (0..per_node).step_by(batch_size) {
-            let records: Vec<EventRecord> = (chunk_start
-                ..(chunk_start + batch_size).min(per_node))
+            let records: Vec<EventRecord> = (chunk_start..(chunk_start + batch_size).min(per_node))
                 .map(|i| {
                     let ts = (i * nodes + node) as i64; // interleaved across nodes
                     let r = EventRecord::new(

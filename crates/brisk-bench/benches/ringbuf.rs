@@ -10,20 +10,16 @@ fn bench_ring(c: &mut Criterion) {
     let mut group = c.benchmark_group("byte_ring");
     group.throughput(Throughput::Elements(1));
     for size in [8usize, 64, 256] {
-        group.bench_with_input(
-            BenchmarkId::new("push_pop", size),
-            &size,
-            |b, &size| {
-                let (mut p, mut cons) = ByteRing::with_capacity(1 << 16);
-                let payload = vec![0xabu8; size];
-                let mut out = Vec::new();
-                b.iter(|| {
-                    assert!(p.push(black_box(&payload)));
-                    assert!(cons.pop(&mut out));
-                    black_box(out.len())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("push_pop", size), &size, |b, &size| {
+            let (mut p, mut cons) = ByteRing::with_capacity(1 << 16);
+            let payload = vec![0xabu8; size];
+            let mut out = Vec::new();
+            b.iter(|| {
+                assert!(p.push(black_box(&payload)));
+                assert!(cons.pop(&mut out));
+                black_box(out.len())
+            });
+        });
     }
     group.finish();
 

@@ -41,16 +41,12 @@ fn bench_transfer(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("decode", n), &encoded, |b, bytes| {
             b.iter(|| black_box(Message::decode(bytes).unwrap()));
         });
-        group.bench_with_input(
-            BenchmarkId::new("round_trip", n),
-            &msg,
-            |b, msg| {
-                b.iter(|| {
-                    let bytes = msg.encode();
-                    black_box(Message::decode(&bytes).unwrap())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("round_trip", n), &msg, |b, msg| {
+            b.iter(|| {
+                let bytes = msg.encode();
+                black_box(Message::decode(&bytes).unwrap())
+            });
+        });
     }
     group.finish();
 

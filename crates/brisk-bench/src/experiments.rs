@@ -83,12 +83,7 @@ pub fn e1_notice_cost(quick: bool) {
         stop.store(true, Ordering::Relaxed);
         drainer.join().unwrap();
         let ns = elapsed.as_nanos() as f64 / iters as f64;
-        table.row(&[
-            name.to_string(),
-            f(ns),
-            f(ns / 1_000.0),
-            f(1_000.0 / ns),
-        ]);
+        table.row(&[name.to_string(), f(ns), f(ns / 1_000.0), f(1_000.0 / ns)]);
     }
     table.print("E1: CPU cost per NOTICE (paper: 3.6–18.6 µs on 1996-era CPUs)");
 }
@@ -98,12 +93,7 @@ pub fn e1_notice_cost(quick: bool) {
 pub fn e2_exs_utilization(quick: bool) {
     let duration = Duration::from_millis(if quick { 500 } else { 2_000 });
     let rates = [1_000.0, 10_000.0, 38_000.0, 80_000.0];
-    let mut table = Table::new(&[
-        "target ev/s",
-        "achieved ev/s",
-        "EXS busy %",
-        "dropped",
-    ]);
+    let mut table = Table::new(&["target ev/s", "achieved ev/s", "EXS busy %", "dropped"]);
     for rate in rates {
         let t = MemTransport::new();
         let mut listener = t.listen("sink").unwrap();
@@ -188,9 +178,7 @@ pub fn e3_throughput(quick: bool) {
             let mut port = node.lis.register();
             let mut reader = ism.memory().reader_from_now();
             let start = Instant::now();
-            let gen = std::thread::spawn(move || {
-                blast_events(&mut port, &SystemClock, events)
-            });
+            let gen = std::thread::spawn(move || blast_events(&mut port, &SystemClock, events));
             let mut delivered: u64 = 0;
             let deadline = Instant::now() + Duration::from_secs(60);
             while delivered < events && Instant::now() < deadline {
@@ -217,13 +205,7 @@ pub fn e3_throughput(quick: bool) {
 /// bounded by the 40 ms select timeout).
 pub fn e4_latency(quick: bool) {
     let duration = Duration::from_millis(if quick { 600 } else { 2_000 });
-    let mut table = Table::new(&[
-        "flush timeout",
-        "p50 us",
-        "p95 us",
-        "p99 us",
-        "max us",
-    ]);
+    let mut table = Table::new(&["flush timeout", "p50 us", "p95 us", "p99 us", "max us"]);
     for flush_ms in [1u64, 5, 40] {
         let t = MemTransport::new();
         let ism_cfg = IsmConfig {
@@ -246,9 +228,8 @@ pub fn e4_latency(quick: bool) {
         let mut port = node.lis.register();
         let mut reader = ism.memory().reader_from_now();
         let mut tracker = LatencyTracker::new();
-        let gen = std::thread::spawn(move || {
-            paced_events(&mut port, &SystemClock, 200.0, duration)
-        });
+        let gen =
+            std::thread::spawn(move || paced_events(&mut port, &SystemClock, 200.0, duration));
         let deadline = Instant::now() + duration + Duration::from_millis(300);
         while Instant::now() < deadline {
             let (recs, _) = reader.poll().unwrap();
@@ -325,11 +306,7 @@ pub fn e5_scalability(quick: bool) {
         }
         ism.stop().unwrap();
         let rate = delivered as f64 / elapsed.as_secs_f64();
-        table.row(&[
-            nodes.to_string(),
-            f(rate),
-            f(rate / nodes as f64),
-        ]);
+        table.row(&[nodes.to_string(), f(rate), f(rate / nodes as f64)]);
     }
     table.print("E5: ISM aggregate throughput vs #EXS (paper: ~constant, ISM-bound)");
 }
@@ -583,7 +560,10 @@ pub fn a1_sync_ablation(quick: bool) {
         "mean us",
         "total advance us",
     ]);
-    for (name, original) in [("BRISK (most-ahead ref)", false), ("original Cristian", true)] {
+    for (name, original) in [
+        ("BRISK (most-ahead ref)", false),
+        ("original Cristian", true),
+    ] {
         let cfg = SyncSimConfig {
             duration,
             sync: SyncConfig {

@@ -146,12 +146,8 @@ mod tests {
         let ism = start_ism(&t, "ism", IsmConfig::default(), SyncConfig::default()).unwrap();
         let node = start_node(&t, "ism", NodeId(1), ExsConfig::default()).unwrap();
         let mut port = node.lis.register();
-        let (emitted, dropped) = paced_events(
-            &mut port,
-            &SystemClock,
-            2_000.0,
-            Duration::from_millis(500),
-        );
+        let (emitted, dropped) =
+            paced_events(&mut port, &SystemClock, 2_000.0, Duration::from_millis(500));
         assert!(dropped < emitted / 10, "dropped {dropped} of {emitted}");
         let rate = emitted as f64 / 0.5;
         assert!((1_000.0..3_000.0).contains(&rate), "rate {rate}");

@@ -55,7 +55,9 @@ impl<C: Clock> CorrectedClock<C> {
 impl<C: Clock> Clock for CorrectedClock<C> {
     /// Corrected reading: raw time plus the correction value.
     fn now(&self) -> UtcMicros {
-        self.raw.now().offset(self.correction_us.load(Ordering::Acquire))
+        self.raw
+            .now()
+            .offset(self.correction_us.load(Ordering::Acquire))
     }
 }
 

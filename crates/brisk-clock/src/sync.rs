@@ -33,6 +33,7 @@
 use crate::clock::Clock;
 use crate::correction::CorrectedClock;
 use brisk_core::{BriskError, NodeId, Result, SyncConfig, UtcMicros};
+use brisk_telemetry::{Counter, Histogram, Registry};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -151,7 +152,11 @@ fn plan_original(estimates: &[SkewEstimate]) -> SyncOutcome {
     let avg = if estimates.is_empty() {
         0.0
     } else {
-        estimates.iter().map(|e| e.skew_us.abs() as f64).sum::<f64>() / estimates.len() as f64
+        estimates
+            .iter()
+            .map(|e| e.skew_us.abs() as f64)
+            .sum::<f64>()
+            / estimates.len() as f64
     };
     SyncOutcome {
         reference: None,
@@ -195,7 +200,11 @@ fn plan_brisk(cfg: &SyncConfig, estimates: &[SkewEstimate]) -> SyncOutcome {
         .filter(|&&(_, r)| if single { r > 0 } else { (r as f64) > avg })
         .map(|&(node, r)| Correction {
             node,
-            advance_us: if full { r } else { (cfg.damping * r as f64) as i64 },
+            advance_us: if full {
+                r
+            } else {
+                (cfg.damping * r as f64) as i64
+            },
         })
         .collect();
     SyncOutcome {
@@ -237,6 +246,18 @@ pub struct SyncMaster {
     samples: BTreeMap<NodeId, Vec<SkewSample>>,
     last_outcome: Option<SyncOutcome>,
     rounds_completed: u64,
+    telemetry: Option<SyncTelemetry>,
+}
+
+/// Telemetry series the master feeds once bound to a registry.
+#[derive(Debug)]
+struct SyncTelemetry {
+    /// Per-slave |skew| estimate each round, in µs.
+    skew_us: Arc<Histogram>,
+    /// Per-slave minimum RTT each round, in µs.
+    rtt_us: Arc<Histogram>,
+    rounds: Arc<Counter>,
+    corrections: Arc<Counter>,
 }
 
 impl SyncMaster {
@@ -249,7 +270,36 @@ impl SyncMaster {
             samples: BTreeMap::new(),
             last_outcome: None,
             rounds_completed: 0,
+            telemetry: None,
         })
+    }
+
+    /// Register the master's sync-quality series with a telemetry
+    /// registry: `brisk_sync_skew_us` and `brisk_sync_rtt_us` histograms
+    /// (one observation per slave per round) plus
+    /// `brisk_sync_rounds_total` and `brisk_sync_corrections_total`.
+    pub fn bind_telemetry(&mut self, registry: &Registry) {
+        let skew_us = Arc::new(Histogram::new());
+        let rtt_us = Arc::new(Histogram::new());
+        registry.register_histogram(
+            "brisk_sync_skew_us",
+            "Per-slave absolute skew estimate per sync round",
+            &[],
+            &skew_us,
+        );
+        registry.register_histogram(
+            "brisk_sync_rtt_us",
+            "Per-slave minimum poll round-trip time per sync round",
+            &[],
+            &rtt_us,
+        );
+        self.telemetry = Some(SyncTelemetry {
+            skew_us,
+            rtt_us,
+            rounds: registry.counter("brisk_sync_rounds_total", "Sync rounds completed"),
+            corrections: registry
+                .counter("brisk_sync_corrections_total", "Slave corrections issued"),
+        });
     }
 
     /// The configured knobs.
@@ -289,6 +339,14 @@ impl SyncMaster {
         }
         let outcome = plan_corrections(&self.cfg, &estimates);
         self.rounds_completed += 1;
+        if let Some(t) = &self.telemetry {
+            for e in &estimates {
+                t.skew_us.record(e.skew_us.unsigned_abs());
+                t.rtt_us.record(e.min_rtt_us.max(0) as u64);
+            }
+            t.rounds.inc();
+            t.corrections.add(outcome.corrections.len() as u64);
+        }
         self.last_outcome = Some(outcome.clone());
         self.samples.clear();
         Ok(outcome)
@@ -426,7 +484,7 @@ mod tests {
     #[test]
     fn brisk_damps_below_threshold() {
         let cfg = SyncConfig::default(); // threshold 50, damping 0.7
-        // Rel skews vs node 3 (skew 60): node1=60, node2=20; avg=40 <= 50.
+                                         // Rel skews vs node 3 (skew 60): node1=60, node2=20; avg=40 <= 50.
         let out = plan_corrections(&cfg, &[est(1, 0), est(2, 40), est(3, 60)]);
         assert_eq!(out.corrections.len(), 1);
         assert_eq!(out.corrections[0].node, NodeId(1));
@@ -516,6 +574,34 @@ mod tests {
     }
 
     #[test]
+    fn bound_master_exports_round_telemetry() {
+        let registry = Registry::new();
+        let mut m = SyncMaster::new(SyncConfig::default()).unwrap();
+        m.bind_telemetry(&registry);
+        m.begin_round();
+        let mk = |slave_us: i64| SkewSample {
+            t_master_send: UtcMicros::from_micros(0),
+            t_slave: UtcMicros::from_micros(slave_us),
+            t_master_recv: UtcMicros::from_micros(100),
+        };
+        m.add_sample(NodeId(1), mk(50)); // skew 0
+        m.add_sample(NodeId(2), mk(850)); // skew +800
+        let out = m.finish_round().unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("brisk_sync_rounds_total"), 1);
+        assert_eq!(
+            snap.counter_total("brisk_sync_corrections_total"),
+            out.corrections.len() as u64
+        );
+        let skews = snap.histogram("brisk_sync_skew_us").unwrap();
+        assert_eq!(skews.count(), 2);
+        assert_eq!(skews.max, 800);
+        let rtts = snap.histogram("brisk_sync_rtt_us").unwrap();
+        assert_eq!(rtts.count(), 2);
+        assert_eq!(rtts.max, 100);
+    }
+
+    #[test]
     fn slave_answers_polls_and_applies_adjustments() {
         let src = SimTimeSource::new();
         src.advance_by(1_000);
@@ -540,8 +626,10 @@ mod tests {
             .zip(&drifts)
             .map(|(&o, &d)| CorrectedClock::new(SimClock::new(src.clone(), o, d, 1)))
             .collect();
-        let mut slaves: Vec<SyncSlave<SimClock>> =
-            clocks.iter().map(|c| SyncSlave::new(Arc::clone(c))).collect();
+        let mut slaves: Vec<SyncSlave<SimClock>> = clocks
+            .iter()
+            .map(|c| SyncSlave::new(Arc::clone(c)))
+            .collect();
         let master_clock = SimClock::new(src.clone(), 0, 0.0, 1);
         let mut master = SyncMaster::new(SyncConfig::default()).unwrap();
 

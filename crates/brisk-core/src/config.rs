@@ -108,9 +108,7 @@ impl SyncConfig {
             return Err(BriskError::Config("samples_per_slave must be > 0".into()));
         }
         if !(0.0..=1.0).contains(&self.damping) {
-            return Err(BriskError::Config(
-                "damping must be within [0, 1]".into(),
-            ));
+            return Err(BriskError::Config("damping must be within [0, 1]".into()));
         }
         if self.skew_threshold_us < 0 {
             return Err(BriskError::Config(
@@ -190,9 +188,7 @@ impl SorterConfig {
             ));
         }
         if !(0.0 < self.decay_factor && self.decay_factor <= 1.0) {
-            return Err(BriskError::Config(
-                "decay_factor must be in (0, 1]".into(),
-            ));
+            return Err(BriskError::Config("decay_factor must be in (0, 1]".into()));
         }
         match self.growth {
             FrameGrowth::Multiplicative(f) if f < 1.0 => Err(BriskError::Config(

@@ -208,10 +208,7 @@ mod tests {
             Value::Str("x".into()),
         ];
         let d = RecordDescriptor::of(&fields).unwrap();
-        assert_eq!(
-            d.types(),
-            &[ValueType::Ts, ValueType::I32, ValueType::Str]
-        );
+        assert_eq!(d.types(), &[ValueType::Ts, ValueType::I32, ValueType::Str]);
         d.check(&fields).unwrap();
     }
 
@@ -262,7 +259,7 @@ mod tests {
         assert!(RecordDescriptor::unpack(&[9]).is_err()); // count > MAX_FIELDS
         assert!(RecordDescriptor::unpack(&[2, 0x04]).is_ok()); // 2 fields in 1 byte
         assert!(RecordDescriptor::unpack(&[3, 0x44]).is_err()); // truncated
-        // odd count with non-zero padding nibble is non-canonical
+                                                                // odd count with non-zero padding nibble is non-canonical
         assert!(RecordDescriptor::unpack(&[1, 0x14]).is_err());
         assert!(RecordDescriptor::unpack(&[1, 0x04]).is_ok());
     }
@@ -271,7 +268,9 @@ mod tests {
     fn packed_size_is_minimal() {
         assert_eq!(RecordDescriptor::new(vec![]).unwrap().packed_size(), 1);
         assert_eq!(
-            RecordDescriptor::new(vec![ValueType::I32]).unwrap().packed_size(),
+            RecordDescriptor::new(vec![ValueType::I32])
+                .unwrap()
+                .packed_size(),
             2
         );
         assert_eq!(RecordDescriptor::six_i32().packed_size(), 4);
@@ -289,8 +288,7 @@ mod tests {
         assert!(mixed().has_causal_marker());
         assert!(!RecordDescriptor::six_i32().has_ts());
         assert!(!RecordDescriptor::six_i32().has_causal_marker());
-        let conseq_only =
-            RecordDescriptor::new(vec![ValueType::Conseq]).unwrap();
+        let conseq_only = RecordDescriptor::new(vec![ValueType::Conseq]).unwrap();
         assert!(conseq_only.has_causal_marker());
     }
 

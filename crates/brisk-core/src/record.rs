@@ -247,10 +247,7 @@ mod tests {
     #[test]
     fn descriptor_reflects_fields() {
         let r = rec(0, vec![Value::I32(1), Value::Str("a".into())]);
-        assert_eq!(
-            r.descriptor().types(),
-            &[ValueType::I32, ValueType::Str]
-        );
+        assert_eq!(r.descriptor().types(), &[ValueType::I32, ValueType::Str]);
     }
 
     #[test]
@@ -311,7 +308,10 @@ mod tests {
         // sensor id and sequence number in addition, landing a word or two
         // above. The important property is "tens of bytes, 4-aligned".
         let size = r.xdr_payload_size();
-        assert!(size.is_multiple_of(4), "XDR payload must be 4-aligned, got {size}");
+        assert!(
+            size.is_multiple_of(4),
+            "XDR payload must be 4-aligned, got {size}"
+        );
         assert!((40..=56).contains(&size), "got {size}");
     }
 

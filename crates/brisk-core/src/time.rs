@@ -167,7 +167,10 @@ mod tests {
     #[test]
     fn duration_arithmetic() {
         let t = UtcMicros::from_secs(5);
-        assert_eq!(t + Duration::from_micros(7), UtcMicros::from_micros(5_000_007));
+        assert_eq!(
+            t + Duration::from_micros(7),
+            UtcMicros::from_micros(5_000_007)
+        );
         assert_eq!(t - Duration::from_secs(1), UtcMicros::from_secs(4));
         let mut u = t;
         u += Duration::from_millis(1);

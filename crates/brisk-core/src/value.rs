@@ -271,10 +271,7 @@ impl Value {
         match self {
             Value::Str(s) => 4 + s.len(),
             Value::Bytes(b) => 4 + b.len(),
-            v => v
-                .value_type()
-                .native_fixed_size()
-                .expect("fixed-size type"),
+            v => v.value_type().native_fixed_size().expect("fixed-size type"),
         }
     }
 

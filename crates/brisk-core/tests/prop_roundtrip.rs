@@ -51,7 +51,8 @@ fn arb_record() -> impl Strategy<Value = EventRecord> {
 /// NaN-tolerant record equality: `Value::F32(NaN) != Value::F32(NaN)` under
 /// `PartialEq`, but the codec must still preserve the bit pattern.
 fn bitwise_eq(a: &EventRecord, b: &EventRecord) -> bool {
-    if (a.node, a.sensor, a.event_type, a.seq, a.ts) != (b.node, b.sensor, b.event_type, b.seq, b.ts)
+    if (a.node, a.sensor, a.event_type, a.seq, a.ts)
+        != (b.node, b.sensor, b.event_type, b.seq, b.ts)
     {
         return false;
     }

@@ -11,6 +11,7 @@ use crate::cre::{CreMatcher, CreStats};
 use crate::output::{EventSink, MemoryBuffer};
 use crate::sorter::{OnlineSorter, SorterStats};
 use brisk_core::{EventRecord, IsmConfig, Result, UtcMicros};
+use brisk_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::sync::Arc;
 
 /// Aggregate counters of one core.
@@ -35,6 +36,26 @@ pub struct IsmCore {
     sinks: Vec<Box<dyn EventSink>>,
     stats: IsmCoreStats,
     extra_sync_pending: bool,
+    telemetry: Option<CoreTelemetry>,
+}
+
+/// Registry handles the core feeds when bound. The core runs on one
+/// thread (the manager), so plain counters updated in `push_batch` /
+/// `tick` suffice; sorter and CRE internals are exported by publishing
+/// their own stats as gauges / counter deltas each tick rather than by
+/// threading atomics through those components.
+struct CoreTelemetry {
+    records_in: Arc<Counter>,
+    records_out: Arc<Counter>,
+    batches_in: Arc<Counter>,
+    sorter_depth: Arc<Gauge>,
+    sorter_frame_us: Arc<Gauge>,
+    cre_held: Arc<Gauge>,
+    tachyons_repaired: Arc<Counter>,
+    /// Last CRE repair total already pushed to `tachyons_repaired`.
+    last_tachyons: u64,
+    /// Record creation → delivery latency on synchronized time.
+    e2e_latency_us: Arc<Histogram>,
 }
 
 impl IsmCore {
@@ -53,7 +74,75 @@ impl IsmCore {
             sinks: Vec::new(),
             stats: IsmCoreStats::default(),
             extra_sync_pending: false,
+            telemetry: None,
         })
+    }
+
+    /// Bind this core's counters, gauges and the end-to-end latency
+    /// histogram to `registry`. Gauges for the sorter window and CRE hold
+    /// queue refresh on every `tick`; the memory buffer is exported
+    /// through computed sources so no extra bookkeeping runs per record.
+    pub fn bind_telemetry(&mut self, registry: &Registry) {
+        let e2e_latency_us = Arc::new(Histogram::default());
+        registry.register_histogram(
+            "brisk_ism_e2e_latency_us",
+            "Record creation to output delivery latency (synchronized time)",
+            &[],
+            &e2e_latency_us,
+        );
+        let mem = Arc::clone(&self.memory);
+        registry.gauge_fn(
+            "brisk_ism_memory_records",
+            "Records currently resident in the output memory buffer",
+            &[],
+            move || mem.len() as i64,
+        );
+        let mem = Arc::clone(&self.memory);
+        registry.counter_fn(
+            "brisk_ism_memory_written_total",
+            "Records ever written to the output memory buffer",
+            &[],
+            move || mem.written(),
+        );
+        let mem = Arc::clone(&self.memory);
+        registry.counter_fn(
+            "brisk_ism_memory_evicted_total",
+            "Records evicted from the output memory buffer",
+            &[],
+            move || mem.evicted(),
+        );
+        self.telemetry = Some(CoreTelemetry {
+            records_in: registry.counter(
+                "brisk_ism_records_in_total",
+                "Records received by the ISM core",
+            ),
+            records_out: registry.counter(
+                "brisk_ism_records_out_total",
+                "Records delivered to the output stage",
+            ),
+            batches_in: registry.counter(
+                "brisk_ism_batches_in_total",
+                "Batches received by the ISM core",
+            ),
+            sorter_depth: registry.gauge(
+                "brisk_ism_sorter_depth",
+                "Records buffered in the on-line sorter window",
+            ),
+            sorter_frame_us: registry.gauge(
+                "brisk_ism_sorter_frame_us",
+                "Current adaptive sorter time frame T (us)",
+            ),
+            cre_held: registry.gauge(
+                "brisk_ism_cre_held",
+                "Consequence records currently held by the CRE switch",
+            ),
+            tachyons_repaired: registry.counter(
+                "brisk_ism_tachyons_repaired_total",
+                "Causality violations repaired by the CRE switch",
+            ),
+            last_tachyons: self.cre.stats().tachyons_repaired,
+            e2e_latency_us,
+        });
     }
 
     /// The default output: the shared memory buffer consumers read.
@@ -94,8 +183,14 @@ impl IsmCore {
         now: UtcMicros,
     ) -> Result<()> {
         self.stats.batches_in += 1;
+        if let Some(t) = &self.telemetry {
+            t.batches_in.inc();
+        }
         for rec in records {
             self.stats.records_in += 1;
+            if let Some(t) = &self.telemetry {
+                t.records_in.inc();
+            }
             let out = self.cre.process(rec, now);
             if out.request_extra_sync {
                 self.extra_sync_pending = true;
@@ -115,7 +210,16 @@ impl IsmCore {
             self.sorter.push(expired);
         }
         let released = self.sorter.poll(now);
-        self.deliver(released)
+        let n = self.deliver(released, now)?;
+        if let Some(t) = &mut self.telemetry {
+            t.sorter_depth.set(self.sorter.buffered() as i64);
+            t.sorter_frame_us.set(self.sorter.frame_us());
+            t.cre_held.set(self.cre.held_count() as i64);
+            let repaired = self.cre.stats().tachyons_repaired;
+            t.tachyons_repaired.add(repaired - t.last_tachyons);
+            t.last_tachyons = repaired;
+        }
+        Ok(n)
     }
 
     /// True exactly once after a tachyon repair requested an extra clock
@@ -132,16 +236,25 @@ impl IsmCore {
             self.sorter.push(expired);
         }
         let released = self.sorter.drain_all();
-        let n = self.deliver(released)?;
+        let n = self.deliver(released, UtcMicros::MAX)?;
         for sink in &mut self.sinks {
             sink.flush()?;
         }
         Ok(n)
     }
 
-    fn deliver(&mut self, records: Vec<EventRecord>) -> Result<usize> {
+    /// `now == UtcMicros::MAX` marks the shutdown drain, where "now" is
+    /// meaningless and latency samples would be garbage.
+    fn deliver(&mut self, records: Vec<EventRecord>, now: UtcMicros) -> Result<usize> {
         let n = records.len();
         for rec in records {
+            if let Some(t) = &self.telemetry {
+                if now != UtcMicros::MAX {
+                    t.e2e_latency_us
+                        .record(now.micros_since(rec.ts).max(0) as u64);
+                }
+                t.records_out.inc();
+            }
             self.memory.write(&rec);
             for sink in &mut self.sinks {
                 sink.on_record(&rec)?;
@@ -156,9 +269,7 @@ impl IsmCore {
 mod tests {
     use super::*;
     use crate::output::VecSink;
-    use brisk_core::{
-        CorrelationId, EventTypeId, NodeId, SensorId, SorterConfig, Value,
-    };
+    use brisk_core::{CorrelationId, EventTypeId, NodeId, SensorId, SorterConfig, Value};
 
     fn rec(node: u32, seq: u64, ts: i64, fields: Vec<Value>) -> EventRecord {
         EventRecord::new(
@@ -269,6 +380,43 @@ mod tests {
         let n = core.drain_all().unwrap();
         assert_eq!(n, 2);
         assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn bind_telemetry_tracks_core_flow() {
+        let mut core = core_with_frame(100);
+        let registry = brisk_telemetry::Registry::new();
+        core.bind_telemetry(&registry);
+        core.push_batch(
+            vec![rec(0, 0, 300, vec![]), rec(0, 1, 500, vec![])],
+            UtcMicros::from_micros(500),
+        )
+        .unwrap();
+        core.tick(UtcMicros::from_micros(1_000)).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("brisk_ism_records_in_total"), 2);
+        assert_eq!(snap.counter_total("brisk_ism_batches_in_total"), 1);
+        assert_eq!(snap.counter_total("brisk_ism_records_out_total"), 2);
+        assert_eq!(snap.counter_total("brisk_ism_memory_written_total"), 2);
+        assert_eq!(snap.gauge("brisk_ism_memory_records"), Some(2));
+        let hist = snap
+            .histogram("brisk_ism_e2e_latency_us")
+            .expect("latency histogram exported");
+        assert_eq!(hist.count(), 2);
+        // Delivered at now=1000 for ts 300/500 → latencies 700 and 500.
+        assert_eq!(hist.max, 700);
+        assert!(hist.p50() <= hist.p99());
+        // Shutdown drain must not pollute the latency histogram.
+        core.push_batch(
+            vec![rec(0, 2, 2_000, vec![])],
+            UtcMicros::from_micros(2_000),
+        )
+        .unwrap();
+        core.drain_all().unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("brisk_ism_records_out_total"), 3);
+        let hist = snap.histogram("brisk_ism_e2e_latency_us").unwrap();
+        assert_eq!(hist.count(), 2, "drain_all records no latency samples");
     }
 
     #[test]

@@ -205,15 +205,8 @@ impl CreMatcher {
                 if now.micros_since(h.held_at) >= timeout_us {
                     released.push(std::mem::replace(
                         &mut h.rec,
-                        EventRecord::new(
-                            0.into(),
-                            0.into(),
-                            0.into(),
-                            0,
-                            UtcMicros::ZERO,
-                            vec![],
-                        )
-                        .expect("empty record"),
+                        EventRecord::new(0.into(), 0.into(), 0.into(), 0, UtcMicros::ZERO, vec![])
+                            .expect("empty record"),
                     ));
                     false
                 } else {

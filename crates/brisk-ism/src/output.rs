@@ -303,7 +303,11 @@ mod tests {
         let mut r2 = buf.reader();
         buf.write(&rec(1));
         assert_eq!(r1.poll().unwrap().0.len(), 2);
-        assert_eq!(r2.poll().unwrap().0.len(), 2, "r2 starts at oldest available");
+        assert_eq!(
+            r2.poll().unwrap().0.len(),
+            2,
+            "r2 starts at oldest available"
+        );
         let mut r3 = buf.reader_from_now();
         buf.write(&rec(2));
         assert_eq!(r3.poll().unwrap().0.len(), 1, "r3 sees only new records");

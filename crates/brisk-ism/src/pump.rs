@@ -11,6 +11,7 @@ use brisk_clock::{Clock, SkewSample};
 use brisk_core::{BriskError, EventRecord, NodeId, Result};
 use brisk_net::Connection;
 use brisk_proto::Message;
+use brisk_telemetry::Counter;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -119,6 +120,19 @@ pub fn spawn_pump(
     clock: Arc<dyn Clock>,
     events: Sender<PumpEvent>,
 ) -> Result<PumpHandle> {
+    spawn_pump_with_counter(node, conn, clock, events, None)
+}
+
+/// Like [`spawn_pump`], with an optional counter incremented for every
+/// event this pump enqueues toward the manager. Paired with a
+/// manager-side "processed" counter it yields the manager queue depth.
+pub fn spawn_pump_with_counter(
+    node: NodeId,
+    conn: Box<dyn Connection>,
+    clock: Arc<dyn Clock>,
+    events: Sender<PumpEvent>,
+    enqueued: Option<Arc<Counter>>,
+) -> Result<PumpHandle> {
     let (cmd_tx, cmd_rx) = unbounded();
     let join = std::thread::Builder::new()
         .name(format!("brisk-pump-{node}"))
@@ -129,6 +143,7 @@ pub fn spawn_pump(
                 clock,
                 events,
                 cmd_rx,
+                enqueued,
             };
             pump.run();
         })
@@ -142,6 +157,17 @@ struct Pump {
     clock: Arc<dyn Clock>,
     events: Sender<PumpEvent>,
     cmd_rx: Receiver<PumpCommand>,
+    enqueued: Option<Arc<Counter>>,
+}
+
+impl Pump {
+    fn send_event(&self, event: PumpEvent) {
+        if self.events.send(event).is_ok() {
+            if let Some(c) = &self.enqueued {
+                c.inc();
+            }
+        }
+    }
 }
 
 impl Pump {
@@ -203,14 +229,14 @@ impl Pump {
                 Err(_) => break,
             }
         }
-        let _ = self.events.send(PumpEvent::Disconnected { node: self.node });
+        self.send_event(PumpEvent::Disconnected { node: self.node });
     }
 
     /// Forward one inbound message. `Err` means the connection is done.
     fn dispatch(&mut self, msg: Message) -> Result<()> {
         match msg {
             Message::EventBatch { node, records } => {
-                let _ = self.events.send(PumpEvent::Batch { node, records });
+                self.send_event(PumpEvent::Batch { node, records });
                 Ok(())
             }
             Message::SyncReply { .. } => Ok(()), // stale reply; drop
@@ -225,15 +251,14 @@ impl Pump {
         let mut collected = Vec::with_capacity(samples as usize);
         'sampling: for sample in 0..samples {
             let t0 = self.clock.now();
-            self.conn
-                .send(
-                    &Message::SyncPoll {
-                        round,
-                        sample,
-                        master_send: t0,
-                    }
-                    .encode(),
-                )?;
+            self.conn.send(
+                &Message::SyncPoll {
+                    round,
+                    sample,
+                    master_send: t0,
+                }
+                .encode(),
+            )?;
             let deadline = Instant::now() + SAMPLE_TIMEOUT;
             loop {
                 let budget = deadline.saturating_duration_since(Instant::now());
@@ -263,7 +288,7 @@ impl Pump {
                 }
             }
         }
-        let _ = self.events.send(PumpEvent::SyncSamples {
+        self.send_event(PumpEvent::SyncSamples {
             node: self.node,
             round,
             samples: collected,
@@ -299,7 +324,10 @@ mod tests {
                 .encode(),
             )
             .unwrap();
-        assert_eq!(handshake(&mut server, Duration::from_secs(1)).unwrap(), NodeId(5));
+        assert_eq!(
+            handshake(&mut server, Duration::from_secs(1)).unwrap(),
+            NodeId(5)
+        );
 
         let (mut server, mut client) = mem_pair();
         client.send(&Message::Shutdown.encode()).unwrap();
@@ -396,7 +424,10 @@ mod tests {
             }
             client
         });
-        assert!(pump.command(PumpCommand::SyncRound { round: 9, samples: 3 }));
+        assert!(pump.command(PumpCommand::SyncRound {
+            round: 9,
+            samples: 3
+        }));
         let mut batches = 0;
         let mut samples = None;
         for _ in 0..2 {

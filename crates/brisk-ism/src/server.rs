@@ -14,11 +14,12 @@
 use crate::core::{IsmCore, IsmCoreStats};
 use crate::cre::CreStats;
 use crate::output::MemoryBuffer;
-use crate::pump::{handshake, spawn_pump, PumpCommand, PumpEvent, PumpHandle};
+use crate::pump::{handshake, spawn_pump_with_counter, PumpCommand, PumpEvent, PumpHandle};
 use crate::sorter::SorterStats;
 use brisk_clock::{Clock, SyncMaster, SyncOutcome};
 use brisk_core::{BriskError, IsmConfig, NodeId, Result, SyncConfig};
-use brisk_net::Listener;
+use brisk_net::{ConnMetrics, Listener};
+use brisk_telemetry::{Counter, Registry};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -46,6 +47,7 @@ pub struct IsmServer {
     core: IsmCore,
     sync: SyncMaster,
     clock: Arc<dyn Clock>,
+    registry: Option<Arc<Registry>>,
 }
 
 /// Manager tick granularity: how often the pipeline is polled when no
@@ -63,7 +65,17 @@ impl IsmServer {
             core: IsmCore::new(cfg)?,
             sync: SyncMaster::new(sync_cfg)?,
             clock,
+            registry: None,
         })
+    }
+
+    /// Bind the whole server — core pipeline, sync master, connection
+    /// metering and the manager queue — to `registry`. Call before
+    /// [`IsmServer::spawn`].
+    pub fn bind_telemetry(&mut self, registry: &Arc<Registry>) {
+        self.core.bind_telemetry(registry);
+        self.sync.bind_telemetry(registry);
+        self.registry = Some(Arc::clone(registry));
     }
 
     /// Access the core (e.g. to attach sinks) before spawning.
@@ -84,6 +96,28 @@ impl IsmServer {
         let (event_tx, event_rx) = unbounded::<PumpEvent>();
         let (pump_tx, pump_rx) = unbounded::<PumpHandle>();
 
+        // Queue depth = events enqueued by pumps − events the manager
+        // processed; both sides are cheap relaxed counters.
+        let (conn_metrics, enqueued, processed) = match &self.registry {
+            Some(registry) => {
+                let enqueued = Arc::new(Counter::new());
+                let processed = Arc::new(Counter::new());
+                let (e, p) = (Arc::clone(&enqueued), Arc::clone(&processed));
+                registry.gauge_fn(
+                    "brisk_ism_manager_queue_depth",
+                    "Pump events waiting for the ISM manager",
+                    &[],
+                    move || e.get().saturating_sub(p.get()) as i64,
+                );
+                (
+                    Some(ConnMetrics::register(registry, "ism")),
+                    Some(enqueued),
+                    Some(processed),
+                )
+            }
+            None => (None, None, None),
+        };
+
         // Accept thread.
         let accept_stop = Arc::clone(&stop);
         let accept_clock = Arc::clone(&self.clock);
@@ -91,7 +125,15 @@ impl IsmServer {
         let accept_join = std::thread::Builder::new()
             .name("brisk-ism-accept".into())
             .spawn(move || {
-                accept_loop(&mut listener, accept_stop, accept_clock, accept_events, pump_tx)
+                accept_loop(
+                    &mut listener,
+                    accept_stop,
+                    accept_clock,
+                    accept_events,
+                    pump_tx,
+                    conn_metrics,
+                    enqueued,
+                )
             })
             .map_err(BriskError::Io)?;
 
@@ -106,6 +148,7 @@ impl IsmServer {
             pumps: HashMap::new(),
             round: None,
             last_round_finished: Instant::now(),
+            processed,
         };
         let manager_join = std::thread::Builder::new()
             .name("brisk-ism-manager".into())
@@ -128,15 +171,26 @@ fn accept_loop(
     clock: Arc<dyn Clock>,
     events: Sender<PumpEvent>,
     pumps: Sender<PumpHandle>,
+    conn_metrics: Option<ConnMetrics>,
+    enqueued: Option<Arc<Counter>>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept(Some(Duration::from_millis(50))) {
-            Ok(Some(mut conn)) => {
+            Ok(Some(conn)) => {
+                // Meter before the handshake so Hello frames count too.
+                let mut conn = match &conn_metrics {
+                    Some(m) => m.wrap(conn),
+                    None => conn,
+                };
                 match handshake(&mut conn, Duration::from_secs(5)) {
                     Ok(node) => {
-                        if let Ok(handle) =
-                            spawn_pump(node, conn, Arc::clone(&clock), events.clone())
-                        {
+                        if let Ok(handle) = spawn_pump_with_counter(
+                            node,
+                            conn,
+                            Arc::clone(&clock),
+                            events.clone(),
+                            enqueued.clone(),
+                        ) {
                             if pumps.send(handle).is_err() {
                                 return; // manager gone
                             }
@@ -166,6 +220,7 @@ struct Manager {
     pumps: HashMap<NodeId, PumpHandle>,
     round: Option<RoundInFlight>,
     last_round_finished: Instant,
+    processed: Option<Arc<Counter>>,
 }
 
 impl Manager {
@@ -225,6 +280,9 @@ impl Manager {
     }
 
     fn handle_event(&mut self, ev: PumpEvent) -> Result<()> {
+        if let Some(c) = &self.processed {
+            c.inc();
+        }
         match ev {
             PumpEvent::Batch { records, .. } => {
                 self.core.push_batch(records, self.clock.now())?;
@@ -482,6 +540,53 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         let report = handle.stop().unwrap();
         assert_eq!(report.core.records_in, 0);
+    }
+
+    #[test]
+    fn bound_server_exports_pipeline_and_net_series() {
+        let t = MemTransport::new();
+        let listener = t.listen("ism-telemetry").unwrap();
+        let mut server = IsmServer::new(
+            IsmConfig::default(),
+            SyncConfig {
+                poll_period: Duration::from_millis(50),
+                ..SyncConfig::default()
+            },
+            Arc::new(SystemClock),
+        )
+        .unwrap();
+        let registry = Registry::new();
+        server.bind_telemetry(&registry);
+        let handle = server.spawn(listener).unwrap();
+        let mut reader = handle.memory().reader();
+        let mut conn = t.connect("ism-telemetry").unwrap();
+        hello(&mut conn, 3);
+        conn.send(&batch(3, 0..12).encode()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut total = 0;
+        while total < 12 && Instant::now() < deadline {
+            let (recs, _) = reader.poll().unwrap();
+            total += recs.len();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(total, 12);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("brisk_ism_records_in_total"), 12);
+        assert_eq!(snap.counter_total("brisk_ism_records_out_total"), 12);
+        assert!(
+            snap.counter_labeled("brisk_net_frames_total", &[("role", "ism"), ("dir", "in")])
+                .unwrap()
+                >= 2,
+            "Hello + EventBatch frames metered"
+        );
+        assert!(
+            snap.counter_labeled("brisk_net_bytes_total", &[("role", "ism"), ("dir", "in")])
+                .unwrap()
+                > 0
+        );
+        assert_eq!(snap.gauge("brisk_ism_manager_queue_depth"), Some(0));
+        drop(conn);
+        handle.stop().unwrap();
     }
 
     #[test]

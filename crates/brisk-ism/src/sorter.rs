@@ -20,8 +20,8 @@
 
 use brisk_core::config::FrameGrowth;
 use brisk_core::{EventRecord, NodeId, Result, SensorId, SorterConfig, UtcMicros};
-use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Key of one input queue.
 type QueueKey = (NodeId, SensorId);
@@ -186,16 +186,13 @@ impl OnlineSorter {
     /// different external sensors … extracted out of order".
     fn observe_release(&mut self, rec: &EventRecord, _now: UtcMicros) {
         let from = (rec.node, rec.sensor);
-        if let (Some(last_ts), Some(last_from)) = (self.last_released_ts, self.last_released_from)
-        {
+        if let (Some(last_ts), Some(last_from)) = (self.last_released_ts, self.last_released_from) {
             if rec.ts < last_ts && from != last_from {
                 self.stats.inversions += 1;
                 let lateness = last_ts.micros_since(rec.ts);
                 let grown = match self.cfg.growth {
                     FrameGrowth::ToObservedLateness => self.frame_us.max(lateness),
-                    FrameGrowth::Multiplicative(f) => {
-                        ((self.frame_us as f64) * f) as i64
-                    }
+                    FrameGrowth::Multiplicative(f) => ((self.frame_us as f64) * f) as i64,
                     FrameGrowth::Additive(a) => self.frame_us + a,
                 };
                 self.frame_us = grown.clamp(self.cfg.min_frame_us, self.cfg.max_frame_us);

@@ -74,7 +74,11 @@ impl Batcher {
 
     /// Add a record (stamped as arriving at `now`). Returns a full batch if
     /// one of the size knobs tripped.
-    pub fn push(&mut self, rec: EventRecord, now: UtcMicros) -> Option<(Vec<EventRecord>, FlushReason)> {
+    pub fn push(
+        &mut self,
+        rec: EventRecord,
+        now: UtcMicros,
+    ) -> Option<(Vec<EventRecord>, FlushReason)> {
         self.pending_bytes += rec.xdr_payload_size();
         self.pending.push(rec);
         if self.oldest_enqueued_at.is_none() {
@@ -218,8 +222,14 @@ mod tests {
         let t0 = UtcMicros::ZERO;
         b.push(rec(0), t0);
         assert_eq!(b.time_to_deadline(t0), Some(40_000));
-        assert_eq!(b.time_to_deadline(t0 + Duration::from_millis(15)), Some(25_000));
-        assert_eq!(b.time_to_deadline(t0 + Duration::from_millis(45)), Some(-5_000));
+        assert_eq!(
+            b.time_to_deadline(t0 + Duration::from_millis(15)),
+            Some(25_000)
+        );
+        assert_eq!(
+            b.time_to_deadline(t0 + Duration::from_millis(45)),
+            Some(-5_000)
+        );
     }
 
     #[test]

@@ -29,7 +29,8 @@ use brisk_core::{BriskError, EventRecord, ExsConfig, NodeId, Result};
 use brisk_net::Connection;
 use brisk_proto::Message;
 use brisk_ringbuf::RingSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use brisk_telemetry::{Histogram, Registry, StageTimer};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -61,6 +62,138 @@ pub struct ExsStats {
     pub iterations: u64,
 }
 
+/// Shared atomic backing for [`ExsStats`] plus the EXS's stage
+/// histograms. Lives in an `Arc` so a telemetry registry (and the
+/// spawning thread, via [`ExsHandle`]) can observe a live EXS without
+/// locking: every field is a relaxed atomic the EXS thread bumps in
+/// place of the old plain-struct counters.
+#[derive(Debug, Default)]
+pub struct ExsTelemetry {
+    records_drained: AtomicU64,
+    records_sent: AtomicU64,
+    batches_sent: AtomicU64,
+    flush_records: AtomicU64,
+    flush_bytes: AtomicU64,
+    flush_timeout: AtomicU64,
+    flush_forced: AtomicU64,
+    sync_replies: AtomicU64,
+    adjustments: AtomicU64,
+    busy_nanos: AtomicU64,
+    iterations: AtomicU64,
+    /// Per-step drain+batch latency in µs, on the node's clock (so it is
+    /// deterministic under `SimClock`).
+    drain_us: Arc<Histogram>,
+    /// Records per emitted batch.
+    batch_records: Arc<Histogram>,
+}
+
+impl ExsTelemetry {
+    /// Materialize the plain [`ExsStats`] view from the atomics.
+    pub fn stats(&self) -> ExsStats {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ExsStats {
+            records_drained: ld(&self.records_drained),
+            records_sent: ld(&self.records_sent),
+            batches_sent: ld(&self.batches_sent),
+            flush_records: ld(&self.flush_records),
+            flush_bytes: ld(&self.flush_bytes),
+            flush_timeout: ld(&self.flush_timeout),
+            flush_forced: ld(&self.flush_forced),
+            sync_replies: ld(&self.sync_replies),
+            adjustments: ld(&self.adjustments),
+            busy_nanos: ld(&self.busy_nanos),
+            iterations: ld(&self.iterations),
+        }
+    }
+
+    /// The drain-latency histogram (µs per step of drain+batch work).
+    pub fn drain_us(&self) -> &Histogram {
+        &self.drain_us
+    }
+
+    /// The batch-size histogram (records per emitted batch).
+    pub fn batch_records(&self) -> &Histogram {
+        &self.batch_records
+    }
+
+    /// Register every EXS series with `registry`, labeled by node:
+    /// `brisk_exs_*_total` counters (flushes labeled by `reason`), the
+    /// `brisk_exs_drain_us` latency histogram and the
+    /// `brisk_exs_batch_records` size histogram.
+    pub fn bind(self: &Arc<Self>, node: NodeId, registry: &Registry) {
+        type Field = fn(&ExsTelemetry) -> &AtomicU64;
+        let n = node.0.to_string();
+        let counters: [(&str, &str, Field); 7] = [
+            (
+                "brisk_exs_records_drained_total",
+                "Records drained from sensor rings",
+                |t| &t.records_drained,
+            ),
+            (
+                "brisk_exs_records_sent_total",
+                "Records shipped to the ISM",
+                |t| &t.records_sent,
+            ),
+            (
+                "brisk_exs_batches_sent_total",
+                "Batches shipped to the ISM",
+                |t| &t.batches_sent,
+            ),
+            ("brisk_exs_sync_replies_total", "Sync polls answered", |t| {
+                &t.sync_replies
+            }),
+            (
+                "brisk_exs_adjustments_total",
+                "Clock adjustments applied",
+                |t| &t.adjustments,
+            ),
+            (
+                "brisk_exs_busy_nanos_total",
+                "Nanoseconds spent working",
+                |t| &t.busy_nanos,
+            ),
+            ("brisk_exs_iterations_total", "EXS loop iterations", |t| {
+                &t.iterations
+            }),
+        ];
+        for (name, help, get) in counters {
+            let me = Arc::clone(self);
+            registry.counter_fn(name, help, &[("node", &n)], move || {
+                get(&me).load(Ordering::Relaxed)
+            });
+        }
+        let reasons: [(&str, Field); 4] = [
+            ("records", |t| &t.flush_records),
+            ("bytes", |t| &t.flush_bytes),
+            ("timeout", |t| &t.flush_timeout),
+            ("forced", |t| &t.flush_forced),
+        ];
+        for (reason, get) in reasons {
+            let me = Arc::clone(self);
+            registry.counter_fn(
+                "brisk_exs_flush_total",
+                "Batch flushes by triggering knob",
+                &[("node", &n), ("reason", reason)],
+                move || get(&me).load(Ordering::Relaxed),
+            );
+        }
+        // Histograms are owned here (the EXS records into them whether
+        // or not a registry is attached); the registry adopts the Arcs.
+        registry.register_histogram(
+            "brisk_exs_drain_us",
+            "Per-step drain+batch latency on the node clock",
+            &[("node", &n)],
+            &self.drain_us,
+        );
+        registry.register_histogram(
+            "brisk_exs_batch_records",
+            "Records per emitted batch",
+            &[("node", &n)],
+            &self.batch_records,
+        );
+    }
+}
+
 /// What one [`ExternalSensor::step`] did.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExsStep {
@@ -82,7 +215,7 @@ pub struct ExternalSensor {
     conn: Box<dyn Connection>,
     cfg: ExsConfig,
     batcher: Batcher,
-    stats: ExsStats,
+    shared: Arc<ExsTelemetry>,
     drain_buf: Vec<EventRecord>,
 }
 
@@ -95,15 +228,31 @@ impl ExternalSensor {
         node: NodeId,
         rings: Arc<RingSet>,
         raw_clock: Arc<dyn Clock>,
-        mut conn: Box<dyn Connection>,
+        conn: Box<dyn Connection>,
         cfg: ExsConfig,
     ) -> Result<Self> {
+        Self::with_telemetry(node, rings, raw_clock, conn, cfg, Arc::default())
+    }
+
+    /// Like [`ExternalSensor::new`], but accumulating into an existing
+    /// telemetry backing. The supervisor uses this so counters keep
+    /// growing across reconnect incarnations instead of resetting.
+    pub fn with_telemetry(
+        node: NodeId,
+        rings: Arc<RingSet>,
+        raw_clock: Arc<dyn Clock>,
+        mut conn: Box<dyn Connection>,
+        cfg: ExsConfig,
+        shared: Arc<ExsTelemetry>,
+    ) -> Result<Self> {
         cfg.validate()?;
-        conn.send(&Message::Hello {
-            node,
-            version: brisk_proto::VERSION,
-        }
-        .encode())?;
+        conn.send(
+            &Message::Hello {
+                node,
+                version: brisk_proto::VERSION,
+            }
+            .encode(),
+        )?;
         Ok(ExternalSensor {
             node,
             rings,
@@ -111,7 +260,7 @@ impl ExternalSensor {
             conn,
             batcher: Batcher::new(cfg.clone()),
             cfg,
-            stats: ExsStats::default(),
+            shared,
             drain_buf: Vec::with_capacity(512),
         })
     }
@@ -129,21 +278,38 @@ impl ExternalSensor {
 
     /// Counters so far.
     pub fn stats(&self) -> ExsStats {
-        self.stats
+        self.shared.stats()
+    }
+
+    /// The shared telemetry backing (clone the `Arc` to observe this EXS
+    /// from another thread, or call [`ExsTelemetry::bind`] on it).
+    pub fn telemetry(&self) -> &Arc<ExsTelemetry> {
+        &self.shared
+    }
+
+    /// Register this EXS's series with a telemetry registry.
+    pub fn bind_telemetry(&self, registry: &Registry) {
+        self.shared.bind(self.node, registry);
     }
 
     /// Run one iteration: drain, batch, ship, answer control traffic.
     pub fn step(&mut self) -> Result<ExsStep> {
         let work_start = Instant::now();
-        self.stats.iterations += 1;
+        self.shared.iterations.fetch_add(1, Ordering::Relaxed);
 
-        // 1. Drain sensor rings and apply the correction value.
+        // 1. Drain sensor rings and apply the correction value. The span
+        //    is timed on the node's clock so it is meaningful (and
+        //    deterministic) under simulation.
+        let drain_hist = Arc::clone(&self.shared.drain_us);
+        let drain_timer = StageTimer::start(&drain_hist, self.clock.now().as_micros());
         let correction = self.clock.correction_us();
         self.drain_buf.clear();
         let drained = self
             .rings
             .drain_into(self.cfg.max_batch_records * 2, &mut self.drain_buf)?;
-        self.stats.records_drained += drained as u64;
+        self.shared
+            .records_drained
+            .fetch_add(drained as u64, Ordering::Relaxed);
         let now = self.clock.now();
         let mut pending = std::mem::take(&mut self.drain_buf);
         for mut rec in pending.drain(..) {
@@ -158,6 +324,7 @@ impl ExternalSensor {
         if let Some((batch, reason)) = self.batcher.poll_timeout(self.clock.now()) {
             self.send_batch(batch, reason)?;
         }
+        drain_timer.stop(self.clock.now().as_micros());
 
         // 3. Control traffic. When busy, poll without blocking; when idle,
         //    this wait is the EXS's sleep (bounded by the idle knob and by
@@ -173,7 +340,9 @@ impl ExternalSensor {
             }
             w
         };
-        self.stats.busy_nanos += work_start.elapsed().as_nanos() as u64;
+        self.shared
+            .busy_nanos
+            .fetch_add(work_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let msg = match self.conn.recv(Some(wait)) {
             Ok(Some(frame)) => Some(Message::decode(&frame)?),
             Ok(None) => None,
@@ -183,7 +352,9 @@ impl ExternalSensor {
         if let Some(msg) = msg {
             let handle_start = Instant::now();
             let outcome = self.handle_control(msg)?;
-            self.stats.busy_nanos += handle_start.elapsed().as_nanos() as u64;
+            self.shared
+                .busy_nanos
+                .fetch_add(handle_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
             if outcome == ExsStep::Shutdown {
                 return Ok(ExsStep::Shutdown);
             }
@@ -208,12 +379,12 @@ impl ExternalSensor {
                     slave_time: self.clock.now(),
                 };
                 self.conn.send(&reply.encode())?;
-                self.stats.sync_replies += 1;
+                self.shared.sync_replies.fetch_add(1, Ordering::Relaxed);
                 Ok(ExsStep::Busy)
             }
             Message::SyncAdjust { advance_us, .. } => {
                 self.clock.adjust(advance_us);
-                self.stats.adjustments += 1;
+                self.shared.adjustments.fetch_add(1, Ordering::Relaxed);
                 Ok(ExsStep::Busy)
             }
             Message::Shutdown => Ok(ExsStep::Shutdown),
@@ -230,14 +401,16 @@ impl ExternalSensor {
             records,
         };
         self.conn.send(&msg.encode())?;
-        self.stats.records_sent += n;
-        self.stats.batches_sent += 1;
-        match reason {
-            FlushReason::Records => self.stats.flush_records += 1,
-            FlushReason::Bytes => self.stats.flush_bytes += 1,
-            FlushReason::Timeout => self.stats.flush_timeout += 1,
-            FlushReason::Forced => self.stats.flush_forced += 1,
-        }
+        self.shared.records_sent.fetch_add(n, Ordering::Relaxed);
+        self.shared.batches_sent.fetch_add(1, Ordering::Relaxed);
+        self.shared.batch_records.record(n);
+        let reason_counter = match reason {
+            FlushReason::Records => &self.shared.flush_records,
+            FlushReason::Bytes => &self.shared.flush_bytes,
+            FlushReason::Timeout => &self.shared.flush_timeout,
+            FlushReason::Forced => &self.shared.flush_forced,
+        };
+        reason_counter.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -260,7 +433,12 @@ impl ExternalSensor {
         self.drain_buf.clear();
         let correction = self.clock.correction_us();
         self.rings.drain_into(usize::MAX, &mut self.drain_buf)?;
-        self.stats.records_drained += self.drain_buf.len() as u64;
+        // The final drain counts too: without this, records that only
+        // leave the rings during teardown would vanish from the drained
+        // total while still showing up in records_sent.
+        self.shared
+            .records_drained
+            .fetch_add(self.drain_buf.len() as u64, Ordering::Relaxed);
         let now = self.clock.now();
         let pending = std::mem::take(&mut self.drain_buf);
         for mut rec in pending {
@@ -273,7 +451,7 @@ impl ExternalSensor {
             self.send_batch(batch, reason)?;
         }
         let _ = self.conn.send(&Message::Shutdown.encode());
-        Ok(self.stats)
+        Ok(self.shared.stats())
     }
 }
 
@@ -281,6 +459,8 @@ impl ExternalSensor {
 pub struct ExsHandle {
     stop: Arc<AtomicBool>,
     clock: Arc<CorrectedClock<Arc<dyn Clock>>>,
+    node: NodeId,
+    shared: Arc<ExsTelemetry>,
     join: std::thread::JoinHandle<Result<ExsStats>>,
 }
 
@@ -288,6 +468,21 @@ impl ExsHandle {
     /// The EXS's corrected clock (e.g. to observe the correction value).
     pub fn corrected_clock(&self) -> &Arc<CorrectedClock<Arc<dyn Clock>>> {
         &self.clock
+    }
+
+    /// Live counters of the running EXS (no need to stop it).
+    pub fn stats_now(&self) -> ExsStats {
+        self.shared.stats()
+    }
+
+    /// The shared telemetry backing of the running EXS.
+    pub fn telemetry(&self) -> &Arc<ExsTelemetry> {
+        &self.shared
+    }
+
+    /// Register the running EXS's series with a telemetry registry.
+    pub fn bind_telemetry(&self, registry: &Registry) {
+        self.shared.bind(self.node, registry);
     }
 
     /// Signal the EXS to stop.
@@ -315,13 +510,20 @@ pub fn spawn_exs(
 ) -> Result<ExsHandle> {
     let exs = ExternalSensor::new(node, rings, raw_clock, conn, cfg)?;
     let clock = Arc::clone(exs.corrected_clock());
+    let shared = Arc::clone(exs.telemetry());
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = Arc::clone(&stop);
     let join = std::thread::Builder::new()
         .name(format!("brisk-exs-{node}"))
         .spawn(move || exs.run(&stop2))
         .map_err(BriskError::Io)?;
-    Ok(ExsHandle { stop, clock, join })
+    Ok(ExsHandle {
+        stop,
+        clock,
+        node,
+        shared,
+        join,
+    })
 }
 
 #[cfg(test)]
@@ -385,10 +587,18 @@ mod tests {
         r.exs.corrected_clock().adjust(1_000);
         let mut port = r.rings.register();
         r.src.advance_by(50);
-        port.emit(EventTypeId(1), UtcMicros::from_micros(50), vec![Value::I32(1)])
-            .unwrap();
-        port.emit(EventTypeId(1), UtcMicros::from_micros(51), vec![Value::I32(2)])
-            .unwrap();
+        port.emit(
+            EventTypeId(1),
+            UtcMicros::from_micros(50),
+            vec![Value::I32(1)],
+        )
+        .unwrap();
+        port.emit(
+            EventTypeId(1),
+            UtcMicros::from_micros(51),
+            vec![Value::I32(2)],
+        )
+        .unwrap();
 
         r.exs.step().unwrap();
         match recv_msg(&mut r.ism_side) {
@@ -466,7 +676,13 @@ mod tests {
         let mut r = rig(ExsConfig::default(), 0);
         recv_msg(&mut r.ism_side);
         r.ism_side
-            .send(&Message::SyncAdjust { round: 1, advance_us: 777 }.encode())
+            .send(
+                &Message::SyncAdjust {
+                    round: 1,
+                    advance_us: 777,
+                }
+                .encode(),
+            )
             .unwrap();
         r.exs.step().unwrap();
         assert_eq!(r.exs.corrected_clock().correction_us(), 777);
@@ -506,7 +722,8 @@ mod tests {
         let rings = RingSet::new(NodeId(1), 1 << 20);
         let mut port = rings.register();
         for i in 0..5 {
-            port.emit(EventTypeId(1), UtcMicros::from_micros(i), vec![]).unwrap();
+            port.emit(EventTypeId(1), UtcMicros::from_micros(i), vec![])
+                .unwrap();
         }
         let handle = spawn_exs(
             NodeId(1),
@@ -533,6 +750,69 @@ mod tests {
             }
         }
         assert_eq!(seen_records, 5);
+    }
+
+    #[test]
+    fn finish_accounts_records_drained_during_teardown() {
+        // Records that only leave the rings in finish()'s force-flush
+        // must land in records_drained (and the forced-flush counter).
+        let mut cfg = ExsConfig::default();
+        cfg.max_batch_records = 100; // nothing flushes by size
+        let r = rig(cfg, 0);
+        let mut ism_side = r.ism_side;
+        recv_msg(&mut ism_side); // hello
+        let mut port = r.rings.register();
+        for i in 0..7 {
+            port.emit(EventTypeId(1), UtcMicros::from_micros(i), vec![])
+                .unwrap();
+        }
+        // No step() at all: everything drains inside finish().
+        let stats = r.exs.finish().unwrap();
+        assert_eq!(stats.records_drained, 7);
+        assert_eq!(stats.records_sent, 7);
+        assert_eq!(stats.flush_forced, 1);
+        match recv_msg(&mut ism_side) {
+            Message::EventBatch { records, .. } => assert_eq!(records.len(), 7),
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_bind_exports_exs_series() {
+        use brisk_telemetry::Registry;
+        let mut cfg = ExsConfig::default();
+        cfg.max_batch_records = 2;
+        let mut r = rig(cfg, 0);
+        recv_msg(&mut r.ism_side); // hello
+        let registry = Registry::new();
+        r.exs.bind_telemetry(&registry);
+
+        let mut port = r.rings.register();
+        r.src.advance_by(10);
+        for i in 0..4 {
+            port.emit(EventTypeId(1), UtcMicros::from_micros(i), vec![])
+                .unwrap();
+        }
+        r.exs.step().unwrap();
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_labeled("brisk_exs_records_drained_total", &[("node", "7")]),
+            Some(4)
+        );
+        assert_eq!(snap.counter_total("brisk_exs_records_sent_total"), 4);
+        assert_eq!(
+            snap.counter_labeled(
+                "brisk_exs_flush_total",
+                &[("node", "7"), ("reason", "records")]
+            ),
+            Some(2)
+        );
+        let batch_hist = snap.histogram("brisk_exs_batch_records").unwrap();
+        assert_eq!(batch_hist.count(), 2);
+        assert_eq!(batch_hist.max, 2);
+        // Drain latency recorded once per step (0 µs under a frozen SimClock).
+        assert_eq!(snap.histogram("brisk_exs_drain_us").unwrap().count(), 1);
     }
 
     #[test]

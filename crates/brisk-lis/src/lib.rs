@@ -29,7 +29,7 @@ pub mod sensor;
 pub mod supervisor;
 
 pub use batch::{Batcher, FlushReason};
-pub use exs::{spawn_exs, ExsHandle, ExsStats, ExternalSensor};
+pub use exs::{spawn_exs, ExsHandle, ExsStats, ExsTelemetry, ExternalSensor};
 pub use profiling::{CounterSensor, Scope, SensorGate};
 pub use sensor::Lis;
 pub use supervisor::{spawn_exs_supervised, SupervisedExsHandle, SupervisorConfig};

@@ -329,10 +329,7 @@ mod tests {
         // The final snapshot's running value + validity of delta split.
         let last = out.last().unwrap();
         assert_eq!(last.fields[0], Value::U8(kind::COUNTER));
-        let total: i64 = out
-            .iter()
-            .map(|r| r.fields[2].as_i64().unwrap())
-            .sum();
+        let total: i64 = out.iter().map(|r| r.fields[2].as_i64().unwrap()).sum();
         let last_value = last.fields[1].as_i64().unwrap();
         assert_eq!(total, last_value, "deltas sum to the running value");
     }
@@ -359,7 +356,13 @@ mod tests {
         let gate = SensorGate::all_enabled();
         assert!(notice_gated!(gate, port, lis.clock(), EventTypeId(3), 1i32));
         gate.disable(EventTypeId(3));
-        assert!(!notice_gated!(gate, port, lis.clock(), EventTypeId(3), 2i32));
+        assert!(!notice_gated!(
+            gate,
+            port,
+            lis.clock(),
+            EventTypeId(3),
+            2i32
+        ));
         assert!(notice_gated!(gate, port, lis.clock(), EventTypeId(4), 3i32));
         gate.enable(EventTypeId(3));
         assert!(notice_gated!(gate, port, lis.clock(), EventTypeId(3), 4i32));
@@ -374,7 +377,10 @@ mod tests {
         let gate = SensorGate::all_enabled();
         assert!(gate.permits(EventTypeId(1_000)));
         gate.disable(EventTypeId(1_000));
-        assert!(!gate.permits(EventTypeId(2_000)), "high ids share the default");
+        assert!(
+            !gate.permits(EventTypeId(2_000)),
+            "high ids share the default"
+        );
         assert!(gate.permits(EventTypeId(3)), "low ids unaffected");
         gate.enable(EventTypeId(5_000));
         assert!(gate.permits(EventTypeId(1_000)));

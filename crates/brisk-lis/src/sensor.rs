@@ -138,10 +138,7 @@ mod tests {
     fn sim_lis() -> (Lis<SimClock>, SimTimeSource) {
         let src = SimTimeSource::new();
         let clock = Arc::new(SimClock::new(src.clone(), 0, 0.0, 1));
-        (
-            Lis::new(NodeId(4), clock, &ExsConfig::default()),
-            src,
-        )
+        (Lis::new(NodeId(4), clock, &ExsConfig::default()), src)
     }
 
     #[test]
@@ -197,7 +194,13 @@ mod tests {
         let (lis, src) = sim_lis();
         let mut port = lis.register();
         src.advance_by(10);
-        assert!(notice_pair(&mut port, &**lis.clock(), EventTypeId(8), 3, 0.5));
+        assert!(notice_pair(
+            &mut port,
+            &**lis.clock(),
+            EventTypeId(8),
+            3,
+            0.5
+        ));
         let mut out = Vec::new();
         lis.rings().drain_into(10, &mut out).unwrap();
         assert_eq!(out[0].fields, vec![Value::I32(3), Value::F64(0.5)]);

@@ -14,11 +14,12 @@
 //! batch) are gone; everything still in the rings survives and flows once
 //! the new connection is up.
 
-use crate::exs::{ExsStats, ExsStep, ExternalSensor};
+use crate::exs::{ExsStats, ExsStep, ExsTelemetry, ExternalSensor};
 use brisk_clock::Clock;
 use brisk_core::{BriskError, ExsConfig, NodeId, Result};
 use brisk_net::Connection;
 use brisk_ringbuf::RingSet;
+use brisk_telemetry::Registry;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -63,6 +64,8 @@ pub type ConnectFn = Box<dyn Fn() -> Result<Box<dyn Connection>> + Send>;
 pub struct SupervisedExsHandle {
     stop: Arc<AtomicBool>,
     connects: Arc<AtomicU64>,
+    node: NodeId,
+    shared: Arc<ExsTelemetry>,
     join: std::thread::JoinHandle<Result<SupervisedStats>>,
 }
 
@@ -72,6 +75,38 @@ impl SupervisedExsHandle {
         self.connects.load(Ordering::Relaxed)
     }
 
+    /// Live aggregate counters across all incarnations so far.
+    pub fn stats_now(&self) -> SupervisedStats {
+        let connects = self.connects.load(Ordering::Relaxed);
+        SupervisedStats {
+            exs: self.shared.stats(),
+            connects,
+            reconnects: connects.saturating_sub(1),
+        }
+    }
+
+    /// Register this supervised EXS with a telemetry registry: all the
+    /// per-incarnation EXS series (shared across restarts) plus
+    /// `brisk_exs_connects_total` and `brisk_exs_reconnects_total`.
+    pub fn bind_telemetry(&self, registry: &Registry) {
+        self.shared.bind(self.node, registry);
+        let n = self.node.0.to_string();
+        let c = Arc::clone(&self.connects);
+        registry.counter_fn(
+            "brisk_exs_connects_total",
+            "ISM connections established by the supervised EXS",
+            &[("node", &n)],
+            move || c.load(Ordering::Relaxed),
+        );
+        let c = Arc::clone(&self.connects);
+        registry.counter_fn(
+            "brisk_exs_reconnects_total",
+            "Supervisor restarts after an abrupt disconnect",
+            &[("node", &n)],
+            move || c.load(Ordering::Relaxed).saturating_sub(1),
+        );
+    }
+
     /// Signal and wait; returns aggregate stats.
     pub fn stop(self) -> Result<SupervisedStats> {
         self.stop.store(true, Ordering::Relaxed);
@@ -79,20 +114,6 @@ impl SupervisedExsHandle {
             .join()
             .map_err(|_| BriskError::Sync("supervised EXS thread panicked".into()))?
     }
-}
-
-fn accumulate(total: &mut ExsStats, part: ExsStats) {
-    total.records_drained += part.records_drained;
-    total.records_sent += part.records_sent;
-    total.batches_sent += part.batches_sent;
-    total.flush_records += part.flush_records;
-    total.flush_bytes += part.flush_bytes;
-    total.flush_timeout += part.flush_timeout;
-    total.flush_forced += part.flush_forced;
-    total.sync_replies += part.sync_replies;
-    total.adjustments += part.adjustments;
-    total.busy_nanos += part.busy_nanos;
-    total.iterations += part.iterations;
 }
 
 /// Spawn a supervised EXS. `connect` is invoked for the initial connection
@@ -108,17 +129,23 @@ pub fn spawn_exs_supervised(
     cfg.validate()?;
     let stop = Arc::new(AtomicBool::new(false));
     let connects = Arc::new(AtomicU64::new(0));
+    let shared = Arc::new(ExsTelemetry::default());
     let stop2 = Arc::clone(&stop);
     let connects2 = Arc::clone(&connects);
+    let shared2 = Arc::clone(&shared);
     let join = std::thread::Builder::new()
         .name(format!("brisk-exs-sup-{node}"))
         .spawn(move || {
-            supervise(node, rings, raw_clock, connect, cfg, sup, stop2, connects2)
+            supervise(
+                node, rings, raw_clock, connect, cfg, sup, stop2, connects2, shared2,
+            )
         })
         .map_err(BriskError::Io)?;
     Ok(SupervisedExsHandle {
         stop,
         connects,
+        node,
+        shared,
         join,
     })
 }
@@ -133,7 +160,11 @@ fn supervise(
     sup: SupervisorConfig,
     stop: Arc<AtomicBool>,
     connects: Arc<AtomicU64>,
+    shared: Arc<ExsTelemetry>,
 ) -> Result<SupervisedStats> {
+    // Every incarnation accumulates into the one shared telemetry
+    // backing, so EXS counters are totals across restarts and a bound
+    // registry keeps observing the live EXS through reconnects.
     let mut stats = SupervisedStats::default();
     // Correction value survives reconnects.
     let carried_correction = AtomicI64::new(0);
@@ -168,12 +199,13 @@ fn supervise(
         };
         consecutive_failures = 0;
         backoff = sup.initial_backoff;
-        let mut exs = ExternalSensor::new(
+        let mut exs = ExternalSensor::with_telemetry(
             node,
             Arc::clone(&rings),
             Arc::clone(&raw_clock),
             conn,
             cfg.clone(),
+            Arc::clone(&shared),
         )?;
         exs.corrected_clock()
             .set_correction(carried_correction.load(Ordering::Relaxed));
@@ -187,12 +219,10 @@ fn supervise(
         loop {
             if stop.load(Ordering::Relaxed) {
                 // Orderly stop: flush and exit for good.
-                carried_correction
-                    .store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
-                // A connection that dies during the final flush is fine.
-                if let Ok(part) = exs.finish() {
-                    accumulate(&mut stats.exs, part);
-                }
+                carried_correction.store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
+                // A connection that dies during the final flush is fine;
+                // the counters land in `shared` either way.
+                let _ = exs.finish();
                 break 'lifetime;
             }
             match exs.step() {
@@ -200,28 +230,25 @@ fn supervise(
                     // The ISM asked us to stop — honour it, do not reconnect.
                     carried_correction
                         .store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
-                    if let Ok(part) = exs.finish() {
-                        accumulate(&mut stats.exs, part);
-                    }
+                    let _ = exs.finish();
                     break 'lifetime;
                 }
                 Ok(ExsStep::Disconnected) => {
                     carried_correction
                         .store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
-                    accumulate(&mut stats.exs, exs.stats());
                     break; // reconnect
                 }
                 Ok(_) => {}
                 Err(e) if e.is_disconnect() => {
                     carried_correction
                         .store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
-                    accumulate(&mut stats.exs, exs.stats());
                     break; // reconnect
                 }
                 Err(e) => return Err(e),
             }
         }
     }
+    stats.exs = shared.stats();
     Ok(stats)
 }
 
@@ -276,7 +303,10 @@ mod tests {
         .unwrap();
 
         // First connection: receive some records, then kill it.
-        let mut conn1 = listener.accept(Some(Duration::from_secs(5))).unwrap().unwrap();
+        let mut conn1 = listener
+            .accept(Some(Duration::from_secs(5)))
+            .unwrap()
+            .unwrap();
         for i in 0..50 {
             port.emit(EventTypeId(1), UtcMicros::now(), vec![Value::I32(i)])
                 .unwrap();
@@ -286,12 +316,18 @@ mod tests {
         drop(conn1); // abrupt server-side disconnect
 
         // The supervisor must reconnect…
-        let mut conn2 = listener.accept(Some(Duration::from_secs(5))).unwrap().unwrap();
+        let mut conn2 = listener
+            .accept(Some(Duration::from_secs(5)))
+            .unwrap()
+            .unwrap();
         // …re-send Hello…
         let frame = conn2.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
         assert!(matches!(
             Message::decode(&frame).unwrap(),
-            Message::Hello { node: NodeId(1), .. }
+            Message::Hello {
+                node: NodeId(1),
+                ..
+            }
         ));
         // …and keep delivering new records.
         for i in 50..80 {
@@ -323,16 +359,28 @@ mod tests {
         )
         .unwrap();
 
-        let mut conn1 = listener.accept(Some(Duration::from_secs(5))).unwrap().unwrap();
+        let mut conn1 = listener
+            .accept(Some(Duration::from_secs(5)))
+            .unwrap()
+            .unwrap();
         let _hello = conn1.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
         // Adjust the slave's correction, then kill the connection.
         conn1
-            .send(&Message::SyncAdjust { round: 1, advance_us: 12_345 }.encode())
+            .send(
+                &Message::SyncAdjust {
+                    round: 1,
+                    advance_us: 12_345,
+                }
+                .encode(),
+            )
             .unwrap();
         std::thread::sleep(Duration::from_millis(50));
         drop(conn1);
 
-        let mut conn2 = listener.accept(Some(Duration::from_secs(5))).unwrap().unwrap();
+        let mut conn2 = listener
+            .accept(Some(Duration::from_secs(5)))
+            .unwrap()
+            .unwrap();
         let _hello = conn2.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
         // Poll the new incarnation: its reply must include the carried
         // correction (clock reads now + 12_345 ± scheduling slack).
@@ -404,7 +452,10 @@ mod tests {
             SupervisorConfig::default(),
         )
         .unwrap();
-        let mut conn = listener.accept(Some(Duration::from_secs(5))).unwrap().unwrap();
+        let mut conn = listener
+            .accept(Some(Duration::from_secs(5)))
+            .unwrap()
+            .unwrap();
         let _hello = conn.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
         conn.send(&Message::Shutdown.encode()).unwrap();
         // The supervisor must exit on its own, without a reconnect attempt.
@@ -414,7 +465,10 @@ mod tests {
         }
         std::thread::sleep(Duration::from_millis(100));
         assert!(
-            listener.accept(Some(Duration::from_millis(100))).unwrap().is_none(),
+            listener
+                .accept(Some(Duration::from_millis(100)))
+                .unwrap()
+                .is_none(),
             "no reconnect after an orderly shutdown"
         );
         let stats = handle.stop().unwrap();

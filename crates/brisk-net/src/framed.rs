@@ -109,9 +109,7 @@ impl<S: RawStream> FramedConnection<S> {
             match self.stream.read(&mut chunk) {
                 Ok(0) => return Err(BriskError::Disconnected),
                 Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
-                Err(e)
-                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-                {
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     return Ok(None);
                 }
                 Err(e) => return Err(e.into()),
@@ -129,7 +127,8 @@ impl<S: RawStream> Connection for FramedConnection<S> {
             )));
         }
         self.wbuf.clear();
-        self.wbuf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        self.wbuf
+            .extend_from_slice(&(frame.len() as u32).to_be_bytes());
         self.wbuf.extend_from_slice(frame);
         self.stream.write_all(&self.wbuf)?;
         Ok(())

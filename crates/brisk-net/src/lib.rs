@@ -23,6 +23,7 @@
 
 pub mod framed;
 pub mod mem;
+pub mod metered;
 pub mod tcp;
 pub mod traits;
 #[cfg(unix)]
@@ -30,6 +31,7 @@ pub mod uds;
 
 pub use framed::{FramedConnection, RawStream};
 pub use mem::{LinkModel, MemTransport};
+pub use metered::{ConnMetrics, MeteredConnection};
 pub use tcp::TcpTransport;
 pub use traits::{Connection, Listener, Transport};
 #[cfg(unix)]

@@ -160,7 +160,9 @@ impl Transport for Arc<MemTransport> {
             ))
         })?;
         let (client, server) = self.make_pair(format!("client->{addr}"), addr.to_string());
-        acceptor.send(server).map_err(|_| BriskError::Disconnected)?;
+        acceptor
+            .send(server)
+            .map_err(|_| BriskError::Disconnected)?;
         Ok(Box::new(client))
     }
 }
@@ -290,9 +292,15 @@ mod tests {
     fn round_trip() {
         let (mut s, mut c) = pair(LinkModel::ideal());
         c.send(b"batch").unwrap();
-        assert_eq!(s.recv(Some(Duration::from_secs(1))).unwrap().unwrap(), b"batch");
+        assert_eq!(
+            s.recv(Some(Duration::from_secs(1))).unwrap().unwrap(),
+            b"batch"
+        );
         s.send(b"ack").unwrap();
-        assert_eq!(c.recv(Some(Duration::from_secs(1))).unwrap().unwrap(), b"ack");
+        assert_eq!(
+            c.recv(Some(Duration::from_secs(1))).unwrap().unwrap(),
+            b"ack"
+        );
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Connection instrumentation: a transparent byte/frame-counting wrapper.
+//!
+//! [`MeteredConnection`] wraps any [`Connection`] and counts frames and
+//! bytes in each direction into shared telemetry counters, so the ISM
+//! can expose per-direction traffic totals without the transports
+//! knowing anything about metrics. The counters are registry handles
+//! (`Arc<Counter>`), so wrapping every accepted connection with the same
+//! [`ConnMetrics`] aggregates naturally into one series per direction.
+
+use crate::traits::Connection;
+use brisk_core::Result;
+use brisk_telemetry::{Counter, Registry};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The four traffic counters a [`MeteredConnection`] feeds.
+#[derive(Clone)]
+pub struct ConnMetrics {
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+}
+
+impl ConnMetrics {
+    /// Register (or fetch) the traffic series in `registry`, labeled by
+    /// `role` (e.g. `"ism"` or `"exs"`):
+    /// `brisk_net_frames_total{role=..,dir=in|out}` and
+    /// `brisk_net_bytes_total{role=..,dir=in|out}`.
+    pub fn register(registry: &Registry, role: &str) -> ConnMetrics {
+        let f = "brisk_net_frames_total";
+        let fh = "Frames moved over connections";
+        let b = "brisk_net_bytes_total";
+        let bh = "Frame payload bytes moved over connections";
+        ConnMetrics {
+            frames_in: registry.counter_with(f, fh, &[("role", role), ("dir", "in")]),
+            frames_out: registry.counter_with(f, fh, &[("role", role), ("dir", "out")]),
+            bytes_in: registry.counter_with(b, bh, &[("role", role), ("dir", "in")]),
+            bytes_out: registry.counter_with(b, bh, &[("role", role), ("dir", "out")]),
+        }
+    }
+
+    /// Standalone counters not attached to any registry (tests).
+    pub fn detached() -> ConnMetrics {
+        ConnMetrics {
+            frames_in: Arc::new(Counter::new()),
+            frames_out: Arc::new(Counter::new()),
+            bytes_in: Arc::new(Counter::new()),
+            bytes_out: Arc::new(Counter::new()),
+        }
+    }
+
+    /// (frames_in, frames_out, bytes_in, bytes_out) totals so far.
+    pub fn totals(&self) -> (u64, u64, u64, u64) {
+        (
+            self.frames_in.get(),
+            self.frames_out.get(),
+            self.bytes_in.get(),
+            self.bytes_out.get(),
+        )
+    }
+
+    /// Wrap a connection so its traffic feeds these counters.
+    pub fn wrap(&self, inner: Box<dyn Connection>) -> Box<dyn Connection> {
+        Box::new(MeteredConnection {
+            inner,
+            metrics: self.clone(),
+        })
+    }
+}
+
+/// A [`Connection`] decorator counting frames and payload bytes per
+/// direction. `recv` timeouts and disconnects are passed through
+/// uncounted; only delivered frames move the counters.
+pub struct MeteredConnection {
+    inner: Box<dyn Connection>,
+    metrics: ConnMetrics,
+}
+
+impl Connection for MeteredConnection {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        self.inner.send(frame)?;
+        self.metrics.frames_out.inc();
+        self.metrics.bytes_out.add(frame.len() as u64);
+        Ok(())
+    }
+
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Option<Vec<u8>>> {
+        let got = self.inner.recv(timeout)?;
+        if let Some(frame) = &got {
+            self.metrics.frames_in.inc();
+            self.metrics.bytes_in.add(frame.len() as u64);
+        }
+        Ok(got)
+    }
+
+    fn peer(&self) -> String {
+        self.inner.peer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemTransport;
+    use crate::traits::Transport;
+
+    #[test]
+    fn counts_both_directions() {
+        let t = MemTransport::new();
+        let mut l = t.listen("x").unwrap();
+        let client = t.connect("x").unwrap();
+        let server = l.accept(Some(Duration::from_secs(1))).unwrap().unwrap();
+
+        let m = ConnMetrics::detached();
+        let mut client = m.wrap(client);
+        let mut server = server;
+
+        client.send(b"hello").unwrap();
+        client.send(b"worlds!").unwrap();
+        let a = server.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        server.send(&a).unwrap();
+        let echoed = client.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        assert_eq!(echoed, b"hello");
+
+        let (fi, fo, bi, bo) = m.totals();
+        assert_eq!((fi, fo), (1, 2));
+        assert_eq!(bo, 12); // "hello" + "worlds!"
+        assert_eq!(bi, 5);
+    }
+
+    #[test]
+    fn registry_series_aggregate_across_connections() {
+        let registry = Registry::new();
+        let m = ConnMetrics::register(&registry, "ism");
+        let t = MemTransport::new();
+        let mut l = t.listen("x").unwrap();
+        for _ in 0..3 {
+            let c = t.connect("x").unwrap();
+            let mut srv = m.wrap(l.accept(Some(Duration::from_secs(1))).unwrap().unwrap());
+            let mut c = c;
+            c.send(b"abcd").unwrap();
+            srv.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_labeled("brisk_net_frames_total", &[("role", "ism"), ("dir", "in")]),
+            Some(3)
+        );
+        assert_eq!(
+            snap.counter_labeled("brisk_net_bytes_total", &[("role", "ism"), ("dir", "in")]),
+            Some(12)
+        );
+    }
+
+    #[test]
+    fn timeout_is_not_counted() {
+        let t = MemTransport::new();
+        let mut l = t.listen("x").unwrap();
+        let _client = t.connect("x").unwrap();
+        let server = l.accept(Some(Duration::from_secs(1))).unwrap().unwrap();
+        let m = ConnMetrics::detached();
+        let mut server = m.wrap(server);
+        assert!(server
+            .recv(Some(Duration::from_millis(5)))
+            .unwrap()
+            .is_none());
+        assert_eq!(m.totals(), (0, 0, 0, 0));
+    }
+}

@@ -87,7 +87,10 @@ mod tests {
         let mut listener = t.listen("127.0.0.1:0").unwrap();
         let addr = listener.local_addr();
         let client = thread::spawn(move || TcpTransport.connect(&addr).unwrap());
-        let server = listener.accept(Some(Duration::from_secs(5))).unwrap().unwrap();
+        let server = listener
+            .accept(Some(Duration::from_secs(5)))
+            .unwrap()
+            .unwrap();
         (server, client.join().unwrap())
     }
 
@@ -139,7 +142,10 @@ mod tests {
     #[test]
     fn recv_timeout_returns_none_and_loses_nothing() {
         let (mut server, mut client) = pair();
-        assert!(server.recv(Some(Duration::from_millis(10))).unwrap().is_none());
+        assert!(server
+            .recv(Some(Duration::from_millis(10)))
+            .unwrap()
+            .is_none());
         client.send(b"late").unwrap();
         let got = server.recv(Some(Duration::from_secs(5))).unwrap().unwrap();
         assert_eq!(got, b"late");

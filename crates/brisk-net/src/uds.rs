@@ -102,7 +102,10 @@ mod tests {
         let mut listener = t.listen(&sock_path(tag)).unwrap();
         let addr = listener.local_addr();
         let client = thread::spawn(move || UdsTransport.connect(&addr).unwrap());
-        let server = listener.accept(Some(Duration::from_secs(5))).unwrap().unwrap();
+        let server = listener
+            .accept(Some(Duration::from_secs(5)))
+            .unwrap()
+            .unwrap();
         let client = client.join().unwrap();
         // Listener may drop now; established connections outlive it.
         (server, client)
@@ -145,7 +148,10 @@ mod tests {
     #[test]
     fn timeout_and_disconnect() {
         let (mut server, client) = pair("dc");
-        assert!(server.recv(Some(Duration::from_millis(10))).unwrap().is_none());
+        assert!(server
+            .recv(Some(Duration::from_millis(10)))
+            .unwrap()
+            .is_none());
         drop(client);
         let err = server.recv(Some(Duration::from_secs(5))).unwrap_err();
         assert!(err.is_disconnect());
@@ -161,7 +167,10 @@ mod tests {
             let addr = listener.local_addr();
             thread::spawn(move || UdsTransport.connect(&addr).unwrap())
         };
-        assert!(listener.accept(Some(Duration::from_secs(5))).unwrap().is_some());
+        assert!(listener
+            .accept(Some(Duration::from_secs(5)))
+            .unwrap()
+            .is_some());
         drop(client.join().unwrap());
     }
 

@@ -161,7 +161,12 @@ impl PiclRecord {
         let _ = write!(
             line,
             "{} {} {} {} {} {} {}",
-            self.rectype as u32, self.event, self.clock, self.node, self.sensor, self.seq,
+            self.rectype as u32,
+            self.event,
+            self.clock,
+            self.node,
+            self.sensor,
+            self.seq,
             self.data.len()
         );
         for d in &self.data {
@@ -378,7 +383,14 @@ mod tests {
 
     #[test]
     fn line_round_trip_with_tricky_strings() {
-        for s in ["", "plain", "with space", "q\"uote", "back\\slash", "new\nline"] {
+        for s in [
+            "",
+            "plain",
+            "with space",
+            "q\"uote",
+            "back\\slash",
+            "new\nline",
+        ] {
             let p = PiclRecord::from_event(&rec(vec![Value::Str(s.into())]), TsMode::Utc);
             let line = p.to_line();
             let back = PiclRecord::parse_line(&line).unwrap();
@@ -388,10 +400,7 @@ mod tests {
 
     #[test]
     fn seconds_clock_round_trips() {
-        let p = PiclRecord::from_event(
-            &rec(vec![]),
-            TsMode::SecondsSince(UtcMicros::ZERO),
-        );
+        let p = PiclRecord::from_event(&rec(vec![]), TsMode::SecondsSince(UtcMicros::ZERO));
         let back = PiclRecord::parse_line(&p.to_line()).unwrap();
         assert_eq!(back.clock, ClockField::Seconds(1.5));
     }

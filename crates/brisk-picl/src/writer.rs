@@ -112,8 +112,8 @@ mod tests {
 
     #[test]
     fn seconds_mode_header_mentions_origin() {
-        let w = PiclWriter::new(Vec::new(), TsMode::SecondsSince(UtcMicros::from_secs(10)))
-            .unwrap();
+        let w =
+            PiclWriter::new(Vec::new(), TsMode::SecondsSince(UtcMicros::from_secs(10))).unwrap();
         let bytes = w.into_inner().unwrap();
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.contains("seconds since 10000000"));

@@ -13,6 +13,7 @@
 use crate::spsc::{ByteRing, RingConsumer, RingProducer, RingStats};
 use brisk_core::binenc;
 use brisk_core::{EventRecord, EventTypeId, NodeId, Result, SensorId, UtcMicros, Value};
+use brisk_telemetry::{Counter, Registry};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -23,6 +24,9 @@ pub struct SensorPort {
     seq: u64,
     producer: RingProducer,
     scratch: Vec<u8>,
+    /// Optional per-node notice counter (telemetry); one relaxed
+    /// `fetch_add` on the emit hot path when bound, zero cost otherwise.
+    notices: Option<Arc<Counter>>,
 }
 
 impl SensorPort {
@@ -66,6 +70,9 @@ impl SensorPort {
     }
 
     fn push_encoded(&mut self, rec: &EventRecord) -> bool {
+        if let Some(c) = &self.notices {
+            c.inc();
+        }
         self.scratch.clear();
         binenc::encode_record(rec, &mut self.scratch);
         self.producer.push(&self.scratch)
@@ -74,6 +81,19 @@ impl SensorPort {
     /// Traffic counters of the underlying ring.
     pub fn stats(&self) -> RingStats {
         self.producer.stats()
+    }
+
+    /// Bytes currently buffered in this port's ring (producer view:
+    /// never negative, at most stale-high).
+    pub fn occupancy(&self) -> usize {
+        self.producer.occupancy()
+    }
+
+    /// Attach a notice counter incremented once per emitted record
+    /// (whether or not the ring accepts it). Used by the telemetry
+    /// overhead benchmark and by [`RingSet::bind_telemetry`].
+    pub fn set_notice_counter(&mut self, counter: Arc<Counter>) {
+        self.notices = Some(counter);
     }
 }
 
@@ -125,6 +145,11 @@ impl RecordConsumer {
     pub fn stats(&self) -> RingStats {
         self.consumer.stats()
     }
+
+    /// Bytes currently buffered (consumer view: exact or stale-low).
+    pub fn occupancy(&self) -> usize {
+        self.consumer.occupancy()
+    }
 }
 
 /// One ring per record-producing sensor plus its consumer side; what the
@@ -134,11 +159,7 @@ pub struct RecordRing;
 impl RecordRing {
     /// Create one sensor ring, returning the sensor-side port and the
     /// EXS-side consumer.
-    pub fn create(
-        node: NodeId,
-        sensor: SensorId,
-        capacity: usize,
-    ) -> (SensorPort, RecordConsumer) {
+    pub fn create(node: NodeId, sensor: SensorId, capacity: usize) -> (SensorPort, RecordConsumer) {
         let (producer, consumer) = ByteRing::with_capacity(capacity);
         (
             SensorPort {
@@ -147,6 +168,7 @@ impl RecordRing {
                 seq: 0,
                 producer,
                 scratch: Vec::with_capacity(256),
+                notices: None,
             },
             RecordConsumer {
                 sensor,
@@ -240,6 +262,66 @@ impl RingSet {
     pub fn is_empty(&self) -> bool {
         self.consumers.lock().iter().all(|c| c.is_empty())
     }
+
+    /// Bytes currently buffered across all rings (consumer view, so the
+    /// reading never races the drain loop into a negative value).
+    pub fn occupancy_bytes(&self) -> usize {
+        self.consumers.lock().iter().map(|c| c.occupancy()).sum()
+    }
+
+    /// Total ring capacity across all registered sensors.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sensor_count() * self.capacity_per_ring
+    }
+
+    /// Register this set's live state with a telemetry registry.
+    ///
+    /// Everything is exported as computed sources reading the rings'
+    /// own monotonic counters, so the hot paths pay nothing extra:
+    ///
+    /// - `brisk_ring_occupancy_bytes{node=..}` (gauge)
+    /// - `brisk_ring_capacity_bytes{node=..}` (gauge)
+    /// - `brisk_ring_produced_total{node=..}` / `_dropped_total` /
+    ///   `_consumed_total` (counters)
+    pub fn bind_telemetry(self: &Arc<Self>, registry: &Registry) {
+        let node = self.node.0.to_string();
+        let labels = [("node", node.as_str())];
+        let s = Arc::clone(self);
+        registry.gauge_fn(
+            "brisk_ring_occupancy_bytes",
+            "Bytes currently buffered in the node's sensor rings",
+            &labels,
+            move || s.occupancy_bytes() as i64,
+        );
+        let s = Arc::clone(self);
+        registry.gauge_fn(
+            "brisk_ring_capacity_bytes",
+            "Total capacity of the node's sensor rings",
+            &labels,
+            move || s.capacity_bytes() as i64,
+        );
+        let s = Arc::clone(self);
+        registry.counter_fn(
+            "brisk_ring_produced_total",
+            "Records accepted by the sensor rings",
+            &labels,
+            move || s.stats().produced,
+        );
+        let s = Arc::clone(self);
+        registry.counter_fn(
+            "brisk_ring_dropped_total",
+            "Records dropped because a sensor ring was full",
+            &labels,
+            move || s.stats().dropped,
+        );
+        let s = Arc::clone(self);
+        registry.counter_fn(
+            "brisk_ring_consumed_total",
+            "Records drained from the sensor rings by the EXS",
+            &labels,
+            move || s.stats().consumed,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -324,8 +406,10 @@ mod tests {
         assert_eq!(set.sensor_count(), 2);
         assert_ne!(a.sensor(), b.sensor());
         for i in 0..5 {
-            a.emit(EventTypeId(1), UtcMicros::from_micros(i), vec![]).unwrap();
-            b.emit(EventTypeId(2), UtcMicros::from_micros(i), vec![]).unwrap();
+            a.emit(EventTypeId(1), UtcMicros::from_micros(i), vec![])
+                .unwrap();
+            b.emit(EventTypeId(2), UtcMicros::from_micros(i), vec![])
+                .unwrap();
         }
         let mut out = Vec::new();
         let n = set.drain_into(usize::MAX, &mut out).unwrap();
@@ -340,7 +424,8 @@ mod tests {
         let set = RingSet::new(NodeId(1), 4096);
         let mut a = set.register();
         for i in 0..10 {
-            a.emit(EventTypeId(1), UtcMicros::from_micros(i), vec![]).unwrap();
+            a.emit(EventTypeId(1), UtcMicros::from_micros(i), vec![])
+                .unwrap();
         }
         let mut out = Vec::new();
         assert_eq!(set.drain_into(3, &mut out).unwrap(), 3);
@@ -364,6 +449,37 @@ mod tests {
     }
 
     #[test]
+    fn bind_telemetry_exports_live_ring_state() {
+        let registry = Registry::new();
+        let set = RingSet::new(NodeId(3), 4096);
+        set.bind_telemetry(&registry);
+        let mut port = set.register();
+        port.set_notice_counter(registry.counter("brisk_notices_total", "notices emitted"));
+        for i in 0..4 {
+            port.emit(EventTypeId(1), UtcMicros::from_micros(i), fields(0))
+                .unwrap();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_labeled("brisk_ring_produced_total", &[("node", "3")]),
+            Some(4)
+        );
+        assert_eq!(snap.counter_total("brisk_notices_total"), 4);
+        let occ = snap.gauge("brisk_ring_occupancy_bytes").unwrap();
+        assert!(occ > 0, "4 buffered records must show as occupancy");
+        assert_eq!(snap.gauge("brisk_ring_capacity_bytes"), Some(4096));
+
+        let mut out = Vec::new();
+        set.drain_into(usize::MAX, &mut out).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("brisk_ring_occupancy_bytes"), Some(0));
+        assert_eq!(
+            snap.counter_labeled("brisk_ring_consumed_total", &[("node", "3")]),
+            Some(4)
+        );
+    }
+
+    #[test]
     fn multi_threaded_sensors_one_drainer() {
         let set = RingSet::new(NodeId(1), 1 << 16);
         const SENSORS: usize = 4;
@@ -375,9 +491,11 @@ mod tests {
                 let mut sent = 0u64;
                 for i in 0..PER_SENSOR {
                     if port
-                        .emit(EventTypeId(1), UtcMicros::from_micros(i as i64), vec![
-                            Value::U64(i),
-                        ])
+                        .emit(
+                            EventTypeId(1),
+                            UtcMicros::from_micros(i as i64),
+                            vec![Value::U64(i)],
+                        )
                         .unwrap()
                     {
                         sent += 1;
@@ -385,9 +503,11 @@ mod tests {
                         // Ring full: spin briefly and retry once.
                         std::thread::yield_now();
                         if port
-                            .emit(EventTypeId(1), UtcMicros::from_micros(i as i64), vec![
-                                Value::U64(i),
-                            ])
+                            .emit(
+                                EventTypeId(1),
+                                UtcMicros::from_micros(i as i64),
+                                vec![Value::U64(i)],
+                            )
                             .unwrap()
                         {
                             sent += 1;
@@ -423,7 +543,10 @@ mod tests {
                 .filter(|r| r.sensor == SensorId(s))
                 .map(|r| r.seq)
                 .collect();
-            assert!(seqs.windows(2).all(|w| w[0] < w[1]), "sensor {s} out of order");
+            assert!(
+                seqs.windows(2).all(|w| w[0] < w[1]),
+                "sensor {s} out of order"
+            );
         }
     }
 }

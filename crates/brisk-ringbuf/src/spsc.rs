@@ -170,6 +170,23 @@ impl RingProducer {
         self.ring.cap - (tail - head)
     }
 
+    /// Bytes currently buffered (occupancy), from the producer side.
+    ///
+    /// Reads the producer-owned `tail` first, then `head`: the consumer
+    /// can only advance `head` towards `tail`, so the difference is a
+    /// conservative (never negative, at-most-stale-high) occupancy —
+    /// safe to export as a gauge without racing the consumer.
+    pub fn occupancy(&self) -> usize {
+        let tail = self.ring.tail.load(Ordering::Relaxed); // owned, exact
+        let head = self.ring.head.load(Ordering::Acquire);
+        tail.saturating_sub(head)
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
     /// Traffic counters.
     pub fn stats(&self) -> RingStats {
         self.ring.stats()
@@ -228,6 +245,17 @@ impl RingConsumer {
         let head = self.ring.head.load(Ordering::Relaxed);
         let tail = self.ring.tail.load(Ordering::Acquire);
         tail == head
+    }
+
+    /// Bytes currently buffered (occupancy), from the consumer side.
+    ///
+    /// Reads the consumer-owned `head` first, then `tail`: the producer
+    /// can only grow `tail`, so the difference is exact-or-stale-low and
+    /// never negative — the gauge cannot race its own drain loop.
+    pub fn occupancy(&self) -> usize {
+        let head = self.ring.head.load(Ordering::Relaxed); // owned, exact
+        let tail = self.ring.tail.load(Ordering::Acquire);
+        tail.saturating_sub(head)
     }
 
     /// Traffic counters.
@@ -320,7 +348,9 @@ mod tests {
         // Push/pop enough varied frames to wrap the 64-byte ring many times.
         for round in 0..200u32 {
             let len = (round % 23) as usize;
-            let payload: Vec<u8> = (0..len).map(|i| (round as u8).wrapping_add(i as u8)).collect();
+            let payload: Vec<u8> = (0..len)
+                .map(|i| (round as u8).wrapping_add(i as u8))
+                .collect();
             assert!(p.push(&payload), "round {round}");
             assert!(c.pop(&mut out));
             assert_eq!(out, payload, "round {round}");
@@ -348,6 +378,21 @@ mod tests {
         assert_eq!(p.free_bytes(), 64);
         p.push(b"abcd"); // 8 bytes with prefix
         assert_eq!(p.free_bytes(), 56);
+    }
+
+    #[test]
+    fn occupancy_tracks_both_halves() {
+        let (mut p, mut c) = ByteRing::with_capacity(64);
+        assert_eq!(p.occupancy(), 0);
+        assert_eq!(c.occupancy(), 0);
+        p.push(b"abcd"); // 8 bytes with prefix
+        assert_eq!(p.occupancy(), 8);
+        assert_eq!(c.occupancy(), 8);
+        let mut out = Vec::new();
+        c.pop(&mut out);
+        assert_eq!(p.occupancy(), 0);
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(p.capacity(), 64);
     }
 
     #[test]
@@ -426,7 +471,10 @@ mod tests {
         });
         let (accepted, stats) = producer.join().unwrap();
         let got = consumer.join().unwrap();
-        assert_eq!(accepted, got, "consumer sees exactly the accepted frames in order");
+        assert_eq!(
+            accepted, got,
+            "consumer sees exactly the accepted frames in order"
+        );
         assert_eq!(stats.produced + stats.dropped, N as u64);
     }
 }

@@ -1,7 +1,9 @@
 //! Simulated cluster for the clock-synchronization experiments (E6, A1).
 
 use crate::net::DelayModel;
-use brisk_clock::{Clock, CorrectedClock, SimClock, SimTimeSource, SkewSample, SyncMaster, SyncSlave};
+use brisk_clock::{
+    Clock, CorrectedClock, SimClock, SimTimeSource, SkewSample, SyncMaster, SyncSlave,
+};
 use brisk_core::{NodeId, Result, SyncConfig, UtcMicros};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -151,7 +153,14 @@ impl SyncSimulation {
                 if next_round > now {
                     src.advance_to(UtcMicros::from_micros(next_round));
                 }
-                self.run_round(&src, &master_clock, &mut master, &mut slaves, &mut rng, &mut report)?;
+                self.run_round(
+                    &src,
+                    &master_clock,
+                    &mut master,
+                    &mut slaves,
+                    &mut rng,
+                    &mut report,
+                )?;
                 next_round += period_us;
             }
         }

@@ -234,7 +234,11 @@ mod tests {
     #[test]
     fn mean_rate_reported() {
         assert_eq!(
-            ArrivalProcess::Uniform { rate_hz: 5.0, jitter: 0.1 }.mean_rate_hz(),
+            ArrivalProcess::Uniform {
+                rate_hz: 5.0,
+                jitter: 0.1
+            }
+            .mean_rate_hz(),
             5.0
         );
         assert_eq!(

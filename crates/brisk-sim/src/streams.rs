@@ -113,26 +113,27 @@ pub fn run_sorting_experiment(cfg: &SortingConfig) -> Result<SortingReport> {
     let mut end_sum = 0f64;
     let mut arrival_of = std::collections::HashMap::new();
 
-    let mut consume = |records: Vec<EventRecord>,
-                       now_us: i64,
-                       report: &mut SortingReport,
-                       arrival_of: &std::collections::HashMap<(u32, u64), i64>| {
-        for rec in records {
-            report.delivered += 1;
-            if let Some(last) = last_ts {
-                if rec.ts < last {
-                    report.inversions += 1;
+    let mut consume =
+        |records: Vec<EventRecord>,
+         now_us: i64,
+         report: &mut SortingReport,
+         arrival_of: &std::collections::HashMap<(u32, u64), i64>| {
+            for rec in records {
+                report.delivered += 1;
+                if let Some(last) = last_ts {
+                    if rec.ts < last {
+                        report.inversions += 1;
+                    }
                 }
+                last_ts = Some(rec.ts);
+                let key = (rec.node.raw(), rec.seq);
+                let arrived = arrival_of[&key];
+                let added = now_us - arrived;
+                report.max_added_latency_us = report.max_added_latency_us.max(added);
+                added_sum += added as f64;
+                end_sum += (now_us - creation_of[&key]) as f64;
             }
-            last_ts = Some(rec.ts);
-            let key = (rec.node.raw(), rec.seq);
-            let arrived = arrival_of[&key];
-            let added = now_us - arrived;
-            report.max_added_latency_us = report.max_added_latency_us.max(added);
-            added_sum += added as f64;
-            end_sum += (now_us - creation_of[&key]) as f64;
-        }
-    };
+        };
 
     for arrival in &arrivals {
         arrival_of.insert((arrival.rec.node.raw(), arrival.rec.seq), arrival.at_us);

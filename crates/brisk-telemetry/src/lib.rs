@@ -1,0 +1,36 @@
+//! Self-instrumentation for the BRISK pipeline.
+//!
+//! BRISK is an instrumentation system; this crate lets it observe
+//! *itself*. It provides a lock-free metrics layer shared by every
+//! pipeline stage (LIS → EXS → ISM):
+//!
+//! * [`Counter`] / [`Gauge`] — single atomic cells;
+//! * [`Histogram`] — log₂-bucketed atomic histogram with p50/p95/p99/max
+//!   readout and mergeable snapshots;
+//! * [`StageTimer`] — a span that times a pipeline stage on *caller
+//!   supplied* microsecond timestamps, so the same code is deterministic
+//!   under `SimClock` and truthful under `SystemClock`;
+//! * [`Registry`] — names and labels metrics, and produces an atomic
+//!   [`TelemetrySnapshot`] of every series at once;
+//! * exporters — Prometheus text exposition
+//!   ([`TelemetrySnapshot::to_prometheus`]), a JSON document
+//!   ([`TelemetrySnapshot::to_json`]), an aligned human table
+//!   ([`TelemetrySnapshot::render_table`]), and a tiny scrape endpoint
+//!   ([`serve_prometheus`]).
+//!
+//! The hot-path cost of an instrumented stage is one or two relaxed
+//! atomic RMWs; everything heavier (quantiles, rendering) happens at
+//! snapshot time on the reader's thread.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+mod export;
+mod metrics;
+mod registry;
+mod timer;
+
+pub use export::{serve_prometheus, StatsServer};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use registry::{Registry, Sample, SampleValue, TelemetrySnapshot};
+pub use timer::StageTimer;

@@ -1,0 +1,387 @@
+//! Metric naming, registration and atomic snapshots.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Label set: `(key, value)` pairs attached to a series.
+type Labels = Vec<(String, String)>;
+
+enum Source {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    /// Computed counter: read from existing state at snapshot time.
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    /// Computed gauge: read from existing state at snapshot time.
+    GaugeFn(Box<dyn Fn() -> i64 + Send + Sync>),
+}
+
+struct Family {
+    name: String,
+    help: String,
+    labels: Labels,
+    source: Source,
+}
+
+/// Names and owns every metric series; the one place a whole-pipeline
+/// [`TelemetrySnapshot`] can be taken from.
+///
+/// Registration takes a mutex (cold path); the returned `Arc` handles
+/// are lock-free on the hot path. Registering the same `(name, labels)`
+/// twice returns the existing handle, so components surviving a
+/// reconnect keep accumulating into the same series.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// New empty registry (typically wrapped in an `Arc`).
+    pub fn new() -> Arc<Registry> {
+        Arc::new(Registry::default())
+    }
+
+    fn find_existing(&self, name: &str, labels: &[(String, String)]) -> Option<usize> {
+        let fams = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        fams.iter()
+            .position(|f| f.name == name && f.labels == labels)
+    }
+
+    fn own_labels(labels: &[(&str, &str)]) -> Labels {
+        labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    /// Register (or fetch) a counter with no labels.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a labeled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let labels = Self::own_labels(labels);
+        let mut fams = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(f) = fams.iter().find(|f| f.name == name && f.labels == labels) {
+            if let Source::Counter(c) = &f.source {
+                return Arc::clone(c);
+            }
+        }
+        let c = Arc::new(Counter::new());
+        fams.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            source: Source::Counter(Arc::clone(&c)),
+        });
+        c
+    }
+
+    /// Register (or fetch) a gauge with no labels.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a labeled gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let labels = Self::own_labels(labels);
+        let mut fams = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(f) = fams.iter().find(|f| f.name == name && f.labels == labels) {
+            if let Source::Gauge(g) = &f.source {
+                return Arc::clone(g);
+            }
+        }
+        let g = Arc::new(Gauge::new());
+        fams.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            source: Source::Gauge(Arc::clone(&g)),
+        });
+        g
+    }
+
+    /// Register (or fetch) a histogram with no labels.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a labeled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        let labels = Self::own_labels(labels);
+        let mut fams = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(f) = fams.iter().find(|f| f.name == name && f.labels == labels) {
+            if let Source::Histogram(h) = &f.source {
+                return Arc::clone(h);
+            }
+        }
+        let h = Arc::new(Histogram::new());
+        fams.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            source: Source::Histogram(Arc::clone(&h)),
+        });
+        h
+    }
+
+    /// Adopt an existing histogram into the registry (for components
+    /// that own their histogram and record into it off-registry).
+    pub fn register_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        h: &Arc<Histogram>,
+    ) {
+        let labels = Self::own_labels(labels);
+        if self.find_existing(name, &labels).is_some() {
+            return;
+        }
+        let mut fams = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        fams.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            source: Source::Histogram(Arc::clone(h)),
+        });
+    }
+
+    /// Register a computed counter: `f` is called at snapshot time and
+    /// must be monotonic (e.g. reads an existing atomic total).
+    pub fn counter_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        let labels = Self::own_labels(labels);
+        if self.find_existing(name, &labels).is_some() {
+            return;
+        }
+        let mut fams = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        fams.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            source: Source::CounterFn(Box::new(f)),
+        });
+    }
+
+    /// Register a computed gauge: `f` is called at snapshot time.
+    pub fn gauge_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> i64 + Send + Sync + 'static,
+    ) {
+        let labels = Self::own_labels(labels);
+        if self.find_existing(name, &labels).is_some() {
+            return;
+        }
+        let mut fams = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        fams.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            source: Source::GaugeFn(Box::new(f)),
+        });
+    }
+
+    /// Read every registered series at once.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let fams = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let samples = fams
+            .iter()
+            .map(|f| Sample {
+                name: f.name.clone(),
+                help: f.help.clone(),
+                labels: f.labels.clone(),
+                value: match &f.source {
+                    Source::Counter(c) => SampleValue::Counter(c.get()),
+                    Source::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Source::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                    Source::CounterFn(f) => SampleValue::Counter(f()),
+                    Source::GaugeFn(f) => SampleValue::Gauge(f()),
+                },
+            })
+            .collect();
+        TelemetrySnapshot { samples }
+    }
+}
+
+/// One observed series value.
+///
+/// The histogram variant dominates the enum's size, but snapshots are
+/// built once per scrape and dropped; boxing would add indirection on
+/// every quantile read for no measurable win.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum SampleValue {
+    /// Monotonic total.
+    Counter(u64),
+    /// Instantaneous level.
+    Gauge(i64),
+    /// Full distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// One series: name, labels and the value read at snapshot time.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Metric name (Prometheus-safe snake case by convention).
+    pub name: String,
+    /// Help text for exposition.
+    pub help: String,
+    /// Label pairs distinguishing series of the same name.
+    pub labels: Vec<(String, String)>,
+    /// The observed value.
+    pub value: SampleValue,
+}
+
+/// A point-in-time copy of every registered series.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// All series, in registration order.
+    pub samples: Vec<Sample>,
+}
+
+impl TelemetrySnapshot {
+    /// All samples with the given metric name.
+    pub fn all(&self, name: &str) -> impl Iterator<Item = &Sample> {
+        let name = name.to_string();
+        self.samples.iter().filter(move |s| s.name == name)
+    }
+
+    /// Sum of every counter series with this name (all label variants).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.all(name)
+            .filter_map(|s| match &s.value {
+                SampleValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Value of the counter series with this name and exact labels.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.all(name)
+            .find(|s| {
+                s.labels.len() == labels.len()
+                    && s.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            })
+            .and_then(|s| match &s.value {
+                SampleValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+    }
+
+    /// First gauge series with this name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.all(name).find_map(|s| match &s.value {
+            SampleValue::Gauge(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Merge of every histogram series with this name.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        let mut acc: Option<HistogramSnapshot> = None;
+        for s in self.all(name) {
+            if let SampleValue::Histogram(h) = &s.value {
+                acc = Some(match acc {
+                    Some(a) => a.merge(h),
+                    None => h.clone(),
+                });
+            }
+        }
+        acc
+    }
+
+    /// Human-readable aligned table (for `--stats` dumps).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            let mut name = s.name.clone();
+            if !s.labels.is_empty() {
+                let lbls: Vec<String> = s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                let _ = write!(name, "{{{}}}", lbls.join(","));
+            }
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = writeln!(out, "{name:<58} {v:>14}");
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name:<58} {v:>14}");
+                }
+                SampleValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name:<58} n={} mean={:.1} p50={} p95={} p99={} max={}",
+                        h.count(),
+                        h.mean(),
+                        h.p50(),
+                        h.p95(),
+                        h.p99(),
+                        h.max
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter_with("x_total", "", &[("node", "1")]);
+        let b = r.counter_with("x_total", "", &[("node", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(
+            r.snapshot().counter_labeled("x_total", &[("node", "1")]),
+            Some(2)
+        );
+        // Distinct labels are distinct series.
+        let c = r.counter_with("x_total", "", &[("node", "2")]);
+        c.add(5);
+        assert_eq!(r.snapshot().counter_total("x_total"), 7);
+    }
+
+    #[test]
+    fn computed_sources_read_live_state() {
+        let r = Registry::new();
+        let state = Arc::new(Counter::new());
+        let s2 = Arc::clone(&state);
+        r.gauge_fn("depth", "", &[], move || s2.get() as i64);
+        state.add(9);
+        assert_eq!(r.snapshot().gauge("depth"), Some(9));
+    }
+
+    #[test]
+    fn histogram_lookup_merges_labels() {
+        let r = Registry::new();
+        r.histogram_with("lat_us", "", &[("node", "1")]).record(10);
+        r.histogram_with("lat_us", "", &[("node", "2")]).record(20);
+        let h = r.snapshot().histogram("lat_us").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max, 20);
+    }
+}

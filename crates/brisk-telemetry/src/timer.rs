@@ -1,0 +1,58 @@
+//! Stage spans timed on caller-supplied clocks.
+
+use crate::metrics::Histogram;
+
+/// Times one pass through a pipeline stage into a [`Histogram`] of
+/// microseconds.
+///
+/// The timer never reads a wall clock itself: both endpoints are
+/// microsecond stamps supplied by the caller from whatever `Clock` the
+/// component was built with. Under `SimClock` the recorded latencies
+/// are exactly the simulated ones (deterministic, reproducible); under
+/// `SystemClock` they are real. See DESIGN.md, "Telemetry and time".
+#[must_use = "a StageTimer records nothing until stop() is called"]
+pub struct StageTimer<'a> {
+    hist: &'a Histogram,
+    start_us: i64,
+}
+
+impl<'a> StageTimer<'a> {
+    /// Begin a span at `now_us`.
+    pub fn start(hist: &'a Histogram, now_us: i64) -> Self {
+        StageTimer {
+            hist,
+            start_us: now_us,
+        }
+    }
+
+    /// End the span at `now_us`, recording the elapsed microseconds
+    /// (clamped at zero if the clock stepped backwards). Returns the
+    /// recorded value.
+    pub fn stop(self, now_us: i64) -> u64 {
+        let elapsed = now_us.saturating_sub(self.start_us).max(0) as u64;
+        self.hist.record(elapsed);
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_elapsed_on_stop() {
+        let h = Histogram::new();
+        let t = StageTimer::start(&h, 1_000);
+        assert_eq!(t.stop(1_250), 250);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.max, 250);
+    }
+
+    #[test]
+    fn backwards_clock_clamps() {
+        let h = Histogram::new();
+        assert_eq!(StageTimer::start(&h, 500).stop(400), 0);
+        assert_eq!(h.snapshot().max, 0);
+    }
+}

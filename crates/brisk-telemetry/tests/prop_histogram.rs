@@ -1,0 +1,82 @@
+//! Property-based tests for the telemetry histogram.
+
+use brisk_telemetry::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Buckets partition the input: the total count equals the number of
+    /// recorded values, and cumulative bucket counts are monotone.
+    #[test]
+    fn bucket_counts_partition_input(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let s = hist_of(&values);
+        prop_assert_eq!(s.count(), values.len() as u64);
+        let mut cum = 0u64;
+        let mut prev = 0u64;
+        for &b in &s.buckets {
+            cum = cum.saturating_add(b);
+            prop_assert!(cum >= prev, "cumulative counts must be monotone");
+            prev = cum;
+        }
+        prop_assert_eq!(cum, values.len() as u64);
+        if let Some(&m) = values.iter().max() {
+            prop_assert_eq!(s.max, m);
+        }
+    }
+
+    /// Quantiles are ordered and bounded: p50 <= p95 <= p99 <= max, and
+    /// every quantile is at least the true minimum's bucket floor.
+    #[test]
+    fn quantile_bounds(values in proptest::collection::vec(0u64..1_000_000_000, 1..300)) {
+        let s = hist_of(&values);
+        let (p50, p95, p99) = (s.p50(), s.p95(), s.p99());
+        prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+        prop_assert!(p99 <= s.max, "p99 {p99} > max {}", s.max);
+        // A log2 bucket estimate never undershoots by more than 2x the
+        // true quantile's bucket floor; cheap sanity: p50 is at least
+        // the true minimum.
+        let true_min = *values.iter().min().unwrap();
+        prop_assert!(p50 >= true_min / 2, "p50 {p50} below min/2 ({true_min})");
+    }
+
+    /// Merging snapshots is associative and agrees with recording the
+    /// concatenated inputs directly.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+        c in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let (sa, sb, sc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let left = sa.merge(&sb).merge(&sc);
+        let right = sa.merge(&sb.merge(&sc));
+        prop_assert_eq!(&left, &right);
+
+        // Merge == record-all (modulo saturation, which vec inputs of
+        // this size cannot hit in buckets/count — sum may saturate).
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let direct = hist_of(&all);
+        prop_assert_eq!(left.buckets, direct.buckets);
+        prop_assert_eq!(left.max, direct.max);
+        prop_assert_eq!(left.count(), direct.count());
+    }
+
+    /// Merging with an empty snapshot is the identity.
+    #[test]
+    fn merge_identity(values in proptest::collection::vec(any::<u64>(), 0..100)) {
+        let s = hist_of(&values);
+        let empty = HistogramSnapshot::default();
+        prop_assert_eq!(&s.merge(&empty), &s);
+        prop_assert_eq!(&empty.merge(&s), &s);
+    }
+}

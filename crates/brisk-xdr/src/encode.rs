@@ -132,12 +132,18 @@ mod tests {
 
     #[test]
     fn int_is_big_endian() {
-        assert_eq!(enc(|e| {
-            e.int(1);
-        }), vec![0, 0, 0, 1]);
-        assert_eq!(enc(|e| {
-            e.int(-1);
-        }), vec![0xff; 4]);
+        assert_eq!(
+            enc(|e| {
+                e.int(1);
+            }),
+            vec![0, 0, 0, 1]
+        );
+        assert_eq!(
+            enc(|e| {
+                e.int(-1);
+            }),
+            vec![0xff; 4]
+        );
         assert_eq!(
             enc(|e| {
                 e.int(0x0102_0304);
@@ -154,16 +160,22 @@ mod tests {
             }),
             vec![1, 2, 3, 4, 5, 6, 7, 8]
         );
-        assert_eq!(enc(|e| {
-            e.uhyper(u64::MAX);
-        }), vec![0xff; 8]);
+        assert_eq!(
+            enc(|e| {
+                e.uhyper(u64::MAX);
+            }),
+            vec![0xff; 8]
+        );
     }
 
     #[test]
     fn floats_are_ieee_be() {
-        assert_eq!(enc(|e| {
-            e.float(1.0);
-        }), vec![0x3f, 0x80, 0, 0]);
+        assert_eq!(
+            enc(|e| {
+                e.float(1.0);
+            }),
+            vec![0x3f, 0x80, 0, 0]
+        );
         assert_eq!(
             enc(|e| {
                 e.double(1.0);
@@ -174,12 +186,18 @@ mod tests {
 
     #[test]
     fn bool_is_int() {
-        assert_eq!(enc(|e| {
-            e.boolean(true);
-        }), vec![0, 0, 0, 1]);
-        assert_eq!(enc(|e| {
-            e.boolean(false);
-        }), vec![0, 0, 0, 0]);
+        assert_eq!(
+            enc(|e| {
+                e.boolean(true);
+            }),
+            vec![0, 0, 0, 1]
+        );
+        assert_eq!(
+            enc(|e| {
+                e.boolean(false);
+            }),
+            vec![0, 0, 0, 0]
+        );
     }
 
     #[test]
@@ -196,19 +214,28 @@ mod tests {
             }),
             vec![0, 0, 0, 4, b'a', b'b', b'c', b'd']
         );
-        assert_eq!(enc(|e| {
-            e.opaque(b"");
-        }), vec![0, 0, 0, 0]);
+        assert_eq!(
+            enc(|e| {
+                e.opaque(b"");
+            }),
+            vec![0, 0, 0, 0]
+        );
     }
 
     #[test]
     fn opaque_fixed_pads_without_length() {
-        assert_eq!(enc(|e| {
-            e.opaque_fixed(b"abc");
-        }), vec![b'a', b'b', b'c', 0]);
-        assert_eq!(enc(|e| {
-            e.opaque_fixed(b"");
-        }), Vec::<u8>::new());
+        assert_eq!(
+            enc(|e| {
+                e.opaque_fixed(b"abc");
+            }),
+            vec![b'a', b'b', b'c', 0]
+        );
+        assert_eq!(
+            enc(|e| {
+                e.opaque_fixed(b"");
+            }),
+            Vec::<u8>::new()
+        );
     }
 
     #[test]

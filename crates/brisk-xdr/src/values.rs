@@ -45,14 +45,12 @@ pub fn encode_value(v: &Value, e: &mut XdrEncoder) {
 /// Decode one field value of the given type.
 pub fn decode_value(vt: ValueType, d: &mut XdrDecoder<'_>) -> Result<Value> {
     fn narrow<T: TryFrom<i32>>(v: i32, vt: ValueType) -> Result<T> {
-        T::try_from(v).map_err(|_| {
-            BriskError::Codec(format!("value {v} out of range for field type {vt}"))
-        })
+        T::try_from(v)
+            .map_err(|_| BriskError::Codec(format!("value {v} out of range for field type {vt}")))
     }
     fn narrow_u<T: TryFrom<u32>>(v: u32, vt: ValueType) -> Result<T> {
-        T::try_from(v).map_err(|_| {
-            BriskError::Codec(format!("value {v} out of range for field type {vt}"))
-        })
+        T::try_from(v)
+            .map_err(|_| BriskError::Codec(format!("value {v} out of range for field type {vt}")))
     }
     Ok(match vt {
         ValueType::I8 => Value::I8(narrow(d.int()?, vt)?),

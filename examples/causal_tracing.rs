@@ -70,12 +70,9 @@ fn main() {
             .field(i as i64)
             .build(NodeId(0), SensorId(0), 0, UtcMicros::ZERO)
             .unwrap();
-        req_port.emit(
-            rec.event_type,
-            req_lis.clock().now(),
-            rec.fields.clone(),
-        )
-        .unwrap();
+        req_port
+            .emit(rec.event_type, req_lis.clock().now(), rec.fields.clone())
+            .unwrap();
         // 100 µs of flight time…
         req_src.advance_by(100);
         // …then the response handler fires: a CONSEQ event on node 1,

@@ -141,5 +141,9 @@ fn main() {
     // --- The PICL trace is valid and complete.
     let text = std::fs::read_to_string(&tmp).unwrap();
     let parsed = brisk::picl::read_trace(text.as_bytes()).unwrap();
-    println!("PICL trace at {} holds {} records", tmp.display(), parsed.len());
+    println!(
+        "PICL trace at {} holds {} records",
+        tmp.display(),
+        parsed.len()
+    );
 }

@@ -130,7 +130,10 @@ fn main() {
 
     let compute = profiles.scope(EV_COMPUTE.raw()).unwrap();
     assert_eq!(compute.calls, ITERATIONS);
-    assert!(compute.durations().p50 >= 50.0, "compute scopes are >= 50 µs");
+    assert!(
+        compute.durations().p50 >= 50.0,
+        "compute scopes are >= 50 µs"
+    );
     let exchange = profiles.scope(EV_EXCHANGE.raw()).unwrap();
     assert_eq!(exchange.calls, ITERATIONS.div_ceil(4));
     println!("\nprofile reconstruction matches the instrumented ground truth.");

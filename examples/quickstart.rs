@@ -44,7 +44,14 @@ fn main() {
     let mut port = lis.register();
     for i in 0..100i32 {
         let phase = if i % 2 == 0 { "compute" } else { "exchange" };
-        notice!(port, lis.clock(), EventTypeId(1), i, phase, 2.5f64 * i as f64);
+        notice!(
+            port,
+            lis.clock(),
+            EventTypeId(1),
+            i,
+            phase,
+            2.5f64 * i as f64
+        );
     }
     println!("fired 100 events from node 1");
 

@@ -6,8 +6,12 @@
 //!
 //! ```text
 //! brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] [--ts utc|secs]
-//!            [--poll-period-ms N] [--stats-every-s N]
+//!            [--poll-period-ms N] [--stats-every-s N] [--stats-addr HOST:PORT]
 //! ```
+//!
+//! `--stats-addr` serves the full telemetry registry as Prometheus text
+//! exposition (`curl http://HOST:PORT/metrics`); the same registry backs
+//! the periodic stats dump on stderr.
 //!
 //! Runs until stdin closes or a line `quit` arrives (daemon managers send
 //! EOF; interactive users type quit), then flushes and prints a final
@@ -26,6 +30,7 @@ struct Args {
     ts_secs: bool,
     poll_period: Duration,
     stats_every: Duration,
+    stats_addr: Option<String>,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -37,13 +42,11 @@ fn parse_args() -> std::result::Result<Args, String> {
         ts_secs: false,
         poll_period: Duration::from_secs(5),
         stats_every: Duration::from_secs(10),
+        stats_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--tcp" => args.tcp = Some(val("--tcp")?),
             #[cfg(unix)]
@@ -70,10 +73,14 @@ fn parse_args() -> std::result::Result<Args, String> {
                         .map_err(|e| format!("bad --stats-every-s: {e}"))?,
                 )
             }
+            "--stats-addr" => args.stats_addr = Some(val("--stats-addr")?),
             "--help" | "-h" => {
-                return Err("usage: brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] \
-                            [--ts utc|secs] [--poll-period-ms N] [--stats-every-s N]"
-                    .into())
+                return Err(
+                    "usage: brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] \
+                            [--ts utc|secs] [--poll-period-ms N] [--stats-every-s N] \
+                            [--stats-addr HOST:PORT]"
+                        .into(),
+                )
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -99,6 +106,17 @@ fn main() {
         Arc::new(SystemClock),
     )
     .expect("default configuration is valid");
+
+    let registry = Registry::new();
+    server.bind_telemetry(&registry);
+    let stats_server = args.stats_addr.as_deref().map(|addr| {
+        let s = serve_prometheus(addr, Arc::clone(&registry)).unwrap_or_else(|e| {
+            eprintln!("cannot bind stats endpoint {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("Prometheus metrics on http://{}/metrics", s.addr());
+        s
+    });
 
     if let Some(path) = &args.picl {
         let file = std::fs::File::create(path).unwrap_or_else(|e| {
@@ -150,6 +168,7 @@ fn main() {
     let stats_thread = {
         let stop = Arc::clone(&stats_stop);
         let every = args.stats_every;
+        let registry = Arc::clone(&registry);
         std::thread::spawn(move || {
             let mut last = 0u64;
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {
@@ -159,6 +178,7 @@ fn main() {
                     "[ismd] records delivered: {written} (+{} since last)",
                     written - last
                 );
+                eprint!("{}", registry.snapshot().render_table());
                 last = written;
             }
         })
@@ -175,6 +195,10 @@ fn main() {
     stats_stop.store(true, std::sync::atomic::Ordering::Relaxed);
     let report = handle.stop().expect("orderly ISM shutdown");
     let _ = stats_thread.join();
+    if let Some(s) = stats_server {
+        s.stop();
+    }
+    eprint!("{}", registry.snapshot().render_table());
     eprintln!(
         "[ismd] final: {} records in, {} out, {} batches, {} sync rounds, {} tachyons repaired",
         report.core.records_in,

@@ -7,8 +7,11 @@
 //!
 //! ```text
 //! brisk-load [--tcp HOST:PORT | --uds PATH] [--node N] [--sensors N]
-//!            [--rate EV_PER_S] [--duration-s N] [--causal]
+//!            [--rate EV_PER_S] [--duration-s N] [--causal] [--stats]
 //! ```
+//!
+//! `--stats` binds the node's ring buffers and EXS to a telemetry
+//! registry and dumps the full snapshot table at the end of the run.
 
 use brisk::prelude::*;
 use std::sync::Arc;
@@ -23,6 +26,7 @@ struct Args {
     rate: f64,
     duration: Duration,
     causal: bool,
+    stats: bool,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -35,32 +39,31 @@ fn parse_args() -> std::result::Result<Args, String> {
         rate: 10_000.0,
         duration: Duration::from_secs(10),
         causal: false,
+        stats: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--tcp" => args.tcp = Some(val("--tcp")?),
             #[cfg(unix)]
             "--uds" => args.uds = Some(val("--uds")?),
             "--node" => args.node = val("--node")?.parse().map_err(|e| format!("{e}"))?,
-            "--sensors" => {
-                args.sensors = val("--sensors")?.parse().map_err(|e| format!("{e}"))?
-            }
+            "--sensors" => args.sensors = val("--sensors")?.parse().map_err(|e| format!("{e}"))?,
             "--rate" => args.rate = val("--rate")?.parse().map_err(|e| format!("{e}"))?,
             "--duration-s" => {
-                args.duration = Duration::from_secs(
-                    val("--duration-s")?.parse().map_err(|e| format!("{e}"))?,
-                )
+                args.duration =
+                    Duration::from_secs(val("--duration-s")?.parse().map_err(|e| format!("{e}"))?)
             }
             "--causal" => args.causal = true,
+            "--stats" => args.stats = true,
             "--help" | "-h" => {
-                return Err("usage: brisk-load [--tcp HOST:PORT | --uds PATH] [--node N] \
-                            [--sensors N] [--rate EV_PER_S] [--duration-s N] [--causal]"
-                    .into())
+                return Err(
+                    "usage: brisk-load [--tcp HOST:PORT | --uds PATH] [--node N] \
+                            [--sensors N] [--rate EV_PER_S] [--duration-s N] [--causal] \
+                            [--stats]"
+                        .into(),
+                )
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -96,21 +99,25 @@ fn main() {
         eprintln!("cannot connect to the ISM: {e}");
         std::process::exit(1);
     });
-    let exs = spawn_exs(
-        NodeId(args.node),
-        Arc::clone(lis.rings()),
-        clock,
-        conn,
-        cfg,
-    )
-    .expect("spawn EXS");
+    let exs =
+        spawn_exs(NodeId(args.node), Arc::clone(lis.rings()), clock, conn, cfg).expect("spawn EXS");
+    let registry = args.stats.then(|| {
+        let registry = Registry::new();
+        lis.rings().bind_telemetry(&registry);
+        exs.bind_telemetry(&registry);
+        registry
+    });
     eprintln!(
         "brisk-load: node {} with {} sensors at {} ev/s for {:?}{}",
         args.node,
         args.sensors,
         args.rate,
         args.duration,
-        if args.causal { " (causally marked)" } else { "" },
+        if args.causal {
+            " (causally marked)"
+        } else {
+            ""
+        },
     );
 
     // One worker thread per sensor, each pacing its share of the rate.
@@ -146,8 +153,7 @@ fn main() {
                         emitted as i64
                     )
                 } else if causal {
-                    let id =
-                        CorrelationId((node as u64) << 32 | (s as u64) << 24 | (emitted - 1));
+                    let id = CorrelationId((node as u64) << 32 | (s as u64) << 24 | (emitted - 1));
                     notice!(
                         port,
                         clock,
@@ -184,6 +190,11 @@ fn main() {
     // Give the EXS a moment to drain the tail, then stop it (flushes).
     std::thread::sleep(Duration::from_millis(100));
     let stats = exs.stop().expect("EXS shutdown");
+    // The registry observes the EXS through shared atomics, so the
+    // snapshot taken after stop() includes the forced teardown flush.
+    if let Some(registry) = &registry {
+        eprint!("{}", registry.snapshot().render_table());
+    }
     eprintln!(
         "brisk-load: emitted {total_emitted} (dropped {total_dropped}); EXS sent {} records \
          in {} batches, answered {} sync polls, applied {} adjustments",

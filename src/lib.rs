@@ -72,6 +72,7 @@
 //! | [`picl`] | PICL ASCII trace format |
 //! | [`consumers`] | visual objects + analysis tools |
 //! | [`sim`] | deterministic experiment substrate |
+//! | [`telemetry`] | lock-free self-instrumentation metrics + exporters |
 
 #![deny(missing_docs)]
 
@@ -85,6 +86,7 @@ pub use brisk_picl as picl;
 pub use brisk_proto as proto;
 pub use brisk_ringbuf as ringbuf;
 pub use brisk_sim as sim;
+pub use brisk_telemetry as telemetry;
 pub use brisk_xdr as xdr;
 
 pub use brisk_lis::{define_notice, notice, notice_gated};
@@ -98,19 +100,22 @@ pub mod prelude {
     };
     pub use brisk_core::prelude::*;
     pub use brisk_ism::{
-        EventSink, IsmCore, IsmServer, MemoryBuffer, MemoryBufferReader, OnlineSorter,
-        PiclFileSink,
+        EventSink, IsmCore, IsmServer, MemoryBuffer, MemoryBufferReader, OnlineSorter, PiclFileSink,
     };
     pub use brisk_lis::{
         spawn_exs, spawn_exs_supervised, Batcher, CounterSensor, ExsHandle, ExternalSensor, Lis,
         Scope, SensorGate, SupervisedExsHandle, SupervisorConfig,
     };
-    pub use brisk_net::{Connection, Listener, MemTransport, TcpTransport, Transport};
     #[cfg(unix)]
     pub use brisk_net::UdsTransport;
+    pub use brisk_net::{Connection, Listener, MemTransport, TcpTransport, Transport};
     pub use brisk_picl::{PiclRecord, PiclWriter, TsMode};
     pub use brisk_proto::Message;
     pub use brisk_ringbuf::{RingSet, SensorPort};
     pub use brisk_sim::{SortingConfig, SyncSimConfig, SyncSimulation};
+    pub use brisk_telemetry::{
+        serve_prometheus, Counter, Gauge, Histogram, Registry, StageTimer, StatsServer,
+        TelemetrySnapshot,
+    };
     pub use {crate::define_notice, crate::notice, crate::notice_gated};
 }

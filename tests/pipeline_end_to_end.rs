@@ -1,15 +1,11 @@
 //! Workspace integration tests: the full LIS → TP → ISM → consumer path.
 
-use brisk::prelude::*;
 use brisk::core as brisk_core;
+use brisk::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn wait_for<T>(
-    mut poll: impl FnMut() -> Vec<T>,
-    expect: usize,
-    timeout: Duration,
-) -> Vec<T> {
+fn wait_for<T>(mut poll: impl FnMut() -> Vec<T>, expect: usize, timeout: Duration) -> Vec<T> {
     let deadline = Instant::now() + timeout;
     let mut got = Vec::new();
     while got.len() < expect && Instant::now() < deadline {
@@ -58,7 +54,13 @@ fn single_node_events_arrive_sorted_and_complete() {
     .unwrap();
     let mut port = lis.register();
     for i in 0..1_000i32 {
-        assert!(notice!(port, lis.clock(), EventTypeId(2), i, i as f64 / 3.0));
+        assert!(notice!(
+            port,
+            lis.clock(),
+            EventTypeId(2),
+            i,
+            i as f64 / 3.0
+        ));
     }
     let got = wait_for(|| reader.poll().unwrap().0, 1_000, Duration::from_secs(10));
     assert_eq!(got.len(), 1_000);
@@ -195,7 +197,10 @@ fn skewed_node_clock_is_pulled_in_by_sync() {
     }
     let corr_b = exs_b.corrected_clock().correction_us();
     let corr_a = exs_a.corrected_clock().correction_us();
-    assert!(corr_a >= 0 && corr_b >= 0, "BRISK only advances: {corr_a} {corr_b}");
+    assert!(
+        corr_a >= 0 && corr_b >= 0,
+        "BRISK only advances: {corr_a} {corr_b}"
+    );
     assert!(
         corr_b > 3_000,
         "behind clock must have been advanced, correction = {corr_b}"
@@ -219,9 +224,9 @@ fn tcp_pipeline_with_picl_and_visual_outputs() {
     .unwrap();
     let picl_path = std::env::temp_dir().join("brisk_it_tcp.picl");
     let file = std::fs::File::create(&picl_path).unwrap();
-    server
-        .core_mut()
-        .add_sink(Box::new(PiclFileSink::new(Box::new(file), TsMode::Utc).unwrap()));
+    server.core_mut().add_sink(Box::new(
+        PiclFileSink::new(Box::new(file), TsMode::Utc).unwrap(),
+    ));
     let counter = EventCounter::new();
     let counts = counter.counts();
     let registry = Arc::new(Mutex::new(VisualObjectRegistry::new()));
@@ -312,6 +317,142 @@ fn ring_overflow_shows_up_as_seq_gaps_not_corruption() {
     assert!(checker.seq_gaps() > 0);
     exs.stop().unwrap();
     ism.stop().unwrap();
+}
+
+#[test]
+fn telemetry_accounts_for_every_record_across_the_pipeline() {
+    const N: usize = 2_000;
+    let registry = Registry::new();
+
+    // ISM side: bind before spawn so the accept loop is metered.
+    let transport = MemTransport::new();
+    let listener = transport.listen("ism").unwrap();
+    let mut server = IsmServer::new(
+        IsmConfig::default(),
+        SyncConfig {
+            poll_period: Duration::from_millis(100),
+            ..SyncConfig::default()
+        },
+        Arc::new(SystemClock),
+    )
+    .unwrap();
+    server.bind_telemetry(&registry);
+    let ism = server.spawn(listener).unwrap();
+    let mut reader = ism.memory().reader();
+
+    // Node side: rings, notice counter and EXS share the same registry.
+    let clock = Arc::new(SystemClock);
+    let cfg = ExsConfig::default();
+    let lis = Lis::new(NodeId(1), Arc::clone(&clock), &cfg);
+    lis.rings().bind_telemetry(&registry);
+    let exs = spawn_exs(
+        NodeId(1),
+        Arc::clone(lis.rings()),
+        clock,
+        transport.connect("ism").unwrap(),
+        cfg,
+    )
+    .unwrap();
+    exs.bind_telemetry(&registry);
+    let mut port = lis.register();
+    port.set_notice_counter(registry.counter("brisk_notices_total", "Notices emitted"));
+    for i in 0..N {
+        assert!(notice!(port, lis.clock(), EventTypeId(1), i as u64));
+    }
+
+    let got = wait_for(|| reader.poll().unwrap().0, N, Duration::from_secs(15));
+    assert_eq!(got.len(), N);
+
+    // The Prometheus endpoint serves a scrape-parseable view of the same
+    // registry while everything runs.
+    let stats = serve_prometheus("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+    let body = {
+        use std::io::{Read, Write};
+        let mut s = std::net::TcpStream::connect(stats.addr()).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        resp.split_once("\r\n\r\n").unwrap().1.to_string()
+    };
+    for line in body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("unparseable exposition line: {line:?}");
+        });
+        assert!(series.starts_with("brisk_"), "bad series name in {line:?}");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable sample value in {line:?}"
+        );
+    }
+    for needle in [
+        "brisk_ring_produced_total",
+        "brisk_exs_records_sent_total",
+        "brisk_ism_records_out_total",
+        "brisk_ism_e2e_latency_us_bucket",
+        "brisk_net_frames_total",
+    ] {
+        assert!(body.contains(needle), "scrape body missing {needle}");
+    }
+    stats.stop();
+
+    exs.stop().unwrap();
+    let report = ism.stop().unwrap();
+    assert_eq!(report.core.records_out as usize, N);
+
+    // Counter identity: every accepted notice is accounted for at every
+    // stage, with zero drops anywhere.
+    let snap = registry.snapshot();
+    let n = N as u64;
+    assert_eq!(snap.counter_total("brisk_notices_total"), n);
+    assert_eq!(snap.counter_total("brisk_ring_produced_total"), n);
+    assert_eq!(snap.counter_total("brisk_ring_consumed_total"), n);
+    assert_eq!(snap.counter_total("brisk_ring_dropped_total"), 0);
+    assert_eq!(snap.counter_total("brisk_exs_records_drained_total"), n);
+    assert_eq!(snap.counter_total("brisk_exs_records_sent_total"), n);
+    assert_eq!(snap.counter_total("brisk_ism_records_in_total"), n);
+    assert_eq!(snap.counter_total("brisk_ism_records_out_total"), n);
+    assert_eq!(snap.counter_total("brisk_ism_memory_written_total"), n);
+    assert_eq!(
+        snap.gauge("brisk_ring_occupancy_bytes"),
+        Some(0),
+        "all drained"
+    );
+    assert!(snap.gauge("brisk_ring_capacity_bytes").unwrap() > 0);
+
+    // Batching: every batch is counted once, with a flush reason.
+    let batches = snap.counter_total("brisk_exs_batches_sent_total");
+    assert!(batches >= 1);
+    assert_eq!(snap.counter_total("brisk_exs_flush_total"), batches);
+    let batch_hist = snap.histogram("brisk_exs_batch_records").unwrap();
+    assert_eq!(batch_hist.count(), batches);
+    assert_eq!(batch_hist.sum, n);
+
+    // Stage latency distributions are well-formed.
+    let e2e = snap.histogram("brisk_ism_e2e_latency_us").unwrap();
+    assert_eq!(e2e.count(), n);
+    assert!(e2e.p50() <= e2e.p99());
+    assert!(
+        e2e.p99() <= e2e.max.max(1) * 2,
+        "quantiles bounded by max bucket"
+    );
+    let drains = snap.histogram("brisk_exs_drain_us").unwrap();
+    assert!(drains.count() >= 1);
+
+    // Sorter / queue gauges were bound (instantaneous values are
+    // whatever the final tick left behind, but the series must exist).
+    assert!(snap.gauge("brisk_ism_sorter_frame_us").is_some());
+    assert!(snap.gauge("brisk_ism_sorter_depth").is_some());
+    assert_eq!(snap.gauge("brisk_ism_manager_queue_depth"), Some(0));
+
+    // Connection metering saw the Hello plus at least one batch frame.
+    assert!(
+        snap.counter_labeled("brisk_net_frames_total", &[("role", "ism"), ("dir", "in")])
+            .unwrap()
+            > batches
+    );
 }
 
 #[cfg(unix)]

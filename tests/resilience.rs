@@ -12,7 +12,9 @@ fn spawn_ism_tcp() -> brisk::ism::IsmHandle {
         Arc::new(SystemClock),
     )
     .unwrap();
-    server.spawn(TcpTransport.listen("127.0.0.1:0").unwrap()).unwrap()
+    server
+        .spawn(TcpTransport.listen("127.0.0.1:0").unwrap())
+        .unwrap()
 }
 
 /// A supervised node keeps delivering through an ISM **crash**: the first
@@ -151,7 +153,10 @@ fn ism_survives_malformed_clients() {
     assert_eq!(got, 200);
     exs.stop().unwrap();
     let report = ism.stop().unwrap();
-    assert_eq!(report.core.records_in, 200, "only the good node's records count");
+    assert_eq!(
+        report.core.records_in, 200,
+        "only the good node's records count"
+    );
 }
 
 /// Slow consumers observe bounded memory: the ISM memory buffer evicts

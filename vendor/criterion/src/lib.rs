@@ -1,0 +1,362 @@
+//! Offline shim for `criterion` 0.5: the subset BRISK's benches use,
+//! implemented as a lightweight timing harness.
+//!
+//! Each benchmark is warmed up briefly, then measured for a fixed
+//! wall-clock budget; the mean and minimum per-iteration times are
+//! printed. Set `CRITERION_JSON_OUT=<path>` to additionally append one
+//! JSON object per benchmark (used to produce `BENCH_*.json` files).
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored beyond
+/// choosing a batch count).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state: large batches.
+    SmallInput,
+    /// Large per-iteration state: small batches.
+    LargeInput,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("drain", 64)` renders as `drain/64`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Trait unifying the `&str` / `BenchmarkId` argument forms.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    /// Total measured time across iterations.
+    elapsed: Duration,
+    /// Iterations measured.
+    iters: u64,
+    /// Best (minimum) single-iteration estimate from any sub-run.
+    best_ns: f64,
+    /// Measurement budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            best_ns: f64::INFINITY,
+            budget,
+        }
+    }
+
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        self.elapsed += elapsed;
+        self.iters += iters;
+        if iters > 0 {
+            let per = elapsed.as_nanos() as f64 / iters as f64;
+            if per < self.best_ns {
+                self.best_ns = per;
+            }
+        }
+    }
+
+    /// Time `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch takes ~1ms so Instant overhead stays negligible.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt > Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.record(t0.elapsed(), batch);
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        size: BatchSize,
+    ) {
+        let per_batch: usize = match size {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+        };
+        let deadline = Instant::now() + self.budget;
+        // One untimed warm-up round.
+        let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+        for i in inputs {
+            black_box(routine(i));
+        }
+        while Instant::now() < deadline {
+            let inputs: Vec<I> = (0..per_batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for i in inputs {
+                black_box(routine(i));
+            }
+            self.record(t0.elapsed(), per_batch as u64);
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    measure: Duration,
+}
+
+impl Settings {
+    fn from_env() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Settings {
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            settings: Settings::from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parity; configuration comes from the environment here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            settings: self.settings,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(None, &id.into_id(), None, self.settings, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    settings: Settings,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Upstream parity; the shim sizes runs by wall-clock budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shorten measurement for slow benches (upstream parity).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measure = d;
+        self
+    }
+
+    /// Benchmark a closure under this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            Some(&self.name),
+            &id.into_id(),
+            self.throughput,
+            self.settings,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a closure with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            Some(&self.name),
+            &id.into_id(),
+            self.throughput,
+            self.settings,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (upstream parity; nothing buffered here).
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    settings: Settings,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut b = Bencher::new(settings.measure);
+    f(&mut b);
+    let mean_ns = if b.iters > 0 {
+        b.elapsed.as_nanos() as f64 / b.iters as f64
+    } else {
+        f64::NAN
+    };
+    let mut line = format!("bench {full:<50} mean {:>12.1} ns/iter", mean_ns);
+    if b.best_ns.is_finite() {
+        let _ = write!(line, "  (best {:.1})", b.best_ns);
+    }
+    if let Some(t) = throughput {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if n > 0 && mean_ns > 0.0 {
+            let rate = n as f64 / (mean_ns * 1e-9);
+            let _ = write!(line, "  {rate:.0} {unit}/s");
+        }
+    }
+    println!("{line}");
+    if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+        if let Ok(mut fh) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                fh,
+                "{{\"bench\":\"{}\",\"mean_ns\":{:.2},\"best_ns\":{:.2},\"iters\":{}}}",
+                full.replace('"', "'"),
+                mean_ns,
+                if b.best_ns.is_finite() {
+                    b.best_ns
+                } else {
+                    -1.0
+                },
+                b.iters
+            );
+        }
+    }
+}
+
+/// Group benchmark functions into one registration point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

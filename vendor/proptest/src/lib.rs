@@ -1,0 +1,595 @@
+//! Offline shim for `proptest` 1.x: the subset BRISK's property tests
+//! use, implemented as a deterministic seeded random tester.
+//!
+//! Differences from upstream:
+//! * no shrinking — a failing case reports the generated inputs and the
+//!   case index instead;
+//! * each `proptest!` test runs `PROPTEST_CASES` (default 64) cases with
+//!   seeds derived from the test's module path and name, so failures are
+//!   reproducible run-to-run;
+//! * regex strategies support the literal patterns the workspace uses
+//!   (`.`/char-class atoms with `*` or `{m,n}` quantifiers).
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed the RNG for one test case: FNV-1a of the test name mixed
+    /// with the case index.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next 64 uniformly-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform usize in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Outcome of a single generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Input rejected by `prop_assume!` — the case is skipped.
+    Reject(String),
+    /// Assertion failure.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Number of cases per `proptest!` test (env `PROPTEST_CASES`, default 64).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Object-safe strategy, used by `prop_oneof!` to erase arm types.
+pub trait DynStrategy<V> {
+    /// Generate one value.
+    fn dyn_generate(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies (the `prop_oneof!` strategy).
+pub struct Union<V> {
+    arms: Vec<Box<dyn DynStrategy<V>>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the macro-collected arms.
+    pub fn new(arms: Vec<Box<dyn DynStrategy<V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len());
+        self.arms[i].dyn_generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------- any::<T>()
+
+/// Types with a canonical "arbitrary value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Generate an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical strategy for `T` (`any::<u32>()`, ...).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Edge values are drawn with probability 1/8 to bias toward boundaries
+/// (upstream proptest similarly biases toward special values).
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                if rng.below(8) == 0 {
+                    const EDGES: [i128; 5] = [0, 1, -1, <$t>::MIN as i128, <$t>::MAX as i128];
+                    let e = EDGES[rng.below(EDGES.len())];
+                    if e >= <$t>::MIN as i128 && e <= <$t>::MAX as i128 {
+                        return e as $t;
+                    }
+                }
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, u8, i16, u16, i32, u32, i64, usize);
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        if rng.below(8) == 0 {
+            [0, 1, u64::MAX][rng.below(3)]
+        } else {
+            rng.next_u64()
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Raw bit patterns: exercises NaN, infinities and subnormals.
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        arbitrary_char(rng)
+    }
+}
+
+// ------------------------------------------------------------ range strategies
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, u8, i16, u16, i32, u32, i64, u64, isize, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+// ------------------------------------------------------------ tuple strategies
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// -------------------------------------------------------------- string regexes
+
+/// The character classes supported by the mini regex parser.
+enum Atom {
+    /// `.` — any char except newline.
+    Dot,
+    /// `[...]` — an explicit set of chars.
+    Class(Vec<char>),
+}
+
+/// A parsed `atom{m,n}`-style literal pattern.
+struct Pattern {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Pattern {
+    let mut chars = pat.chars().peekable();
+    let atom = match chars.next() {
+        Some('.') => Atom::Dot,
+        Some('[') => {
+            let mut set = Vec::new();
+            let mut prev: Option<char> = None;
+            loop {
+                match chars.next() {
+                    Some(']') => break,
+                    Some('\\') => {
+                        let c = match chars.next() {
+                            Some('n') => '\n',
+                            Some('t') => '\t',
+                            Some('r') => '\r',
+                            Some(c) => c,
+                            None => panic!("unterminated escape in pattern {pat:?}"),
+                        };
+                        set.push(c);
+                        prev = Some(c);
+                    }
+                    Some('-') => {
+                        // Range `a-b` if bracketed by chars, else literal '-'.
+                        let hi = match chars.peek() {
+                            Some(&c) if c != ']' => {
+                                chars.next();
+                                c
+                            }
+                            _ => {
+                                set.push('-');
+                                prev = Some('-');
+                                continue;
+                            }
+                        };
+                        let lo = prev.take().unwrap_or('-');
+                        for u in (lo as u32)..=(hi as u32) {
+                            if let Some(c) = char::from_u32(u) {
+                                set.push(c);
+                            }
+                        }
+                    }
+                    Some(c) => {
+                        set.push(c);
+                        prev = Some(c);
+                    }
+                    None => panic!("unterminated char class in pattern {pat:?}"),
+                }
+            }
+            Atom::Class(set)
+        }
+        other => panic!("unsupported regex strategy {pat:?} (starts with {other:?})"),
+    };
+    let (min, max) = match chars.next() {
+        None => (1, 1),
+        Some('*') => (0, 32),
+        Some('{') => {
+            let rest: String = chars.collect();
+            let body = rest
+                .strip_suffix('}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pat:?}"));
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.parse().expect("bad quantifier min"),
+                    n.parse().expect("bad quantifier max"),
+                ),
+                None => {
+                    let n = body.parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        }
+        Some(q) => panic!("unsupported quantifier {q:?} in pattern {pat:?}"),
+    };
+    Pattern { atom, min, max }
+}
+
+/// An arbitrary char: mostly printable ASCII, sometimes multi-byte
+/// Unicode so codecs see non-trivial encodings. Never a newline (regex
+/// `.` semantics).
+fn arbitrary_char(rng: &mut TestRng) -> char {
+    const EXOTIC: [char; 8] = ['é', 'Ω', 'щ', '中', '🦀', '\u{10348}', '\u{7f}', '\u{1}'];
+    match rng.below(8) {
+        0 => EXOTIC[rng.below(EXOTIC.len())],
+        _ => (b' ' + rng.below(95) as u8) as char,
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let p = parse_pattern(self);
+        let len = p.min + rng.below(p.max - p.min + 1);
+        let mut s = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match &p.atom {
+                Atom::Dot => arbitrary_char(rng),
+                Atom::Class(set) => set[rng.below(set.len())],
+            };
+            s.push(c);
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------- collections
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::*;
+
+    /// Size bound for generated collections.
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, 0..64)` — a vector of 0..64 generated elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.min + rng.below(self.size.max - self.size.min + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// --------------------------------------------------------------------- macros
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($arm) as Box<dyn $crate::DynStrategy<_>>),+
+        ])
+    };
+}
+
+/// Assert inside a proptest body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, $($fmt)*);
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each test runs [`cases`] deterministic cases; a failing case panics
+/// with the case index and the `Debug` rendering of every input.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let total = $crate::cases();
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                let mut ran = 0u64;
+                let mut case = 0u64;
+                // Cap rejection-driven retries so a bad prop_assume!
+                // cannot loop forever.
+                while ran < total && case < total * 16 {
+                    let mut rng = $crate::TestRng::for_case(test_name, case);
+                    case += 1;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    // Render inputs up front: the body may consume them.
+                    let rendered_inputs =
+                        format!(concat!($("\n  ", stringify!($arg), " = {:?}"),+), $(&$arg),+);
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match result {
+                        ::std::result::Result::Ok(()) => { ran += 1; }
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}:\n{}\ninputs:{}",
+                                test_name,
+                                case - 1,
+                                msg,
+                                rendered_inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Everything a property test needs in one import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Strategy, TestCaseError,
+    };
+}
