@@ -28,6 +28,12 @@ pub struct ExsConfig {
     /// be assigned a lower priority" (§3.1); a larger idle sleep keeps its
     /// CPU utilization negligible at low event rates.
     pub idle_sleep: Duration,
+    /// How many sent-but-unacknowledged batches the EXS keeps for replay
+    /// after a reconnect (protocol v2 acknowledged delivery). When the
+    /// window is full the oldest unacked batch is evicted (and counted), so
+    /// delivery degrades to at-least-v1 semantics instead of blocking the
+    /// node; size it to cover the ISM's ack round-trip at peak batch rate.
+    pub retransmit_window_batches: usize,
 }
 
 impl Default for ExsConfig {
@@ -38,6 +44,7 @@ impl Default for ExsConfig {
             max_batch_bytes: 60 * 1024,
             flush_timeout: Duration::from_millis(40),
             idle_sleep: Duration::from_micros(200),
+            retransmit_window_batches: 256,
         }
     }
 }
@@ -60,6 +67,11 @@ impl ExsConfig {
         }
         if self.flush_timeout.is_zero() {
             return Err(BriskError::Config("flush_timeout must be > 0".into()));
+        }
+        if self.retransmit_window_batches == 0 {
+            return Err(BriskError::Config(
+                "retransmit_window_batches must be > 0".into(),
+            ));
         }
         Ok(())
     }

@@ -10,8 +10,9 @@
 use crate::cre::{CreMatcher, CreStats};
 use crate::output::{EventSink, MemoryBuffer};
 use crate::sorter::{OnlineSorter, SorterStats};
-use brisk_core::{EventRecord, IsmConfig, Result, UtcMicros};
+use brisk_core::{EventRecord, IsmConfig, NodeId, Result, UtcMicros};
 use brisk_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Aggregate counters of one core.
@@ -23,6 +24,10 @@ pub struct IsmCoreStats {
     pub records_out: u64,
     /// Batches received.
     pub batches_in: u64,
+    /// Sequenced batches dropped as replays (seq ≤ last seen for the node).
+    pub duplicate_batches: u64,
+    /// Records inside those dropped replay batches.
+    pub duplicate_records: u64,
 }
 
 /// Default capacity of the output memory buffer (bytes).
@@ -36,6 +41,12 @@ pub struct IsmCore {
     sinks: Vec<Box<dyn EventSink>>,
     stats: IsmCoreStats,
     extra_sync_pending: bool,
+    /// Highest batch sequence number accepted per node (protocol v2).
+    /// Replayed batches (seq ≤ the entry) are dropped here, which is what
+    /// turns the wire's at-least-once delivery into exactly-once at the
+    /// sinks. Lives in the core — not the pump — so the memory survives
+    /// the connection teardown/reconnect that triggers replays.
+    last_seq: HashMap<NodeId, u64>,
     telemetry: Option<CoreTelemetry>,
 }
 
@@ -48,6 +59,8 @@ struct CoreTelemetry {
     records_in: Arc<Counter>,
     records_out: Arc<Counter>,
     batches_in: Arc<Counter>,
+    duplicate_batches: Arc<Counter>,
+    duplicate_records: Arc<Counter>,
     sorter_depth: Arc<Gauge>,
     sorter_frame_us: Arc<Gauge>,
     cre_held: Arc<Gauge>,
@@ -74,6 +87,7 @@ impl IsmCore {
             sinks: Vec::new(),
             stats: IsmCoreStats::default(),
             extra_sync_pending: false,
+            last_seq: HashMap::new(),
             telemetry: None,
         })
     }
@@ -124,6 +138,14 @@ impl IsmCore {
                 "brisk_ism_batches_in_total",
                 "Batches received by the ISM core",
             ),
+            duplicate_batches: registry.counter(
+                "brisk_ism_duplicate_batches_total",
+                "Replayed batches dropped by sequence-number dedup",
+            ),
+            duplicate_records: registry.counter(
+                "brisk_ism_duplicate_records_total",
+                "Records inside replayed batches dropped by dedup",
+            ),
             sorter_depth: registry.gauge(
                 "brisk_ism_sorter_depth",
                 "Records buffered in the on-line sorter window",
@@ -173,6 +195,39 @@ impl IsmCore {
     /// CRE counters (tachyons repaired, held, …).
     pub fn cre_stats(&self) -> CreStats {
         self.cre.stats()
+    }
+
+    /// Accept one *sequenced* batch (protocol v2), deduplicating by
+    /// `(node, seq)`: a batch whose sequence number is not above the
+    /// highest already accepted from `node` is a replay and is dropped
+    /// (counted, not processed). Returns `true` if the batch was accepted,
+    /// `false` if it was dropped as a duplicate — the caller should ack
+    /// either way (a replay means our previous ack was lost with the old
+    /// connection).
+    ///
+    /// `seq == None` is a v1 (unsequenced) batch: always accepted.
+    pub fn push_batch_seq(
+        &mut self,
+        node: NodeId,
+        seq: Option<u64>,
+        records: Vec<EventRecord>,
+        now: UtcMicros,
+    ) -> Result<bool> {
+        if let Some(seq) = seq {
+            let last = self.last_seq.entry(node).or_insert(0);
+            if seq <= *last {
+                self.stats.duplicate_batches += 1;
+                self.stats.duplicate_records += records.len() as u64;
+                if let Some(t) = &self.telemetry {
+                    t.duplicate_batches.inc();
+                    t.duplicate_records.add(records.len() as u64);
+                }
+                return Ok(false);
+            }
+            *last = seq;
+        }
+        self.push_batch(records, now)?;
+        Ok(true)
     }
 
     /// Accept one batch of records (already correction-adjusted by the
@@ -417,6 +472,40 @@ mod tests {
         assert_eq!(snap.counter_total("brisk_ism_records_out_total"), 3);
         let hist = snap.histogram("brisk_ism_e2e_latency_us").unwrap();
         assert_eq!(hist.count(), 2, "drain_all records no latency samples");
+    }
+
+    #[test]
+    fn sequenced_replay_is_dropped_per_node() {
+        let mut core = core_with_frame(0);
+        let registry = brisk_telemetry::Registry::new();
+        core.bind_telemetry(&registry);
+        let now = UtcMicros::from_micros(100);
+        assert!(core
+            .push_batch_seq(NodeId(1), Some(1), vec![rec(1, 0, 10, vec![])], now)
+            .unwrap());
+        assert!(core
+            .push_batch_seq(NodeId(1), Some(2), vec![rec(1, 1, 11, vec![])], now)
+            .unwrap());
+        // Replay of seq 2 from node 1: dropped.
+        assert!(!core
+            .push_batch_seq(NodeId(1), Some(2), vec![rec(1, 1, 11, vec![])], now)
+            .unwrap());
+        // Same seq from a *different* node: accepted (per-node streams).
+        assert!(core
+            .push_batch_seq(NodeId(2), Some(2), vec![rec(2, 0, 12, vec![])], now)
+            .unwrap());
+        // Unsequenced (v1) batches are never deduplicated.
+        assert!(core
+            .push_batch_seq(NodeId(1), None, vec![rec(1, 2, 13, vec![])], now)
+            .unwrap());
+        let stats = core.stats();
+        assert_eq!(stats.batches_in, 4);
+        assert_eq!(stats.records_in, 4);
+        assert_eq!(stats.duplicate_batches, 1);
+        assert_eq!(stats.duplicate_records, 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("brisk_ism_duplicate_batches_total"), 1);
+        assert_eq!(snap.counter_total("brisk_ism_duplicate_records_total"), 1);
     }
 
     #[test]

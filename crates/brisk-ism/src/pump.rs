@@ -13,8 +13,14 @@ use brisk_net::Connection;
 use brisk_proto::Message;
 use brisk_telemetry::Counter;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Process-wide pump identity source. Ids disambiguate pump *instances*
+/// serving the same node: when a node reconnects, the manager must not
+/// let a late `Disconnected` from the old pump tear down the new one.
+static NEXT_PUMP_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Commands the manager sends to a pump.
 #[derive(Debug)]
@@ -34,6 +40,13 @@ pub enum PumpCommand {
         /// Microseconds the slave should add to its correction value.
         advance_us: i64,
     },
+    /// Acknowledge every sequenced batch up to `seq` (protocol v2): the
+    /// manager issues this once the core accepted (or dedup-dropped) the
+    /// batch, and the pump turns it into a wire [`Message::BatchAck`].
+    Ack {
+        /// Cumulative acknowledged sequence number.
+        seq: u64,
+    },
     /// Send `Shutdown` to the slave and exit.
     Shutdown,
 }
@@ -43,8 +56,15 @@ pub enum PumpCommand {
 pub enum PumpEvent {
     /// A batch of records arrived.
     Batch {
-        /// Origin node.
+        /// Origin node (the *handshake* identity — the pump rejects
+        /// batches whose embedded node disagrees).
         node: NodeId,
+        /// Pump instance that received the batch (matches
+        /// [`PumpHandle::id`]); acks are routed back through it, never
+        /// through whichever handle happens to own the node right now.
+        id: u64,
+        /// Batch sequence number (`None` on v1 connections).
+        seq: Option<u64>,
         /// The records.
         records: Vec<EventRecord>,
     },
@@ -62,6 +82,10 @@ pub enum PumpEvent {
     Disconnected {
         /// The node that went away.
         node: NodeId,
+        /// Identity of the pump instance that ended (matches
+        /// [`PumpHandle::id`]), so the manager can tell a stale pump's
+        /// death from the current one's.
+        id: u64,
     },
 }
 
@@ -69,19 +93,30 @@ pub enum PumpEvent {
 pub struct PumpHandle {
     /// The node this pump serves.
     pub node: NodeId,
+    id: u64,
     cmd_tx: Sender<PumpCommand>,
-    join: std::thread::JoinHandle<()>,
+    /// `None` for pumps that run inline on their greeter thread (the
+    /// accept path); the manager then relies on the `Disconnected` event
+    /// rather than a join for teardown.
+    join: Option<std::thread::JoinHandle<()>>,
 }
 
 impl PumpHandle {
+    /// This pump instance's identity (unique across the process).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Send a command; returns `false` if the pump is gone.
     pub fn command(&self, cmd: PumpCommand) -> bool {
         self.cmd_tx.send(cmd).is_ok()
     }
 
-    /// Wait for the pump thread to finish.
+    /// Wait for the pump thread to finish (no-op for greeter-run pumps).
     pub fn join(self) {
-        let _ = self.join.join();
+        if let Some(join) = self.join {
+            let _ = join.join();
+        }
     }
 }
 
@@ -90,9 +125,12 @@ const SAMPLE_TIMEOUT: Duration = Duration::from_secs(1);
 /// Pump receive granularity while idle.
 const IDLE_RECV: Duration = Duration::from_millis(5);
 
-/// Perform the server-side handshake: read the `Hello` and return the
-/// node id. Call before [`spawn_pump`].
-pub fn handshake(conn: &mut Box<dyn Connection>, timeout: Duration) -> Result<NodeId> {
+/// Perform the server-side handshake: read the `Hello`, negotiate the
+/// protocol version and return `(node, version)`. v2+ peers get a
+/// `HelloAck` carrying the negotiated version (v1 peers would not
+/// understand the message — its absence *is* the v1 signal). Call before
+/// [`spawn_pump`].
+pub fn handshake(conn: &mut Box<dyn Connection>, timeout: Duration) -> Result<(NodeId, u32)> {
     let deadline = Instant::now() + timeout;
     loop {
         let budget = deadline.saturating_duration_since(Instant::now());
@@ -102,7 +140,13 @@ pub fn handshake(conn: &mut Box<dyn Connection>, timeout: Duration) -> Result<No
         match conn.recv(Some(budget))? {
             Some(frame) => {
                 return match Message::decode(&frame)? {
-                    Message::Hello { node, .. } => Ok(node),
+                    Message::Hello { node, version } => {
+                        let version = brisk_proto::negotiate(version);
+                        if version >= 2 {
+                            conn.send(&Message::HelloAck { version }.encode())?;
+                        }
+                        Ok((node, version))
+                    }
                     other => Err(BriskError::Protocol(format!(
                         "expected Hello, got {other:?}"
                     ))),
@@ -133,26 +177,60 @@ pub fn spawn_pump_with_counter(
     events: Sender<PumpEvent>,
     enqueued: Option<Arc<Counter>>,
 ) -> Result<PumpHandle> {
-    let (cmd_tx, cmd_rx) = unbounded();
+    let (mut handle, cmd_rx) = pump_channel(node);
+    let id = handle.id;
     let join = std::thread::Builder::new()
         .name(format!("brisk-pump-{node}"))
-        .spawn(move || {
-            let mut pump = Pump {
-                node,
-                conn,
-                clock,
-                events,
-                cmd_rx,
-                enqueued,
-            };
-            pump.run();
-        })
+        .spawn(move || run_pump(id, node, conn, clock, events, cmd_rx, enqueued))
         .map_err(BriskError::Io)?;
-    Ok(PumpHandle { node, cmd_tx, join })
+    handle.join = Some(join);
+    Ok(handle)
+}
+
+/// Build the handle/receiver pair for a pump that will run *inline* on
+/// the current thread (the greeter pattern: the accept loop hands the
+/// connection to a per-connection thread that handshakes and then calls
+/// [`run_pump`] itself). The handle carries no join — the manager learns
+/// of the pump's death through its `Disconnected` event.
+pub fn pump_channel(node: NodeId) -> (PumpHandle, Receiver<PumpCommand>) {
+    let (cmd_tx, cmd_rx) = unbounded();
+    let handle = PumpHandle {
+        node,
+        id: NEXT_PUMP_ID.fetch_add(1, Ordering::Relaxed),
+        cmd_tx,
+        join: None,
+    };
+    (handle, cmd_rx)
+}
+
+/// Drive one pump to completion on the current thread. `id` must be the
+/// [`PumpHandle::id`] of the handle built by [`pump_channel`], so the
+/// final `Disconnected` event names the right pump instance.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pump(
+    id: u64,
+    node: NodeId,
+    conn: Box<dyn Connection>,
+    clock: Arc<dyn Clock>,
+    events: Sender<PumpEvent>,
+    cmd_rx: Receiver<PumpCommand>,
+    enqueued: Option<Arc<Counter>>,
+) {
+    let mut pump = Pump {
+        node,
+        id,
+        conn,
+        clock,
+        events,
+        cmd_rx,
+        enqueued,
+    };
+    pump.run();
 }
 
 struct Pump {
     node: NodeId,
+    id: u64,
     conn: Box<dyn Connection>,
     clock: Arc<dyn Clock>,
     events: Sender<PumpEvent>,
@@ -187,6 +265,12 @@ impl Pump {
                         .send(&Message::SyncAdjust { round, advance_us }.encode())
                         .is_err()
                     {
+                        break;
+                    }
+                    continue;
+                }
+                Ok(PumpCommand::Ack { seq }) => {
+                    if self.conn.send(&Message::BatchAck { seq }.encode()).is_err() {
                         break;
                     }
                     continue;
@@ -229,14 +313,32 @@ impl Pump {
                 Err(_) => break,
             }
         }
-        self.send_event(PumpEvent::Disconnected { node: self.node });
+        self.send_event(PumpEvent::Disconnected {
+            node: self.node,
+            id: self.id,
+        });
     }
 
     /// Forward one inbound message. `Err` means the connection is done.
     fn dispatch(&mut self, msg: Message) -> Result<()> {
         match msg {
-            Message::EventBatch { node, records } => {
-                self.send_event(PumpEvent::Batch { node, records });
+            Message::EventBatch { node, seq, records } => {
+                // The connection authenticated as `self.node` in the
+                // handshake; a batch claiming another origin is spoofed
+                // (or a badly confused client) — kill the connection
+                // rather than pollute another node's event stream.
+                if node != self.node {
+                    return Err(BriskError::Protocol(format!(
+                        "batch claims node {node} on a connection that said Hello as {}",
+                        self.node
+                    )));
+                }
+                self.send_event(PumpEvent::Batch {
+                    node: self.node,
+                    id: self.id,
+                    seq,
+                    records,
+                });
                 Ok(())
             }
             Message::SyncReply { .. } => Ok(()), // stale reply; drop
@@ -326,12 +428,43 @@ mod tests {
             .unwrap();
         assert_eq!(
             handshake(&mut server, Duration::from_secs(1)).unwrap(),
-            NodeId(5)
+            (NodeId(5), brisk_proto::VERSION)
+        );
+        // A v2 peer is told the negotiated version.
+        let frame = client.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        assert_eq!(
+            Message::decode(&frame).unwrap(),
+            Message::HelloAck {
+                version: brisk_proto::VERSION
+            }
         );
 
         let (mut server, mut client) = mem_pair();
         client.send(&Message::Shutdown.encode()).unwrap();
         assert!(handshake(&mut server, Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn handshake_with_v1_peer_sends_no_hello_ack() {
+        let (mut server, mut client) = mem_pair();
+        client
+            .send(
+                &Message::Hello {
+                    node: NodeId(5),
+                    version: 1,
+                }
+                .encode(),
+            )
+            .unwrap();
+        assert_eq!(
+            handshake(&mut server, Duration::from_secs(1)).unwrap(),
+            (NodeId(5), 1)
+        );
+        // No HelloAck: a v1 peer could not decode it.
+        assert!(client
+            .recv(Some(Duration::from_millis(50)))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -358,23 +491,73 @@ mod tests {
             .send(
                 &Message::EventBatch {
                     node: NodeId(5),
+                    seq: Some(1),
                     records: vec![rec.clone()],
                 }
                 .encode(),
             )
             .unwrap();
         match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
-            PumpEvent::Batch { node, records } => {
+            PumpEvent::Batch {
+                node,
+                id,
+                seq,
+                records,
+            } => {
                 assert_eq!(node, NodeId(5));
+                assert_eq!(id, pump.id());
+                assert_eq!(seq, Some(1));
                 assert_eq!(records, vec![rec]);
             }
             other => panic!("unexpected {other:?}"),
         }
         drop(client);
         match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
-            PumpEvent::Disconnected { node } => assert_eq!(node, NodeId(5)),
+            PumpEvent::Disconnected { node, id } => {
+                assert_eq!(node, NodeId(5));
+                assert_eq!(id, pump.id());
+            }
             other => panic!("unexpected {other:?}"),
         }
+        pump.join();
+    }
+
+    #[test]
+    fn spoofed_batch_node_kills_connection() {
+        let (server, mut client) = mem_pair();
+        let (tx, rx) = unbounded();
+        let pump = spawn_pump(NodeId(5), server, Arc::new(SystemClock), tx).unwrap();
+        // The connection said Hello as node 5; a batch claiming node 6 is
+        // spoofed and must end the connection without being forwarded.
+        client
+            .send(
+                &Message::EventBatch {
+                    node: NodeId(6),
+                    seq: Some(1),
+                    records: vec![],
+                }
+                .encode(),
+            )
+            .unwrap();
+        match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            PumpEvent::Disconnected { node, .. } => assert_eq!(node, NodeId(5)),
+            other => panic!("spoofed batch must not be forwarded, got {other:?}"),
+        }
+        pump.join();
+    }
+
+    #[test]
+    fn ack_command_reaches_client() {
+        let (server, mut client) = mem_pair();
+        let (tx, _rx) = unbounded();
+        let pump = spawn_pump(NodeId(5), server, Arc::new(SystemClock), tx).unwrap();
+        pump.command(PumpCommand::Ack { seq: 42 });
+        let frame = client.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        assert_eq!(
+            Message::decode(&frame).unwrap(),
+            Message::BatchAck { seq: 42 }
+        );
+        pump.command(PumpCommand::Shutdown);
         pump.join();
     }
 
@@ -399,6 +582,7 @@ mod tests {
                                     .send(
                                         &Message::EventBatch {
                                             node: NodeId(2),
+                                            seq: Some(1),
                                             records: vec![],
                                         }
                                         .encode(),

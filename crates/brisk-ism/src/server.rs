@@ -2,10 +2,13 @@
 //!
 //! Threads:
 //!
-//! * **accept** — accepts EXS connections, performs the `Hello` handshake
-//!   and spawns a pump per connection;
-//! * **pump** (one per connection, see [`crate::pump`]) — forwards batches,
-//!   runs poll exchanges;
+//! * **accept** — accepts EXS connections and hands each to a greeter
+//!   thread immediately, so one slow or hung client's handshake can never
+//!   stall other connects;
+//! * **greeter/pump** (one per connection, see [`crate::pump`]) — performs
+//!   the `Hello` handshake (with its 5 s deadline), registers the pump
+//!   with the manager, then pumps inline: forwards batches, sends batch
+//!   acks, runs poll exchanges;
 //! * **manager** — owns the [`IsmCore`] and the [`SyncMaster`]; consumes
 //!   pump events, ticks the pipeline, schedules synchronization rounds
 //!   every `poll_period`, plus the *extra* rounds requested by tachyon
@@ -14,7 +17,7 @@
 use crate::core::{IsmCore, IsmCoreStats};
 use crate::cre::CreStats;
 use crate::output::MemoryBuffer;
-use crate::pump::{handshake, spawn_pump_with_counter, PumpCommand, PumpEvent, PumpHandle};
+use crate::pump::{handshake, pump_channel, run_pump, PumpCommand, PumpEvent, PumpHandle};
 use crate::sorter::SorterStats;
 use brisk_clock::{Clock, SyncMaster, SyncOutcome};
 use brisk_core::{BriskError, IsmConfig, NodeId, Result, SyncConfig};
@@ -98,6 +101,12 @@ impl IsmServer {
 
         // Queue depth = events enqueued by pumps − events the manager
         // processed; both sides are cheap relaxed counters.
+        let acks_sent = self.registry.as_ref().map(|r| {
+            r.counter(
+                "brisk_ism_acks_sent_total",
+                "Batch acknowledgements sent to external sensors",
+            )
+        });
         let (conn_metrics, enqueued, processed) = match &self.registry {
             Some(registry) => {
                 let enqueued = Arc::new(Counter::new());
@@ -146,9 +155,11 @@ impl IsmServer {
             events: event_rx,
             new_pumps: pump_rx,
             pumps: HashMap::new(),
+            retiring: Vec::new(),
             round: None,
             last_round_finished: Instant::now(),
             processed,
+            acks_sent,
         };
         let manager_join = std::thread::Builder::new()
             .name("brisk-ism-manager".into())
@@ -182,22 +193,29 @@ fn accept_loop(
                     Some(m) => m.wrap(conn),
                     None => conn,
                 };
-                match handshake(&mut conn, Duration::from_secs(5)) {
-                    Ok(node) => {
-                        if let Ok(handle) = spawn_pump_with_counter(
-                            node,
-                            conn,
-                            Arc::clone(&clock),
-                            events.clone(),
-                            enqueued.clone(),
-                        ) {
-                            if pumps.send(handle).is_err() {
-                                return; // manager gone
-                            }
+                // Hand the connection to a greeter thread right away: the
+                // handshake can block for its full 5 s deadline, and
+                // running it here would head-of-line-block every other
+                // EXS trying to connect. The greeter then becomes the
+                // connection's pump thread.
+                let clock = Arc::clone(&clock);
+                let events = events.clone();
+                let pumps = pumps.clone();
+                let enqueued = enqueued.clone();
+                let _ = std::thread::Builder::new()
+                    .name("brisk-ism-greeter".into())
+                    .spawn(move || {
+                        let Ok((node, _version)) = handshake(&mut conn, Duration::from_secs(5))
+                        else {
+                            return; // bad client; drop it
+                        };
+                        let (handle, cmd_rx) = pump_channel(node);
+                        let id = handle.id();
+                        if pumps.send(handle).is_err() {
+                            return; // manager gone
                         }
-                    }
-                    Err(_) => continue, // bad client; drop it
-                }
+                        run_pump(id, node, conn, clock, events, cmd_rx, enqueued);
+                    });
             }
             Ok(None) => continue,
             Err(_) => return,
@@ -218,18 +236,20 @@ struct Manager {
     events: Receiver<PumpEvent>,
     new_pumps: Receiver<PumpHandle>,
     pumps: HashMap<NodeId, PumpHandle>,
+    /// Stale pumps (displaced by a reconnect) that have been told to shut
+    /// down but whose `Disconnected` has not been seen yet.
+    retiring: Vec<PumpHandle>,
     round: Option<RoundInFlight>,
     last_round_finished: Instant,
     processed: Option<Arc<Counter>>,
+    acks_sent: Option<Arc<Counter>>,
 }
 
 impl Manager {
     fn run(mut self, stop: Arc<AtomicBool>) -> Result<IsmReport> {
         while !stop.load(Ordering::Relaxed) {
             // Register newly-accepted connections.
-            while let Ok(handle) = self.new_pumps.try_recv() {
-                self.pumps.insert(handle.node, handle);
-            }
+            self.register_new_pumps();
             // Consume pump events for up to one tick.
             match self.events.recv_timeout(TICK) {
                 Ok(ev) => {
@@ -252,12 +272,13 @@ impl Manager {
             }
             self.maybe_close_round(false)?;
         }
-        // Shutdown: stop pumps, drain stragglers, flush pipeline.
-        for (_, handle) in self.pumps.iter() {
+        // Shutdown: stop pumps (retiring ones already got Shutdown, but a
+        // repeat is harmless), drain stragglers, flush pipeline.
+        for handle in self.pumps.values().chain(self.retiring.iter()) {
             handle.command(PumpCommand::Shutdown);
         }
         let deadline = Instant::now() + Duration::from_secs(3);
-        let mut live = self.pumps.len();
+        let mut live = self.pumps.len() + self.retiring.len();
         while live > 0 && Instant::now() < deadline {
             match self.events.recv_timeout(Duration::from_millis(20)) {
                 Ok(PumpEvent::Disconnected { .. }) => live -= 1,
@@ -267,6 +288,9 @@ impl Manager {
             }
         }
         for (_, handle) in self.pumps.drain() {
+            handle.join();
+        }
+        for handle in self.retiring.drain(..) {
             handle.join();
         }
         self.core.drain_all()?;
@@ -279,13 +303,54 @@ impl Manager {
         })
     }
 
+    /// Drain the registration channel. A node that reconnects before its
+    /// dead pump was reaped displaces the old handle: retire it (send
+    /// Shutdown, park until its `Disconnected` arrives) so sync rounds
+    /// never target a dead socket.
+    fn register_new_pumps(&mut self) {
+        while let Ok(handle) = self.new_pumps.try_recv() {
+            if let Some(old) = self.pumps.insert(handle.node, handle) {
+                old.command(PumpCommand::Shutdown);
+                self.retiring.push(old);
+            }
+        }
+    }
+
     fn handle_event(&mut self, ev: PumpEvent) -> Result<()> {
         if let Some(c) = &self.processed {
             c.inc();
         }
         match ev {
-            PumpEvent::Batch { records, .. } => {
-                self.core.push_batch(records, self.clock.now())?;
+            PumpEvent::Batch {
+                node,
+                id,
+                seq,
+                records,
+            } => {
+                // Dedup happens in the core; accepted or not, a sequenced
+                // batch is acked — a replayed duplicate means our earlier
+                // ack died with the old connection, so re-acking is
+                // exactly what unblocks the sender's retransmit window.
+                self.core
+                    .push_batch_seq(node, seq, records, self.clock.now())?;
+                if let Some(seq) = seq {
+                    // The batch may outrun its pump's registration (the
+                    // channels are separate): catch up, then ack through
+                    // the exact pump instance the batch arrived on.
+                    self.register_new_pumps();
+                    let handle = self
+                        .pumps
+                        .get(&node)
+                        .filter(|h| h.id() == id)
+                        .or_else(|| self.retiring.iter().find(|h| h.id() == id));
+                    if let Some(handle) = handle {
+                        if handle.command(PumpCommand::Ack { seq }) {
+                            if let Some(c) = &self.acks_sent {
+                                c.inc();
+                            }
+                        }
+                    }
+                }
             }
             PumpEvent::SyncSamples {
                 node,
@@ -302,12 +367,19 @@ impl Manager {
                     }
                 }
             }
-            PumpEvent::Disconnected { node } => {
-                if let Some(handle) = self.pumps.remove(&node) {
-                    handle.join();
-                }
-                if let Some(r) = &mut self.round {
-                    r.expected.remove(&node);
+            PumpEvent::Disconnected { node, id } => {
+                // Only the *current* pump's death removes the node: a
+                // stale pump (displaced by a reconnect) reporting in late
+                // must not tear down its successor.
+                if self.pumps.get(&node).is_some_and(|h| h.id() == id) {
+                    if let Some(handle) = self.pumps.remove(&node) {
+                        handle.join();
+                    }
+                    if let Some(r) = &mut self.round {
+                        r.expected.remove(&node);
+                    }
+                } else if let Some(pos) = self.retiring.iter().position(|h| h.id() == id) {
+                    self.retiring.swap_remove(pos).join();
                 }
             }
         }
@@ -432,9 +504,10 @@ mod tests {
         .unwrap();
     }
 
-    fn batch(node: u32, seqs: std::ops::Range<u64>) -> Message {
+    fn batch_seq(node: u32, seq: Option<u64>, seqs: std::ops::Range<u64>) -> Message {
         Message::EventBatch {
             node: NodeId(node),
+            seq,
             records: seqs
                 .map(|i| {
                     brisk_core::EventRecord::new(
@@ -449,6 +522,29 @@ mod tests {
                 })
                 .collect(),
         }
+    }
+
+    /// An unsequenced (v1-style) batch.
+    fn batch(node: u32, seqs: std::ops::Range<u64>) -> Message {
+        batch_seq(node, None, seqs)
+    }
+
+    /// Receive decoded messages until `pred` returns `Some`, answering
+    /// nothing; returns `None` on timeout.
+    fn recv_until<T>(
+        conn: &mut Box<dyn Connection>,
+        budget: Duration,
+        mut pred: impl FnMut(Message) -> Option<T>,
+    ) -> Option<T> {
+        let deadline = Instant::now() + budget;
+        while Instant::now() < deadline {
+            if let Ok(Some(frame)) = conn.recv(Some(Duration::from_millis(20))) {
+                if let Some(t) = pred(Message::decode(&frame).unwrap()) {
+                    return Some(t);
+                }
+            }
+        }
+        None
     }
 
     #[test]
@@ -532,6 +628,154 @@ mod tests {
         assert!(polls_answered >= 4, "master must poll its slave");
         let report = handle.stop().unwrap();
         assert!(report.sync_rounds >= 1);
+    }
+
+    #[test]
+    fn v2_client_gets_hello_ack_and_batch_acks() {
+        let (handle, t) = start_server();
+        let mut conn = t.connect("ism").unwrap();
+        hello(&mut conn, 1);
+        let acked_version = recv_until(&mut conn, Duration::from_secs(2), |m| match m {
+            Message::HelloAck { version } => Some(version),
+            _ => None,
+        });
+        assert_eq!(acked_version, Some(brisk_proto::VERSION));
+        conn.send(&batch_seq(1, Some(1), 0..3).encode()).unwrap();
+        let acked = recv_until(&mut conn, Duration::from_secs(2), |m| match m {
+            Message::BatchAck { seq } => Some(seq),
+            _ => None,
+        });
+        assert_eq!(acked, Some(1));
+        let report = handle.stop().unwrap();
+        assert_eq!(report.core.records_in, 3);
+    }
+
+    #[test]
+    fn v1_client_interoperates_without_acks() {
+        let (handle, t) = start_server();
+        let mut reader = handle.memory().reader();
+        let mut conn = t.connect("ism").unwrap();
+        conn.send(
+            &Message::Hello {
+                node: NodeId(1),
+                version: 1,
+            }
+            .encode(),
+        )
+        .unwrap();
+        conn.send(&batch(1, 0..5).encode()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut total = 0;
+        while total < 5 && Instant::now() < deadline {
+            let (recs, _) = reader.poll().unwrap();
+            total += recs.len();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(total, 5, "v1 batches must still flow");
+        // A v1 peer must never see v2 control messages.
+        let v2_msg = recv_until(&mut conn, Duration::from_millis(300), |m| match m {
+            Message::HelloAck { .. } | Message::BatchAck { .. } => Some(m),
+            _ => None,
+        });
+        assert!(v2_msg.is_none(), "v1 peer got v2 message {v2_msg:?}");
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn replayed_batch_is_dropped_and_reacked() {
+        let t = MemTransport::new();
+        let listener = t.listen("ism").unwrap();
+        let mut server = IsmServer::new(
+            IsmConfig::default(),
+            SyncConfig {
+                poll_period: Duration::from_secs(60), // keep sync out of the way
+                ..SyncConfig::default()
+            },
+            Arc::new(SystemClock),
+        )
+        .unwrap();
+        let registry = Registry::new();
+        server.bind_telemetry(&registry);
+        let handle = server.spawn(listener).unwrap();
+        let mut conn = t.connect("ism").unwrap();
+        hello(&mut conn, 1);
+        conn.send(&batch_seq(1, Some(1), 0..4).encode()).unwrap();
+        let first_ack = recv_until(&mut conn, Duration::from_secs(2), |m| match m {
+            Message::BatchAck { seq } => Some(seq),
+            _ => None,
+        });
+        assert_eq!(first_ack, Some(1));
+        // Replay the same batch (as after a reconnect whose ack was lost):
+        // it must be dropped by dedup yet acked again.
+        conn.send(&batch_seq(1, Some(1), 0..4).encode()).unwrap();
+        let second_ack = recv_until(&mut conn, Duration::from_secs(2), |m| match m {
+            Message::BatchAck { seq } => Some(seq),
+            _ => None,
+        });
+        assert_eq!(second_ack, Some(1), "replays must be re-acked");
+        let report = handle.stop().unwrap();
+        assert_eq!(report.core.records_in, 4, "replay must not double-count");
+        assert_eq!(report.core.duplicate_batches, 1);
+        assert_eq!(report.core.duplicate_records, 4);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("brisk_ism_duplicate_batches_total"), 1);
+        assert!(snap.counter_total("brisk_ism_acks_sent_total") >= 2);
+    }
+
+    #[test]
+    fn spoofed_batch_node_ends_connection() {
+        let (handle, t) = start_server();
+        let mut conn = t.connect("ism").unwrap();
+        hello(&mut conn, 1);
+        // Spoof: the connection authenticated as node 1 but the batch
+        // claims node 2. The server must kill the connection.
+        conn.send(&batch_seq(2, Some(1), 0..3).encode()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut killed = false;
+        while Instant::now() < deadline {
+            if conn.recv(Some(Duration::from_millis(20))).is_err() {
+                killed = true;
+                break;
+            }
+        }
+        assert!(killed, "spoofed connection must be dropped");
+        let report = handle.stop().unwrap();
+        assert_eq!(report.core.records_in, 0, "spoofed records must not land");
+    }
+
+    #[test]
+    fn reconnect_displaces_stale_pump() {
+        let (handle, t) = start_server();
+        // First connection for node 1, held open (its pump stays alive).
+        let mut conn1 = t.connect("ism").unwrap();
+        hello(&mut conn1, 1);
+        conn1.send(&batch_seq(1, Some(1), 0..2).encode()).unwrap();
+        assert!(
+            recv_until(&mut conn1, Duration::from_secs(2), |m| match m {
+                Message::BatchAck { seq } => Some(seq),
+                _ => None,
+            })
+            .is_some(),
+            "first connection must be live"
+        );
+        // Reconnect as the same node while conn1 is still open: the stale
+        // pump must be retired (it gets a Shutdown) and the new connection
+        // must be fully functional.
+        let mut conn2 = t.connect("ism").unwrap();
+        hello(&mut conn2, 1);
+        conn2.send(&batch_seq(1, Some(2), 0..2).encode()).unwrap();
+        let ack2 = recv_until(&mut conn2, Duration::from_secs(2), |m| match m {
+            Message::BatchAck { seq } => Some(seq),
+            _ => None,
+        });
+        assert_eq!(ack2, Some(2), "new connection must get acks");
+        let retired = recv_until(&mut conn1, Duration::from_secs(2), |m| match m {
+            Message::Shutdown => Some(()),
+            _ => None,
+        });
+        assert!(retired.is_some(), "stale pump must be told to shut down");
+        let report = handle.stop().unwrap();
+        assert_eq!(report.core.records_in, 4);
     }
 
     #[test]

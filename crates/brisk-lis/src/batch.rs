@@ -13,6 +13,7 @@
 //! simulated clocks.
 
 use brisk_core::{EventRecord, ExsConfig, UtcMicros};
+use std::collections::VecDeque;
 
 /// Why a batch was emitted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,6 +130,75 @@ impl Batcher {
     }
 }
 
+/// Bounded retransmit window for acknowledged batch delivery (protocol
+/// v2). The EXS assigns every outgoing batch a per-node monotonic sequence
+/// number and keeps a copy here until the ISM's cumulative [`BatchAck`]
+/// covers it; after a reconnect the supervisor replays whatever is still
+/// unacked so an abrupt disconnect loses nothing.
+///
+/// The window is bounded: pushing into a full window evicts the oldest
+/// unacked batch (returned to the caller so it can be counted as lost)
+/// rather than blocking the node's instrumentation.
+///
+/// [`BatchAck`]: brisk_proto::Message::BatchAck
+#[derive(Clone, Debug)]
+pub struct SendWindow {
+    next_seq: u64,
+    unacked: VecDeque<(u64, Vec<EventRecord>)>,
+    capacity: usize,
+}
+
+impl SendWindow {
+    /// New window retaining at most `capacity` unacked batches.
+    pub fn new(capacity: usize) -> Self {
+        SendWindow {
+            next_seq: 1,
+            unacked: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Sequence number the next pushed batch will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Unacked batches currently held.
+    pub fn depth(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Assign the next sequence number to `records`, retain a copy for
+    /// replay, and return `(seq, evicted)` where `evicted` is the batch
+    /// pushed out of a full window (its records are lost to replay).
+    pub fn push(&mut self, records: Vec<EventRecord>) -> (u64, Option<Vec<EventRecord>>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let evicted = if self.unacked.len() >= self.capacity {
+            self.unacked.pop_front().map(|(_, b)| b)
+        } else {
+            None
+        };
+        self.unacked.push_back((seq, records));
+        (seq, evicted)
+    }
+
+    /// Apply a cumulative ack: drop every batch with `seq <= acked`.
+    /// Returns how many batches were released.
+    pub fn ack(&mut self, acked: u64) -> usize {
+        let before = self.unacked.len();
+        while matches!(self.unacked.front(), Some((s, _)) if *s <= acked) {
+            self.unacked.pop_front();
+        }
+        before - self.unacked.len()
+    }
+
+    /// The unacked batches in sequence order, for replay after a reconnect.
+    pub fn iter_unacked(&self) -> impl Iterator<Item = (u64, &Vec<EventRecord>)> {
+        self.unacked.iter().map(|(s, b)| (*s, b))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +310,42 @@ mod tests {
         assert_eq!(batch.len(), 1);
         assert_eq!(reason, FlushReason::Forced);
         assert!(b.flush().is_none());
+    }
+
+    #[test]
+    fn send_window_acks_cumulatively() {
+        let mut w = SendWindow::new(8);
+        assert_eq!(w.next_seq(), 1);
+        for i in 0..5u64 {
+            let (seq, evicted) = w.push(vec![rec(i)]);
+            assert_eq!(seq, i + 1);
+            assert!(evicted.is_none());
+        }
+        assert_eq!(w.depth(), 5);
+        assert_eq!(w.ack(3), 3);
+        assert_eq!(w.depth(), 2);
+        let seqs: Vec<u64> = w.iter_unacked().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![4, 5]);
+        // Re-acking is idempotent; acking past the end clears everything.
+        assert_eq!(w.ack(3), 0);
+        assert_eq!(w.ack(100), 2);
+        assert_eq!(w.depth(), 0);
+        // Sequence numbers keep growing after acks.
+        assert_eq!(w.push(vec![rec(9)]).0, 6);
+    }
+
+    #[test]
+    fn send_window_evicts_oldest_when_full() {
+        let mut w = SendWindow::new(2);
+        assert!(w.push(vec![rec(1)]).1.is_none());
+        assert!(w.push(vec![rec(2)]).1.is_none());
+        let (seq, evicted) = w.push(vec![rec(3)]);
+        assert_eq!(seq, 3);
+        let evicted = evicted.expect("oldest batch evicted");
+        assert_eq!(evicted[0].seq, 1);
+        assert_eq!(w.depth(), 2);
+        let seqs: Vec<u64> = w.iter_unacked().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![2, 3]);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! drive a `SimClock` must keep advancing it (or call the handle's `stop`,
 //! which force-flushes) for timeout flushes to fire.
 
-use crate::batch::{Batcher, FlushReason};
+use crate::batch::{Batcher, FlushReason, SendWindow};
 use brisk_clock::{Clock, CorrectedClock};
 use brisk_core::{BriskError, EventRecord, ExsConfig, NodeId, Result};
 use brisk_net::Connection;
@@ -55,6 +55,13 @@ pub struct ExsStats {
     pub sync_replies: u64,
     /// Sync adjustments applied.
     pub adjustments: u64,
+    /// Cumulative `BatchAck`s received from the ISM (v2 delivery).
+    pub acks_received: u64,
+    /// Batches replayed from the retransmit window after a reconnect.
+    pub batches_retransmitted: u64,
+    /// Unacked batches evicted from a full retransmit window (lost to
+    /// replay; delivery degraded to v1 semantics for those records).
+    pub window_evicted: u64,
     /// Nanoseconds spent doing work (excludes waiting); the E2 utilization
     /// numerator.
     pub busy_nanos: u64,
@@ -78,6 +85,12 @@ pub struct ExsTelemetry {
     flush_forced: AtomicU64,
     sync_replies: AtomicU64,
     adjustments: AtomicU64,
+    acks_received: AtomicU64,
+    batches_retransmitted: AtomicU64,
+    window_evicted: AtomicU64,
+    /// Current retransmit-window occupancy (batches), mirrored from the
+    /// EXS thread so a registry gauge can observe it without locking.
+    window_depth: AtomicU64,
     busy_nanos: AtomicU64,
     iterations: AtomicU64,
     /// Per-step drain+batch latency in µs, on the node's clock (so it is
@@ -85,6 +98,8 @@ pub struct ExsTelemetry {
     drain_us: Arc<Histogram>,
     /// Records per emitted batch.
     batch_records: Arc<Histogram>,
+    /// Ack lag: unacked batches still in the window when each ack lands.
+    ack_lag: Arc<Histogram>,
 }
 
 impl ExsTelemetry {
@@ -101,6 +116,9 @@ impl ExsTelemetry {
             flush_forced: ld(&self.flush_forced),
             sync_replies: ld(&self.sync_replies),
             adjustments: ld(&self.adjustments),
+            acks_received: ld(&self.acks_received),
+            batches_retransmitted: ld(&self.batches_retransmitted),
+            window_evicted: ld(&self.window_evicted),
             busy_nanos: ld(&self.busy_nanos),
             iterations: ld(&self.iterations),
         }
@@ -123,7 +141,7 @@ impl ExsTelemetry {
     pub fn bind(self: &Arc<Self>, node: NodeId, registry: &Registry) {
         type Field = fn(&ExsTelemetry) -> &AtomicU64;
         let n = node.0.to_string();
-        let counters: [(&str, &str, Field); 7] = [
+        let counters: [(&str, &str, Field); 10] = [
             (
                 "brisk_exs_records_drained_total",
                 "Records drained from sensor rings",
@@ -146,6 +164,21 @@ impl ExsTelemetry {
                 "brisk_exs_adjustments_total",
                 "Clock adjustments applied",
                 |t| &t.adjustments,
+            ),
+            (
+                "brisk_exs_acks_total",
+                "Batch acknowledgements received from the ISM",
+                |t| &t.acks_received,
+            ),
+            (
+                "brisk_exs_batches_retransmitted_total",
+                "Batches replayed from the retransmit window after reconnect",
+                |t| &t.batches_retransmitted,
+            ),
+            (
+                "brisk_exs_window_evicted_total",
+                "Unacked batches evicted from a full retransmit window",
+                |t| &t.window_evicted,
             ),
             (
                 "brisk_exs_busy_nanos_total",
@@ -191,6 +224,19 @@ impl ExsTelemetry {
             &[("node", &n)],
             &self.batch_records,
         );
+        registry.register_histogram(
+            "brisk_exs_ack_lag_batches",
+            "Unacked batches still windowed when each ack landed",
+            &[("node", &n)],
+            &self.ack_lag,
+        );
+        let me = Arc::clone(self);
+        registry.gauge_fn(
+            "brisk_exs_retransmit_window_depth",
+            "Sent-but-unacked batches held for replay",
+            &[("node", &n)],
+            move || me.window_depth.load(Ordering::Relaxed) as i64,
+        );
     }
 }
 
@@ -217,6 +263,11 @@ pub struct ExternalSensor {
     batcher: Batcher,
     shared: Arc<ExsTelemetry>,
     drain_buf: Vec<EventRecord>,
+    /// Retransmit window for v2 acknowledged delivery. `Some` from
+    /// construction (this EXS speaks v2 optimistically); dropped to `None`
+    /// only if the ISM negotiates the connection down to v1, where no acks
+    /// will ever arrive and windowed copies would be dead weight.
+    window: Option<SendWindow>,
 }
 
 impl ExternalSensor {
@@ -241,9 +292,29 @@ impl ExternalSensor {
         node: NodeId,
         rings: Arc<RingSet>,
         raw_clock: Arc<dyn Clock>,
+        conn: Box<dyn Connection>,
+        cfg: ExsConfig,
+        shared: Arc<ExsTelemetry>,
+    ) -> Result<Self> {
+        cfg.validate()?;
+        let window = SendWindow::new(cfg.retransmit_window_batches);
+        Self::with_window(node, rings, raw_clock, conn, cfg, shared, window)
+    }
+
+    /// Like [`ExternalSensor::with_telemetry`], but resuming from a
+    /// retransmit window carried over from a previous incarnation: after
+    /// the `Hello` preamble every still-unacked batch is replayed (in
+    /// sequence order, ahead of new traffic) so an abrupt disconnect loses
+    /// nothing. The ISM deduplicates by `(node, seq)`, so replaying batches
+    /// it already processed is harmless.
+    pub fn with_window(
+        node: NodeId,
+        rings: Arc<RingSet>,
+        raw_clock: Arc<dyn Clock>,
         mut conn: Box<dyn Connection>,
         cfg: ExsConfig,
         shared: Arc<ExsTelemetry>,
+        window: SendWindow,
     ) -> Result<Self> {
         cfg.validate()?;
         conn.send(
@@ -253,7 +324,7 @@ impl ExternalSensor {
             }
             .encode(),
         )?;
-        Ok(ExternalSensor {
+        let mut exs = ExternalSensor {
             node,
             rings,
             clock: CorrectedClock::new(raw_clock),
@@ -262,7 +333,68 @@ impl ExternalSensor {
             cfg,
             shared,
             drain_buf: Vec::with_capacity(512),
-        })
+            window: Some(window),
+        };
+        exs.replay_unacked()?;
+        Ok(exs)
+    }
+
+    /// Replay every unacked batch from the window. Counts replays but not
+    /// `records_sent`/`batches_sent` — those were counted on first send.
+    fn replay_unacked(&mut self) -> Result<()> {
+        let Some(w) = &self.window else {
+            return Ok(());
+        };
+        let frames: Vec<Vec<u8>> = w
+            .iter_unacked()
+            .map(|(seq, records)| {
+                Message::EventBatch {
+                    node: self.node,
+                    seq: Some(seq),
+                    records: records.clone(),
+                }
+                .encode()
+            })
+            .collect();
+        let replayed = frames.len() as u64;
+        for frame in frames {
+            self.conn.send(&frame)?;
+        }
+        self.shared
+            .batches_retransmitted
+            .fetch_add(replayed, Ordering::Relaxed);
+        self.shared.window_depth.store(replayed, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Tear the EXS apart, keeping its retransmit window (and the
+    /// sequence-number stream) so a supervisor can carry both into the
+    /// next incarnation. `None` if the connection was negotiated to v1.
+    ///
+    /// A partial batch still sitting in the batcher would die with this
+    /// incarnation; it is folded into the window (unsent) so the next
+    /// incarnation's replay delivers it.
+    pub fn into_window(mut self) -> Option<SendWindow> {
+        if self.window.is_some() {
+            if let Some((batch, _reason)) = self.batcher.flush() {
+                self.stash_batch(batch);
+            }
+        }
+        self.window
+    }
+
+    /// Retain a batch in the retransmit window without sending it (the
+    /// connection is already gone); the next incarnation replays it.
+    fn stash_batch(&mut self, records: Vec<EventRecord>) {
+        if let Some(w) = &mut self.window {
+            let (_seq, evicted) = w.push(records);
+            if evicted.is_some() {
+                self.shared.window_evicted.fetch_add(1, Ordering::Relaxed);
+            }
+            self.shared
+                .window_depth
+                .store(w.depth() as u64, Ordering::Relaxed);
+        }
     }
 
     /// The node this EXS serves.
@@ -312,13 +444,33 @@ impl ExternalSensor {
             .fetch_add(drained as u64, Ordering::Relaxed);
         let now = self.clock.now();
         let mut pending = std::mem::take(&mut self.drain_buf);
+        // A disconnect mid-scoop must not drop the records already pulled
+        // out of the rings: once the send fails, keep pushing the rest of
+        // the scoop through the batcher and stash every flushed batch in
+        // the retransmit window (unsent), where the next incarnation's
+        // replay picks it up. Without a window (v1 peer) the old
+        // fail-fast loss semantics stand.
+        let mut disconnect: Option<BriskError> = None;
+        let mut fatal: Option<BriskError> = None;
         for mut rec in pending.drain(..) {
             rec.apply_correction(correction);
             if let Some((batch, reason)) = self.batcher.push(rec, now) {
-                self.send_batch(batch, reason)?;
+                if disconnect.is_some() {
+                    self.stash_batch(batch);
+                } else if let Err(e) = self.send_batch(batch, reason) {
+                    if e.is_disconnect() && self.window.is_some() {
+                        disconnect = Some(e);
+                    } else {
+                        fatal = Some(e);
+                        break;
+                    }
+                }
             }
         }
         self.drain_buf = pending; // keep the allocation (workhorse buffer)
+        if let Some(e) = fatal.or(disconnect) {
+            return Err(e);
+        }
 
         // 2. Latency control: flush a stale partial batch.
         if let Some((batch, reason)) = self.batcher.poll_timeout(self.clock.now()) {
@@ -387,6 +539,27 @@ impl ExternalSensor {
                 self.shared.adjustments.fetch_add(1, Ordering::Relaxed);
                 Ok(ExsStep::Busy)
             }
+            Message::HelloAck { version } => {
+                // The ISM told us which protocol version the connection
+                // actually runs at. Anything below v2 means no acks will
+                // ever come: drop the window and fall back to the old
+                // fire-and-forget delivery.
+                if version < 2 {
+                    self.window = None;
+                    self.shared.window_depth.store(0, Ordering::Relaxed);
+                }
+                Ok(ExsStep::Busy)
+            }
+            Message::BatchAck { seq } => {
+                if let Some(w) = &mut self.window {
+                    w.ack(seq);
+                    let depth = w.depth() as u64;
+                    self.shared.window_depth.store(depth, Ordering::Relaxed);
+                    self.shared.ack_lag.record(depth);
+                }
+                self.shared.acks_received.fetch_add(1, Ordering::Relaxed);
+                Ok(ExsStep::Busy)
+            }
             Message::Shutdown => Ok(ExsStep::Shutdown),
             other => Err(BriskError::Protocol(format!(
                 "unexpected message at EXS: {other:?}"
@@ -396,8 +569,22 @@ impl ExternalSensor {
 
     fn send_batch(&mut self, records: Vec<EventRecord>, reason: FlushReason) -> Result<()> {
         let n = records.len() as u64;
+        let seq = match &mut self.window {
+            Some(w) => {
+                let (seq, evicted) = w.push(records.clone());
+                if evicted.is_some() {
+                    self.shared.window_evicted.fetch_add(1, Ordering::Relaxed);
+                }
+                self.shared
+                    .window_depth
+                    .store(w.depth() as u64, Ordering::Relaxed);
+                Some(seq)
+            }
+            None => None,
+        };
         let msg = Message::EventBatch {
             node: self.node,
+            seq,
             records,
         };
         self.conn.send(&msg.encode())?;
@@ -602,8 +789,9 @@ mod tests {
 
         r.exs.step().unwrap();
         match recv_msg(&mut r.ism_side) {
-            Message::EventBatch { node, records } => {
+            Message::EventBatch { node, seq, records } => {
                 assert_eq!(node, NodeId(7));
+                assert_eq!(seq, Some(1)); // v2 by default: first batch is seq 1
                 assert_eq!(records.len(), 2);
                 assert_eq!(records[0].ts, UtcMicros::from_micros(1_050));
                 assert_eq!(records[1].ts, UtcMicros::from_micros(1_051));
@@ -813,6 +1001,134 @@ mod tests {
         assert_eq!(batch_hist.max, 2);
         // Drain latency recorded once per step (0 µs under a frozen SimClock).
         assert_eq!(snap.histogram("brisk_exs_drain_us").unwrap().count(), 1);
+    }
+
+    fn emit_n(rings: &Arc<RingSet>, n: u64) {
+        let mut port = rings.register();
+        for i in 0..n {
+            port.emit(EventTypeId(1), UtcMicros::from_micros(i as i64), vec![])
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn batch_ack_releases_window() {
+        let mut cfg = ExsConfig::default();
+        cfg.max_batch_records = 1;
+        let mut r = rig(cfg, 0);
+        recv_msg(&mut r.ism_side); // hello
+        emit_n(&r.rings, 3);
+        r.src.advance_by(10);
+        r.exs.step().unwrap(); // drain cap is 2·max_batch_records per step
+        r.exs.step().unwrap();
+        assert_eq!(r.exs.stats().batches_sent, 3);
+        // All three batches are unacked and windowed.
+        let w = r.exs.window.as_ref().unwrap();
+        assert_eq!(w.depth(), 3);
+
+        // Cumulative ack for seq 2 releases the first two.
+        r.ism_side
+            .send(&Message::BatchAck { seq: 2 }.encode())
+            .unwrap();
+        r.exs.step().unwrap();
+        assert_eq!(r.exs.window.as_ref().unwrap().depth(), 1);
+        assert_eq!(r.exs.stats().acks_received, 1);
+    }
+
+    #[test]
+    fn hello_ack_v1_downgrades_to_unsequenced() {
+        let mut cfg = ExsConfig::default();
+        cfg.max_batch_records = 1;
+        let mut r = rig(cfg, 0);
+        recv_msg(&mut r.ism_side); // hello
+        r.ism_side
+            .send(&Message::HelloAck { version: 1 }.encode())
+            .unwrap();
+        r.exs.step().unwrap();
+        assert!(r.exs.window.is_none());
+
+        emit_n(&r.rings, 1);
+        r.src.advance_by(10);
+        r.exs.step().unwrap();
+        match recv_msg(&mut r.ism_side) {
+            Message::EventBatch { seq, .. } => assert_eq!(seq, None),
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn carried_window_replays_unacked_batches() {
+        let mut cfg = ExsConfig::default();
+        cfg.max_batch_records = 1;
+        let mut r = rig(cfg.clone(), 0);
+        let shared = Arc::clone(r.exs.telemetry());
+        recv_msg(&mut r.ism_side); // hello
+        emit_n(&r.rings, 2);
+        r.src.advance_by(10);
+        r.exs.step().unwrap();
+        recv_msg(&mut r.ism_side); // batch 1
+        recv_msg(&mut r.ism_side); // batch 2
+                                   // Ack only the first; the second stays unacked.
+        r.ism_side
+            .send(&Message::BatchAck { seq: 1 }.encode())
+            .unwrap();
+        r.exs.step().unwrap();
+        let window = r.exs.into_window().unwrap();
+        assert_eq!(window.depth(), 1);
+        assert_eq!(window.next_seq(), 3);
+
+        // New incarnation over a fresh connection, carrying the window.
+        let t = MemTransport::new();
+        let mut l = t.listen("ism2").unwrap();
+        let conn = t.connect("ism2").unwrap();
+        let mut ism2 = l.accept(Some(Duration::from_secs(1))).unwrap().unwrap();
+        let raw: Arc<dyn Clock> = Arc::new(SystemClock);
+        let exs2 = ExternalSensor::with_window(
+            NodeId(7),
+            RingSet::new(NodeId(7), cfg.ring_capacity),
+            raw,
+            conn,
+            cfg,
+            shared,
+            window,
+        )
+        .unwrap();
+        match recv_msg(&mut ism2) {
+            Message::Hello { node, version } => {
+                assert_eq!(node, NodeId(7));
+                assert_eq!(version, 2);
+            }
+            other => panic!("expected hello, got {other:?}"),
+        }
+        // The unacked batch (seq 2) is replayed right after Hello.
+        match recv_msg(&mut ism2) {
+            Message::EventBatch { seq, records, .. } => {
+                assert_eq!(seq, Some(2));
+                assert_eq!(records.len(), 1);
+            }
+            other => panic!("expected replayed batch, got {other:?}"),
+        }
+        let stats = exs2.stats();
+        assert_eq!(stats.batches_retransmitted, 1);
+        // Replays are not re-counted as fresh sends.
+        assert_eq!(stats.batches_sent, 2);
+    }
+
+    #[test]
+    fn full_window_evicts_oldest_and_counts_it() {
+        let mut cfg = ExsConfig::default();
+        cfg.max_batch_records = 1;
+        cfg.retransmit_window_batches = 2;
+        let mut r = rig(cfg, 0);
+        recv_msg(&mut r.ism_side); // hello
+        emit_n(&r.rings, 3); // three unacked batches into a window of two
+        r.src.advance_by(10);
+        r.exs.step().unwrap(); // drain cap is 2·max_batch_records per step
+        r.exs.step().unwrap();
+        let stats = r.exs.stats();
+        assert_eq!(stats.batches_sent, 3);
+        assert_eq!(stats.window_evicted, 1);
+        assert_eq!(r.exs.window.as_ref().unwrap().depth(), 2);
     }
 
     #[test]

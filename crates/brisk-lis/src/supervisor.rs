@@ -9,11 +9,20 @@
 //! value over** to the new incarnation so the node does not fall back to
 //! raw, unsynchronized time while the master re-converges.
 //!
-//! Loss semantics on an abrupt disconnect match a real TCP deployment:
-//! records already handed to the dead connection (at most one in-flight
-//! batch) are gone; everything still in the rings survives and flows once
-//! the new connection is up.
+//! Delivery semantics across an abrupt disconnect (protocol v2): the EXS
+//! keeps every sent-but-unacked batch in a bounded retransmit window, the
+//! supervisor carries that window into the new incarnation (alongside the
+//! clock correction), and the unacked batches are **replayed** right after
+//! the re-`Hello` — so nothing handed to the dead connection is lost. The
+//! ISM deduplicates replays by `(node, seq)`, making delivery to the sinks
+//! exactly-once. Two degraded edges remain: a peer that negotiates the
+//! connection down to v1 gets the old fire-and-forget semantics (no acks,
+//! no replay), and a retransmit window that overflows (`ExsConfig::
+//! retransmit_window_batches` unacked batches outstanding) evicts its
+//! oldest batch, which is then beyond replay — both are surfaced through
+//! telemetry rather than hidden.
 
+use crate::batch::SendWindow;
 use crate::exs::{ExsStats, ExsStep, ExsTelemetry, ExternalSensor};
 use brisk_clock::Clock;
 use brisk_core::{BriskError, ExsConfig, NodeId, Result};
@@ -168,14 +177,57 @@ fn supervise(
     let mut stats = SupervisedStats::default();
     // Correction value survives reconnects.
     let carried_correction = AtomicI64::new(0);
+    // Retransmit window survives reconnects too: unacked batches in here
+    // are replayed on the next connection. `None` once the peer negotiates
+    // down to v1 (or before the first connection).
+    let mut carried_window: Option<SendWindow> = None;
     let mut backoff = sup.initial_backoff;
     let mut consecutive_failures = 0u32;
 
+    /// How one incarnation ended.
+    enum IncarnationEnd {
+        /// Orderly stop (local stop flag or ISM `Shutdown`): exit for good.
+        Stop,
+        /// Abrupt disconnect: reconnect, replaying the carried window.
+        Reconnect(Option<SendWindow>),
+        /// Unrecoverable error.
+        Fatal(BriskError),
+    }
+
     'lifetime: while !stop.load(Ordering::Relaxed) {
         // Establish (or re-establish) the connection.
-        let conn = match connect() {
-            Ok(c) => c,
-            Err(_) => {
+        let attempt = connect().and_then(|conn| {
+            match carried_window.take() {
+                // Carry the retransmit window over; `with_window` replays the
+                // unacked batches right after the Hello preamble.
+                Some(w) => ExternalSensor::with_window(
+                    node,
+                    Arc::clone(&rings),
+                    Arc::clone(&raw_clock),
+                    conn,
+                    cfg.clone(),
+                    Arc::clone(&shared),
+                    w.clone(),
+                )
+                .map_err(|e| (e, Some(w))),
+                None => ExternalSensor::with_telemetry(
+                    node,
+                    Arc::clone(&rings),
+                    Arc::clone(&raw_clock),
+                    conn,
+                    cfg.clone(),
+                    Arc::clone(&shared),
+                )
+                .map_err(|e| (e, None)),
+            } // a failed handshake/replay must not lose the window
+            .map_err(|(e, w)| {
+                carried_window = w;
+                e
+            })
+        });
+        let mut exs = match attempt {
+            Ok(exs) => exs,
+            Err(e) if e.is_disconnect() || matches!(e, BriskError::Io(_)) => {
                 consecutive_failures += 1;
                 if let Some(max) = sup.max_consecutive_failures {
                     if consecutive_failures >= max {
@@ -196,17 +248,10 @@ fn supervise(
                 backoff = (backoff * 2).min(sup.max_backoff);
                 continue;
             }
+            Err(e) => return Err(e),
         };
         consecutive_failures = 0;
         backoff = sup.initial_backoff;
-        let mut exs = ExternalSensor::with_telemetry(
-            node,
-            Arc::clone(&rings),
-            Arc::clone(&raw_clock),
-            conn,
-            cfg.clone(),
-            Arc::clone(&shared),
-        )?;
         exs.corrected_clock()
             .set_correction(carried_correction.load(Ordering::Relaxed));
         connects.fetch_add(1, Ordering::Relaxed);
@@ -216,14 +261,14 @@ fn supervise(
         }
 
         // Drive the incarnation.
-        loop {
+        let end = loop {
             if stop.load(Ordering::Relaxed) {
                 // Orderly stop: flush and exit for good.
                 carried_correction.store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
                 // A connection that dies during the final flush is fine;
                 // the counters land in `shared` either way.
                 let _ = exs.finish();
-                break 'lifetime;
+                break IncarnationEnd::Stop;
             }
             match exs.step() {
                 Ok(ExsStep::Shutdown) => {
@@ -231,21 +276,26 @@ fn supervise(
                     carried_correction
                         .store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
                     let _ = exs.finish();
-                    break 'lifetime;
+                    break IncarnationEnd::Stop;
                 }
                 Ok(ExsStep::Disconnected) => {
                     carried_correction
                         .store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
-                    break; // reconnect
+                    break IncarnationEnd::Reconnect(exs.into_window());
                 }
                 Ok(_) => {}
                 Err(e) if e.is_disconnect() => {
                     carried_correction
                         .store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
-                    break; // reconnect
+                    break IncarnationEnd::Reconnect(exs.into_window());
                 }
-                Err(e) => return Err(e),
+                Err(e) => break IncarnationEnd::Fatal(e),
             }
+        };
+        match end {
+            IncarnationEnd::Stop => break 'lifetime,
+            IncarnationEnd::Reconnect(w) => carried_window = w,
+            IncarnationEnd::Fatal(e) => return Err(e),
         }
     }
     stats.exs = shared.stats();

@@ -39,7 +39,13 @@ impl Listener for TcpListenerWrap {
     fn accept(&mut self, timeout: Option<Duration>) -> Result<Option<Box<dyn Connection>>> {
         // std's TcpListener has no accept timeout; emulate with
         // non-blocking polling. Accept latency is not on any measured path
-        // (connections are long-lived), so a coarse poll is fine.
+        // (connections are long-lived), so the wait backs off: a couple of
+        // fine-grained polls catch an already-pending connection almost
+        // instantly, then the sleep doubles toward a coarse cap so an idle
+        // accept loop does not burn a core the way the old fixed 1 ms
+        // busy-poll did.
+        const WAIT_FLOOR: Duration = Duration::from_micros(100);
+        const WAIT_CAP: Duration = Duration::from_millis(10);
         match timeout {
             None => {
                 self.listener.set_nonblocking(false)?;
@@ -49,6 +55,7 @@ impl Listener for TcpListenerWrap {
             Some(t) => {
                 self.listener.set_nonblocking(true)?;
                 let deadline = std::time::Instant::now() + t;
+                let mut wait = WAIT_FLOOR;
                 loop {
                     match self.listener.accept() {
                         Ok((stream, _)) => {
@@ -56,10 +63,14 @@ impl Listener for TcpListenerWrap {
                             return Ok(Some(wrap(stream)?));
                         }
                         Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                            if std::time::Instant::now() >= deadline {
+                            let remaining =
+                                deadline.saturating_duration_since(std::time::Instant::now());
+                            if remaining.is_zero() {
                                 return Ok(None);
                             }
-                            std::thread::sleep(Duration::from_millis(1));
+                            // Never oversleep the caller's deadline.
+                            std::thread::sleep(wait.min(remaining));
+                            wait = (wait * 2).min(WAIT_CAP);
                         }
                         Err(e) => return Err(e.into()),
                     }
@@ -200,6 +211,42 @@ mod tests {
         let mut listener = t.listen("127.0.0.1:0").unwrap();
         let r = listener.accept(Some(Duration::from_millis(20))).unwrap();
         assert!(r.is_none());
+    }
+
+    #[test]
+    fn accept_timeout_expires_near_deadline_despite_backoff() {
+        // The adaptive wait doubles toward its 10 ms cap; it must still
+        // honour the caller's deadline, not oversleep past it.
+        let t = TcpTransport;
+        let mut listener = t.listen("127.0.0.1:0").unwrap();
+        let t0 = std::time::Instant::now();
+        let r = listener.accept(Some(Duration::from_millis(60))).unwrap();
+        let elapsed = t0.elapsed();
+        assert!(r.is_none());
+        assert!(
+            elapsed >= Duration::from_millis(60),
+            "returned early: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "overslept the deadline: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn connection_arriving_mid_wait_is_accepted() {
+        // A connect that lands while accept() is parked in its adaptive
+        // wait must still be picked up well before the timeout expires.
+        let t = TcpTransport;
+        let mut listener = t.listen("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr();
+        let client = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(50));
+            TcpTransport.connect(&addr).unwrap()
+        });
+        let r = listener.accept(Some(Duration::from_secs(5))).unwrap();
+        assert!(r.is_some(), "mid-wait connection must be accepted");
+        drop(client.join().unwrap());
     }
 
     #[test]

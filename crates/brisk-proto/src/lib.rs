@@ -10,15 +10,33 @@
 //! * [`Message::Hello`] — sent by the EXS when it connects; carries the
 //!   protocol magic/version and the node id, which subsequent batches from
 //!   this connection implicitly belong to.
+//! * [`Message::HelloAck`] — *v2*: the ISM's reply to a v2 `Hello`,
+//!   carrying the negotiated protocol version. Never sent to v1 peers
+//!   (they would reject the unknown tag), so its absence is itself the
+//!   "fall back to v1" signal.
 //! * [`Message::EventBatch`] — a batch of event records. "The external
 //!   sensor packages instrumentation data in XDR format with the
 //!   meta-information header compressed" — each record body embeds its
-//!   packed descriptor, see [`brisk_xdr::values`].
+//!   packed descriptor, see [`brisk_xdr::values`]. Under v2 the batch
+//!   carries a per-node monotonic sequence number (`seq: Some(n)`, a
+//!   distinct wire tag) so the ISM can acknowledge and deduplicate;
+//!   `seq: None` encodes the v1 wire format.
+//! * [`Message::BatchAck`] — *v2*: ISM→EXS cumulative acknowledgement:
+//!   every sequenced batch with `seq <= ack.seq` has been handed to the
+//!   ISM pipeline and may be dropped from the sender's retransmit window.
 //! * [`Message::SyncPoll`] / [`Message::SyncReply`] /
 //!   [`Message::SyncAdjust`] — the clock-synchronization exchange (§3.3).
 //!   The poll carries the master send time so the reply can echo it; the
 //!   sample index lets the master average several exchanges per round.
 //! * [`Message::Shutdown`] — orderly termination.
+//!
+//! ## Version negotiation
+//!
+//! `Hello` advertises the sender's version; the receiver accepts anything
+//! in `MIN_VERSION..=VERSION` and the connection runs at
+//! [`negotiate`]\(peer\) = `min(peer, VERSION)`. A v1 peer therefore
+//! interoperates with a v2 ISM (plain unsequenced batches, no acks), while
+//! two v2 endpoints get acknowledged, replayable delivery.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -31,12 +49,27 @@ use brisk_xdr::{XdrDecoder, XdrEncoder};
 pub const MAGIC: u32 = 0x4252_534B;
 
 /// Protocol version implemented by this crate.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
+
+/// Oldest protocol version still accepted from peers.
+pub const MIN_VERSION: u32 = 1;
+
+/// The version a connection runs at given the peer's advertised version:
+/// the highest both sides implement.
+pub const fn negotiate(peer_version: u32) -> u32 {
+    if peer_version < VERSION {
+        peer_version
+    } else {
+        VERSION
+    }
+}
 
 /// Maximum records accepted in one batch.
 pub const MAX_BATCH_RECORDS: usize = 65_536;
 
-/// Message discriminants on the wire.
+/// Message discriminants on the wire. `EventBatchSeq`, `BatchAck` and
+/// `HelloAck` are v2 additions; a v1 decoder rejects them, so they are only
+/// sent once the peer is known to speak v2.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u32)]
 enum Tag {
@@ -46,6 +79,9 @@ enum Tag {
     SyncReply = 4,
     SyncAdjust = 5,
     Shutdown = 6,
+    EventBatchSeq = 7,
+    BatchAck = 8,
+    HelloAck = 9,
 }
 
 impl Tag {
@@ -57,6 +93,9 @@ impl Tag {
             4 => Tag::SyncReply,
             5 => Tag::SyncAdjust,
             6 => Tag::Shutdown,
+            7 => Tag::EventBatchSeq,
+            8 => Tag::BatchAck,
+            9 => Tag::HelloAck,
             _ => return Err(BriskError::Protocol(format!("unknown message tag {v}"))),
         })
     }
@@ -72,13 +111,28 @@ pub enum Message {
         /// Protocol version spoken by the sender.
         version: u32,
     },
+    /// The ISM's reply to a v2 `Hello`: the negotiated protocol version.
+    HelloAck {
+        /// Version the connection will run at (`negotiate(peer)`).
+        version: u32,
+    },
     /// A batch of event records from one node.
     EventBatch {
         /// Originating node (redundant with Hello; kept so a batch is
         /// self-describing for trace files and debugging).
         node: NodeId,
+        /// Per-node monotonic batch sequence number. `Some(n)` encodes the
+        /// v2 acknowledged-delivery wire format; `None` encodes the v1
+        /// format (no ack expected, no dedup possible).
+        seq: Option<u64>,
         /// The records, in per-sensor sequence order.
         records: Vec<EventRecord>,
+    },
+    /// ISM→EXS cumulative acknowledgement of sequenced batches (v2).
+    BatchAck {
+        /// Every batch with sequence number `<= seq` has been handed to
+        /// the ISM pipeline.
+        seq: u64,
     },
     /// Master→slave: "what time is it?" — sample `sample` of round `round`.
     SyncPoll {
@@ -122,13 +176,30 @@ impl Message {
                 e.uint(*version);
                 e.uint(node.raw());
             }
-            Message::EventBatch { node, records } => {
-                e.uint(Tag::EventBatch as u32);
-                e.uint(node.raw());
+            Message::HelloAck { version } => {
+                e.uint(Tag::HelloAck as u32);
+                e.uint(*version);
+            }
+            Message::EventBatch { node, seq, records } => {
+                match seq {
+                    Some(seq) => {
+                        e.uint(Tag::EventBatchSeq as u32);
+                        e.uint(node.raw());
+                        e.uhyper(*seq);
+                    }
+                    None => {
+                        e.uint(Tag::EventBatch as u32);
+                        e.uint(node.raw());
+                    }
+                }
                 e.uint(records.len() as u32);
                 for r in records {
                     encode_record_body(r, &mut e);
                 }
+            }
+            Message::BatchAck { seq } => {
+                e.uint(Tag::BatchAck as u32);
+                e.uhyper(*seq);
             }
             Message::SyncPoll {
                 round,
@@ -177,7 +248,7 @@ impl Message {
                     )));
                 }
                 let version = d.uint()?;
-                if version != VERSION {
+                if !(MIN_VERSION..=VERSION).contains(&version) {
                     return Err(BriskError::Protocol(format!(
                         "unsupported protocol version {version}"
                     )));
@@ -187,8 +258,13 @@ impl Message {
                     version,
                 }
             }
-            Tag::EventBatch => {
+            Tag::HelloAck => Message::HelloAck { version: d.uint()? },
+            Tag::EventBatch | Tag::EventBatchSeq => {
                 let node = NodeId(d.uint()?);
+                let seq = match tag {
+                    Tag::EventBatchSeq => Some(d.uhyper()?),
+                    _ => None,
+                };
                 let count = d.uint()? as usize;
                 if count > MAX_BATCH_RECORDS {
                     return Err(BriskError::Protocol(format!(
@@ -199,8 +275,9 @@ impl Message {
                 for _ in 0..count {
                     records.push(decode_record_body(node, &mut d)?);
                 }
-                Message::EventBatch { node, records }
+                Message::EventBatch { node, seq, records }
             }
+            Tag::BatchAck => Message::BatchAck { seq: d.uhyper()? },
             Tag::SyncPoll => Message::SyncPoll {
                 round: d.uhyper()?,
                 sample: d.uint()?,
@@ -268,15 +345,54 @@ mod tests {
     fn batch_round_trip() {
         let m = Message::EventBatch {
             node: NodeId(3),
+            seq: None,
             records: (0..10).map(|i| rec(i, i as i64 * 100)).collect(),
         };
         assert_eq!(Message::decode(&m.encode()).unwrap(), m);
     }
 
     #[test]
+    fn sequenced_batch_round_trip() {
+        let m = Message::EventBatch {
+            node: NodeId(3),
+            seq: Some(u64::MAX - 7),
+            records: (0..10).map(|i| rec(i, i as i64 * 100)).collect(),
+        };
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn v2_control_messages_round_trip() {
+        for m in [
+            Message::HelloAck { version: VERSION },
+            Message::BatchAck { seq: 42 },
+            Message::BatchAck { seq: 0 },
+        ] {
+            assert_eq!(Message::decode(&m.encode()).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn v1_hello_still_accepted() {
+        let m = Message::Hello {
+            node: NodeId(4),
+            version: MIN_VERSION,
+        };
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn negotiate_picks_highest_common_version() {
+        assert_eq!(negotiate(1), 1);
+        assert_eq!(negotiate(VERSION), VERSION);
+        assert_eq!(negotiate(VERSION + 5), VERSION);
+    }
+
+    #[test]
     fn empty_batch_round_trip() {
         let m = Message::EventBatch {
             node: NodeId(3),
+            seq: None,
             records: vec![],
         };
         assert_eq!(Message::decode(&m.encode()).unwrap(), m);
@@ -334,6 +450,7 @@ mod tests {
     fn truncated_frames_rejected() {
         let m = Message::EventBatch {
             node: NodeId(3),
+            seq: Some(5),
             records: vec![rec(0, 1)],
         };
         let bytes = m.encode();
@@ -360,6 +477,7 @@ mod tests {
             .collect();
         let m = Message::EventBatch {
             node: NodeId(1),
+            seq: None,
             records,
         };
         let bytes = m.encode();
