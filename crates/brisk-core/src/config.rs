@@ -6,6 +6,7 @@
 //! here; defaults follow the values stated or implied by the paper.
 
 use crate::error::{BriskError, Result};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// External sensor (EXS) knobs: batching and latency control (§3.4, Fig. 1
@@ -251,6 +252,120 @@ impl CreConfig {
     }
 }
 
+/// When the durable trace store forces its buffered segment bytes to disk.
+///
+/// The knob trades durability against write amplification: `Always` loses
+/// nothing an `on_record` returned `Ok` for, `Interval` bounds the loss
+/// window after a crash to the chosen duration, `Never` leaves flushing to
+/// the OS page cache (a crash of the *machine* can lose everything since
+/// the last rotation; a crash of the *process* alone loses at most the
+/// write-behind buffers still queued inside the store).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every appended record.
+    Always,
+    /// `fdatasync` whenever this much *stream time* (the records' own
+    /// timestamps) has passed since the last sync. Stream time tracks wall
+    /// time for a live trace while keeping the append path free of clock
+    /// reads, and makes the policy behave identically under replay — the
+    /// same stream-clock choice age-based retention makes. A stalled
+    /// stream leaves the tail unsynced either way: the check can only run
+    /// when a record arrives.
+    Interval(Duration),
+    /// Never sync explicitly; the OS decides.
+    #[default]
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse the CLI spelling: `always`, `never`, or `interval:<ms>`.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            other => match other.strip_prefix("interval:") {
+                Some(ms) => {
+                    let ms: u64 = ms.parse().map_err(|e| {
+                        BriskError::Config(format!("bad fsync interval {ms:?}: {e}"))
+                    })?;
+                    if ms == 0 {
+                        return Err(BriskError::Config("fsync interval must be > 0 ms".into()));
+                    }
+                    Ok(FsyncPolicy::Interval(Duration::from_millis(ms)))
+                }
+                None => Err(BriskError::Config(format!(
+                    "unknown fsync policy {other:?} (want always | never | interval:<ms>)"
+                ))),
+            },
+        }
+    }
+}
+
+/// Durable trace store knobs (the `brisk-store` subsystem).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreConfig {
+    /// Directory holding the segment files. `None` disables the store.
+    pub dir: Option<PathBuf>,
+    /// Rotate the active segment once it holds this many bytes.
+    pub segment_bytes: u64,
+    /// When appended records are forced to disk.
+    pub fsync: FsyncPolicy,
+    /// Evict the oldest sealed segments once the store exceeds this many
+    /// bytes in total. `0` disables byte-based retention.
+    pub retain_bytes: u64,
+    /// Evict sealed segments whose newest record is older than this.
+    /// `None` disables age-based retention.
+    pub retain_age: Option<Duration>,
+    /// Sparse-index granularity: one index entry every N records.
+    pub index_every: u32,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            dir: None,
+            segment_bytes: 8 << 20,
+            fsync: FsyncPolicy::Interval(Duration::from_millis(200)),
+            retain_bytes: 0,
+            retain_age: None,
+            index_every: 64,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Validate knob values.
+    pub fn validate(&self) -> Result<()> {
+        if self.segment_bytes < 4096 {
+            return Err(BriskError::Config(
+                "segment_bytes must be at least 4 KiB".into(),
+            ));
+        }
+        if self.index_every == 0 {
+            return Err(BriskError::Config("index_every must be > 0".into()));
+        }
+        if let FsyncPolicy::Interval(d) = self.fsync {
+            if d.is_zero() {
+                return Err(BriskError::Config("fsync interval must be > 0".into()));
+            }
+        }
+        if let Some(age) = self.retain_age {
+            if age.is_zero() {
+                return Err(BriskError::Config("retain_age must be > 0".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: a store rooted at `dir` with defaults otherwise.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            dir: Some(dir.into()),
+            ..StoreConfig::default()
+        }
+    }
+}
+
 /// ISM knobs: the sorter and CRE configs plus resource bounds.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct IsmConfig {
@@ -262,13 +377,16 @@ pub struct IsmConfig {
     /// many buffered records (Fig. 1 "event dropping"). `0` disables the
     /// bound.
     pub max_buffered_records: usize,
+    /// Durable trace store knobs (disabled unless `store.dir` is set).
+    pub store: StoreConfig,
 }
 
 impl IsmConfig {
     /// Validate all nested knob values.
     pub fn validate(&self) -> Result<()> {
         self.sorter.validate()?;
-        self.cre.validate()
+        self.cre.validate()?;
+        self.store.validate()
     }
 }
 
@@ -368,5 +486,36 @@ mod tests {
         let mut c = IsmConfig::default();
         c.cre.tachyon_bump_us = -3;
         assert!(c.validate().is_err());
+        let mut c = IsmConfig::default();
+        c.store.segment_bytes = 16;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn store_validation() {
+        StoreConfig::default().validate().unwrap();
+        StoreConfig::at("/tmp/x").validate().unwrap();
+        let mut c = StoreConfig::default();
+        c.index_every = 0;
+        assert!(c.validate().is_err());
+        let mut c = StoreConfig::default();
+        c.fsync = FsyncPolicy::Interval(Duration::ZERO);
+        assert!(c.validate().is_err());
+        let mut c = StoreConfig::default();
+        c.retain_age = Some(Duration::ZERO);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fsync_policy_parses_cli_spellings() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(
+            FsyncPolicy::parse("interval:250").unwrap(),
+            FsyncPolicy::Interval(Duration::from_millis(250))
+        );
+        assert!(FsyncPolicy::parse("interval:0").is_err());
+        assert!(FsyncPolicy::parse("interval:abc").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
     }
 }

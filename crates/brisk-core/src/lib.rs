@@ -34,24 +34,31 @@ pub mod descriptor;
 pub mod error;
 pub mod ids;
 pub mod record;
+pub mod sink;
 pub mod time;
 pub mod value;
 
-pub use config::{CreConfig, ExsConfig, IsmConfig, SorterConfig, SyncConfig};
+pub use config::{
+    CreConfig, ExsConfig, FsyncPolicy, IsmConfig, SorterConfig, StoreConfig, SyncConfig,
+};
 pub use descriptor::RecordDescriptor;
 pub use error::{BriskError, Result};
 pub use ids::{CorrelationId, EventTypeId, NodeId, SensorId};
 pub use record::EventRecord;
+pub use sink::EventSink;
 pub use time::UtcMicros;
 pub use value::{Value, ValueType};
 
 /// Convenient glob-import surface: `use brisk_core::prelude::*;`.
 pub mod prelude {
-    pub use crate::config::{CreConfig, ExsConfig, IsmConfig, SorterConfig, SyncConfig};
+    pub use crate::config::{
+        CreConfig, ExsConfig, FsyncPolicy, IsmConfig, SorterConfig, StoreConfig, SyncConfig,
+    };
     pub use crate::descriptor::RecordDescriptor;
     pub use crate::error::{BriskError, Result};
     pub use crate::ids::{CorrelationId, EventTypeId, NodeId, SensorId};
     pub use crate::record::EventRecord;
+    pub use crate::sink::EventSink;
     pub use crate::time::UtcMicros;
     pub use crate::value::{Value, ValueType};
 }

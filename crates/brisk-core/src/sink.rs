@@ -1,0 +1,60 @@
+//! The record-consumer abstraction shared by the output stage and the
+//! durable trace store.
+//!
+//! The paper's ISM "may pass instrumentation data to a list of
+//! CORBA-enabled visual objects" (§3.5); [`EventSink`] is that consumer
+//! boundary. It lives in `brisk-core` (rather than in the ISM crate)
+//! because it is implemented on both sides of the pipeline: by the ISM's
+//! in-memory and PICL outputs, by visual-object adapters in
+//! `brisk-consumers`, and by the durable segment store in `brisk-store` —
+//! which is also what the replay driver feeds recovered records back
+//! through.
+
+use crate::error::Result;
+use crate::record::EventRecord;
+
+/// A consumer of a sorted stream of event records.
+pub trait EventSink: Send {
+    /// Deliver one sorted record.
+    fn on_record(&mut self, rec: &EventRecord) -> Result<()>;
+
+    /// Flush any buffering (called at shutdown and checkpoints).
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Blanket sink over a closure, handy in tests and small tools.
+impl<F: FnMut(&EventRecord) -> Result<()> + Send> EventSink for F {
+    fn on_record(&mut self, rec: &EventRecord) -> Result<()> {
+        self(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{EventTypeId, NodeId, SensorId};
+    use crate::time::UtcMicros;
+
+    #[test]
+    fn closure_is_a_sink() {
+        let rec = EventRecord::new(
+            NodeId(1),
+            SensorId(0),
+            EventTypeId(1),
+            0,
+            UtcMicros::ZERO,
+            vec![],
+        )
+        .unwrap();
+        let mut seen = 0u32;
+        let mut sink = |_r: &EventRecord| -> Result<()> {
+            seen += 1;
+            Ok(())
+        };
+        sink.on_record(&rec).unwrap();
+        sink.flush().unwrap();
+        assert_eq!(seen, 1);
+    }
+}

@@ -10,7 +10,8 @@
 use crate::cre::{CreMatcher, CreStats};
 use crate::output::{EventSink, MemoryBuffer};
 use crate::sorter::{OnlineSorter, SorterStats};
-use brisk_core::{EventRecord, IsmConfig, NodeId, Result, UtcMicros};
+use brisk_core::{binenc, EventRecord, IsmConfig, NodeId, Result, UtcMicros};
+use brisk_store::StoreWriter;
 use brisk_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -39,6 +40,10 @@ pub struct IsmCore {
     sorter: OnlineSorter,
     memory: Arc<MemoryBuffer>,
     sinks: Vec<Box<dyn EventSink>>,
+    /// The durable trace store, opened when `IsmConfig.store.dir` is set.
+    /// Kept separate from `sinks` so the server can expose its stats and
+    /// bind its telemetry after construction.
+    store: Option<StoreWriter>,
     stats: IsmCoreStats,
     extra_sync_pending: bool,
     /// Highest batch sequence number accepted per node (protocol v2).
@@ -80,11 +85,16 @@ impl IsmCore {
     /// New core with an explicit memory-buffer capacity.
     pub fn with_memory(cfg: IsmConfig, memory_bytes: usize) -> Result<Self> {
         cfg.validate()?;
+        let store = match cfg.store.dir {
+            Some(_) => Some(StoreWriter::open(&cfg.store)?),
+            None => None,
+        };
         Ok(IsmCore {
             cre: CreMatcher::new(cfg.cre.clone())?,
             sorter: OnlineSorter::new(cfg.sorter.clone(), cfg.max_buffered_records)?,
             memory: MemoryBuffer::new(memory_bytes),
             sinks: Vec::new(),
+            store,
             stats: IsmCoreStats::default(),
             extra_sync_pending: false,
             last_seq: HashMap::new(),
@@ -125,6 +135,9 @@ impl IsmCore {
             &[],
             move || mem.evicted(),
         );
+        if let Some(store) = &mut self.store {
+            store.bind_telemetry(registry);
+        }
         self.telemetry = Some(CoreTelemetry {
             records_in: registry.counter(
                 "brisk_ism_records_in_total",
@@ -175,6 +188,11 @@ impl IsmCore {
     /// Attach an additional output sink (PICL file, visual object, …).
     pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
         self.sinks.push(sink);
+    }
+
+    /// The durable trace store, when one is configured.
+    pub fn store(&self) -> Option<&StoreWriter> {
+        self.store.as_ref()
     }
 
     /// Aggregate counters.
@@ -295,6 +313,9 @@ impl IsmCore {
         for sink in &mut self.sinks {
             sink.flush()?;
         }
+        if let Some(store) = &mut self.store {
+            store.flush()?;
+        }
         Ok(n)
     }
 
@@ -310,7 +331,13 @@ impl IsmCore {
                 }
                 t.records_out.inc();
             }
-            self.memory.write(&rec);
+            // One encode serves both byte-oriented consumers.
+            let mut encoded = Vec::with_capacity(rec.native_size());
+            binenc::encode_record(&rec, &mut encoded);
+            if let Some(store) = &mut self.store {
+                store.append_encoded(&rec, &encoded)?;
+            }
+            self.memory.write_encoded(encoded);
             for sink in &mut self.sinks {
                 sink.on_record(&rec)?;
             }
@@ -506,6 +533,42 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter_total("brisk_ism_duplicate_batches_total"), 1);
         assert_eq!(snap.counter_total("brisk_ism_duplicate_records_total"), 1);
+    }
+
+    #[test]
+    fn store_receives_delivered_records() {
+        use brisk_core::StoreConfig;
+        use brisk_store::StoreReader;
+        let dir = std::env::temp_dir().join(format!("brisk-core-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = IsmConfig {
+            store: StoreConfig::at(dir.clone()),
+            ..IsmConfig::default()
+        };
+        let registry = brisk_telemetry::Registry::new();
+        {
+            let mut core = IsmCore::new(cfg).unwrap();
+            core.bind_telemetry(&registry);
+            assert!(core.store().is_some());
+            core.push_batch(
+                (0..50).map(|i| rec(0, i, i as i64 * 10, vec![Value::U64(i)])),
+                UtcMicros::ZERO,
+            )
+            .unwrap();
+            core.tick(UtcMicros::from_secs(1)).unwrap();
+            core.drain_all().unwrap();
+        } // core drop seals the store
+        let (recs, report) = StoreReader::open(&dir).unwrap().read_all().unwrap();
+        assert_eq!(recs.len(), 50);
+        assert_eq!(report.corrupt_frames, 0);
+        let ts: Vec<i64> = recs.iter().map(|r| r.ts.as_micros()).collect();
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "stored in sorted order"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("brisk_store_records_total"), 50);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -10,28 +10,14 @@
 
 use brisk_core::{binenc, BriskError, EventRecord, Result};
 use brisk_picl::{PiclWriter, TsMode};
+use brisk_telemetry::{Counter, Registry};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io::Write;
+use std::path::Path;
 use std::sync::Arc;
 
-/// A consumer of the ISM's sorted output stream.
-pub trait EventSink: Send {
-    /// Deliver one sorted record.
-    fn on_record(&mut self, rec: &EventRecord) -> Result<()>;
-
-    /// Flush any buffering (called at shutdown and checkpoints).
-    fn flush(&mut self) -> Result<()> {
-        Ok(())
-    }
-}
-
-/// Blanket sink over a closure, handy in tests and small tools.
-impl<F: FnMut(&EventRecord) -> Result<()> + Send> EventSink for F {
-    fn on_record(&mut self, rec: &EventRecord) -> Result<()> {
-        self(rec)
-    }
-}
+pub use brisk_core::sink::EventSink;
 
 struct MemoryBufferInner {
     /// Encoded records, oldest first.
@@ -76,6 +62,13 @@ impl MemoryBuffer {
     pub fn write(&self, rec: &EventRecord) {
         let mut encoded = Vec::with_capacity(rec.native_size());
         binenc::encode_record(rec, &mut encoded);
+        self.write_encoded(encoded);
+    }
+
+    /// Append one record the caller already `binenc`-encoded. The delivery
+    /// path encodes each record exactly once and shares the bytes between
+    /// this buffer and the durable store.
+    pub fn write_encoded(&self, encoded: Vec<u8>) {
         let mut inner = self.inner.lock();
         inner.bytes += encoded.len();
         inner.records.push_back(encoded);
@@ -113,6 +106,7 @@ impl MemoryBuffer {
         MemoryBufferReader {
             buffer: Arc::clone(self),
             next_index: self.inner.lock().first_index,
+            missed_counter: None,
         }
     }
 
@@ -122,6 +116,7 @@ impl MemoryBuffer {
         MemoryBufferReader {
             buffer: Arc::clone(self),
             next_index: inner.first_index + inner.records.len() as u64,
+            missed_counter: None,
         }
     }
 }
@@ -130,9 +125,21 @@ impl MemoryBuffer {
 pub struct MemoryBufferReader {
     buffer: Arc<MemoryBuffer>,
     next_index: u64,
+    missed_counter: Option<Arc<Counter>>,
 }
 
 impl MemoryBufferReader {
+    /// Export this reader's cumulative eviction loss as the labeled series
+    /// `brisk_ism_reader_missed_total{reader="<label>"}`, so a lagging
+    /// consumer's silent in-memory loss shows up on `--stats-addr`.
+    pub fn bind_telemetry(&mut self, registry: &Registry, label: &str) {
+        self.missed_counter = Some(registry.counter_with(
+            "brisk_ism_reader_missed_total",
+            "Records this memory-buffer reader missed due to eviction",
+            &[("reader", label)],
+        ));
+    }
+
     /// Read all records available since the last poll. Returns the decoded
     /// records and the number missed due to eviction (0 for a reader that
     /// keeps up).
@@ -142,6 +149,9 @@ impl MemoryBufferReader {
         if self.next_index < inner.first_index {
             missed = inner.first_index - self.next_index;
             self.next_index = inner.first_index;
+            if let Some(c) = &self.missed_counter {
+                c.add(missed);
+            }
         }
         let skip = (self.next_index - inner.first_index) as usize;
         let mut out = Vec::with_capacity(inner.records.len().saturating_sub(skip));
@@ -169,8 +179,15 @@ impl EventSink for MemoryBufferSink {
 
 /// Sink writing PICL ASCII trace records to any `Write` target ("it may
 /// log instrumentation data to trace files in the PICL ASCII format").
+///
+/// Dropping the sink flushes buffered records, so a trace file opened via
+/// [`PiclFileSink::from_path`] is complete even when the ISM exits without
+/// an explicit [`EventSink::flush`] call.
 pub struct PiclFileSink {
     writer: PiclWriter<Box<dyn Write + Send>>,
+    /// Duplicate handle to the backing file (when there is one), kept so
+    /// `flush()` can `sync_all` the written bytes to stable storage.
+    sync_handle: Option<std::fs::File>,
 }
 
 impl PiclFileSink {
@@ -179,6 +196,20 @@ impl PiclFileSink {
     pub fn new(target: Box<dyn Write + Send>, mode: TsMode) -> Result<Self> {
         Ok(PiclFileSink {
             writer: PiclWriter::new(target, mode)?,
+            sync_handle: None,
+        })
+    }
+
+    /// New sink writing to the file at `path` (created/truncated). Unlike
+    /// [`PiclFileSink::new`], this keeps a handle to the file so `flush()`
+    /// also forces the trace to stable storage with `sync_all`.
+    pub fn from_path(path: impl AsRef<Path>, mode: TsMode) -> Result<Self> {
+        let file = std::fs::File::create(path)?;
+        let sync_handle = file.try_clone().ok();
+        let target: Box<dyn Write + Send> = Box::new(file);
+        Ok(PiclFileSink {
+            writer: PiclWriter::new(target, mode)?,
+            sync_handle,
         })
     }
 
@@ -194,7 +225,19 @@ impl EventSink for PiclFileSink {
     }
 
     fn flush(&mut self) -> Result<()> {
-        self.writer.flush()
+        self.writer.flush()?;
+        if let Some(f) = &self.sync_handle {
+            f.sync_all()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for PiclFileSink {
+    fn drop(&mut self) {
+        // Best effort: never panic in drop, but do not leave buffered
+        // records behind when a sink is dropped without an explicit flush.
+        let _ = self.flush();
     }
 }
 
@@ -346,6 +389,41 @@ mod tests {
         let text = String::from_utf8(shared.lock().clone()).unwrap();
         let parsed = read_trace(text.as_bytes()).unwrap();
         assert_eq!(parsed.len(), 5);
+    }
+
+    #[test]
+    fn picl_sink_drop_flushes_file() {
+        use brisk_picl::read_trace;
+        let path = std::env::temp_dir().join(format!("brisk-picl-drop-{}.trc", std::process::id()));
+        {
+            let mut sink = PiclFileSink::from_path(&path, TsMode::Utc).unwrap();
+            for i in 0..7 {
+                sink.on_record(&rec(i)).unwrap();
+            }
+            // No explicit flush: Drop must do it.
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let parsed = read_trace(&bytes[..]).unwrap();
+        assert_eq!(parsed.len(), 7);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reader_missed_counter_is_exported() {
+        let registry = Registry::new();
+        let buf = MemoryBuffer::new(1024);
+        let mut reader = buf.reader();
+        reader.bind_telemetry(&registry, "test");
+        for i in 0..100 {
+            buf.write(&rec(i));
+        }
+        let (_, missed) = reader.poll().unwrap();
+        assert!(missed > 0);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_labeled("brisk_ism_reader_missed_total", &[("reader", "test")]),
+            Some(missed)
+        );
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! # brisk-store — durable segmented trace store with crash recovery
+//!
+//! The paper's ISM keeps the merged trace "in a memory buffer" with an
+//! optional PICL text file (§3.5); both lose data — the memory buffer by
+//! evicting under pressure, the whole trace on an ISM crash. Protocol v2
+//! made EXS→ISM delivery exactly-once; this crate closes the remaining
+//! loss hole *after* the ISM by appending every sorted record to a
+//! segmented, append-only on-disk log:
+//!
+//! * [`writer::StoreWriter`] — an [`brisk_core::sink::EventSink`] appending
+//!   CRC32-framed [`brisk_core::binenc`]-encoded records into fixed-size
+//!   segment files, with a configurable fsync policy, segment rotation,
+//!   byte/age retention, and a sparse timestamp index per segment.
+//! * [`reader::StoreReader`] — scans segments, validates CRCs, truncates
+//!   torn tails after a crash (recovering every intact record), seeks by
+//!   timestamp and live-tails a store another process is writing.
+//! * [`replay::Replayer`] — feeds a stored trace back through `EventSink`s
+//!   at original or accelerated speed, so consumers can be re-driven
+//!   offline from a capture.
+//!
+//! The on-disk format is specified in [`segment`]; durability trade-offs
+//! are selected with [`brisk_core::config::FsyncPolicy`] via
+//! [`brisk_core::config::StoreConfig`].
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod crc;
+pub mod reader;
+pub mod replay;
+pub mod segment;
+pub mod writer;
+
+pub use reader::{RecoveryReport, StoreReader, StoreTailer};
+pub use replay::{ReplayStats, Replayer};
+pub use writer::{StoreStats, StoreWriter};

@@ -1,0 +1,154 @@
+//! Replay: feed a stored trace back through [`EventSink`]s.
+//!
+//! A stored trace is already globally sorted (it is the ISM's *output*), so
+//! replay is a single pass. The driver reproduces the original inter-record
+//! timing — or compresses it by a speed factor — so downstream consumers
+//! (latency trackers, visual objects) observe the same temporal shape as
+//! the live run. Gaps are capped so a trace with an hour of idle time does
+//! not stall a replay for an hour.
+
+use brisk_core::sink::EventSink;
+use brisk_core::{EventRecord, Result};
+use std::time::{Duration, Instant};
+
+/// Longest single gap a paced replay will sleep through.
+const MAX_GAP: Duration = Duration::from_secs(1);
+
+/// Drives records through a sink at original or accelerated speed.
+#[derive(Clone, Copy, Debug)]
+pub struct Replayer {
+    /// Time-compression factor: 1.0 = original pacing, 10.0 = ten times
+    /// faster, `f64::INFINITY` (or anything non-finite / non-positive) =
+    /// as fast as the sink accepts records.
+    speed: f64,
+}
+
+impl Replayer {
+    /// Replay at the trace's original pacing.
+    pub fn original_speed() -> Replayer {
+        Replayer { speed: 1.0 }
+    }
+
+    /// Replay as fast as the sink accepts records (no sleeping).
+    pub fn flat_out() -> Replayer {
+        Replayer {
+            speed: f64::INFINITY,
+        }
+    }
+
+    /// Replay with the given time-compression factor.
+    pub fn at_speed(speed: f64) -> Replayer {
+        Replayer { speed }
+    }
+
+    fn paced(&self) -> bool {
+        self.speed.is_finite() && self.speed > 0.0
+    }
+
+    /// Push every record through `sink` (flushing it at the end) and report
+    /// what was replayed.
+    pub fn replay(&self, records: &[EventRecord], sink: &mut dyn EventSink) -> Result<ReplayStats> {
+        let start = Instant::now();
+        let mut prev_ts = None;
+        for rec in records {
+            if let (true, Some(prev)) = (self.paced(), prev_ts) {
+                let gap_us = rec.ts.micros_since(prev).max(0) as f64 / self.speed;
+                let gap = Duration::from_micros(gap_us as u64).min(MAX_GAP);
+                if !gap.is_zero() {
+                    std::thread::sleep(gap);
+                }
+            }
+            prev_ts = Some(rec.ts);
+            sink.on_record(rec)?;
+        }
+        sink.flush()?;
+        let trace_span = match (records.first(), records.last()) {
+            (Some(f), Some(l)) => Duration::from_micros(l.ts.micros_since(f.ts).max(0) as u64),
+            _ => Duration::ZERO,
+        };
+        Ok(ReplayStats {
+            records: records.len() as u64,
+            wall: start.elapsed(),
+            trace_span,
+        })
+    }
+}
+
+/// What a [`Replayer::replay`] run delivered.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayStats {
+    /// Records pushed through the sink.
+    pub records: u64,
+    /// Wall-clock duration of the replay.
+    pub wall: Duration,
+    /// Timestamp span of the trace itself.
+    pub trace_span: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brisk_core::{EventTypeId, NodeId, SensorId, UtcMicros, Value};
+
+    fn rec(seq: u64, ts: i64) -> EventRecord {
+        EventRecord::new(
+            NodeId(1),
+            SensorId(0),
+            EventTypeId(1),
+            seq,
+            UtcMicros::from_micros(ts),
+            vec![Value::U64(seq)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flat_out_delivers_everything_in_order() {
+        let records: Vec<_> = (0..100).map(|i| rec(i, i as i64 * 1000)).collect();
+        let mut seen = Vec::new();
+        let mut sink = |r: &EventRecord| -> Result<()> {
+            seen.push(r.seq);
+            Ok(())
+        };
+        let stats = Replayer::flat_out().replay(&records, &mut sink).unwrap();
+        assert_eq!(stats.records, 100);
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        assert_eq!(stats.trace_span, Duration::from_micros(99_000));
+    }
+
+    #[test]
+    fn paced_replay_takes_roughly_trace_time() {
+        // 20 records, 2 ms apart → ~38 ms at original speed, ~3.8 ms at 10×.
+        let records: Vec<_> = (0..20).map(|i| rec(i, i as i64 * 2_000)).collect();
+        let mut count = 0u64;
+        let mut sink = |_r: &EventRecord| -> Result<()> {
+            count += 1;
+            Ok(())
+        };
+        let stats = Replayer::at_speed(10.0)
+            .replay(&records, &mut sink)
+            .unwrap();
+        assert_eq!(count, 20);
+        assert!(
+            stats.wall >= Duration::from_millis(3),
+            "10x replay of a 38 ms trace must take at least ~3.8 ms, took {:?}",
+            stats.wall
+        );
+        assert!(
+            stats.wall < Duration::from_millis(500),
+            "10x replay must be much faster than the original, took {:?}",
+            stats.wall
+        );
+    }
+
+    #[test]
+    fn giant_gaps_are_capped() {
+        let records = vec![rec(0, 0), rec(1, 3_600_000_000)]; // one hour apart
+        let mut sink = |_r: &EventRecord| -> Result<()> { Ok(()) };
+        let start = Instant::now();
+        Replayer::original_speed()
+            .replay(&records, &mut sink)
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,903 @@
+//! The write side: segment rotation, fsync policy, retention, repair.
+//!
+//! [`StoreWriter`] is an [`EventSink`], so the ISM's output stage can fan
+//! sorted records into it exactly like any other consumer. Appends go
+//! through a small write-behind buffer; full buffers are handed to a
+//! background writer thread, so the append path does one encode, one CRC
+//! and a copy, and an OS `write` stall (page reclaim, dirty throttling)
+//! overlaps the pipeline instead of blocking it. The queue is bounded, so
+//! a persistently slow device exerts backpressure rather than growing the
+//! heap. Every fsync point, rotation, [`EventSink::flush`] and drop drains
+//! the queue first (a barrier round-trip), so the durability loss window
+//! is still governed by the [`FsyncPolicy`] alone; `fsync=always` bypasses
+//! the thread entirely — each append writes and syncs inline.
+//!
+//! A writer never appends to a pre-existing segment: on open it *repairs*
+//! the directory (truncates torn tails left by a crash, rebuilds missing
+//! sidecar indexes) and then starts a fresh segment, so the repaired
+//! history is immutable from that point on.
+
+use crate::reader::{index_of_scan, list_segment_ids, scan_segment};
+use crate::segment::{
+    append_frame, index_path, segment_path, IndexEntry, SegmentHeader, SegmentIndex, FORMAT_VERSION,
+};
+use brisk_core::sink::EventSink;
+use brisk_core::{binenc, BriskError, EventRecord, FsyncPolicy, Result, StoreConfig, UtcMicros};
+use brisk_telemetry::{Histogram, Registry};
+use std::collections::BTreeSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Flush the write-behind buffer once it holds this many bytes.
+const WRITE_BEHIND_BYTES: usize = 64 * 1024;
+
+/// Full buffers in flight to the writer thread before `submit` blocks.
+/// Bounds the store's heap use at `(QUEUE + 1) × WRITE_BEHIND_BYTES`ish
+/// and turns a persistently slow device into backpressure on the caller.
+const WRITE_QUEUE_DEPTH: usize = 8;
+
+enum WriteJob {
+    /// Append `buf` to `file` (a shared handle to the active segment;
+    /// appends from one queue stay in order, and the main thread never
+    /// writes to a segment file again once its first buffer is queued).
+    Write { file: Arc<File>, buf: Vec<u8> },
+    /// Ack once every previously queued write has hit the OS.
+    Barrier(mpsc::SyncSender<()>),
+}
+
+/// Background writer: the append path swaps its full write-behind buffer
+/// for a recycled empty one and queues the full one here. First write
+/// error is sticky and surfaces at the next submit/barrier.
+struct WriteBehind {
+    jobs: Option<mpsc::SyncSender<WriteJob>>,
+    recycled: mpsc::Receiver<Vec<u8>>,
+    error: Arc<Mutex<Option<std::io::Error>>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WriteBehind {
+    fn spawn() -> WriteBehind {
+        let (jobs_tx, jobs_rx) = mpsc::sync_channel::<WriteJob>(WRITE_QUEUE_DEPTH);
+        let (recycled_tx, recycled_rx) = mpsc::channel::<Vec<u8>>();
+        let error = Arc::new(Mutex::new(None));
+        let sticky = Arc::clone(&error);
+        let thread = std::thread::Builder::new()
+            .name("brisk-store-write".into())
+            .spawn(move || {
+                while let Ok(job) = jobs_rx.recv() {
+                    match job {
+                        WriteJob::Write { file, mut buf } => {
+                            if sticky.lock().unwrap().is_none() {
+                                if let Err(e) = (&*file).write_all(&buf) {
+                                    *sticky.lock().unwrap() = Some(e);
+                                }
+                            }
+                            buf.clear();
+                            let _ = recycled_tx.send(buf);
+                        }
+                        WriteJob::Barrier(ack) => {
+                            let _ = ack.send(());
+                        }
+                    }
+                }
+            })
+            .expect("spawn brisk-store writer thread");
+        WriteBehind {
+            jobs: Some(jobs_tx),
+            recycled: recycled_rx,
+            error,
+            thread: Some(thread),
+        }
+    }
+
+    /// An empty buffer with warmed-up capacity, recycled from a completed
+    /// write when one is available.
+    fn take_buffer(&self) -> Vec<u8> {
+        self.recycled
+            .try_recv()
+            .unwrap_or_else(|_| Vec::with_capacity(WRITE_BEHIND_BYTES + 1024))
+    }
+
+    fn submit(&self, file: Arc<File>, buf: Vec<u8>) -> Result<()> {
+        self.check()?;
+        self.jobs
+            .as_ref()
+            .expect("sender lives until drop")
+            .send(WriteJob::Write { file, buf })
+            .map_err(|_| thread_gone())?;
+        Ok(())
+    }
+
+    /// Block until every queued write has been handed to the OS.
+    fn barrier(&self) -> Result<()> {
+        let (ack_tx, ack_rx) = mpsc::sync_channel(1);
+        self.jobs
+            .as_ref()
+            .expect("sender lives until drop")
+            .send(WriteJob::Barrier(ack_tx))
+            .map_err(|_| thread_gone())?;
+        ack_rx.recv().map_err(|_| thread_gone())?;
+        self.check()
+    }
+
+    fn check(&self) -> Result<()> {
+        match self.error.lock().unwrap().take() {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for WriteBehind {
+    fn drop(&mut self) {
+        // Close the queue so the thread drains what is left and exits.
+        drop(self.jobs.take());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn thread_gone() -> BriskError {
+    std::io::Error::new(
+        std::io::ErrorKind::BrokenPipe,
+        "store write-behind thread exited",
+    )
+    .into()
+}
+
+/// Monotonic totals the writer maintains; shared with telemetry `counter_fn`
+/// sources so binding a registry costs nothing on the append path.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Records appended.
+    pub records: AtomicU64,
+    /// Payload + framing bytes handed to the OS.
+    pub bytes_written: AtomicU64,
+    /// Segments created (including the repair pass's successor segment).
+    pub segments_created: AtomicU64,
+    /// Sealed segments currently retained.
+    pub segments_live: AtomicU64,
+    /// `fdatasync` calls issued.
+    pub fsyncs: AtomicU64,
+    /// Torn tails truncated during the open-time repair pass.
+    pub torn_tail_truncations: AtomicU64,
+    /// Sealed segments evicted by the retention policy.
+    pub retention_evictions: AtomicU64,
+}
+
+/// A sealed segment the writer still tracks for retention accounting.
+#[derive(Clone, Debug)]
+struct SealedSegment {
+    id: u64,
+    bytes: u64,
+    max_ts: UtcMicros,
+}
+
+struct ActiveSegment {
+    id: u64,
+    /// Shared with queued [`WriteJob`]s; cloning the `Arc` per handoff
+    /// beats a `dup(2)` per flush.
+    file: Arc<File>,
+    /// Bytes logically appended (buffered + written).
+    bytes: u64,
+    /// Frames not yet handed to the OS.
+    pending: Vec<u8>,
+    records: u64,
+    min_ts: UtcMicros,
+    max_ts: UtcMicros,
+    index: Vec<IndexEntry>,
+    /// Appends remaining until the next sparse-index entry (a countdown
+    /// beats `records % index_every` on the hot path — the modulo by a
+    /// runtime divisor was measurable per record).
+    index_countdown: u32,
+}
+
+/// Append-only writer over a store directory (see module docs).
+pub struct StoreWriter {
+    cfg: StoreConfig,
+    dir: PathBuf,
+    active: Option<ActiveSegment>,
+    sealed: Vec<SealedSegment>,
+    next_segment_id: u64,
+    known_nodes: BTreeSet<u32>,
+    /// Node of the most recent append; skips the set lookup on the (vastly
+    /// common) run of records from one node.
+    last_node: Option<u32>,
+    /// Appends not yet published to `stats` (drained at every flush point;
+    /// two `fetch_add`s per record were measurable on the append path).
+    unpublished_records: u64,
+    /// Frame bytes not yet published to `stats`.
+    unpublished_bytes: u64,
+    /// Stream timestamp at the last sync; `FsyncPolicy::Interval` compares
+    /// record timestamps against this (stream time, like retention, so the
+    /// append path never reads the wall clock — an `Instant::now()` per
+    /// record was measurable).
+    last_sync_ts: UtcMicros,
+    /// Newest appended record timestamp; drives age-based retention (the
+    /// stream's own clock, so retention behaves identically under replay).
+    last_ts: UtcMicros,
+    stats: Arc<StoreStats>,
+    fsync_micros: Option<Arc<Histogram>>,
+    scratch: Vec<u8>,
+    /// Background writer; `None` under `fsync=always`, which writes and
+    /// syncs inline so each append's durability is settled on return.
+    write_behind: Option<WriteBehind>,
+}
+
+impl StoreWriter {
+    /// Open (and if necessary repair) the store at `cfg.dir`.
+    pub fn open(cfg: &StoreConfig) -> Result<StoreWriter> {
+        cfg.validate()?;
+        let dir = cfg
+            .dir
+            .clone()
+            .ok_or_else(|| BriskError::Config("StoreConfig.dir is required".into()))?;
+        fs::create_dir_all(&dir)?;
+        let stats = Arc::new(StoreStats::default());
+        let mut sealed = Vec::new();
+        let mut next_segment_id = 0u64;
+        let mut known_nodes = BTreeSet::new();
+        let mut last_ts = UtcMicros::from_micros(i64::MIN);
+        for id in list_segment_ids(&dir)? {
+            next_segment_id = id + 1;
+            let seg_path = segment_path(&dir, id);
+            let idx_path = index_path(&dir, id);
+            let idx = match fs::read(&idx_path)
+                .ok()
+                .and_then(|b| SegmentIndex::decode(&b).ok())
+                .filter(|i| i.segment_id == id)
+            {
+                Some(idx) => idx,
+                None => {
+                    // Crash before seal (or a damaged sidecar): scan the
+                    // segment, truncate any torn tail, rebuild the index.
+                    let bytes = fs::read(&seg_path)?;
+                    let scan = match scan_segment(&bytes, 0) {
+                        Ok(s) => s,
+                        Err(_) => {
+                            // Header never made it to disk: nothing in this
+                            // file is recoverable.
+                            fs::remove_file(&seg_path)?;
+                            stats.torn_tail_truncations.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    if scan.torn_bytes > 0 {
+                        let f = OpenOptions::new().write(true).open(&seg_path)?;
+                        f.set_len(scan.structural_end)?;
+                        f.sync_all()?;
+                        stats.torn_tail_truncations.fetch_add(1, Ordering::Relaxed);
+                        stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let idx = index_of_scan(&scan, cfg.index_every);
+                    fs::write(&idx_path, idx.encode())?;
+                    idx
+                }
+            };
+            last_ts = last_ts.max(idx.max_ts);
+            sealed.push(SealedSegment {
+                id,
+                bytes: fs::metadata(&seg_path)?.len(),
+                max_ts: idx.max_ts,
+            });
+        }
+        // Seed the known-node set from the newest segment's header.
+        if let Some(last) = sealed.last() {
+            if let Ok(bytes) = fs::read(segment_path(&dir, last.id)) {
+                if let Ok((header, _)) = SegmentHeader::decode(&bytes) {
+                    known_nodes.extend(header.nodes);
+                }
+            }
+        }
+        stats
+            .segments_live
+            .store(sealed.len() as u64, Ordering::Relaxed);
+        Ok(StoreWriter {
+            cfg: cfg.clone(),
+            dir,
+            active: None,
+            sealed,
+            next_segment_id,
+            known_nodes,
+            last_node: None,
+            unpublished_records: 0,
+            unpublished_bytes: 0,
+            last_sync_ts: last_ts,
+            last_ts,
+            stats,
+            fsync_micros: None,
+            scratch: Vec::with_capacity(256),
+            write_behind: (cfg.fsync != FsyncPolicy::Always).then(WriteBehind::spawn),
+        })
+    }
+
+    /// The directory this writer appends into.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    /// Shared handle to the writer's monotonic totals.
+    pub fn stats(&self) -> Arc<StoreStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Register the store's telemetry series (`brisk_store_*`) with a
+    /// metrics registry.
+    pub fn bind_telemetry(&mut self, registry: &Registry) {
+        let s = self.stats();
+        macro_rules! counter {
+            ($name:literal, $help:literal, $field:ident) => {{
+                let s = Arc::clone(&s);
+                registry.counter_fn($name, $help, &[], move || s.$field.load(Ordering::Relaxed));
+            }};
+        }
+        counter!(
+            "brisk_store_records_total",
+            "Records appended to the durable trace store",
+            records
+        );
+        counter!(
+            "brisk_store_bytes_written_total",
+            "Frame bytes appended to segment files",
+            bytes_written
+        );
+        counter!(
+            "brisk_store_segments_created_total",
+            "Segment files created",
+            segments_created
+        );
+        counter!(
+            "brisk_store_fsyncs_total",
+            "fdatasync calls issued by the store writer",
+            fsyncs
+        );
+        counter!(
+            "brisk_store_torn_tail_truncations_total",
+            "Torn segment tails truncated during crash repair",
+            torn_tail_truncations
+        );
+        counter!(
+            "brisk_store_retention_evictions_total",
+            "Sealed segments evicted by the retention policy",
+            retention_evictions
+        );
+        {
+            let s = Arc::clone(&s);
+            registry.gauge_fn(
+                "brisk_store_segments_live",
+                "Sealed segments currently on disk",
+                &[],
+                move || s.segments_live.load(Ordering::Relaxed) as i64,
+            );
+        }
+        self.fsync_micros = Some(registry.histogram(
+            "brisk_store_fsync_micros",
+            "Latency of store fdatasync calls (µs)",
+        ));
+    }
+
+    /// Append one record; durability is governed by the fsync policy.
+    pub fn append(&mut self, rec: &EventRecord) -> Result<()> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        binenc::encode_record(rec, &mut scratch);
+        let result = self.append_encoded(rec, &scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    /// Append a record whose `binenc` payload the caller already produced.
+    ///
+    /// `payload` **must** be `binenc::encode_record(rec)` — the record is
+    /// used for index/retention bookkeeping, the payload is what lands in
+    /// the frame. The ISM delivery path encodes each record once for its
+    /// memory buffer and hands the same bytes here, so attaching the store
+    /// adds framing and a CRC but no second encode.
+    pub fn append_encoded(&mut self, rec: &EventRecord, payload: &[u8]) -> Result<()> {
+        let frame_len = (payload.len() + crate::segment::FRAME_OVERHEAD) as u64;
+
+        // Rotate before the append that would overflow the segment bound.
+        if let Some(active) = &self.active {
+            if active.records > 0 && active.bytes + frame_len > self.cfg.segment_bytes {
+                self.seal_active()?;
+            }
+        }
+        if self.active.is_none() {
+            self.open_segment(rec)?;
+        }
+        let active = self.active.as_mut().expect("opened above");
+        if active.index_countdown == 0 {
+            active.index.push(IndexEntry {
+                ordinal: active.records,
+                offset: active.bytes,
+                ts: rec.ts,
+            });
+            active.index_countdown = self.cfg.index_every;
+        }
+        active.index_countdown -= 1;
+        let before = active.pending.len();
+        append_frame(payload, &mut active.pending);
+        active.bytes += (active.pending.len() - before) as u64;
+        active.records += 1;
+        active.min_ts = active.min_ts.min(rec.ts);
+        active.max_ts = active.max_ts.max(rec.ts);
+        let pending_len = active.pending.len();
+        if self.last_node != Some(rec.node.0) {
+            self.known_nodes.insert(rec.node.0);
+            self.last_node = Some(rec.node.0);
+        }
+        self.last_ts = self.last_ts.max(rec.ts);
+        self.unpublished_records += 1;
+        self.unpublished_bytes += frame_len;
+
+        match self.cfg.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Interval(d) => {
+                if pending_len >= WRITE_BEHIND_BYTES {
+                    self.write_pending()?;
+                }
+                let elapsed = rec
+                    .ts
+                    .as_micros()
+                    .saturating_sub(self.last_sync_ts.as_micros());
+                if elapsed >= d.as_micros() as i64 {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {
+                if pending_len >= WRITE_BEHIND_BYTES {
+                    self.write_pending()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Hand buffered frames off the append path: queue them to the writer
+    /// thread when one is running, else `write` them inline (no fsync).
+    fn write_pending(&mut self) -> Result<()> {
+        if self.unpublished_records > 0 {
+            self.stats
+                .records
+                .fetch_add(self.unpublished_records, Ordering::Relaxed);
+            self.stats
+                .bytes_written
+                .fetch_add(self.unpublished_bytes, Ordering::Relaxed);
+            self.unpublished_records = 0;
+            self.unpublished_bytes = 0;
+        }
+        if let Some(active) = &mut self.active {
+            if !active.pending.is_empty() {
+                if let Some(wb) = &self.write_behind {
+                    let full = std::mem::replace(&mut active.pending, wb.take_buffer());
+                    wb.submit(Arc::clone(&active.file), full)?;
+                } else {
+                    (&*active.file).write_all(&active.pending)?;
+                    active.pending.clear();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Block until every frame handed to the writer thread has reached the
+    /// OS. No-op when writes are inline.
+    fn drain_writes(&self) -> Result<()> {
+        match &self.write_behind {
+            Some(wb) => wb.barrier(),
+            None => Ok(()),
+        }
+    }
+
+    /// Drain the write-behind buffer and `fdatasync` the active segment.
+    pub fn sync(&mut self) -> Result<()> {
+        self.write_pending()?;
+        self.drain_writes()?;
+        if let Some(active) = &self.active {
+            let start = Instant::now();
+            active.file.sync_data()?;
+            self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+            if let Some(h) = &self.fsync_micros {
+                h.record(start.elapsed().as_micros() as u64);
+            }
+        }
+        self.last_sync_ts = self.last_ts;
+        Ok(())
+    }
+
+    /// Seal the active segment (if any): drain buffers, write the sidecar
+    /// index, fsync as the policy requires, then apply retention.
+    pub fn seal_active(&mut self) -> Result<()> {
+        self.write_pending()?;
+        self.drain_writes()?;
+        let Some(active) = self.active.take() else {
+            return Ok(());
+        };
+        if self.cfg.fsync != FsyncPolicy::Never {
+            let start = Instant::now();
+            active.file.sync_data()?;
+            self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+            if let Some(h) = &self.fsync_micros {
+                h.record(start.elapsed().as_micros() as u64);
+            }
+        }
+        let idx = SegmentIndex {
+            segment_id: active.id,
+            record_count: active.records,
+            min_ts: active.min_ts,
+            max_ts: active.max_ts,
+            entries: active.index,
+        };
+        fs::write(index_path(&self.dir, active.id), idx.encode())?;
+        self.sealed.push(SealedSegment {
+            id: active.id,
+            bytes: active.bytes,
+            max_ts: active.max_ts,
+        });
+        self.stats
+            .segments_live
+            .store(self.sealed.len() as u64, Ordering::Relaxed);
+        self.apply_retention()?;
+        Ok(())
+    }
+
+    fn open_segment(&mut self, first: &EventRecord) -> Result<()> {
+        let id = self.next_segment_id;
+        self.next_segment_id += 1;
+        let mut nodes: Vec<u32> = self.known_nodes.iter().copied().collect();
+        if !self.known_nodes.contains(&first.node.0) {
+            nodes.push(first.node.0);
+            nodes.sort_unstable();
+        }
+        let header = SegmentHeader {
+            version: FORMAT_VERSION,
+            segment_id: id,
+            base_ts: first.ts,
+            nodes,
+        };
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(segment_path(&self.dir, id))?;
+        let header_bytes = header.encode();
+        file.write_all(&header_bytes)?;
+        self.stats.segments_created.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(header_bytes.len() as u64, Ordering::Relaxed);
+        self.active = Some(ActiveSegment {
+            id,
+            file: Arc::new(file),
+            bytes: header_bytes.len() as u64,
+            pending: Vec::with_capacity(WRITE_BEHIND_BYTES + 1024),
+            records: 0,
+            min_ts: UtcMicros::MAX,
+            max_ts: first.ts,
+            index: Vec::new(),
+            index_countdown: 0,
+        });
+        Ok(())
+    }
+
+    /// Evict sealed segments that exceed the byte or age bound. The active
+    /// segment is never evicted.
+    fn apply_retention(&mut self) -> Result<()> {
+        let mut evict = 0usize;
+        if let Some(age) = self.cfg.retain_age {
+            let cutoff = self
+                .last_ts
+                .as_micros()
+                .saturating_sub(age.as_micros() as i64);
+            while evict < self.sealed.len().saturating_sub(1)
+                && self.sealed[evict].max_ts.as_micros() < cutoff
+            {
+                evict += 1;
+            }
+        }
+        if self.cfg.retain_bytes > 0 {
+            let active_bytes = self.active.as_ref().map(|a| a.bytes).unwrap_or(0);
+            let mut total: u64 = self.sealed.iter().map(|s| s.bytes).sum::<u64>() + active_bytes;
+            let mut i = 0usize;
+            while total > self.cfg.retain_bytes && i < self.sealed.len().saturating_sub(1) {
+                total -= self.sealed[i].bytes;
+                i += 1;
+            }
+            evict = evict.max(i);
+        }
+        for seg in self.sealed.drain(..evict) {
+            let _ = fs::remove_file(segment_path(&self.dir, seg.id));
+            let _ = fs::remove_file(index_path(&self.dir, seg.id));
+            self.stats
+                .retention_evictions
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats
+            .segments_live
+            .store(self.sealed.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+impl EventSink for StoreWriter {
+    fn on_record(&mut self, rec: &EventRecord) -> Result<()> {
+        self.append(rec)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        match self.cfg.fsync {
+            FsyncPolicy::Never => {
+                // Drain so flushed frames are visible to readers (tailers
+                // poll the file right after a flush) — but no fsync.
+                self.write_pending()?;
+                self.drain_writes()
+            }
+            _ => self.sync(),
+        }
+    }
+}
+
+impl Drop for StoreWriter {
+    fn drop(&mut self) {
+        // Seal so readers get a sidecar index and no repair pass is needed
+        // after a clean shutdown. Errors are ignored: drop must not panic,
+        // and a failed seal degrades to the crash-recovery path.
+        let _ = self.seal_active();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::StoreReader;
+    use brisk_core::{EventTypeId, NodeId, SensorId, Value};
+    use std::sync::atomic::AtomicU32;
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "brisk-store-{tag}-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn rec(node: u32, seq: u64, ts: i64) -> EventRecord {
+        EventRecord::new(
+            NodeId(node),
+            SensorId(0),
+            EventTypeId(1),
+            seq,
+            UtcMicros::from_micros(ts),
+            vec![Value::U64(seq), Value::Str("payload".into())],
+        )
+        .unwrap()
+    }
+
+    fn cfg(dir: &std::path::Path) -> StoreConfig {
+        let mut c = StoreConfig::at(dir.to_path_buf());
+        c.segment_bytes = 4096;
+        c.fsync = FsyncPolicy::Never;
+        c
+    }
+
+    #[test]
+    fn write_reopen_read_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let cfg = cfg(&dir);
+        {
+            let mut w = StoreWriter::open(&cfg).unwrap();
+            for i in 0..500 {
+                w.append(&rec(1, i, i as i64 * 100)).unwrap();
+            }
+        } // drop seals
+        let reader = StoreReader::open(&dir).unwrap();
+        let (recs, report) = reader.read_all().unwrap();
+        assert_eq!(recs.len(), 500);
+        assert_eq!(report.torn_tail_truncations, 0);
+        assert_eq!(report.corrupt_frames, 0);
+        assert!(report.segments > 1, "4 KiB segments must have rotated");
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_writer_continues_segment_ids() {
+        let dir = temp_dir("reopen");
+        let cfg = cfg(&dir);
+        {
+            let mut w = StoreWriter::open(&cfg).unwrap();
+            for i in 0..100 {
+                w.append(&rec(2, i, i as i64)).unwrap();
+            }
+        }
+        {
+            let mut w = StoreWriter::open(&cfg).unwrap();
+            for i in 100..200 {
+                w.append(&rec(2, i, i as i64)).unwrap();
+            }
+        }
+        let reader = StoreReader::open(&dir).unwrap();
+        let (recs, _) = reader.read_all().unwrap();
+        assert_eq!(recs.len(), 200);
+        let ids = reader.segment_ids().unwrap();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        assert_eq!(
+            ids.len() as u64,
+            ids.last().unwrap() + 1 - ids.first().unwrap(),
+            "segment ids stay contiguous across reopen"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_repaired_on_reopen() {
+        let dir = temp_dir("repair");
+        let cfg = cfg(&dir);
+        {
+            let mut w = StoreWriter::open(&cfg).unwrap();
+            for i in 0..40 {
+                w.append(&rec(1, i, i as i64)).unwrap();
+            }
+            w.flush().unwrap();
+            // Simulate a crash: forget the writer without sealing.
+            std::mem::forget(w);
+        }
+        // Tear the last segment by hand.
+        let ids = list_segment_ids(&dir).unwrap();
+        let last = segment_path(&dir, *ids.last().unwrap());
+        let len = fs::metadata(&last).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&last).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let w = StoreWriter::open(&cfg).unwrap();
+        assert_eq!(
+            w.stats().torn_tail_truncations.load(Ordering::Relaxed),
+            1,
+            "repair pass must count the torn tail"
+        );
+        drop(w);
+        let (recs, report) = StoreReader::open(&dir).unwrap().read_all().unwrap();
+        assert_eq!(recs.len(), 39, "every intact record survives");
+        assert_eq!(report.torn_tail_truncations, 0, "tail already truncated");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_retention_evicts_oldest() {
+        let dir = temp_dir("retention");
+        let mut cfg = cfg(&dir);
+        cfg.retain_bytes = 12 * 1024;
+        let mut w = StoreWriter::open(&cfg).unwrap();
+        for i in 0..2000 {
+            w.append(&rec(1, i, i as i64 * 10)).unwrap();
+        }
+        w.seal_active().unwrap();
+        assert!(
+            w.stats().retention_evictions.load(Ordering::Relaxed) > 0,
+            "2000 records cannot fit in 12 KiB of 4 KiB segments"
+        );
+        let total: u64 = list_segment_ids(&dir)
+            .unwrap()
+            .iter()
+            .map(|&id| fs::metadata(segment_path(&dir, id)).unwrap().len())
+            .sum();
+        assert!(total <= cfg.retain_bytes + cfg.segment_bytes);
+        // Survivors are the newest records, contiguous to the end.
+        let (recs, _) = StoreReader::open(&dir).unwrap().read_all().unwrap();
+        assert_eq!(recs.last().unwrap().seq, 1999);
+        let seqs: Vec<u64> = recs.iter().map(|r| r.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn age_retention_uses_stream_time() {
+        let dir = temp_dir("age");
+        let mut cfg = cfg(&dir);
+        cfg.retain_age = Some(std::time::Duration::from_micros(500));
+        let mut w = StoreWriter::open(&cfg).unwrap();
+        for i in 0..2000 {
+            w.append(&rec(1, i, i as i64)).unwrap(); // 1 µs per record
+        }
+        w.seal_active().unwrap();
+        assert!(w.stats().retention_evictions.load(Ordering::Relaxed) > 0);
+        let (recs, _) = StoreReader::open(&dir).unwrap().read_all().unwrap();
+        // Oldest surviving segment may reach below the cutoff, but whole
+        // segments strictly older than it are gone.
+        assert!(recs.first().unwrap().ts.as_micros() > 0);
+        assert_eq!(recs.last().unwrap().seq, 1999);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_always_counts_syncs() {
+        let dir = temp_dir("always");
+        let mut cfg = cfg(&dir);
+        cfg.fsync = FsyncPolicy::Always;
+        let mut w = StoreWriter::open(&cfg).unwrap();
+        for i in 0..10 {
+            w.append(&rec(1, i, i as i64)).unwrap();
+        }
+        assert!(w.stats().fsyncs.load(Ordering::Relaxed) >= 10);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seek_by_timestamp() {
+        let dir = temp_dir("seek");
+        let cfg = cfg(&dir);
+        {
+            let mut w = StoreWriter::open(&cfg).unwrap();
+            for i in 0..1000 {
+                w.append(&rec(1, i, 1_000_000 + i as i64 * 1000)).unwrap();
+            }
+        }
+        let reader = StoreReader::open(&dir).unwrap();
+        let from = UtcMicros::from_micros(1_000_000 + 700 * 1000);
+        let (recs, _) = reader.read_from(from).unwrap();
+        assert_eq!(recs.len(), 300);
+        assert_eq!(recs[0].seq, 700);
+        assert!(recs.iter().all(|r| r.ts >= from));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tailer_follows_rotation() {
+        let dir = temp_dir("tail");
+        let cfg = cfg(&dir);
+        let mut w = StoreWriter::open(&cfg).unwrap();
+        let reader = StoreReader::open(&dir).unwrap();
+        let mut tail = reader.tail();
+        let mut seen = 0u64;
+        for i in 0..600 {
+            w.append(&rec(1, i, i as i64)).unwrap();
+            if i % 97 == 0 {
+                w.flush().unwrap(); // make buffered frames visible
+                for r in tail.poll().unwrap() {
+                    assert_eq!(r.seq, seen);
+                    seen += 1;
+                }
+            }
+        }
+        w.flush().unwrap();
+        for r in tail.poll().unwrap() {
+            assert_eq!(r.seq, seen);
+            seen += 1;
+        }
+        assert_eq!(seen, 600);
+        assert_eq!(tail.corrupt_frames(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_binds_store_series() {
+        let dir = temp_dir("telemetry");
+        let cfg = cfg(&dir);
+        let registry = Registry::new();
+        let mut w = StoreWriter::open(&cfg).unwrap();
+        w.bind_telemetry(&registry);
+        for i in 0..100 {
+            w.append(&rec(1, i, i as i64)).unwrap();
+        }
+        w.sync().unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("brisk_store_records_total"), 100);
+        assert!(snap.counter_total("brisk_store_bytes_written_total") > 0);
+        assert!(snap.counter_total("brisk_store_fsyncs_total") >= 1);
+        let h = snap.histogram("brisk_store_fsync_micros").unwrap();
+        assert!(h.count() >= 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

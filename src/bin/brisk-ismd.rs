@@ -7,11 +7,18 @@
 //! ```text
 //! brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] [--ts utc|secs]
 //!            [--poll-period-ms N] [--stats-every-s N] [--stats-addr HOST:PORT]
+//!            [--store-dir DIR] [--fsync always|never|interval:MS]
+//!            [--retain-bytes N] [--segment-bytes N]
 //! ```
 //!
 //! `--stats-addr` serves the full telemetry registry as Prometheus text
 //! exposition (`curl http://HOST:PORT/metrics`); the same registry backs
 //! the periodic stats dump on stderr.
+//!
+//! `--store-dir` turns on the durable trace store: every sorted record is
+//! appended to CRC-framed segment files under the directory, surviving ISM
+//! crashes (reopening repairs torn tails) and replayable afterwards with
+//! `brisk-load --replay DIR`.
 //!
 //! Runs until stdin closes or a line `quit` arrives (daemon managers send
 //! EOF; interactive users type quit), then flushes and prints a final
@@ -31,6 +38,7 @@ struct Args {
     poll_period: Duration,
     stats_every: Duration,
     stats_addr: Option<String>,
+    store: StoreConfig,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -43,6 +51,7 @@ fn parse_args() -> std::result::Result<Args, String> {
         poll_period: Duration::from_secs(5),
         stats_every: Duration::from_secs(10),
         stats_addr: None,
+        store: StoreConfig::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -74,11 +83,28 @@ fn parse_args() -> std::result::Result<Args, String> {
                 )
             }
             "--stats-addr" => args.stats_addr = Some(val("--stats-addr")?),
+            "--store-dir" => args.store.dir = Some(val("--store-dir")?.into()),
+            "--fsync" => {
+                args.store.fsync =
+                    FsyncPolicy::parse(&val("--fsync")?).map_err(|e| format!("bad --fsync: {e}"))?
+            }
+            "--retain-bytes" => {
+                args.store.retain_bytes = val("--retain-bytes")?
+                    .parse()
+                    .map_err(|e| format!("bad --retain-bytes: {e}"))?
+            }
+            "--segment-bytes" => {
+                args.store.segment_bytes = val("--segment-bytes")?
+                    .parse()
+                    .map_err(|e| format!("bad --segment-bytes: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] \
                             [--ts utc|secs] [--poll-period-ms N] [--stats-every-s N] \
-                            [--stats-addr HOST:PORT]"
+                            [--stats-addr HOST:PORT] [--store-dir DIR] \
+                            [--fsync always|never|interval:MS] [--retain-bytes N] \
+                            [--segment-bytes N]"
                         .into(),
                 )
             }
@@ -97,15 +123,29 @@ fn main() {
         }
     };
 
+    let ism_cfg = IsmConfig {
+        store: args.store.clone(),
+        ..IsmConfig::default()
+    };
     let mut server = IsmServer::new(
-        IsmConfig::default(),
+        ism_cfg,
         SyncConfig {
             poll_period: args.poll_period,
             ..SyncConfig::default()
         },
         Arc::new(SystemClock),
     )
-    .expect("default configuration is valid");
+    .unwrap_or_else(|e| {
+        eprintln!("cannot start ISM: {e}");
+        std::process::exit(1);
+    });
+    if let Some(dir) = &args.store.dir {
+        eprintln!(
+            "durable store -> {} (fsync {:?})",
+            dir.display(),
+            args.store.fsync
+        );
+    }
 
     let registry = Registry::new();
     server.bind_telemetry(&registry);
@@ -119,18 +159,16 @@ fn main() {
     });
 
     if let Some(path) = &args.picl {
-        let file = std::fs::File::create(path).unwrap_or_else(|e| {
-            eprintln!("cannot create PICL file {path}: {e}");
-            std::process::exit(1);
-        });
         let mode = if args.ts_secs {
             TsMode::SecondsSince(UtcMicros::now())
         } else {
             TsMode::Utc
         };
-        server
-            .core_mut()
-            .add_sink(Box::new(PiclFileSink::new(Box::new(file), mode).unwrap()));
+        let sink = PiclFileSink::from_path(path, mode).unwrap_or_else(|e| {
+            eprintln!("cannot create PICL file {path}: {e}");
+            std::process::exit(1);
+        });
+        server.core_mut().add_sink(Box::new(sink));
         eprintln!("PICL trace -> {path}");
     }
 

@@ -8,10 +8,17 @@
 //! ```text
 //! brisk-load [--tcp HOST:PORT | --uds PATH] [--node N] [--sensors N]
 //!            [--rate EV_PER_S] [--duration-s N] [--causal] [--stats]
+//! brisk-load --replay DIR [--speed F]
 //! ```
 //!
 //! `--stats` binds the node's ring buffers and EXS to a telemetry
 //! registry and dumps the full snapshot table at the end of the run.
+//!
+//! `--replay DIR` switches to offline mode: instead of generating load, it
+//! reads the durable trace a `brisk-ismd --store-dir DIR` run captured and
+//! re-drives it through an [`OrderChecker`], reporting recovery results
+//! and output-order quality.
+//! `--speed F` compresses the original timing by `F` (default: flat out).
 
 use brisk::prelude::*;
 use std::sync::Arc;
@@ -27,6 +34,8 @@ struct Args {
     duration: Duration,
     causal: bool,
     stats: bool,
+    replay: Option<String>,
+    speed: Option<f64>,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -40,6 +49,8 @@ fn parse_args() -> std::result::Result<Args, String> {
         duration: Duration::from_secs(10),
         causal: false,
         stats: false,
+        replay: None,
+        speed: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -57,11 +68,19 @@ fn parse_args() -> std::result::Result<Args, String> {
             }
             "--causal" => args.causal = true,
             "--stats" => args.stats = true,
+            "--replay" => args.replay = Some(val("--replay")?),
+            "--speed" => {
+                args.speed = Some(
+                    val("--speed")?
+                        .parse()
+                        .map_err(|e| format!("bad --speed: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: brisk-load [--tcp HOST:PORT | --uds PATH] [--node N] \
                             [--sensors N] [--rate EV_PER_S] [--duration-s N] [--causal] \
-                            [--stats]"
+                            [--stats] | brisk-load --replay DIR [--speed F]"
                         .into(),
                 )
             }
@@ -83,6 +102,59 @@ fn connect(args: &Args) -> brisk_core::Result<Box<dyn Connection>> {
     TcpTransport.connect(addr)
 }
 
+/// Offline mode: re-drive a stored trace through the analysis consumers.
+fn replay_main(dir: &str, speed: Option<f64>) {
+    let reader = StoreReader::open(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open store {dir}: {e}");
+        std::process::exit(1);
+    });
+    let (records, report) = reader.read_all().unwrap_or_else(|e| {
+        eprintln!("cannot read store {dir}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "brisk-load: recovered {} records from {} segments in {dir}\
+         \n            (torn tails truncated: {}, torn bytes: {}, corrupt frames: {})",
+        report.records,
+        report.segments,
+        report.torn_tail_truncations,
+        report.torn_bytes,
+        report.corrupt_frames,
+    );
+    let replayer = match speed {
+        Some(f) => Replayer::at_speed(f),
+        None => Replayer::flat_out(),
+    };
+    let mut checker = OrderChecker::new();
+    let mut sink = |rec: &brisk_core::EventRecord| -> brisk_core::Result<()> {
+        checker.observe(rec);
+        Ok(())
+    };
+    let stats = replayer.replay(&records, &mut sink).unwrap_or_else(|e| {
+        eprintln!("replay failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "brisk-load: replayed {} records in {:?} (trace span {:?}{})",
+        stats.records,
+        stats.wall,
+        stats.trace_span,
+        match speed {
+            Some(f) => format!(", speed {f}x"),
+            None => ", flat out".into(),
+        },
+    );
+    eprintln!(
+        "brisk-load: order check: {} records, {} inversions (rate {:.6}), \
+         max inversion {} us, {} sequence gaps",
+        checker.total(),
+        checker.inversions(),
+        checker.inversion_rate(),
+        checker.max_inversion_us(),
+        checker.seq_gaps(),
+    );
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -91,6 +163,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Some(dir) = &args.replay {
+        replay_main(dir, args.speed);
+        return;
+    }
 
     let clock = Arc::new(SystemClock);
     let cfg = ExsConfig::default();

@@ -73,6 +73,7 @@
 //! | [`consumers`] | visual objects + analysis tools |
 //! | [`sim`] | deterministic experiment substrate |
 //! | [`telemetry`] | lock-free self-instrumentation metrics + exporters |
+//! | [`store`] | durable segmented trace store, crash recovery, replay |
 
 #![deny(missing_docs)]
 
@@ -86,6 +87,7 @@ pub use brisk_picl as picl;
 pub use brisk_proto as proto;
 pub use brisk_ringbuf as ringbuf;
 pub use brisk_sim as sim;
+pub use brisk_store as store;
 pub use brisk_telemetry as telemetry;
 pub use brisk_xdr as xdr;
 
@@ -113,6 +115,7 @@ pub mod prelude {
     pub use brisk_proto::Message;
     pub use brisk_ringbuf::{RingSet, SensorPort};
     pub use brisk_sim::{SortingConfig, SyncSimConfig, SyncSimulation};
+    pub use brisk_store::{Replayer, StoreReader, StoreTailer, StoreWriter};
     pub use brisk_telemetry::{
         serve_prometheus, Counter, Gauge, Histogram, Registry, StageTimer, StatsServer,
         TelemetrySnapshot,
