@@ -366,6 +366,46 @@ impl StoreConfig {
     }
 }
 
+/// EXS→ISM flow-control knobs (protocol v3 credit).
+///
+/// With credit on, the ISM grants each connection a budget of
+/// unacknowledged records in `HelloAck`, re-advertised on every
+/// `BatchAck`; the EXS stops scooping its rings when the budget is spent,
+/// so overload backs up into the SPSC rings' drop accounting instead of
+/// RAM. The manager's own ingest queue can be bounded independently, and
+/// under sorter memory pressure the shedding policy picks what to lose.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowConfig {
+    /// Records one connection may have unacknowledged in flight. `0`
+    /// disables credit grants: v3 peers fall back to v2 (ack-only)
+    /// semantics.
+    pub credit_records: u64,
+    /// Bound on records queued between the pump threads and the manager.
+    /// While the queue holds more, pumps stop reading their sockets (TCP
+    /// backpressure does the rest). `0` leaves the queue unbounded.
+    pub max_queued_records: usize,
+    /// Under sorter memory pressure, drop the oldest *unmarked* records
+    /// instead of force-releasing everything early. CRE-marked records are
+    /// never dropped. `false` keeps the force-release behaviour.
+    pub shed_unmarked: bool,
+}
+
+impl FlowConfig {
+    /// Validate knob values.
+    pub fn validate(&self) -> Result<()> {
+        // Every combination is functional: zeros disable the respective
+        // mechanism, and an EXS may always send when its window is empty,
+        // so even a tiny credit budget cannot deadlock the path. Guard
+        // only against a budget so small it forces one-record batches.
+        if self.credit_records != 0 && self.credit_records < 16 {
+            return Err(BriskError::Config(
+                "credit_records must be 0 (off) or at least 16".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// ISM knobs: the sorter and CRE configs plus resource bounds.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct IsmConfig {
@@ -379,6 +419,8 @@ pub struct IsmConfig {
     pub max_buffered_records: usize,
     /// Durable trace store knobs (disabled unless `store.dir` is set).
     pub store: StoreConfig,
+    /// EXS→ISM flow-control knobs (credit, queue bound, shedding).
+    pub flow: FlowConfig,
 }
 
 impl IsmConfig {
@@ -386,7 +428,8 @@ impl IsmConfig {
     pub fn validate(&self) -> Result<()> {
         self.sorter.validate()?;
         self.cre.validate()?;
-        self.store.validate()
+        self.store.validate()?;
+        self.flow.validate()
     }
 }
 
@@ -489,6 +532,31 @@ mod tests {
         let mut c = IsmConfig::default();
         c.store.segment_bytes = 16;
         assert!(c.validate().is_err());
+        let mut c = IsmConfig::default();
+        c.flow.credit_records = 3;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn flow_validation() {
+        FlowConfig::default().validate().unwrap();
+        let c = FlowConfig {
+            credit_records: 0,
+            max_queued_records: 0,
+            shed_unmarked: true,
+        };
+        c.validate().unwrap();
+        let c = FlowConfig {
+            credit_records: 16,
+            max_queued_records: 1,
+            shed_unmarked: false,
+        };
+        c.validate().unwrap();
+        let c = FlowConfig {
+            credit_records: 15,
+            ..FlowConfig::default()
+        };
+        assert!(c.validate().is_err(), "sub-batch budgets rejected");
     }
 
     #[test]

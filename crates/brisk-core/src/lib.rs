@@ -39,7 +39,7 @@ pub mod time;
 pub mod value;
 
 pub use config::{
-    CreConfig, ExsConfig, FsyncPolicy, IsmConfig, SorterConfig, StoreConfig, SyncConfig,
+    CreConfig, ExsConfig, FlowConfig, FsyncPolicy, IsmConfig, SorterConfig, StoreConfig, SyncConfig,
 };
 pub use descriptor::RecordDescriptor;
 pub use error::{BriskError, Result};
@@ -52,7 +52,8 @@ pub use value::{Value, ValueType};
 /// Convenient glob-import surface: `use brisk_core::prelude::*;`.
 pub mod prelude {
     pub use crate::config::{
-        CreConfig, ExsConfig, FsyncPolicy, IsmConfig, SorterConfig, StoreConfig, SyncConfig,
+        CreConfig, ExsConfig, FlowConfig, FsyncPolicy, IsmConfig, SorterConfig, StoreConfig,
+        SyncConfig,
     };
     pub use crate::descriptor::RecordDescriptor;
     pub use crate::error::{BriskError, Result};

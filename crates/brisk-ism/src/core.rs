@@ -9,7 +9,7 @@
 
 use crate::cre::{CreMatcher, CreStats};
 use crate::output::{EventSink, MemoryBuffer};
-use crate::sorter::{OnlineSorter, SorterStats};
+use crate::sorter::{OnlineSorter, OverloadPolicy, SorterStats};
 use brisk_core::{binenc, EventRecord, IsmConfig, NodeId, Result, UtcMicros};
 use brisk_store::StoreWriter;
 use brisk_telemetry::{Counter, Gauge, Histogram, Registry};
@@ -72,6 +72,12 @@ struct CoreTelemetry {
     tachyons_repaired: Arc<Counter>,
     /// Last CRE repair total already pushed to `tachyons_repaired`.
     last_tachyons: u64,
+    shed: Arc<Counter>,
+    /// Last sorter shed total already pushed to `shed`.
+    last_shed: u64,
+    ts_clamped: Arc<Counter>,
+    /// Last sorter clamp total already pushed to `ts_clamped`.
+    last_ts_clamped: u64,
     /// Record creation → delivery latency on synchronized time.
     e2e_latency_us: Arc<Histogram>,
 }
@@ -89,9 +95,13 @@ impl IsmCore {
             Some(_) => Some(StoreWriter::open(&cfg.store)?),
             None => None,
         };
+        let mut sorter = OnlineSorter::new(cfg.sorter.clone(), cfg.max_buffered_records)?;
+        if cfg.flow.shed_unmarked {
+            sorter.set_overload_policy(OverloadPolicy::ShedUnmarked);
+        }
         Ok(IsmCore {
             cre: CreMatcher::new(cfg.cre.clone())?,
-            sorter: OnlineSorter::new(cfg.sorter.clone(), cfg.max_buffered_records)?,
+            sorter,
             memory: MemoryBuffer::new(memory_bytes),
             sinks: Vec::new(),
             store,
@@ -176,6 +186,16 @@ impl IsmCore {
                 "Causality violations repaired by the CRE switch",
             ),
             last_tachyons: self.cre.stats().tachyons_repaired,
+            shed: registry.counter(
+                "brisk_ism_shed_total",
+                "Unmarked records dropped by the overload-shedding policy",
+            ),
+            last_shed: self.sorter.stats().shed,
+            ts_clamped: registry.counter(
+                "brisk_ism_ts_clamped_total",
+                "Non-monotone same-source records whose timestamp was clamped",
+            ),
+            last_ts_clamped: self.sorter.stats().ts_clamped,
             e2e_latency_us,
         });
     }
@@ -291,6 +311,12 @@ impl IsmCore {
             let repaired = self.cre.stats().tachyons_repaired;
             t.tachyons_repaired.add(repaired - t.last_tachyons);
             t.last_tachyons = repaired;
+            let shed = self.sorter.stats().shed;
+            t.shed.add(shed - t.last_shed);
+            t.last_shed = shed;
+            let clamped = self.sorter.stats().ts_clamped;
+            t.ts_clamped.add(clamped - t.last_ts_clamped);
+            t.last_ts_clamped = clamped;
         }
         Ok(n)
     }

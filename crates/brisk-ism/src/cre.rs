@@ -147,7 +147,21 @@ impl CreMatcher {
                     }
                 }
                 None => {
-                    // Reason not seen yet: hold.
+                    // Reason not seen yet: hold. A relay hop (conseq of one
+                    // id, reason for another) still registers the reason id
+                    // it carries, so consequences of the hop don't stall
+                    // until the hold timeout; waiters already held for that
+                    // id release when the hop itself does.
+                    if let Some(rid) = reason_id {
+                        self.stats.reasons += 1;
+                        self.reasons.insert(
+                            rid,
+                            ReasonEntry {
+                                ts: rec.ts,
+                                seen_at: now,
+                            },
+                        );
+                    }
                     self.stats.held += 1;
                     self.waiting
                         .entry(id)
@@ -172,18 +186,7 @@ impl CreMatcher {
             if let Some(held) = self.waiting.remove(&id) {
                 // The reason itself goes first so consumers see causality.
                 out.pass.push(rec);
-                for mut h in held {
-                    if h.rec.ts <= reason_ts {
-                        h.rec
-                            .override_ts(reason_ts.offset(self.cfg.tachyon_bump_us));
-                        self.stats.tachyons_repaired += 1;
-                        if self.cfg.extra_sync_on_tachyon {
-                            self.stats.extra_syncs_requested += 1;
-                            out.request_extra_sync = true;
-                        }
-                    }
-                    out.pass.push(h.rec);
-                }
+                self.release_cascade(reason_ts, held, now, &mut out);
                 return out;
             }
         } else if conseq_id.is_none() {
@@ -192,6 +195,47 @@ impl CreMatcher {
 
         out.pass.push(rec);
         out
+    }
+
+    /// Release `held` (the waiters of a reason stamped `reason_ts`),
+    /// repairing tachyons, and transitively release the waiters of any
+    /// released record that is itself a reason (a relay hop). The hop's
+    /// reason entry is refreshed with its final — possibly bumped —
+    /// timestamp so its consequences land causally after it.
+    fn release_cascade(
+        &mut self,
+        reason_ts: UtcMicros,
+        held: Vec<HeldConseq>,
+        now: UtcMicros,
+        out: &mut CreOutput,
+    ) {
+        let mut work = std::collections::VecDeque::new();
+        work.push_back((reason_ts, held));
+        while let Some((reason_ts, held)) = work.pop_front() {
+            for mut h in held {
+                if h.rec.ts <= reason_ts {
+                    h.rec
+                        .override_ts(reason_ts.offset(self.cfg.tachyon_bump_us));
+                    self.stats.tachyons_repaired += 1;
+                    if self.cfg.extra_sync_on_tachyon {
+                        self.stats.extra_syncs_requested += 1;
+                        out.request_extra_sync = true;
+                    }
+                }
+                // `stats.reasons` already counted when the hop registered
+                // its id at hold time — only the entry is refreshed here.
+                if let Some(rid) = h.rec.reason_id() {
+                    if let Some(entry) = self.reasons.get_mut(&rid) {
+                        entry.ts = h.rec.ts;
+                        entry.seen_at = now;
+                    }
+                    if let Some(waiters) = self.waiting.remove(&rid) {
+                        work.push_back((h.rec.ts, waiters));
+                    }
+                }
+                out.pass.push(h.rec);
+            }
+        }
     }
 
     /// Expire held consequences and stale reasons per the hold timeout.
@@ -420,6 +464,54 @@ mod tests {
         assert_eq!(out.pass[0].ts.as_micros(), 101);
         let out = m.process(conseq(2, 95), now);
         assert_eq!(out.pass[0].ts.as_micros(), 102, "chained repair");
+    }
+
+    fn relay_hop(conseq_of: u64, reason_for: u64, ts: i64) -> EventRecord {
+        EventRecord::new(
+            NodeId(3),
+            SensorId(0),
+            EventTypeId(4),
+            0,
+            UtcMicros::from_micros(ts),
+            vec![
+                Value::Conseq(CorrelationId(conseq_of)),
+                Value::Reason(CorrelationId(reason_for)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn held_relay_hop_registers_its_reason_id() {
+        // A relay hop held for its own reason must still register the
+        // reason id it carries, so consequences of the hop don't stall
+        // until the hold timeout.
+        let mut m = matcher();
+        let now = UtcMicros::ZERO;
+        assert!(
+            m.process(relay_hop(1, 2, 90), now).pass.is_empty(),
+            "hop held: reason 1 unseen"
+        );
+        let out = m.process(conseq(2, 95), now);
+        assert_eq!(out.pass.len(), 1, "conseq of the held hop must not stall");
+        assert_eq!(out.pass[0].ts.as_micros(), 95, "95 > 90: no repair needed");
+    }
+
+    #[test]
+    fn relay_chain_released_in_causal_order_without_timeouts() {
+        // Worst-case arrival order for the chain 1 → hop → 2:
+        // conseq(2) first, then the hop (conseq of 1, reason for 2),
+        // then reason(1). Everything must come out on the reason's
+        // arrival, causally stamped, with zero timeout expiries.
+        let mut m = matcher();
+        let now = UtcMicros::ZERO;
+        assert!(m.process(conseq(2, 80), now).pass.is_empty());
+        assert!(m.process(relay_hop(1, 2, 90), now).pass.is_empty());
+        let out = m.process(reason(1, 100), now);
+        let ts: Vec<i64> = out.pass.iter().map(|r| r.ts.as_micros()).collect();
+        assert_eq!(ts, vec![100, 101, 102], "reason → hop → conseq, causal");
+        assert_eq!(m.held_count(), 0);
+        assert_eq!(m.stats().expired, 0, "no timeout-expiry releases");
     }
 
     #[test]

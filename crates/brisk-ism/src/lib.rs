@@ -45,4 +45,4 @@ pub use crate::core::{IsmCore, IsmCoreStats};
 pub use cre::{CreMatcher, CreStats};
 pub use output::{EventSink, MemoryBuffer, MemoryBufferReader, PiclFileSink};
 pub use server::{IsmHandle, IsmServer};
-pub use sorter::{OnlineSorter, SorterStats};
+pub use sorter::{OnlineSorter, OverloadPolicy, SorterStats};

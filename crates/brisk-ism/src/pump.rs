@@ -8,7 +8,7 @@
 //! scheduling delays out of the skew samples.
 
 use brisk_clock::{Clock, SkewSample};
-use brisk_core::{BriskError, EventRecord, NodeId, Result};
+use brisk_core::{BriskError, EventRecord, FlowConfig, NodeId, Result};
 use brisk_net::Connection;
 use brisk_proto::Message;
 use brisk_telemetry::Counter;
@@ -16,6 +16,81 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Shared EXS→ISM flow-control state: one instance per server, touched by
+/// every pump and by the manager.
+///
+/// The manager's ingest queue itself stays an unbounded channel (events
+/// already read off a socket are never dropped); what is bounded is the
+/// number of *records* resident in it. While `queued` exceeds the
+/// configured bound, pumps stop reading their sockets — commands from the
+/// manager still run, so sync rounds and shutdown cannot deadlock — and
+/// TCP backpressure pushes the overload back to the sender, whose credit
+/// runs out next.
+pub struct FlowState {
+    cfg: FlowConfig,
+    queued: AtomicU64,
+    high_water: AtomicU64,
+    deferrals: AtomicU64,
+}
+
+impl FlowState {
+    /// New shared state for one server.
+    pub fn new(cfg: FlowConfig) -> Arc<Self> {
+        Arc::new(FlowState {
+            cfg,
+            queued: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+            deferrals: AtomicU64::new(0),
+        })
+    }
+
+    /// The per-connection credit budget to grant, or `None` when credit
+    /// flow control is disabled.
+    pub fn credit(&self) -> Option<u64> {
+        match self.cfg.credit_records {
+            0 => None,
+            n => Some(n),
+        }
+    }
+
+    /// Account `n` records entering the manager queue.
+    pub fn add(&self, n: u64) {
+        let now = self.queued.fetch_add(n, Ordering::Relaxed) + n;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Account `n` records leaving the manager queue.
+    pub fn sub(&self, n: u64) {
+        self.queued.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Records currently queued between the pumps and the manager.
+    pub fn queued_records(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Highest queue depth (records) observed so far.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// True while pumps should defer socket reads.
+    pub fn over_limit(&self) -> bool {
+        self.cfg.max_queued_records != 0
+            && self.queued_records() > self.cfg.max_queued_records as u64
+    }
+
+    /// Count one deferred socket read.
+    pub fn note_deferral(&self) {
+        self.deferrals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deferred socket reads so far.
+    pub fn deferrals(&self) -> u64 {
+        self.deferrals.load(Ordering::Relaxed)
+    }
+}
 
 /// Process-wide pump identity source. Ids disambiguate pump *instances*
 /// serving the same node: when a node reconnects, the manager must not
@@ -46,6 +121,11 @@ pub enum PumpCommand {
     Ack {
         /// Cumulative acknowledged sequence number.
         seq: u64,
+        /// Replenished credit budget to piggyback (protocol v3): the
+        /// maximum number of unacknowledged records the sender may have
+        /// in flight from now on. `None` on connections without credit
+        /// flow control (v1/v2 peers, or credit disabled).
+        credit: Option<u64>,
     },
     /// Send `Shutdown` to the slave and exit.
     Shutdown,
@@ -67,6 +147,9 @@ pub enum PumpEvent {
         seq: Option<u64>,
         /// The records.
         records: Vec<EventRecord>,
+        /// When the pump put this batch on the manager queue; the delay
+        /// until the manager acks it is the credit-grant latency.
+        enqueued_at: Instant,
     },
     /// A sync round's samples are ready (possibly fewer than requested if
     /// replies timed out).
@@ -94,6 +177,7 @@ pub struct PumpHandle {
     /// The node this pump serves.
     pub node: NodeId,
     id: u64,
+    version: u32,
     cmd_tx: Sender<PumpCommand>,
     /// `None` for pumps that run inline on their greeter thread (the
     /// accept path); the manager then relies on the `Disconnected` event
@@ -105,6 +189,12 @@ impl PumpHandle {
     /// This pump instance's identity (unique across the process).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The protocol version negotiated on this pump's connection; the
+    /// manager attaches credit to acks only when this is ≥ 3.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Send a command; returns `false` if the pump is gone.
@@ -128,9 +218,14 @@ const IDLE_RECV: Duration = Duration::from_millis(5);
 /// Perform the server-side handshake: read the `Hello`, negotiate the
 /// protocol version and return `(node, version)`. v2+ peers get a
 /// `HelloAck` carrying the negotiated version (v1 peers would not
-/// understand the message — its absence *is* the v1 signal). Call before
-/// [`spawn_pump`].
-pub fn handshake(conn: &mut Box<dyn Connection>, timeout: Duration) -> Result<(NodeId, u32)> {
+/// understand the message — its absence *is* the v1 signal); `credit` is
+/// the initial flow-control budget and rides along only when the
+/// negotiated version is ≥ 3. Call before [`spawn_pump`].
+pub fn handshake(
+    conn: &mut Box<dyn Connection>,
+    timeout: Duration,
+    credit: Option<u64>,
+) -> Result<(NodeId, u32)> {
     let deadline = Instant::now() + timeout;
     loop {
         let budget = deadline.saturating_duration_since(Instant::now());
@@ -143,7 +238,8 @@ pub fn handshake(conn: &mut Box<dyn Connection>, timeout: Duration) -> Result<(N
                     Message::Hello { node, version } => {
                         let version = brisk_proto::negotiate(version);
                         if version >= 2 {
-                            conn.send(&Message::HelloAck { version }.encode())?;
+                            let credit = if version >= 3 { credit } else { None };
+                            conn.send(&Message::HelloAck { version, credit }.encode())?;
                         }
                         Ok((node, version))
                     }
@@ -157,7 +253,8 @@ pub fn handshake(conn: &mut Box<dyn Connection>, timeout: Duration) -> Result<(N
     }
 }
 
-/// Spawn a pump for a connection that already completed [`handshake`].
+/// Spawn a pump for a connection that already completed [`handshake`],
+/// assuming the current protocol version was negotiated.
 pub fn spawn_pump(
     node: NodeId,
     conn: Box<dyn Connection>,
@@ -177,11 +274,11 @@ pub fn spawn_pump_with_counter(
     events: Sender<PumpEvent>,
     enqueued: Option<Arc<Counter>>,
 ) -> Result<PumpHandle> {
-    let (mut handle, cmd_rx) = pump_channel(node);
+    let (mut handle, cmd_rx) = pump_channel(node, brisk_proto::VERSION);
     let id = handle.id;
     let join = std::thread::Builder::new()
         .name(format!("brisk-pump-{node}"))
-        .spawn(move || run_pump(id, node, conn, clock, events, cmd_rx, enqueued))
+        .spawn(move || run_pump(id, node, conn, clock, events, cmd_rx, enqueued, None))
         .map_err(BriskError::Io)?;
     handle.join = Some(join);
     Ok(handle)
@@ -190,13 +287,15 @@ pub fn spawn_pump_with_counter(
 /// Build the handle/receiver pair for a pump that will run *inline* on
 /// the current thread (the greeter pattern: the accept loop hands the
 /// connection to a per-connection thread that handshakes and then calls
-/// [`run_pump`] itself). The handle carries no join — the manager learns
+/// [`run_pump`] itself). `version` is the negotiated protocol version
+/// from [`handshake`]. The handle carries no join — the manager learns
 /// of the pump's death through its `Disconnected` event.
-pub fn pump_channel(node: NodeId) -> (PumpHandle, Receiver<PumpCommand>) {
+pub fn pump_channel(node: NodeId, version: u32) -> (PumpHandle, Receiver<PumpCommand>) {
     let (cmd_tx, cmd_rx) = unbounded();
     let handle = PumpHandle {
         node,
         id: NEXT_PUMP_ID.fetch_add(1, Ordering::Relaxed),
+        version,
         cmd_tx,
         join: None,
     };
@@ -205,7 +304,9 @@ pub fn pump_channel(node: NodeId) -> (PumpHandle, Receiver<PumpCommand>) {
 
 /// Drive one pump to completion on the current thread. `id` must be the
 /// [`PumpHandle::id`] of the handle built by [`pump_channel`], so the
-/// final `Disconnected` event names the right pump instance.
+/// final `Disconnected` event names the right pump instance. `flow`
+/// makes the pump defer socket reads while the shared manager-queue
+/// bound is exceeded.
 #[allow(clippy::too_many_arguments)]
 pub fn run_pump(
     id: u64,
@@ -215,6 +316,7 @@ pub fn run_pump(
     events: Sender<PumpEvent>,
     cmd_rx: Receiver<PumpCommand>,
     enqueued: Option<Arc<Counter>>,
+    flow: Option<Arc<FlowState>>,
 ) {
     let mut pump = Pump {
         node,
@@ -224,6 +326,7 @@ pub fn run_pump(
         events,
         cmd_rx,
         enqueued,
+        flow,
     };
     pump.run();
 }
@@ -236,6 +339,7 @@ struct Pump {
     events: Sender<PumpEvent>,
     cmd_rx: Receiver<PumpCommand>,
     enqueued: Option<Arc<Counter>>,
+    flow: Option<Arc<FlowState>>,
 }
 
 impl Pump {
@@ -269,8 +373,12 @@ impl Pump {
                     }
                     continue;
                 }
-                Ok(PumpCommand::Ack { seq }) => {
-                    if self.conn.send(&Message::BatchAck { seq }.encode()).is_err() {
+                Ok(PumpCommand::Ack { seq, credit }) => {
+                    if self
+                        .conn
+                        .send(&Message::BatchAck { seq, credit }.encode())
+                        .is_err()
+                    {
                         break;
                     }
                     continue;
@@ -298,6 +406,18 @@ impl Pump {
                 }
                 Err(TryRecvError::Empty) => {}
                 Err(TryRecvError::Disconnected) => break,
+            }
+            // Backpressure: while the manager queue holds more records
+            // than the configured bound, stop reading the socket.
+            // Commands above still run, so sync rounds and shutdown make
+            // progress; the sender's unsent traffic piles up in the
+            // transport and its credit dries up next.
+            if let Some(flow) = &self.flow {
+                if flow.over_limit() {
+                    flow.note_deferral();
+                    std::thread::sleep(IDLE_RECV);
+                    continue;
+                }
             }
             // Then inbound traffic.
             match self.conn.recv(Some(IDLE_RECV)) {
@@ -333,11 +453,15 @@ impl Pump {
                         self.node
                     )));
                 }
+                if let Some(flow) = &self.flow {
+                    flow.add(records.len() as u64);
+                }
                 self.send_event(PumpEvent::Batch {
                     node: self.node,
                     id: self.id,
                     seq,
                     records,
+                    enqueued_at: Instant::now(),
                 });
                 Ok(())
             }
@@ -427,21 +551,70 @@ mod tests {
             )
             .unwrap();
         assert_eq!(
-            handshake(&mut server, Duration::from_secs(1)).unwrap(),
+            handshake(&mut server, Duration::from_secs(1), None).unwrap(),
             (NodeId(5), brisk_proto::VERSION)
         );
-        // A v2 peer is told the negotiated version.
+        // A v2+ peer is told the negotiated version.
         let frame = client.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
         assert_eq!(
             Message::decode(&frame).unwrap(),
             Message::HelloAck {
-                version: brisk_proto::VERSION
+                version: brisk_proto::VERSION,
+                credit: None
             }
         );
 
         let (mut server, mut client) = mem_pair();
         client.send(&Message::Shutdown.encode()).unwrap();
-        assert!(handshake(&mut server, Duration::from_millis(100)).is_err());
+        assert!(handshake(&mut server, Duration::from_millis(100), None).is_err());
+    }
+
+    #[test]
+    fn handshake_grants_credit_to_v3_peers_only() {
+        // A v3 peer receives the initial credit budget in its HelloAck.
+        let (mut server, mut client) = mem_pair();
+        client
+            .send(
+                &Message::Hello {
+                    node: NodeId(5),
+                    version: brisk_proto::VERSION,
+                }
+                .encode(),
+            )
+            .unwrap();
+        handshake(&mut server, Duration::from_secs(1), Some(512)).unwrap();
+        let frame = client.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        assert_eq!(
+            Message::decode(&frame).unwrap(),
+            Message::HelloAck {
+                version: brisk_proto::VERSION,
+                credit: Some(512)
+            }
+        );
+
+        // A v2 peer cannot decode the credit tag: the grant is dropped.
+        let (mut server, mut client) = mem_pair();
+        client
+            .send(
+                &Message::Hello {
+                    node: NodeId(5),
+                    version: 2,
+                }
+                .encode(),
+            )
+            .unwrap();
+        assert_eq!(
+            handshake(&mut server, Duration::from_secs(1), Some(512)).unwrap(),
+            (NodeId(5), 2)
+        );
+        let frame = client.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        assert_eq!(
+            Message::decode(&frame).unwrap(),
+            Message::HelloAck {
+                version: 2,
+                credit: None
+            }
+        );
     }
 
     #[test]
@@ -457,7 +630,7 @@ mod tests {
             )
             .unwrap();
         assert_eq!(
-            handshake(&mut server, Duration::from_secs(1)).unwrap(),
+            handshake(&mut server, Duration::from_secs(1), Some(512)).unwrap(),
             (NodeId(5), 1)
         );
         // No HelloAck: a v1 peer could not decode it.
@@ -470,7 +643,7 @@ mod tests {
     #[test]
     fn handshake_times_out() {
         let (mut server, _client) = mem_pair();
-        assert!(handshake(&mut server, Duration::from_millis(30)).is_err());
+        assert!(handshake(&mut server, Duration::from_millis(30), None).is_err());
     }
 
     #[test]
@@ -503,6 +676,7 @@ mod tests {
                 id,
                 seq,
                 records,
+                ..
             } => {
                 assert_eq!(node, NodeId(5));
                 assert_eq!(id, pump.id());
@@ -551,14 +725,83 @@ mod tests {
         let (server, mut client) = mem_pair();
         let (tx, _rx) = unbounded();
         let pump = spawn_pump(NodeId(5), server, Arc::new(SystemClock), tx).unwrap();
-        pump.command(PumpCommand::Ack { seq: 42 });
+        pump.command(PumpCommand::Ack {
+            seq: 42,
+            credit: Some(64),
+        });
         let frame = client.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
         assert_eq!(
             Message::decode(&frame).unwrap(),
-            Message::BatchAck { seq: 42 }
+            Message::BatchAck {
+                seq: 42,
+                credit: Some(64)
+            }
         );
         pump.command(PumpCommand::Shutdown);
         pump.join();
+    }
+
+    #[test]
+    fn over_limit_flow_defers_socket_reads_but_not_commands() {
+        let flow = FlowState::new(FlowConfig {
+            credit_records: 64,
+            max_queued_records: 1,
+            shed_unmarked: false,
+        });
+        flow.add(10); // some other pump filled the manager queue
+        let (server, mut client) = mem_pair();
+        let (tx, rx) = unbounded();
+        let (handle, cmd_rx) = pump_channel(NodeId(5), brisk_proto::VERSION);
+        let id = handle.id();
+        let flow2 = Arc::clone(&flow);
+        let join = std::thread::spawn(move || {
+            run_pump(
+                id,
+                NodeId(5),
+                server,
+                Arc::new(SystemClock),
+                tx,
+                cmd_rx,
+                None,
+                Some(flow2),
+            )
+        });
+        client
+            .send(
+                &Message::EventBatch {
+                    node: NodeId(5),
+                    seq: Some(1),
+                    records: vec![],
+                }
+                .encode(),
+            )
+            .unwrap();
+        // The batch stays in the transport while the queue is over its
+        // bound...
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+        // ...but manager commands are still serviced (no sync deadlock).
+        assert!(handle.command(PumpCommand::Ack {
+            seq: 7,
+            credit: Some(64)
+        }));
+        let frame = client.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+        assert_eq!(
+            Message::decode(&frame).unwrap(),
+            Message::BatchAck {
+                seq: 7,
+                credit: Some(64)
+            }
+        );
+        assert!(flow.deferrals() > 0);
+        // Once the manager drains the queue the deferred batch flows.
+        flow.sub(10);
+        match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            PumpEvent::Batch { seq, .. } => assert_eq!(seq, Some(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        handle.command(PumpCommand::Shutdown);
+        drop(client);
+        join.join().unwrap();
     }
 
     #[test]

@@ -17,12 +17,14 @@
 use crate::core::{IsmCore, IsmCoreStats};
 use crate::cre::CreStats;
 use crate::output::MemoryBuffer;
-use crate::pump::{handshake, pump_channel, run_pump, PumpCommand, PumpEvent, PumpHandle};
+use crate::pump::{
+    handshake, pump_channel, run_pump, FlowState, PumpCommand, PumpEvent, PumpHandle,
+};
 use crate::sorter::SorterStats;
 use brisk_clock::{Clock, SyncMaster, SyncOutcome};
 use brisk_core::{BriskError, IsmConfig, NodeId, Result, SyncConfig};
 use brisk_net::{ConnMetrics, Listener};
-use brisk_telemetry::{Counter, Registry};
+use brisk_telemetry::{Counter, Histogram, Registry};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,6 +52,7 @@ pub struct IsmServer {
     core: IsmCore,
     sync: SyncMaster,
     clock: Arc<dyn Clock>,
+    flow: Arc<FlowState>,
     registry: Option<Arc<Registry>>,
 }
 
@@ -64,20 +67,43 @@ const ROUND_DEADLINE: Duration = Duration::from_secs(2);
 impl IsmServer {
     /// New server.
     pub fn new(cfg: IsmConfig, sync_cfg: SyncConfig, clock: Arc<dyn Clock>) -> Result<Self> {
+        let flow = FlowState::new(cfg.flow);
         Ok(IsmServer {
             core: IsmCore::new(cfg)?,
             sync: SyncMaster::new(sync_cfg)?,
             clock,
+            flow,
             registry: None,
         })
     }
 
     /// Bind the whole server — core pipeline, sync master, connection
-    /// metering and the manager queue — to `registry`. Call before
-    /// [`IsmServer::spawn`].
+    /// metering, flow control and the manager queue — to `registry`. Call
+    /// before [`IsmServer::spawn`].
     pub fn bind_telemetry(&mut self, registry: &Arc<Registry>) {
         self.core.bind_telemetry(registry);
         self.sync.bind_telemetry(registry);
+        let f = Arc::clone(&self.flow);
+        registry.gauge_fn(
+            "brisk_ism_manager_queue_records",
+            "Records resident in the ISM manager queue",
+            &[],
+            move || f.queued_records() as i64,
+        );
+        let f = Arc::clone(&self.flow);
+        registry.gauge_fn(
+            "brisk_ism_manager_queue_depth_high_water",
+            "Highest record count ever resident in the ISM manager queue",
+            &[],
+            move || f.high_water() as i64,
+        );
+        let f = Arc::clone(&self.flow);
+        registry.counter_fn(
+            "brisk_ism_deferred_reads_total",
+            "Socket reads pumps deferred because the manager queue was over its bound",
+            &[],
+            move || f.deferrals(),
+        );
         self.registry = Some(Arc::clone(registry));
     }
 
@@ -107,6 +133,18 @@ impl IsmServer {
                 "Batch acknowledgements sent to external sensors",
             )
         });
+        let credit_grants = self.registry.as_ref().map(|r| {
+            r.counter(
+                "brisk_ism_credit_grants_total",
+                "Credit replenishments piggybacked on batch acknowledgements",
+            )
+        });
+        let grant_latency = self.registry.as_ref().map(|r| {
+            r.histogram(
+                "brisk_ism_grant_latency_us",
+                "Microseconds from a batch entering the manager queue to its credit grant",
+            )
+        });
         let (conn_metrics, enqueued, processed) = match &self.registry {
             Some(registry) => {
                 let enqueued = Arc::new(Counter::new());
@@ -131,6 +169,7 @@ impl IsmServer {
         let accept_stop = Arc::clone(&stop);
         let accept_clock = Arc::clone(&self.clock);
         let accept_events = event_tx.clone();
+        let accept_flow = Arc::clone(&self.flow);
         let accept_join = std::thread::Builder::new()
             .name("brisk-ism-accept".into())
             .spawn(move || {
@@ -142,6 +181,7 @@ impl IsmServer {
                     pump_tx,
                     conn_metrics,
                     enqueued,
+                    accept_flow,
                 )
             })
             .map_err(BriskError::Io)?;
@@ -152,6 +192,7 @@ impl IsmServer {
             core: self.core,
             sync: self.sync,
             clock: self.clock,
+            flow: self.flow,
             events: event_rx,
             new_pumps: pump_rx,
             pumps: HashMap::new(),
@@ -160,6 +201,8 @@ impl IsmServer {
             last_round_finished: Instant::now(),
             processed,
             acks_sent,
+            credit_grants,
+            grant_latency,
         };
         let manager_join = std::thread::Builder::new()
             .name("brisk-ism-manager".into())
@@ -176,6 +219,7 @@ impl IsmServer {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: &mut Box<dyn Listener>,
     stop: Arc<AtomicBool>,
@@ -184,6 +228,7 @@ fn accept_loop(
     pumps: Sender<PumpHandle>,
     conn_metrics: Option<ConnMetrics>,
     enqueued: Option<Arc<Counter>>,
+    flow: Arc<FlowState>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept(Some(Duration::from_millis(50))) {
@@ -202,19 +247,21 @@ fn accept_loop(
                 let events = events.clone();
                 let pumps = pumps.clone();
                 let enqueued = enqueued.clone();
+                let flow = Arc::clone(&flow);
                 let _ = std::thread::Builder::new()
                     .name("brisk-ism-greeter".into())
                     .spawn(move || {
-                        let Ok((node, _version)) = handshake(&mut conn, Duration::from_secs(5))
+                        let Ok((node, version)) =
+                            handshake(&mut conn, Duration::from_secs(5), flow.credit())
                         else {
                             return; // bad client; drop it
                         };
-                        let (handle, cmd_rx) = pump_channel(node);
+                        let (handle, cmd_rx) = pump_channel(node, version);
                         let id = handle.id();
                         if pumps.send(handle).is_err() {
                             return; // manager gone
                         }
-                        run_pump(id, node, conn, clock, events, cmd_rx, enqueued);
+                        run_pump(id, node, conn, clock, events, cmd_rx, enqueued, Some(flow));
                     });
             }
             Ok(None) => continue,
@@ -233,6 +280,7 @@ struct Manager {
     core: IsmCore,
     sync: SyncMaster,
     clock: Arc<dyn Clock>,
+    flow: Arc<FlowState>,
     events: Receiver<PumpEvent>,
     new_pumps: Receiver<PumpHandle>,
     pumps: HashMap<NodeId, PumpHandle>,
@@ -243,6 +291,8 @@ struct Manager {
     last_round_finished: Instant,
     processed: Option<Arc<Counter>>,
     acks_sent: Option<Arc<Counter>>,
+    credit_grants: Option<Arc<Counter>>,
+    grant_latency: Option<Arc<Histogram>>,
 }
 
 impl Manager {
@@ -326,13 +376,20 @@ impl Manager {
                 id,
                 seq,
                 records,
+                enqueued_at,
             } => {
+                let n = records.len() as u64;
                 // Dedup happens in the core; accepted or not, a sequenced
                 // batch is acked — a replayed duplicate means our earlier
                 // ack died with the old connection, so re-acking is
                 // exactly what unblocks the sender's retransmit window.
-                self.core
-                    .push_batch_seq(node, seq, records, self.clock.now())?;
+                let pushed = self
+                    .core
+                    .push_batch_seq(node, seq, records, self.clock.now());
+                // The records left the manager queue whether the core
+                // accepted them or not; free the pumps before erroring.
+                self.flow.sub(n);
+                pushed?;
                 if let Some(seq) = seq {
                     // The batch may outrun its pump's registration (the
                     // channels are separate): catch up, then ack through
@@ -344,9 +401,26 @@ impl Manager {
                         .filter(|h| h.id() == id)
                         .or_else(|| self.retiring.iter().find(|h| h.id() == id));
                     if let Some(handle) = handle {
-                        if handle.command(PumpCommand::Ack { seq }) {
+                        // v3 peers get their credit budget re-advertised
+                        // on every ack: acked records no longer count
+                        // against the in-flight budget, so the constant
+                        // re-grant is exactly the replenishment.
+                        let credit = if handle.version() >= 3 {
+                            self.flow.credit()
+                        } else {
+                            None
+                        };
+                        if handle.command(PumpCommand::Ack { seq, credit }) {
                             if let Some(c) = &self.acks_sent {
                                 c.inc();
+                            }
+                            if credit.is_some() {
+                                if let Some(c) = &self.credit_grants {
+                                    c.inc();
+                                }
+                                if let Some(h) = &self.grant_latency {
+                                    h.record(enqueued_at.elapsed().as_micros() as u64);
+                                }
                             }
                         }
                     }
@@ -635,19 +709,65 @@ mod tests {
         let (handle, t) = start_server();
         let mut conn = t.connect("ism").unwrap();
         hello(&mut conn, 1);
-        let acked_version = recv_until(&mut conn, Duration::from_secs(2), |m| match m {
-            Message::HelloAck { version } => Some(version),
+        let acked = recv_until(&mut conn, Duration::from_secs(2), |m| match m {
+            Message::HelloAck { version, credit } => Some((version, credit)),
             _ => None,
         });
-        assert_eq!(acked_version, Some(brisk_proto::VERSION));
+        // Credit flow control is off by default: the ack carries no grant.
+        assert_eq!(acked, Some((brisk_proto::VERSION, None)));
         conn.send(&batch_seq(1, Some(1), 0..3).encode()).unwrap();
         let acked = recv_until(&mut conn, Duration::from_secs(2), |m| match m {
-            Message::BatchAck { seq } => Some(seq),
+            Message::BatchAck { seq, credit } => Some((seq, credit)),
             _ => None,
         });
-        assert_eq!(acked, Some(1));
+        assert_eq!(acked, Some((1, None)));
         let report = handle.stop().unwrap();
         assert_eq!(report.core.records_in, 3);
+    }
+
+    #[test]
+    fn credit_enabled_server_grants_on_hello_and_acks() {
+        let t = MemTransport::new();
+        let listener = t.listen("ism-credit").unwrap();
+        let mut server = IsmServer::new(
+            IsmConfig {
+                flow: brisk_core::FlowConfig {
+                    credit_records: 64,
+                    max_queued_records: 0,
+                    shed_unmarked: false,
+                },
+                ..IsmConfig::default()
+            },
+            SyncConfig {
+                poll_period: Duration::from_secs(60),
+                ..SyncConfig::default()
+            },
+            Arc::new(SystemClock),
+        )
+        .unwrap();
+        let registry = Registry::new();
+        server.bind_telemetry(&registry);
+        let handle = server.spawn(listener).unwrap();
+        let mut conn = t.connect("ism-credit").unwrap();
+        hello(&mut conn, 1);
+        let granted = recv_until(&mut conn, Duration::from_secs(2), |m| match m {
+            Message::HelloAck { credit, .. } => Some(credit),
+            _ => None,
+        });
+        assert_eq!(granted, Some(Some(64)), "v3 Hello must carry the budget");
+        conn.send(&batch_seq(1, Some(1), 0..3).encode()).unwrap();
+        let acked = recv_until(&mut conn, Duration::from_secs(2), |m| match m {
+            Message::BatchAck { seq, credit } => Some((seq, credit)),
+            _ => None,
+        });
+        assert_eq!(acked, Some((1, Some(64))), "acks must replenish credit");
+        handle.stop().unwrap();
+        let snap = registry.snapshot();
+        assert!(snap.counter_total("brisk_ism_credit_grants_total") >= 1);
+        let lat = snap
+            .histogram("brisk_ism_grant_latency_us")
+            .expect("grant latency histogram");
+        assert!(lat.count() >= 1);
     }
 
     #[test]
@@ -701,7 +821,7 @@ mod tests {
         hello(&mut conn, 1);
         conn.send(&batch_seq(1, Some(1), 0..4).encode()).unwrap();
         let first_ack = recv_until(&mut conn, Duration::from_secs(2), |m| match m {
-            Message::BatchAck { seq } => Some(seq),
+            Message::BatchAck { seq, .. } => Some(seq),
             _ => None,
         });
         assert_eq!(first_ack, Some(1));
@@ -709,7 +829,7 @@ mod tests {
         // it must be dropped by dedup yet acked again.
         conn.send(&batch_seq(1, Some(1), 0..4).encode()).unwrap();
         let second_ack = recv_until(&mut conn, Duration::from_secs(2), |m| match m {
-            Message::BatchAck { seq } => Some(seq),
+            Message::BatchAck { seq, .. } => Some(seq),
             _ => None,
         });
         assert_eq!(second_ack, Some(1), "replays must be re-acked");
@@ -752,7 +872,7 @@ mod tests {
         conn1.send(&batch_seq(1, Some(1), 0..2).encode()).unwrap();
         assert!(
             recv_until(&mut conn1, Duration::from_secs(2), |m| match m {
-                Message::BatchAck { seq } => Some(seq),
+                Message::BatchAck { seq, .. } => Some(seq),
                 _ => None,
             })
             .is_some(),
@@ -765,7 +885,7 @@ mod tests {
         hello(&mut conn2, 1);
         conn2.send(&batch_seq(1, Some(2), 0..2).encode()).unwrap();
         let ack2 = recv_until(&mut conn2, Duration::from_secs(2), |m| match m {
-            Message::BatchAck { seq } => Some(seq),
+            Message::BatchAck { seq, .. } => Some(seq),
             _ => None,
         });
         assert_eq!(ack2, Some(2), "new connection must get acks");

@@ -41,8 +41,29 @@ pub struct SorterStats {
     /// Records released early because the buffer bound was hit
     /// (Fig. 1 "event dropping" under memory pressure).
     pub forced_releases: u64,
+    /// Records *dropped* under memory pressure by the
+    /// [`OverloadPolicy::ShedUnmarked`] policy. Never includes
+    /// CRE-marked records.
+    pub shed: u64,
     /// Exponential decay steps applied to `T`.
     pub decays: u64,
+    /// Non-monotone same-source records whose timestamp was clamped to
+    /// preserve the per-queue ordering invariant.
+    pub ts_clamped: u64,
+}
+
+/// What the sorter does with records when the buffer bound is exceeded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Release the globally-smallest heads early, out of frame
+    /// (today's behaviour; ordering may suffer, nothing is lost).
+    #[default]
+    ForceRelease,
+    /// Drop the oldest *unmarked* heads outright (counted in
+    /// [`SorterStats::shed`]); CRE-marked records are never dropped —
+    /// they are force-released instead, so causal pairs survive
+    /// overload intact.
+    ShedUnmarked,
 }
 
 /// The adaptive-time-frame k-way merge.
@@ -74,6 +95,7 @@ pub struct OnlineSorter {
     cfg: SorterConfig,
     /// Upper bound on buffered records; 0 = unbounded.
     max_buffered: usize,
+    overload: OverloadPolicy,
     queues: HashMap<QueueKey, VecDeque<EventRecord>>,
     /// Min-heap over the head of every non-empty queue.
     heads: BinaryHeap<HeapEntry>,
@@ -93,6 +115,7 @@ impl OnlineSorter {
             frame_us: cfg.initial_frame_us,
             cfg,
             max_buffered,
+            overload: OverloadPolicy::default(),
             queues: HashMap::new(),
             heads: BinaryHeap::new(),
             buffered: 0,
@@ -101,6 +124,11 @@ impl OnlineSorter {
             last_decay_at: None,
             stats: SorterStats::default(),
         })
+    }
+
+    /// Select the policy applied when the buffer bound is exceeded.
+    pub fn set_overload_policy(&mut self, policy: OverloadPolicy) {
+        self.overload = policy;
     }
 
     /// Current time frame `T` in microseconds.
@@ -139,6 +167,7 @@ impl OnlineSorter {
         if let Some(back) = q.back() {
             if rec.ts < back.ts {
                 rec.ts = back.ts;
+                self.stats.ts_clamped += 1;
             }
         }
         q.push_back(rec);
@@ -154,9 +183,15 @@ impl OnlineSorter {
     /// order. `now` is the ISM's current (synchronized) time.
     pub fn poll(&mut self, now: UtcMicros) -> Vec<EventRecord> {
         self.maybe_decay(now);
+        self.release_ready(now)
+    }
+
+    /// The release loop proper, shared by `poll` (which decays first) and
+    /// `drain_all` (which must not touch the decay schedule).
+    fn release_ready(&mut self, now: UtcMicros) -> Vec<EventRecord> {
         let mut out = Vec::new();
         loop {
-            // Memory pressure: release the globally-smallest head early.
+            // Memory pressure: evict the globally-smallest head early.
             let force = self.max_buffered != 0 && self.buffered > self.max_buffered;
             let Some(&Reverse((key_ts, qkey))) = self.heads.peek() else {
                 break;
@@ -173,6 +208,13 @@ impl OnlineSorter {
                 self.heads.push(Reverse((next.sort_key(), qkey)));
             }
             if force {
+                // Under ShedUnmarked, plain records are dropped outright;
+                // CRE-marked ones are never shed (their peer may already
+                // have been delivered) and fall back to a forced release.
+                if self.overload == OverloadPolicy::ShedUnmarked && !rec.is_causally_marked() {
+                    self.stats.shed += 1;
+                    continue;
+                }
                 self.stats.forced_releases += 1;
             }
             self.stats.released += 1;
@@ -191,11 +233,19 @@ impl OnlineSorter {
                 self.stats.inversions += 1;
                 let lateness = last_ts.micros_since(rec.ts);
                 let grown = match self.cfg.growth {
-                    FrameGrowth::ToObservedLateness => self.frame_us.max(lateness),
-                    FrameGrowth::Multiplicative(f) => ((self.frame_us as f64) * f) as i64,
+                    FrameGrowth::ToObservedLateness => lateness,
+                    // max(1) so a frame that decayed to 0 (legal with
+                    // min_frame_us = 0) can still grow: 0 * f == 0.
+                    FrameGrowth::Multiplicative(f) => {
+                        ((self.frame_us.max(1) as f64) * f).ceil() as i64
+                    }
                     FrameGrowth::Additive(a) => self.frame_us + a,
                 };
-                self.frame_us = grown.clamp(self.cfg.min_frame_us, self.cfg.max_frame_us);
+                // An inversion must always move T, whatever the policy
+                // computes (e.g. lateness smaller than the current frame).
+                self.frame_us = grown
+                    .max(self.frame_us.saturating_add(1))
+                    .clamp(self.cfg.min_frame_us, self.cfg.max_frame_us);
             }
         }
         // "Two SUCCESSIVE records": the comparison baseline is always the
@@ -222,10 +272,12 @@ impl OnlineSorter {
     }
 
     /// Unconditionally release everything in merged order (shutdown path).
+    /// Bypasses `maybe_decay`: "now = MAX" is not a real clock reading and
+    /// must not advance the decay schedule or its counters.
     pub fn drain_all(&mut self) -> Vec<EventRecord> {
         let saved_frame = self.frame_us;
         self.frame_us = 0;
-        let out = self.poll(UtcMicros::MAX);
+        let out = self.release_ready(UtcMicros::MAX);
         self.frame_us = saved_frame;
         out
     }
@@ -319,6 +371,35 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[1].ts.as_micros(), 100);
         assert_eq!(s.stats().inversions, 0);
+        assert_eq!(s.stats().ts_clamped, 1, "the silent clamp is counted");
+    }
+
+    #[test]
+    fn shed_policy_drops_unmarked_but_never_marked_records() {
+        use brisk_core::{CorrelationId, Value};
+        let mut s = OnlineSorter::new(cfg(1_000_000), 3).unwrap();
+        s.set_overload_policy(OverloadPolicy::ShedUnmarked);
+        // Oldest two heads: one unmarked, one CRE-marked.
+        s.push(rec(0, 0, 0, 10));
+        let marked = EventRecord::new(
+            NodeId(1),
+            SensorId(0),
+            EventTypeId(1),
+            0,
+            UtcMicros::from_micros(11),
+            vec![Value::Conseq(CorrelationId(4))],
+        )
+        .unwrap();
+        s.push(marked);
+        for i in 2..5 {
+            s.push(rec(0, 0, i, 10 + i as i64));
+        }
+        let out = s.poll(UtcMicros::from_micros(20));
+        assert_eq!(s.buffered(), 3, "buffered must drop to the bound");
+        assert_eq!(s.stats().shed, 1, "the unmarked head was dropped");
+        assert_eq!(s.stats().forced_releases, 1, "the marked one released");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_causally_marked(), "marked records are never shed");
     }
 
     #[test]
@@ -340,6 +421,61 @@ mod tests {
         s.push(rec(1, 0, 0, 40));
         s.poll(UtcMicros::from_micros(400));
         assert_eq!(s.frame_us(), 135);
+    }
+
+    #[test]
+    fn multiplicative_growth_recovers_from_zero_frame() {
+        // With min_frame_us = 0 the frame can legally decay to 0; an
+        // inversion must still be able to grow it again.
+        let mut c = cfg(0);
+        c.growth = FrameGrowth::Multiplicative(2.0);
+        let mut s = OnlineSorter::new(c, 0).unwrap();
+        s.push(rec(0, 0, 0, 100));
+        s.poll(UtcMicros::from_micros(100));
+        s.push(rec(1, 0, 0, 40));
+        s.poll(UtcMicros::from_micros(200));
+        assert_eq!(s.stats().inversions, 1);
+        assert!(s.frame_us() > 0, "frame must escape 0 on an inversion");
+    }
+
+    #[test]
+    fn every_growth_policy_strictly_grows_on_inversion() {
+        for growth in [
+            FrameGrowth::ToObservedLateness,
+            FrameGrowth::Multiplicative(2.0),
+            FrameGrowth::Additive(35),
+        ] {
+            for initial in [0i64, 1, 100, 10_000] {
+                let mut c = cfg(initial);
+                c.growth = growth;
+                let mut s = OnlineSorter::new(c, 0).unwrap();
+                s.push(rec(0, 0, 0, 100_000));
+                s.poll(UtcMicros::from_micros(200_000));
+                s.push(rec(1, 0, 0, 99_000));
+                s.poll(UtcMicros::from_micros(200_000));
+                assert_eq!(s.stats().inversions, 1, "{growth:?} from {initial}");
+                assert!(
+                    s.frame_us() > initial,
+                    "{growth:?} must strictly grow from {initial}, got {}",
+                    s.frame_us()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drain_all_does_not_decay() {
+        let mut s = OnlineSorter::new(cfg(1_000), 0).unwrap();
+        let t0 = UtcMicros::ZERO;
+        s.poll(t0); // initializes the decay timer
+        s.push(rec(0, 0, 0, 10));
+        let out = s.drain_all();
+        assert_eq!(out.len(), 1);
+        assert_eq!(s.stats().decays, 0, "shutdown drain must not decay");
+        // The decay timer must not have been dragged to now = MAX either:
+        // one interval later a normal poll still decays exactly once.
+        s.poll(t0 + Duration::from_millis(100));
+        assert_eq!(s.frame_us(), 500, "decay schedule intact after drain");
     }
 
     #[test]

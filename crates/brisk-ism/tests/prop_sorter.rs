@@ -49,7 +49,89 @@ fn sorter(initial: i64, max: i64, decay: f64) -> OnlineSorter {
     .unwrap()
 }
 
+fn arb_growth() -> impl Strategy<Value = FrameGrowth> {
+    prop_oneof![
+        (0u8..1).prop_map(|_| FrameGrowth::ToObservedLateness),
+        (1.0f64..4.0).prop_map(FrameGrowth::Multiplicative),
+        (0i64..500).prop_map(FrameGrowth::Additive),
+    ]
+}
+
 proptest! {
+    /// An observed inversion strictly grows the frame from ANY starting
+    /// point — including 0, where multiplicative growth used to stall
+    /// (`0 * f == 0`) — under every growth policy, until the configured
+    /// maximum clamps it.
+    #[test]
+    fn inversion_strictly_grows_frame(
+        growth in arb_growth(),
+        start in 0i64..3_000,
+        inversions in 1usize..6,
+    ) {
+        let max = 1_000_000i64;
+        let mut s = OnlineSorter::new(
+            SorterConfig {
+                initial_frame_us: start,
+                min_frame_us: 0,
+                max_frame_us: max,
+                growth,
+                decay_factor: 1.0,
+                decay_interval: Duration::from_secs(3_600),
+            },
+            0,
+        )
+        .unwrap();
+        let mut now = 10_000i64;
+        let mut seq = 0u64;
+        for _ in 0..inversions {
+            let before = s.frame_us();
+            // Release a src-0 record, then push a src-1 record created
+            // earlier: two successive releases from different sources,
+            // out of timestamp order — the paper's inversion trigger.
+            s.push(rec(0, seq, now));
+            seq += 1;
+            prop_assert_eq!(s.poll(UtcMicros::from_micros(now + before)).len(), 1);
+            s.push(rec(1, seq, now - 100));
+            seq += 1;
+            prop_assert_eq!(s.poll(UtcMicros::from_micros(now + max)).len(), 1);
+            let after = s.frame_us();
+            if before < max {
+                prop_assert!(
+                    after > before,
+                    "frame stuck at {} after inversion under {:?}",
+                    before,
+                    growth
+                );
+            } else {
+                prop_assert_eq!(after, max);
+            }
+            now += max + 10_000;
+        }
+    }
+
+    /// Regression for the stuck-at-zero bug: multiplicative growth must
+    /// escape a frame that has decayed all the way to 0.
+    #[test]
+    fn multiplicative_growth_escapes_zero_frame(factor in 1.0f64..8.0) {
+        let mut s = OnlineSorter::new(
+            SorterConfig {
+                initial_frame_us: 0,
+                min_frame_us: 0,
+                max_frame_us: 1_000_000,
+                growth: FrameGrowth::Multiplicative(factor),
+                decay_factor: 1.0,
+                decay_interval: Duration::from_secs(3_600),
+            },
+            0,
+        )
+        .unwrap();
+        s.push(rec(0, 0, 1_000));
+        prop_assert_eq!(s.poll(UtcMicros::from_micros(1_000)).len(), 1);
+        s.push(rec(1, 1, 900));
+        prop_assert_eq!(s.poll(UtcMicros::from_micros(1_000_000)).len(), 1);
+        prop_assert!(s.frame_us() >= 1, "frame still 0 after inversion");
+    }
+
     /// Conservation: every pushed record is released exactly once, no
     /// matter how pushes and polls interleave.
     #[test]

@@ -168,6 +168,12 @@ impl SendWindow {
         self.unacked.len()
     }
 
+    /// Total records across the unacked batches — the sender's in-flight
+    /// count against a credit budget (protocol v3 flow control).
+    pub fn unacked_records(&self) -> u64 {
+        self.unacked.iter().map(|(_, b)| b.len() as u64).sum()
+    }
+
     /// Assign the next sequence number to `records`, retain a copy for
     /// replay, and return `(seq, evicted)` where `evicted` is the batch
     /// pushed out of a full window (its records are lost to replay).
@@ -322,8 +328,10 @@ mod tests {
             assert!(evicted.is_none());
         }
         assert_eq!(w.depth(), 5);
+        assert_eq!(w.unacked_records(), 5);
         assert_eq!(w.ack(3), 3);
         assert_eq!(w.depth(), 2);
+        assert_eq!(w.unacked_records(), 2);
         let seqs: Vec<u64> = w.iter_unacked().map(|(s, _)| s).collect();
         assert_eq!(seqs, vec![4, 5]);
         // Re-acking is idempotent; acking past the end clears everything.

@@ -30,7 +30,7 @@ use brisk_net::Connection;
 use brisk_proto::Message;
 use brisk_ringbuf::RingSet;
 use brisk_telemetry::{Histogram, Registry, StageTimer};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -62,6 +62,9 @@ pub struct ExsStats {
     /// Unacked batches evicted from a full retransmit window (lost to
     /// replay; delivery degraded to v1 semantics for those records).
     pub window_evicted: u64,
+    /// Ring scoops deferred because the ISM's credit budget was spent
+    /// (protocol v3 flow control); backpressure is parked in the rings.
+    pub credit_deferrals: u64,
     /// Nanoseconds spent doing work (excludes waiting); the E2 utilization
     /// numerator.
     pub busy_nanos: u64,
@@ -88,9 +91,13 @@ pub struct ExsTelemetry {
     acks_received: AtomicU64,
     batches_retransmitted: AtomicU64,
     window_evicted: AtomicU64,
+    credit_deferrals: AtomicU64,
     /// Current retransmit-window occupancy (batches), mirrored from the
     /// EXS thread so a registry gauge can observe it without locking.
     window_depth: AtomicU64,
+    /// Remaining credit (granted budget − unacked in-flight records),
+    /// mirrored from the EXS thread; 0 while credit is off.
+    credit_balance: AtomicI64,
     busy_nanos: AtomicU64,
     iterations: AtomicU64,
     /// Per-step drain+batch latency in µs, on the node's clock (so it is
@@ -119,6 +126,7 @@ impl ExsTelemetry {
             acks_received: ld(&self.acks_received),
             batches_retransmitted: ld(&self.batches_retransmitted),
             window_evicted: ld(&self.window_evicted),
+            credit_deferrals: ld(&self.credit_deferrals),
             busy_nanos: ld(&self.busy_nanos),
             iterations: ld(&self.iterations),
         }
@@ -141,7 +149,7 @@ impl ExsTelemetry {
     pub fn bind(self: &Arc<Self>, node: NodeId, registry: &Registry) {
         type Field = fn(&ExsTelemetry) -> &AtomicU64;
         let n = node.0.to_string();
-        let counters: [(&str, &str, Field); 10] = [
+        let counters: [(&str, &str, Field); 11] = [
             (
                 "brisk_exs_records_drained_total",
                 "Records drained from sensor rings",
@@ -179,6 +187,11 @@ impl ExsTelemetry {
                 "brisk_exs_window_evicted_total",
                 "Unacked batches evicted from a full retransmit window",
                 |t| &t.window_evicted,
+            ),
+            (
+                "brisk_exs_credit_deferred_total",
+                "Ring scoops deferred waiting for ISM credit",
+                |t| &t.credit_deferrals,
             ),
             (
                 "brisk_exs_busy_nanos_total",
@@ -237,6 +250,13 @@ impl ExsTelemetry {
             &[("node", &n)],
             move || me.window_depth.load(Ordering::Relaxed) as i64,
         );
+        let me = Arc::clone(self);
+        registry.gauge_fn(
+            "brisk_exs_credit_balance",
+            "Granted credit minus unacked in-flight records (0 while credit is off)",
+            &[("node", &n)],
+            move || me.credit_balance.load(Ordering::Relaxed),
+        );
     }
 }
 
@@ -268,6 +288,12 @@ pub struct ExternalSensor {
     /// only if the ISM negotiates the connection down to v1, where no acks
     /// will ever arrive and windowed copies would be dead weight.
     window: Option<SendWindow>,
+    /// Credit budget granted by the ISM (protocol v3): the maximum number
+    /// of unacked records this EXS may have in flight. `None` = no flow
+    /// control (v1/v2 peer, or credit disabled on the ISM). The ISM
+    /// re-advertises the budget absolutely on `HelloAck` and every
+    /// `BatchAck`.
+    credit: Option<u64>,
 }
 
 impl ExternalSensor {
@@ -334,9 +360,48 @@ impl ExternalSensor {
             shared,
             drain_buf: Vec::with_capacity(512),
             window: Some(window),
+            credit: None,
         };
+        // Replay deliberately ignores credit: those records were already
+        // granted in-flight by the previous connection, and holding them
+        // back would stall recovery behind acks that cannot arrive yet.
         exs.replay_unacked()?;
         Ok(exs)
+    }
+
+    /// The credit budget currently granted by the ISM, if any.
+    pub fn credit(&self) -> Option<u64> {
+        self.credit
+    }
+
+    /// Seed the credit budget (supervisor carry-over): between a
+    /// reconnect's `Hello` and the new `HelloAck`, the previous grant
+    /// keeps pacing the scoop instead of allowing an unbounded burst. The
+    /// next `HelloAck` overwrites this with the connection's real grant.
+    pub fn set_credit(&mut self, credit: Option<u64>) {
+        self.credit = credit;
+        self.update_credit_balance();
+    }
+
+    /// True when flow control permits scooping new records out of the
+    /// rings: credit is off, or in-flight records are under budget. An
+    /// empty window always passes — even a zero grant can only stop *new*
+    /// traffic while something is in flight, never deadlock the sender
+    /// (progress guarantee: at least one batch may always be outstanding).
+    fn credit_open(&self) -> bool {
+        match (self.credit, &self.window) {
+            (Some(c), Some(w)) => w.depth() == 0 || w.unacked_records() < c,
+            _ => true,
+        }
+    }
+
+    /// Mirror the spendable balance into telemetry.
+    fn update_credit_balance(&self) {
+        let bal = match (self.credit, &self.window) {
+            (Some(c), Some(w)) => c as i64 - w.unacked_records() as i64,
+            _ => 0,
+        };
+        self.shared.credit_balance.store(bal, Ordering::Relaxed);
     }
 
     /// Replay every unacked batch from the window. Counts replays but not
@@ -429,6 +494,15 @@ impl ExternalSensor {
         let work_start = Instant::now();
         self.shared.iterations.fetch_add(1, Ordering::Relaxed);
 
+        // 0. Flow control: with the ISM's credit budget spent, leave new
+        //    records parked in the rings (where overruns land on the
+        //    rings' own drop accounting) instead of piling them into the
+        //    batcher and window. Acks received below reopen the tap.
+        let paused = !self.credit_open();
+        if paused {
+            self.shared.credit_deferrals.fetch_add(1, Ordering::Relaxed);
+        }
+
         // 1. Drain sensor rings and apply the correction value. The span
         //    is timed on the node's clock so it is meaningful (and
         //    deterministic) under simulation.
@@ -436,9 +510,12 @@ impl ExternalSensor {
         let drain_timer = StageTimer::start(&drain_hist, self.clock.now().as_micros());
         let correction = self.clock.correction_us();
         self.drain_buf.clear();
-        let drained = self
-            .rings
-            .drain_into(self.cfg.max_batch_records * 2, &mut self.drain_buf)?;
+        let drained = if paused {
+            0
+        } else {
+            self.rings
+                .drain_into(self.cfg.max_batch_records * 2, &mut self.drain_buf)?
+        };
         self.shared
             .records_drained
             .fetch_add(drained as u64, Ordering::Relaxed);
@@ -472,18 +549,25 @@ impl ExternalSensor {
             return Err(e);
         }
 
-        // 2. Latency control: flush a stale partial batch.
-        if let Some((batch, reason)) = self.batcher.poll_timeout(self.clock.now()) {
-            self.send_batch(batch, reason)?;
+        // 2. Latency control: flush a stale partial batch. Deferred while
+        //    credit is spent — the flush would put more records in flight.
+        if !paused {
+            if let Some((batch, reason)) = self.batcher.poll_timeout(self.clock.now()) {
+                self.send_batch(batch, reason)?;
+            }
         }
         drain_timer.stop(self.clock.now().as_micros());
 
         // 3. Control traffic. When busy, poll without blocking; when idle,
         //    this wait is the EXS's sleep (bounded by the idle knob and by
         //    the batch deadline so a partial batch cannot oversleep).
+        //    While credit-paused the deadline clamp is skipped — nothing
+        //    may flush anyway, and the sleep is what lets acks arrive.
         let busy = drained > 0;
         let wait = if busy {
             Duration::ZERO
+        } else if paused {
+            self.cfg.idle_sleep
         } else {
             let mut w = self.cfg.idle_sleep;
             if let Some(dl) = self.batcher.time_to_deadline(self.clock.now()) {
@@ -539,7 +623,7 @@ impl ExternalSensor {
                 self.shared.adjustments.fetch_add(1, Ordering::Relaxed);
                 Ok(ExsStep::Busy)
             }
-            Message::HelloAck { version } => {
+            Message::HelloAck { version, credit } => {
                 // The ISM told us which protocol version the connection
                 // actually runs at. Anything below v2 means no acks will
                 // ever come: drop the window and fall back to the old
@@ -548,15 +632,26 @@ impl ExternalSensor {
                     self.window = None;
                     self.shared.window_depth.store(0, Ordering::Relaxed);
                 }
+                // The HelloAck is authoritative for the connection's flow
+                // control: `None` clears any budget carried over from a
+                // previous incarnation.
+                self.credit = credit;
+                self.update_credit_balance();
                 Ok(ExsStep::Busy)
             }
-            Message::BatchAck { seq } => {
+            Message::BatchAck { seq, credit } => {
                 if let Some(w) = &mut self.window {
                     w.ack(seq);
                     let depth = w.depth() as u64;
                     self.shared.window_depth.store(depth, Ordering::Relaxed);
                     self.shared.ack_lag.record(depth);
                 }
+                // A grant piggybacked on the ack re-advertises the budget
+                // absolutely; a plain (v2-style) ack leaves it untouched.
+                if credit.is_some() {
+                    self.credit = credit;
+                }
+                self.update_credit_balance();
                 self.shared.acks_received.fetch_add(1, Ordering::Relaxed);
                 Ok(ExsStep::Busy)
             }
@@ -588,6 +683,7 @@ impl ExternalSensor {
             records,
         };
         self.conn.send(&msg.encode())?;
+        self.update_credit_balance();
         self.shared.records_sent.fetch_add(n, Ordering::Relaxed);
         self.shared.batches_sent.fetch_add(1, Ordering::Relaxed);
         self.shared.batch_records.record(n);
@@ -1028,7 +1124,13 @@ mod tests {
 
         // Cumulative ack for seq 2 releases the first two.
         r.ism_side
-            .send(&Message::BatchAck { seq: 2 }.encode())
+            .send(
+                &Message::BatchAck {
+                    seq: 2,
+                    credit: None,
+                }
+                .encode(),
+            )
             .unwrap();
         r.exs.step().unwrap();
         assert_eq!(r.exs.window.as_ref().unwrap().depth(), 1);
@@ -1042,7 +1144,13 @@ mod tests {
         let mut r = rig(cfg, 0);
         recv_msg(&mut r.ism_side); // hello
         r.ism_side
-            .send(&Message::HelloAck { version: 1 }.encode())
+            .send(
+                &Message::HelloAck {
+                    version: 1,
+                    credit: None,
+                }
+                .encode(),
+            )
             .unwrap();
         r.exs.step().unwrap();
         assert!(r.exs.window.is_none());
@@ -1070,7 +1178,13 @@ mod tests {
         recv_msg(&mut r.ism_side); // batch 2
                                    // Ack only the first; the second stays unacked.
         r.ism_side
-            .send(&Message::BatchAck { seq: 1 }.encode())
+            .send(
+                &Message::BatchAck {
+                    seq: 1,
+                    credit: None,
+                }
+                .encode(),
+            )
             .unwrap();
         r.exs.step().unwrap();
         let window = r.exs.into_window().unwrap();
@@ -1096,7 +1210,7 @@ mod tests {
         match recv_msg(&mut ism2) {
             Message::Hello { node, version } => {
                 assert_eq!(node, NodeId(7));
-                assert_eq!(version, 2);
+                assert_eq!(version, brisk_proto::VERSION);
             }
             other => panic!("expected hello, got {other:?}"),
         }
@@ -1112,6 +1226,103 @@ mod tests {
         assert_eq!(stats.batches_retransmitted, 1);
         // Replays are not re-counted as fresh sends.
         assert_eq!(stats.batches_sent, 2);
+    }
+
+    #[test]
+    fn credit_exhaustion_defers_scooping_until_replenished() {
+        let mut cfg = ExsConfig::default();
+        cfg.max_batch_records = 1;
+        cfg.idle_sleep = Duration::from_millis(1);
+        let mut r = rig(cfg, 0);
+        recv_msg(&mut r.ism_side); // hello
+                                   // The ISM grants a budget of 2 in-flight records.
+        r.ism_side
+            .send(
+                &Message::HelloAck {
+                    version: 3,
+                    credit: Some(2),
+                }
+                .encode(),
+            )
+            .unwrap();
+        r.exs.step().unwrap();
+        assert_eq!(r.exs.credit(), Some(2));
+
+        emit_n(&r.rings, 3);
+        r.src.advance_by(10);
+        r.exs.step().unwrap(); // scoops 2 (the per-step drain cap), sends 2
+        assert_eq!(r.exs.stats().batches_sent, 2);
+        let drained_before = r.exs.stats().records_drained;
+        // Budget spent (2 unacked records): the third record must stay in
+        // the ring, counted as a deferral.
+        r.exs.step().unwrap();
+        assert_eq!(r.exs.stats().records_drained, drained_before);
+        assert!(r.exs.stats().credit_deferrals >= 1);
+        assert_eq!(r.exs.stats().batches_sent, 2);
+
+        // An ack replenishes the budget and reopens the tap.
+        r.ism_side
+            .send(
+                &Message::BatchAck {
+                    seq: 2,
+                    credit: Some(2),
+                }
+                .encode(),
+            )
+            .unwrap();
+        r.exs.step().unwrap(); // consumes the ack
+        r.exs.step().unwrap(); // scoops the parked record
+        assert_eq!(r.exs.stats().batches_sent, 3);
+        assert_eq!(r.exs.stats().records_drained, drained_before + 1);
+    }
+
+    #[test]
+    fn hello_ack_overwrites_carried_credit() {
+        let mut r = rig(ExsConfig::default(), 0);
+        recv_msg(&mut r.ism_side); // hello
+        r.exs.set_credit(Some(99)); // as the supervisor would after reconnect
+        assert_eq!(r.exs.credit(), Some(99));
+        // The connection's real HelloAck carries no grant: credit is off.
+        r.ism_side
+            .send(
+                &Message::HelloAck {
+                    version: 2,
+                    credit: None,
+                }
+                .encode(),
+            )
+            .unwrap();
+        r.exs.step().unwrap();
+        assert_eq!(r.exs.credit(), None);
+    }
+
+    #[test]
+    fn credit_telemetry_exports_balance_and_deferrals() {
+        use brisk_telemetry::Registry;
+        let mut cfg = ExsConfig::default();
+        cfg.max_batch_records = 1;
+        cfg.idle_sleep = Duration::from_millis(1);
+        let mut r = rig(cfg, 0);
+        recv_msg(&mut r.ism_side); // hello
+        let registry = Registry::new();
+        r.exs.bind_telemetry(&registry);
+        r.ism_side
+            .send(
+                &Message::HelloAck {
+                    version: 3,
+                    credit: Some(2),
+                }
+                .encode(),
+            )
+            .unwrap();
+        r.exs.step().unwrap();
+        emit_n(&r.rings, 3);
+        r.src.advance_by(10);
+        r.exs.step().unwrap(); // spends the whole budget
+        r.exs.step().unwrap(); // defers
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("brisk_exs_credit_balance"), Some(0));
+        assert!(snap.counter_total("brisk_exs_credit_deferred_total") >= 1);
     }
 
     #[test]

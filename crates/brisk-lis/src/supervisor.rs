@@ -181,6 +181,11 @@ fn supervise(
     // are replayed on the next connection. `None` once the peer negotiates
     // down to v1 (or before the first connection).
     let mut carried_window: Option<SendWindow> = None;
+    // The last credit grant also carries over, so the gap between the
+    // reconnect's Hello and the new HelloAck stays paced by the old
+    // budget instead of allowing an unbounded burst. The new HelloAck
+    // overwrites it authoritatively.
+    let mut carried_credit: Option<u64> = None;
     let mut backoff = sup.initial_backoff;
     let mut consecutive_failures = 0u32;
 
@@ -252,6 +257,7 @@ fn supervise(
         };
         consecutive_failures = 0;
         backoff = sup.initial_backoff;
+        exs.set_credit(carried_credit);
         exs.corrected_clock()
             .set_correction(carried_correction.load(Ordering::Relaxed));
         connects.fetch_add(1, Ordering::Relaxed);
@@ -281,12 +287,14 @@ fn supervise(
                 Ok(ExsStep::Disconnected) => {
                     carried_correction
                         .store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
+                    carried_credit = exs.credit();
                     break IncarnationEnd::Reconnect(exs.into_window());
                 }
                 Ok(_) => {}
                 Err(e) if e.is_disconnect() => {
                     carried_correction
                         .store(exs.corrected_clock().correction_us(), Ordering::Relaxed);
+                    carried_credit = exs.credit();
                     break IncarnationEnd::Reconnect(exs.into_window());
                 }
                 Err(e) => break IncarnationEnd::Fatal(e),

@@ -24,6 +24,19 @@
 //! * [`Message::BatchAck`] — *v2*: ISM→EXS cumulative acknowledgement:
 //!   every sequenced batch with `seq <= ack.seq` has been handed to the
 //!   ISM pipeline and may be dropped from the sender's retransmit window.
+//!
+//! ## Credit-based flow control (v3)
+//!
+//! A v3 ISM may grant a *credit budget* — the maximum number of records
+//! the EXS may have unacknowledged in flight — in `HelloAck` and
+//! re-advertise it on every `BatchAck` (absolute value, not a delta, so a
+//! lost ack cannot strand credit). Credit rides on two *new* wire tags
+//! (`HelloAckCredit`, `BatchAckCredit`) rather than extra fields on the
+//! v2 tags, because decoders reject trailing bytes: a v2 peer keeps
+//! receiving the exact v2 encodings (`credit: None`) and is none the
+//! wiser. `credit: Some(0)` is valid and means "stop sending new batches
+//! until replenished" — the EXS may still retransmit its unacknowledged
+//! window.
 //! * [`Message::SyncPoll`] / [`Message::SyncReply`] /
 //!   [`Message::SyncAdjust`] — the clock-synchronization exchange (§3.3).
 //!   The poll carries the master send time so the reply can echo it; the
@@ -35,8 +48,11 @@
 //! `Hello` advertises the sender's version; the receiver accepts anything
 //! in `MIN_VERSION..=VERSION` and the connection runs at
 //! [`negotiate`]\(peer\) = `min(peer, VERSION)`. A v1 peer therefore
-//! interoperates with a v2 ISM (plain unsequenced batches, no acks), while
-//! two v2 endpoints get acknowledged, replayable delivery.
+//! interoperates with a v3 ISM (plain unsequenced batches, no acks), a v2
+//! peer gets acknowledged, replayable delivery without credit, and two v3
+//! endpoints additionally get credit-based flow control — but only when
+//! the ISM chooses to grant credit (`credit: None` on a v3 connection
+//! falls back to v2 semantics).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -49,7 +65,7 @@ use brisk_xdr::{XdrDecoder, XdrEncoder};
 pub const MAGIC: u32 = 0x4252_534B;
 
 /// Protocol version implemented by this crate.
-pub const VERSION: u32 = 2;
+pub const VERSION: u32 = 3;
 
 /// Oldest protocol version still accepted from peers.
 pub const MIN_VERSION: u32 = 1;
@@ -68,8 +84,10 @@ pub const fn negotiate(peer_version: u32) -> u32 {
 pub const MAX_BATCH_RECORDS: usize = 65_536;
 
 /// Message discriminants on the wire. `EventBatchSeq`, `BatchAck` and
-/// `HelloAck` are v2 additions; a v1 decoder rejects them, so they are only
-/// sent once the peer is known to speak v2.
+/// `HelloAck` are v2 additions; `HelloAckCredit` and `BatchAckCredit` are
+/// the v3 credit-carrying variants of the latter two. Older decoders
+/// reject unknown tags, so each is only sent once the peer is known to
+/// speak the matching version.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u32)]
 enum Tag {
@@ -82,6 +100,8 @@ enum Tag {
     EventBatchSeq = 7,
     BatchAck = 8,
     HelloAck = 9,
+    HelloAckCredit = 10,
+    BatchAckCredit = 11,
 }
 
 impl Tag {
@@ -96,6 +116,8 @@ impl Tag {
             7 => Tag::EventBatchSeq,
             8 => Tag::BatchAck,
             9 => Tag::HelloAck,
+            10 => Tag::HelloAckCredit,
+            11 => Tag::BatchAckCredit,
             _ => return Err(BriskError::Protocol(format!("unknown message tag {v}"))),
         })
     }
@@ -111,10 +133,15 @@ pub enum Message {
         /// Protocol version spoken by the sender.
         version: u32,
     },
-    /// The ISM's reply to a v2 `Hello`: the negotiated protocol version.
+    /// The ISM's reply to a v2+ `Hello`: the negotiated protocol version
+    /// and, on v3 connections with flow control enabled, the initial
+    /// credit budget.
     HelloAck {
         /// Version the connection will run at (`negotiate(peer)`).
         version: u32,
+        /// v3: maximum records the sender may have unacknowledged in
+        /// flight. `None` (the v2 wire encoding) disables flow control.
+        credit: Option<u64>,
     },
     /// A batch of event records from one node.
     EventBatch {
@@ -133,6 +160,9 @@ pub enum Message {
         /// Every batch with sequence number `<= seq` has been handed to
         /// the ISM pipeline.
         seq: u64,
+        /// v3: replenished credit budget (absolute, replaces the previous
+        /// grant). `None` (the v2 wire encoding) leaves flow control off.
+        credit: Option<u64>,
     },
     /// Master→slave: "what time is it?" — sample `sample` of round `round`.
     SyncPoll {
@@ -176,10 +206,17 @@ impl Message {
                 e.uint(*version);
                 e.uint(node.raw());
             }
-            Message::HelloAck { version } => {
-                e.uint(Tag::HelloAck as u32);
-                e.uint(*version);
-            }
+            Message::HelloAck { version, credit } => match credit {
+                Some(credit) => {
+                    e.uint(Tag::HelloAckCredit as u32);
+                    e.uint(*version);
+                    e.uhyper(*credit);
+                }
+                None => {
+                    e.uint(Tag::HelloAck as u32);
+                    e.uint(*version);
+                }
+            },
             Message::EventBatch { node, seq, records } => {
                 match seq {
                     Some(seq) => {
@@ -197,10 +234,17 @@ impl Message {
                     encode_record_body(r, &mut e);
                 }
             }
-            Message::BatchAck { seq } => {
-                e.uint(Tag::BatchAck as u32);
-                e.uhyper(*seq);
-            }
+            Message::BatchAck { seq, credit } => match credit {
+                Some(credit) => {
+                    e.uint(Tag::BatchAckCredit as u32);
+                    e.uhyper(*seq);
+                    e.uhyper(*credit);
+                }
+                None => {
+                    e.uint(Tag::BatchAck as u32);
+                    e.uhyper(*seq);
+                }
+            },
             Message::SyncPoll {
                 round,
                 sample,
@@ -258,7 +302,14 @@ impl Message {
                     version,
                 }
             }
-            Tag::HelloAck => Message::HelloAck { version: d.uint()? },
+            Tag::HelloAck => Message::HelloAck {
+                version: d.uint()?,
+                credit: None,
+            },
+            Tag::HelloAckCredit => Message::HelloAck {
+                version: d.uint()?,
+                credit: Some(d.uhyper()?),
+            },
             Tag::EventBatch | Tag::EventBatchSeq => {
                 let node = NodeId(d.uint()?);
                 let seq = match tag {
@@ -277,7 +328,14 @@ impl Message {
                 }
                 Message::EventBatch { node, seq, records }
             }
-            Tag::BatchAck => Message::BatchAck { seq: d.uhyper()? },
+            Tag::BatchAck => Message::BatchAck {
+                seq: d.uhyper()?,
+                credit: None,
+            },
+            Tag::BatchAckCredit => Message::BatchAck {
+                seq: d.uhyper()?,
+                credit: Some(d.uhyper()?),
+            },
             Tag::SyncPoll => Message::SyncPoll {
                 round: d.uhyper()?,
                 sample: d.uint()?,
@@ -364,12 +422,76 @@ mod tests {
     #[test]
     fn v2_control_messages_round_trip() {
         for m in [
-            Message::HelloAck { version: VERSION },
-            Message::BatchAck { seq: 42 },
-            Message::BatchAck { seq: 0 },
+            Message::HelloAck {
+                version: VERSION,
+                credit: None,
+            },
+            Message::BatchAck {
+                seq: 42,
+                credit: None,
+            },
+            Message::BatchAck {
+                seq: 0,
+                credit: None,
+            },
         ] {
             assert_eq!(Message::decode(&m.encode()).unwrap(), m, "{m:?}");
         }
+    }
+
+    #[test]
+    fn v3_credit_messages_round_trip() {
+        for m in [
+            Message::HelloAck {
+                version: VERSION,
+                credit: Some(10_000),
+            },
+            Message::HelloAck {
+                version: VERSION,
+                credit: Some(0),
+            },
+            Message::BatchAck {
+                seq: 42,
+                credit: Some(u64::MAX),
+            },
+            Message::BatchAck {
+                seq: 0,
+                credit: Some(0),
+            },
+        ] {
+            assert_eq!(Message::decode(&m.encode()).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn creditless_acks_use_the_v2_wire_tags() {
+        // A credit-less ack must be byte-identical to what a v2 build
+        // emits, or v2 peers would reject the frame as an unknown tag.
+        let ack = Message::BatchAck {
+            seq: 7,
+            credit: None,
+        };
+        assert_eq!(&ack.encode()[..4], &[0, 0, 0, 8], "BatchAck tag");
+        let hello_ack = Message::HelloAck {
+            version: 2,
+            credit: None,
+        };
+        assert_eq!(&hello_ack.encode()[..4], &[0, 0, 0, 9], "HelloAck tag");
+        // And the credit-carrying forms use the new tags.
+        let ack = Message::BatchAck {
+            seq: 7,
+            credit: Some(1),
+        };
+        assert_eq!(&ack.encode()[..4], &[0, 0, 0, 11], "BatchAckCredit tag");
+        let hello_ack = Message::HelloAck {
+            version: 3,
+            credit: Some(1),
+        };
+        assert_eq!(
+            &hello_ack.encode()[..4],
+            &[0, 0, 0, 10],
+            "HelloAckCredit tag"
+        );
     }
 
     #[test]

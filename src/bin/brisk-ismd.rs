@@ -9,6 +9,7 @@
 //!            [--poll-period-ms N] [--stats-every-s N] [--stats-addr HOST:PORT]
 //!            [--store-dir DIR] [--fsync always|never|interval:MS]
 //!            [--retain-bytes N] [--segment-bytes N]
+//!            [--credit-records N] [--max-queued-records N] [--shed-unmarked]
 //! ```
 //!
 //! `--stats-addr` serves the full telemetry registry as Prometheus text
@@ -19,6 +20,15 @@
 //! appended to CRC-framed segment files under the directory, surviving ISM
 //! crashes (reopening repairs torn tails) and replayable afterwards with
 //! `brisk-load --replay DIR`.
+//!
+//! `--credit-records` turns on protocol-v3 credit flow control: each EXS
+//! connection may have at most N records unacknowledged in flight, so a
+//! slow ISM pushes backpressure out to the sensors' rings instead of
+//! buffering unboundedly. `--max-queued-records` bounds the pump→manager
+//! queue (pumps stop reading their sockets while it is over the limit),
+//! and `--shed-unmarked` switches the sorter's memory-pressure response
+//! from force-release to dropping the oldest unmarked (never CRE-marked)
+//! records.
 //!
 //! Runs until stdin closes or a line `quit` arrives (daemon managers send
 //! EOF; interactive users type quit), then flushes and prints a final
@@ -39,6 +49,7 @@ struct Args {
     stats_every: Duration,
     stats_addr: Option<String>,
     store: StoreConfig,
+    flow: FlowConfig,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -52,6 +63,7 @@ fn parse_args() -> std::result::Result<Args, String> {
         stats_every: Duration::from_secs(10),
         stats_addr: None,
         store: StoreConfig::default(),
+        flow: FlowConfig::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -98,13 +110,25 @@ fn parse_args() -> std::result::Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --segment-bytes: {e}"))?
             }
+            "--credit-records" => {
+                args.flow.credit_records = val("--credit-records")?
+                    .parse()
+                    .map_err(|e| format!("bad --credit-records: {e}"))?
+            }
+            "--max-queued-records" => {
+                args.flow.max_queued_records = val("--max-queued-records")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-queued-records: {e}"))?
+            }
+            "--shed-unmarked" => args.flow.shed_unmarked = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] \
                             [--ts utc|secs] [--poll-period-ms N] [--stats-every-s N] \
                             [--stats-addr HOST:PORT] [--store-dir DIR] \
                             [--fsync always|never|interval:MS] [--retain-bytes N] \
-                            [--segment-bytes N]"
+                            [--segment-bytes N] [--credit-records N] \
+                            [--max-queued-records N] [--shed-unmarked]"
                         .into(),
                 )
             }
@@ -125,6 +149,7 @@ fn main() {
 
     let ism_cfg = IsmConfig {
         store: args.store.clone(),
+        flow: args.flow,
         ..IsmConfig::default()
     };
     let mut server = IsmServer::new(
@@ -144,6 +169,12 @@ fn main() {
             "durable store -> {} (fsync {:?})",
             dir.display(),
             args.store.fsync
+        );
+    }
+    if args.flow != FlowConfig::default() {
+        eprintln!(
+            "flow control: credit {} records/conn, queue bound {} records, shed-unmarked {}",
+            args.flow.credit_records, args.flow.max_queued_records, args.flow.shed_unmarked
         );
     }
 

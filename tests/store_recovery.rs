@@ -75,7 +75,7 @@ fn await_ack(conn: &mut Box<dyn Connection>, upto: u64, budget: Duration) {
     let deadline = Instant::now() + budget;
     while Instant::now() < deadline {
         if let Ok(Some(frame)) = conn.recv(Some(Duration::from_millis(20))) {
-            if let Ok(Message::BatchAck { seq }) = Message::decode(&frame) {
+            if let Ok(Message::BatchAck { seq, .. }) = Message::decode(&frame) {
                 if seq >= upto {
                     return;
                 }
