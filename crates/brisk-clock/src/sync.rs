@@ -34,7 +34,7 @@ use crate::clock::Clock;
 use crate::correction::CorrectedClock;
 use brisk_core::{BriskError, NodeId, Result, SyncConfig, UtcMicros};
 use brisk_telemetry::{Counter, Histogram, Registry};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// One poll/reply observation of a slave clock.
@@ -244,9 +244,28 @@ pub struct SyncMaster {
     cfg: SyncConfig,
     round: u64,
     samples: BTreeMap<NodeId, Vec<SkewSample>>,
+    /// Accepted RTTs per node, kept across rounds (bounded ring). The
+    /// intra-round min-RTT filter in [`estimate_skew`] cannot catch a round
+    /// where *every* sample is delayed — a congestion spike inflates the
+    /// minimum itself — so incoming samples are also checked against the
+    /// rolling median of this history.
+    rtt_history: BTreeMap<NodeId, VecDeque<i64>>,
+    rtt_outliers: u64,
     last_outcome: Option<SyncOutcome>,
     rounds_completed: u64,
     telemetry: Option<SyncTelemetry>,
+}
+
+/// How many accepted RTTs to remember per node.
+const RTT_HISTORY_LEN: usize = 64;
+/// Outlier rejection stays off until the history holds at least this many
+/// entries, so a cold start cannot misclassify the first real samples.
+const RTT_HISTORY_MIN: usize = 8;
+
+fn rolling_median(history: &VecDeque<i64>) -> i64 {
+    let mut sorted: Vec<i64> = history.iter().copied().collect();
+    sorted.sort_unstable();
+    sorted[sorted.len() / 2]
 }
 
 /// Telemetry series the master feeds once bound to a registry.
@@ -258,6 +277,7 @@ struct SyncTelemetry {
     rtt_us: Arc<Histogram>,
     rounds: Arc<Counter>,
     corrections: Arc<Counter>,
+    rtt_outliers: Arc<Counter>,
 }
 
 impl SyncMaster {
@@ -268,6 +288,8 @@ impl SyncMaster {
             cfg,
             round: 0,
             samples: BTreeMap::new(),
+            rtt_history: BTreeMap::new(),
+            rtt_outliers: 0,
             last_outcome: None,
             rounds_completed: 0,
             telemetry: None,
@@ -299,6 +321,10 @@ impl SyncMaster {
             rounds: registry.counter("brisk_sync_rounds_total", "Sync rounds completed"),
             corrections: registry
                 .counter("brisk_sync_corrections_total", "Slave corrections issued"),
+            rtt_outliers: registry.counter(
+                "brisk_sync_rtt_outliers_total",
+                "Poll samples rejected against the rolling per-node RTT median",
+            ),
         });
     }
 
@@ -321,8 +347,48 @@ impl SyncMaster {
     }
 
     /// Record one poll/reply observation for `node`.
+    ///
+    /// Samples whose RTT exceeds [`brisk_core::SyncConfig::rtt_outlier_multiple`]
+    /// times the node's rolling RTT median (built from previously accepted
+    /// samples) are dropped before they can bias the round; rejected RTTs do
+    /// not enter the history, so a sustained congestion spike cannot drag
+    /// the median up and launder itself into acceptance.
     pub fn add_sample(&mut self, node: NodeId, sample: SkewSample) {
+        let rtt = sample.rtt_us();
+        if rtt >= 0 {
+            if self.is_rtt_outlier(node, rtt) {
+                self.rtt_outliers += 1;
+                if let Some(t) = &self.telemetry {
+                    t.rtt_outliers.inc();
+                }
+                return;
+            }
+            let history = self.rtt_history.entry(node).or_default();
+            if history.len() == RTT_HISTORY_LEN {
+                history.pop_front();
+            }
+            history.push_back(rtt);
+        }
         self.samples.entry(node).or_default().push(sample);
+    }
+
+    fn is_rtt_outlier(&self, node: NodeId, rtt: i64) -> bool {
+        let multiple = self.cfg.rtt_outlier_multiple;
+        if multiple == 0.0 {
+            return false;
+        }
+        let Some(history) = self.rtt_history.get(&node) else {
+            return false;
+        };
+        if history.len() < RTT_HISTORY_MIN {
+            return false;
+        }
+        rtt as f64 > multiple * rolling_median(history) as f64
+    }
+
+    /// Samples rejected so far against the rolling RTT median.
+    pub fn rtt_outliers_rejected(&self) -> u64 {
+        self.rtt_outliers
     }
 
     /// Close the round: estimate skews and plan corrections. Slaves that
@@ -599,6 +665,73 @@ mod tests {
         let rtts = snap.histogram("brisk_sync_rtt_us").unwrap();
         assert_eq!(rtts.count(), 2);
         assert_eq!(rtts.max, 100);
+    }
+
+    #[test]
+    fn congestion_round_is_rejected_by_rolling_rtt_median() {
+        // The intra-round min-RTT filter is blind to a round where *every*
+        // sample for a node is delayed (a congestion spike): the minimum
+        // itself is inflated, so nothing gets discarded and the garbage
+        // skew would elect the node as reference. The rolling per-node RTT
+        // median built up over earlier rounds must catch it.
+        let mut m = SyncMaster::new(SyncConfig::default()).unwrap();
+        let mk = |rtt: i64, skew: i64| SkewSample {
+            t_master_send: UtcMicros::from_micros(0),
+            t_slave: UtcMicros::from_micros(rtt / 2 + skew),
+            t_master_recv: UtcMicros::from_micros(rtt),
+        };
+        // Build RTT history: several clean rounds at ~100 µs for both nodes.
+        for _ in 0..3 {
+            m.begin_round();
+            for _ in 0..4 {
+                m.add_sample(NodeId(1), mk(100, 0));
+                m.add_sample(NodeId(2), mk(100, 0));
+            }
+            m.finish_round().unwrap();
+        }
+        assert_eq!(m.rtt_outliers_rejected(), 0);
+        // Congestion round: all of node 1's samples arrive 100× delayed,
+        // carrying a wildly wrong skew estimate.
+        m.begin_round();
+        for _ in 0..4 {
+            m.add_sample(NodeId(1), mk(10_000, 50_000));
+            m.add_sample(NodeId(2), mk(100, 0));
+        }
+        let out = m.finish_round().unwrap();
+        assert_eq!(m.rtt_outliers_rejected(), 4);
+        // Node 1 contributed no usable samples → skipped this round; node 2
+        // alone is a trivially-synchronized single slave.
+        assert_eq!(out.reference, Some(NodeId(2)));
+        assert!(
+            out.corrections.is_empty(),
+            "congested node must not drag others: {:?}",
+            out.corrections
+        );
+    }
+
+    #[test]
+    fn rtt_outlier_rejection_can_be_disabled() {
+        let mut m = SyncMaster::new(SyncConfig {
+            rtt_outlier_multiple: 0.0,
+            ..SyncConfig::default()
+        })
+        .unwrap();
+        let mk = |rtt: i64| SkewSample {
+            t_master_send: UtcMicros::from_micros(0),
+            t_slave: UtcMicros::from_micros(rtt / 2),
+            t_master_recv: UtcMicros::from_micros(rtt),
+        };
+        for _ in 0..3 {
+            m.begin_round();
+            for _ in 0..4 {
+                m.add_sample(NodeId(1), mk(100));
+            }
+            m.finish_round().unwrap();
+        }
+        m.begin_round();
+        m.add_sample(NodeId(1), mk(10_000));
+        m.finish_round().unwrap();
+        assert_eq!(m.rtt_outliers_rejected(), 0);
     }
 
     #[test]

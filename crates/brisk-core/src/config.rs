@@ -35,6 +35,12 @@ pub struct ExsConfig {
     /// delivery degrades to at-least-v1 semantics instead of blocking the
     /// node; size it to cover the ISM's ack round-trip at peak batch rate.
     pub retransmit_window_batches: usize,
+    /// Send a `Heartbeat` once the connection has been idle (nothing sent)
+    /// this long, so the ISM can distinguish a quiet node from a silently
+    /// dead one. Only v3 connections heartbeat (older peers reject the
+    /// tag). `Duration::ZERO` disables heartbeats. Keep this well below
+    /// the ISM's `node_timeout` or quiet nodes get evicted.
+    pub heartbeat_interval: Duration,
 }
 
 impl Default for ExsConfig {
@@ -46,6 +52,7 @@ impl Default for ExsConfig {
             flush_timeout: Duration::from_millis(40),
             idle_sleep: Duration::from_micros(200),
             retransmit_window_batches: 256,
+            heartbeat_interval: Duration::from_millis(500),
         }
     }
 }
@@ -97,6 +104,12 @@ pub struct SyncConfig {
     /// *master* clock, full correction always) instead of BRISK's
     /// most-ahead-slave variant. Ablation knob for experiment A1.
     pub original_cristian: bool,
+    /// Reject a Cristian sample whose RTT exceeds this multiple of the
+    /// node's rolling-median RTT (history kept across rounds), so one
+    /// delayed probe cannot yank the offset estimate. `0.0` disables the
+    /// check; values below 1.0 are invalid (they would reject the median
+    /// itself).
+    pub rtt_outlier_multiple: f64,
 }
 
 impl Default for SyncConfig {
@@ -107,6 +120,7 @@ impl Default for SyncConfig {
             skew_threshold_us: 50,
             damping: 0.7,
             original_cristian: false,
+            rtt_outlier_multiple: 3.0,
         }
     }
 }
@@ -126,6 +140,11 @@ impl SyncConfig {
         if self.skew_threshold_us < 0 {
             return Err(BriskError::Config(
                 "skew_threshold_us must be non-negative".into(),
+            ));
+        }
+        if self.rtt_outlier_multiple != 0.0 && self.rtt_outlier_multiple < 1.0 {
+            return Err(BriskError::Config(
+                "rtt_outlier_multiple must be 0 (off) or at least 1".into(),
             ));
         }
         Ok(())
@@ -407,7 +426,7 @@ impl FlowConfig {
 }
 
 /// ISM knobs: the sorter and CRE configs plus resource bounds.
-#[derive(Clone, Debug, PartialEq, Default)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct IsmConfig {
     /// On-line sorter knobs.
     pub sorter: SorterConfig,
@@ -421,6 +440,32 @@ pub struct IsmConfig {
     pub store: StoreConfig,
     /// EXS→ISM flow-control knobs (credit, queue bound, shedding).
     pub flow: FlowConfig,
+    /// Evict a node whose connection has shown no life (no batch, sync
+    /// reply or heartbeat) for this long — the liveness net under silently
+    /// dead peers that TCP never reports. Must be comfortably larger than
+    /// the senders' `ExsConfig::heartbeat_interval`. `None` disables
+    /// eviction.
+    pub node_timeout: Option<Duration>,
+    /// How many undecodable frames one connection may produce before the
+    /// ISM disconnects it. Bad frames below the budget are quarantined
+    /// (counted and sampled in telemetry) and skipped, so a glitching link
+    /// degrades without taking the node's stream down; `0` disconnects on
+    /// the first bad frame.
+    pub protocol_error_budget: u32,
+}
+
+impl Default for IsmConfig {
+    fn default() -> Self {
+        IsmConfig {
+            sorter: SorterConfig::default(),
+            cre: CreConfig::default(),
+            max_buffered_records: 0,
+            store: StoreConfig::default(),
+            flow: FlowConfig::default(),
+            node_timeout: None,
+            protocol_error_budget: 8,
+        }
+    }
 }
 
 impl IsmConfig {
@@ -429,7 +474,13 @@ impl IsmConfig {
         self.sorter.validate()?;
         self.cre.validate()?;
         self.store.validate()?;
-        self.flow.validate()
+        self.flow.validate()?;
+        if let Some(t) = self.node_timeout {
+            if t.is_zero() {
+                return Err(BriskError::Config("node_timeout must be > 0".into()));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -486,6 +537,12 @@ mod tests {
         let mut c = SyncConfig::default();
         c.poll_period = Duration::ZERO;
         assert!(c.validate().is_err());
+        let mut c = SyncConfig::default();
+        c.rtt_outlier_multiple = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = SyncConfig::default();
+        c.rtt_outlier_multiple = 0.0;
+        assert!(c.validate().is_ok(), "0 disables outlier rejection");
     }
 
     #[test]
@@ -526,6 +583,13 @@ mod tests {
         let mut c = IsmConfig::default();
         c.sorter.decay_factor = 2.0;
         assert!(c.validate().is_err());
+        let mut c = IsmConfig::default();
+        c.node_timeout = Some(Duration::ZERO);
+        assert!(c.validate().is_err());
+        let mut c = IsmConfig::default();
+        c.node_timeout = Some(Duration::from_secs(2));
+        c.protocol_error_budget = 0;
+        assert!(c.validate().is_ok(), "budget 0 = disconnect on first error");
         let mut c = IsmConfig::default();
         c.cre.tachyon_bump_us = -3;
         assert!(c.validate().is_err());

@@ -44,5 +44,6 @@ pub mod sorter;
 pub use crate::core::{IsmCore, IsmCoreStats};
 pub use cre::{CreMatcher, CreStats};
 pub use output::{EventSink, MemoryBuffer, MemoryBufferReader, PiclFileSink};
+pub use pump::{ProtocolGuard, QuarantineLog, QuarantineSample};
 pub use server::{IsmHandle, IsmServer};
 pub use sorter::{OnlineSorter, OverloadPolicy, SorterStats};

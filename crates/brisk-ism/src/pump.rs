@@ -11,10 +11,10 @@ use brisk_clock::{Clock, SkewSample};
 use brisk_core::{BriskError, EventRecord, FlowConfig, NodeId, Result};
 use brisk_net::Connection;
 use brisk_proto::Message;
-use brisk_telemetry::Counter;
+use brisk_telemetry::{Counter, Registry};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Shared EXS→ISM flow-control state: one instance per server, touched by
@@ -92,6 +92,119 @@ impl FlowState {
     }
 }
 
+/// Upper bound on retained malformed-frame samples: enough to diagnose a
+/// corruption pattern, small enough never to matter for memory.
+pub const MAX_QUARANTINE_SAMPLES: usize = 16;
+/// Leading bytes of a malformed frame kept (as hex) per sample.
+pub const QUARANTINE_SAMPLE_BYTES: usize = 64;
+
+/// One retained malformed frame (head only), for post-mortem inspection.
+#[derive(Clone, Debug)]
+pub struct QuarantineSample {
+    /// Node whose connection produced the frame.
+    pub node: NodeId,
+    /// Full length of the offending frame in bytes.
+    pub len: usize,
+    /// Hex dump of the frame's first [`QUARANTINE_SAMPLE_BYTES`] bytes.
+    pub head_hex: String,
+    /// Why the frame did not decode.
+    pub error: String,
+}
+
+/// Shared record of undecodable frames across all pumps.
+///
+/// A frame that fails [`Message::decode`] is *quarantined*: counted here,
+/// sampled (bounded), and otherwise dropped — the connection survives
+/// until its per-connection error budget runs out. This keeps one node's
+/// corrupted link from taking anything else down while still leaving an
+/// audit trail of what arrived.
+#[derive(Default)]
+pub struct QuarantineLog {
+    frames: AtomicU64,
+    disconnects: AtomicU64,
+    samples: Mutex<Vec<QuarantineSample>>,
+}
+
+impl QuarantineLog {
+    /// New shared log.
+    pub fn new() -> Arc<Self> {
+        Arc::new(QuarantineLog::default())
+    }
+
+    /// Record one undecodable frame.
+    pub fn record(&self, node: NodeId, frame: &[u8], error: &str) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut samples) = self.samples.lock() {
+            if samples.len() < MAX_QUARANTINE_SAMPLES {
+                let head = &frame[..frame.len().min(QUARANTINE_SAMPLE_BYTES)];
+                let head_hex = head.iter().map(|b| format!("{b:02x}")).collect();
+                samples.push(QuarantineSample {
+                    node,
+                    len: frame.len(),
+                    head_hex,
+                    error: error.to_string(),
+                });
+            }
+        }
+    }
+
+    /// Record one connection dropped for exhausting its error budget.
+    pub fn note_disconnect(&self) {
+        self.disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total undecodable frames quarantined.
+    pub fn frames(&self) -> u64 {
+        self.frames.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped for exhausting their error budget.
+    pub fn disconnects(&self) -> u64 {
+        self.disconnects.load(Ordering::Relaxed)
+    }
+
+    /// The retained samples (at most [`MAX_QUARANTINE_SAMPLES`]).
+    pub fn samples(&self) -> Vec<QuarantineSample> {
+        self.samples.lock().map(|s| s.clone()).unwrap_or_default()
+    }
+
+    /// Export the quarantine counters.
+    pub fn bind_telemetry(self: &Arc<Self>, registry: &Arc<Registry>) {
+        let log = Arc::clone(self);
+        registry.counter_fn(
+            "brisk_ism_quarantined_frames_total",
+            "Undecodable frames quarantined by ISM pumps",
+            &[],
+            move || log.frames(),
+        );
+        let log = Arc::clone(self);
+        registry.counter_fn(
+            "brisk_ism_quarantine_disconnects_total",
+            "Connections dropped after exhausting their protocol error budget",
+            &[],
+            move || log.disconnects(),
+        );
+    }
+}
+
+/// Per-connection malformed-frame policy handed to [`run_pump`].
+pub struct ProtocolGuard {
+    /// Undecodable frames tolerated before the connection is dropped
+    /// (0 = drop on the first one).
+    pub budget: u32,
+    /// Shared log counting and sampling quarantined frames.
+    pub log: Option<Arc<QuarantineLog>>,
+}
+
+impl Default for ProtocolGuard {
+    fn default() -> Self {
+        ProtocolGuard {
+            budget: 8,
+            log: None,
+        }
+    }
+}
+
 /// Process-wide pump identity source. Ids disambiguate pump *instances*
 /// serving the same node: when a node reconnects, the manager must not
 /// let a late `Disconnected` from the old pump tear down the new one.
@@ -160,6 +273,17 @@ pub enum PumpEvent {
         round: u64,
         /// Collected samples.
         samples: Vec<SkewSample>,
+    },
+    /// The peer proved liveness with a [`Message::Heartbeat`] (protocol
+    /// v3): no payload, no reply — just evidence the EXS is alive, so
+    /// the manager's stale-node eviction timer resets.
+    Heartbeat {
+        /// The node that proved liveness.
+        node: NodeId,
+        /// Pump instance that received the heartbeat (matches
+        /// [`PumpHandle::id`]), so a stale pump's late heartbeat cannot
+        /// keep an otherwise-dead node alive.
+        id: u64,
     },
     /// The connection ended (orderly or not).
     Disconnected {
@@ -278,7 +402,19 @@ pub fn spawn_pump_with_counter(
     let id = handle.id;
     let join = std::thread::Builder::new()
         .name(format!("brisk-pump-{node}"))
-        .spawn(move || run_pump(id, node, conn, clock, events, cmd_rx, enqueued, None))
+        .spawn(move || {
+            run_pump(
+                id,
+                node,
+                conn,
+                clock,
+                events,
+                cmd_rx,
+                enqueued,
+                None,
+                ProtocolGuard::default(),
+            )
+        })
         .map_err(BriskError::Io)?;
     handle.join = Some(join);
     Ok(handle)
@@ -306,7 +442,8 @@ pub fn pump_channel(node: NodeId, version: u32) -> (PumpHandle, Receiver<PumpCom
 /// [`PumpHandle::id`] of the handle built by [`pump_channel`], so the
 /// final `Disconnected` event names the right pump instance. `flow`
 /// makes the pump defer socket reads while the shared manager-queue
-/// bound is exceeded.
+/// bound is exceeded; `guard` sets the malformed-frame quarantine
+/// policy.
 #[allow(clippy::too_many_arguments)]
 pub fn run_pump(
     id: u64,
@@ -317,6 +454,7 @@ pub fn run_pump(
     cmd_rx: Receiver<PumpCommand>,
     enqueued: Option<Arc<Counter>>,
     flow: Option<Arc<FlowState>>,
+    guard: ProtocolGuard,
 ) {
     let mut pump = Pump {
         node,
@@ -327,6 +465,8 @@ pub fn run_pump(
         cmd_rx,
         enqueued,
         flow,
+        guard,
+        errors: 0,
     };
     pump.run();
 }
@@ -340,6 +480,9 @@ struct Pump {
     cmd_rx: Receiver<PumpCommand>,
     enqueued: Option<Arc<Counter>>,
     flow: Option<Arc<FlowState>>,
+    guard: ProtocolGuard,
+    /// Undecodable frames seen on this connection so far.
+    errors: u32,
 }
 
 impl Pump {
@@ -349,6 +492,23 @@ impl Pump {
                 c.inc();
             }
         }
+    }
+
+    /// Quarantine one undecodable frame. Returns `true` when the
+    /// connection's protocol error budget is exhausted and it must be
+    /// dropped — other nodes' connections are never affected.
+    fn note_malformed(&mut self, frame: &[u8], error: &brisk_proto::DecodeError) -> bool {
+        self.errors += 1;
+        if let Some(log) = &self.guard.log {
+            log.record(self.node, frame, &error.to_string());
+        }
+        if self.errors > self.guard.budget {
+            if let Some(log) = &self.guard.log {
+                log.note_disconnect();
+            }
+            return true;
+        }
+        false
     }
 }
 
@@ -396,7 +556,11 @@ impl Pump {
                                         break;
                                     }
                                 }
-                                Err(_) => break,
+                                Err(e) => {
+                                    if self.note_malformed(&frame, &e) {
+                                        break;
+                                    }
+                                }
                             },
                             Ok(None) => continue,
                             Err(_) => break,
@@ -427,7 +591,14 @@ impl Pump {
                             break;
                         }
                     }
-                    Err(_) => break,
+                    // An undecodable frame is quarantined, not fatal:
+                    // count it, keep a bounded sample, and drop the
+                    // connection only once its error budget runs out.
+                    Err(e) => {
+                        if self.note_malformed(&frame, &e) {
+                            break;
+                        }
+                    }
                 },
                 Ok(None) => {}
                 Err(_) => break,
@@ -466,6 +637,13 @@ impl Pump {
                 Ok(())
             }
             Message::SyncReply { .. } => Ok(()), // stale reply; drop
+            Message::Heartbeat => {
+                self.send_event(PumpEvent::Heartbeat {
+                    node: self.node,
+                    id: self.id,
+                });
+                Ok(())
+            }
             Message::Shutdown => Err(BriskError::Disconnected),
             other => Err(BriskError::Protocol(format!(
                 "unexpected message at ISM: {other:?}"
@@ -493,13 +671,20 @@ impl Pump {
                 }
                 match self.conn.recv(Some(budget))? {
                     None => continue 'sampling,
-                    Some(frame) => match Message::decode(&frame)? {
-                        Message::SyncReply {
+                    Some(frame) => match Message::decode(&frame) {
+                        // Quarantine applies mid-exchange too: a garbage
+                        // frame costs budget but not the sync round.
+                        Err(e) => {
+                            if self.note_malformed(&frame, &e) {
+                                return Err(BriskError::Disconnected);
+                            }
+                        }
+                        Ok(Message::SyncReply {
                             round: r,
                             sample: s,
                             slave_time,
                             ..
-                        } if r == round && s == sample => {
+                        }) if r == round && s == sample => {
                             let t1 = self.clock.now();
                             collected.push(SkewSample {
                                 t_master_send: t0,
@@ -509,7 +694,7 @@ impl Pump {
                             break;
                         }
                         // Batches keep flowing during the exchange.
-                        other => self.dispatch(other)?,
+                        Ok(other) => self.dispatch(other)?,
                     },
                 }
             }
@@ -764,6 +949,7 @@ mod tests {
                 cmd_rx,
                 None,
                 Some(flow2),
+                ProtocolGuard::default(),
             )
         });
         client
@@ -802,6 +988,115 @@ mod tests {
         handle.command(PumpCommand::Shutdown);
         drop(client);
         join.join().unwrap();
+    }
+
+    /// Run a pump on its own thread with an explicit quarantine policy.
+    fn spawn_guarded(
+        server: Box<dyn Connection>,
+        guard: ProtocolGuard,
+    ) -> (PumpHandle, Receiver<PumpEvent>, std::thread::JoinHandle<()>) {
+        let (tx, rx) = unbounded();
+        let (handle, cmd_rx) = pump_channel(NodeId(5), brisk_proto::VERSION);
+        let id = handle.id();
+        let join = std::thread::spawn(move || {
+            run_pump(
+                id,
+                NodeId(5),
+                server,
+                Arc::new(SystemClock),
+                tx,
+                cmd_rx,
+                None,
+                None,
+                guard,
+            )
+        });
+        (handle, rx, join)
+    }
+
+    #[test]
+    fn malformed_frames_are_quarantined_within_budget() {
+        let (server, mut client) = mem_pair();
+        let log = QuarantineLog::new();
+        let (_handle, rx, join) = spawn_guarded(
+            server,
+            ProtocolGuard {
+                budget: 2,
+                log: Some(Arc::clone(&log)),
+            },
+        );
+        // Two garbage frames fit inside the budget: the connection lives
+        // and a valid batch still flows afterwards.
+        client.send(&[0xde, 0xad, 0xbe, 0xef]).unwrap();
+        client.send(b"not a brisk frame").unwrap();
+        client
+            .send(
+                &Message::EventBatch {
+                    node: NodeId(5),
+                    seq: Some(1),
+                    records: vec![],
+                }
+                .encode(),
+            )
+            .unwrap();
+        match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            PumpEvent::Batch { seq, .. } => assert_eq!(seq, Some(1)),
+            other => panic!("batch must survive quarantined garbage, got {other:?}"),
+        }
+        assert_eq!(log.frames(), 2);
+        assert_eq!(log.disconnects(), 0);
+        // The third garbage frame exhausts the budget: disconnect.
+        client.send(&[0xff; 8]).unwrap();
+        match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            PumpEvent::Disconnected { node, .. } => assert_eq!(node, NodeId(5)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(log.frames(), 3);
+        assert_eq!(log.disconnects(), 1);
+        let samples = log.samples();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].node, NodeId(5));
+        assert_eq!(samples[0].head_hex, "deadbeef");
+        assert!(!samples[0].error.is_empty());
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn zero_budget_drops_connection_on_first_bad_frame() {
+        let (server, mut client) = mem_pair();
+        let log = QuarantineLog::new();
+        let (_handle, rx, join) = spawn_guarded(
+            server,
+            ProtocolGuard {
+                budget: 0,
+                log: Some(Arc::clone(&log)),
+            },
+        );
+        client.send(&[0x00]).unwrap();
+        match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            PumpEvent::Disconnected { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(log.frames(), 1);
+        assert_eq!(log.disconnects(), 1);
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn heartbeat_is_forwarded_as_liveness() {
+        let (server, mut client) = mem_pair();
+        let (tx, rx) = unbounded();
+        let pump = spawn_pump(NodeId(5), server, Arc::new(SystemClock), tx).unwrap();
+        client.send(&Message::Heartbeat.encode()).unwrap();
+        match rx.recv_timeout(Duration::from_secs(1)).unwrap() {
+            PumpEvent::Heartbeat { node, id } => {
+                assert_eq!(node, NodeId(5));
+                assert_eq!(id, pump.id());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        pump.command(PumpCommand::Shutdown);
+        pump.join();
     }
 
     #[test]

@@ -18,7 +18,8 @@ use crate::core::{IsmCore, IsmCoreStats};
 use crate::cre::CreStats;
 use crate::output::MemoryBuffer;
 use crate::pump::{
-    handshake, pump_channel, run_pump, FlowState, PumpCommand, PumpEvent, PumpHandle,
+    handshake, pump_channel, run_pump, FlowState, ProtocolGuard, PumpCommand, PumpEvent,
+    PumpHandle, QuarantineLog,
 };
 use crate::sorter::SorterStats;
 use brisk_clock::{Clock, SyncMaster, SyncOutcome};
@@ -54,6 +55,12 @@ pub struct IsmServer {
     clock: Arc<dyn Clock>,
     flow: Arc<FlowState>,
     registry: Option<Arc<Registry>>,
+    /// Liveness: evict a node whose connection has been silent this long.
+    node_timeout: Option<Duration>,
+    /// Undecodable frames tolerated per connection before disconnect.
+    error_budget: u32,
+    /// Shared malformed-frame quarantine across all pumps.
+    quarantine: Arc<QuarantineLog>,
 }
 
 /// Manager tick granularity: how often the pipeline is polled when no
@@ -68,12 +75,17 @@ impl IsmServer {
     /// New server.
     pub fn new(cfg: IsmConfig, sync_cfg: SyncConfig, clock: Arc<dyn Clock>) -> Result<Self> {
         let flow = FlowState::new(cfg.flow);
+        let node_timeout = cfg.node_timeout;
+        let error_budget = cfg.protocol_error_budget;
         Ok(IsmServer {
             core: IsmCore::new(cfg)?,
             sync: SyncMaster::new(sync_cfg)?,
             clock,
             flow,
             registry: None,
+            node_timeout,
+            error_budget,
+            quarantine: QuarantineLog::new(),
         })
     }
 
@@ -104,6 +116,7 @@ impl IsmServer {
             &[],
             move || f.deferrals(),
         );
+        self.quarantine.bind_telemetry(registry);
         self.registry = Some(Arc::clone(registry));
     }
 
@@ -145,6 +158,12 @@ impl IsmServer {
                 "Microseconds from a batch entering the manager queue to its credit grant",
             )
         });
+        let evicted = self.registry.as_ref().map(|r| {
+            r.counter(
+                "brisk_ism_evicted_nodes_total",
+                "Nodes evicted after going silent past the liveness timeout",
+            )
+        });
         let (conn_metrics, enqueued, processed) = match &self.registry {
             Some(registry) => {
                 let enqueued = Arc::new(Counter::new());
@@ -170,6 +189,8 @@ impl IsmServer {
         let accept_clock = Arc::clone(&self.clock);
         let accept_events = event_tx.clone();
         let accept_flow = Arc::clone(&self.flow);
+        let accept_budget = self.error_budget;
+        let accept_quarantine = Arc::clone(&self.quarantine);
         let accept_join = std::thread::Builder::new()
             .name("brisk-ism-accept".into())
             .spawn(move || {
@@ -182,6 +203,8 @@ impl IsmServer {
                     conn_metrics,
                     enqueued,
                     accept_flow,
+                    accept_budget,
+                    accept_quarantine,
                 )
             })
             .map_err(BriskError::Io)?;
@@ -199,10 +222,13 @@ impl IsmServer {
             retiring: Vec::new(),
             round: None,
             last_round_finished: Instant::now(),
+            node_timeout: self.node_timeout,
+            last_seen: HashMap::new(),
             processed,
             acks_sent,
             credit_grants,
             grant_latency,
+            evicted,
         };
         let manager_join = std::thread::Builder::new()
             .name("brisk-ism-manager".into())
@@ -212,6 +238,7 @@ impl IsmServer {
         Ok(IsmHandle {
             addr,
             memory,
+            quarantine: self.quarantine,
             stop,
             accept_join,
             manager_join,
@@ -229,6 +256,8 @@ fn accept_loop(
     conn_metrics: Option<ConnMetrics>,
     enqueued: Option<Arc<Counter>>,
     flow: Arc<FlowState>,
+    error_budget: u32,
+    quarantine: Arc<QuarantineLog>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept(Some(Duration::from_millis(50))) {
@@ -248,6 +277,10 @@ fn accept_loop(
                 let pumps = pumps.clone();
                 let enqueued = enqueued.clone();
                 let flow = Arc::clone(&flow);
+                let guard = ProtocolGuard {
+                    budget: error_budget,
+                    log: Some(Arc::clone(&quarantine)),
+                };
                 let _ = std::thread::Builder::new()
                     .name("brisk-ism-greeter".into())
                     .spawn(move || {
@@ -261,7 +294,17 @@ fn accept_loop(
                         if pumps.send(handle).is_err() {
                             return; // manager gone
                         }
-                        run_pump(id, node, conn, clock, events, cmd_rx, enqueued, Some(flow));
+                        run_pump(
+                            id,
+                            node,
+                            conn,
+                            clock,
+                            events,
+                            cmd_rx,
+                            enqueued,
+                            Some(flow),
+                            guard,
+                        );
                     });
             }
             Ok(None) => continue,
@@ -289,10 +332,18 @@ struct Manager {
     retiring: Vec<PumpHandle>,
     round: Option<RoundInFlight>,
     last_round_finished: Instant,
+    /// Evict a node whose connection shows no life signs for this long
+    /// (`None` disables the sweep). "Life" is peer traffic: a batch, a
+    /// heartbeat, or delivered sync samples — not mere pump-thread
+    /// activity, which keeps running even against a dead socket.
+    node_timeout: Option<Duration>,
+    /// Last observed life sign per registered node.
+    last_seen: HashMap<NodeId, Instant>,
     processed: Option<Arc<Counter>>,
     acks_sent: Option<Arc<Counter>>,
     credit_grants: Option<Arc<Counter>>,
     grant_latency: Option<Arc<Histogram>>,
+    evicted: Option<Arc<Counter>>,
 }
 
 impl Manager {
@@ -321,6 +372,7 @@ impl Manager {
                 self.begin_round();
             }
             self.maybe_close_round(false)?;
+            self.evict_stale();
         }
         // Shutdown: stop pumps (retiring ones already got Shutdown, but a
         // repeat is harmless), drain stragglers, flush pipeline.
@@ -359,9 +411,40 @@ impl Manager {
     /// never target a dead socket.
     fn register_new_pumps(&mut self) {
         while let Ok(handle) = self.new_pumps.try_recv() {
+            self.last_seen.insert(handle.node, Instant::now());
             if let Some(old) = self.pumps.insert(handle.node, handle) {
                 old.command(PumpCommand::Shutdown);
                 self.retiring.push(old);
+            }
+        }
+    }
+
+    /// Evict nodes with no life signs past the liveness timeout. TCP can
+    /// sit on a silently dead peer for minutes; the heartbeat/eviction
+    /// pair bounds how long a dead node occupies a pump slot and sync
+    /// rounds. The evicted pump is retired exactly like one displaced by
+    /// a reconnect, so a node that comes back simply re-registers.
+    fn evict_stale(&mut self) {
+        let Some(timeout) = self.node_timeout else {
+            return;
+        };
+        let stale: Vec<NodeId> = self
+            .last_seen
+            .iter()
+            .filter(|(_, seen)| seen.elapsed() > timeout)
+            .map(|(node, _)| *node)
+            .collect();
+        for node in stale {
+            self.last_seen.remove(&node);
+            if let Some(handle) = self.pumps.remove(&node) {
+                handle.command(PumpCommand::Shutdown);
+                self.retiring.push(handle);
+                if let Some(c) = &self.evicted {
+                    c.inc();
+                }
+                if let Some(r) = &mut self.round {
+                    r.expected.remove(&node);
+                }
             }
         }
     }
@@ -378,6 +461,7 @@ impl Manager {
                 records,
                 enqueued_at,
             } => {
+                self.last_seen.insert(node, Instant::now());
                 let n = records.len() as u64;
                 // Dedup happens in the core; accepted or not, a sequenced
                 // batch is acked — a replayed duplicate means our earlier
@@ -431,6 +515,11 @@ impl Manager {
                 round,
                 samples,
             } => {
+                // Only delivered samples prove the *peer* is alive; an
+                // empty set just means the pump's polls timed out.
+                if !samples.is_empty() {
+                    self.last_seen.insert(node, Instant::now());
+                }
                 if let Some(r) = &mut self.round {
                     if r.round == round {
                         for s in samples {
@@ -441,6 +530,13 @@ impl Manager {
                     }
                 }
             }
+            PumpEvent::Heartbeat { node, id } => {
+                // A stale pump's late heartbeat must not keep an
+                // otherwise-dead node alive.
+                if self.pumps.get(&node).is_some_and(|h| h.id() == id) {
+                    self.last_seen.insert(node, Instant::now());
+                }
+            }
             PumpEvent::Disconnected { node, id } => {
                 // Only the *current* pump's death removes the node: a
                 // stale pump (displaced by a reconnect) reporting in late
@@ -449,6 +545,7 @@ impl Manager {
                     if let Some(handle) = self.pumps.remove(&node) {
                         handle.join();
                     }
+                    self.last_seen.remove(&node);
                     if let Some(r) = &mut self.round {
                         r.expected.remove(&node);
                     }
@@ -510,6 +607,7 @@ impl Manager {
 pub struct IsmHandle {
     addr: String,
     memory: Arc<MemoryBuffer>,
+    quarantine: Arc<QuarantineLog>,
     stop: Arc<AtomicBool>,
     accept_join: std::thread::JoinHandle<()>,
     manager_join: std::thread::JoinHandle<Result<IsmReport>>,
@@ -524,6 +622,11 @@ impl IsmHandle {
     /// The output memory buffer.
     pub fn memory(&self) -> &Arc<MemoryBuffer> {
         &self.memory
+    }
+
+    /// The malformed-frame quarantine log (counters + retained samples).
+    pub fn quarantine(&self) -> &Arc<QuarantineLog> {
+        &self.quarantine
     }
 
     /// Stop the server and collect the final report.
@@ -896,6 +999,121 @@ mod tests {
         assert!(retired.is_some(), "stale pump must be told to shut down");
         let report = handle.stop().unwrap();
         assert_eq!(report.core.records_in, 4);
+    }
+
+    fn start_server_with_timeout(
+        node_timeout: Duration,
+    ) -> (IsmHandle, Arc<MemTransport>, Arc<Registry>) {
+        let t = MemTransport::new();
+        let listener = t.listen("ism").unwrap();
+        let mut server = IsmServer::new(
+            IsmConfig {
+                node_timeout: Some(node_timeout),
+                ..IsmConfig::default()
+            },
+            SyncConfig {
+                poll_period: Duration::from_secs(60), // keep sync out of the way
+                ..SyncConfig::default()
+            },
+            Arc::new(SystemClock),
+        )
+        .unwrap();
+        let registry = Registry::new();
+        server.bind_telemetry(&registry);
+        (server.spawn(listener).unwrap(), t, registry)
+    }
+
+    #[test]
+    fn silent_node_is_evicted_after_timeout() {
+        let (handle, t, registry) = start_server_with_timeout(Duration::from_millis(150));
+        let mut conn = t.connect("ism").unwrap();
+        hello(&mut conn, 1);
+        conn.send(&batch_seq(1, Some(1), 0..2).encode()).unwrap();
+        // Then go silent: the manager must evict the node — the pump
+        // sends Shutdown and retires, exactly like a displaced pump.
+        let shut = recv_until(&mut conn, Duration::from_secs(5), |m| match m {
+            Message::Shutdown => Some(()),
+            _ => None,
+        });
+        assert!(shut.is_some(), "silent node must be told to shut down");
+        let report = handle.stop().unwrap();
+        assert_eq!(report.core.records_in, 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("brisk_ism_evicted_nodes_total"), 1);
+    }
+
+    #[test]
+    fn heartbeats_keep_a_quiet_node_alive() {
+        let (handle, t, registry) = start_server_with_timeout(Duration::from_millis(250));
+        let mut conn = t.connect("ism").unwrap();
+        hello(&mut conn, 1);
+        // Send no batches at all — only heartbeats — for several times
+        // the timeout. The node must never be evicted.
+        let deadline = Instant::now() + Duration::from_millis(1200);
+        while Instant::now() < deadline {
+            conn.send(&Message::Heartbeat.encode()).unwrap();
+            if let Ok(Some(frame)) = conn.recv(Some(Duration::from_millis(50))) {
+                if let Ok(Message::Shutdown) = Message::decode(&frame) {
+                    panic!("heartbeating node must not be evicted");
+                }
+            }
+        }
+        handle.stop().unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("brisk_ism_evicted_nodes_total"), 0);
+    }
+
+    #[test]
+    fn garbage_frames_are_quarantined_then_budget_disconnects() {
+        let t = MemTransport::new();
+        let listener = t.listen("ism").unwrap();
+        let mut server = IsmServer::new(
+            IsmConfig {
+                protocol_error_budget: 2,
+                ..IsmConfig::default()
+            },
+            SyncConfig {
+                poll_period: Duration::from_secs(60),
+                ..SyncConfig::default()
+            },
+            Arc::new(SystemClock),
+        )
+        .unwrap();
+        let registry = Registry::new();
+        server.bind_telemetry(&registry);
+        let handle = server.spawn(listener).unwrap();
+        let mut conn = t.connect("ism").unwrap();
+        hello(&mut conn, 1);
+        // Two garbage frames are quarantined; a batch still lands.
+        conn.send(&[0xde, 0xad]).unwrap();
+        conn.send(&[0xbe, 0xef]).unwrap();
+        conn.send(&batch_seq(1, Some(1), 0..3).encode()).unwrap();
+        let acked = recv_until(&mut conn, Duration::from_secs(2), |m| match m {
+            Message::BatchAck { seq, .. } => Some(seq),
+            _ => None,
+        });
+        assert_eq!(acked, Some(1), "batches must survive quarantined frames");
+        // The third garbage frame exhausts the budget: disconnect.
+        conn.send(&[0x00]).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut killed = false;
+        while Instant::now() < deadline {
+            if conn.recv(Some(Duration::from_millis(20))).is_err() {
+                killed = true;
+                break;
+            }
+        }
+        assert!(killed, "offender must be disconnected after the budget");
+        assert_eq!(handle.quarantine().frames(), 3);
+        assert_eq!(handle.quarantine().disconnects(), 1);
+        let report = handle.stop().unwrap();
+        assert_eq!(report.core.records_in, 3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("brisk_ism_quarantined_frames_total"), 3);
+        assert_eq!(
+            snap.counter_total("brisk_ism_quarantine_disconnects_total"),
+            1
+        );
     }
 
     #[test]

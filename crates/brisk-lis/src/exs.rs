@@ -65,6 +65,12 @@ pub struct ExsStats {
     /// Ring scoops deferred because the ISM's credit budget was spent
     /// (protocol v3 flow control); backpressure is parked in the rings.
     pub credit_deferrals: u64,
+    /// Liveness heartbeats sent to the ISM (protocol v3, idle links only).
+    pub heartbeats_sent: u64,
+    /// `HelloAck`s received (one per successfully established connection).
+    pub hello_acks: u64,
+    /// Inbound control frames that failed to decode and were skipped.
+    pub decode_errors: u64,
     /// Nanoseconds spent doing work (excludes waiting); the E2 utilization
     /// numerator.
     pub busy_nanos: u64,
@@ -92,6 +98,9 @@ pub struct ExsTelemetry {
     batches_retransmitted: AtomicU64,
     window_evicted: AtomicU64,
     credit_deferrals: AtomicU64,
+    heartbeats_sent: AtomicU64,
+    hello_acks: AtomicU64,
+    decode_errors: AtomicU64,
     /// Current retransmit-window occupancy (batches), mirrored from the
     /// EXS thread so a registry gauge can observe it without locking.
     window_depth: AtomicU64,
@@ -127,9 +136,20 @@ impl ExsTelemetry {
             batches_retransmitted: ld(&self.batches_retransmitted),
             window_evicted: ld(&self.window_evicted),
             credit_deferrals: ld(&self.credit_deferrals),
+            heartbeats_sent: ld(&self.heartbeats_sent),
+            hello_acks: ld(&self.hello_acks),
+            decode_errors: ld(&self.decode_errors),
             busy_nanos: ld(&self.busy_nanos),
             iterations: ld(&self.iterations),
         }
+    }
+
+    /// `HelloAck`s received so far. A supervisor watches this across a
+    /// reconnect: only a grown count proves the ISM answered the new
+    /// `Hello`, which is the signal that may reset the backoff (a bare
+    /// TCP connect can succeed against a dead-but-listening peer).
+    pub fn hello_acks(&self) -> u64 {
+        self.hello_acks.load(Ordering::Relaxed)
     }
 
     /// The drain-latency histogram (µs per step of drain+batch work).
@@ -149,7 +169,7 @@ impl ExsTelemetry {
     pub fn bind(self: &Arc<Self>, node: NodeId, registry: &Registry) {
         type Field = fn(&ExsTelemetry) -> &AtomicU64;
         let n = node.0.to_string();
-        let counters: [(&str, &str, Field); 11] = [
+        let counters: [(&str, &str, Field); 14] = [
             (
                 "brisk_exs_records_drained_total",
                 "Records drained from sensor rings",
@@ -192,6 +212,21 @@ impl ExsTelemetry {
                 "brisk_exs_credit_deferred_total",
                 "Ring scoops deferred waiting for ISM credit",
                 |t| &t.credit_deferrals,
+            ),
+            (
+                "brisk_exs_heartbeats_sent_total",
+                "Liveness heartbeats sent to the ISM on idle links",
+                |t| &t.heartbeats_sent,
+            ),
+            (
+                "brisk_exs_hello_acks_total",
+                "HelloAcks received (established connections)",
+                |t| &t.hello_acks,
+            ),
+            (
+                "brisk_exs_decode_errors_total",
+                "Inbound control frames that failed to decode and were skipped",
+                |t| &t.decode_errors,
             ),
             (
                 "brisk_exs_busy_nanos_total",
@@ -294,7 +329,21 @@ pub struct ExternalSensor {
     /// re-advertises the budget absolutely on `HelloAck` and every
     /// `BatchAck`.
     credit: Option<u64>,
+    /// The protocol version the ISM confirmed in its `HelloAck`; `None`
+    /// until one arrives. Heartbeats (a v3 tag) are sent only once this
+    /// proves the peer can decode them.
+    negotiated: Option<u32>,
+    /// Corrected-clock µs of the last frame sent, for heartbeat pacing
+    /// (node clock, so pacing is deterministic under simulation).
+    last_send_us: i64,
+    /// Undecodable inbound control frames this incarnation; past
+    /// [`CONTROL_ERROR_BUDGET`] the connection is treated as broken.
+    control_errors: u32,
 }
+
+/// Undecodable inbound control frames an EXS skips before declaring the
+/// connection corrupt. Mirrors the ISM-side protocol error budget.
+const CONTROL_ERROR_BUDGET: u32 = 8;
 
 impl ExternalSensor {
     /// Connect-side constructor: sends the `Hello` preamble immediately.
@@ -361,7 +410,11 @@ impl ExternalSensor {
             drain_buf: Vec::with_capacity(512),
             window: Some(window),
             credit: None,
+            negotiated: None,
+            last_send_us: 0,
+            control_errors: 0,
         };
+        exs.last_send_us = exs.clock.now().as_micros();
         // Replay deliberately ignores credit: those records were already
         // granted in-flight by the previous connection, and holding them
         // back would stall recovery behind acks that cannot arrive yet.
@@ -556,6 +609,10 @@ impl ExternalSensor {
                 self.send_batch(batch, reason)?;
             }
         }
+        // 2b. Liveness: on an idle v3 connection, send a heartbeat so the
+        //     ISM can tell a quiet node from a silently dead one (TCP
+        //     alone reports nothing for minutes).
+        self.maybe_heartbeat()?;
         drain_timer.stop(self.clock.now().as_micros());
 
         // 3. Control traffic. When busy, poll without blocking; when idle,
@@ -580,7 +637,21 @@ impl ExternalSensor {
             .busy_nanos
             .fetch_add(work_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let msg = match self.conn.recv(Some(wait)) {
-            Ok(Some(frame)) => Some(Message::decode(&frame)?),
+            // An undecodable control frame (corrupted wire) is counted
+            // and skipped rather than fatal — up to a budget, past which
+            // the connection is declared broken so the supervisor can
+            // rebuild it.
+            Ok(Some(frame)) => match Message::decode(&frame) {
+                Ok(msg) => Some(msg),
+                Err(e) => {
+                    self.control_errors += 1;
+                    self.shared.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    if self.control_errors > CONTROL_ERROR_BUDGET {
+                        return Err(e.into());
+                    }
+                    None
+                }
+            },
             Ok(None) => None,
             Err(e) if e.is_disconnect() => return Ok(ExsStep::Disconnected),
             Err(e) => return Err(e),
@@ -599,6 +670,25 @@ impl ExternalSensor {
         Ok(if busy { ExsStep::Busy } else { ExsStep::Idle })
     }
 
+    /// Send a [`Message::Heartbeat`] when the connection has been
+    /// send-idle for a full `heartbeat_interval`. Gated on a `HelloAck`
+    /// that negotiated v3 (older peers cannot decode the tag) and on a
+    /// non-zero interval (zero disables). Any frame sent resets the
+    /// pacing, so heartbeats only ever ride an otherwise-quiet link.
+    fn maybe_heartbeat(&mut self) -> Result<()> {
+        if self.cfg.heartbeat_interval.is_zero() || self.negotiated.is_none_or(|v| v < 3) {
+            return Ok(());
+        }
+        let now_us = self.clock.now().as_micros();
+        let interval_us = self.cfg.heartbeat_interval.as_micros() as i64;
+        if now_us.saturating_sub(self.last_send_us) >= interval_us {
+            self.conn.send(&Message::Heartbeat.encode())?;
+            self.last_send_us = now_us;
+            self.shared.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
     fn handle_control(&mut self, msg: Message) -> Result<ExsStep> {
         match msg {
             Message::SyncPoll {
@@ -615,6 +705,7 @@ impl ExternalSensor {
                     slave_time: self.clock.now(),
                 };
                 self.conn.send(&reply.encode())?;
+                self.last_send_us = self.clock.now().as_micros();
                 self.shared.sync_replies.fetch_add(1, Ordering::Relaxed);
                 Ok(ExsStep::Busy)
             }
@@ -637,6 +728,8 @@ impl ExternalSensor {
                 // previous incarnation.
                 self.credit = credit;
                 self.update_credit_balance();
+                self.negotiated = Some(version);
+                self.shared.hello_acks.fetch_add(1, Ordering::Relaxed);
                 Ok(ExsStep::Busy)
             }
             Message::BatchAck { seq, credit } => {
@@ -683,6 +776,7 @@ impl ExternalSensor {
             records,
         };
         self.conn.send(&msg.encode())?;
+        self.last_send_us = self.clock.now().as_micros();
         self.update_credit_balance();
         self.shared.records_sent.fetch_add(n, Ordering::Relaxed);
         self.shared.batches_sent.fetch_add(1, Ordering::Relaxed);
@@ -1340,6 +1434,126 @@ mod tests {
         assert_eq!(stats.batches_sent, 3);
         assert_eq!(stats.window_evicted, 1);
         assert_eq!(r.exs.window.as_ref().unwrap().depth(), 2);
+    }
+
+    #[test]
+    fn heartbeat_sent_on_idle_v3_link() {
+        let mut cfg = ExsConfig::default();
+        cfg.heartbeat_interval = Duration::from_millis(100);
+        let mut r = rig(cfg, 0);
+        recv_msg(&mut r.ism_side); // hello
+                                   // No HelloAck yet: idle time passes, no heartbeat (the peer may
+                                   // be v1 and unable to decode the tag).
+        r.src.advance_by(150_000);
+        r.exs.step().unwrap();
+        assert!(r
+            .ism_side
+            .recv(Some(Duration::from_millis(20)))
+            .unwrap()
+            .is_none());
+        // v3 negotiated: the next idle interval produces a heartbeat.
+        r.ism_side
+            .send(
+                &Message::HelloAck {
+                    version: 3,
+                    credit: None,
+                }
+                .encode(),
+            )
+            .unwrap();
+        r.exs.step().unwrap();
+        r.src.advance_by(150_000);
+        r.exs.step().unwrap();
+        assert_eq!(recv_msg(&mut r.ism_side), Message::Heartbeat);
+        assert_eq!(r.exs.stats().heartbeats_sent, 1);
+        assert_eq!(r.exs.stats().hello_acks, 1);
+        // Without further idle time no extra heartbeat is sent.
+        r.exs.step().unwrap();
+        assert!(r
+            .ism_side
+            .recv(Some(Duration::from_millis(20)))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn v2_connection_never_heartbeats() {
+        let mut cfg = ExsConfig::default();
+        cfg.heartbeat_interval = Duration::from_millis(50);
+        let mut r = rig(cfg, 0);
+        recv_msg(&mut r.ism_side); // hello
+        r.ism_side
+            .send(
+                &Message::HelloAck {
+                    version: 2,
+                    credit: None,
+                }
+                .encode(),
+            )
+            .unwrap();
+        r.exs.step().unwrap();
+        r.src.advance_by(500_000);
+        r.exs.step().unwrap();
+        assert!(
+            r.ism_side
+                .recv(Some(Duration::from_millis(20)))
+                .unwrap()
+                .is_none(),
+            "a v2 peer cannot decode the Heartbeat tag"
+        );
+        assert_eq!(r.exs.stats().heartbeats_sent, 0);
+    }
+
+    #[test]
+    fn zero_interval_disables_heartbeats() {
+        let mut cfg = ExsConfig::default();
+        cfg.heartbeat_interval = Duration::ZERO;
+        let mut r = rig(cfg, 0);
+        recv_msg(&mut r.ism_side); // hello
+        r.ism_side
+            .send(
+                &Message::HelloAck {
+                    version: 3,
+                    credit: None,
+                }
+                .encode(),
+            )
+            .unwrap();
+        r.exs.step().unwrap();
+        r.src.advance_by(10_000_000);
+        r.exs.step().unwrap();
+        assert_eq!(r.exs.stats().heartbeats_sent, 0);
+    }
+
+    #[test]
+    fn garbage_control_frames_are_skipped_within_budget() {
+        let mut r = rig(ExsConfig::default(), 0);
+        recv_msg(&mut r.ism_side); // hello
+                                   // Up to the budget, undecodable frames are counted and skipped.
+        for _ in 0..CONTROL_ERROR_BUDGET {
+            r.ism_side.send(&[0xba, 0xad]).unwrap();
+            r.exs.step().unwrap();
+        }
+        assert_eq!(r.exs.stats().decode_errors, CONTROL_ERROR_BUDGET as u64);
+        // The EXS is still fully functional: a sync poll gets answered.
+        r.ism_side
+            .send(
+                &Message::SyncPoll {
+                    round: 1,
+                    sample: 0,
+                    master_send: UtcMicros::from_micros(1),
+                }
+                .encode(),
+            )
+            .unwrap();
+        r.exs.step().unwrap();
+        assert!(matches!(
+            recv_msg(&mut r.ism_side),
+            Message::SyncReply { .. }
+        ));
+        // One past the budget: the connection is declared broken.
+        r.ism_side.send(&[0xff]).unwrap();
+        assert!(r.exs.step().is_err());
     }
 
     #[test]

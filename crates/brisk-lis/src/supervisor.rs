@@ -29,14 +29,31 @@ use brisk_core::{BriskError, ExsConfig, NodeId, Result};
 use brisk_net::Connection;
 use brisk_ringbuf::RingSet;
 use brisk_telemetry::Registry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Reconnection policy.
+///
+/// Backoff uses *decorrelated jitter*: each failed attempt sleeps a
+/// uniformly random duration in `[initial_backoff, 3 × previous]`, capped
+/// at `max_backoff`. Pure doubling would synchronize the whole fleet —
+/// after an ISM restart every node's EXS observes the disconnect in the
+/// same instant and would retry on the same deterministic schedule,
+/// hammering the recovering manager in lockstep. The jitter spreads
+/// those retries; the per-node RNG seed keeps any one node's schedule
+/// reproducible.
+///
+/// The backoff resets to `initial_backoff` only once the ISM answers a
+/// `Hello` with a `HelloAck` — a bare TCP connect proves only that
+/// something is listening, not that the manager is actually serving
+/// (e.g. an accept loop whose manager thread is wedged).
 #[derive(Clone, Debug)]
 pub struct SupervisorConfig {
-    /// First reconnect delay; doubles per consecutive failure.
+    /// First reconnect delay; grows with decorrelated jitter per
+    /// consecutive failure.
     pub initial_backoff: Duration,
     /// Backoff ceiling.
     pub max_backoff: Duration,
@@ -68,6 +85,18 @@ pub struct SupervisedStats {
 
 /// Factory producing a fresh connection to the ISM.
 pub type ConnectFn = Box<dyn Fn() -> Result<Box<dyn Connection>> + Send>;
+
+/// Next reconnect delay under decorrelated jitter:
+/// `min(max, U(initial, 3 × prev))`. Monotone doubling synchronizes
+/// reconnect storms across a fleet that lost its ISM at the same
+/// instant; the random draw decorrelates them while keeping the same
+/// expected growth rate.
+fn next_backoff(rng: &mut StdRng, prev: Duration, sup: &SupervisorConfig) -> Duration {
+    let lo = sup.initial_backoff.as_micros() as u64;
+    let cap = (sup.max_backoff.as_micros() as u64).max(lo);
+    let hi = (prev.as_micros() as u64).saturating_mul(3).clamp(lo, cap);
+    Duration::from_micros(rng.gen_range(lo..=hi))
+}
 
 /// Handle to a supervised EXS.
 pub struct SupervisedExsHandle {
@@ -188,6 +217,9 @@ fn supervise(
     let mut carried_credit: Option<u64> = None;
     let mut backoff = sup.initial_backoff;
     let mut consecutive_failures = 0u32;
+    // Per-node jitter stream: nodes decorrelate from each other while one
+    // node's retry schedule stays reproducible.
+    let mut rng = StdRng::seed_from_u64(0x9e37_79b9_7f4a_7c15 ^ u64::from(node.0));
 
     /// How one incarnation ended.
     enum IncarnationEnd {
@@ -199,7 +231,23 @@ fn supervise(
         Fatal(BriskError),
     }
 
+    /// Sleep `d` in small slices, bailing early when `stop` is raised;
+    /// returns `true` if the stop flag cut the sleep short.
+    fn sleep_interruptible(stop: &AtomicBool, d: Duration) -> bool {
+        let deadline = std::time::Instant::now() + d;
+        while std::time::Instant::now() < deadline {
+            if stop.load(Ordering::Relaxed) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        false
+    }
+
     'lifetime: while !stop.load(Ordering::Relaxed) {
+        // Snapshot before the attempt: only a *grown* count after the
+        // incarnation proves the ISM answered this connection's Hello.
+        let acks_before = shared.hello_acks();
         // Establish (or re-establish) the connection.
         let attempt = connect().and_then(|conn| {
             match carried_window.take() {
@@ -243,20 +291,18 @@ fn supervise(
                     }
                 }
                 // Interruptible backoff.
-                let deadline = std::time::Instant::now() + backoff;
-                while std::time::Instant::now() < deadline {
-                    if stop.load(Ordering::Relaxed) {
-                        break 'lifetime;
-                    }
-                    std::thread::sleep(Duration::from_millis(1));
+                if sleep_interruptible(&stop, backoff) {
+                    break 'lifetime;
                 }
-                backoff = (backoff * 2).min(sup.max_backoff);
+                backoff = next_backoff(&mut rng, backoff, &sup);
                 continue;
             }
             Err(e) => return Err(e),
         };
+        // A successful TCP connect proves only that *something* is listening
+        // on the port; the backoff resets further down, once the incarnation
+        // shows a HelloAck arrived.
         consecutive_failures = 0;
-        backoff = sup.initial_backoff;
         exs.set_credit(carried_credit);
         exs.corrected_clock()
             .set_correction(carried_correction.load(Ordering::Relaxed));
@@ -302,7 +348,25 @@ fn supervise(
         };
         match end {
             IncarnationEnd::Stop => break 'lifetime,
-            IncarnationEnd::Reconnect(w) => carried_window = w,
+            IncarnationEnd::Reconnect(w) => {
+                carried_window = w;
+                if shared.hello_acks() > acks_before {
+                    // The ISM answered our Hello, so the link genuinely
+                    // worked this incarnation: start the next retry gently.
+                    backoff = sup.initial_backoff;
+                } else {
+                    // Connected but died before the handshake completed —
+                    // the ISM is up yet unhealthy (or a fault plane is
+                    // chewing the preamble). Treat it like a connect
+                    // failure: pause, then widen the retry window. It does
+                    // not count toward `max_consecutive_failures`, which
+                    // tracks hard connect refusals only.
+                    if sleep_interruptible(&stop, backoff) {
+                        break 'lifetime;
+                    }
+                    backoff = next_backoff(&mut rng, backoff, &sup);
+                }
+            }
             IncarnationEnd::Fatal(e) => return Err(e),
         }
     }
@@ -493,6 +557,104 @@ mod tests {
         std::thread::sleep(Duration::from_millis(200));
         let err = handle.stop().unwrap_err();
         assert!(err.to_string().contains("gave up"));
+    }
+
+    #[test]
+    fn next_backoff_is_bounded_and_deterministic() {
+        let sup = SupervisorConfig {
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            max_consecutive_failures: None,
+        };
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut prev = sup.initial_backoff;
+        for _ in 0..1000 {
+            let next = next_backoff(&mut rng, prev, &sup);
+            assert!(next >= sup.initial_backoff, "below floor: {next:?}");
+            assert!(next <= sup.max_backoff, "above cap: {next:?}");
+            assert!(
+                next <= (prev * 3).max(sup.initial_backoff),
+                "grew faster than 3×: {prev:?} → {next:?}"
+            );
+            prev = next;
+        }
+        // Same seed → identical sequence, so a flaky reconnect storm can be
+        // replayed exactly.
+        let (mut a, mut b) = (StdRng::seed_from_u64(7), StdRng::seed_from_u64(7));
+        let (mut pa, mut pb) = (sup.initial_backoff, sup.initial_backoff);
+        for _ in 0..64 {
+            pa = next_backoff(&mut a, pa, &sup);
+            pb = next_backoff(&mut b, pb, &sup);
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn backoff_resets_only_after_hello_ack() {
+        // Two supervised runs against hand-rolled ISMs that kill every
+        // connection shortly after accepting it. The only difference: one
+        // acknowledges the Hello first. With a large initial backoff the
+        // no-ack run must pay the backoff between incarnations, while the
+        // acked run reconnects promptly each time.
+        fn run(ack: bool) -> Duration {
+            let t = MemTransport::new();
+            let mut listener = t.listen("ism").unwrap();
+            let rings = RingSet::new(NodeId(1), 1 << 20);
+            let t2 = Arc::clone(&t);
+            let handle = spawn_exs_supervised(
+                NodeId(1),
+                rings,
+                Arc::new(SystemClock),
+                Box::new(move || t2.connect("ism")),
+                ExsConfig::default(),
+                SupervisorConfig {
+                    initial_backoff: Duration::from_millis(250),
+                    max_backoff: Duration::from_secs(2),
+                    max_consecutive_failures: None,
+                },
+            )
+            .unwrap();
+            let start = std::time::Instant::now();
+            for _ in 0..2 {
+                let mut conn = listener
+                    .accept(Some(Duration::from_secs(10)))
+                    .unwrap()
+                    .unwrap();
+                let _hello = conn.recv(Some(Duration::from_secs(1))).unwrap().unwrap();
+                if ack {
+                    conn.send(
+                        &Message::HelloAck {
+                            version: 3,
+                            credit: None,
+                        }
+                        .encode(),
+                    )
+                    .unwrap();
+                    // Give the EXS a step to process the ack before the kill.
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                drop(conn);
+            }
+            let _conn3 = listener
+                .accept(Some(Duration::from_secs(10)))
+                .unwrap()
+                .unwrap();
+            let elapsed = start.elapsed();
+            handle.stop().ok();
+            elapsed
+        }
+        let with_ack = run(true);
+        let without_ack = run(false);
+        // No HelloAck → two backoff pauses of ≥ 250 ms each before the
+        // third connection shows up.
+        assert!(
+            without_ack >= Duration::from_millis(450),
+            "pre-ack deaths must keep (and grow) the backoff, got {without_ack:?}"
+        );
+        assert!(
+            with_ack < without_ack,
+            "acked incarnations must reconnect faster ({with_ack:?} vs {without_ack:?})"
+        );
     }
 
     #[test]

@@ -3,6 +3,11 @@
 //! Both the TCP and Unix-domain transports speak the same wire framing — a
 //! 4-byte big-endian length prefix per frame. [`FramedConnection`]
 //! implements it once over anything satisfying [`RawStream`].
+//!
+//! This is the first consumer of raw wire bytes, so its decode path must
+//! never panic regardless of input.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::traits::Connection;
 use crate::MAX_FRAME_BYTES;
@@ -86,7 +91,8 @@ impl<S: RawStream> FramedConnection<S> {
         if self.rbuf.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_be_bytes(self.rbuf[..4].try_into().unwrap()) as usize;
+        let len =
+            u32::from_be_bytes([self.rbuf[0], self.rbuf[1], self.rbuf[2], self.rbuf[3]]) as usize;
         if len > MAX_FRAME_BYTES {
             return Err(BriskError::Protocol(format!(
                 "frame length {len} exceeds {MAX_FRAME_BYTES}"

@@ -21,6 +21,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod fault;
 pub mod framed;
 pub mod mem;
 pub mod metered;
@@ -29,6 +30,9 @@ pub mod traits;
 #[cfg(unix)]
 pub mod uds;
 
+pub use fault::{
+    FaultEvent, FaultKind, FaultSpec, FaultStats, FaultingConnection, FaultingTransport,
+};
 pub use framed::{FramedConnection, RawStream};
 pub use mem::{LinkModel, MemTransport};
 pub use metered::{ConnMetrics, MeteredConnection};

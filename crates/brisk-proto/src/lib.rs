@@ -56,10 +56,13 @@
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
+// The decode path is a hostile-input boundary; it must never panic.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use brisk_core::{BriskError, EventRecord, NodeId, Result, UtcMicros};
+use brisk_core::{BriskError, EventRecord, NodeId, UtcMicros};
 use brisk_xdr::values::{decode_record_body, encode_record_body};
 use brisk_xdr::{XdrDecoder, XdrEncoder};
+use std::fmt;
 
 /// Protocol magic: "BRSK".
 pub const MAGIC: u32 = 0x4252_534B;
@@ -83,11 +86,90 @@ pub const fn negotiate(peer_version: u32) -> u32 {
 /// Maximum records accepted in one batch.
 pub const MAX_BATCH_RECORDS: usize = 65_536;
 
+/// Why a frame failed to decode into a [`Message`]. Typed so the ingest
+/// layers (ISM pump quarantine, EXS control loop) can count and budget
+/// protocol errors without string matching; converts into
+/// [`BriskError`] for callers that propagate through the kernel-wide
+/// error type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DecodeError {
+    /// The tag word named no known message kind.
+    UnknownTag(u32),
+    /// A `Hello` carried the wrong protocol magic.
+    BadMagic(u32),
+    /// A `Hello` advertised a version outside `MIN_VERSION..=VERSION`.
+    UnsupportedVersion(u32),
+    /// An `EventBatch` declared more records than [`MAX_BATCH_RECORDS`].
+    TooManyRecords {
+        /// Declared record count.
+        count: usize,
+        /// Permitted maximum.
+        max: usize,
+    },
+    /// A record body inside a batch failed semantic validation.
+    Record(String),
+    /// The underlying XDR primitives failed (truncation, padding, bounds,
+    /// trailing bytes, ...).
+    Xdr(brisk_xdr::DecodeError),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownTag(v) => write!(f, "unknown message tag {v}"),
+            DecodeError::BadMagic(m) => {
+                write!(f, "bad magic {m:#x}, expected {MAGIC:#x}")
+            }
+            DecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported protocol version {v}")
+            }
+            DecodeError::TooManyRecords { count, max } => {
+                write!(f, "batch of {count} records exceeds {max}")
+            }
+            DecodeError::Record(m) => write!(f, "bad record in batch: {m}"),
+            DecodeError::Xdr(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Xdr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<brisk_xdr::DecodeError> for DecodeError {
+    fn from(e: brisk_xdr::DecodeError) -> Self {
+        DecodeError::Xdr(e)
+    }
+}
+
+impl From<BriskError> for DecodeError {
+    fn from(e: BriskError) -> Self {
+        DecodeError::Record(e.to_string())
+    }
+}
+
+impl From<DecodeError> for BriskError {
+    fn from(e: DecodeError) -> Self {
+        match e {
+            DecodeError::UnknownTag(_)
+            | DecodeError::BadMagic(_)
+            | DecodeError::UnsupportedVersion(_)
+            | DecodeError::TooManyRecords { .. } => BriskError::Protocol(e.to_string()),
+            DecodeError::Record(_) | DecodeError::Xdr(_) => BriskError::Codec(e.to_string()),
+        }
+    }
+}
+
 /// Message discriminants on the wire. `EventBatchSeq`, `BatchAck` and
 /// `HelloAck` are v2 additions; `HelloAckCredit` and `BatchAckCredit` are
-/// the v3 credit-carrying variants of the latter two. Older decoders
-/// reject unknown tags, so each is only sent once the peer is known to
-/// speak the matching version.
+/// the v3 credit-carrying variants of the latter two, and `Heartbeat` is
+/// the v3 liveness probe. Older decoders reject unknown tags, so each is
+/// only sent once the peer is known to speak the matching version.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u32)]
 enum Tag {
@@ -102,10 +184,11 @@ enum Tag {
     HelloAck = 9,
     HelloAckCredit = 10,
     BatchAckCredit = 11,
+    Heartbeat = 12,
 }
 
 impl Tag {
-    fn from_u32(v: u32) -> Result<Tag> {
+    fn from_u32(v: u32) -> Result<Tag, DecodeError> {
         Ok(match v {
             1 => Tag::Hello,
             2 => Tag::EventBatch,
@@ -118,7 +201,8 @@ impl Tag {
             9 => Tag::HelloAck,
             10 => Tag::HelloAckCredit,
             11 => Tag::BatchAckCredit,
-            _ => return Err(BriskError::Protocol(format!("unknown message tag {v}"))),
+            12 => Tag::Heartbeat,
+            _ => return Err(DecodeError::UnknownTag(v)),
         })
     }
 }
@@ -193,6 +277,11 @@ pub enum Message {
     },
     /// Orderly shutdown notice (either direction).
     Shutdown,
+    /// EXS→ISM liveness probe (v3): sent when the connection has been idle
+    /// past the heartbeat interval, so the ISM can tell a quiet node from a
+    /// silently dead one (a half-open TCP connection never reports). Pure
+    /// liveness — no payload, no reply.
+    Heartbeat,
 }
 
 impl Message {
@@ -275,27 +364,31 @@ impl Message {
             Message::Shutdown => {
                 e.uint(Tag::Shutdown as u32);
             }
+            Message::Heartbeat => {
+                e.uint(Tag::Heartbeat as u32);
+            }
         }
         e.into_bytes()
     }
 
     /// Decode a transport frame.
-    pub fn decode(frame: &[u8]) -> Result<Message> {
+    ///
+    /// Never panics: arbitrary input yields a typed [`DecodeError`] (which
+    /// converts into [`BriskError`] via `?` where the kernel-wide error
+    /// type is wanted), and allocation is bounded by the frame length plus
+    /// the declared-and-checked record count.
+    pub fn decode(frame: &[u8]) -> Result<Message, DecodeError> {
         let mut d = XdrDecoder::new(frame);
         let tag = Tag::from_u32(d.uint()?)?;
         let msg = match tag {
             Tag::Hello => {
                 let magic = d.uint()?;
                 if magic != MAGIC {
-                    return Err(BriskError::Protocol(format!(
-                        "bad magic {magic:#x}, expected {MAGIC:#x}"
-                    )));
+                    return Err(DecodeError::BadMagic(magic));
                 }
                 let version = d.uint()?;
                 if !(MIN_VERSION..=VERSION).contains(&version) {
-                    return Err(BriskError::Protocol(format!(
-                        "unsupported protocol version {version}"
-                    )));
+                    return Err(DecodeError::UnsupportedVersion(version));
                 }
                 Message::Hello {
                     node: NodeId(d.uint()?),
@@ -318,9 +411,10 @@ impl Message {
                 };
                 let count = d.uint()? as usize;
                 if count > MAX_BATCH_RECORDS {
-                    return Err(BriskError::Protocol(format!(
-                        "batch of {count} records exceeds {MAX_BATCH_RECORDS}"
-                    )));
+                    return Err(DecodeError::TooManyRecords {
+                        count,
+                        max: MAX_BATCH_RECORDS,
+                    });
                 }
                 let mut records = Vec::with_capacity(count.min(4096));
                 for _ in 0..count {
@@ -352,6 +446,7 @@ impl Message {
                 advance_us: d.hyper()?,
             },
             Tag::Shutdown => Message::Shutdown,
+            Tag::Heartbeat => Message::Heartbeat,
         };
         d.finish()?;
         Ok(msg)
@@ -359,6 +454,7 @@ impl Message {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use brisk_core::{EventTypeId, SensorId, Value};
@@ -558,7 +654,45 @@ mod tests {
     fn unknown_tag_rejected() {
         let mut e = XdrEncoder::new();
         e.uint(77);
-        assert!(Message::decode(e.as_bytes()).is_err());
+        assert_eq!(
+            Message::decode(e.as_bytes()),
+            Err(DecodeError::UnknownTag(77))
+        );
+    }
+
+    #[test]
+    fn heartbeat_round_trip_and_tag() {
+        let m = Message::Heartbeat;
+        assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+        // Tag 12 on the wire: v1/v2 decoders reject it, so heartbeats are
+        // only sent once the connection has negotiated v3.
+        assert_eq!(&m.encode()[..4], &[0, 0, 0, 12]);
+    }
+
+    #[test]
+    fn decode_errors_are_typed() {
+        let m = Message::Hello {
+            node: NodeId(9),
+            version: VERSION,
+        };
+        let mut bytes = m.encode();
+        bytes[4] ^= 0xff;
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(DecodeError::BadMagic(_))
+        ));
+        let mut bytes = m.encode();
+        bytes[11] = 99;
+        assert_eq!(
+            Message::decode(&bytes),
+            Err(DecodeError::UnsupportedVersion(99))
+        );
+        // And the conversion into the kernel-wide error type categorizes.
+        let e: BriskError = DecodeError::UnknownTag(5).into();
+        assert!(matches!(e, BriskError::Protocol(_)));
+        let e: BriskError =
+            DecodeError::Xdr(brisk_xdr::DecodeError::Trailing { remaining: 4 }).into();
+        assert!(matches!(e, BriskError::Codec(_)));
     }
 
     #[test]

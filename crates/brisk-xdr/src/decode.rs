@@ -1,7 +1,82 @@
 //! XDR decoding (RFC 1832 subset).
+//!
+//! This module is a *hostile-input boundary*: every byte it reads may come
+//! straight off the wire from a faulty or malicious peer, so it must never
+//! panic. `clippy::unwrap_used`/`expect_used` are denied here and failures
+//! are reported through the typed [`DecodeError`].
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use crate::pad4;
-use brisk_core::{BriskError, Result};
+use brisk_core::BriskError;
+use std::fmt;
+
+/// Why an XDR decode failed. Typed (rather than a formatted string) so the
+/// ingest layers can count, sample and budget protocol errors without
+/// parsing messages back out of a `String`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value did.
+    Truncated {
+        /// Bytes the value still needed.
+        needed: usize,
+        /// Offset at which the shortfall was discovered.
+        offset: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// Input remained after the value was fully decoded.
+    Trailing {
+        /// Unconsumed byte count.
+        remaining: usize,
+    },
+    /// An XDR `bool` discriminant other than 0 or 1.
+    BadBool(i32),
+    /// A padding byte was non-zero (canonical form violated).
+    NonZeroPadding,
+    /// A variable-length item declared a length above its bound — the
+    /// guard against "length-prefix amnesia" allocation bombs.
+    LengthExceedsBound {
+        /// Declared length.
+        len: usize,
+        /// Permitted maximum.
+        max: usize,
+    },
+    /// An XDR `string<>` held invalid UTF-8.
+    InvalidUtf8(std::str::Utf8Error),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated {
+                needed,
+                offset,
+                have,
+            } => write!(
+                f,
+                "truncated XDR input: need {needed} bytes at offset {offset}, have {have}"
+            ),
+            DecodeError::Trailing { remaining } => {
+                write!(f, "{remaining} trailing bytes after XDR value")
+            }
+            DecodeError::BadBool(v) => write!(f, "invalid XDR bool {v}"),
+            DecodeError::NonZeroPadding => write!(f, "non-zero XDR padding"),
+            DecodeError::LengthExceedsBound { len, max } => {
+                write!(f, "opaque length {len} exceeds bound {max}")
+            }
+            DecodeError::InvalidUtf8(e) => write!(f, "invalid UTF-8 in XDR string: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for BriskError {
+    fn from(e: DecodeError) -> Self {
+        BriskError::Codec(e.to_string())
+    }
+}
 
 /// Streaming XDR decoder over a borrowed byte slice.
 ///
@@ -38,106 +113,112 @@ impl<'a> XdrDecoder<'a> {
 
     /// Error unless all input was consumed — used by message decoders to
     /// reject trailing garbage.
-    pub fn finish(&self) -> Result<()> {
+    pub fn finish(&self) -> Result<(), DecodeError> {
         if self.is_exhausted() {
             Ok(())
         } else {
-            Err(BriskError::Codec(format!(
-                "{} trailing bytes after XDR value",
-                self.remaining()
-            )))
+            Err(DecodeError::Trailing {
+                remaining: self.remaining(),
+            })
         }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.remaining() < n {
-            return Err(BriskError::Codec(format!(
-                "truncated XDR input: need {n} bytes at offset {}, have {}",
-                self.pos,
-                self.remaining()
-            )));
+            return Err(DecodeError::Truncated {
+                needed: n,
+                offset: self.pos,
+                have: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
     }
 
+    /// Take exactly `N` bytes as an array, without the `try_into().unwrap()`
+    /// idiom (the decode path is panic-free by construction).
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+
     /// XDR `int`.
-    pub fn int(&mut self) -> Result<i32> {
-        Ok(i32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    pub fn int(&mut self) -> Result<i32, DecodeError> {
+        Ok(i32::from_be_bytes(self.take_array::<4>()?))
     }
 
     /// XDR `unsigned int`.
-    pub fn uint(&mut self) -> Result<u32> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    pub fn uint(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take_array::<4>()?))
     }
 
     /// XDR `hyper`.
-    pub fn hyper(&mut self) -> Result<i64> {
-        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    pub fn hyper(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_be_bytes(self.take_array::<8>()?))
     }
 
     /// XDR `unsigned hyper`.
-    pub fn uhyper(&mut self) -> Result<u64> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    pub fn uhyper(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take_array::<8>()?))
     }
 
     /// XDR `float`.
-    pub fn float(&mut self) -> Result<f32> {
-        Ok(f32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    pub fn float(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_be_bytes(self.take_array::<4>()?))
     }
 
     /// XDR `double`.
-    pub fn double(&mut self) -> Result<f64> {
-        Ok(f64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    pub fn double(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_be_bytes(self.take_array::<8>()?))
     }
 
     /// XDR `bool` (int restricted to 0/1).
-    pub fn boolean(&mut self) -> Result<bool> {
+    pub fn boolean(&mut self) -> Result<bool, DecodeError> {
         match self.int()? {
             0 => Ok(false),
             1 => Ok(true),
-            v => Err(BriskError::Codec(format!("invalid XDR bool {v}"))),
+            v => Err(DecodeError::BadBool(v)),
         }
     }
 
     /// XDR fixed-length `opaque[n]`.
-    pub fn opaque_fixed(&mut self, n: usize) -> Result<&'a [u8]> {
+    pub fn opaque_fixed(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         let payload = self.take(n)?;
         let padding = self.take(pad4(n) - n)?;
         if padding.iter().any(|&b| b != 0) {
-            return Err(BriskError::Codec("non-zero XDR padding".into()));
+            return Err(DecodeError::NonZeroPadding);
         }
         Ok(payload)
     }
 
     /// XDR variable-length `opaque<>`, with an upper bound on the length to
     /// keep a corrupt length word from asking for gigabytes.
-    pub fn opaque_bounded(&mut self, max_len: usize) -> Result<&'a [u8]> {
+    pub fn opaque_bounded(&mut self, max_len: usize) -> Result<&'a [u8], DecodeError> {
         let len = self.uint()? as usize;
         if len > max_len {
-            return Err(BriskError::Codec(format!(
-                "opaque length {len} exceeds bound {max_len}"
-            )));
+            return Err(DecodeError::LengthExceedsBound { len, max: max_len });
         }
         self.opaque_fixed(len)
     }
 
     /// XDR variable-length `opaque<>` bounded only by the input size.
-    pub fn opaque(&mut self) -> Result<&'a [u8]> {
+    pub fn opaque(&mut self) -> Result<&'a [u8], DecodeError> {
         let bound = self.remaining();
         self.opaque_bounded(bound)
     }
 
     /// XDR `string<>` (UTF-8 validated).
-    pub fn string(&mut self) -> Result<&'a str> {
+    pub fn string(&mut self) -> Result<&'a str, DecodeError> {
         let bytes = self.opaque()?;
-        std::str::from_utf8(bytes)
-            .map_err(|e| BriskError::Codec(format!("invalid UTF-8 in XDR string: {e}")))
+        std::str::from_utf8(bytes).map_err(DecodeError::InvalidUtf8)
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::encode::XdrEncoder;
@@ -190,7 +271,10 @@ mod tests {
         let mut bad = XdrEncoder::new();
         bad.opaque(&[0xff, 0xfe]);
         let bytes = bad.into_bytes();
-        assert!(XdrDecoder::new(&bytes).string().is_err());
+        assert!(matches!(
+            XdrDecoder::new(&bytes).string(),
+            Err(DecodeError::InvalidUtf8(_))
+        ));
     }
 
     #[test]
@@ -198,7 +282,14 @@ mod tests {
         let mut e = XdrEncoder::new();
         e.hyper(1);
         let bytes = e.into_bytes();
-        assert!(XdrDecoder::new(&bytes[..7]).hyper().is_err());
+        assert!(matches!(
+            XdrDecoder::new(&bytes[..7]).hyper(),
+            Err(DecodeError::Truncated {
+                needed: 8,
+                offset: 0,
+                have: 7
+            })
+        ));
         assert!(XdrDecoder::new(&[]).int().is_err());
     }
 
@@ -207,14 +298,20 @@ mod tests {
         let mut e = XdrEncoder::new();
         e.int(2);
         let bytes = e.into_bytes();
-        assert!(XdrDecoder::new(&bytes).boolean().is_err());
+        assert_eq!(
+            XdrDecoder::new(&bytes).boolean(),
+            Err(DecodeError::BadBool(2))
+        );
     }
 
     #[test]
     fn nonzero_padding_rejected() {
         // opaque<1> with a dirty pad byte.
         let bytes = [0, 0, 0, 1, b'x', 1, 0, 0];
-        assert!(XdrDecoder::new(&bytes).opaque().is_err());
+        assert_eq!(
+            XdrDecoder::new(&bytes).opaque(),
+            Err(DecodeError::NonZeroPadding)
+        );
         let clean = [0, 0, 0, 1, b'x', 0, 0, 0];
         assert_eq!(XdrDecoder::new(&clean).opaque().unwrap(), b"x");
     }
@@ -225,7 +322,10 @@ mod tests {
         e.opaque(&[0u8; 100]);
         let bytes = e.into_bytes();
         let mut d = XdrDecoder::new(&bytes);
-        assert!(d.opaque_bounded(50).is_err());
+        assert_eq!(
+            d.opaque_bounded(50),
+            Err(DecodeError::LengthExceedsBound { len: 100, max: 50 })
+        );
         let mut d = XdrDecoder::new(&bytes);
         assert!(d.opaque_bounded(100).is_ok());
     }
@@ -245,7 +345,7 @@ mod tests {
         let bytes = e.into_bytes();
         let mut d = XdrDecoder::new(&bytes);
         d.int().unwrap();
-        assert!(d.finish().is_err());
+        assert_eq!(d.finish(), Err(DecodeError::Trailing { remaining: 4 }));
         d.int().unwrap();
         d.finish().unwrap();
         assert!(d.is_exhausted());
@@ -263,5 +363,12 @@ mod tests {
         d.opaque().unwrap();
         assert_eq!(d.position(), 12);
         assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn decode_error_converts_to_brisk_codec_error() {
+        let e: BriskError = DecodeError::BadBool(7).into();
+        assert!(matches!(e, BriskError::Codec(_)));
+        assert!(e.to_string().contains("invalid XDR bool 7"));
     }
 }

@@ -25,7 +25,7 @@ pub mod decode;
 pub mod encode;
 pub mod values;
 
-pub use decode::XdrDecoder;
+pub use decode::{DecodeError, XdrDecoder};
 pub use encode::XdrEncoder;
 
 /// Round `n` up to the next multiple of 4 (XDR alignment unit).

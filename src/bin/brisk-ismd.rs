@@ -10,6 +10,7 @@
 //!            [--store-dir DIR] [--fsync always|never|interval:MS]
 //!            [--retain-bytes N] [--segment-bytes N]
 //!            [--credit-records N] [--max-queued-records N] [--shed-unmarked]
+//!            [--node-timeout MS] [--error-budget N]
 //! ```
 //!
 //! `--stats-addr` serves the full telemetry registry as Prometheus text
@@ -29,6 +30,13 @@
 //! and `--shed-unmarked` switches the sorter's memory-pressure response
 //! from force-release to dropping the oldest unmarked (never CRE-marked)
 //! records.
+//!
+//! `--node-timeout` evicts a node whose connection has gone silent (no
+//! batches, sync replies, or heartbeats) for the given interval — a
+//! half-open TCP connection otherwise ties the node's pump up forever.
+//! `--error-budget` caps how many undecodable frames one connection may
+//! deliver before it is quarantined and dropped (clean peers are
+//! unaffected; the offender reconnects with a fresh budget).
 //!
 //! Runs until stdin closes or a line `quit` arrives (daemon managers send
 //! EOF; interactive users type quit), then flushes and prints a final
@@ -50,6 +58,8 @@ struct Args {
     stats_addr: Option<String>,
     store: StoreConfig,
     flow: FlowConfig,
+    node_timeout: Option<Duration>,
+    error_budget: u32,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -64,6 +74,8 @@ fn parse_args() -> std::result::Result<Args, String> {
         stats_addr: None,
         store: StoreConfig::default(),
         flow: FlowConfig::default(),
+        node_timeout: IsmConfig::default().node_timeout,
+        error_budget: IsmConfig::default().protocol_error_budget,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -121,6 +133,18 @@ fn parse_args() -> std::result::Result<Args, String> {
                     .map_err(|e| format!("bad --max-queued-records: {e}"))?
             }
             "--shed-unmarked" => args.flow.shed_unmarked = true,
+            "--node-timeout" => {
+                args.node_timeout = Some(Duration::from_millis(
+                    val("--node-timeout")?
+                        .parse()
+                        .map_err(|e| format!("bad --node-timeout: {e}"))?,
+                ))
+            }
+            "--error-budget" => {
+                args.error_budget = val("--error-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --error-budget: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] \
@@ -128,7 +152,8 @@ fn parse_args() -> std::result::Result<Args, String> {
                             [--stats-addr HOST:PORT] [--store-dir DIR] \
                             [--fsync always|never|interval:MS] [--retain-bytes N] \
                             [--segment-bytes N] [--credit-records N] \
-                            [--max-queued-records N] [--shed-unmarked]"
+                            [--max-queued-records N] [--shed-unmarked] \
+                            [--node-timeout MS] [--error-budget N]"
                         .into(),
                 )
             }
@@ -150,6 +175,8 @@ fn main() {
     let ism_cfg = IsmConfig {
         store: args.store.clone(),
         flow: args.flow,
+        node_timeout: args.node_timeout,
+        protocol_error_budget: args.error_budget,
         ..IsmConfig::default()
     };
     let mut server = IsmServer::new(

@@ -8,11 +8,22 @@
 //! ```text
 //! brisk-load [--tcp HOST:PORT | --uds PATH] [--node N] [--sensors N]
 //!            [--rate EV_PER_S] [--duration-s N] [--causal] [--stats]
+//!            [--heartbeat-interval-ms N]
+//!            [--fault-seed N] [--fault-corrupt R] [--fault-truncate R]
+//!            [--fault-duplicate R] [--fault-reorder R] [--fault-delay R]
+//!            [--fault-max-delay-ms N] [--fault-kill-after N]
 //! brisk-load --replay DIR [--speed F]
 //! ```
 //!
 //! `--stats` binds the node's ring buffers and EXS to a telemetry
 //! registry and dumps the full snapshot table at the end of the run.
+//!
+//! The `--fault-*` knobs wrap the ISM connection in the brisk-net fault
+//! plane: each rate `R` (0.0–1.0) injects the corresponding wire fault
+//! per outbound frame, scheduled deterministically from `--fault-seed` —
+//! the same seed replays the same fault sequence, so an ISM-side
+//! quarantine report can be reproduced exactly. `--fault-kill-after N`
+//! severs the connection after N frames to exercise supervisor reconnect.
 //!
 //! `--replay DIR` switches to offline mode: instead of generating load, it
 //! reads the durable trace a `brisk-ismd --store-dir DIR` run captured and
@@ -36,6 +47,8 @@ struct Args {
     stats: bool,
     replay: Option<String>,
     speed: Option<f64>,
+    heartbeat_interval: Option<Duration>,
+    fault: FaultSpec,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -51,6 +64,8 @@ fn parse_args() -> std::result::Result<Args, String> {
         stats: false,
         replay: None,
         speed: None,
+        heartbeat_interval: None,
+        fault: FaultSpec::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -76,11 +91,66 @@ fn parse_args() -> std::result::Result<Args, String> {
                         .map_err(|e| format!("bad --speed: {e}"))?,
                 )
             }
+            "--heartbeat-interval-ms" => {
+                args.heartbeat_interval = Some(Duration::from_millis(
+                    val("--heartbeat-interval-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --heartbeat-interval-ms: {e}"))?,
+                ))
+            }
+            "--fault-seed" => {
+                args.fault.seed = val("--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-seed: {e}"))?
+            }
+            "--fault-corrupt" => {
+                args.fault.corrupt_rate = val("--fault-corrupt")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-corrupt: {e}"))?
+            }
+            "--fault-truncate" => {
+                args.fault.truncate_rate = val("--fault-truncate")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-truncate: {e}"))?
+            }
+            "--fault-duplicate" => {
+                args.fault.duplicate_rate = val("--fault-duplicate")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-duplicate: {e}"))?
+            }
+            "--fault-reorder" => {
+                args.fault.reorder_rate = val("--fault-reorder")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-reorder: {e}"))?
+            }
+            "--fault-delay" => {
+                args.fault.delay_rate = val("--fault-delay")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-delay: {e}"))?
+            }
+            "--fault-max-delay-ms" => {
+                args.fault.max_delay = Duration::from_millis(
+                    val("--fault-max-delay-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --fault-max-delay-ms: {e}"))?,
+                )
+            }
+            "--fault-kill-after" => {
+                args.fault.kill_after_frames = Some(
+                    val("--fault-kill-after")?
+                        .parse()
+                        .map_err(|e| format!("bad --fault-kill-after: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: brisk-load [--tcp HOST:PORT | --uds PATH] [--node N] \
                             [--sensors N] [--rate EV_PER_S] [--duration-s N] [--causal] \
-                            [--stats] | brisk-load --replay DIR [--speed F]"
+                            [--stats] [--heartbeat-interval-ms N] [--fault-seed N] \
+                            [--fault-corrupt R] [--fault-truncate R] [--fault-duplicate R] \
+                            [--fault-reorder R] [--fault-delay R] [--fault-max-delay-ms N] \
+                            [--fault-kill-after N] \
+                            | brisk-load --replay DIR [--speed F]"
                         .into(),
                 )
             }
@@ -90,6 +160,7 @@ fn parse_args() -> std::result::Result<Args, String> {
     if args.sensors == 0 {
         return Err("--sensors must be at least 1".into());
     }
+    args.fault.validate().map_err(|e| e.to_string())?;
     Ok(args)
 }
 
@@ -169,12 +240,34 @@ fn main() {
     }
 
     let clock = Arc::new(SystemClock);
-    let cfg = ExsConfig::default();
+    let mut cfg = ExsConfig::default();
+    if let Some(interval) = args.heartbeat_interval {
+        cfg.heartbeat_interval = interval;
+    }
     let lis = Lis::new(NodeId(args.node), Arc::clone(&clock), &cfg);
     let conn = connect(&args).unwrap_or_else(|e| {
         eprintln!("cannot connect to the ISM: {e}");
         std::process::exit(1);
     });
+    let (conn, fault_stats) = if args.fault.is_noop() {
+        (conn, None)
+    } else {
+        let stats = FaultStats::new();
+        let wrapped = FaultingConnection::wrap(conn, args.fault, 0, Arc::clone(&stats));
+        eprintln!(
+            "brisk-load: fault plane armed (seed {}): corrupt {} truncate {} duplicate {} \
+             reorder {} delay {} (max {:?}) kill-after {:?}",
+            args.fault.seed,
+            args.fault.corrupt_rate,
+            args.fault.truncate_rate,
+            args.fault.duplicate_rate,
+            args.fault.reorder_rate,
+            args.fault.delay_rate,
+            args.fault.max_delay,
+            args.fault.kill_after_frames,
+        );
+        (wrapped, Some(stats))
+    };
     let exs =
         spawn_exs(NodeId(args.node), Arc::clone(lis.rings()), clock, conn, cfg).expect("spawn EXS");
     let registry = args.stats.then(|| {
@@ -276,4 +369,13 @@ fn main() {
          in {} batches, answered {} sync polls, applied {} adjustments",
         stats.records_sent, stats.batches_sent, stats.sync_replies, stats.adjustments,
     );
+    if let Some(fault_stats) = fault_stats {
+        let (corrupted, truncated, duplicated, reordered, delayed, killed) = fault_stats.counts();
+        eprintln!(
+            "brisk-load: faults injected: {corrupted} corrupted, {truncated} truncated, \
+             {duplicated} duplicated, {reordered} reordered, {delayed} delayed, \
+             {killed} kills ({} frames clean)",
+            fault_stats.clean(),
+        );
+    }
 }

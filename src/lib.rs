@@ -102,7 +102,8 @@ pub mod prelude {
     };
     pub use brisk_core::prelude::*;
     pub use brisk_ism::{
-        EventSink, IsmCore, IsmServer, MemoryBuffer, MemoryBufferReader, OnlineSorter, PiclFileSink,
+        EventSink, IsmCore, IsmServer, MemoryBuffer, MemoryBufferReader, OnlineSorter,
+        PiclFileSink, QuarantineLog,
     };
     pub use brisk_lis::{
         spawn_exs, spawn_exs_supervised, Batcher, CounterSensor, ExsHandle, ExternalSensor, Lis,
@@ -110,7 +111,10 @@ pub mod prelude {
     };
     #[cfg(unix)]
     pub use brisk_net::UdsTransport;
-    pub use brisk_net::{Connection, Listener, MemTransport, TcpTransport, Transport};
+    pub use brisk_net::{
+        Connection, FaultSpec, FaultStats, FaultingConnection, FaultingTransport, Listener,
+        MemTransport, TcpTransport, Transport,
+    };
     pub use brisk_picl::{PiclRecord, PiclWriter, TsMode};
     pub use brisk_proto::Message;
     pub use brisk_ringbuf::{RingSet, SensorPort};
