@@ -1,0 +1,210 @@
+//! Pipeline-tracing overhead on the notice hot path: records/s through
+//! `SensorPort::emit` with no trace sampler versus a 1-in-128 sampler.
+//!
+//! The acceptance bar for the tracing subsystem is that production-grade
+//! sampling (1-in-128) costs ≤ 5% on the emit path: the per-notice work
+//! is one relaxed `fetch_add` plus a modulo in `TraceSampler::sample`,
+//! and only every 128th record pays for the `TraceContext` allocation
+//! and the extra `X_TRACE` bytes copied into the ring.
+//!
+//! Like `store_sink`, this is a *paired* benchmark: the variants are
+//! timed in adjacent slices of the same trial and the overhead is the
+//! median of per-trial time ratios, which cancels the machine drift that
+//! makes unpaired runs on a shared host vary by more than the 5% bar.
+//!
+//! Set `BENCH_TRACE_JSON=<path>` to emit the machine-readable artifact
+//! (`BENCH_trace.json` at the repo root is generated this way).
+
+use brisk_bench::rig::six_i32_fields;
+use brisk_clock::{Clock, SystemClock};
+use brisk_core::{EventTypeId, NodeId, TraceConfig};
+use brisk_ringbuf::{RingSet, SensorPort};
+use brisk_telemetry::TraceSampler;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Emits timed per trial slice. Small enough that a slice never fills the
+/// 4 MiB ring: the drain runs *between* timed slices, so the timed region
+/// is the emit path itself — which is all the sampler can slow down.
+const EMITS_PER_TRIAL: usize = 2_048;
+/// The production sampling rate under test.
+const SAMPLE_EVERY: u32 = 128;
+
+struct Variant {
+    name: &'static str,
+    rings: Arc<RingSet>,
+    port: SensorPort,
+    drain_buf: Vec<brisk_core::EventRecord>,
+    samples: Vec<f64>,
+}
+
+impl Variant {
+    fn new(name: &'static str, trace: TraceConfig) -> Self {
+        let rings = RingSet::new(NodeId(0), 1 << 22);
+        let mut port = rings.register();
+        if trace.enabled() {
+            port.set_trace_sampler(Arc::new(TraceSampler::with_seed(
+                trace.sample_every,
+                0x5eed,
+            )));
+        }
+        Variant {
+            name,
+            rings,
+            port,
+            drain_buf: Vec::new(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Time one slice of emits; record ns/record. The ring drain between
+    /// slices is untimed — on a real node the EXS does it on another core.
+    fn run_trial(&mut self, clock: &SystemClock, i: &mut u64) {
+        let start = std::time::Instant::now();
+        for _ in 0..EMITS_PER_TRIAL {
+            *i += 1;
+            let ok = self
+                .port
+                .emit(EventTypeId(1), clock.now(), black_box(six_i32_fields(*i)))
+                .unwrap();
+            black_box(ok);
+        }
+        let ns = start.elapsed().as_nanos() as f64;
+        self.samples.push(ns / EMITS_PER_TRIAL as f64);
+        self.drain_buf.clear();
+        self.rings
+            .drain_into(usize::MAX, &mut self.drain_buf)
+            .unwrap();
+    }
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in timings"));
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+/// Median of per-trial `num[i] / den[i]` ratios.
+fn median_ratio(num: &[f64], den: &[f64]) -> f64 {
+    let ratios: Vec<f64> = num.iter().zip(den).map(|(n, d)| n / d).collect();
+    median(&ratios)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let trials = env_usize("BENCH_TRACE_TRIALS", 600);
+    let warmup = env_usize("BENCH_TRACE_WARMUP", 200);
+
+    let clock = SystemClock;
+    let mut variants = [
+        Variant::new("notice_untraced", TraceConfig::default()),
+        Variant::new("notice_sampled_1_in_128", TraceConfig::every(SAMPLE_EVERY)),
+    ];
+
+    let mut i = 0u64;
+    for v in &mut variants {
+        for _ in 0..warmup {
+            v.run_trial(&clock, &mut i);
+        }
+        v.samples.clear();
+    }
+    for _ in 0..trials {
+        for v in &mut variants {
+            v.run_trial(&clock, &mut i);
+        }
+    }
+
+    let meds: Vec<f64> = variants.iter().map(|v| median(&v.samples)).collect();
+    for (n, v) in variants.iter().enumerate() {
+        println!(
+            "bench trace_overhead/{} median {:.1} ns/record {:.0} records/s",
+            v.name,
+            meds[n],
+            1e9 / meds[n]
+        );
+    }
+    let overhead_pct = (median_ratio(&variants[1].samples, &variants[0].samples) - 1.0) * 100.0;
+    let pass = overhead_pct <= 5.0;
+    println!(
+        "trace_overhead 1-in-{SAMPLE_EVERY} sampling vs untraced: {overhead_pct:+.1}%  \
+         ({trials} paired trials, median of per-trial ratios)  \
+         acceptance(<= 5%): {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    if let Ok(path) = std::env::var("BENCH_TRACE_JSON") {
+        let mut out = String::from("{\n");
+        out.push_str("  \"artifact\": \"pipeline-tracing overhead on the notice hot path\",\n");
+        out.push_str(&format!(
+            "  \"method\": \"cargo bench -p brisk-bench --bench trace_overhead (paired \
+             interleaved trials; per-trial slices of {EMITS_PER_TRIAL} SensorPort::emit calls \
+             with the ring drained between timed slices; overhead = median of per-trial \
+             sampled/untraced time ratios, cancelling machine drift; the sampled variant runs \
+             a 1-in-{SAMPLE_EVERY} TraceSampler so one record in {SAMPLE_EVERY} carries an \
+             X_TRACE context into the ring)\",\n"
+        ));
+        out.push_str(&format!("  \"date\": \"{}\",\n", bench_date()));
+        out.push_str(&format!("  \"trials\": {trials},\n"));
+        out.push_str("  \"results\": [\n");
+        for (n, v) in variants.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"bench\": \"trace_overhead/{}\", \"median_ns_per_record\": {:.1}, \
+                 \"records_per_sec\": {:.0}}}{}\n",
+                v.name,
+                meds[n],
+                1e9 / meds[n],
+                if n + 1 < variants.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"summary\": {\n");
+        out.push_str(&format!(
+            "    \"untraced_median_ns_per_record\": {:.1},\n",
+            meds[0]
+        ));
+        out.push_str(&format!(
+            "    \"sampled_median_ns_per_record\": {:.1},\n",
+            meds[1]
+        ));
+        out.push_str(&format!("    \"overhead_pct\": {overhead_pct:.1},\n"));
+        out.push_str(&format!(
+            "    \"acceptance\": \"1-in-{SAMPLE_EVERY} sampling overhead <= 5% on the emit path\",\n"
+        ));
+        out.push_str(&format!("    \"pass\": {pass}\n"));
+        out.push_str("  }\n}\n");
+        std::fs::write(&path, out).expect("write BENCH_TRACE_JSON");
+        println!("wrote {path}");
+    }
+}
+
+/// UTC date for the artifact, without a chrono dependency.
+fn bench_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    // Days-to-civil conversion (Howard Hinnant's algorithm).
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

@@ -26,6 +26,7 @@ use crate::error::{BriskError, Result};
 use crate::ids::{CorrelationId, EventTypeId, NodeId, SensorId};
 use crate::record::EventRecord;
 use crate::time::UtcMicros;
+use crate::trace::TraceContext;
 use crate::value::{Value, ValueType};
 
 /// Fixed part of the header before the descriptor: 4+4+4+8+8 bytes.
@@ -79,6 +80,7 @@ fn encode_value(v: &Value, out: &mut Vec<u8>) {
         Value::Ts(t) => out.extend_from_slice(&t.as_micros().to_le_bytes()),
         Value::Reason(id) => out.extend_from_slice(&id.raw().to_le_bytes()),
         Value::Conseq(id) => out.extend_from_slice(&id.raw().to_le_bytes()),
+        Value::Trace(ctx) => ctx.encode_into(out),
     }
 }
 
@@ -167,6 +169,11 @@ fn decode_value(vt: ValueType, c: &mut Cursor<'_>) -> Result<Value> {
         ValueType::Ts => Value::Ts(UtcMicros::from_micros(c.i64()?)),
         ValueType::Reason => Value::Reason(CorrelationId(c.u64()?)),
         ValueType::Conseq => Value::Conseq(CorrelationId(c.u64()?)),
+        ValueType::Trace => {
+            let (ctx, used) = TraceContext::decode(&c.buf[c.pos..])?;
+            c.pos += used;
+            Value::Trace(ctx)
+        }
     })
 }
 
@@ -211,6 +218,17 @@ mod tests {
         ])
     }
 
+    fn traced_record() -> EventRecord {
+        use crate::trace::TraceStage;
+        let mut ctx = TraceContext::origin(0x1234_5678_9abc_def0, UtcMicros::from_micros(10));
+        ctx.stamp(TraceStage::ExsScoop, UtcMicros::from_micros(20));
+        sample(vec![
+            Value::I32(7),
+            Value::Trace(ctx),
+            Value::Str("after".into()),
+        ])
+    }
+
     #[test]
     fn round_trip_simple() {
         let rec = sample(vec![Value::I32(5); 6]);
@@ -230,6 +248,21 @@ mod tests {
         encode_record(&rec, &mut buf);
         let (back, _) = decode_record(&buf).unwrap();
         assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn round_trip_traced_record() {
+        let rec = traced_record();
+        let mut buf = Vec::new();
+        let n = encode_record(&rec, &mut buf);
+        assert_eq!(n, record_size(&rec));
+        let (back, used) = decode_record(&buf).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(used, n);
+        // Truncation anywhere inside the trace field is detected too.
+        for cut in 0..buf.len() {
+            assert!(decode_record(&buf[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

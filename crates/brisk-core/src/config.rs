@@ -41,6 +41,9 @@ pub struct ExsConfig {
     /// tag). `Duration::ZERO` disables heartbeats. Keep this well below
     /// the ISM's `node_timeout` or quiet nodes get evicted.
     pub heartbeat_interval: Duration,
+    /// Self-tracing knobs: sampled `X_TRACE` contexts attached at notice
+    /// time.
+    pub trace: TraceConfig,
 }
 
 impl Default for ExsConfig {
@@ -53,6 +56,7 @@ impl Default for ExsConfig {
             idle_sleep: Duration::from_micros(200),
             retransmit_window_batches: 256,
             heartbeat_interval: Duration::from_millis(500),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -81,6 +85,39 @@ impl ExsConfig {
                 "retransmit_window_batches must be > 0".into(),
             ));
         }
+        self.trace.validate()?;
+        Ok(())
+    }
+}
+
+/// Self-tracing knobs: how often a `NOTICE` attaches an `X_TRACE`
+/// context so the record's journey through the pipeline is recorded
+/// stage by stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Attach a trace context to one in every `sample_every` records a
+    /// sensor port emits. `0` disables tracing entirely (the default);
+    /// `1` traces every record (e2e test mode). Sampling is per-port
+    /// counter based, so a steady sensor yields an unbiased 1-in-N
+    /// stream regardless of rate.
+    pub sample_every: u32,
+}
+
+impl TraceConfig {
+    /// Tracing enabled at all?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sample_every != 0
+    }
+
+    /// Trace one record in every `n`.
+    pub fn every(n: u32) -> Self {
+        TraceConfig { sample_every: n }
+    }
+
+    /// Validate knob values. Any `sample_every` is functional; the knob
+    /// exists so the bound can grow teeth later without an API break.
+    pub fn validate(&self) -> Result<()> {
         Ok(())
     }
 }
@@ -488,6 +525,17 @@ impl IsmConfig {
 #[allow(clippy::field_reassign_with_default)] // single-knob mutation is the point of these tests
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_config_knob() {
+        assert!(!TraceConfig::default().enabled());
+        assert!(TraceConfig::every(1).enabled());
+        assert_eq!(TraceConfig::every(128).sample_every, 128);
+        TraceConfig::every(128).validate().unwrap();
+        let mut c = ExsConfig::default();
+        c.trace = TraceConfig::every(64);
+        c.validate().unwrap();
+    }
 
     #[test]
     fn defaults_are_valid() {

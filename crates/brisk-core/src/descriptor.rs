@@ -19,6 +19,11 @@ use std::fmt;
 /// Maximum number of fields in one record (paper §3.2).
 pub const MAX_FIELDS: usize = 8;
 
+/// High bit of the descriptor count byte: signals the *wide* packed form
+/// (one byte per type code) used when any field's code exceeds a nibble.
+/// `MAX_FIELDS` is far below 0x80, so the bit is unambiguous.
+const WIDE_FLAG: u8 = 0x80;
+
 /// The shape of an event record: the ordered field types.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct RecordDescriptor {
@@ -101,32 +106,71 @@ impl RecordDescriptor {
         Ok(())
     }
 
+    /// True if any field's type code is beyond the nibble range, forcing
+    /// the wide packed form.
+    fn needs_wide(&self) -> bool {
+        self.types.iter().any(|t| t.code() > 0x0f)
+    }
+
     /// Compressed encoding: field count byte followed by packed type
     /// nibbles, low nibble first. An 8-field record costs 5 bytes of
     /// meta-information instead of the 36 bytes a naive
     /// one-XDR-word-per-type header would take.
+    ///
+    /// Descriptors containing a type code beyond the nibble range (today
+    /// only `X_TRACE`, code 16) use the *wide* form: the count byte's high
+    /// bit (`WIDE_FLAG`, 0x80) is set and each type takes a whole byte.
+    /// Descriptors with only classic codes stay byte-identical to the
+    /// historical nibble form, so old wire frames and stored segments
+    /// decode unchanged.
     pub fn pack(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(1 + self.types.len().div_ceil(2));
-        out.push(self.types.len() as u8);
-        for pair in self.types.chunks(2) {
-            let lo = pair[0].code();
-            let hi = pair.get(1).map_or(0, |t| t.code());
-            out.push(lo | (hi << 4));
+        let mut out = Vec::with_capacity(1 + self.types.len());
+        if self.needs_wide() {
+            out.push(self.types.len() as u8 | WIDE_FLAG);
+            out.extend(self.types.iter().map(|t| t.code()));
+        } else {
+            out.push(self.types.len() as u8);
+            for pair in self.types.chunks(2) {
+                let lo = pair[0].code();
+                let hi = pair.get(1).map_or(0, |t| t.code());
+                out.push(lo | (hi << 4));
+            }
         }
         out
     }
 
     /// Decode a packed descriptor from the front of `buf`, returning the
-    /// descriptor and the number of bytes consumed.
+    /// descriptor and the number of bytes consumed. Accepts both the
+    /// nibble and the wide form; each descriptor has exactly one canonical
+    /// encoding and the other is rejected.
     pub fn unpack(buf: &[u8]) -> Result<(Self, usize)> {
-        let &count = buf
+        let &count_byte = buf
             .first()
             .ok_or_else(|| BriskError::Codec("empty descriptor".into()))?;
-        let count = count as usize;
+        let wide = count_byte & WIDE_FLAG != 0;
+        let count = (count_byte & !WIDE_FLAG) as usize;
         if count > MAX_FIELDS {
             return Err(BriskError::Codec(format!(
                 "descriptor field count {count} exceeds {MAX_FIELDS}"
             )));
+        }
+        if wide {
+            if buf.len() < 1 + count {
+                return Err(BriskError::Codec("truncated descriptor".into()));
+            }
+            let mut types = Vec::with_capacity(count);
+            for &code in &buf[1..1 + count] {
+                types.push(ValueType::from_code(code)?);
+            }
+            let desc = RecordDescriptor { types };
+            // Reject non-canonical encodings: wide form is only valid when
+            // some code actually needs it.
+            if !desc.needs_wide() {
+                return Err(BriskError::Codec(
+                    "wide descriptor with only nibble-range codes".into(),
+                ));
+            }
+            return Ok((desc, 1 + count));
         }
         let nibble_bytes = count.div_ceil(2);
         if buf.len() < 1 + nibble_bytes {
@@ -153,7 +197,11 @@ impl RecordDescriptor {
 
     /// Size of the packed form in bytes.
     pub fn packed_size(&self) -> usize {
-        1 + self.types.len().div_ceil(2)
+        if self.needs_wide() {
+            1 + self.types.len()
+        } else {
+            1 + self.types.len().div_ceil(2)
+        }
     }
 }
 
@@ -235,6 +283,15 @@ mod tests {
             RecordDescriptor::six_i32(),
             mixed(),
             RecordDescriptor::new(vec![ValueType::Conseq; 8]).unwrap(),
+            RecordDescriptor::new(vec![ValueType::Trace]).unwrap(),
+            RecordDescriptor::new(vec![
+                ValueType::I32,
+                ValueType::Str,
+                ValueType::Ts,
+                ValueType::Trace,
+            ])
+            .unwrap(),
+            RecordDescriptor::new(vec![ValueType::Trace; 8]).unwrap(),
         ] {
             let packed = d.pack();
             assert_eq!(packed.len(), d.packed_size());
@@ -262,6 +319,44 @@ mod tests {
                                                                 // odd count with non-zero padding nibble is non-canonical
         assert!(RecordDescriptor::unpack(&[1, 0x14]).is_err());
         assert!(RecordDescriptor::unpack(&[1, 0x04]).is_ok());
+    }
+
+    #[test]
+    fn classic_descriptors_stay_byte_identical() {
+        // The wide escape must not change the encoding of any descriptor
+        // made of nibble-range codes: old frames and segments depend on it.
+        let d = mixed();
+        assert_eq!(d.pack()[0], d.len() as u8, "no wide flag on classic form");
+        assert_eq!(d.pack().len(), 1 + d.len().div_ceil(2));
+        assert_eq!(
+            RecordDescriptor::six_i32().pack(),
+            vec![6, 0x44, 0x44, 0x44]
+        );
+    }
+
+    #[test]
+    fn wide_form_round_trips_and_is_flagged() {
+        let d = RecordDescriptor::new(vec![ValueType::I32, ValueType::Trace]).unwrap();
+        let packed = d.pack();
+        assert_eq!(packed, vec![0x82, 4, 16]);
+        assert_eq!(packed.len(), d.packed_size());
+        let (back, used) = RecordDescriptor::unpack(&packed).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(used, packed.len());
+    }
+
+    #[test]
+    fn wide_form_rejects_non_canonical_and_bad_input() {
+        // Wide form holding only classic codes is non-canonical.
+        assert!(RecordDescriptor::unpack(&[0x81, 4]).is_err());
+        // Wide count over MAX_FIELDS.
+        assert!(RecordDescriptor::unpack(&[0x89, 16, 16, 16, 16, 16, 16, 16, 16, 16]).is_err());
+        // Truncated wide descriptor.
+        assert!(RecordDescriptor::unpack(&[0x82, 16]).is_err());
+        // Unknown wide code.
+        assert!(RecordDescriptor::unpack(&[0x81, 17]).is_err());
+        // Empty wide descriptor can never need the wide form.
+        assert!(RecordDescriptor::unpack(&[0x80]).is_err());
     }
 
     #[test]

@@ -36,10 +36,12 @@ pub mod ids;
 pub mod record;
 pub mod sink;
 pub mod time;
+pub mod trace;
 pub mod value;
 
 pub use config::{
-    CreConfig, ExsConfig, FlowConfig, FsyncPolicy, IsmConfig, SorterConfig, StoreConfig, SyncConfig,
+    CreConfig, ExsConfig, FlowConfig, FsyncPolicy, IsmConfig, SorterConfig, StoreConfig,
+    SyncConfig, TraceConfig,
 };
 pub use descriptor::RecordDescriptor;
 pub use error::{BriskError, Result};
@@ -47,13 +49,14 @@ pub use ids::{CorrelationId, EventTypeId, NodeId, SensorId};
 pub use record::EventRecord;
 pub use sink::EventSink;
 pub use time::UtcMicros;
+pub use trace::{TraceContext, TraceStage, MAX_TRACE_STAMPS};
 pub use value::{Value, ValueType};
 
 /// Convenient glob-import surface: `use brisk_core::prelude::*;`.
 pub mod prelude {
     pub use crate::config::{
         CreConfig, ExsConfig, FlowConfig, FsyncPolicy, IsmConfig, SorterConfig, StoreConfig,
-        SyncConfig,
+        SyncConfig, TraceConfig,
     };
     pub use crate::descriptor::RecordDescriptor;
     pub use crate::error::{BriskError, Result};
@@ -61,5 +64,6 @@ pub mod prelude {
     pub use crate::record::EventRecord;
     pub use crate::sink::EventSink;
     pub use crate::time::UtcMicros;
+    pub use crate::trace::{TraceContext, TraceStage, MAX_TRACE_STAMPS};
     pub use crate::value::{Value, ValueType};
 }

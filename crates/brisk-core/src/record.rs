@@ -15,6 +15,7 @@ use crate::descriptor::{RecordDescriptor, MAX_FIELDS};
 use crate::error::{BriskError, Result};
 use crate::ids::{CorrelationId, EventTypeId, NodeId, SensorId};
 use crate::time::UtcMicros;
+use crate::trace::{TraceContext, TraceStage};
 use crate::value::Value;
 use std::fmt;
 
@@ -98,14 +99,42 @@ impl EventRecord {
         self.reason_id().is_some() || self.conseq_id().is_some()
     }
 
-    /// Shift the header timestamp and every embedded `X_TS` field by the
-    /// EXS's correction value (§3.2).
+    /// Shift the header timestamp, every embedded `X_TS` field and every
+    /// `X_TRACE` stamp by the EXS's correction value (§3.2). Trace stamps
+    /// recorded before this point are raw local time; the EXS calls this
+    /// exactly once, at scoop time, so stamps added afterwards are already
+    /// in synchronized time.
     pub fn apply_correction(&mut self, delta_us: i64) {
         self.ts = self.ts.offset(delta_us);
         for f in &mut self.fields {
-            if let Value::Ts(t) = f {
-                *t = t.offset(delta_us);
+            match f {
+                Value::Ts(t) => *t = t.offset(delta_us),
+                Value::Trace(ctx) => ctx.shift(delta_us),
+                _ => {}
             }
+        }
+    }
+
+    /// The record's trace context, if it was sampled for self-tracing.
+    pub fn trace(&self) -> Option<&TraceContext> {
+        self.fields.iter().find_map(Value::as_trace)
+    }
+
+    /// Mutable view of the trace context, if any.
+    pub fn trace_mut(&mut self) -> Option<&mut TraceContext> {
+        self.fields.iter_mut().find_map(|f| match f {
+            Value::Trace(ctx) => Some(ctx),
+            _ => None,
+        })
+    }
+
+    /// Stamp the trace context with a stage timestamp; a no-op for the
+    /// (vast majority of) unsampled records, so every pipeline hop can
+    /// call this unconditionally.
+    #[inline]
+    pub fn stamp_trace(&mut self, stage: TraceStage, ts: UtcMicros) {
+        if let Some(ctx) = self.trace_mut() {
+            ctx.stamp(stage, ts);
         }
     }
 
@@ -264,6 +293,34 @@ mod tests {
         );
         assert_eq!(both.reason_id(), Some(CorrelationId(1)));
         assert_eq!(both.conseq_id(), Some(CorrelationId(2)));
+    }
+
+    #[test]
+    fn trace_stamping_and_correction() {
+        let mut r = rec(
+            100,
+            vec![
+                Value::I32(5),
+                Value::Trace(TraceContext::origin(9, UtcMicros::from_micros(100))),
+            ],
+        );
+        assert_eq!(r.trace().unwrap().trace_id, 9);
+        // Correction shifts existing stamps (raw → synchronized time).
+        r.apply_correction(-30);
+        assert_eq!(
+            r.trace().unwrap().stamp_at(TraceStage::Notice),
+            Some(UtcMicros::from_micros(70))
+        );
+        // Stamps added after correction are taken as-is.
+        r.stamp_trace(TraceStage::ExsScoop, UtcMicros::from_micros(80));
+        assert_eq!(
+            r.trace().unwrap().stamp_at(TraceStage::ExsScoop),
+            Some(UtcMicros::from_micros(80))
+        );
+        // Untraced records ignore stamping.
+        let mut plain = rec(0, vec![Value::I32(1)]);
+        plain.stamp_trace(TraceStage::Deliver, UtcMicros::ZERO);
+        assert!(plain.trace().is_none());
     }
 
     #[test]

@@ -10,15 +10,21 @@
 //! * `X_REASON` ([`ValueType::Reason`]) and `X_CONSEQ`
 //!   ([`ValueType::Conseq`]) — markers for causally-related events.
 //!
-//! Every type has a 4-bit code so the transfer protocol can pack two field
-//! types per byte in its compressed meta-information header.
+//! The sixteen original types have 4-bit codes so the transfer protocol can
+//! pack two field types per byte in its compressed meta-information header.
+//! A fourth system type added by BRISK-rs, `X_TRACE` ([`ValueType::Trace`],
+//! code 16), carries the self-tracing context of a sampled record; any
+//! descriptor containing it switches to the wide (one byte per code)
+//! descriptor form — see [`crate::descriptor::RecordDescriptor::pack`].
 
 use crate::error::{BriskError, Result};
 use crate::ids::CorrelationId;
 use crate::time::UtcMicros;
+use crate::trace::TraceContext;
 use std::fmt;
 
-/// The type tag of a [`Value`]. Codes are stable wire constants (4 bits).
+/// The type tag of a [`Value`]. Codes are stable wire constants: the
+/// classic sixteen fit a nibble, `Trace` is the first wide code.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 #[repr(u8)]
 pub enum ValueType {
@@ -56,11 +62,14 @@ pub enum ValueType {
     /// System type `X_CONSEQ`: marks this event as a *consequence* that must
     /// follow the reason with the same identifier.
     Conseq = 15,
+    /// System type `X_TRACE`: self-tracing context of a sampled record
+    /// (trace id + per-stage stamps). First code beyond the nibble range.
+    Trace = 16,
 }
 
 impl ValueType {
     /// All value types in code order.
-    pub const ALL: [ValueType; 16] = [
+    pub const ALL: [ValueType; 17] = [
         ValueType::I8,
         ValueType::U8,
         ValueType::I16,
@@ -77,9 +86,10 @@ impl ValueType {
         ValueType::Ts,
         ValueType::Reason,
         ValueType::Conseq,
+        ValueType::Trace,
     ];
 
-    /// Wire code (0..=15).
+    /// Wire code (0..=16).
     #[inline]
     pub const fn code(self) -> u8 {
         self as u8
@@ -93,16 +103,20 @@ impl ValueType {
             .ok_or_else(|| BriskError::Codec(format!("invalid value-type code {code}")))
     }
 
-    /// True for the three system types (`X_TS`, `X_REASON`, `X_CONSEQ`).
+    /// True for the system types (`X_TS`, `X_REASON`, `X_CONSEQ`,
+    /// `X_TRACE`).
     #[inline]
     pub const fn is_system(self) -> bool {
-        matches!(self, ValueType::Ts | ValueType::Reason | ValueType::Conseq)
+        matches!(
+            self,
+            ValueType::Ts | ValueType::Reason | ValueType::Conseq | ValueType::Trace
+        )
     }
 
     /// True for types whose encoded size depends on the payload.
     #[inline]
     pub const fn is_variable_size(self) -> bool {
-        matches!(self, ValueType::Str | ValueType::Bytes)
+        matches!(self, ValueType::Str | ValueType::Bytes | ValueType::Trace)
     }
 
     /// Size of the payload in the *native* binary encoding, if fixed.
@@ -117,7 +131,7 @@ impl ValueType {
             | ValueType::Ts
             | ValueType::Reason
             | ValueType::Conseq => Some(8),
-            ValueType::Str | ValueType::Bytes => None,
+            ValueType::Str | ValueType::Bytes | ValueType::Trace => None,
         }
     }
 }
@@ -141,6 +155,7 @@ impl fmt::Display for ValueType {
             ValueType::Ts => "X_TS",
             ValueType::Reason => "X_REASON",
             ValueType::Conseq => "X_CONSEQ",
+            ValueType::Trace => "X_TRACE",
         };
         f.write_str(s)
     }
@@ -181,6 +196,8 @@ pub enum Value {
     Reason(CorrelationId),
     /// Consequence marker (`X_CONSEQ`).
     Conseq(CorrelationId),
+    /// Self-tracing context (`X_TRACE`).
+    Trace(TraceContext),
 }
 
 impl Value {
@@ -203,6 +220,7 @@ impl Value {
             Value::Ts(_) => ValueType::Ts,
             Value::Reason(_) => ValueType::Reason,
             Value::Conseq(_) => ValueType::Conseq,
+            Value::Trace(_) => ValueType::Trace,
         }
     }
 
@@ -265,12 +283,21 @@ impl Value {
         }
     }
 
+    /// Trace context, for `X_TRACE` values.
+    pub fn as_trace(&self) -> Option<&TraceContext> {
+        match self {
+            Value::Trace(ctx) => Some(ctx),
+            _ => None,
+        }
+    }
+
     /// Size of this value's payload in the native binary encoding
     /// (excluding the type nibble held in the record header).
     pub fn native_size(&self) -> usize {
         match self {
             Value::Str(s) => 4 + s.len(),
             Value::Bytes(b) => 4 + b.len(),
+            Value::Trace(ctx) => ctx.encoded_size(),
             v => v.value_type().native_fixed_size().expect("fixed-size type"),
         }
     }
@@ -298,6 +325,8 @@ impl Value {
             | Value::Conseq(_) => 8,
             Value::Str(s) => 4 + pad4(s.len()),
             Value::Bytes(b) => 4 + pad4(b.len()),
+            // uhyper id + uint stamp count + (uint stage + hyper ts) each.
+            Value::Trace(ctx) => 12 + 12 * ctx.stamps().len(),
         }
     }
 }
@@ -350,6 +379,7 @@ impl fmt::Display for Value {
             Value::Ts(t) => write!(f, "ts:{t}"),
             Value::Reason(id) => write!(f, "reason:{id}"),
             Value::Conseq(id) => write!(f, "conseq:{id}"),
+            Value::Trace(ctx) => write!(f, "{ctx}"),
         }
     }
 }
@@ -362,9 +392,12 @@ mod tests {
     fn codes_round_trip() {
         for vt in ValueType::ALL {
             assert_eq!(ValueType::from_code(vt.code()).unwrap(), vt);
-            assert!(vt.code() < 16, "codes must fit in a nibble");
+            if vt != ValueType::Trace {
+                assert!(vt.code() < 16, "classic codes must fit in a nibble");
+            }
         }
-        assert!(ValueType::from_code(16).is_err());
+        assert_eq!(ValueType::Trace.code(), 16);
+        assert!(ValueType::from_code(17).is_err());
         assert!(ValueType::from_code(255).is_err());
     }
 
@@ -373,6 +406,7 @@ mod tests {
         assert!(ValueType::Ts.is_system());
         assert!(ValueType::Reason.is_system());
         assert!(ValueType::Conseq.is_system());
+        assert!(ValueType::Trace.is_system());
         assert!(!ValueType::I32.is_system());
         assert!(!ValueType::Str.is_system());
     }
@@ -396,6 +430,10 @@ mod tests {
             (Value::Ts(UtcMicros::from_micros(1)), ValueType::Ts),
             (Value::Reason(CorrelationId(1)), ValueType::Reason),
             (Value::Conseq(CorrelationId(2)), ValueType::Conseq),
+            (
+                Value::Trace(TraceContext::origin(7, UtcMicros::ZERO)),
+                ValueType::Trace,
+            ),
         ];
         for (v, vt) in cases {
             assert_eq!(v.value_type(), vt);
@@ -446,6 +484,21 @@ mod tests {
         assert_eq!(Value::Ts(UtcMicros::ZERO).native_size(), 8);
         assert_eq!(Value::Str("abc".into()).native_size(), 7);
         assert_eq!(Value::Bytes(vec![0; 10]).native_size(), 14);
+        // id (8) + count (1) + one origin stamp (9).
+        assert_eq!(
+            Value::Trace(TraceContext::origin(1, UtcMicros::ZERO)).native_size(),
+            18
+        );
+    }
+
+    #[test]
+    fn trace_accessor() {
+        let ctx = TraceContext::origin(5, UtcMicros::from_micros(1));
+        let v = Value::Trace(ctx.clone());
+        assert_eq!(v.as_trace(), Some(&ctx));
+        assert_eq!(Value::I32(0).as_trace(), None);
+        assert_eq!(v.as_i64(), None);
+        assert_eq!(v.as_f64(), None);
     }
 
     #[test]

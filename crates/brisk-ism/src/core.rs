@@ -10,9 +10,9 @@
 use crate::cre::{CreMatcher, CreStats};
 use crate::output::{EventSink, MemoryBuffer};
 use crate::sorter::{OnlineSorter, OverloadPolicy, SorterStats};
-use brisk_core::{binenc, EventRecord, IsmConfig, NodeId, Result, UtcMicros};
+use brisk_core::{binenc, EventRecord, IsmConfig, NodeId, Result, TraceStage, UtcMicros};
 use brisk_store::StoreWriter;
-use brisk_telemetry::{Counter, Gauge, Histogram, Registry};
+use brisk_telemetry::{Counter, Gauge, Histogram, Registry, StageLatencies};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -53,6 +53,14 @@ pub struct IsmCore {
     /// the connection teardown/reconnect that triggers replays.
     last_seq: HashMap<NodeId, u64>,
     telemetry: Option<CoreTelemetry>,
+    /// Per-stage span histograms with exemplar trace ids, fed by traced
+    /// records at delivery time. Present once telemetry is bound.
+    stages: Option<Arc<StageLatencies>>,
+    /// Sorter shed total already reported to the flight recorder.
+    flight_last_shed: u64,
+    /// Memory-buffer eviction total already reported to the flight
+    /// recorder.
+    flight_last_evicted: u64,
 }
 
 /// Registry handles the core feeds when bound. The core runs on one
@@ -109,6 +117,9 @@ impl IsmCore {
             extra_sync_pending: false,
             last_seq: HashMap::new(),
             telemetry: None,
+            stages: None,
+            flight_last_shed: 0,
+            flight_last_evicted: 0,
         })
     }
 
@@ -116,7 +127,8 @@ impl IsmCore {
     /// histogram to `registry`. Gauges for the sorter window and CRE hold
     /// queue refresh on every `tick`; the memory buffer is exported
     /// through computed sources so no extra bookkeeping runs per record.
-    pub fn bind_telemetry(&mut self, registry: &Registry) {
+    pub fn bind_telemetry(&mut self, registry: &Arc<Registry>) {
+        self.stages = Some(Arc::new(StageLatencies::new(Arc::clone(registry))));
         let e2e_latency_us = Arc::new(Histogram::default());
         registry.register_histogram(
             "brisk_ism_e2e_latency_us",
@@ -205,6 +217,12 @@ impl IsmCore {
         &self.memory
     }
 
+    /// Per-stage trace latency histograms (present once telemetry is
+    /// bound); clone the `Arc` to serve exemplars from another thread.
+    pub fn stage_latencies(&self) -> Option<&Arc<StageLatencies>> {
+        self.stages.as_ref()
+    }
+
     /// Attach an additional output sink (PICL file, visual object, …).
     pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
         self.sinks.push(sink);
@@ -288,7 +306,8 @@ impl IsmCore {
             if out.request_extra_sync {
                 self.extra_sync_pending = true;
             }
-            for passed in out.pass {
+            for mut passed in out.pass {
+                passed.stamp_trace(TraceStage::SorterAdmit, now);
                 self.sorter.push(passed);
             }
         }
@@ -302,8 +321,33 @@ impl IsmCore {
         for expired in self.cre.expire(now) {
             self.sorter.push(expired);
         }
-        let released = self.sorter.poll(now);
+        let mut released = self.sorter.poll(now);
+        for rec in released.iter_mut() {
+            rec.stamp_trace(TraceStage::SorterRelease, now);
+        }
         let n = self.deliver(released, now)?;
+        let shed_total = self.sorter.stats().shed;
+        if shed_total > self.flight_last_shed {
+            brisk_telemetry::flight_log!(
+                Warn,
+                "ism.sorter",
+                "shed",
+                "{} unmarked records shed under overload ({shed_total} total)",
+                shed_total - self.flight_last_shed
+            );
+            self.flight_last_shed = shed_total;
+        }
+        let evicted_total = self.memory.evicted();
+        if evicted_total > self.flight_last_evicted {
+            brisk_telemetry::flight_log!(
+                Info,
+                "ism.memory",
+                "evict",
+                "{} records evicted from the output memory buffer ({evicted_total} total)",
+                evicted_total - self.flight_last_evicted
+            );
+            self.flight_last_evicted = evicted_total;
+        }
         if let Some(t) = &mut self.telemetry {
             t.sorter_depth.set(self.sorter.buffered() as i64);
             t.sorter_frame_us.set(self.sorter.frame_us());
@@ -349,7 +393,22 @@ impl IsmCore {
     /// meaningless and latency samples would be garbage.
     fn deliver(&mut self, records: Vec<EventRecord>, now: UtcMicros) -> Result<usize> {
         let n = records.len();
-        for rec in records {
+        for mut rec in records {
+            if now != UtcMicros::MAX {
+                rec.stamp_trace(TraceStage::Deliver, now);
+                if let (Some(stages), Some(ctx)) = (&self.stages, rec.trace()) {
+                    for pair in ctx.stamps().windows(2) {
+                        let (from, t0) = pair[0];
+                        let (to, t1) = pair[1];
+                        stages.observe(
+                            (from.code(), from.name()),
+                            (to.code(), to.name()),
+                            t1.micros_since(t0).max(0) as u64,
+                            ctx.trace_id,
+                        );
+                    }
+                }
+            }
             if let Some(t) = &self.telemetry {
                 if now != UtcMicros::MAX {
                     t.e2e_latency_us
@@ -595,6 +654,89 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter_total("brisk_store_records_total"), 50);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_stamps_accumulate_through_the_core() {
+        use brisk_core::{TraceContext, TraceStage};
+        let mut core = core_with_frame(0);
+        let registry = brisk_telemetry::Registry::new();
+        core.bind_telemetry(&registry);
+        let sink = VecSink::new();
+        core.add_sink(Box::new(sink.clone()));
+        // A record as the wire would deliver it: Notice→ExsScoop→
+        // BatchSend→PumpRecv already stamped upstream.
+        let mut ctx = TraceContext::origin(42, UtcMicros::from_micros(100));
+        ctx.stamp(TraceStage::ExsScoop, UtcMicros::from_micros(110));
+        ctx.stamp(TraceStage::BatchSend, UtcMicros::from_micros(120));
+        ctx.stamp(TraceStage::PumpRecv, UtcMicros::from_micros(140));
+        let traced = rec(0, 0, 100, vec![Value::Trace(ctx)]);
+        core.push_batch(vec![traced], UtcMicros::from_micros(150))
+            .unwrap();
+        assert_eq!(core.tick(UtcMicros::from_micros(200)).unwrap(), 1);
+        let got = sink.snapshot();
+        let ctx = got[0].trace().expect("trace survives the core");
+        let stages: Vec<TraceStage> = ctx.stamps().iter().map(|&(s, _)| s).collect();
+        assert_eq!(
+            stages,
+            vec![
+                TraceStage::Notice,
+                TraceStage::ExsScoop,
+                TraceStage::BatchSend,
+                TraceStage::PumpRecv,
+                TraceStage::SorterAdmit,
+                TraceStage::SorterRelease,
+                TraceStage::Deliver,
+            ]
+        );
+        assert!(
+            ctx.stamps().windows(2).all(|w| w[0].1 <= w[1].1),
+            "stamps must be monotonic: {ctx}"
+        );
+        // Every consecutive pair fed the stage histograms with this
+        // record's id as the exemplar.
+        let (_, exemplar) = core
+            .stage_latencies()
+            .expect("bound core exposes stage latencies")
+            .slowest_exemplar()
+            .expect("spans observed");
+        assert_eq!(exemplar, 42);
+    }
+
+    #[test]
+    fn cre_repair_and_hold_are_stamped() {
+        use brisk_core::{TraceContext, TraceStage};
+        let mut core = core_with_frame(0);
+        let sink = VecSink::new();
+        core.add_sink(Box::new(sink.clone()));
+        let now = UtcMicros::from_micros(1_000);
+        // Consequence first (held), its trace sampled at origin.
+        let conseq = EventRecord::new(
+            NodeId(1),
+            SensorId(0),
+            EventTypeId(2),
+            0,
+            UtcMicros::from_micros(900),
+            vec![
+                Value::Conseq(CorrelationId(5)),
+                Value::Trace(TraceContext::origin(7, UtcMicros::from_micros(900))),
+            ],
+        )
+        .unwrap();
+        core.push_batch(vec![conseq], now).unwrap();
+        // Reason arrives later with a later ts: the held conseq is a
+        // tachyon — released, repaired, and both hops stamped.
+        let reason = rec(0, 0, 950, vec![Value::Reason(CorrelationId(5))]);
+        core.push_batch(vec![reason], now).unwrap();
+        core.tick(UtcMicros::from_micros(10_000)).unwrap();
+        let got = sink.snapshot();
+        assert_eq!(got.len(), 2);
+        let ctx = got
+            .iter()
+            .find_map(|r| r.trace())
+            .expect("traced conseq delivered");
+        assert_eq!(ctx.stamp_at(TraceStage::CreHold), Some(now));
+        assert_eq!(ctx.stamp_at(TraceStage::CreRepair), Some(now));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! * "a causally-marked event of either type is kept in memory no longer
 //!   than a specified timeout, because its peer may have been dropped."
 
-use brisk_core::{CorrelationId, CreConfig, EventRecord, Result, UtcMicros};
+use brisk_core::{CorrelationId, CreConfig, EventRecord, Result, TraceStage, UtcMicros};
 use std::collections::HashMap;
 
 /// Counters describing CRE behaviour.
@@ -139,6 +139,7 @@ impl CreMatcher {
                     if rec.ts <= entry.ts {
                         // Tachyon: consequence not after its reason.
                         rec.override_ts(entry.ts.offset(self.cfg.tachyon_bump_us));
+                        rec.stamp_trace(TraceStage::CreRepair, now);
                         self.stats.tachyons_repaired += 1;
                         if self.cfg.extra_sync_on_tachyon {
                             self.stats.extra_syncs_requested += 1;
@@ -163,6 +164,7 @@ impl CreMatcher {
                         );
                     }
                     self.stats.held += 1;
+                    rec.stamp_trace(TraceStage::CreHold, now);
                     self.waiting
                         .entry(id)
                         .or_default()
@@ -216,6 +218,7 @@ impl CreMatcher {
                 if h.rec.ts <= reason_ts {
                     h.rec
                         .override_ts(reason_ts.offset(self.cfg.tachyon_bump_us));
+                    h.rec.stamp_trace(TraceStage::CreRepair, now);
                     self.stats.tachyons_repaired += 1;
                     if self.cfg.extra_sync_on_tachyon {
                         self.stats.extra_syncs_requested += 1;

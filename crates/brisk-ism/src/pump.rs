@@ -8,7 +8,7 @@
 //! scheduling delays out of the skew samples.
 
 use brisk_clock::{Clock, SkewSample};
-use brisk_core::{BriskError, EventRecord, FlowConfig, NodeId, Result};
+use brisk_core::{BriskError, EventRecord, FlowConfig, NodeId, Result, TraceStage};
 use brisk_net::Connection;
 use brisk_proto::Message;
 use brisk_telemetry::{Counter, Registry};
@@ -499,6 +499,14 @@ impl Pump {
     /// dropped — other nodes' connections are never affected.
     fn note_malformed(&mut self, frame: &[u8], error: &brisk_proto::DecodeError) -> bool {
         self.errors += 1;
+        brisk_telemetry::flight_log!(
+            Warn,
+            "ism.pump",
+            "quarantine",
+            "node {} frame of {} bytes quarantined: {error}",
+            self.node,
+            frame.len()
+        );
         if let Some(log) = &self.guard.log {
             log.record(self.node, frame, &error.to_string());
         }
@@ -506,6 +514,15 @@ impl Pump {
             if let Some(log) = &self.guard.log {
                 log.note_disconnect();
             }
+            brisk_telemetry::flight_log!(
+                Error,
+                "ism.pump",
+                "quarantine_disconnect",
+                "node {} dropped after {} undecodable frames (budget {})",
+                self.node,
+                self.errors,
+                self.guard.budget
+            );
             return true;
         }
         false
@@ -613,7 +630,11 @@ impl Pump {
     /// Forward one inbound message. `Err` means the connection is done.
     fn dispatch(&mut self, msg: Message) -> Result<()> {
         match msg {
-            Message::EventBatch { node, seq, records } => {
+            Message::EventBatch {
+                node,
+                seq,
+                mut records,
+            } => {
                 // The connection authenticated as `self.node` in the
                 // handshake; a batch claiming another origin is spoofed
                 // (or a badly confused client) — kill the connection
@@ -626,6 +647,13 @@ impl Pump {
                 }
                 if let Some(flow) = &self.flow {
                     flow.add(records.len() as u64);
+                }
+                // First ISM-side trace hop: stamped right at the socket,
+                // before any manager queueing, so the BatchSend→PumpRecv
+                // span is pure wire + decode time.
+                let arrived = self.clock.now();
+                for rec in records.iter_mut() {
+                    rec.stamp_trace(TraceStage::PumpRecv, arrived);
                 }
                 self.send_event(PumpEvent::Batch {
                     node: self.node,

@@ -25,7 +25,7 @@ use crate::sorter::SorterStats;
 use brisk_clock::{Clock, SyncMaster, SyncOutcome};
 use brisk_core::{BriskError, IsmConfig, NodeId, Result, SyncConfig};
 use brisk_net::{ConnMetrics, Listener};
-use brisk_telemetry::{Counter, Histogram, Registry};
+use brisk_telemetry::{Counter, Histogram, Registry, StageLatencies};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -134,6 +134,7 @@ impl IsmServer {
     pub fn spawn(self, mut listener: Box<dyn Listener>) -> Result<IsmHandle> {
         let addr = listener.local_addr();
         let memory = Arc::clone(self.core.memory());
+        let stages = self.core.stage_latencies().cloned();
         let stop = Arc::new(AtomicBool::new(false));
         let (event_tx, event_rx) = unbounded::<PumpEvent>();
         let (pump_tx, pump_rx) = unbounded::<PumpHandle>();
@@ -239,6 +240,7 @@ impl IsmServer {
             addr,
             memory,
             quarantine: self.quarantine,
+            stages,
             stop,
             accept_join,
             manager_join,
@@ -437,6 +439,12 @@ impl Manager {
         for node in stale {
             self.last_seen.remove(&node);
             if let Some(handle) = self.pumps.remove(&node) {
+                brisk_telemetry::flight_log!(
+                    Warn,
+                    "ism.manager",
+                    "node_evicted",
+                    "node {node} evicted: no life signs for over {timeout:?}"
+                );
                 handle.command(PumpCommand::Shutdown);
                 self.retiring.push(handle);
                 if let Some(c) = &self.evicted {
@@ -608,6 +616,7 @@ pub struct IsmHandle {
     addr: String,
     memory: Arc<MemoryBuffer>,
     quarantine: Arc<QuarantineLog>,
+    stages: Option<Arc<StageLatencies>>,
     stop: Arc<AtomicBool>,
     accept_join: std::thread::JoinHandle<()>,
     manager_join: std::thread::JoinHandle<Result<IsmReport>>,
@@ -627,6 +636,12 @@ impl IsmHandle {
     /// The malformed-frame quarantine log (counters + retained samples).
     pub fn quarantine(&self) -> &Arc<QuarantineLog> {
         &self.quarantine
+    }
+
+    /// Per-stage trace latency histograms with exemplar trace ids
+    /// (present when telemetry was bound before spawning).
+    pub fn stage_latencies(&self) -> Option<&Arc<StageLatencies>> {
+        self.stages.as_ref()
     }
 
     /// Stop the server and collect the final report.

@@ -25,7 +25,7 @@
 
 use crate::batch::{Batcher, FlushReason, SendWindow};
 use brisk_clock::{Clock, CorrectedClock};
-use brisk_core::{BriskError, EventRecord, ExsConfig, NodeId, Result};
+use brisk_core::{BriskError, EventRecord, ExsConfig, NodeId, Result, TraceStage};
 use brisk_net::Connection;
 use brisk_proto::Message;
 use brisk_ringbuf::RingSet;
@@ -339,6 +339,9 @@ pub struct ExternalSensor {
     /// Undecodable inbound control frames this incarnation; past
     /// [`CONTROL_ERROR_BUDGET`] the connection is treated as broken.
     control_errors: u32,
+    /// True while a credit stall is in progress, so the flight recorder
+    /// sees one event per stall instead of one per deferred step.
+    credit_stalled: bool,
 }
 
 /// Undecodable inbound control frames an EXS skips before declaring the
@@ -413,6 +416,7 @@ impl ExternalSensor {
             negotiated: None,
             last_send_us: 0,
             control_errors: 0,
+            credit_stalled: false,
         };
         exs.last_send_us = exs.clock.now().as_micros();
         // Replay deliberately ignores credit: those records were already
@@ -554,6 +558,21 @@ impl ExternalSensor {
         let paused = !self.credit_open();
         if paused {
             self.shared.credit_deferrals.fetch_add(1, Ordering::Relaxed);
+            // Only the stall's leading edge lands in the flight recorder;
+            // the per-step counter tracks its duration.
+            if !self.credit_stalled {
+                self.credit_stalled = true;
+                brisk_telemetry::flight_log!(
+                    Warn,
+                    "exs",
+                    "credit_stall",
+                    "node {} deferring ring scoop: credit budget {:?} spent",
+                    self.node,
+                    self.credit
+                );
+            }
+        } else {
+            self.credit_stalled = false;
         }
 
         // 1. Drain sensor rings and apply the correction value. The span
@@ -584,6 +603,9 @@ impl ExternalSensor {
         let mut fatal: Option<BriskError> = None;
         for mut rec in pending.drain(..) {
             rec.apply_correction(correction);
+            // After the correction: scoop time and every later stamp are
+            // on the synchronized clock, only the notice stamp was shifted.
+            rec.stamp_trace(TraceStage::ExsScoop, now);
             if let Some((batch, reason)) = self.batcher.push(rec, now) {
                 if disconnect.is_some() {
                     self.stash_batch(batch);
@@ -755,8 +777,12 @@ impl ExternalSensor {
         }
     }
 
-    fn send_batch(&mut self, records: Vec<EventRecord>, reason: FlushReason) -> Result<()> {
+    fn send_batch(&mut self, mut records: Vec<EventRecord>, reason: FlushReason) -> Result<()> {
         let n = records.len() as u64;
+        let send_ts = self.clock.now();
+        for rec in records.iter_mut() {
+            rec.stamp_trace(TraceStage::BatchSend, send_ts);
+        }
         let seq = match &mut self.window {
             Some(w) => {
                 let (seq, evicted) = w.push(records.clone());
@@ -820,6 +846,7 @@ impl ExternalSensor {
         let pending = std::mem::take(&mut self.drain_buf);
         for mut rec in pending {
             rec.apply_correction(correction);
+            rec.stamp_trace(TraceStage::ExsScoop, now);
             if let Some((batch, reason)) = self.batcher.push(rec, now) {
                 self.send_batch(batch, reason)?;
             }
@@ -990,6 +1017,50 @@ mod tests {
         }
         assert_eq!(r.exs.stats().records_sent, 2);
         assert_eq!(r.exs.stats().flush_records, 1);
+    }
+
+    #[test]
+    fn trace_stamps_accumulate_through_scoop_and_send() {
+        use brisk_telemetry::TraceSampler;
+        let mut cfg = ExsConfig::default();
+        cfg.max_batch_records = 1;
+        let mut r = rig(cfg, 0);
+        recv_msg(&mut r.ism_side); // hello
+        r.rings
+            .set_trace_sampler(Arc::new(TraceSampler::with_seed(1, 9)));
+        r.exs.corrected_clock().adjust(1_000);
+        let mut port = r.rings.register();
+        r.src.advance_by(50);
+        port.emit(
+            EventTypeId(1),
+            UtcMicros::from_micros(50),
+            vec![Value::I32(1)],
+        )
+        .unwrap();
+        r.src.advance_by(25); // scoop happens later than the notice
+        r.exs.step().unwrap();
+        match recv_msg(&mut r.ism_side) {
+            Message::EventBatch { records, .. } => {
+                let ctx = records[0].trace().expect("sampled record carries X_TRACE");
+                let stages: Vec<TraceStage> = ctx.stamps().iter().map(|(s, _)| *s).collect();
+                assert_eq!(
+                    stages,
+                    vec![
+                        TraceStage::Notice,
+                        TraceStage::ExsScoop,
+                        TraceStage::BatchSend
+                    ]
+                );
+                // The notice stamp was shifted by the correction along with
+                // the header ts; later stamps read the corrected clock.
+                assert_eq!(ctx.stamps()[0].1, records[0].ts);
+                assert_eq!(ctx.stamps()[0].1, UtcMicros::from_micros(1_050));
+                assert_eq!(ctx.stamps()[1].1, UtcMicros::from_micros(1_075));
+                let times: Vec<i64> = ctx.stamps().iter().map(|(_, t)| t.as_micros()).collect();
+                assert!(times.windows(2).all(|w| w[0] <= w[1]), "monotonic stamps");
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
     }
 
     #[test]

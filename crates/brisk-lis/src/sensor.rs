@@ -4,6 +4,7 @@
 use brisk_clock::Clock;
 use brisk_core::{ExsConfig, NodeId, SensorId};
 use brisk_ringbuf::{RingSet, SensorPort};
+use brisk_telemetry::TraceSampler;
 use std::sync::Arc;
 
 /// Per-node facade bundling the ring set and the clock used by sensors.
@@ -16,12 +17,16 @@ pub struct Lis<C: Clock> {
 }
 
 impl<C: Clock> Lis<C> {
-    /// Create the LIS facade for `node`, sizing rings per `cfg`.
+    /// Create the LIS facade for `node`, sizing rings per `cfg`. When the
+    /// `trace` knob enables sampling, every sensor registered afterwards
+    /// shares one node-wide [`TraceSampler`] and 1-in-N notices carry an
+    /// `X_TRACE` context from birth.
     pub fn new(node: NodeId, clock: Arc<C>, cfg: &ExsConfig) -> Self {
-        Lis {
-            rings: RingSet::new(node, cfg.ring_capacity),
-            clock,
+        let rings = RingSet::new(node, cfg.ring_capacity);
+        if cfg.trace.enabled() {
+            rings.set_trace_sampler(Arc::new(TraceSampler::new(cfg.trace.sample_every)));
         }
+        Lis { rings, clock }
     }
 
     /// The node's ring set (the EXS drains this).
@@ -205,6 +210,33 @@ mod tests {
         lis.rings().drain_into(10, &mut out).unwrap();
         assert_eq!(out[0].fields, vec![Value::I32(3), Value::F64(0.5)]);
         assert_eq!(out[0].ts.as_micros(), 10);
+    }
+
+    #[test]
+    fn trace_knob_installs_node_wide_sampler() {
+        let src = SimTimeSource::new();
+        let clock = Arc::new(SimClock::new(src.clone(), 0, 0.0, 1));
+        let mut cfg = ExsConfig::default();
+        cfg.trace = brisk_core::TraceConfig::every(1);
+        let lis = Lis::new(NodeId(2), clock, &cfg);
+        let mut port = lis.register();
+        assert!(notice!(port, lis.clock(), EventTypeId(1), 1i32));
+        let mut out = Vec::new();
+        lis.rings().drain_into(10, &mut out).unwrap();
+        assert!(
+            out[0].trace().is_some(),
+            "1-in-1 sampling traces everything"
+        );
+
+        // Default config: tracing off, no sampler, no X_TRACE field.
+        let clock = Arc::new(SimClock::new(src, 0, 0.0, 1));
+        let lis = Lis::new(NodeId(3), clock, &ExsConfig::default());
+        assert!(lis.rings().trace_sampler().is_none());
+        let mut port = lis.register();
+        assert!(notice!(port, lis.clock(), EventTypeId(1), 1i32));
+        out.clear();
+        lis.rings().drain_into(10, &mut out).unwrap();
+        assert!(out[0].trace().is_none());
     }
 
     #[test]

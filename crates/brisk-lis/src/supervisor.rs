@@ -310,6 +310,13 @@ fn supervise(
         stats.connects += 1;
         if stats.connects > 1 {
             stats.reconnects += 1;
+            brisk_telemetry::flight_log!(
+                Warn,
+                "exs.supervisor",
+                "reconnect",
+                "node {node} reconnected to ISM (incarnation {}, replaying window)",
+                stats.connects
+            );
         }
 
         // Drive the incarnation.

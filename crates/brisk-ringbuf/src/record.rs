@@ -12,8 +12,11 @@
 
 use crate::spsc::{ByteRing, RingConsumer, RingProducer, RingStats};
 use brisk_core::binenc;
-use brisk_core::{EventRecord, EventTypeId, NodeId, Result, SensorId, UtcMicros, Value};
-use brisk_telemetry::{Counter, Registry};
+use brisk_core::descriptor::MAX_FIELDS;
+use brisk_core::{
+    EventRecord, EventTypeId, NodeId, Result, SensorId, TraceContext, UtcMicros, Value,
+};
+use brisk_telemetry::{Counter, Registry, TraceSampler};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -27,6 +30,9 @@ pub struct SensorPort {
     /// Optional per-node notice counter (telemetry); one relaxed
     /// `fetch_add` on the emit hot path when bound, zero cost otherwise.
     notices: Option<Arc<Counter>>,
+    /// Optional trace sampler; when it fires, the record picks up an
+    /// `X_TRACE` context stamped with its notice time.
+    tracer: Option<Arc<TraceSampler>>,
 }
 
 impl SensorPort {
@@ -52,8 +58,9 @@ impl SensorPort {
         &mut self,
         event_type: EventTypeId,
         ts: UtcMicros,
-        fields: Vec<Value>,
+        mut fields: Vec<Value>,
     ) -> Result<bool> {
+        self.maybe_attach_trace(ts, &mut fields);
         let rec = EventRecord::new(self.node, self.sensor, event_type, self.seq, ts, fields)?;
         self.seq += 1;
         Ok(self.push_encoded(&rec))
@@ -66,7 +73,28 @@ impl SensorPort {
         rec.sensor = self.sensor;
         rec.seq = self.seq;
         self.seq += 1;
+        let ts = rec.ts;
+        self.maybe_attach_trace(ts, &mut rec.fields);
         self.push_encoded(&rec)
+    }
+
+    /// If the sampler fires and a field slot is free, append an
+    /// `X_TRACE` context whose origin stamp is the notice timestamp.
+    /// A record already at [`MAX_FIELDS`] keeps its payload and the
+    /// sampler counts the skip instead.
+    #[inline]
+    fn maybe_attach_trace(&self, ts: UtcMicros, fields: &mut Vec<Value>) {
+        let Some(tracer) = &self.tracer else {
+            return;
+        };
+        let Some(trace_id) = tracer.sample() else {
+            return;
+        };
+        if fields.len() >= MAX_FIELDS {
+            tracer.note_full_skip();
+            return;
+        }
+        fields.push(Value::Trace(TraceContext::origin(trace_id, ts)));
     }
 
     fn push_encoded(&mut self, rec: &EventRecord) -> bool {
@@ -94,6 +122,12 @@ impl SensorPort {
     /// overhead benchmark and by [`RingSet::bind_telemetry`].
     pub fn set_notice_counter(&mut self, counter: Arc<Counter>) {
         self.notices = Some(counter);
+    }
+
+    /// Attach a trace sampler. Sampled emits gain an `X_TRACE` field;
+    /// unsampled emits pay one relaxed `fetch_add`.
+    pub fn set_trace_sampler(&mut self, sampler: Arc<TraceSampler>) {
+        self.tracer = Some(sampler);
     }
 }
 
@@ -169,6 +203,7 @@ impl RecordRing {
                 producer,
                 scratch: Vec::with_capacity(256),
                 notices: None,
+                tracer: None,
             },
             RecordConsumer {
                 sensor,
@@ -190,6 +225,7 @@ pub struct RingSet {
     capacity_per_ring: usize,
     consumers: Mutex<Vec<RecordConsumer>>,
     next_sensor: Mutex<u32>,
+    tracer: Mutex<Option<Arc<TraceSampler>>>,
 }
 
 impl RingSet {
@@ -201,7 +237,20 @@ impl RingSet {
             capacity_per_ring,
             consumers: Mutex::new(Vec::new()),
             next_sensor: Mutex::new(0),
+            tracer: Mutex::new(None),
         })
+    }
+
+    /// Install a node-wide trace sampler shared by every port registered
+    /// *after* this call (ports registered earlier are unaffected; call
+    /// this before instrumented threads start).
+    pub fn set_trace_sampler(&self, sampler: Arc<TraceSampler>) {
+        *self.tracer.lock() = Some(sampler);
+    }
+
+    /// The node-wide trace sampler, if one was installed.
+    pub fn trace_sampler(&self) -> Option<Arc<TraceSampler>> {
+        self.tracer.lock().clone()
     }
 
     /// The node this set belongs to.
@@ -220,7 +269,10 @@ impl RingSet {
 
     /// Register a sensor with an explicit id.
     pub fn register_with_id(self: &Arc<Self>, sensor: SensorId) -> SensorPort {
-        let (port, consumer) = RecordRing::create(self.node, sensor, self.capacity_per_ring);
+        let (mut port, consumer) = RecordRing::create(self.node, sensor, self.capacity_per_ring);
+        if let Some(sampler) = self.trace_sampler() {
+            port.set_trace_sampler(sampler);
+        }
         self.consumers.lock().push(consumer);
         port
     }
@@ -477,6 +529,49 @@ mod tests {
             snap.counter_labeled("brisk_ring_consumed_total", &[("node", "3")]),
             Some(4)
         );
+    }
+
+    #[test]
+    fn sampler_attaches_trace_context_at_notice_time() {
+        let set = RingSet::new(NodeId(1), 1 << 16);
+        set.set_trace_sampler(Arc::new(TraceSampler::with_seed(2, 42)));
+        let mut port = set.register();
+        for i in 0..6 {
+            port.emit(EventTypeId(1), UtcMicros::from_micros(100 + i), fields(0))
+                .unwrap();
+        }
+        let mut out = Vec::new();
+        set.drain_into(usize::MAX, &mut out).unwrap();
+        let traced: Vec<_> = out.iter().filter(|r| r.trace().is_some()).collect();
+        assert_eq!(traced.len(), 3, "1-in-2 sampling over 6 emits");
+        for rec in &traced {
+            let ctx = rec.trace().unwrap();
+            assert_ne!(ctx.trace_id, 0);
+            assert_eq!(ctx.stamps().len(), 1, "origin stamp only at notice time");
+            let (stage, ts) = ctx.stamps()[0];
+            assert_eq!(stage, brisk_core::TraceStage::Notice);
+            assert_eq!(ts, rec.ts, "origin stamp is the notice timestamp");
+        }
+        let ids: std::collections::HashSet<u64> =
+            traced.iter().map(|r| r.trace().unwrap().trace_id).collect();
+        assert_eq!(ids.len(), 3, "trace ids must be unique");
+    }
+
+    #[test]
+    fn full_record_skips_trace_attach() {
+        let set = RingSet::new(NodeId(1), 1 << 16);
+        let sampler = Arc::new(TraceSampler::with_seed(1, 7));
+        set.set_trace_sampler(Arc::clone(&sampler));
+        let mut port = set.register();
+        let full: Vec<Value> = (0..8).map(Value::I32).collect();
+        port.emit(EventTypeId(1), UtcMicros::ZERO, full).unwrap();
+        port.emit(EventTypeId(1), UtcMicros::ZERO, fields(1))
+            .unwrap();
+        assert_eq!(sampler.full_skips(), 1);
+        let mut out = Vec::new();
+        set.drain_into(usize::MAX, &mut out).unwrap();
+        assert!(out[0].trace().is_none(), "full record keeps its payload");
+        assert!(out[1].trace().is_some());
     }
 
     #[test]

@@ -263,12 +263,26 @@ impl StoreWriter {
                         Err(_) => {
                             // Header never made it to disk: nothing in this
                             // file is recoverable.
+                            brisk_telemetry::flight_log!(
+                                Error,
+                                "store.writer",
+                                "torn_tail",
+                                "segment {id} unreadable (header lost in crash): removed"
+                            );
                             fs::remove_file(&seg_path)?;
                             stats.torn_tail_truncations.fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
                     };
                     if scan.torn_bytes > 0 {
+                        brisk_telemetry::flight_log!(
+                            Warn,
+                            "store.writer",
+                            "torn_tail",
+                            "segment {id}: {} torn bytes truncated at offset {} during crash repair",
+                            scan.torn_bytes,
+                            scan.structural_end
+                        );
                         let f = OpenOptions::new().write(true).open(&seg_path)?;
                         f.set_len(scan.structural_end)?;
                         f.sync_all()?;

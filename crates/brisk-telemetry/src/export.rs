@@ -184,15 +184,86 @@ impl Drop for StatsServer {
     }
 }
 
-/// Serve `registry` as Prometheus text exposition over HTTP/1.0 on
-/// `addr` (e.g. `"127.0.0.1:9464"`; port 0 picks a free port).
+/// Extra endpoints for [`serve_stats`]: path → `(content type, body
+/// producer)`. Lets pipeline components publish views the telemetry
+/// crate cannot know about (quarantine forensics, trace exemplars,
+/// readiness summaries) without growing its dependency surface.
+#[derive(Default)]
+pub struct RouteTable {
+    routes: Vec<Route>,
+}
+
+/// One registered route: `(path, content type, body producer)`.
+type Route = (String, String, Box<dyn Fn() -> String + Send + Sync>);
+
+impl RouteTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        RouteTable::default()
+    }
+
+    /// Register `path` (e.g. `"/quarantine"`) served as `content_type`
+    /// with a body produced per request. Registered routes take
+    /// precedence over the built-ins, so `/healthz` can be upgraded from
+    /// bare liveness to a readiness summary.
+    pub fn add(
+        mut self,
+        path: &str,
+        content_type: &str,
+        body: impl Fn() -> String + Send + Sync + 'static,
+    ) -> Self {
+        self.routes
+            .push((path.to_string(), content_type.to_string(), Box::new(body)));
+        self
+    }
+
+    fn find(&self, path: &str) -> Option<(&str, &(dyn Fn() -> String + Send + Sync))> {
+        self.routes
+            .iter()
+            .find(|(p, _, _)| p == path)
+            .map(|(_, ct, f)| (ct.as_str(), f.as_ref()))
+    }
+}
+
+/// Extract the request path from the first HTTP request line in `buf`
+/// (`GET /metrics HTTP/1.0`), dropping any query string. Unparseable
+/// requests default to `/metrics` — a bare scraper should keep working.
+fn request_path(buf: &[u8]) -> String {
+    let text = String::from_utf8_lossy(buf);
+    let line = text.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let (Some(_method), Some(target)) = (parts.next(), parts.next()) else {
+        return "/metrics".to_string();
+    };
+    let path = target.split('?').next().unwrap_or(target);
+    if path.starts_with('/') {
+        path.to_string()
+    } else {
+        "/metrics".to_string()
+    }
+}
+
+fn http_response(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Serve the stats endpoint over HTTP/1.0 on `addr` (port 0 picks a free
+/// port), routing by request path:
 ///
-/// Deliberately minimal: every request — whatever the path — receives a
-/// `200 text/plain; version=0.0.4` scrape body. That is all a
-/// Prometheus scraper needs and keeps the dependency surface at zero.
-pub fn serve_prometheus(
+/// * `/metrics` (or `/`) — Prometheus text exposition of `registry`;
+/// * `/json` — the same snapshot as a JSON document;
+/// * `/healthz` — liveness JSON (process up + flight-recorder counters);
+/// * `/flight` — the global [`crate::flight`] recorder's recent events;
+/// * any path in `routes` — the registered producer (checked first);
+/// * anything else — `404`.
+pub fn serve_stats(
     addr: impl ToSocketAddrs,
     registry: Arc<Registry>,
+    routes: RouteTable,
 ) -> std::io::Result<StatsServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
@@ -206,18 +277,44 @@ pub fn serve_prometheus(
                     break;
                 }
                 let Ok(mut conn) = conn else { continue };
-                // Drain whatever request line arrived; ignore errors —
-                // a scraper that hangs up early is not our problem.
+                // Read the request line; ignore errors — a scraper that
+                // hangs up early is not our problem.
                 let _ = conn.set_read_timeout(Some(std::time::Duration::from_millis(200)));
                 let mut buf = [0u8; 1024];
-                let _ = conn.read(&mut buf);
-                let body = registry.snapshot().to_prometheus();
-                let resp = format!(
-                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
-                     Content-Length: {}\r\nConnection: close\r\n\r\n{}",
-                    body.len(),
-                    body
-                );
+                let n = conn.read(&mut buf).unwrap_or(0);
+                let path = request_path(&buf[..n]);
+                let resp = if let Some((ct, body)) = routes.find(&path) {
+                    http_response("200 OK", ct, &body())
+                } else {
+                    match path.as_str() {
+                        "/metrics" | "/" => http_response(
+                            "200 OK",
+                            "text/plain; version=0.0.4",
+                            &registry.snapshot().to_prometheus(),
+                        ),
+                        "/json" => http_response(
+                            "200 OK",
+                            "application/json",
+                            &registry.snapshot().to_json(),
+                        ),
+                        "/healthz" => {
+                            let f = crate::trace::flight();
+                            let body = format!(
+                                "{{\"status\":\"ok\",\"flight_recorded\":{},\
+                                 \"flight_contended\":{}}}",
+                                f.recorded(),
+                                f.contended()
+                            );
+                            http_response("200 OK", "application/json", &body)
+                        }
+                        "/flight" => http_response(
+                            "200 OK",
+                            "application/json",
+                            &crate::trace::flight().to_json(),
+                        ),
+                        _ => http_response("404 Not Found", "text/plain", "not found\n"),
+                    }
+                };
                 let _ = conn.write_all(resp.as_bytes());
             }
         })?;
@@ -228,18 +325,32 @@ pub fn serve_prometheus(
     })
 }
 
+/// Serve `registry` with the built-in routes only. Kept as the
+/// historical entry point; see [`serve_stats`] for the route map.
+pub fn serve_prometheus(
+    addr: impl ToSocketAddrs,
+    registry: Arc<Registry>,
+) -> std::io::Result<StatsServer> {
+    serve_stats(addr, registry, RouteTable::new())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::HashSet;
     use std::io::{Read, Write};
 
-    fn scrape(addr: std::net::SocketAddr) -> String {
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
         let mut s = std::net::TcpStream::connect(addr).unwrap();
-        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+            .unwrap();
         let mut out = String::new();
         s.read_to_string(&mut out).unwrap();
         out
+    }
+
+    fn scrape(addr: std::net::SocketAddr) -> String {
+        get(addr, "/metrics")
     }
 
     #[test]
@@ -299,6 +410,59 @@ mod tests {
         // Scrapes see fresh values.
         r.counter("brisk_up_total", "liveness").add(5);
         assert!(scrape(srv.addr()).contains("brisk_up_total 6"));
+        srv.stop();
+    }
+
+    #[test]
+    fn request_path_parsing() {
+        assert_eq!(request_path(b"GET /json HTTP/1.0\r\n\r\n"), "/json");
+        assert_eq!(request_path(b"GET /flight?n=5 HTTP/1.1\r\n"), "/flight");
+        assert_eq!(request_path(b""), "/metrics");
+        assert_eq!(request_path(b"garbage"), "/metrics");
+    }
+
+    #[test]
+    fn routes_by_path() {
+        let r = Registry::new();
+        r.counter("brisk_routed_total", "").add(2);
+        let srv = serve_prometheus("127.0.0.1:0", Arc::clone(&r)).unwrap();
+
+        let metrics = get(srv.addr(), "/metrics");
+        assert!(metrics.contains("200 OK"));
+        assert!(metrics.contains("brisk_routed_total 2"));
+        // Bare `/` stays a valid scrape target.
+        assert!(get(srv.addr(), "/").contains("brisk_routed_total 2"));
+
+        let json = get(srv.addr(), "/json");
+        assert!(json.contains("application/json"));
+        assert!(json.contains("\"name\":\"brisk_routed_total\""));
+
+        let health = get(srv.addr(), "/healthz");
+        assert!(health.contains("200 OK"));
+        assert!(health.contains("\"status\":\"ok\""));
+
+        let flight = get(srv.addr(), "/flight");
+        assert!(flight.contains("200 OK"));
+        assert!(flight.contains("\"events\":["));
+
+        let missing = get(srv.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"));
+        srv.stop();
+    }
+
+    #[test]
+    fn extra_routes_take_precedence() {
+        let r = Registry::new();
+        let routes = RouteTable::new()
+            .add("/quarantine", "application/json", || "{\"q\":1}".into())
+            .add("/healthz", "application/json", || {
+                "{\"status\":\"ok\",\"ready\":true}".into()
+            });
+        let srv = serve_stats("127.0.0.1:0", Arc::clone(&r), routes).unwrap();
+        assert!(get(srv.addr(), "/quarantine").contains("{\"q\":1}"));
+        assert!(get(srv.addr(), "/healthz").contains("\"ready\":true"));
+        // Built-ins still work alongside.
+        assert!(get(srv.addr(), "/metrics").contains("200 OK"));
         srv.stop();
     }
 }

@@ -21,6 +21,12 @@
 //! The hot-path cost of an instrumented stage is one or two relaxed
 //! atomic RMWs; everything heavier (quantiles, rendering) happens at
 //! snapshot time on the reader's thread.
+//!
+//! The [`trace`] module adds per-record self-tracing support: the
+//! [`TraceSampler`] deciding which records carry an `X_TRACE` context,
+//! [`StageLatencies`] histograms with exemplar trace-ids, and the
+//! always-on [`FlightRecorder`] ring of recent structured events fed by
+//! the [`flight_log!`] macro and dumped on panic.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -29,8 +35,15 @@ mod export;
 mod metrics;
 mod registry;
 mod timer;
+pub mod trace;
 
-pub use export::{serve_prometheus, StatsServer};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use export::{serve_prometheus, serve_stats, RouteTable, StatsServer};
+pub use metrics::{
+    bucket_of, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
+};
 pub use registry::{Registry, Sample, SampleValue, TelemetrySnapshot};
 pub use timer::StageTimer;
+pub use trace::{
+    flight, install_flight_panic_hook, now_us, set_flight_capacity, splitmix64, ExemplarHistogram,
+    FlightEvent, FlightLevel, FlightRecorder, StageLatencies, TraceSampler,
+};

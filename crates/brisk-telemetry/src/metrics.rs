@@ -93,9 +93,10 @@ impl Default for Histogram {
 }
 
 /// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`, with
-/// everything `>= 2^62` collapsed into the final bucket.
+/// everything `>= 2^62` collapsed into the final bucket. Public so
+/// exemplar tracking (`crate::trace`) can address the same buckets.
 #[inline]
-fn bucket_of(v: u64) -> usize {
+pub fn bucket_of(v: u64) -> usize {
     if v == 0 {
         0
     } else {
@@ -105,7 +106,7 @@ fn bucket_of(v: u64) -> usize {
 
 /// Inclusive upper edge of bucket `i`.
 #[inline]
-fn bucket_upper(i: usize) -> u64 {
+pub fn bucket_upper(i: usize) -> u64 {
     if i == 0 {
         0
     } else if i >= 63 {

@@ -10,9 +10,10 @@
 //! §3.4.
 
 use crate::{XdrDecoder, XdrEncoder};
+use brisk_core::trace::{TraceContext, TraceStage};
 use brisk_core::{
     BriskError, CorrelationId, EventRecord, EventTypeId, NodeId, RecordDescriptor, Result,
-    SensorId, UtcMicros, Value, ValueType,
+    SensorId, UtcMicros, Value, ValueType, MAX_TRACE_STAMPS,
 };
 
 /// Upper bound accepted for one variable-length field (string or bytes).
@@ -39,6 +40,15 @@ pub fn encode_value(v: &Value, e: &mut XdrEncoder) {
         Value::Ts(t) => e.hyper(t.as_micros()),
         Value::Reason(id) => e.uhyper(id.raw()),
         Value::Conseq(id) => e.uhyper(id.raw()),
+        Value::Trace(ctx) => {
+            e.uhyper(ctx.trace_id);
+            e.uint(ctx.stamps().len() as u32);
+            for &(stage, ts) in ctx.stamps() {
+                e.uint(stage.code() as u32);
+                e.hyper(ts.as_micros());
+            }
+            &mut *e
+        }
     };
 }
 
@@ -74,6 +84,24 @@ pub fn decode_value(vt: ValueType, d: &mut XdrDecoder<'_>) -> Result<Value> {
         ValueType::Ts => Value::Ts(UtcMicros::from_micros(d.hyper()?)),
         ValueType::Reason => Value::Reason(CorrelationId(d.uhyper()?)),
         ValueType::Conseq => Value::Conseq(CorrelationId(d.uhyper()?)),
+        ValueType::Trace => {
+            let trace_id = d.uhyper()?;
+            let count = d.uint()? as usize;
+            if count > MAX_TRACE_STAMPS {
+                return Err(BriskError::Codec(format!(
+                    "trace stamp count {count} exceeds {MAX_TRACE_STAMPS}"
+                )));
+            }
+            let mut stamps = Vec::with_capacity(count);
+            for _ in 0..count {
+                let code = d.uint()?;
+                let stage = u8::try_from(code)
+                    .map_err(|_| BriskError::Codec(format!("trace stage code {code} too wide")))
+                    .and_then(TraceStage::from_code)?;
+                stamps.push((stage, UtcMicros::from_micros(d.hyper()?)));
+            }
+            Value::Trace(TraceContext::with_stamps(trace_id, stamps)?)
+        }
     })
 }
 
@@ -146,6 +174,11 @@ mod tests {
             Value::Ts(UtcMicros::from_micros(-77)),
             Value::Reason(CorrelationId(9)),
             Value::Conseq(CorrelationId(10)),
+            Value::Trace({
+                let mut c = TraceContext::origin(0xfeed_f00d, UtcMicros::from_micros(12));
+                c.stamp(TraceStage::PumpRecv, UtcMicros::from_micros(40));
+                c
+            }),
         ];
         for v in values {
             let mut e = XdrEncoder::new();
@@ -187,6 +220,46 @@ mod tests {
         let back = decode_record_body(NodeId(1), &mut d).unwrap();
         d.finish().unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn traced_record_body_round_trips() {
+        let mut ctx = TraceContext::origin(42, UtcMicros::from_micros(5));
+        ctx.stamp(TraceStage::ExsScoop, UtcMicros::from_micros(9));
+        ctx.stamp(TraceStage::BatchSend, UtcMicros::from_micros(11));
+        let r = rec(vec![
+            Value::I32(7),
+            Value::Trace(ctx),
+            Value::Str("tail".into()),
+        ]);
+        let mut e = XdrEncoder::new();
+        encode_record_body(&r, &mut e);
+        let bytes = e.into_bytes();
+        assert_eq!(bytes.len() % 4, 0);
+        let mut d = XdrDecoder::new(&bytes);
+        let back = decode_record_body(NodeId(1), &mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn oversized_trace_stamp_count_rejected() {
+        let mut e = XdrEncoder::new();
+        e.uhyper(1); // trace id
+        e.uint((MAX_TRACE_STAMPS + 1) as u32);
+        let bytes = e.into_bytes();
+        assert!(decode_value(ValueType::Trace, &mut XdrDecoder::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn bad_trace_stage_code_rejected() {
+        let mut e = XdrEncoder::new();
+        e.uhyper(1);
+        e.uint(1);
+        e.uint(99); // no such stage
+        e.hyper(0);
+        let bytes = e.into_bytes();
+        assert!(decode_value(ValueType::Trace, &mut XdrDecoder::new(&bytes)).is_err());
     }
 
     #[test]

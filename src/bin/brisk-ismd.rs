@@ -31,6 +31,14 @@
 //! from force-release to dropping the oldest unmarked (never CRE-marked)
 //! records.
 //!
+//! `--stats-addr` also serves the observability endpoints: `/json`
+//! (snapshot), `/flight` (the always-on flight recorder's recent
+//! structured events; ring size set by `--flight-size`, level filter by
+//! the `BRISK_LOG` env var), `/quarantine` (malformed-frame samples as
+//! hex), `/trace` (per-stage latency exemplars for `brisk-trace`), and a
+//! readiness-aware `/healthz`. A panic anywhere in the daemon dumps the
+//! flight ring to stderr before unwinding.
+//!
 //! `--node-timeout` evicts a node whose connection has gone silent (no
 //! batches, sync replies, or heartbeats) for the given interval — a
 //! half-open TCP connection otherwise ties the node's pump up forever.
@@ -60,6 +68,7 @@ struct Args {
     flow: FlowConfig,
     node_timeout: Option<Duration>,
     error_budget: u32,
+    flight_size: Option<usize>,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -76,6 +85,7 @@ fn parse_args() -> std::result::Result<Args, String> {
         flow: FlowConfig::default(),
         node_timeout: IsmConfig::default().node_timeout,
         error_budget: IsmConfig::default().protocol_error_budget,
+        flight_size: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -145,6 +155,13 @@ fn parse_args() -> std::result::Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --error-budget: {e}"))?
             }
+            "--flight-size" => {
+                args.flight_size = Some(
+                    val("--flight-size")?
+                        .parse()
+                        .map_err(|e| format!("bad --flight-size: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] \
@@ -153,7 +170,7 @@ fn parse_args() -> std::result::Result<Args, String> {
                             [--fsync always|never|interval:MS] [--retain-bytes N] \
                             [--segment-bytes N] [--credit-records N] \
                             [--max-queued-records N] [--shed-unmarked] \
-                            [--node-timeout MS] [--error-budget N]"
+                            [--node-timeout MS] [--error-budget N] [--flight-size N]"
                         .into(),
                 )
             }
@@ -161,6 +178,36 @@ fn parse_args() -> std::result::Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Stable stage name for a wire code (used by the `/trace` endpoint).
+fn stage_name(code: u8) -> &'static str {
+    TraceStage::from_code(code)
+        .map(|s| s.name())
+        .unwrap_or("unknown")
+}
+
+/// Render the quarantine log (counters + retained hex samples) as JSON.
+fn quarantine_json(log: &QuarantineLog) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{{\"frames\":{},\"disconnects\":{},\"samples\":[",
+        log.frames(),
+        log.disconnects()
+    );
+    for (i, s) in log.samples().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let error = s.error.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = write!(
+            out,
+            "{{\"node\":{},\"len\":{},\"head_hex\":\"{}\",\"error\":\"{error}\"}}",
+            s.node.0, s.len, s.head_hex
+        );
+    }
+    out.push_str("]}");
+    out
 }
 
 fn main() {
@@ -171,6 +218,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // Always-on flight recorder: size the ring before anything records
+    // into it, and make sure a panic dumps it to stderr on the way out.
+    if let Some(n) = args.flight_size {
+        set_flight_capacity(n);
+    }
+    install_flight_panic_hook();
 
     let ism_cfg = IsmConfig {
         store: args.store.clone(),
@@ -207,14 +261,6 @@ fn main() {
 
     let registry = Registry::new();
     server.bind_telemetry(&registry);
-    let stats_server = args.stats_addr.as_deref().map(|addr| {
-        let s = serve_prometheus(addr, Arc::clone(&registry)).unwrap_or_else(|e| {
-            eprintln!("cannot bind stats endpoint {addr}: {e}");
-            std::process::exit(1);
-        });
-        eprintln!("Prometheus metrics on http://{}/metrics", s.addr());
-        s
-    });
 
     if let Some(path) = &args.picl {
         let mode = if args.ts_secs {
@@ -257,6 +303,39 @@ fn main() {
     let handle = server.spawn(listener).expect("spawn ISM");
     eprintln!("brisk-ismd listening on {}", handle.addr());
     eprintln!("send `quit` or close stdin to stop");
+
+    // Stats endpoint, started after spawn so routes can serve live server
+    // state (quarantine samples, trace exemplars, delivered counts).
+    let stats_server = args.stats_addr.as_deref().map(|addr| {
+        let quarantine = Arc::clone(handle.quarantine());
+        let stages = handle.stage_latencies().cloned();
+        let ready_memory = Arc::clone(handle.memory());
+        let routes = RouteTable::new()
+            .add("/quarantine", "application/json", move || {
+                quarantine_json(&quarantine)
+            })
+            .add("/trace", "application/json", move || match &stages {
+                Some(s) => s.exemplars_json(stage_name),
+                None => "{\"stages\":[]}".into(),
+            })
+            .add("/healthz", "application/json", move || {
+                format!(
+                    "{{\"status\":\"ok\",\"ready\":true,\"records_delivered\":{},\
+                     \"flight_recorded\":{}}}",
+                    ready_memory.written(),
+                    flight().recorded()
+                )
+            });
+        let s = serve_stats(addr, Arc::clone(&registry), routes).unwrap_or_else(|e| {
+            eprintln!("cannot bind stats endpoint {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "stats on http://{0}/metrics (also /json /flight /quarantine /trace /healthz)",
+            s.addr()
+        );
+        s
+    });
 
     // Periodic stats on stderr; stop on stdin EOF / `quit`.
     let memory = Arc::clone(handle.memory());

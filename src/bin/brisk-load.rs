@@ -8,6 +8,7 @@
 //! ```text
 //! brisk-load [--tcp HOST:PORT | --uds PATH] [--node N] [--sensors N]
 //!            [--rate EV_PER_S] [--duration-s N] [--causal] [--stats]
+//!            [--stats-addr HOST:PORT] [--trace-sample N]
 //!            [--heartbeat-interval-ms N]
 //!            [--fault-seed N] [--fault-corrupt R] [--fault-truncate R]
 //!            [--fault-duplicate R] [--fault-reorder R] [--fault-delay R]
@@ -17,6 +18,16 @@
 //!
 //! `--stats` binds the node's ring buffers and EXS to a telemetry
 //! registry and dumps the full snapshot table at the end of the run.
+//! `--stats-addr` additionally serves that registry live over HTTP
+//! (`/metrics`, `/json`, `/flight`, `/healthz`); when the fault plane is
+//! armed the node also serves its injected-fault event log at `/faults`,
+//! so a chaos drill's wire damage can be read off both ends without a
+//! debugger (the ISM side serves the matching `/quarantine` view).
+//!
+//! `--trace-sample N` attaches an `X_TRACE` context to 1-in-N notices:
+//! sampled records accumulate per-stage timestamps at every pipeline hop,
+//! which the ISM turns into `/trace` latency exemplars renderable with
+//! `brisk-trace`. `N=1` traces every record (use only at low rates).
 //!
 //! The `--fault-*` knobs wrap the ISM connection in the brisk-net fault
 //! plane: each rate `R` (0.0–1.0) injects the corresponding wire fault
@@ -45,9 +56,11 @@ struct Args {
     duration: Duration,
     causal: bool,
     stats: bool,
+    stats_addr: Option<String>,
     replay: Option<String>,
     speed: Option<f64>,
     heartbeat_interval: Option<Duration>,
+    trace_sample: u32,
     fault: FaultSpec,
 }
 
@@ -62,9 +75,11 @@ fn parse_args() -> std::result::Result<Args, String> {
         duration: Duration::from_secs(10),
         causal: false,
         stats: false,
+        stats_addr: None,
         replay: None,
         speed: None,
         heartbeat_interval: None,
+        trace_sample: 0,
         fault: FaultSpec::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -83,6 +98,7 @@ fn parse_args() -> std::result::Result<Args, String> {
             }
             "--causal" => args.causal = true,
             "--stats" => args.stats = true,
+            "--stats-addr" => args.stats_addr = Some(val("--stats-addr")?),
             "--replay" => args.replay = Some(val("--replay")?),
             "--speed" => {
                 args.speed = Some(
@@ -90,6 +106,11 @@ fn parse_args() -> std::result::Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("bad --speed: {e}"))?,
                 )
+            }
+            "--trace-sample" => {
+                args.trace_sample = val("--trace-sample")?
+                    .parse()
+                    .map_err(|e| format!("bad --trace-sample: {e}"))?
             }
             "--heartbeat-interval-ms" => {
                 args.heartbeat_interval = Some(Duration::from_millis(
@@ -146,7 +167,8 @@ fn parse_args() -> std::result::Result<Args, String> {
                 return Err(
                     "usage: brisk-load [--tcp HOST:PORT | --uds PATH] [--node N] \
                             [--sensors N] [--rate EV_PER_S] [--duration-s N] [--causal] \
-                            [--stats] [--heartbeat-interval-ms N] [--fault-seed N] \
+                            [--stats] [--stats-addr HOST:PORT] [--trace-sample N] \
+                            [--heartbeat-interval-ms N] [--fault-seed N] \
                             [--fault-corrupt R] [--fault-truncate R] [--fault-duplicate R] \
                             [--fault-reorder R] [--fault-delay R] [--fault-max-delay-ms N] \
                             [--fault-kill-after N] \
@@ -244,6 +266,13 @@ fn main() {
     if let Some(interval) = args.heartbeat_interval {
         cfg.heartbeat_interval = interval;
     }
+    if args.trace_sample > 0 {
+        cfg.trace = TraceConfig::every(args.trace_sample);
+        eprintln!(
+            "brisk-load: self-tracing 1-in-{} notices",
+            args.trace_sample
+        );
+    }
     let lis = Lis::new(NodeId(args.node), Arc::clone(&clock), &cfg);
     let conn = connect(&args).unwrap_or_else(|e| {
         eprintln!("cannot connect to the ISM: {e}");
@@ -270,11 +299,33 @@ fn main() {
     };
     let exs =
         spawn_exs(NodeId(args.node), Arc::clone(lis.rings()), clock, conn, cfg).expect("spawn EXS");
-    let registry = args.stats.then(|| {
+    let registry = (args.stats || args.stats_addr.is_some()).then(|| {
         let registry = Registry::new();
         lis.rings().bind_telemetry(&registry);
         exs.bind_telemetry(&registry);
+        if let Some(fs) = &fault_stats {
+            fs.bind_telemetry(&registry);
+        }
         registry
+    });
+    let stats_server = args.stats_addr.as_deref().map(|addr| {
+        let registry = registry.clone().expect("registry exists with --stats-addr");
+        let routes = match &fault_stats {
+            Some(fs) => {
+                let fs = Arc::clone(fs);
+                RouteTable::new().add("/faults", "application/json", move || faults_json(&fs))
+            }
+            None => RouteTable::new(),
+        };
+        let server = serve_stats(addr, registry, routes).unwrap_or_else(|e| {
+            eprintln!("cannot serve stats on {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "brisk-load: stats on http://{0}/metrics (also /json /flight /faults /healthz)",
+            server.addr()
+        );
+        server
     });
     eprintln!(
         "brisk-load: node {} with {} sensors at {} ev/s for {:?}{}",
@@ -378,4 +429,42 @@ fn main() {
             fault_stats.clean(),
         );
     }
+    if let Some(server) = stats_server {
+        server.stop();
+    }
+}
+
+/// The `/faults` body: per-kind counters plus the bounded event log, so a
+/// chaos drill's injected damage is inspectable from the node under test.
+fn faults_json(stats: &FaultStats) -> String {
+    use std::fmt::Write as _;
+    let (corrupted, truncated, duplicated, reordered, delayed, killed) = stats.counts();
+    let mut out = String::from("{\"counts\":{");
+    let _ = write!(
+        out,
+        "\"corrupted\":{corrupted},\"truncated\":{truncated},\"duplicated\":{duplicated},\
+         \"reordered\":{reordered},\"delayed\":{delayed},\"killed\":{killed},\
+         \"clean\":{}}},\"events\":[",
+        stats.clean()
+    );
+    for (i, e) in stats.events().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let kind = match &e.kind {
+            brisk::net::FaultKind::Corrupt(_) => "corrupt",
+            brisk::net::FaultKind::Truncate { .. } => "truncate",
+            brisk::net::FaultKind::Duplicate => "duplicate",
+            brisk::net::FaultKind::Reorder => "reorder",
+            brisk::net::FaultKind::Delay { .. } => "delay",
+            brisk::net::FaultKind::Kill => "kill",
+        };
+        let _ = write!(
+            out,
+            "{{\"conn\":{},\"frame\":{},\"kind\":\"{kind}\"}}",
+            e.conn, e.frame
+        );
+    }
+    out.push_str("]}");
+    out
 }

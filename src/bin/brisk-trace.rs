@@ -1,0 +1,191 @@
+//! `brisk-trace` — render pipeline waterfalls for self-traced records.
+//!
+//! Companion tool to the `--trace-sample` knob: sampled records carry an
+//! `X_TRACE` context that accumulates a timestamp at every pipeline hop
+//! (notice → EXS scoop → batch send → pump recv → sorter → delivery).
+//! This tool turns those stamps back into something a human can read.
+//!
+//! ```text
+//! brisk-trace --store DIR [TRACE_ID]   # waterfall from a durable store
+//! brisk-trace --url HOST:PORT          # slow-bucket exemplars from /trace
+//! ```
+//!
+//! `--store DIR` scans the segments a `brisk-ismd --store-dir DIR` run
+//! wrote. Without a `TRACE_ID` it lists the slowest traced records (id +
+//! end-to-end span) so you can pick one; with an id (hex or decimal) it
+//! renders the full per-stage waterfall.
+//!
+//! `--url` fetches the live ISM's `/trace` endpoint: per-stage-pair
+//! latency histograms whose slow buckets carry *exemplar* trace ids.
+//! Feed an exemplar id back into `--store` mode to see where that
+//! record's time actually went.
+
+use brisk::prelude::*;
+use std::io::{Read as _, Write as _};
+
+/// Width of the waterfall bar column in characters.
+const BAR_WIDTH: usize = 40;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: brisk-trace --store DIR [TRACE_ID]\n       brisk-trace --url HOST:PORT\n\
+         \nTRACE_ID is hex (with or without 0x) or decimal."
+    );
+    std::process::exit(2);
+}
+
+fn parse_trace_id(s: &str) -> Option<u64> {
+    let hexish = s.strip_prefix("0x").unwrap_or(s);
+    u64::from_str_radix(hexish, 16)
+        .ok()
+        .or_else(|| s.parse().ok())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("--store") => {
+            let Some(dir) = argv.get(1) else { usage() };
+            let id = argv.get(2).map(|s| match parse_trace_id(s) {
+                Some(id) => id,
+                None => {
+                    eprintln!("bad trace id {s:?}");
+                    std::process::exit(2);
+                }
+            });
+            store_main(dir, id);
+        }
+        Some("--url") => {
+            let Some(addr) = argv.get(1) else { usage() };
+            url_main(addr);
+        }
+        _ => usage(),
+    }
+}
+
+/// Scan a durable store for traced records; list them or render one.
+fn store_main(dir: &str, id: Option<u64>) {
+    let reader = StoreReader::open(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open store {dir}: {e}");
+        std::process::exit(1);
+    });
+    let (records, report) = reader.read_all().unwrap_or_else(|e| {
+        eprintln!("cannot read store {dir}: {e}");
+        std::process::exit(1);
+    });
+    let mut traced: Vec<&EventRecord> = records.iter().filter(|r| r.trace().is_some()).collect();
+    eprintln!(
+        "brisk-trace: {} records in {} segments, {} traced",
+        report.records,
+        report.segments,
+        traced.len()
+    );
+    match id {
+        Some(id) => {
+            let Some(rec) = traced
+                .iter()
+                .find(|r| r.trace().is_some_and(|c| c.trace_id == id))
+            else {
+                eprintln!("trace {id:016x} not found in {dir}");
+                std::process::exit(1);
+            };
+            render_waterfall(rec);
+        }
+        None => {
+            // Slowest first: total span across the recorded stamps.
+            traced.sort_by_key(|r| std::cmp::Reverse(trace_span_us(r)));
+            println!(
+                "{:<18} {:>12} {:>8}  record",
+                "trace_id", "span_us", "stamps"
+            );
+            for rec in traced.iter().take(20) {
+                let ctx = rec.trace().expect("filtered to traced");
+                println!(
+                    "{:016x} {:>12} {:>8}  node {} sensor {} seq {}",
+                    ctx.trace_id,
+                    trace_span_us(rec),
+                    ctx.stamps().len(),
+                    rec.node.0,
+                    rec.sensor.0,
+                    rec.seq,
+                );
+            }
+            if traced.len() > 20 {
+                println!(
+                    "... {} more (pass a TRACE_ID to render one)",
+                    traced.len() - 20
+                );
+            }
+        }
+    }
+}
+
+/// Microseconds between a record's first and last trace stamp.
+fn trace_span_us(rec: &EventRecord) -> i64 {
+    let Some(ctx) = rec.trace() else { return 0 };
+    match (ctx.stamps().first(), ctx.stamps().last()) {
+        (Some(&(_, first)), Some(&(_, last))) => last.micros_since(first).max(0),
+        _ => 0,
+    }
+}
+
+/// Render one record's stamps as an indented waterfall.
+fn render_waterfall(rec: &EventRecord) {
+    let ctx = rec.trace().expect("record must carry a trace");
+    let stamps = ctx.stamps();
+    let Some(&(_, origin)) = stamps.first() else {
+        println!("trace {:016x}: no stamps", ctx.trace_id);
+        return;
+    };
+    let total = trace_span_us(rec).max(1);
+    println!(
+        "trace {:016x}  node {} sensor {} seq {}  total {total} us",
+        ctx.trace_id, rec.node.0, rec.sensor.0, rec.seq
+    );
+    println!(
+        "{:<14} {:>10} {:>10}  waterfall",
+        "stage", "at_us", "span_us"
+    );
+    let mut prev = origin;
+    for &(stage, ts) in stamps {
+        let at = ts.micros_since(origin).max(0);
+        let span = ts.micros_since(prev).max(0);
+        // Bar covering [previous stamp, this stamp] on the total span.
+        let start = ((at - span) * BAR_WIDTH as i64 / total).min(BAR_WIDTH as i64 - 1) as usize;
+        let len = ((span * BAR_WIDTH as i64 + total - 1) / total).max(1) as usize;
+        let len = len.min(BAR_WIDTH - start);
+        let bar: String = " ".repeat(start) + &"#".repeat(len.max(1));
+        println!(
+            "{:<14} {at:>10} {span:>10}  |{bar:<BAR_WIDTH$}|",
+            stage.name()
+        );
+        prev = ts;
+    }
+}
+
+/// Fetch the live `/trace` exemplars over a one-shot HTTP/1.0 GET.
+fn url_main(addr: &str) {
+    let addr = addr
+        .strip_prefix("http://")
+        .unwrap_or(addr)
+        .trim_end_matches('/');
+    let mut stream = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    stream
+        .write_all(format!("GET /trace HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let Some(body) = response.split("\r\n\r\n").nth(1) else {
+        eprintln!("malformed HTTP response from {addr}");
+        std::process::exit(1);
+    };
+    println!("{body}");
+    eprintln!(
+        "\nbrisk-trace: pick an exemplar trace id from a slow bucket above and run\n\
+         \n    brisk-trace --store DIR <trace_id>\n\
+         \nagainst the ISM's --store-dir to see that record's full waterfall."
+    );
+}

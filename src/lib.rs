@@ -121,8 +121,9 @@ pub mod prelude {
     pub use brisk_sim::{SortingConfig, SyncSimConfig, SyncSimulation};
     pub use brisk_store::{Replayer, StoreReader, StoreTailer, StoreWriter};
     pub use brisk_telemetry::{
-        serve_prometheus, Counter, Gauge, Histogram, Registry, StageTimer, StatsServer,
-        TelemetrySnapshot,
+        flight, install_flight_panic_hook, serve_prometheus, serve_stats, set_flight_capacity,
+        Counter, FlightLevel, FlightRecorder, Gauge, Histogram, Registry, RouteTable,
+        StageLatencies, StageTimer, StatsServer, TelemetrySnapshot, TraceSampler,
     };
     pub use {crate::define_notice, crate::notice, crate::notice_gated};
 }

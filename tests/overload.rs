@@ -175,6 +175,151 @@ fn slow_consumer_backpressure_bounds_residency_then_recovers() {
     assert_eq!(report.core.records_in, N as u64);
 }
 
+/// N scraper threads hammer `/metrics` and `/json` while the pipeline is
+/// overloaded and while it recovers: every response must be well-formed,
+/// no thread may panic, and the counters each thread observes must be
+/// monotonic — scrapes are consistent snapshots, never torn mid-update.
+#[test]
+fn concurrent_scrapes_are_never_torn_during_overload() {
+    const SCRAPERS: usize = 4;
+    let transport = MemTransport::new();
+    let mut server = IsmServer::new(
+        IsmConfig {
+            flow: FlowConfig {
+                credit_records: CREDIT,
+                max_queued_records: QUEUE_BOUND,
+                shed_unmarked: false,
+            },
+            sorter: SorterConfig {
+                initial_frame_us: 0,
+                min_frame_us: 0,
+                ..SorterConfig::default()
+            },
+            ..IsmConfig::default()
+        },
+        SyncConfig {
+            poll_period: Duration::from_secs(60),
+            ..SyncConfig::default()
+        },
+        Arc::new(SystemClock),
+    )
+    .unwrap();
+    let registry = Registry::new();
+    server.bind_telemetry(&registry);
+    let stalled = Arc::new(AtomicBool::new(true));
+    server
+        .core_mut()
+        .add_sink(Box::new(StallingSink(Arc::clone(&stalled))));
+    let ism = server.spawn(transport.listen("ism").unwrap()).unwrap();
+
+    let rings = RingSet::new(NodeId(1), 1 << 20);
+    let mut port = rings.register();
+    let exs = spawn_exs(
+        NodeId(1),
+        Arc::clone(&rings),
+        Arc::new(SystemClock),
+        transport.connect("ism").unwrap(),
+        ExsConfig {
+            max_batch_records: BATCH,
+            flush_timeout: Duration::from_millis(1),
+            ..ExsConfig::default()
+        },
+    )
+    .unwrap();
+    exs.bind_telemetry(&registry);
+    const N: i32 = 4_000;
+    for i in 0..N {
+        port.emit(EventTypeId(1), UtcMicros::now(), vec![Value::I32(i)])
+            .unwrap();
+    }
+
+    let stats = serve_prometheus("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+    let addr = stats.addr().to_string();
+    let done = Arc::new(AtomicBool::new(false));
+    let scrapers: Vec<_> = (0..SCRAPERS)
+        .map(|_| {
+            let addr = addr.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let fetch = |path: &str| -> String {
+                    use std::io::{Read, Write};
+                    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+                    s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+                        .unwrap();
+                    let mut resp = String::new();
+                    s.read_to_string(&mut resp).unwrap();
+                    let (head, body) = resp.split_once("\r\n\r\n").unwrap();
+                    assert!(head.starts_with("HTTP/1.0 200"), "bad status: {head}");
+                    body.to_string()
+                };
+                let mut scrapes = 0u64;
+                let mut last_sent = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let body = fetch("/metrics");
+                    let mut sent = None;
+                    for line in body
+                        .lines()
+                        .filter(|l| !l.starts_with('#') && !l.is_empty())
+                    {
+                        let (series, value) = line
+                            .rsplit_once(' ')
+                            .unwrap_or_else(|| panic!("unparseable line {line:?}"));
+                        assert!(series.starts_with("brisk_"), "bad series in {line:?}");
+                        let v: f64 = value
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad value in {line:?}"));
+                        let name = series.split('{').next().unwrap_or(series);
+                        if name == "brisk_exs_records_sent_total" {
+                            *sent.get_or_insert(0) += v as u64;
+                        }
+                    }
+                    // Counters only ever move forward between scrapes.
+                    let sent = sent.expect("scrape must include the sent counter");
+                    assert!(
+                        sent >= last_sent,
+                        "counter went backwards: {sent} < {last_sent}"
+                    );
+                    last_sent = sent;
+                    let json = fetch("/json");
+                    assert!(
+                        json.starts_with('{') && json.ends_with('}'),
+                        "torn json body: {json:?}"
+                    );
+                    scrapes += 1;
+                }
+                scrapes
+            })
+        })
+        .collect();
+
+    // Hold the stall long enough for the scrapers to see the overloaded
+    // state, then recover and drain while they are still hammering.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while registry
+        .snapshot()
+        .counter_total("brisk_exs_credit_deferred_total")
+        == 0
+        && Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    stalled.store(false, Ordering::Relaxed);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while ism.memory().written() < N as u64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(ism.memory().written(), N as u64);
+
+    done.store(true, Ordering::Relaxed);
+    for s in scrapers {
+        let scrapes = s.join().expect("scraper thread must not panic");
+        assert!(scrapes >= 2, "each scraper must complete several rounds");
+    }
+    stats.stop();
+    exs.stop().unwrap();
+    ism.stop().unwrap();
+}
+
 /// Under sorter memory pressure with the shedding policy on, unmarked
 /// records are dropped (and counted) but CRE-marked records are never
 /// lost, end to end through the real transport.
