@@ -17,11 +17,26 @@
 use crate::error::{BriskError, Result};
 use crate::time::UtcMicros;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum number of stamps one context may carry. Decoders enforce this
-/// so a corrupt stream cannot allocate unboundedly; stampers silently drop
-/// stamps past the limit (better a truncated trace than a lost record).
+/// so a corrupt stream cannot allocate unboundedly; stampers keep the
+/// first `N-1` stamps and overwrite the last slot past the limit (better
+/// a truncated trace than a lost record — and the *terminal* stamp must
+/// survive so deep pipelines still see their delivery hop).
 pub const MAX_TRACE_STAMPS: usize = 16;
+
+/// Stamps displaced because a context was already at [`MAX_TRACE_STAMPS`].
+/// Process-global (contexts are tiny values passed by record; threading a
+/// counter handle through every hop would cost more than the stamp) and
+/// exported as `brisk_trace_stamps_dropped_total`.
+static STAMPS_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Total trace stamps dropped (displaced by a newer stamp) because their
+/// context was full. Monotonic over the process lifetime.
+pub fn trace_stamps_dropped_total() -> u64 {
+    STAMPS_DROPPED.load(Ordering::Relaxed)
+}
 
 /// A pipeline stage that can stamp a trace. Codes are stable wire
 /// constants (one byte).
@@ -128,12 +143,19 @@ impl TraceContext {
         Ok(TraceContext { trace_id, stamps })
     }
 
-    /// Append a stamp; silently dropped once [`MAX_TRACE_STAMPS`] is
-    /// reached so a looping stage can never make the record unencodable.
+    /// Append a stamp. Once [`MAX_TRACE_STAMPS`] is reached the first
+    /// `N-1` stamps are kept and each new stamp *overwrites the last
+    /// slot*, so a looping stage can never make the record unencodable
+    /// while the most recent (terminal) stamp always survives — a deep
+    /// pipeline keeps its delivery hop. Each displaced stamp is counted
+    /// in [`trace_stamps_dropped_total`].
     #[inline]
     pub fn stamp(&mut self, stage: TraceStage, ts: UtcMicros) {
         if self.stamps.len() < MAX_TRACE_STAMPS {
             self.stamps.push((stage, ts));
+        } else if let Some(last) = self.stamps.last_mut() {
+            STAMPS_DROPPED.fetch_add(1, Ordering::Relaxed);
+            *last = (stage, ts);
         }
     }
 
@@ -288,13 +310,50 @@ mod tests {
     fn stamps_cap_at_limit() {
         let mut c = TraceContext::origin(1, UtcMicros::ZERO);
         for i in 0..MAX_TRACE_STAMPS + 5 {
-            c.stamp(TraceStage::Deliver, UtcMicros::from_micros(i as i64));
+            c.stamp(TraceStage::SorterAdmit, UtcMicros::from_micros(i as i64));
         }
         assert_eq!(c.stamps().len(), MAX_TRACE_STAMPS);
         // Still encodable.
         let mut buf = Vec::new();
         c.encode_into(&mut buf);
         assert!(TraceContext::decode(&buf).is_ok());
+    }
+
+    #[test]
+    fn full_context_keeps_terminal_stamp_and_counts_drops() {
+        let before = trace_stamps_dropped_total();
+        let mut c = TraceContext::origin(1, UtcMicros::ZERO);
+        // Fill to the cap with a looping stage...
+        for i in 1..MAX_TRACE_STAMPS {
+            c.stamp(TraceStage::SorterAdmit, UtcMicros::from_micros(i as i64));
+        }
+        assert_eq!(c.stamps().len(), MAX_TRACE_STAMPS);
+        // ...then keep stamping past it; the terminal Deliver stamp must
+        // land in the last slot instead of vanishing.
+        c.stamp(TraceStage::CreHold, UtcMicros::from_micros(700));
+        c.stamp(TraceStage::Deliver, UtcMicros::from_micros(900));
+        assert_eq!(c.stamps().len(), MAX_TRACE_STAMPS);
+        // First N-1 stamps intact.
+        assert_eq!(c.stamps()[0], (TraceStage::Notice, UtcMicros::ZERO));
+        assert_eq!(
+            c.stamps()[MAX_TRACE_STAMPS - 2],
+            (
+                TraceStage::SorterAdmit,
+                UtcMicros::from_micros((MAX_TRACE_STAMPS - 2) as i64)
+            )
+        );
+        // Last slot holds the most recent stamp.
+        assert_eq!(
+            c.stamps()[MAX_TRACE_STAMPS - 1],
+            (TraceStage::Deliver, UtcMicros::from_micros(900))
+        );
+        assert_eq!(
+            c.stamp_at(TraceStage::Deliver),
+            Some(UtcMicros::from_micros(900))
+        );
+        // Two stamps were displaced (the original slot-16 content and the
+        // CreHold overwrite). Other tests stamp concurrently, so >=.
+        assert!(trace_stamps_dropped_total() >= before + 2);
     }
 
     #[test]

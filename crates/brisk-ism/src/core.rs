@@ -160,6 +160,12 @@ impl IsmCore {
         if let Some(store) = &mut self.store {
             store.bind_telemetry(registry);
         }
+        registry.counter_fn(
+            "brisk_trace_stamps_dropped_total",
+            "Trace stamps discarded because a record's context was full",
+            &[],
+            brisk_core::trace_stamps_dropped_total,
+        );
         self.telemetry = Some(CoreTelemetry {
             records_in: registry.counter(
                 "brisk_ism_records_in_total",
@@ -584,6 +590,18 @@ mod tests {
         assert_eq!(snap.counter_total("brisk_ism_records_out_total"), 3);
         let hist = snap.histogram("brisk_ism_e2e_latency_us").unwrap();
         assert_eq!(hist.count(), 2, "drain_all records no latency samples");
+        // The trace-stamp drop counter is exported and tracks the
+        // process-wide total (other tests may bump it concurrently, so
+        // compare against the source rather than an absolute value).
+        let ctx = brisk_core::TraceContext::origin(7, UtcMicros::from_micros(1));
+        let mut full = rec(0, 3, 3_000, vec![brisk_core::Value::Trace(ctx)]);
+        for _ in 0..=brisk_core::MAX_TRACE_STAMPS {
+            full.stamp_trace(brisk_core::TraceStage::PumpRecv, UtcMicros::from_micros(1));
+        }
+        let snap = registry.snapshot();
+        let exported = snap.counter_total("brisk_trace_stamps_dropped_total");
+        assert!(exported >= 1, "overflow stamp must surface in the metric");
+        assert!(exported <= brisk_core::trace_stamps_dropped_total());
     }
 
     #[test]

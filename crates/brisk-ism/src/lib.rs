@@ -26,10 +26,12 @@
 //! * [`core::IsmCore`] — the transport-free composition of the above;
 //!   driven by the threaded [`server::IsmServer`] in real deployments and
 //!   directly by `brisk-sim` in deterministic experiments.
-//! * [`pump`] / [`server::IsmServer`] — the networked
-//!   manager: one pump thread per EXS connection (receives batches, runs
-//!   poll exchanges with accurate send/receive timestamps) and one manager
-//!   thread owning the core.
+//! * [`pump`] / [`server::IsmServer`] — the networked manager: a small
+//!   poll-based reactor pool drives every EXS connection (receives
+//!   batches zero-copy, runs poll exchanges with accurate send/receive
+//!   timestamps) and one manager thread owns the core. Connection count
+//!   is decoupled from thread count: a thousand idle sensors cost a
+//!   handful of reactor threads, not a thousand pump threads.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -38,6 +40,7 @@ pub mod core;
 pub mod cre;
 pub mod output;
 pub mod pump;
+mod reactor;
 pub mod server;
 pub mod sorter;
 

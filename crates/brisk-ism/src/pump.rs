@@ -1,16 +1,21 @@
-//! Per-connection pump threads.
+//! Per-connection pump logic.
 //!
 //! The ISM keeps one long-lived connection per external sensor. Each
-//! connection gets a *pump* thread that (a) forwards incoming event batches
-//! to the manager and (b) executes clock-sync poll exchanges on the
-//! manager's behalf. Running the poll exchange *on the pump thread* stamps
+//! connection gets a *pump* that (a) forwards incoming event batches to
+//! the manager and (b) executes clock-sync poll exchanges on the
+//! manager's behalf. Running the poll exchange *at the pump* stamps
 //! `t_master_send` / `t_master_recv` right at the socket, keeping manager
 //! scheduling delays out of the skew samples.
+//!
+//! Two drivers share this logic through [`PumpIo`]: the threaded
+//! [`run_pump`] (one thread per connection — used by tests and embedders)
+//! and the server's poll-based reactor ([`crate::reactor`]), which
+//! multiplexes every connection over a small bounded thread pool.
 
 use brisk_clock::{Clock, SkewSample};
-use brisk_core::{BriskError, EventRecord, FlowConfig, NodeId, Result, TraceStage};
+use brisk_core::{BriskError, FlowConfig, NodeId, Result, UtcMicros};
 use brisk_net::Connection;
-use brisk_proto::Message;
+use brisk_proto::{BatchView, Message};
 use brisk_telemetry::{Counter, Registry};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -258,8 +263,21 @@ pub enum PumpEvent {
         id: u64,
         /// Batch sequence number (`None` on v1 connections).
         seq: Option<u64>,
-        /// The records.
-        records: Vec<EventRecord>,
+        /// The wire frame, validated but still encoded. The pump parsed
+        /// it as a [`BatchView`] (rejecting malformed bytes and spoofed
+        /// node ids) without materializing a single record; the manager
+        /// materializes exactly once on the consumer side, so record
+        /// payloads cross the queue as one buffer, not per-record
+        /// allocations.
+        frame: Vec<u8>,
+        /// Records in the frame, pre-counted at validation so flow
+        /// accounting and credit math never re-parse the frame.
+        count: usize,
+        /// When the frame left the socket; the manager stamps
+        /// `PumpRecv` with this so the BatchSend→PumpRecv trace span
+        /// stays pure wire + validation time even though
+        /// materialization happens later.
+        recv_ts: UtcMicros,
         /// When the pump put this batch on the manager queue; the delay
         /// until the manager acks it is the credit-grant latency.
         enqueued_at: Instant,
@@ -303,6 +321,11 @@ pub struct PumpHandle {
     id: u64,
     version: u32,
     cmd_tx: Sender<PumpCommand>,
+    /// Invoked after every queued command. Reactor-driven pumps use it
+    /// to kick their shard out of `poll` so commands are serviced
+    /// immediately rather than on the next timeout; threaded pumps
+    /// leave it `None` (they poll their command channel every pass).
+    wake: Option<Arc<dyn Fn() + Send + Sync>>,
     /// `None` for pumps that run inline on their greeter thread (the
     /// accept path); the manager then relies on the `Disconnected` event
     /// rather than a join for teardown.
@@ -321,9 +344,20 @@ impl PumpHandle {
         self.version
     }
 
+    /// Attach the post-command wake callback (reactor pumps only).
+    pub(crate) fn attach_wake(&mut self, wake: Arc<dyn Fn() + Send + Sync>) {
+        self.wake = Some(wake);
+    }
+
     /// Send a command; returns `false` if the pump is gone.
     pub fn command(&self, cmd: PumpCommand) -> bool {
-        self.cmd_tx.send(cmd).is_ok()
+        let sent = self.cmd_tx.send(cmd).is_ok();
+        if sent {
+            if let Some(wake) = &self.wake {
+                wake();
+            }
+        }
+        sent
     }
 
     /// Wait for the pump thread to finish (no-op for greeter-run pumps).
@@ -433,6 +467,7 @@ pub fn pump_channel(node: NodeId, version: u32) -> (PumpHandle, Receiver<PumpCom
         id: NEXT_PUMP_ID.fetch_add(1, Ordering::Relaxed),
         version,
         cmd_tx,
+        wake: None,
         join: None,
     };
     (handle, cmd_rx)
@@ -457,36 +492,70 @@ pub fn run_pump(
     guard: ProtocolGuard,
 ) {
     let mut pump = Pump {
-        node,
-        id,
         conn,
-        clock,
-        events,
         cmd_rx,
-        enqueued,
-        flow,
-        guard,
-        errors: 0,
+        io: PumpIo::new(node, id, clock, events, enqueued, flow, guard),
     };
     pump.run();
 }
 
-struct Pump {
-    node: NodeId,
-    id: u64,
-    conn: Box<dyn Connection>,
-    clock: Arc<dyn Clock>,
+/// What [`PumpIo::on_frame`] did with a frame.
+pub(crate) enum FrameOutcome {
+    /// Fully handled: forwarded to the manager, quarantined, or dropped.
+    Consumed,
+    /// A `SyncReply` arrived. The caller owns the sync state machine
+    /// (blocking exchange in [`run_pump`], per-connection state in the
+    /// reactor), so the reply is surfaced instead of swallowed.
+    SyncReply {
+        /// Round the reply claims to answer.
+        round: u64,
+        /// Sample index within the round.
+        sample: u32,
+        /// The slave's clock reading at reply time.
+        slave_time: UtcMicros,
+    },
+}
+
+/// The connection-independent half of a pump: frame routing, event
+/// emission, flow accounting and the malformed-frame quarantine policy.
+/// Shared by the threaded [`run_pump`] and the poll reactor
+/// ([`crate::reactor`]) so both paths accept — and reject — exactly the
+/// same traffic.
+pub(crate) struct PumpIo {
+    pub(crate) node: NodeId,
+    pub(crate) id: u64,
+    pub(crate) clock: Arc<dyn Clock>,
     events: Sender<PumpEvent>,
-    cmd_rx: Receiver<PumpCommand>,
     enqueued: Option<Arc<Counter>>,
-    flow: Option<Arc<FlowState>>,
+    pub(crate) flow: Option<Arc<FlowState>>,
     guard: ProtocolGuard,
     /// Undecodable frames seen on this connection so far.
     errors: u32,
 }
 
-impl Pump {
-    fn send_event(&self, event: PumpEvent) {
+impl PumpIo {
+    pub(crate) fn new(
+        node: NodeId,
+        id: u64,
+        clock: Arc<dyn Clock>,
+        events: Sender<PumpEvent>,
+        enqueued: Option<Arc<Counter>>,
+        flow: Option<Arc<FlowState>>,
+        guard: ProtocolGuard,
+    ) -> PumpIo {
+        PumpIo {
+            node,
+            id,
+            clock,
+            events,
+            enqueued,
+            flow,
+            guard,
+            errors: 0,
+        }
+    }
+
+    pub(crate) fn send_event(&self, event: PumpEvent) {
         if self.events.send(event).is_ok() {
             if let Some(c) = &self.enqueued {
                 c.inc();
@@ -527,6 +596,97 @@ impl Pump {
         }
         false
     }
+
+    /// Route one inbound frame. `Err` means the connection is done
+    /// (orderly `Shutdown`, a spoofed batch, a protocol violation, or an
+    /// exhausted quarantine budget); `Ok` carries what happened.
+    ///
+    /// Batches take the zero-copy path: the frame is validated as a
+    /// [`BatchView`] — every record body walked and bounds-checked, no
+    /// record materialized — and the raw bytes are forwarded to the
+    /// manager, which materializes exactly once.
+    pub(crate) fn on_frame(&mut self, frame: Vec<u8>) -> Result<FrameOutcome> {
+        if brisk_proto::peek_tag(&frame).is_some_and(brisk_proto::is_batch_tag) {
+            let (count, seq) = match BatchView::parse(&frame) {
+                Ok(view) => {
+                    // The connection authenticated as `self.node` in the
+                    // handshake; a batch claiming another origin is
+                    // spoofed (or a badly confused client) — kill the
+                    // connection rather than pollute another node's
+                    // event stream.
+                    if view.node() != self.node {
+                        return Err(BriskError::Protocol(format!(
+                            "batch claims node {} on a connection that said Hello as {}",
+                            view.node(),
+                            self.node
+                        )));
+                    }
+                    (view.len(), view.seq())
+                }
+                Err(e) => {
+                    return if self.note_malformed(&frame, &e) {
+                        Err(BriskError::Disconnected)
+                    } else {
+                        Ok(FrameOutcome::Consumed)
+                    };
+                }
+            };
+            if let Some(flow) = &self.flow {
+                flow.add(count as u64);
+            }
+            // First ISM-side trace hop, taken right at the socket: the
+            // manager stamps PumpRecv with this timestamp when it
+            // materializes, keeping queueing delay out of the
+            // BatchSend→PumpRecv span.
+            let recv_ts = self.clock.now();
+            self.send_event(PumpEvent::Batch {
+                node: self.node,
+                id: self.id,
+                seq,
+                frame,
+                count,
+                recv_ts,
+                enqueued_at: Instant::now(),
+            });
+            return Ok(FrameOutcome::Consumed);
+        }
+        match Message::decode(&frame) {
+            Ok(Message::SyncReply {
+                round,
+                sample,
+                slave_time,
+                ..
+            }) => Ok(FrameOutcome::SyncReply {
+                round,
+                sample,
+                slave_time,
+            }),
+            Ok(Message::Heartbeat) => {
+                self.send_event(PumpEvent::Heartbeat {
+                    node: self.node,
+                    id: self.id,
+                });
+                Ok(FrameOutcome::Consumed)
+            }
+            Ok(Message::Shutdown) => Err(BriskError::Disconnected),
+            Ok(other) => Err(BriskError::Protocol(format!(
+                "unexpected message at ISM: {other:?}"
+            ))),
+            Err(e) => {
+                if self.note_malformed(&frame, &e) {
+                    Err(BriskError::Disconnected)
+                } else {
+                    Ok(FrameOutcome::Consumed)
+                }
+            }
+        }
+    }
+}
+
+struct Pump {
+    conn: Box<dyn Connection>,
+    cmd_rx: Receiver<PumpCommand>,
+    io: PumpIo,
 }
 
 impl Pump {
@@ -567,18 +727,11 @@ impl Pump {
                     let deadline = Instant::now() + Duration::from_secs(2);
                     while Instant::now() < deadline {
                         match self.conn.recv(Some(IDLE_RECV)) {
-                            Ok(Some(frame)) => match Message::decode(&frame) {
-                                Ok(msg) => {
-                                    if self.dispatch(msg).is_err() {
-                                        break;
-                                    }
+                            Ok(Some(frame)) => {
+                                if self.io.on_frame(frame).is_err() {
+                                    break;
                                 }
-                                Err(e) => {
-                                    if self.note_malformed(&frame, &e) {
-                                        break;
-                                    }
-                                }
-                            },
+                            }
                             Ok(None) => continue,
                             Err(_) => break,
                         }
@@ -593,96 +746,35 @@ impl Pump {
             // Commands above still run, so sync rounds and shutdown make
             // progress; the sender's unsent traffic piles up in the
             // transport and its credit dries up next.
-            if let Some(flow) = &self.flow {
+            if let Some(flow) = &self.io.flow {
                 if flow.over_limit() {
                     flow.note_deferral();
                     std::thread::sleep(IDLE_RECV);
                     continue;
                 }
             }
-            // Then inbound traffic.
+            // Then inbound traffic. A stray SyncReply outside a round is
+            // stale — dropped, like any other consumed frame.
             match self.conn.recv(Some(IDLE_RECV)) {
-                Ok(Some(frame)) => match Message::decode(&frame) {
-                    Ok(msg) => {
-                        if self.dispatch(msg).is_err() {
-                            break;
-                        }
+                Ok(Some(frame)) => {
+                    if self.io.on_frame(frame).is_err() {
+                        break;
                     }
-                    // An undecodable frame is quarantined, not fatal:
-                    // count it, keep a bounded sample, and drop the
-                    // connection only once its error budget runs out.
-                    Err(e) => {
-                        if self.note_malformed(&frame, &e) {
-                            break;
-                        }
-                    }
-                },
+                }
                 Ok(None) => {}
                 Err(_) => break,
             }
         }
-        self.send_event(PumpEvent::Disconnected {
-            node: self.node,
-            id: self.id,
+        self.io.send_event(PumpEvent::Disconnected {
+            node: self.io.node,
+            id: self.io.id,
         });
-    }
-
-    /// Forward one inbound message. `Err` means the connection is done.
-    fn dispatch(&mut self, msg: Message) -> Result<()> {
-        match msg {
-            Message::EventBatch {
-                node,
-                seq,
-                mut records,
-            } => {
-                // The connection authenticated as `self.node` in the
-                // handshake; a batch claiming another origin is spoofed
-                // (or a badly confused client) — kill the connection
-                // rather than pollute another node's event stream.
-                if node != self.node {
-                    return Err(BriskError::Protocol(format!(
-                        "batch claims node {node} on a connection that said Hello as {}",
-                        self.node
-                    )));
-                }
-                if let Some(flow) = &self.flow {
-                    flow.add(records.len() as u64);
-                }
-                // First ISM-side trace hop: stamped right at the socket,
-                // before any manager queueing, so the BatchSend→PumpRecv
-                // span is pure wire + decode time.
-                let arrived = self.clock.now();
-                for rec in records.iter_mut() {
-                    rec.stamp_trace(TraceStage::PumpRecv, arrived);
-                }
-                self.send_event(PumpEvent::Batch {
-                    node: self.node,
-                    id: self.id,
-                    seq,
-                    records,
-                    enqueued_at: Instant::now(),
-                });
-                Ok(())
-            }
-            Message::SyncReply { .. } => Ok(()), // stale reply; drop
-            Message::Heartbeat => {
-                self.send_event(PumpEvent::Heartbeat {
-                    node: self.node,
-                    id: self.id,
-                });
-                Ok(())
-            }
-            Message::Shutdown => Err(BriskError::Disconnected),
-            other => Err(BriskError::Protocol(format!(
-                "unexpected message at ISM: {other:?}"
-            ))),
-        }
     }
 
     fn do_sync_round(&mut self, round: u64, samples: u32) -> Result<()> {
         let mut collected = Vec::with_capacity(samples as usize);
         'sampling: for sample in 0..samples {
-            let t0 = self.clock.now();
+            let t0 = self.io.clock.now();
             self.conn.send(
                 &Message::SyncPoll {
                     round,
@@ -699,21 +791,16 @@ impl Pump {
                 }
                 match self.conn.recv(Some(budget))? {
                     None => continue 'sampling,
-                    Some(frame) => match Message::decode(&frame) {
-                        // Quarantine applies mid-exchange too: a garbage
-                        // frame costs budget but not the sync round.
-                        Err(e) => {
-                            if self.note_malformed(&frame, &e) {
-                                return Err(BriskError::Disconnected);
-                            }
-                        }
-                        Ok(Message::SyncReply {
+                    // Batches keep flowing during the exchange, and the
+                    // quarantine budget applies mid-exchange too: both
+                    // live inside `on_frame`.
+                    Some(frame) => match self.io.on_frame(frame)? {
+                        FrameOutcome::SyncReply {
                             round: r,
                             sample: s,
                             slave_time,
-                            ..
-                        }) if r == round && s == sample => {
-                            let t1 = self.clock.now();
+                        } if r == round && s == sample => {
+                            let t1 = self.io.clock.now();
                             collected.push(SkewSample {
                                 t_master_send: t0,
                                 t_slave: slave_time,
@@ -721,14 +808,14 @@ impl Pump {
                             });
                             break;
                         }
-                        // Batches keep flowing during the exchange.
-                        Ok(other) => self.dispatch(other)?,
+                        // Stale/mismatched reply or consumed frame.
+                        _ => {}
                     },
                 }
             }
         }
-        self.send_event(PumpEvent::SyncSamples {
-            node: self.node,
+        self.io.send_event(PumpEvent::SyncSamples {
+            node: self.io.node,
             round,
             samples: collected,
         });
@@ -740,7 +827,7 @@ impl Pump {
 mod tests {
     use super::*;
     use brisk_clock::SystemClock;
-    use brisk_core::{EventTypeId, SensorId, UtcMicros};
+    use brisk_core::{EventRecord, EventTypeId, SensorId, UtcMicros};
     use brisk_net::{MemTransport, Transport};
 
     fn mem_pair() -> (Box<dyn Connection>, Box<dyn Connection>) {
@@ -888,13 +975,18 @@ mod tests {
                 node,
                 id,
                 seq,
-                records,
+                frame,
+                count,
                 ..
             } => {
                 assert_eq!(node, NodeId(5));
                 assert_eq!(id, pump.id());
                 assert_eq!(seq, Some(1));
-                assert_eq!(records, vec![rec]);
+                assert_eq!(count, 1);
+                // The pump forwards the validated frame un-decoded; the
+                // consumer materializes the records from the view.
+                let view = BatchView::parse(&frame).unwrap();
+                assert_eq!(view.materialize().unwrap(), vec![rec]);
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -1,32 +1,34 @@
-//! The threaded ISM server: accept loop + manager loop over the core.
+//! The threaded ISM server: accept loop + reactor pool + manager loop.
 //!
 //! Threads:
 //!
-//! * **accept** — accepts EXS connections and hands each to a greeter
-//!   thread immediately, so one slow or hung client's handshake can never
-//!   stall other connects;
-//! * **greeter/pump** (one per connection, see [`crate::pump`]) — performs
-//!   the `Hello` handshake (with its 5 s deadline), registers the pump
-//!   with the manager, then pumps inline: forwards batches, sends batch
-//!   acks, runs poll exchanges;
+//! * **accept** — accepts EXS connections and registers each with the
+//!   reactor pool immediately; nothing on this thread can block on a
+//!   client;
+//! * **reactor shards** (bounded pool, see [`crate::reactor`]) — greet
+//!   every connection (`Hello`, with its 5 s deadline) and then
+//!   multiplex all of them over `poll(2)`: forward batches zero-copy,
+//!   send batch acks and credit grants, run poll exchanges with
+//!   socket-accurate timestamps. Connection count is independent of
+//!   thread count ([`brisk_core::IsmConfig::pump_threads`]);
 //! * **manager** — owns the [`IsmCore`] and the [`SyncMaster`]; consumes
-//!   pump events, ticks the pipeline, schedules synchronization rounds
-//!   every `poll_period`, plus the *extra* rounds requested by tachyon
-//!   repairs (§3.6).
+//!   pump events, materializes each batch's records exactly once from
+//!   its validated wire frame, ticks the pipeline, schedules
+//!   synchronization rounds every `poll_period`, plus the *extra* rounds
+//!   requested by tachyon repairs (§3.6).
 
 use crate::core::{IsmCore, IsmCoreStats};
 use crate::cre::CreStats;
 use crate::output::MemoryBuffer;
-use crate::pump::{
-    handshake, pump_channel, run_pump, FlowState, ProtocolGuard, PumpCommand, PumpEvent,
-    PumpHandle, QuarantineLog,
-};
+use crate::pump::{FlowState, PumpCommand, PumpEvent, PumpHandle, QuarantineLog};
+use crate::reactor::{ReactorConfig, ReactorPool};
 use crate::sorter::SorterStats;
 use brisk_clock::{Clock, SyncMaster, SyncOutcome};
-use brisk_core::{BriskError, IsmConfig, NodeId, Result, SyncConfig};
+use brisk_core::{BriskError, IsmConfig, NodeId, Result, SyncConfig, TraceStage};
 use brisk_net::{ConnMetrics, Listener};
+use brisk_proto::BatchView;
 use brisk_telemetry::{Counter, Histogram, Registry, StageLatencies};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -59,6 +61,8 @@ pub struct IsmServer {
     node_timeout: Option<Duration>,
     /// Undecodable frames tolerated per connection before disconnect.
     error_budget: u32,
+    /// Reactor shard threads (0 = auto-size from the machine).
+    pump_threads: usize,
     /// Shared malformed-frame quarantine across all pumps.
     quarantine: Arc<QuarantineLog>,
 }
@@ -77,6 +81,7 @@ impl IsmServer {
         let flow = FlowState::new(cfg.flow);
         let node_timeout = cfg.node_timeout;
         let error_budget = cfg.protocol_error_budget;
+        let pump_threads = cfg.pump_threads;
         Ok(IsmServer {
             core: IsmCore::new(cfg)?,
             sync: SyncMaster::new(sync_cfg)?,
@@ -85,6 +90,7 @@ impl IsmServer {
             registry: None,
             node_timeout,
             error_budget,
+            pump_threads,
             quarantine: QuarantineLog::new(),
         })
     }
@@ -185,29 +191,36 @@ impl IsmServer {
             None => (None, None, None),
         };
 
+        // Reactor pool: a bounded set of shard threads drives every
+        // connection, so accepting 1 000 sensors costs sockets, not
+        // threads.
+        let threads = if self.pump_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(4)
+        } else {
+            self.pump_threads
+        };
+        let reactor = Arc::new(ReactorPool::spawn(
+            threads,
+            ReactorConfig {
+                clock: Arc::clone(&self.clock),
+                events: event_tx.clone(),
+                pumps: pump_tx,
+                enqueued,
+                flow: Some(Arc::clone(&self.flow)),
+                error_budget: self.error_budget,
+                quarantine: Some(Arc::clone(&self.quarantine)),
+            },
+        )?);
+
         // Accept thread.
         let accept_stop = Arc::clone(&stop);
-        let accept_clock = Arc::clone(&self.clock);
-        let accept_events = event_tx.clone();
-        let accept_flow = Arc::clone(&self.flow);
-        let accept_budget = self.error_budget;
-        let accept_quarantine = Arc::clone(&self.quarantine);
+        let accept_reactor = Arc::clone(&reactor);
         let accept_join = std::thread::Builder::new()
             .name("brisk-ism-accept".into())
-            .spawn(move || {
-                accept_loop(
-                    &mut listener,
-                    accept_stop,
-                    accept_clock,
-                    accept_events,
-                    pump_tx,
-                    conn_metrics,
-                    enqueued,
-                    accept_flow,
-                    accept_budget,
-                    accept_quarantine,
-                )
-            })
+            .spawn(move || accept_loop(&mut listener, accept_stop, conn_metrics, accept_reactor))
             .map_err(BriskError::Io)?;
 
         // Manager thread.
@@ -242,72 +255,33 @@ impl IsmServer {
             quarantine: self.quarantine,
             stages,
             stop,
+            reactor,
             accept_join,
             manager_join,
         })
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: &mut Box<dyn Listener>,
     stop: Arc<AtomicBool>,
-    clock: Arc<dyn Clock>,
-    events: Sender<PumpEvent>,
-    pumps: Sender<PumpHandle>,
     conn_metrics: Option<ConnMetrics>,
-    enqueued: Option<Arc<Counter>>,
-    flow: Arc<FlowState>,
-    error_budget: u32,
-    quarantine: Arc<QuarantineLog>,
+    reactor: Arc<ReactorPool>,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept(Some(Duration::from_millis(50))) {
             Ok(Some(conn)) => {
                 // Meter before the handshake so Hello frames count too.
-                let mut conn = match &conn_metrics {
+                let conn = match &conn_metrics {
                     Some(m) => m.wrap(conn),
                     None => conn,
                 };
-                // Hand the connection to a greeter thread right away: the
-                // handshake can block for its full 5 s deadline, and
-                // running it here would head-of-line-block every other
-                // EXS trying to connect. The greeter then becomes the
-                // connection's pump thread.
-                let clock = Arc::clone(&clock);
-                let events = events.clone();
-                let pumps = pumps.clone();
-                let enqueued = enqueued.clone();
-                let flow = Arc::clone(&flow);
-                let guard = ProtocolGuard {
-                    budget: error_budget,
-                    log: Some(Arc::clone(&quarantine)),
-                };
-                let _ = std::thread::Builder::new()
-                    .name("brisk-ism-greeter".into())
-                    .spawn(move || {
-                        let Ok((node, version)) =
-                            handshake(&mut conn, Duration::from_secs(5), flow.credit())
-                        else {
-                            return; // bad client; drop it
-                        };
-                        let (handle, cmd_rx) = pump_channel(node, version);
-                        let id = handle.id();
-                        if pumps.send(handle).is_err() {
-                            return; // manager gone
-                        }
-                        run_pump(
-                            id,
-                            node,
-                            conn,
-                            clock,
-                            events,
-                            cmd_rx,
-                            enqueued,
-                            Some(flow),
-                            guard,
-                        );
-                    });
+                // Hand the raw connection straight to the reactor: the
+                // greeting (with its 5 s deadline) runs poll-driven on a
+                // shard, so a slow or hung client costs a poll slot, not
+                // a thread, and can never head-of-line-block other
+                // connects.
+                reactor.register(conn);
             }
             Ok(None) => continue,
             Err(_) => return,
@@ -385,7 +359,14 @@ impl Manager {
         let mut live = self.pumps.len() + self.retiring.len();
         while live > 0 && Instant::now() < deadline {
             match self.events.recv_timeout(Duration::from_millis(20)) {
-                Ok(PumpEvent::Disconnected { .. }) => live -= 1,
+                Ok(ev @ PumpEvent::Disconnected { .. }) => {
+                    live -= 1;
+                    // Still routed through handle_event: the processed
+                    // counter must balance the pump's enqueued counter or
+                    // the queue-depth gauge reads a phantom backlog after
+                    // shutdown.
+                    self.handle_event(ev)?;
+                }
                 Ok(ev) => self.handle_event(ev)?,
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
@@ -466,18 +447,35 @@ impl Manager {
                 node,
                 id,
                 seq,
-                records,
+                frame,
+                count,
+                recv_ts,
                 enqueued_at,
             } => {
                 self.last_seen.insert(node, Instant::now());
-                let n = records.len() as u64;
+                let n = count as u64;
+                // Materialize exactly once, on the consumer side of the
+                // queue: the pump already validated the frame as a view,
+                // so a failure here is a logic error rather than wire
+                // corruption — skip the batch instead of poisoning the
+                // manager. The PumpRecv stamp uses the socket-side
+                // receive time, keeping manager queueing delay out of
+                // the BatchSend→PumpRecv span.
+                //
                 // Dedup happens in the core; accepted or not, a sequenced
                 // batch is acked — a replayed duplicate means our earlier
                 // ack died with the old connection, so re-acking is
                 // exactly what unblocks the sender's retransmit window.
-                let pushed = self
-                    .core
-                    .push_batch_seq(node, seq, records, self.clock.now());
+                let pushed = match BatchView::parse(&frame).and_then(|view| view.materialize()) {
+                    Ok(mut records) => {
+                        for rec in records.iter_mut() {
+                            rec.stamp_trace(TraceStage::PumpRecv, recv_ts);
+                        }
+                        self.core
+                            .push_batch_seq(node, seq, records, self.clock.now())
+                    }
+                    Err(_) => Ok(false),
+                };
                 // The records left the manager queue whether the core
                 // accepted them or not; free the pumps before erroring.
                 self.flow.sub(n);
@@ -618,6 +616,7 @@ pub struct IsmHandle {
     quarantine: Arc<QuarantineLog>,
     stages: Option<Arc<StageLatencies>>,
     stop: Arc<AtomicBool>,
+    reactor: Arc<ReactorPool>,
     accept_join: std::thread::JoinHandle<()>,
     manager_join: std::thread::JoinHandle<Result<IsmReport>>,
 }
@@ -648,9 +647,15 @@ impl IsmHandle {
     pub fn stop(self) -> Result<IsmReport> {
         self.stop.store(true, Ordering::Relaxed);
         let _ = self.accept_join.join();
-        self.manager_join
+        // The manager's shutdown drain needs the reactor alive (pumps
+        // forward the EXSs' final flushes and report Disconnected), so
+        // the pool stops only after the manager has joined.
+        let report = self
+            .manager_join
             .join()
-            .map_err(|_| BriskError::Sync("ISM manager thread panicked".into()))?
+            .map_err(|_| BriskError::Sync("ISM manager thread panicked".into()))?;
+        self.reactor.stop();
+        report
     }
 }
 

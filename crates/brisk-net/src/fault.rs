@@ -496,6 +496,16 @@ impl Connection for FaultingConnection {
     fn peer(&self) -> String {
         self.peer.clone()
     }
+
+    fn poll_fd(&self) -> Option<std::os::unix::io::RawFd> {
+        // A killed link has no fd anymore; the reactor's next recv sees
+        // the Disconnected it expects.
+        self.inner.as_ref().and_then(|c| c.poll_fd())
+    }
+
+    fn has_buffered(&self) -> bool {
+        self.inner.as_ref().is_some_and(|c| c.has_buffered())
+    }
 }
 
 #[cfg(test)]

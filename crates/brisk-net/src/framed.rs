@@ -23,6 +23,10 @@ pub trait RawStream: Read + Write + Send {
     fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()>;
     /// Human-readable peer identity.
     fn peer_label(&self) -> String;
+    /// The underlying OS file descriptor, if any (reactor polling).
+    fn raw_fd(&self) -> Option<std::os::unix::io::RawFd> {
+        None
+    }
 }
 
 impl RawStream for std::net::TcpStream {
@@ -38,6 +42,11 @@ impl RawStream for std::net::TcpStream {
         self.peer_addr()
             .map(|a| a.to_string())
             .unwrap_or_else(|_| "<unknown>".into())
+    }
+
+    fn raw_fd(&self) -> Option<std::os::unix::io::RawFd> {
+        use std::os::unix::io::AsRawFd;
+        Some(self.as_raw_fd())
     }
 }
 
@@ -56,6 +65,11 @@ impl RawStream for std::os::unix::net::UnixStream {
             .ok()
             .and_then(|a| a.as_pathname().map(|p| p.display().to_string()))
             .unwrap_or_else(|| "<unix-peer>".into())
+    }
+
+    fn raw_fd(&self) -> Option<std::os::unix::io::RawFd> {
+        use std::os::unix::io::AsRawFd;
+        Some(self.as_raw_fd())
     }
 }
 
@@ -162,5 +176,13 @@ impl<S: RawStream> Connection for FramedConnection<S> {
 
     fn peer(&self) -> String {
         self.peer.clone()
+    }
+
+    fn poll_fd(&self) -> Option<std::os::unix::io::RawFd> {
+        self.stream.raw_fd()
+    }
+
+    fn has_buffered(&self) -> bool {
+        !self.rbuf.is_empty()
     }
 }

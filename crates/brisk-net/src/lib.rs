@@ -25,6 +25,8 @@ pub mod fault;
 pub mod framed;
 pub mod mem;
 pub mod metered;
+#[cfg(unix)]
+pub mod poll;
 pub mod tcp;
 pub mod traits;
 #[cfg(unix)]
@@ -36,6 +38,8 @@ pub use fault::{
 pub use framed::{FramedConnection, RawStream};
 pub use mem::{LinkModel, MemTransport};
 pub use metered::{ConnMetrics, MeteredConnection};
+#[cfg(unix)]
+pub use poll::{poll_in, PollFd, Poller, Waker, POLLERR, POLLHUP, POLLIN};
 pub use tcp::TcpTransport;
 pub use traits::{Connection, Listener, Transport};
 #[cfg(unix)]

@@ -97,6 +97,14 @@ impl Connection for MeteredConnection {
     fn peer(&self) -> String {
         self.inner.peer()
     }
+
+    fn poll_fd(&self) -> Option<std::os::unix::io::RawFd> {
+        self.inner.poll_fd()
+    }
+
+    fn has_buffered(&self) -> bool {
+        self.inner.has_buffered()
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,23 @@ pub trait Connection: Send {
 
     /// Human-readable peer identity, for diagnostics.
     fn peer(&self) -> String;
+
+    /// The OS file descriptor a reactor may poll for readability, if this
+    /// connection is backed by one. Transports without a kernel object
+    /// (the in-memory ones) return `None` and are driven by periodic
+    /// zero-timeout `recv` calls instead; see `brisk_net::poll`.
+    fn poll_fd(&self) -> Option<std::os::unix::io::RawFd> {
+        None
+    }
+
+    /// True if a previous `recv` left bytes in a userspace read buffer.
+    /// Framed transports drain the kernel socket eagerly, so complete
+    /// frames can be waiting here with `poll_fd` showing no readability —
+    /// a reactor must treat such a connection as readable or those frames
+    /// stall until the peer happens to send more bytes.
+    fn has_buffered(&self) -> bool {
+        false
+    }
 }
 
 /// Accepts incoming connections (the ISM side).

@@ -61,7 +61,7 @@
 
 use brisk_core::{BriskError, EventRecord, NodeId, UtcMicros};
 use brisk_xdr::values::{decode_record_body, encode_record_body};
-use brisk_xdr::{XdrDecoder, XdrEncoder};
+use brisk_xdr::{decode_record_view, RecordView, XdrDecoder, XdrEncoder};
 use std::fmt;
 
 /// Protocol magic: "BRSK".
@@ -453,6 +453,114 @@ impl Message {
     }
 }
 
+/// Read a frame's wire tag without decoding the body. `None` when the
+/// frame is shorter than one XDR word (such a frame can never decode).
+///
+/// The ingest hot path uses this to route event batches through the
+/// zero-copy [`BatchView`] parse while every other (rare, small) message
+/// kind takes the owned [`Message::decode`] path.
+pub fn peek_tag(frame: &[u8]) -> Option<u32> {
+    let word: [u8; 4] = frame.get(..4)?.try_into().ok()?;
+    Some(u32::from_be_bytes(word))
+}
+
+/// Does this wire tag name an event batch (`EventBatch` or
+/// `EventBatchSeq`)? Pair with [`peek_tag`] to route frames.
+pub const fn is_batch_tag(tag: u32) -> bool {
+    tag == Tag::EventBatch as u32 || tag == Tag::EventBatchSeq as u32
+}
+
+/// A fully-validated *borrowing* view over an `EventBatch` /
+/// `EventBatchSeq` frame.
+///
+/// Parsing walks every record body with the same validation as
+/// [`Message::decode`] (it shares the single decode implementation in
+/// `brisk_xdr::view`), but each record is kept as a [`RecordView`] whose
+/// field bytes still point into the arrival buffer — nothing is copied
+/// until [`BatchView::materialize`] (or a per-record
+/// [`RecordView::materialize`]) is called. The ISM pump validates a frame
+/// once with this type and forwards the raw frame; the manager re-parses
+/// and materializes exactly once, so a record is copied at most once
+/// end-to-end.
+#[derive(Debug)]
+pub struct BatchView<'a> {
+    node: NodeId,
+    seq: Option<u64>,
+    records: Vec<RecordView<'a>>,
+}
+
+impl<'a> BatchView<'a> {
+    /// Parse and validate a batch frame without copying record payloads.
+    ///
+    /// The frame must be an `EventBatch` or `EventBatchSeq` (check with
+    /// [`peek_tag`] / [`is_batch_tag`] first); any other tag is an
+    /// [`DecodeError::UnknownTag`] from this constructor's point of view.
+    /// Validation is exhaustive — bounds, descriptor, every field, no
+    /// trailing bytes — so a frame this accepts is exactly a frame
+    /// [`Message::decode`] accepts.
+    pub fn parse(frame: &'a [u8]) -> Result<BatchView<'a>, DecodeError> {
+        let mut d = XdrDecoder::new(frame);
+        let tag = d.uint()?;
+        if !is_batch_tag(tag) {
+            return Err(DecodeError::UnknownTag(tag));
+        }
+        let node = NodeId(d.uint()?);
+        let seq = if tag == Tag::EventBatchSeq as u32 {
+            Some(d.uhyper()?)
+        } else {
+            None
+        };
+        let count = d.uint()? as usize;
+        if count > MAX_BATCH_RECORDS {
+            return Err(DecodeError::TooManyRecords {
+                count,
+                max: MAX_BATCH_RECORDS,
+            });
+        }
+        let mut records = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            records.push(decode_record_view(&mut d)?);
+        }
+        d.finish()?;
+        Ok(BatchView { node, seq, records })
+    }
+
+    /// Originating node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Per-node batch sequence number (`None` on the v1 wire format).
+    pub fn seq(&self) -> Option<u64> {
+        self.seq
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The validated record views, still borrowing the frame.
+    pub fn records(&self) -> &[RecordView<'a>] {
+        &self.records
+    }
+
+    /// Copy the records out into owned [`EventRecord`]s — the single
+    /// copy the ingest path pays.
+    pub fn materialize(&self) -> Result<Vec<EventRecord>, DecodeError> {
+        let mut out = Vec::with_capacity(self.records.len());
+        for rv in &self.records {
+            out.push(rv.materialize(self.node)?);
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
@@ -738,5 +846,109 @@ mod tests {
         };
         let bytes = m.encode();
         assert_eq!(bytes.len(), 12 + 256 * 56);
+    }
+
+    #[test]
+    fn peek_tag_reads_the_wire_tag() {
+        let m = Message::EventBatch {
+            node: NodeId(3),
+            seq: Some(5),
+            records: vec![rec(0, 1)],
+        };
+        let bytes = m.encode();
+        assert_eq!(peek_tag(&bytes), Some(7));
+        assert!(is_batch_tag(7) && is_batch_tag(2));
+        assert!(!is_batch_tag(1) && !is_batch_tag(8));
+        assert_eq!(peek_tag(&bytes[..3]), None);
+        assert_eq!(peek_tag(&Message::Heartbeat.encode()), Some(12));
+    }
+
+    #[test]
+    fn batch_view_matches_owned_decode() {
+        for seq in [None, Some(u64::MAX - 7)] {
+            let m = Message::EventBatch {
+                node: NodeId(3),
+                seq,
+                records: (0..10).map(|i| rec(i, i as i64 * 100)).collect(),
+            };
+            let bytes = m.encode();
+            let view = BatchView::parse(&bytes).unwrap();
+            assert_eq!(view.node(), NodeId(3));
+            assert_eq!(view.seq(), seq);
+            assert_eq!(view.len(), 10);
+            let Message::EventBatch { records, .. } = Message::decode(&bytes).unwrap() else {
+                panic!("not a batch");
+            };
+            assert_eq!(view.materialize().unwrap(), records);
+        }
+    }
+
+    #[test]
+    fn batch_view_rejects_exactly_what_owned_decode_rejects() {
+        let m = Message::EventBatch {
+            node: NodeId(3),
+            seq: Some(9),
+            records: (0..4).map(|i| rec(i, i as i64)).collect(),
+        };
+        let bytes = m.encode();
+        // Truncations.
+        for cut in 0..bytes.len() {
+            let owned = Message::decode(&bytes[..cut]).is_ok();
+            let view = BatchView::parse(&bytes[..cut]).is_ok();
+            assert_eq!(owned, view, "truncated at {cut}");
+        }
+        // Trailing bytes.
+        let mut long = bytes.clone();
+        long.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(BatchView::parse(&long).is_err());
+        // Single-byte corruptions must agree bit-for-bit with the owned
+        // path — the two decoders share one implementation and this pins
+        // that property at the frame level.
+        for i in 0..bytes.len() {
+            for flip in [0x01, 0x80] {
+                let mut b = bytes.clone();
+                b[i] ^= flip;
+                let owned = Message::decode(&b).is_ok();
+                let view = BatchView::parse(&b).is_ok();
+                assert_eq!(owned, view, "byte {i} flipped by {flip:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_view_rejects_non_batch_frames_and_bounds() {
+        let hello = Message::Hello {
+            node: NodeId(1),
+            version: VERSION,
+        }
+        .encode();
+        assert!(matches!(
+            BatchView::parse(&hello),
+            Err(DecodeError::UnknownTag(1))
+        ));
+        let mut e = XdrEncoder::new();
+        e.uint(2);
+        e.uint(3);
+        e.uint((MAX_BATCH_RECORDS + 1) as u32);
+        assert!(matches!(
+            BatchView::parse(e.as_bytes()),
+            Err(DecodeError::TooManyRecords { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_view_records_borrow_the_frame() {
+        let m = Message::EventBatch {
+            node: NodeId(3),
+            seq: None,
+            records: vec![rec(1, 10)],
+        };
+        let bytes = m.encode();
+        let view = BatchView::parse(&bytes).unwrap();
+        let range = bytes.as_ptr_range();
+        for rv in view.records() {
+            let fields = rv.fields_bytes();
+            assert!(range.contains(&fields.as_ptr()), "view copied the frame");
+        }
     }
 }

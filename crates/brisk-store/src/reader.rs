@@ -237,13 +237,17 @@ impl StoreReader {
                 }
             }
             let bytes = fs::read(segment_path(&self.dir, id))?;
-            // Resume from the last index entry at or below the bound, if any.
+            // Resume from the last index entry *strictly* below the bound.
+            // An entry exactly at the bound is no good as a start point: in
+            // a sorted segment records with the same timestamp may precede
+            // the indexed one, and starting there would skip them even
+            // though they satisfy `ts >= from`.
             let start = match (idx.as_ref(), from) {
                 (Some(i), Some(from)) => i
                     .entries
                     .iter()
                     .rev()
-                    .find(|e| e.ts <= from)
+                    .find(|e| e.ts < from)
                     .map(|e| e.offset)
                     .unwrap_or(0),
                 _ => 0,
@@ -428,6 +432,92 @@ mod tests {
         assert_eq!(scan.records.len(), 9);
         let seqs: Vec<u64> = scan.records.iter().map(|s| s.rec.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2, 3, 5, 6, 7, 8, 9]);
+    }
+
+    /// Write a store directory containing `segments`, each with a sidecar
+    /// index built at `index_every`, so `read_from` exercises the sparse
+    /// probe exactly as it would against a sealed, indexed store.
+    fn write_indexed_store(segments: &[(u64, Vec<EventRecord>)], index_every: u32) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "brisk-reader-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        for (id, recs) in segments {
+            let bytes = segment_image(*id, recs);
+            fs::write(segment_path(&dir, *id), &bytes).unwrap();
+            let scan = scan_segment(&bytes, 0).unwrap();
+            let idx = index_of_scan(&scan, index_every);
+            fs::write(index_path(&dir, *id), idx.encode()).unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn seek_exact_boundary_keeps_equal_timestamps_before_index_entry() {
+        // Duplicate timestamps straddle the index entry at ordinal 4: the
+        // records at ordinals 2 and 3 share ts=100 with the indexed record.
+        // A probe that starts *at* an entry whose ts equals the bound skips
+        // them even though they satisfy `ts >= from`.
+        let ts = [50i64, 50, 100, 100, 100, 100, 200, 200];
+        let recs: Vec<_> = ts
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| rec(i as u64, t))
+            .collect();
+        let dir = write_indexed_store(&[(0, recs)], 4);
+        let reader = StoreReader::open(&dir).unwrap();
+        let (got, _) = reader.read_from(UtcMicros::from_micros(100)).unwrap();
+        let seqs: Vec<u64> = got.iter().map(|r| r.seq).collect();
+        assert_eq!(
+            seqs,
+            vec![2, 3, 4, 5, 6, 7],
+            "equal-ts records before the index entry must not be skipped"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seek_before_first_record_returns_everything_once() {
+        let recs: Vec<_> = (0..10).map(|i| rec(i, 1000 + i as i64)).collect();
+        let dir = write_indexed_store(&[(0, recs)], 4);
+        let reader = StoreReader::open(&dir).unwrap();
+        // Bound below the whole segment: no index entry qualifies as a
+        // start point, the scan must begin at the segment head.
+        let (got, _) = reader.read_from(UtcMicros::from_micros(5)).unwrap();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].seq, 0);
+        // Bound exactly at the first record's timestamp (the segment
+        // base_ts): everything still comes back, exactly once.
+        let (got, _) = reader.read_from(UtcMicros::from_micros(1000)).unwrap();
+        let seqs: Vec<u64> = got.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seek_between_segments_skips_older_and_replays_nothing() {
+        let seg0: Vec<_> = (0..6).map(|i| rec(i, 10 + i as i64)).collect();
+        let seg1: Vec<_> = (10..16).map(|i| rec(i, 100 + i as i64)).collect();
+        let dir = write_indexed_store(&[(0, seg0), (1, seg1)], 4);
+        let reader = StoreReader::open(&dir).unwrap();
+        // Bound between the segments: segment 0 is wholly below it and must
+        // be skipped via its index; segment 1 must come back in full.
+        let (got, report) = reader.read_from(UtcMicros::from_micros(50)).unwrap();
+        let seqs: Vec<u64> = got.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (10..16).collect::<Vec<u64>>());
+        assert_eq!(
+            report.segments, 1,
+            "segment below the bound skipped without scanning"
+        );
+        // Bound exactly at segment 1's base_ts: same answer.
+        let (got, _) = reader.read_from(UtcMicros::from_micros(110)).unwrap();
+        let seqs: Vec<u64> = got.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (10..16).collect::<Vec<u64>>());
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

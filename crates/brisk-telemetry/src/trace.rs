@@ -370,6 +370,9 @@ pub struct FlightRecorder {
     slots: Vec<Mutex<Option<FlightEvent>>>,
     cursor: AtomicU64,
     contended: AtomicU64,
+    /// First sequence number not yet emitted by [`FlightRecorder::dump_new`]
+    /// — the panic hook's at-most-once watermark.
+    dumped: AtomicU64,
     filter: LevelFilter,
 }
 
@@ -383,6 +386,7 @@ impl FlightRecorder {
             slots: (0..size).map(|_| Mutex::new(None)).collect(),
             cursor: AtomicU64::new(0),
             contended: AtomicU64::new(0),
+            dumped: AtomicU64::new(0),
             filter: LevelFilter::parse(spec),
         }
     }
@@ -415,19 +419,33 @@ impl FlightRecorder {
         detail: String,
     ) {
         let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
-        let ts_us = now_us();
-        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        self.write_slot(FlightEvent {
+            seq,
+            ts_us: now_us(),
+            level,
+            component,
+            kind,
+            detail,
+        });
+    }
+
+    /// Fill the ring slot owned by `ev.seq`. A slot is only ever replaced
+    /// by a *newer* sequence number: a writer delayed between claiming its
+    /// seq and reaching the slot must not clobber an event a full ring lap
+    /// ahead of it (that would hand readers a stale slot that then jumps
+    /// backwards in replay order). Split out of [`Self::record`] so tests
+    /// can inject an out-of-order writer deterministically.
+    fn write_slot(&self, ev: FlightEvent) {
+        let slot = &self.slots[(ev.seq % self.slots.len() as u64) as usize];
         match slot.try_lock() {
-            Ok(mut s) => {
-                *s = Some(FlightEvent {
-                    seq,
-                    ts_us,
-                    level,
-                    component,
-                    kind,
-                    detail,
-                });
-            }
+            Ok(mut s) => match s.as_ref() {
+                Some(existing) if existing.seq > ev.seq => {
+                    // Lost a full lap to a faster writer: the event is
+                    // dropped, like a contended one.
+                    self.contended.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => *s = Some(ev),
+            },
             Err(_) => {
                 self.contended.fetch_add(1, Ordering::Relaxed);
             }
@@ -490,7 +508,31 @@ impl FlightRecorder {
         out
     }
 
-    /// Human rendering, one line per event (panic dumps, `brisk-trace`).
+    /// Human rendering of the events not yet dumped this way, advancing
+    /// the watermark so repeated calls (a multi-thread panic storm hits
+    /// the hook once per panicking thread) emit each entry at most once.
+    pub fn dump_new(&self) -> String {
+        use std::fmt::Write as _;
+        let events = self.snapshot();
+        let next = events.last().map(|e| e.seq + 1).unwrap_or(0);
+        let from = self.dumped.fetch_max(next, Ordering::AcqRel);
+        let mut out = String::new();
+        for e in events.iter().filter(|e| e.seq >= from) {
+            let _ = writeln!(
+                out,
+                "#{:<6} {:>16}us {:5} {:<12} {:<14} {}",
+                e.seq,
+                e.ts_us,
+                e.level.name(),
+                e.component,
+                e.kind,
+                e.detail
+            );
+        }
+        out
+    }
+
+    /// Human rendering, one line per event (`/flight`, `brisk-trace`).
     pub fn dump(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -555,7 +597,9 @@ pub fn install_flight_panic_hook() {
             rec.snapshot().len(),
             rec.recorded()
         );
-        eprint!("{}", rec.dump());
+        // `dump_new`, not `dump`: concurrent panics each fire the hook and
+        // must not replay entries an earlier panic already printed.
+        eprint!("{}", rec.dump_new());
         eprintln!("--- end flight recorder ---");
     }));
 }
@@ -737,6 +781,105 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(seqs, sorted);
+    }
+
+    #[test]
+    fn delayed_writer_cannot_clobber_a_newer_lap() {
+        let rec = FlightRecorder::with_spec(8, "debug");
+        // One full lap plus one: slot 0 now holds seq 8.
+        for i in 0..9 {
+            rec.record(FlightLevel::Info, "test", "tick", format!("event {i}"));
+        }
+        // A writer that claimed seq 0 before the wrap finally reaches its
+        // slot. It must be dropped, not overwrite the newer event.
+        rec.write_slot(FlightEvent {
+            seq: 0,
+            ts_us: now_us(),
+            level: FlightLevel::Info,
+            component: "test",
+            kind: "tick",
+            detail: "stale".into(),
+        });
+        let snap = rec.snapshot();
+        assert!(
+            snap.iter().all(|e| e.detail != "stale"),
+            "stale lap must not surface: {snap:?}"
+        );
+        assert!(
+            snap.iter().any(|e| e.seq == 8),
+            "the newer lap's event must survive: {snap:?}"
+        );
+        assert_eq!(rec.contended(), 1, "the displaced write counts as dropped");
+    }
+
+    #[test]
+    fn reader_racing_wrapping_writers_sees_no_torn_or_stale_slot() {
+        use std::sync::atomic::AtomicBool;
+        let rec = Arc::new(FlightRecorder::with_spec(8, "debug"));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut joins = Vec::new();
+        // Writers wrap the 8-slot ring hundreds of times, each tagging
+        // component and detail consistently so a torn slot (fields mixed
+        // from two writes) is detectable.
+        for t in 0..3 {
+            let rec = Arc::clone(&rec);
+            let comp: &'static str = ["w0", "w1", "w2"][t];
+            joins.push(std::thread::spawn(move || {
+                for i in 0..2000 {
+                    rec.record(FlightLevel::Info, comp, "tick", format!("{comp}:{i}"));
+                }
+            }));
+        }
+        // Reader races the wrap: every snapshot must be internally
+        // consistent and per-slot sequences must never move backwards.
+        let reader = {
+            let rec = Arc::clone(&rec);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut high = vec![0u64; rec.capacity()];
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = rec.snapshot();
+                    let mut prev = None;
+                    for e in &snap {
+                        assert!(e.detail.starts_with(e.component), "torn slot: {e:?}");
+                        assert!(prev.is_none_or(|p| p < e.seq), "duplicate/unsorted seq");
+                        prev = Some(e.seq);
+                        let slot = (e.seq % rec.capacity() as u64) as usize;
+                        assert!(
+                            e.seq >= high[slot],
+                            "slot {slot} went backwards: {} after {}",
+                            e.seq,
+                            high[slot]
+                        );
+                        high[slot] = e.seq;
+                    }
+                }
+            })
+        };
+        for j in joins {
+            j.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        assert_eq!(rec.recorded(), 6000);
+    }
+
+    #[test]
+    fn dump_new_emits_each_entry_at_most_once() {
+        let rec = FlightRecorder::with_spec(8, "debug");
+        for i in 0..3 {
+            rec.record(FlightLevel::Warn, "test", "boom", format!("event {i}"));
+        }
+        let first = rec.dump_new();
+        assert_eq!(first.lines().count(), 3, "{first}");
+        // A second panic must not replay what the first already printed.
+        assert_eq!(rec.dump_new(), "", "entries dumped twice");
+        rec.record(FlightLevel::Warn, "test", "boom", "event 3".into());
+        let third = rec.dump_new();
+        assert_eq!(third.lines().count(), 1, "{third}");
+        assert!(third.contains("event 3"), "{third}");
+        // The full rendering for /flight is unaffected by the watermark.
+        assert_eq!(rec.dump().lines().count(), 4);
     }
 
     #[test]

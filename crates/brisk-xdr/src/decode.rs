@@ -101,6 +101,13 @@ impl<'a> XdrDecoder<'a> {
         self.pos
     }
 
+    /// The full input slice this decoder reads from. View decoders slice
+    /// it by [`XdrDecoder::position`] to keep a validated region borrowed
+    /// from the arrival buffer without copying it.
+    pub fn input(&self) -> &'a [u8] {
+        self.buf
+    }
+
     /// Bytes remaining.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos

@@ -24,9 +24,11 @@
 pub mod decode;
 pub mod encode;
 pub mod values;
+pub mod view;
 
 pub use decode::{DecodeError, XdrDecoder};
 pub use encode::XdrEncoder;
+pub use view::{decode_record_view, decode_value_ref, RecordView, ValueRef};
 
 /// Round `n` up to the next multiple of 4 (XDR alignment unit).
 #[inline]

@@ -10,10 +10,9 @@
 //! §3.4.
 
 use crate::{XdrDecoder, XdrEncoder};
-use brisk_core::trace::{TraceContext, TraceStage};
 use brisk_core::{
-    BriskError, CorrelationId, EventRecord, EventTypeId, NodeId, RecordDescriptor, Result,
-    SensorId, UtcMicros, Value, ValueType, MAX_TRACE_STAMPS,
+    BriskError, EventRecord, EventTypeId, NodeId, RecordDescriptor, Result, SensorId, UtcMicros,
+    Value, ValueType,
 };
 
 /// Upper bound accepted for one variable-length field (string or bytes).
@@ -52,57 +51,12 @@ pub fn encode_value(v: &Value, e: &mut XdrEncoder) {
     };
 }
 
-/// Decode one field value of the given type.
+/// Decode one field value of the given type. Delegates to the borrowing
+/// [`crate::view::decode_value_ref`] — a single decode implementation
+/// keeps the owned and view paths from ever diverging on what they
+/// accept — and pays the payload copy here.
 pub fn decode_value(vt: ValueType, d: &mut XdrDecoder<'_>) -> Result<Value> {
-    fn narrow<T: TryFrom<i32>>(v: i32, vt: ValueType) -> Result<T> {
-        T::try_from(v)
-            .map_err(|_| BriskError::Codec(format!("value {v} out of range for field type {vt}")))
-    }
-    fn narrow_u<T: TryFrom<u32>>(v: u32, vt: ValueType) -> Result<T> {
-        T::try_from(v)
-            .map_err(|_| BriskError::Codec(format!("value {v} out of range for field type {vt}")))
-    }
-    Ok(match vt {
-        ValueType::I8 => Value::I8(narrow(d.int()?, vt)?),
-        ValueType::U8 => Value::U8(narrow_u(d.uint()?, vt)?),
-        ValueType::I16 => Value::I16(narrow(d.int()?, vt)?),
-        ValueType::U16 => Value::U16(narrow_u(d.uint()?, vt)?),
-        ValueType::I32 => Value::I32(d.int()?),
-        ValueType::U32 => Value::U32(d.uint()?),
-        ValueType::I64 => Value::I64(d.hyper()?),
-        ValueType::U64 => Value::U64(d.uhyper()?),
-        ValueType::F32 => Value::F32(d.float()?),
-        ValueType::F64 => Value::F64(d.double()?),
-        ValueType::Bool => Value::Bool(d.boolean()?),
-        ValueType::Str => Value::Str({
-            let bytes = d.opaque_bounded(MAX_FIELD_BYTES)?;
-            std::str::from_utf8(bytes)
-                .map_err(|e| BriskError::Codec(format!("invalid UTF-8 string field: {e}")))?
-                .to_owned()
-        }),
-        ValueType::Bytes => Value::Bytes(d.opaque_bounded(MAX_FIELD_BYTES)?.to_vec()),
-        ValueType::Ts => Value::Ts(UtcMicros::from_micros(d.hyper()?)),
-        ValueType::Reason => Value::Reason(CorrelationId(d.uhyper()?)),
-        ValueType::Conseq => Value::Conseq(CorrelationId(d.uhyper()?)),
-        ValueType::Trace => {
-            let trace_id = d.uhyper()?;
-            let count = d.uint()? as usize;
-            if count > MAX_TRACE_STAMPS {
-                return Err(BriskError::Codec(format!(
-                    "trace stamp count {count} exceeds {MAX_TRACE_STAMPS}"
-                )));
-            }
-            let mut stamps = Vec::with_capacity(count);
-            for _ in 0..count {
-                let code = d.uint()?;
-                let stage = u8::try_from(code)
-                    .map_err(|_| BriskError::Codec(format!("trace stage code {code} too wide")))
-                    .and_then(TraceStage::from_code)?;
-                stamps.push((stage, UtcMicros::from_micros(d.hyper()?)));
-            }
-            Value::Trace(TraceContext::with_stamps(trace_id, stamps)?)
-        }
-    })
+    Ok(crate::view::decode_value_ref(vt, d)?.into_owned())
 }
 
 /// Encode a record *without* its node id — within a batch the node identity
@@ -142,6 +96,8 @@ pub fn decode_record_body(node: NodeId, d: &mut XdrDecoder<'_>) -> Result<EventR
 #[cfg(test)]
 mod tests {
     use super::*;
+    use brisk_core::trace::{TraceContext, TraceStage};
+    use brisk_core::{CorrelationId, MAX_TRACE_STAMPS};
 
     fn rec(fields: Vec<Value>) -> EventRecord {
         EventRecord::new(

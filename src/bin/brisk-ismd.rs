@@ -10,7 +10,7 @@
 //!            [--store-dir DIR] [--fsync always|never|interval:MS]
 //!            [--retain-bytes N] [--segment-bytes N]
 //!            [--credit-records N] [--max-queued-records N] [--shed-unmarked]
-//!            [--node-timeout MS] [--error-budget N]
+//!            [--node-timeout MS] [--error-budget N] [--pump-threads N]
 //! ```
 //!
 //! `--stats-addr` serves the full telemetry registry as Prometheus text
@@ -38,6 +38,11 @@
 //! hex), `/trace` (per-stage latency exemplars for `brisk-trace`), and a
 //! readiness-aware `/healthz`. A panic anywhere in the daemon dumps the
 //! flight ring to stderr before unwinding.
+//!
+//! `--pump-threads` sizes the poll-based reactor pool that drives every
+//! EXS connection (0 = auto: available parallelism capped at 4). The pool
+//! is bounded regardless of connection count — a thousand sensors share
+//! the same handful of reactor threads.
 //!
 //! `--node-timeout` evicts a node whose connection has gone silent (no
 //! batches, sync replies, or heartbeats) for the given interval — a
@@ -68,6 +73,7 @@ struct Args {
     flow: FlowConfig,
     node_timeout: Option<Duration>,
     error_budget: u32,
+    pump_threads: usize,
     flight_size: Option<usize>,
 }
 
@@ -85,6 +91,7 @@ fn parse_args() -> std::result::Result<Args, String> {
         flow: FlowConfig::default(),
         node_timeout: IsmConfig::default().node_timeout,
         error_budget: IsmConfig::default().protocol_error_budget,
+        pump_threads: IsmConfig::default().pump_threads,
         flight_size: None,
     };
     let mut it = std::env::args().skip(1);
@@ -155,6 +162,11 @@ fn parse_args() -> std::result::Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --error-budget: {e}"))?
             }
+            "--pump-threads" => {
+                args.pump_threads = val("--pump-threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --pump-threads: {e}"))?
+            }
             "--flight-size" => {
                 args.flight_size = Some(
                     val("--flight-size")?
@@ -170,7 +182,8 @@ fn parse_args() -> std::result::Result<Args, String> {
                             [--fsync always|never|interval:MS] [--retain-bytes N] \
                             [--segment-bytes N] [--credit-records N] \
                             [--max-queued-records N] [--shed-unmarked] \
-                            [--node-timeout MS] [--error-budget N] [--flight-size N]"
+                            [--node-timeout MS] [--error-budget N] \
+                            [--pump-threads N] [--flight-size N]"
                         .into(),
                 )
             }
@@ -231,6 +244,7 @@ fn main() {
         flow: args.flow,
         node_timeout: args.node_timeout,
         protocol_error_budget: args.error_budget,
+        pump_threads: args.pump_threads,
         ..IsmConfig::default()
     };
     let mut server = IsmServer::new(

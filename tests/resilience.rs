@@ -311,3 +311,145 @@ fn slow_consumer_sees_explicit_loss_not_unbounded_memory() {
     exs.stop().unwrap();
     ism.stop().unwrap();
 }
+
+/// Credit accounting stays consistent across a link kill + window replay:
+/// the grant in each incarnation's `HelloAck` is **authoritative** — the
+/// replayed (already-sent, never-acked) window must not inflate the budget
+/// the EXS believes it has, the exported balance (grant − unacked) never
+/// exceeds the grant, and once the manager has acked everything the
+/// balance converges back to the full grant. Guards the reactor rewrite
+/// against reintroducing the post-reconnect credit stall: if carry-over
+/// double-counted (or the fresh grant were ignored), the EXS would either
+/// overrun the ISM's budget or wedge with ring backlog it refuses to send.
+#[test]
+fn credit_grant_stays_authoritative_across_reconnect_replay() {
+    const CREDIT: u64 = 256;
+    let transport = MemTransport::with_model(LinkModel {
+        kill_after_frames: Some(60),
+        ..LinkModel::ideal()
+    });
+    let mut server = IsmServer::new(
+        IsmConfig {
+            flow: FlowConfig {
+                credit_records: CREDIT,
+                ..FlowConfig::default()
+            },
+            ..IsmConfig::default()
+        },
+        SyncConfig {
+            poll_period: Duration::from_secs(60),
+            ..SyncConfig::default()
+        },
+        Arc::new(SystemClock),
+    )
+    .unwrap();
+    let registry = Registry::new();
+    server.bind_telemetry(&registry);
+    let ism = server.spawn(transport.listen("ism").unwrap()).unwrap();
+
+    let rings = RingSet::new(NodeId(9), 1 << 20);
+    let mut port = rings.register();
+    let t2 = Arc::clone(&transport);
+    let handle = spawn_exs_supervised(
+        NodeId(9),
+        Arc::clone(&rings),
+        Arc::new(SystemClock),
+        Box::new(move || t2.connect("ism")),
+        ExsConfig {
+            max_batch_records: 8,
+            flush_timeout: Duration::from_millis(2),
+            ..ExsConfig::default()
+        },
+        SupervisorConfig {
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(10),
+            max_consecutive_failures: None,
+        },
+    )
+    .unwrap();
+    handle.bind_telemetry(&registry);
+
+    // Bursty emission (as in the flaky-link test) so kills land with
+    // delivered-but-unacked batches in the window, forcing replay while
+    // credit accounting is mid-flight. Sample the exported balance the
+    // whole way: `grant − unacked` may go negative while a replayed
+    // backlog exceeds the fresh grant, but it must never exceed the grant
+    // itself — that would mean the EXS invented credit the ISM never gave.
+    const N: i32 = 2_000;
+    let mut sampled = 0u64;
+    for i in 0..N {
+        port.emit(EventTypeId(1), UtcMicros::now(), vec![Value::I32(i)])
+            .unwrap();
+        if i % 50 == 49 {
+            if let Some(bal) = registry.snapshot().gauge("brisk_exs_credit_balance") {
+                assert!(
+                    bal <= CREDIT as i64,
+                    "balance {bal} exceeds the authoritative grant {CREDIT}"
+                );
+                sampled += 1;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    assert!(sampled >= 10, "the balance gauge must have been live");
+
+    // No stall: every record must land despite kills mid-replay.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while ism.memory().written() < N as u64 && Instant::now() < deadline {
+        if let Some(bal) = registry.snapshot().gauge("brisk_exs_credit_balance") {
+            assert!(bal <= CREDIT as i64, "balance {bal} exceeds grant {CREDIT}");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        ism.memory().written(),
+        N as u64,
+        "credit accounting stalled the pipeline after reconnect"
+    );
+
+    // Convergence: once the manager acks the tail (replaying again if the
+    // final ack was lost to a kill), unacked drains to zero and the
+    // balance returns to exactly the HelloAck grant.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let bal = registry
+            .snapshot()
+            .gauge("brisk_exs_credit_balance")
+            .unwrap_or(i64::MIN);
+        if bal == CREDIT as i64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "balance never converged to the grant: {bal} != {CREDIT}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let stats = handle.stop().unwrap();
+    assert!(
+        stats.connects >= 2,
+        "the link kill must have forced reconnects, connects = {}",
+        stats.connects
+    );
+    assert!(
+        stats.exs.hello_acks >= 2,
+        "each incarnation must have received an authoritative grant"
+    );
+    assert!(
+        stats.exs.batches_retransmitted >= 1,
+        "reconnects must have replayed the window"
+    );
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(
+        ism.memory().written(),
+        N as u64,
+        "replay must stay exactly-once under credit"
+    );
+    let report = ism.stop().unwrap();
+    assert_eq!(report.core.records_in, N as u64);
+    assert!(
+        report.core.duplicate_batches >= 1,
+        "a lost-ack replay must exercise dedup, or the test saw no real kill"
+    );
+}
