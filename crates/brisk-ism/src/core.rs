@@ -6,88 +6,121 @@
 //! (synchronized) time. The threaded [`crate::server::IsmServer`] drives it
 //! in real deployments; the deterministic simulator in `brisk-sim` drives
 //! it in experiments E5–E7.
+//!
+//! Since PR 8 the core is a thin composition of two planes: the
+//! [`MergePlane`] (CRE + sorter + dedup, see [`crate::merge`]) and an
+//! output implementing [`MergeOutput`] — either the [`LocalOutputs`]
+//! stage below (memory buffer, durable store, sinks; leaf/root mode) or
+//! an [`UpstreamExporter`] (relay mode, see [`crate::relay`]).
 
-use crate::cre::{CreMatcher, CreStats};
+use crate::cre::CreStats;
+use crate::merge::{MergeOutput, MergePlane, MergeStats};
 use crate::output::{EventSink, MemoryBuffer};
-use crate::sorter::{OnlineSorter, OverloadPolicy, SorterStats};
+use crate::relay::UpstreamExporter;
+use crate::sorter::SorterStats;
 use brisk_core::{binenc, EventRecord, IsmConfig, NodeId, Result, TraceStage, UtcMicros};
 use brisk_store::StoreWriter;
-use brisk_telemetry::{Counter, Gauge, Histogram, Registry, StageLatencies};
-use std::collections::HashMap;
+use brisk_telemetry::{Histogram, Registry, StageLatencies};
 use std::sync::Arc;
 
-/// Aggregate counters of one core.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct IsmCoreStats {
-    /// Records received in batches.
-    pub records_in: u64,
-    /// Records delivered to the output stage.
-    pub records_out: u64,
-    /// Batches received.
-    pub batches_in: u64,
-    /// Sequenced batches dropped as replays (seq ≤ last seen for the node).
-    pub duplicate_batches: u64,
-    /// Records inside those dropped replay batches.
-    pub duplicate_records: u64,
-}
+/// Aggregate counters of one core (an alias of the merge plane's stats,
+/// kept under the historical name for existing callers).
+pub type IsmCoreStats = MergeStats;
 
 /// Default capacity of the output memory buffer (bytes).
 pub const DEFAULT_MEMORY_BYTES: usize = 8 << 20;
 
-/// The ISM pipeline core.
-pub struct IsmCore {
-    cre: CreMatcher,
-    sorter: OnlineSorter,
+/// The local output stage: one encode feeding the durable store, the
+/// shared memory buffer, and any attached sinks; delivery-side trace
+/// stamping and latency histograms live here too.
+pub struct LocalOutputs {
     memory: Arc<MemoryBuffer>,
     sinks: Vec<Box<dyn EventSink>>,
     /// The durable trace store, opened when `IsmConfig.store.dir` is set.
     /// Kept separate from `sinks` so the server can expose its stats and
     /// bind its telemetry after construction.
     store: Option<StoreWriter>,
-    stats: IsmCoreStats,
-    extra_sync_pending: bool,
-    /// Highest batch sequence number accepted per node (protocol v2).
-    /// Replayed batches (seq ≤ the entry) are dropped here, which is what
-    /// turns the wire's at-least-once delivery into exactly-once at the
-    /// sinks. Lives in the core — not the pump — so the memory survives
-    /// the connection teardown/reconnect that triggers replays.
-    last_seq: HashMap<NodeId, u64>,
-    telemetry: Option<CoreTelemetry>,
     /// Per-stage span histograms with exemplar trace ids, fed by traced
     /// records at delivery time. Present once telemetry is bound.
     stages: Option<Arc<StageLatencies>>,
-    /// Sorter shed total already reported to the flight recorder.
-    flight_last_shed: u64,
+    /// Record creation → delivery latency on synchronized time.
+    e2e_latency_us: Option<Arc<Histogram>>,
     /// Memory-buffer eviction total already reported to the flight
     /// recorder.
     flight_last_evicted: u64,
 }
 
-/// Registry handles the core feeds when bound. The core runs on one
-/// thread (the manager), so plain counters updated in `push_batch` /
-/// `tick` suffice; sorter and CRE internals are exported by publishing
-/// their own stats as gauges / counter deltas each tick rather than by
-/// threading atomics through those components.
-struct CoreTelemetry {
-    records_in: Arc<Counter>,
-    records_out: Arc<Counter>,
-    batches_in: Arc<Counter>,
-    duplicate_batches: Arc<Counter>,
-    duplicate_records: Arc<Counter>,
-    sorter_depth: Arc<Gauge>,
-    sorter_frame_us: Arc<Gauge>,
-    cre_held: Arc<Gauge>,
-    tachyons_repaired: Arc<Counter>,
-    /// Last CRE repair total already pushed to `tachyons_repaired`.
-    last_tachyons: u64,
-    shed: Arc<Counter>,
-    /// Last sorter shed total already pushed to `shed`.
-    last_shed: u64,
-    ts_clamped: Arc<Counter>,
-    /// Last sorter clamp total already pushed to `ts_clamped`.
-    last_ts_clamped: u64,
-    /// Record creation → delivery latency on synchronized time.
-    e2e_latency_us: Arc<Histogram>,
+impl MergeOutput for LocalOutputs {
+    /// `now == UtcMicros::MAX` marks the shutdown drain, where "now" is
+    /// meaningless and latency samples would be garbage.
+    fn on_record(&mut self, mut rec: EventRecord, now: UtcMicros) -> Result<()> {
+        if now != UtcMicros::MAX {
+            rec.stamp_trace(TraceStage::Deliver, now);
+            if let (Some(stages), Some(ctx)) = (&self.stages, rec.trace()) {
+                for pair in ctx.stamps().windows(2) {
+                    let (from, t0) = pair[0];
+                    let (to, t1) = pair[1];
+                    stages.observe(
+                        (from.code(), from.name()),
+                        (to.code(), to.name()),
+                        t1.micros_since(t0).max(0) as u64,
+                        ctx.trace_id,
+                    );
+                }
+            }
+            if let Some(h) = &self.e2e_latency_us {
+                h.record(now.micros_since(rec.ts).max(0) as u64);
+            }
+        }
+        // One encode serves both byte-oriented consumers.
+        let mut encoded = Vec::with_capacity(rec.native_size());
+        binenc::encode_record(&rec, &mut encoded);
+        if let Some(store) = &mut self.store {
+            store.append_encoded(&rec, &encoded)?;
+        }
+        self.memory.write_encoded(encoded);
+        for sink in &mut self.sinks {
+            sink.on_record(&rec)?;
+        }
+        Ok(())
+    }
+
+    fn pump(&mut self, _now: UtcMicros) -> Result<()> {
+        let evicted_total = self.memory.evicted();
+        if evicted_total > self.flight_last_evicted {
+            brisk_telemetry::flight_log!(
+                Info,
+                "ism.memory",
+                "evict",
+                "{} records evicted from the output memory buffer ({evicted_total} total)",
+                evicted_total - self.flight_last_evicted
+            );
+            self.flight_last_evicted = evicted_total;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        for sink in &mut self.sinks {
+            sink.flush()?;
+        }
+        if let Some(store) = &mut self.store {
+            store.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// The ISM pipeline core.
+pub struct IsmCore {
+    plane: MergePlane,
+    local: LocalOutputs,
+    /// Relay mode: when set, merged records go upstream instead of to the
+    /// local outputs.
+    upstream: Option<UpstreamExporter>,
+    /// Remembered so an exporter attached after [`Self::bind_telemetry`]
+    /// still gets its series registered.
+    registry: Option<Arc<Registry>>,
 }
 
 impl IsmCore {
@@ -103,24 +136,34 @@ impl IsmCore {
             Some(_) => Some(StoreWriter::open(&cfg.store)?),
             None => None,
         };
-        let mut sorter = OnlineSorter::new(cfg.sorter.clone(), cfg.max_buffered_records)?;
-        if cfg.flow.shed_unmarked {
-            sorter.set_overload_policy(OverloadPolicy::ShedUnmarked);
-        }
         Ok(IsmCore {
-            cre: CreMatcher::new(cfg.cre.clone())?,
-            sorter,
-            memory: MemoryBuffer::new(memory_bytes),
-            sinks: Vec::new(),
-            store,
-            stats: IsmCoreStats::default(),
-            extra_sync_pending: false,
-            last_seq: HashMap::new(),
-            telemetry: None,
-            stages: None,
-            flight_last_shed: 0,
-            flight_last_evicted: 0,
+            plane: MergePlane::new(&cfg)?,
+            local: LocalOutputs {
+                memory: MemoryBuffer::new(memory_bytes),
+                sinks: Vec::new(),
+                store,
+                stages: None,
+                e2e_latency_us: None,
+                flight_last_evicted: 0,
+            },
+            upstream: None,
+            registry: None,
         })
+    }
+
+    /// Switch the core into relay mode: merged, repaired records are
+    /// re-exported upstream instead of delivered to the local outputs.
+    /// May be called before or after [`Self::bind_telemetry`].
+    pub fn set_upstream(&mut self, exporter: UpstreamExporter) {
+        if let Some(registry) = &self.registry {
+            exporter.bind_telemetry(registry);
+        }
+        self.upstream = Some(exporter);
+    }
+
+    /// The upstream exporter, when the core runs in relay mode.
+    pub fn upstream(&self) -> Option<&UpstreamExporter> {
+        self.upstream.as_ref()
     }
 
     /// Bind this core's counters, gauges and the end-to-end latency
@@ -128,7 +171,8 @@ impl IsmCore {
     /// queue refresh on every `tick`; the memory buffer is exported
     /// through computed sources so no extra bookkeeping runs per record.
     pub fn bind_telemetry(&mut self, registry: &Arc<Registry>) {
-        self.stages = Some(Arc::new(StageLatencies::new(Arc::clone(registry))));
+        self.plane.bind_telemetry(registry);
+        self.local.stages = Some(Arc::new(StageLatencies::new(Arc::clone(registry))));
         let e2e_latency_us = Arc::new(Histogram::default());
         registry.register_histogram(
             "brisk_ism_e2e_latency_us",
@@ -136,28 +180,29 @@ impl IsmCore {
             &[],
             &e2e_latency_us,
         );
-        let mem = Arc::clone(&self.memory);
+        self.local.e2e_latency_us = Some(e2e_latency_us);
+        let mem = Arc::clone(&self.local.memory);
         registry.gauge_fn(
             "brisk_ism_memory_records",
             "Records currently resident in the output memory buffer",
             &[],
             move || mem.len() as i64,
         );
-        let mem = Arc::clone(&self.memory);
+        let mem = Arc::clone(&self.local.memory);
         registry.counter_fn(
             "brisk_ism_memory_written_total",
             "Records ever written to the output memory buffer",
             &[],
             move || mem.written(),
         );
-        let mem = Arc::clone(&self.memory);
+        let mem = Arc::clone(&self.local.memory);
         registry.counter_fn(
             "brisk_ism_memory_evicted_total",
             "Records evicted from the output memory buffer",
             &[],
             move || mem.evicted(),
         );
-        if let Some(store) = &mut self.store {
+        if let Some(store) = &mut self.local.store {
             store.bind_telemetry(registry);
         }
         registry.counter_fn(
@@ -166,108 +211,55 @@ impl IsmCore {
             &[],
             brisk_core::trace_stamps_dropped_total,
         );
-        self.telemetry = Some(CoreTelemetry {
-            records_in: registry.counter(
-                "brisk_ism_records_in_total",
-                "Records received by the ISM core",
-            ),
-            records_out: registry.counter(
-                "brisk_ism_records_out_total",
-                "Records delivered to the output stage",
-            ),
-            batches_in: registry.counter(
-                "brisk_ism_batches_in_total",
-                "Batches received by the ISM core",
-            ),
-            duplicate_batches: registry.counter(
-                "brisk_ism_duplicate_batches_total",
-                "Replayed batches dropped by sequence-number dedup",
-            ),
-            duplicate_records: registry.counter(
-                "brisk_ism_duplicate_records_total",
-                "Records inside replayed batches dropped by dedup",
-            ),
-            sorter_depth: registry.gauge(
-                "brisk_ism_sorter_depth",
-                "Records buffered in the on-line sorter window",
-            ),
-            sorter_frame_us: registry.gauge(
-                "brisk_ism_sorter_frame_us",
-                "Current adaptive sorter time frame T (us)",
-            ),
-            cre_held: registry.gauge(
-                "brisk_ism_cre_held",
-                "Consequence records currently held by the CRE switch",
-            ),
-            tachyons_repaired: registry.counter(
-                "brisk_ism_tachyons_repaired_total",
-                "Causality violations repaired by the CRE switch",
-            ),
-            last_tachyons: self.cre.stats().tachyons_repaired,
-            shed: registry.counter(
-                "brisk_ism_shed_total",
-                "Unmarked records dropped by the overload-shedding policy",
-            ),
-            last_shed: self.sorter.stats().shed,
-            ts_clamped: registry.counter(
-                "brisk_ism_ts_clamped_total",
-                "Non-monotone same-source records whose timestamp was clamped",
-            ),
-            last_ts_clamped: self.sorter.stats().ts_clamped,
-            e2e_latency_us,
-        });
+        if let Some(up) = &mut self.upstream {
+            up.bind_telemetry(registry);
+        }
+        self.registry = Some(Arc::clone(registry));
     }
 
     /// The default output: the shared memory buffer consumers read.
     pub fn memory(&self) -> &Arc<MemoryBuffer> {
-        &self.memory
+        &self.local.memory
     }
 
     /// Per-stage trace latency histograms (present once telemetry is
     /// bound); clone the `Arc` to serve exemplars from another thread.
     pub fn stage_latencies(&self) -> Option<&Arc<StageLatencies>> {
-        self.stages.as_ref()
+        self.local.stages.as_ref()
     }
 
     /// Attach an additional output sink (PICL file, visual object, …).
     pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
-        self.sinks.push(sink);
+        self.local.sinks.push(sink);
     }
 
     /// The durable trace store, when one is configured.
     pub fn store(&self) -> Option<&StoreWriter> {
-        self.store.as_ref()
+        self.local.store.as_ref()
     }
 
     /// Aggregate counters.
     pub fn stats(&self) -> IsmCoreStats {
-        self.stats
+        self.plane.stats()
     }
 
     /// Sorter counters (time frame, inversions, …).
     pub fn sorter_stats(&self) -> SorterStats {
-        self.sorter.stats()
+        self.plane.sorter_stats()
     }
 
     /// Current adaptive time frame `T` (µs).
     pub fn frame_us(&self) -> i64 {
-        self.sorter.frame_us()
+        self.plane.frame_us()
     }
 
     /// CRE counters (tachyons repaired, held, …).
     pub fn cre_stats(&self) -> CreStats {
-        self.cre.stats()
+        self.plane.cre_stats()
     }
 
-    /// Accept one *sequenced* batch (protocol v2), deduplicating by
-    /// `(node, seq)`: a batch whose sequence number is not above the
-    /// highest already accepted from `node` is a replay and is dropped
-    /// (counted, not processed). Returns `true` if the batch was accepted,
-    /// `false` if it was dropped as a duplicate — the caller should ack
-    /// either way (a replay means our previous ack was lost with the old
-    /// connection).
-    ///
-    /// `seq == None` is a v1 (unsequenced) batch: always accepted.
+    /// Accept one *sequenced* batch (protocol v2); see
+    /// [`MergePlane::push_batch_seq`].
     pub fn push_batch_seq(
         &mut self,
         node: NodeId,
@@ -275,21 +267,7 @@ impl IsmCore {
         records: Vec<EventRecord>,
         now: UtcMicros,
     ) -> Result<bool> {
-        if let Some(seq) = seq {
-            let last = self.last_seq.entry(node).or_insert(0);
-            if seq <= *last {
-                self.stats.duplicate_batches += 1;
-                self.stats.duplicate_records += records.len() as u64;
-                if let Some(t) = &self.telemetry {
-                    t.duplicate_batches.inc();
-                    t.duplicate_records.add(records.len() as u64);
-                }
-                return Ok(false);
-            }
-            *last = seq;
-        }
-        self.push_batch(records, now)?;
-        Ok(true)
+        self.plane.push_batch_seq(node, seq, records, now)
     }
 
     /// Accept one batch of records (already correction-adjusted by the
@@ -299,142 +277,35 @@ impl IsmCore {
         records: impl IntoIterator<Item = EventRecord>,
         now: UtcMicros,
     ) -> Result<()> {
-        self.stats.batches_in += 1;
-        if let Some(t) = &self.telemetry {
-            t.batches_in.inc();
-        }
-        for rec in records {
-            self.stats.records_in += 1;
-            if let Some(t) = &self.telemetry {
-                t.records_in.inc();
-            }
-            let out = self.cre.process(rec, now);
-            if out.request_extra_sync {
-                self.extra_sync_pending = true;
-            }
-            for mut passed in out.pass {
-                passed.stamp_trace(TraceStage::SorterAdmit, now);
-                self.sorter.push(passed);
-            }
-        }
-        Ok(())
+        self.plane.push_batch(records, now)
     }
 
     /// Advance the pipeline: expire held CRE records, release everything
-    /// whose delay elapsed, and deliver it to the outputs. Returns the
-    /// number of records delivered.
+    /// whose delay elapsed, and deliver it to the active output (local
+    /// sinks, or the upstream exporter in relay mode). Returns the number
+    /// of records delivered.
     pub fn tick(&mut self, now: UtcMicros) -> Result<usize> {
-        for expired in self.cre.expire(now) {
-            self.sorter.push(expired);
+        match &mut self.upstream {
+            Some(up) => self.plane.tick(now, up),
+            None => self.plane.tick(now, &mut self.local),
         }
-        let mut released = self.sorter.poll(now);
-        for rec in released.iter_mut() {
-            rec.stamp_trace(TraceStage::SorterRelease, now);
-        }
-        let n = self.deliver(released, now)?;
-        let shed_total = self.sorter.stats().shed;
-        if shed_total > self.flight_last_shed {
-            brisk_telemetry::flight_log!(
-                Warn,
-                "ism.sorter",
-                "shed",
-                "{} unmarked records shed under overload ({shed_total} total)",
-                shed_total - self.flight_last_shed
-            );
-            self.flight_last_shed = shed_total;
-        }
-        let evicted_total = self.memory.evicted();
-        if evicted_total > self.flight_last_evicted {
-            brisk_telemetry::flight_log!(
-                Info,
-                "ism.memory",
-                "evict",
-                "{} records evicted from the output memory buffer ({evicted_total} total)",
-                evicted_total - self.flight_last_evicted
-            );
-            self.flight_last_evicted = evicted_total;
-        }
-        if let Some(t) = &mut self.telemetry {
-            t.sorter_depth.set(self.sorter.buffered() as i64);
-            t.sorter_frame_us.set(self.sorter.frame_us());
-            t.cre_held.set(self.cre.held_count() as i64);
-            let repaired = self.cre.stats().tachyons_repaired;
-            t.tachyons_repaired.add(repaired - t.last_tachyons);
-            t.last_tachyons = repaired;
-            let shed = self.sorter.stats().shed;
-            t.shed.add(shed - t.last_shed);
-            t.last_shed = shed;
-            let clamped = self.sorter.stats().ts_clamped;
-            t.ts_clamped.add(clamped - t.last_ts_clamped);
-            t.last_ts_clamped = clamped;
-        }
-        Ok(n)
     }
 
     /// True exactly once after a tachyon repair requested an extra clock
     /// synchronization round (§3.6); the caller (server or simulator)
     /// translates this into an immediate round.
     pub fn take_extra_sync_request(&mut self) -> bool {
-        std::mem::take(&mut self.extra_sync_pending)
+        self.plane.take_extra_sync_request()
     }
 
-    /// Shutdown path: flush every held and delayed record to the outputs
-    /// in merged order, then flush the sinks.
+    /// Shutdown path: flush every held and delayed record to the active
+    /// output in merged order, then flush that output (sinks/store — or
+    /// the final upstream batch plus an orderly goodbye in relay mode).
     pub fn drain_all(&mut self) -> Result<usize> {
-        for expired in self.cre.expire(UtcMicros::MAX) {
-            self.sorter.push(expired);
+        match &mut self.upstream {
+            Some(up) => self.plane.drain_all(up),
+            None => self.plane.drain_all(&mut self.local),
         }
-        let released = self.sorter.drain_all();
-        let n = self.deliver(released, UtcMicros::MAX)?;
-        for sink in &mut self.sinks {
-            sink.flush()?;
-        }
-        if let Some(store) = &mut self.store {
-            store.flush()?;
-        }
-        Ok(n)
-    }
-
-    /// `now == UtcMicros::MAX` marks the shutdown drain, where "now" is
-    /// meaningless and latency samples would be garbage.
-    fn deliver(&mut self, records: Vec<EventRecord>, now: UtcMicros) -> Result<usize> {
-        let n = records.len();
-        for mut rec in records {
-            if now != UtcMicros::MAX {
-                rec.stamp_trace(TraceStage::Deliver, now);
-                if let (Some(stages), Some(ctx)) = (&self.stages, rec.trace()) {
-                    for pair in ctx.stamps().windows(2) {
-                        let (from, t0) = pair[0];
-                        let (to, t1) = pair[1];
-                        stages.observe(
-                            (from.code(), from.name()),
-                            (to.code(), to.name()),
-                            t1.micros_since(t0).max(0) as u64,
-                            ctx.trace_id,
-                        );
-                    }
-                }
-            }
-            if let Some(t) = &self.telemetry {
-                if now != UtcMicros::MAX {
-                    t.e2e_latency_us
-                        .record(now.micros_since(rec.ts).max(0) as u64);
-                }
-                t.records_out.inc();
-            }
-            // One encode serves both byte-oriented consumers.
-            let mut encoded = Vec::with_capacity(rec.native_size());
-            binenc::encode_record(&rec, &mut encoded);
-            if let Some(store) = &mut self.store {
-                store.append_encoded(&rec, &encoded)?;
-            }
-            self.memory.write_encoded(encoded);
-            for sink in &mut self.sinks {
-                sink.on_record(&rec)?;
-            }
-            self.stats.records_out += 1;
-        }
-        Ok(n)
     }
 }
 

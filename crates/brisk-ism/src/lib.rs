@@ -38,15 +38,19 @@
 
 pub mod core;
 pub mod cre;
+pub mod merge;
 pub mod output;
 pub mod pump;
 mod reactor;
+pub mod relay;
 pub mod server;
 pub mod sorter;
 
 pub use crate::core::{IsmCore, IsmCoreStats};
 pub use cre::{CreMatcher, CreStats};
+pub use merge::{MergeOutput, MergePlane, MergeStats};
 pub use output::{EventSink, MemoryBuffer, MemoryBufferReader, PiclFileSink};
 pub use pump::{ProtocolGuard, QuarantineLog, QuarantineSample};
-pub use server::{IsmHandle, IsmServer};
+pub use relay::{RelayConfig, RelayStats, UpstreamExporter};
+pub use server::{IsmHandle, IsmReport, IsmServer};
 pub use sorter::{OnlineSorter, OverloadPolicy, SorterStats};

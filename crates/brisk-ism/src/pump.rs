@@ -7,9 +7,9 @@
 //! `t_master_send` / `t_master_recv` right at the socket, keeping manager
 //! scheduling delays out of the skew samples.
 //!
-//! Two drivers share this logic through [`PumpIo`]: the threaded
+//! Two drivers share this logic through `PumpIo`: the threaded
 //! [`run_pump`] (one thread per connection — used by tests and embedders)
-//! and the server's poll-based reactor ([`crate::reactor`]), which
+//! and the server's poll-based reactor (`crate::reactor`), which
 //! multiplexes every connection over a small bounded thread pool.
 
 use brisk_clock::{Clock, SkewSample};
@@ -127,6 +127,7 @@ pub struct QuarantineSample {
 pub struct QuarantineLog {
     frames: AtomicU64,
     disconnects: AtomicU64,
+    rejected_hellos: AtomicU64,
     samples: Mutex<Vec<QuarantineSample>>,
 }
 
@@ -168,6 +169,17 @@ impl QuarantineLog {
         self.disconnects.load(Ordering::Relaxed)
     }
 
+    /// Record one `Hello` rejected because its node id was already
+    /// claimed by a live connection.
+    pub fn note_rejected_hello(&self) {
+        self.rejected_hellos.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `Hello`s rejected for claiming an already-active node id.
+    pub fn rejected_hellos(&self) -> u64 {
+        self.rejected_hellos.load(Ordering::Relaxed)
+    }
+
     /// The retained samples (at most [`MAX_QUARANTINE_SAMPLES`]).
     pub fn samples(&self) -> Vec<QuarantineSample> {
         self.samples.lock().map(|s| s.clone()).unwrap_or_default()
@@ -188,6 +200,13 @@ impl QuarantineLog {
             "Connections dropped after exhausting their protocol error budget",
             &[],
             move || log.disconnects(),
+        );
+        let log = Arc::clone(self);
+        registry.counter_fn(
+            "brisk_ism_rejected_hellos_total",
+            "Hellos rejected for claiming a node id already served by a live connection",
+            &[],
+            move || log.rejected_hellos(),
         );
     }
 }
@@ -519,7 +538,7 @@ pub(crate) enum FrameOutcome {
 /// The connection-independent half of a pump: frame routing, event
 /// emission, flow accounting and the malformed-frame quarantine policy.
 /// Shared by the threaded [`run_pump`] and the poll reactor
-/// ([`crate::reactor`]) so both paths accept — and reject — exactly the
+/// (`crate::reactor`) so both paths accept — and reject — exactly the
 /// same traffic.
 pub(crate) struct PumpIo {
     pub(crate) node: NodeId,

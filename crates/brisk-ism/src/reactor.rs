@@ -33,11 +33,13 @@ use crate::pump::{
     PumpIo, QuarantineLog,
 };
 use brisk_clock::{Clock, SkewSample};
-use brisk_core::{BriskError, Result, UtcMicros};
+use brisk_core::{BriskError, NodeId, Result, UtcMicros};
 use brisk_net::{poll_in, Connection, PollFd, Poller, Waker, POLLERR, POLLHUP, POLLIN};
 use brisk_proto::Message;
 use brisk_telemetry::Counter;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -59,6 +61,42 @@ const IDLE_TICK: Duration = Duration::from_millis(100);
 /// of the shard — bounds how long one firehose sensor can monopolize it.
 const MAX_FRAMES_PER_PASS: usize = 32;
 
+/// Which node ids are currently served by a live connection, and by
+/// which pump. Shared across every shard of a server so a second `Hello`
+/// claiming an already-active node is rejected at the greeting instead of
+/// racing the first connection's session state (two pumps stamping the
+/// same node id would interleave batches, corrupt per-node sequence
+/// tracking, and let a misconfigured sensor silently hijack another's
+/// stream).
+#[derive(Default)]
+pub(crate) struct ActiveNodes {
+    map: Mutex<HashMap<NodeId, u64>>,
+}
+
+impl ActiveNodes {
+    /// Claim `node` for pump `id`. `false` when another live connection
+    /// already holds it.
+    fn try_claim(&self, node: NodeId, id: u64) -> bool {
+        let mut map = self.map.lock();
+        match map.get(&node) {
+            Some(_) => false,
+            None => {
+                map.insert(node, id);
+                true
+            }
+        }
+    }
+
+    /// Release `node` if (and only if) pump `id` still holds it — a
+    /// later claimant must not be evicted by a stale release.
+    fn release(&self, node: NodeId, id: u64) {
+        let mut map = self.map.lock();
+        if map.get(&node) == Some(&id) {
+            map.remove(&node);
+        }
+    }
+}
+
 /// Everything a shard needs to turn an anonymous socket into a pump.
 #[derive(Clone)]
 pub(crate) struct ReactorConfig {
@@ -76,6 +114,8 @@ pub(crate) struct ReactorConfig {
     pub error_budget: u32,
     /// Shared malformed-frame quarantine log.
     pub quarantine: Option<Arc<QuarantineLog>>,
+    /// Live node-id claims, shared across the server's shards.
+    pub active: Arc<ActiveNodes>,
 }
 
 /// A bounded pool of reactor shards; the server registers every accepted
@@ -399,12 +439,31 @@ impl Driver {
 
     /// Server-side handshake, reactor style: the first frame must be a
     /// `Hello`. Anything else — or a decode failure — drops the
-    /// connection silently; it never had an identity to report.
+    /// connection silently; it never had an identity to report. A `Hello`
+    /// claiming a node id another live connection already serves is a
+    /// protocol error: it is quarantined and answered with `Shutdown`
+    /// rather than allowed to clobber the first connection's session.
     fn greet(&mut self, frame: Vec<u8>, ctx: &ReactorConfig, waker: &Waker) -> bool {
         let (node, version) = match Message::decode(&frame) {
             Ok(Message::Hello { node, version }) => (node, brisk_proto::negotiate(version)),
             _ => return false,
         };
+        let (mut handle, cmd_rx) = pump_channel(node, version);
+        let id = handle.id();
+        if !ctx.active.try_claim(node, id) {
+            if let Some(log) = &ctx.quarantine {
+                log.note_rejected_hello();
+                log.record(node, &frame, "duplicate Hello: node already active");
+            }
+            brisk_telemetry::flight_log!(
+                Warn,
+                "ism.reactor",
+                "duplicate_hello",
+                "rejected Hello for node {node}: already served by a live connection"
+            );
+            let _ = self.conn.send(&Message::Shutdown.encode());
+            return false;
+        }
         if version >= 2 {
             let credit = if version >= 3 {
                 ctx.flow.as_ref().and_then(|f| f.credit())
@@ -416,14 +475,14 @@ impl Driver {
                 .send(&Message::HelloAck { version, credit }.encode())
                 .is_err()
             {
+                ctx.active.release(node, id);
                 return false;
             }
         }
-        let (mut handle, cmd_rx) = pump_channel(node, version);
-        let id = handle.id();
         let wake = waker.clone();
         handle.attach_wake(Arc::new(move || wake.wake()));
         if ctx.pumps.send(handle).is_err() {
+            ctx.active.release(node, id);
             return false; // server is shutting down
         }
         let io = PumpIo::new(
@@ -446,14 +505,16 @@ impl Driver {
         true
     }
 
-    /// Report the death of an identified connection; a connection still
-    /// in its greeting never had an identity, so nothing is emitted.
-    fn emit_disconnect(&self) {
+    /// Report the death of an identified connection and release its
+    /// node-id claim; a connection still in its greeting never had an
+    /// identity, so nothing is emitted.
+    fn emit_disconnect(&self, ctx: &ReactorConfig) {
         let io = match &self.state {
             State::Running(run) => &run.io,
             State::Closing { io, .. } => io,
             State::Greeting { .. } => return,
         };
+        ctx.active.release(io.node, io.id);
         io.send_event(PumpEvent::Disconnected {
             node: io.node,
             id: io.id,
@@ -607,7 +668,7 @@ fn run_shard(
             if !d.dead {
                 return true;
             }
-            d.emit_disconnect();
+            d.emit_disconnect(&ctx);
             false
         });
     }
@@ -644,6 +705,7 @@ mod tests {
                 })),
                 error_budget: 2,
                 quarantine: Some(Arc::clone(&quarantine)),
+                active: Arc::new(ActiveNodes::default()),
             },
         )
         .unwrap();

@@ -5,7 +5,7 @@
 //! * **accept** — accepts EXS connections and registers each with the
 //!   reactor pool immediately; nothing on this thread can block on a
 //!   client;
-//! * **reactor shards** (bounded pool, see [`crate::reactor`]) — greet
+//! * **reactor shards** (bounded pool, see `crate::reactor`) — greet
 //!   every connection (`Hello`, with its 5 s deadline) and then
 //!   multiplex all of them over `poll(2)`: forward batches zero-copy,
 //!   send batch acks and credit grants, run poll exchanges with
@@ -21,7 +21,7 @@ use crate::core::{IsmCore, IsmCoreStats};
 use crate::cre::CreStats;
 use crate::output::MemoryBuffer;
 use crate::pump::{FlowState, PumpCommand, PumpEvent, PumpHandle, QuarantineLog};
-use crate::reactor::{ReactorConfig, ReactorPool};
+use crate::reactor::{ActiveNodes, ReactorConfig, ReactorPool};
 use crate::sorter::SorterStats;
 use brisk_clock::{Clock, SyncMaster, SyncOutcome};
 use brisk_core::{BriskError, IsmConfig, NodeId, Result, SyncConfig, TraceStage};
@@ -47,6 +47,9 @@ pub struct IsmReport {
     pub sync_rounds: u64,
     /// Outcome of the last round, if any.
     pub last_sync: Option<SyncOutcome>,
+    /// Upstream-export counters, present when the server ran in relay
+    /// mode (see [`IsmServer::set_upstream`]).
+    pub relay: Option<crate::relay::RelayStats>,
 }
 
 /// The ISM server, pre-spawn. Attach sinks via [`IsmServer::core_mut`],
@@ -131,6 +134,14 @@ impl IsmServer {
         &mut self.core
     }
 
+    /// Run this server as a *relay*: instead of delivering merged,
+    /// repaired records to the local outputs, re-export them upstream as
+    /// one namespaced EXS-like stream (§ relay topology in DESIGN.md).
+    /// Call before [`IsmServer::spawn`].
+    pub fn set_upstream(&mut self, exporter: crate::relay::UpstreamExporter) {
+        self.core.set_upstream(exporter);
+    }
+
     /// The output memory buffer (clone the `Arc` to create readers).
     pub fn memory(&self) -> Arc<MemoryBuffer> {
         Arc::clone(self.core.memory())
@@ -212,6 +223,7 @@ impl IsmServer {
                 flow: Some(Arc::clone(&self.flow)),
                 error_budget: self.error_budget,
                 quarantine: Some(Arc::clone(&self.quarantine)),
+                active: Arc::new(ActiveNodes::default()),
             },
         )?);
 
@@ -385,6 +397,7 @@ impl Manager {
             cre: self.core.cre_stats(),
             sync_rounds: self.sync.rounds_completed(),
             last_sync: self.sync.last_outcome().cloned(),
+            relay: self.core.upstream().map(|u| u.stats()),
         })
     }
 
@@ -987,7 +1000,7 @@ mod tests {
     }
 
     #[test]
-    fn reconnect_displaces_stale_pump() {
+    fn duplicate_hello_is_rejected_and_node_frees_on_disconnect() {
         let (handle, t) = start_server();
         // First connection for node 1, held open (its pump stays alive).
         let mut conn1 = t.connect("ism").unwrap();
@@ -1001,24 +1014,53 @@ mod tests {
             .is_some(),
             "first connection must be live"
         );
-        // Reconnect as the same node while conn1 is still open: the stale
-        // pump must be retired (it gets a Shutdown) and the new connection
-        // must be fully functional.
+        // A second Hello claiming node 1 while conn1 is still live is a
+        // protocol error: the impostor is answered with Shutdown and
+        // quarantined, and conn1's session is untouched.
         let mut conn2 = t.connect("ism").unwrap();
         hello(&mut conn2, 1);
-        conn2.send(&batch_seq(1, Some(2), 0..2).encode()).unwrap();
-        let ack2 = recv_until(&mut conn2, Duration::from_secs(2), |m| match m {
-            Message::BatchAck { seq, .. } => Some(seq),
-            _ => None,
-        });
-        assert_eq!(ack2, Some(2), "new connection must get acks");
-        let retired = recv_until(&mut conn1, Duration::from_secs(2), |m| match m {
+        let rejected = recv_until(&mut conn2, Duration::from_secs(2), |m| match m {
             Message::Shutdown => Some(()),
+            Message::HelloAck { .. } => None,
+            other => panic!("unexpected reply to duplicate Hello: {other:?}"),
+        });
+        assert!(rejected.is_some(), "duplicate Hello must be rejected");
+        assert_eq!(handle.quarantine().rejected_hellos(), 1);
+        // The original connection keeps working...
+        conn1.send(&batch_seq(1, Some(2), 0..2).encode()).unwrap();
+        let ack2 = recv_until(&mut conn1, Duration::from_secs(2), |m| match m {
+            Message::BatchAck { seq, .. } if seq >= 2 => Some(seq),
             _ => None,
         });
-        assert!(retired.is_some(), "stale pump must be told to shut down");
+        assert_eq!(ack2, Some(2), "original connection must keep its acks");
+        // ...and once it closes, the node id is free for a reconnect.
+        conn1.send(&Message::Shutdown.encode()).unwrap();
+        drop(conn1);
+        let mut conn3 = None;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            let mut c = t.connect("ism").unwrap();
+            hello(&mut c, 1);
+            let greeted = recv_until(&mut c, Duration::from_secs(2), |m| match m {
+                Message::HelloAck { .. } => Some(true),
+                Message::Shutdown => Some(false),
+                _ => None,
+            });
+            if greeted == Some(true) {
+                conn3 = Some(c);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let mut conn3 = conn3.expect("node id must be reclaimable after disconnect");
+        conn3.send(&batch_seq(1, Some(3), 0..2).encode()).unwrap();
+        let ack3 = recv_until(&mut conn3, Duration::from_secs(2), |m| match m {
+            Message::BatchAck { seq, .. } if seq >= 3 => Some(seq),
+            _ => None,
+        });
+        assert_eq!(ack3, Some(3), "reconnect after disconnect must be accepted");
         let report = handle.stop().unwrap();
-        assert_eq!(report.core.records_in, 4);
+        assert_eq!(report.core.records_in, 6);
     }
 
     fn start_server_with_timeout(

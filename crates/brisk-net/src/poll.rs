@@ -4,7 +4,7 @@
 //! pool of reactor threads to drive hundreds of connection sockets each
 //! without a thread per connection, honoring the no-tokio policy. The
 //! single `unsafe` block in the crate lives here, confined to the raw
-//! syscall binding in [`sys`]; everything above it is safe Rust over
+//! syscall binding in `sys`; everything above it is safe Rust over
 //! `std` socket types.
 //!
 //! Two pieces:

@@ -59,6 +59,10 @@
 // The decode path is a hostile-input boundary; it must never panic.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod namespace;
+
+pub use namespace::{NamespaceError, NodePrefix};
+
 use brisk_core::{BriskError, EventRecord, NodeId, UtcMicros};
 use brisk_xdr::values::{decode_record_body, encode_record_body};
 use brisk_xdr::{decode_record_view, RecordView, XdrDecoder, XdrEncoder};
@@ -170,6 +174,13 @@ impl From<DecodeError> for BriskError {
 /// the v3 credit-carrying variants of the latter two, and `Heartbeat` is
 /// the v3 liveness probe. Older decoders reject unknown tags, so each is
 /// only sent once the peer is known to speak the matching version.
+///
+/// `EventBatchMulti` is the relay-tier batch format: `EventBatch` /
+/// `EventBatchSeq` compress the per-record node id into the batch header
+/// (every record in an EXS batch comes from the one node that said
+/// `Hello`), but a relay ISM merges many downstream nodes into a single
+/// upstream link, so its batches carry one node id per record. Only
+/// emitted on negotiated-v3 ISM→ISM links.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u32)]
 enum Tag {
@@ -185,6 +196,7 @@ enum Tag {
     HelloAckCredit = 10,
     BatchAckCredit = 11,
     Heartbeat = 12,
+    EventBatchMulti = 13,
 }
 
 impl Tag {
@@ -202,6 +214,7 @@ impl Tag {
             10 => Tag::HelloAckCredit,
             11 => Tag::BatchAckCredit,
             12 => Tag::Heartbeat,
+            13 => Tag::EventBatchMulti,
             _ => return Err(DecodeError::UnknownTag(v)),
         })
     }
@@ -307,20 +320,44 @@ impl Message {
                 }
             },
             Message::EventBatch { node, seq, records } => {
-                match seq {
-                    Some(seq) => {
-                        e.uint(Tag::EventBatchSeq as u32);
-                        e.uint(node.raw());
-                        e.uhyper(*seq);
+                // The EXS wire formats compress the node id into the
+                // batch header; only a batch whose records all share the
+                // header node survives that round trip. A relay batch
+                // mixes nodes, so it takes the Multi format, which spends
+                // one word per record to keep each origin.
+                if records.iter().any(|r| r.node != *node) {
+                    e.uint(Tag::EventBatchMulti as u32);
+                    e.uint(node.raw());
+                    match seq {
+                        Some(seq) => {
+                            e.uint(1);
+                            e.uhyper(*seq);
+                        }
+                        None => {
+                            e.uint(0);
+                        }
                     }
-                    None => {
-                        e.uint(Tag::EventBatch as u32);
-                        e.uint(node.raw());
+                    e.uint(records.len() as u32);
+                    for r in records {
+                        e.uint(r.node.raw());
+                        encode_record_body(r, &mut e);
                     }
-                }
-                e.uint(records.len() as u32);
-                for r in records {
-                    encode_record_body(r, &mut e);
+                } else {
+                    match seq {
+                        Some(seq) => {
+                            e.uint(Tag::EventBatchSeq as u32);
+                            e.uint(node.raw());
+                            e.uhyper(*seq);
+                        }
+                        None => {
+                            e.uint(Tag::EventBatch as u32);
+                            e.uint(node.raw());
+                        }
+                    }
+                    e.uint(records.len() as u32);
+                    for r in records {
+                        encode_record_body(r, &mut e);
+                    }
                 }
             }
             Message::BatchAck { seq, credit } => match credit {
@@ -422,6 +459,26 @@ impl Message {
                 }
                 Message::EventBatch { node, seq, records }
             }
+            Tag::EventBatchMulti => {
+                let node = NodeId(d.uint()?);
+                let seq = match d.uint()? {
+                    0 => None,
+                    _ => Some(d.uhyper()?),
+                };
+                let count = d.uint()? as usize;
+                if count > MAX_BATCH_RECORDS {
+                    return Err(DecodeError::TooManyRecords {
+                        count,
+                        max: MAX_BATCH_RECORDS,
+                    });
+                }
+                let mut records = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    let rec_node = NodeId(d.uint()?);
+                    records.push(decode_record_body(rec_node, &mut d)?);
+                }
+                Message::EventBatch { node, seq, records }
+            }
             Tag::BatchAck => Message::BatchAck {
                 seq: d.uhyper()?,
                 credit: None,
@@ -464,10 +521,12 @@ pub fn peek_tag(frame: &[u8]) -> Option<u32> {
     Some(u32::from_be_bytes(word))
 }
 
-/// Does this wire tag name an event batch (`EventBatch` or
-/// `EventBatchSeq`)? Pair with [`peek_tag`] to route frames.
+/// Does this wire tag name an event batch (`EventBatch`, `EventBatchSeq`
+/// or `EventBatchMulti`)? Pair with [`peek_tag`] to route frames.
 pub const fn is_batch_tag(tag: u32) -> bool {
-    tag == Tag::EventBatch as u32 || tag == Tag::EventBatchSeq as u32
+    tag == Tag::EventBatch as u32
+        || tag == Tag::EventBatchSeq as u32
+        || tag == Tag::EventBatchMulti as u32
 }
 
 /// A fully-validated *borrowing* view over an `EventBatch` /
@@ -487,6 +546,10 @@ pub struct BatchView<'a> {
     node: NodeId,
     seq: Option<u64>,
     records: Vec<RecordView<'a>>,
+    /// Per-record origin nodes, parallel to `records`. `None` for the
+    /// single-node `EventBatch` / `EventBatchSeq` formats, where every
+    /// record originates from the header node.
+    nodes: Option<Vec<NodeId>>,
 }
 
 impl<'a> BatchView<'a> {
@@ -504,9 +567,15 @@ impl<'a> BatchView<'a> {
         if !is_batch_tag(tag) {
             return Err(DecodeError::UnknownTag(tag));
         }
+        let multi = tag == Tag::EventBatchMulti as u32;
         let node = NodeId(d.uint()?);
         let seq = if tag == Tag::EventBatchSeq as u32 {
             Some(d.uhyper()?)
+        } else if multi {
+            match d.uint()? {
+                0 => None,
+                _ => Some(d.uhyper()?),
+            }
         } else {
             None
         };
@@ -518,11 +587,20 @@ impl<'a> BatchView<'a> {
             });
         }
         let mut records = Vec::with_capacity(count.min(4096));
+        let mut nodes = multi.then(|| Vec::with_capacity(count.min(4096)));
         for _ in 0..count {
+            if let Some(nodes) = nodes.as_mut() {
+                nodes.push(NodeId(d.uint()?));
+            }
             records.push(decode_record_view(&mut d)?);
         }
         d.finish()?;
-        Ok(BatchView { node, seq, records })
+        Ok(BatchView {
+            node,
+            seq,
+            records,
+            nodes,
+        })
     }
 
     /// Originating node.
@@ -551,11 +629,17 @@ impl<'a> BatchView<'a> {
     }
 
     /// Copy the records out into owned [`EventRecord`]s — the single
-    /// copy the ingest path pays.
+    /// copy the ingest path pays. Records from a Multi-format batch keep
+    /// their own origin node; the single-node formats stamp the header
+    /// node onto every record.
     pub fn materialize(&self) -> Result<Vec<EventRecord>, DecodeError> {
         let mut out = Vec::with_capacity(self.records.len());
-        for rv in &self.records {
-            out.push(rv.materialize(self.node)?);
+        for (i, rv) in self.records.iter().enumerate() {
+            let node = match &self.nodes {
+                Some(nodes) => nodes[i],
+                None => self.node,
+            };
+            out.push(rv.materialize(node)?);
         }
         Ok(out)
     }
@@ -621,6 +705,78 @@ mod tests {
             records: (0..10).map(|i| rec(i, i as i64 * 100)).collect(),
         };
         assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+    }
+
+    fn rec_at(node: u32, seq: u64, ts: i64) -> EventRecord {
+        EventRecord::new(
+            NodeId(node),
+            SensorId(1),
+            EventTypeId(7),
+            seq,
+            UtcMicros::from_micros(ts),
+            vec![Value::I32(seq as i32)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn multi_node_batch_round_trips() {
+        // A relay batch: header node is the relay, records keep their
+        // rewritten subtree ids. Both seq variants must survive.
+        for seq in [None, Some(0), Some(u64::MAX - 7)] {
+            let m = Message::EventBatch {
+                node: NodeId(2),
+                seq,
+                records: vec![
+                    rec_at(0x0502, 0, 100),
+                    rec_at(0x0902, 1, 200),
+                    rec_at(0x0502, 2, 300),
+                ],
+            };
+            let bytes = m.encode();
+            assert_eq!(peek_tag(&bytes), Some(13), "{seq:?}");
+            assert!(is_batch_tag(13));
+            assert_eq!(Message::decode(&bytes).unwrap(), m, "{seq:?}");
+        }
+    }
+
+    #[test]
+    fn single_node_batch_stays_on_the_compact_wire_format() {
+        // When every record shares the header node (the EXS case) the
+        // encoder must keep emitting the v1/v2 formats old peers accept.
+        let m = Message::EventBatch {
+            node: NodeId(3),
+            seq: Some(9),
+            records: (0..4).map(|i| rec(i, i as i64 * 100)).collect(),
+        };
+        assert_eq!(peek_tag(&m.encode()), Some(7));
+        let m = Message::EventBatch {
+            node: NodeId(3),
+            seq: None,
+            records: (0..4).map(|i| rec(i, i as i64 * 100)).collect(),
+        };
+        assert_eq!(peek_tag(&m.encode()), Some(2));
+    }
+
+    #[test]
+    fn multi_node_batch_view_materializes_per_record_nodes() {
+        let m = Message::EventBatch {
+            node: NodeId(2),
+            seq: Some(5),
+            records: vec![rec_at(0x0502, 0, 100), rec_at(0x0902, 1, 200)],
+        };
+        let bytes = m.encode();
+        let view = BatchView::parse(&bytes).unwrap();
+        assert_eq!(view.node(), NodeId(2));
+        assert_eq!(view.seq(), Some(5));
+        assert_eq!(view.len(), 2);
+        let records = view.materialize().unwrap();
+        assert_eq!(records[0].node, NodeId(0x0502));
+        assert_eq!(records[1].node, NodeId(0x0902));
+        match Message::decode(&bytes).unwrap() {
+            Message::EventBatch { records: owned, .. } => assert_eq!(owned, records),
+            other => panic!("unexpected decode: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Node-id namespacing for hierarchical relay trees.
+//!
+//! A relay ISM re-exports its merged subtree upstream as if it were a
+//! single EXS. For the root to see a flat, collision-free node namespace,
+//! each relay tier rewrites every node id (and every CRE correlation id,
+//! so reason→conseq links keep pointing at each other) by shifting the
+//! raw value left by [`NodePrefix::BITS`] and OR-ing in its own prefix:
+//!
+//! ```text
+//! rewrite(n)       = (n << 8) | prefix          (prefix < 256)
+//! tier2(tier1(n))  = (n << 16) | (p1 << 8) | p2
+//! ```
+//!
+//! The low byte of a rewritten id therefore names the *last* relay the
+//! record crossed, and stripping is exact: `strip` checks the low byte
+//! and shifts back, so `strip(apply(n)) == n` always, and composition
+//! across tiers round-trips tier by tier (outermost prefix strips
+//! first). The rewrite is injective per tier — two distinct downstream
+//! ids can never collide upstream — provided the pre-rewrite id fits in
+//! the remaining bits, which [`NodePrefix::apply_node`] checks: a tree
+//! deeper than `32 / BITS` tiers (or raw node ids ≥ 2^24 under one tier)
+//! overflows and is rejected rather than silently aliased.
+//!
+//! Correlation ids are rewritten with the same scheme on their 64-bit
+//! space (guard: raw id < 2^56 per tier). Correlations are assumed
+//! subtree-local: a reason on one relay's subtree cannot name a conseq
+//! on another's, because each subtree's ids land in disjoint upstream
+//! ranges by construction.
+
+use crate::DecodeError;
+use brisk_core::{CorrelationId, EventRecord, NodeId, Value};
+use std::fmt;
+
+/// A relay's node-id namespace prefix (one tier of the tree).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodePrefix(u32);
+
+/// Why a prefix rewrite could not be applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NamespaceError {
+    /// The prefix value itself does not fit in [`NodePrefix::BITS`] bits.
+    PrefixTooLarge(u32),
+    /// A node id would overflow 32 bits once shifted.
+    NodeOverflow(u32),
+    /// A correlation id would overflow 64 bits once shifted.
+    CorrelationOverflow(u64),
+}
+
+impl fmt::Display for NamespaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NamespaceError::PrefixTooLarge(p) => {
+                write!(
+                    f,
+                    "node prefix {p} does not fit in {} bits",
+                    NodePrefix::BITS
+                )
+            }
+            NamespaceError::NodeOverflow(n) => {
+                write!(
+                    f,
+                    "node id {n} too large to prefix (max {})",
+                    NodePrefix::MAX_NODE
+                )
+            }
+            NamespaceError::CorrelationOverflow(c) => {
+                write!(
+                    f,
+                    "correlation id {c} too large to prefix (max {})",
+                    NodePrefix::MAX_CORRELATION
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NamespaceError {}
+
+impl From<NamespaceError> for brisk_core::BriskError {
+    fn from(e: NamespaceError) -> Self {
+        brisk_core::BriskError::Protocol(e.to_string())
+    }
+}
+
+impl From<NamespaceError> for DecodeError {
+    fn from(e: NamespaceError) -> Self {
+        DecodeError::Record(e.to_string())
+    }
+}
+
+impl NodePrefix {
+    /// Bits one tier of prefix consumes.
+    pub const BITS: u32 = 8;
+
+    /// Largest raw node id that can pass through one rewrite tier.
+    pub const MAX_NODE: u32 = (1 << (32 - Self::BITS)) - 1;
+
+    /// Largest raw correlation id that can pass through one rewrite tier.
+    pub const MAX_CORRELATION: u64 = (1 << (64 - Self::BITS)) - 1;
+
+    /// Validate and wrap a prefix value (must fit in [`Self::BITS`] bits
+    /// and be non-zero — prefix 0 would make rewritten ids
+    /// indistinguishable from small unrewritten ones at the root).
+    pub fn new(prefix: u32) -> Result<NodePrefix, NamespaceError> {
+        if prefix == 0 || prefix >= (1 << Self::BITS) {
+            return Err(NamespaceError::PrefixTooLarge(prefix));
+        }
+        Ok(NodePrefix(prefix))
+    }
+
+    /// The raw prefix value.
+    pub fn raw(&self) -> u32 {
+        self.0
+    }
+
+    /// The node id a relay with this prefix uses for *itself* on its
+    /// upstream link: the bare prefix value. Downstream ids are shifted
+    /// past [`Self::BITS`] bits, so the relay's own id can never collide
+    /// with a rewritten subtree id (those always have a non-zero high
+    /// part once shifted, while the bare prefix is < 2^BITS).
+    pub fn relay_node(&self) -> NodeId {
+        NodeId(self.0)
+    }
+
+    /// Rewrite one node id into this prefix's namespace.
+    pub fn apply_node(&self, node: NodeId) -> Result<NodeId, NamespaceError> {
+        if node.raw() > Self::MAX_NODE {
+            return Err(NamespaceError::NodeOverflow(node.raw()));
+        }
+        Ok(NodeId((node.raw() << Self::BITS) | self.0))
+    }
+
+    /// Undo [`Self::apply_node`]. `None` when the id's low bits name a
+    /// different prefix (the id did not come through this relay).
+    pub fn strip_node(&self, node: NodeId) -> Option<NodeId> {
+        if node.raw() & ((1 << Self::BITS) - 1) != self.0 {
+            return None;
+        }
+        Some(NodeId(node.raw() >> Self::BITS))
+    }
+
+    /// Rewrite one correlation id into this prefix's namespace.
+    pub fn apply_correlation(&self, id: CorrelationId) -> Result<CorrelationId, NamespaceError> {
+        if id.raw() > Self::MAX_CORRELATION {
+            return Err(NamespaceError::CorrelationOverflow(id.raw()));
+        }
+        Ok(CorrelationId((id.raw() << Self::BITS) | self.0 as u64))
+    }
+
+    /// Undo [`Self::apply_correlation`]. `None` when the low bits name a
+    /// different prefix.
+    pub fn strip_correlation(&self, id: CorrelationId) -> Option<CorrelationId> {
+        if id.raw() & ((1 << Self::BITS) - 1) != self.0 as u64 {
+            return None;
+        }
+        Some(CorrelationId(id.raw() >> Self::BITS))
+    }
+
+    /// Rewrite a record in place: its node id plus any `X_REASON` /
+    /// `X_CONSEQ` correlation links, so CRE causality survives the tier
+    /// intact. Sensor ids, event types, sequence numbers, timestamps and
+    /// payload fields pass through untouched.
+    pub fn rewrite_record(&self, rec: &mut EventRecord) -> Result<(), NamespaceError> {
+        rec.node = self.apply_node(rec.node)?;
+        for field in &mut rec.fields {
+            match field {
+                Value::Reason(id) => *id = self.apply_correlation(*id)?,
+                Value::Conseq(id) => *id = self.apply_correlation(*id)?,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Undo [`Self::rewrite_record`]. `None` when any id in the record
+    /// carries a different prefix.
+    pub fn strip_record(&self, rec: &mut EventRecord) -> Option<()> {
+        rec.node = self.strip_node(rec.node)?;
+        for field in &mut rec.fields {
+            match field {
+                Value::Reason(id) => *id = self.strip_correlation(*id)?,
+                Value::Conseq(id) => *id = self.strip_correlation(*id)?,
+                _ => {}
+            }
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use brisk_core::{EventTypeId, SensorId, UtcMicros};
+
+    fn rec(node: u32, reason: Option<u64>, conseq: Option<u64>) -> EventRecord {
+        let mut fields = vec![Value::I32(7)];
+        if let Some(r) = reason {
+            fields.push(Value::Reason(CorrelationId(r)));
+        }
+        if let Some(c) = conseq {
+            fields.push(Value::Conseq(CorrelationId(c)));
+        }
+        EventRecord::new(
+            NodeId(node),
+            SensorId(1),
+            EventTypeId(2),
+            3,
+            UtcMicros::from_micros(100),
+            fields,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn prefix_validates_range() {
+        assert!(NodePrefix::new(0).is_err());
+        assert!(NodePrefix::new(1).is_ok());
+        assert!(NodePrefix::new(255).is_ok());
+        assert!(NodePrefix::new(256).is_err());
+    }
+
+    #[test]
+    fn node_round_trips_and_rejects_foreign_prefix() {
+        let p = NodePrefix::new(7).unwrap();
+        let q = NodePrefix::new(9).unwrap();
+        let n = NodeId(1234);
+        let rewritten = p.apply_node(n).unwrap();
+        assert_eq!(rewritten, NodeId((1234 << 8) | 7));
+        assert_eq!(p.strip_node(rewritten), Some(n));
+        assert_eq!(q.strip_node(rewritten), None);
+    }
+
+    #[test]
+    fn node_overflow_rejected() {
+        let p = NodePrefix::new(1).unwrap();
+        assert!(p.apply_node(NodeId(NodePrefix::MAX_NODE)).is_ok());
+        assert_eq!(
+            p.apply_node(NodeId(NodePrefix::MAX_NODE + 1)),
+            Err(NamespaceError::NodeOverflow(NodePrefix::MAX_NODE + 1))
+        );
+    }
+
+    #[test]
+    fn correlation_round_trips() {
+        let p = NodePrefix::new(31).unwrap();
+        let id = CorrelationId(0xDEAD_BEEF);
+        let rewritten = p.apply_correlation(id).unwrap();
+        assert_eq!(p.strip_correlation(rewritten), Some(id));
+        assert!(p
+            .apply_correlation(CorrelationId(NodePrefix::MAX_CORRELATION + 1))
+            .is_err());
+    }
+
+    #[test]
+    fn two_tiers_compose_and_strip_in_order() {
+        let inner = NodePrefix::new(3).unwrap();
+        let outer = NodePrefix::new(5).unwrap();
+        let n = NodeId(42);
+        let once = inner.apply_node(n).unwrap();
+        let twice = outer.apply_node(once).unwrap();
+        assert_eq!(twice, NodeId((42 << 16) | (3 << 8) | 5));
+        // Outermost prefix strips first.
+        assert_eq!(outer.strip_node(twice), Some(once));
+        assert_eq!(inner.strip_node(once), Some(n));
+        // Wrong order fails loudly instead of aliasing.
+        assert_eq!(inner.strip_node(twice), None);
+    }
+
+    #[test]
+    fn record_rewrite_covers_node_and_correlations() {
+        let p = NodePrefix::new(11).unwrap();
+        let mut r = rec(9, Some(100), Some(200));
+        let original = r.clone();
+        p.rewrite_record(&mut r).unwrap();
+        assert_eq!(r.node, NodeId((9 << 8) | 11));
+        assert_eq!(r.reason_id(), Some(CorrelationId((100 << 8) | 11)));
+        assert_eq!(r.conseq_id(), Some(CorrelationId((200 << 8) | 11)));
+        // Non-correlation fields untouched.
+        assert_eq!(r.fields[0], Value::I32(7));
+        p.strip_record(&mut r).unwrap();
+        assert_eq!(r, original);
+    }
+
+    #[test]
+    fn relay_node_is_disjoint_from_rewritten_subtree() {
+        let p = NodePrefix::new(200).unwrap();
+        assert_eq!(p.relay_node(), NodeId(200));
+        // The smallest rewritten id (node 1) is already ≥ 2^BITS.
+        let smallest = p.apply_node(NodeId(1)).unwrap();
+        assert!(smallest.raw() >= (1 << NodePrefix::BITS));
+        // Node 0 rewrites to the bare prefix — same as the relay's own
+        // id, which is why leaves use non-zero node ids (enforced where
+        // nodes register, not here).
+        assert_eq!(p.apply_node(NodeId(0)).unwrap(), p.relay_node());
+    }
+}

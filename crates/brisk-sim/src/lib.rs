@@ -27,9 +27,11 @@ pub mod cluster;
 pub mod net;
 pub mod scenario;
 pub mod streams;
+pub mod topology;
 
 pub use causal::{run_causal_experiment, CausalConfig, CausalReport};
 pub use cluster::{SyncSimConfig, SyncSimReport, SyncSimulation};
 pub use net::DelayModel;
 pub use scenario::ArrivalProcess;
 pub use streams::{run_sorting_experiment, SortingConfig, SortingReport};
+pub use topology::{RelayTree, TreeConfig};

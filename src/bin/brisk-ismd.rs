@@ -6,12 +6,22 @@
 //!
 //! ```text
 //! brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] [--ts utc|secs]
+//!            [--upstream HOST:PORT --node-prefix N]
 //!            [--poll-period-ms N] [--stats-every-s N] [--stats-addr HOST:PORT]
 //!            [--store-dir DIR] [--fsync always|never|interval:MS]
 //!            [--retain-bytes N] [--segment-bytes N]
 //!            [--credit-records N] [--max-queued-records N] [--shed-unmarked]
 //!            [--node-timeout MS] [--error-budget N] [--pump-threads N]
 //! ```
+//!
+//! `--upstream` + `--node-prefix` switch the daemon into *relay mode*
+//! (DESIGN.md, "Relay topology"): it still accepts downstream EXS or
+//! relay connections, sorts and CRE-repairs their merged stream, but then
+//! re-exports that stream to the upstream ISM over one sequenced,
+//! credit-controlled link — exactly as if the whole subtree were a single
+//! external sensor. Every subtree node id is rewritten under the given
+//! prefix (1..=255) so the root sees a flat, collision-free namespace;
+//! trees compose by chaining relays tier over tier.
 //!
 //! `--stats-addr` serves the full telemetry registry as Prometheus text
 //! exposition (`curl http://HOST:PORT/metrics`); the same registry backs
@@ -64,6 +74,8 @@ struct Args {
     tcp: Option<String>,
     #[cfg(unix)]
     uds: Option<String>,
+    upstream: Option<String>,
+    node_prefix: Option<u32>,
     picl: Option<String>,
     ts_secs: bool,
     poll_period: Duration,
@@ -82,6 +94,8 @@ fn parse_args() -> std::result::Result<Args, String> {
         tcp: None,
         #[cfg(unix)]
         uds: None,
+        upstream: None,
+        node_prefix: None,
         picl: None,
         ts_secs: false,
         poll_period: Duration::from_secs(5),
@@ -101,6 +115,14 @@ fn parse_args() -> std::result::Result<Args, String> {
             "--tcp" => args.tcp = Some(val("--tcp")?),
             #[cfg(unix)]
             "--uds" => args.uds = Some(val("--uds")?),
+            "--upstream" => args.upstream = Some(val("--upstream")?),
+            "--node-prefix" => {
+                args.node_prefix = Some(
+                    val("--node-prefix")?
+                        .parse()
+                        .map_err(|e| format!("bad --node-prefix: {e}"))?,
+                )
+            }
             "--picl" => args.picl = Some(val("--picl")?),
             "--ts" => {
                 args.ts_secs = match val("--ts")?.as_str() {
@@ -177,6 +199,7 @@ fn parse_args() -> std::result::Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] \
+                            [--upstream HOST:PORT --node-prefix N] \
                             [--ts utc|secs] [--poll-period-ms N] [--stats-every-s N] \
                             [--stats-addr HOST:PORT] [--store-dir DIR] \
                             [--fsync always|never|interval:MS] [--retain-bytes N] \
@@ -189,6 +212,9 @@ fn parse_args() -> std::result::Result<Args, String> {
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if args.upstream.is_some() != args.node_prefix.is_some() {
+        return Err("relay mode needs both --upstream and --node-prefix".into());
     }
     Ok(args)
 }
@@ -247,18 +273,46 @@ fn main() {
         pump_threads: args.pump_threads,
         ..IsmConfig::default()
     };
+    // Relay mode shares one corrected clock between the server (receive
+    // stamps, sync mastering over this tier's children) and the upstream
+    // exporter (answers the parent's SyncPolls, applies its SyncAdjusts),
+    // so the parent ISM steers this whole subtree's timeline.
+    let relay_clock = args
+        .upstream
+        .as_ref()
+        .map(|_| CorrectedClock::new(Arc::new(SystemClock) as Arc<dyn Clock>));
+    let server_clock: Arc<dyn Clock> = match &relay_clock {
+        Some(c) => Arc::clone(c) as Arc<dyn Clock>,
+        None => Arc::new(SystemClock),
+    };
     let mut server = IsmServer::new(
         ism_cfg,
         SyncConfig {
             poll_period: args.poll_period,
             ..SyncConfig::default()
         },
-        Arc::new(SystemClock),
+        server_clock,
     )
     .unwrap_or_else(|e| {
         eprintln!("cannot start ISM: {e}");
         std::process::exit(1);
     });
+    if let (Some(addr), Some(raw_prefix)) = (&args.upstream, args.node_prefix) {
+        let prefix = NodePrefix::new(raw_prefix).unwrap_or_else(|e| {
+            eprintln!("bad --node-prefix: {e}");
+            std::process::exit(2);
+        });
+        let dial = addr.clone();
+        let mut exporter = UpstreamExporter::new(
+            RelayConfig::new(prefix),
+            Box::new(move || TcpTransport.connect(&dial)),
+        );
+        if let Some(c) = &relay_clock {
+            exporter = exporter.with_sync_clock(Arc::clone(c));
+        }
+        server.set_upstream(exporter);
+        eprintln!("relay mode: merged stream re-exported to {addr} under node prefix {raw_prefix}");
+    }
     if let Some(dir) = &args.store.dir {
         eprintln!(
             "durable store -> {} (fsync {:?})",
@@ -396,4 +450,15 @@ fn main() {
         report.sync_rounds,
         report.cre.tachyons_repaired,
     );
+    if let Some(relay) = &report.relay {
+        eprintln!(
+            "[ismd] relay: {} records exported upstream in {} batches \
+             ({} retransmitted, {} acks, {} heartbeats)",
+            relay.records_exported,
+            relay.batches_exported,
+            relay.batches_retransmitted,
+            relay.acks_received,
+            relay.heartbeats_sent,
+        );
+    }
 }

@@ -103,7 +103,7 @@ pub mod prelude {
     pub use brisk_core::prelude::*;
     pub use brisk_ism::{
         EventSink, IsmCore, IsmServer, MemoryBuffer, MemoryBufferReader, OnlineSorter,
-        PiclFileSink, QuarantineLog,
+        PiclFileSink, QuarantineLog, RelayConfig, UpstreamExporter,
     };
     pub use brisk_lis::{
         spawn_exs, spawn_exs_supervised, Batcher, CounterSensor, ExsHandle, ExternalSensor, Lis,
@@ -116,7 +116,7 @@ pub mod prelude {
         MemTransport, TcpTransport, Transport,
     };
     pub use brisk_picl::{PiclRecord, PiclWriter, TsMode};
-    pub use brisk_proto::Message;
+    pub use brisk_proto::{Message, NodePrefix};
     pub use brisk_ringbuf::{RingSet, SensorPort};
     pub use brisk_sim::{SortingConfig, SyncSimConfig, SyncSimulation};
     pub use brisk_store::{Replayer, StoreReader, StoreTailer, StoreWriter};
