@@ -1,0 +1,197 @@
+//! Zone-map pruning effectiveness on the store query path: segments
+//! touched by a narrow predicate versus a full scan over the same store.
+//!
+//! The acceptance bar for the query engine is that on a workload whose
+//! activity is phased by node over time — each node's records landing in
+//! their own run of segments, which is exactly what a staged experiment
+//! or a rolling deployment produces — a single-node predicate reads at
+//! most 1/5 of the store's segments. The zone maps carry exact node-id
+//! sets and min/max timestamps, so the reduction is deterministic; the
+//! timed trials exist to show the byte savings turn into wall-clock
+//! savings, not to define the gate.
+//!
+//! Set `BENCH_QUERY_JSON=<path>` to emit the machine-readable artifact
+//! (`BENCH_query.json` at the repo root is generated this way).
+
+use brisk_core::{
+    EventRecord, EventTypeId, FsyncPolicy, NodeId, SensorId, StoreConfig, UtcMicros, Value,
+};
+use brisk_store::{Predicate, QueryReport, StoreReader, StoreWriter};
+use std::hint::black_box;
+use std::path::Path;
+
+/// Records written per node; nodes are written one after another so each
+/// lands in its own run of 4 KiB segments.
+const RECORDS_PER_NODE: u64 = 2_000;
+const NODES: u32 = 8;
+
+fn rec(node: u32, seq: u64) -> EventRecord {
+    EventRecord::new(
+        NodeId(node),
+        SensorId(node * 10),
+        EventTypeId(1),
+        seq,
+        UtcMicros::from_micros(seq as i64 * 10),
+        vec![
+            Value::U32(seq as u32),
+            Value::U32((seq / 3) as u32),
+            Value::I32(-(seq as i32)),
+            Value::U32(node),
+            Value::I32(7),
+            Value::I32(11),
+        ],
+    )
+    .expect("bench record")
+}
+
+fn build_store(dir: &Path) {
+    let mut cfg = StoreConfig::at(dir.to_path_buf());
+    cfg.segment_bytes = 4096;
+    cfg.fsync = FsyncPolicy::Never;
+    let mut w = StoreWriter::open(&cfg).expect("open store");
+    let mut seq = 0u64;
+    for node in 1..=NODES {
+        for _ in 0..RECORDS_PER_NODE {
+            w.append(&rec(node, seq)).expect("append");
+            seq += 1;
+        }
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in timings"));
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+/// Time one query (no cache on the reader, so every trial re-scans) and
+/// return (micros, report).
+fn timed_query(reader: &StoreReader, pred: &Predicate) -> (f64, QueryReport) {
+    let start = std::time::Instant::now();
+    let (hit, report) = reader.query(pred).expect("query");
+    let us = start.elapsed().as_nanos() as f64 / 1_000.0;
+    black_box(hit.records.len());
+    (us, report)
+}
+
+fn main() {
+    let trials = env_usize("BENCH_QUERY_TRIALS", 50);
+    let warmup = env_usize("BENCH_QUERY_WARMUP", 5);
+
+    let dir = std::env::temp_dir().join(format!("brisk-bench-query-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    build_store(&dir);
+    let reader = StoreReader::open(&dir).expect("open reader");
+
+    let narrow = Predicate::all().node(1);
+    let full = Predicate::all();
+
+    for _ in 0..warmup {
+        timed_query(&reader, &narrow);
+        timed_query(&reader, &full);
+    }
+
+    let mut narrow_us = Vec::with_capacity(trials);
+    let mut full_us = Vec::with_capacity(trials);
+    let mut report = QueryReport::default();
+    for _ in 0..trials {
+        let (us, r) = timed_query(&reader, &narrow);
+        narrow_us.push(us);
+        report = r;
+        let (us, _) = timed_query(&reader, &full);
+        full_us.push(us);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let touched = report.segments_scanned;
+    let total = report.segments_total;
+    let reduction = total as f64 / (touched.max(1)) as f64;
+    let pass = reduction >= 5.0;
+    let narrow_med = median(&narrow_us);
+    let full_med = median(&full_us);
+
+    println!(
+        "bench query_prune/narrow (node predicate) median {narrow_med:.1} us, \
+         {touched}/{total} segments touched"
+    );
+    println!("bench query_prune/full_scan median {full_med:.1} us, {total}/{total} segments");
+    println!(
+        "query_prune 1-of-{NODES}-nodes predicate touches {touched} of {total} segments \
+         ({reduction:.1}x reduction)  acceptance(>= 5x): {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    if let Ok(path) = std::env::var("BENCH_QUERY_JSON") {
+        let mut out = String::from("{\n");
+        out.push_str("  \"artifact\": \"zone-map segment pruning on the store query path\",\n");
+        out.push_str(&format!(
+            "  \"method\": \"cargo bench -p brisk-bench --bench query_prune ({NODES} nodes x \
+             {RECORDS_PER_NODE} records phased into 4 KiB segments; a single-node predicate is \
+             timed against a full scan over the same store and the QueryReport counts segments \
+             pruned by the zoned sidecars; reduction = segments_total / segments_scanned)\",\n"
+        ));
+        out.push_str(&format!("  \"date\": \"{}\",\n", bench_date()));
+        out.push_str(&format!("  \"trials\": {trials},\n"));
+        out.push_str("  \"results\": [\n");
+        out.push_str(&format!(
+            "    {{\"bench\": \"query_prune/narrow\", \"median_us\": {narrow_med:.1}, \
+             \"segments_touched\": {touched}, \"segments_total\": {total}, \
+             \"segments_pruned\": {}}},\n",
+            report.segments_pruned
+        ));
+        out.push_str(&format!(
+            "    {{\"bench\": \"query_prune/full_scan\", \"median_us\": {full_med:.1}, \
+             \"segments_touched\": {total}, \"segments_total\": {total}}}\n"
+        ));
+        out.push_str("  ],\n");
+        out.push_str("  \"summary\": {\n");
+        out.push_str(&format!("    \"segments_touched\": {touched},\n"));
+        out.push_str(&format!("    \"segments_total\": {total},\n"));
+        out.push_str(&format!("    \"reduction_factor\": {reduction:.1},\n"));
+        out.push_str(&format!(
+            "    \"narrow_over_full_time_ratio\": {:.2},\n",
+            narrow_med / full_med
+        ));
+        out.push_str(
+            "    \"acceptance\": \"single-node predicate touches <= 1/5 of the store's \
+             segments\",\n",
+        );
+        out.push_str(&format!("    \"pass\": {pass}\n"));
+        out.push_str("  }\n}\n");
+        std::fs::write(&path, out).expect("write BENCH_QUERY_JSON");
+        println!("wrote {path}");
+    }
+}
+
+/// UTC date for the artifact, without a chrono dependency.
+fn bench_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    // Days-to-civil conversion (Howard Hinnant's algorithm).
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}

@@ -1,0 +1,219 @@
+//! Descriptor dictionary — the TP's compressed meta-header idea at rest.
+//!
+//! The transfer protocol compresses the meta-information header of every
+//! record on the wire (§3.4: packed descriptor nibbles). A trace at rest
+//! repeats far more than the descriptor: real instrumentation streams
+//! contain a small number of distinct *record shapes* — the tuple
+//! `(node, sensor, event type, descriptor)` — repeated millions of times.
+//! A [`DescriptorDict`] interns each distinct shape once and lets the
+//! store's compacted segment format replace the 28-byte record header +
+//! packed descriptor with a one/two-byte dictionary reference.
+//!
+//! The dictionary is XDR-encoded (like every BRISK control structure) so
+//! it can ride inside a compacted segment header:
+//!
+//! ```text
+//! uint   entry count
+//! entry* {
+//!   uint   node id
+//!   uint   sensor id
+//!   uint   event type id
+//!   opaque packed descriptor      (descriptor::pack bytes)
+//! }
+//! ```
+
+use brisk_core::{BriskError, EventRecord, RecordDescriptor, Result};
+use brisk_xdr::{XdrDecoder, XdrEncoder};
+use std::collections::HashMap;
+
+/// Hard cap on dictionary size: a segment with more distinct record
+/// shapes than this is not worth compacting (and a decoded count above it
+/// means the bytes are corrupt).
+pub const MAX_DICT_ENTRIES: usize = 64 * 1024;
+
+/// One distinct record shape: everything about a record that is not the
+/// sequence number, timestamp, or field payloads.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DictKey {
+    /// Originating node id.
+    pub node: u32,
+    /// Sensor id within the node.
+    pub sensor: u32,
+    /// Event type id.
+    pub event_type: u32,
+    /// Field-type descriptor of the record body.
+    pub descriptor: RecordDescriptor,
+}
+
+impl DictKey {
+    /// The shape of `rec`. Fails only if the record's fields violate the
+    /// descriptor invariants (impossible for records built through the
+    /// normal constructors).
+    pub fn of(rec: &EventRecord) -> Result<DictKey> {
+        Ok(DictKey {
+            node: rec.node.0,
+            sensor: rec.sensor.0,
+            event_type: rec.event_type.0,
+            descriptor: RecordDescriptor::of(&rec.fields)?,
+        })
+    }
+}
+
+/// An order-preserving interner of [`DictKey`]s. Ids are dense and start
+/// at zero, so they varint-encode to one byte for the first 128 shapes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DescriptorDict {
+    keys: Vec<DictKey>,
+    index: HashMap<DictKey, u32>,
+}
+
+impl DescriptorDict {
+    /// An empty dictionary.
+    pub fn new() -> DescriptorDict {
+        DescriptorDict::default()
+    }
+
+    /// Number of interned shapes.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Intern `key`, returning its dense id. Errors when the dictionary
+    /// is full ([`MAX_DICT_ENTRIES`]).
+    pub fn intern(&mut self, key: DictKey) -> Result<u32> {
+        if let Some(&id) = self.index.get(&key) {
+            return Ok(id);
+        }
+        if self.keys.len() >= MAX_DICT_ENTRIES {
+            return Err(BriskError::Codec(format!(
+                "descriptor dictionary full ({MAX_DICT_ENTRIES} shapes)"
+            )));
+        }
+        let id = self.keys.len() as u32;
+        self.keys.push(key.clone());
+        self.index.insert(key, id);
+        Ok(id)
+    }
+
+    /// Intern the shape of `rec`.
+    pub fn intern_record(&mut self, rec: &EventRecord) -> Result<u32> {
+        self.intern(DictKey::of(rec)?)
+    }
+
+    /// Look up a shape by id.
+    pub fn get(&self, id: u32) -> Option<&DictKey> {
+        self.keys.get(id as usize)
+    }
+
+    /// Iterate shapes in id order.
+    pub fn keys(&self) -> impl Iterator<Item = &DictKey> {
+        self.keys.iter()
+    }
+
+    /// Append the XDR encoding to `xdr`.
+    pub fn encode(&self, xdr: &mut XdrEncoder) {
+        xdr.uint(self.keys.len() as u32);
+        for k in &self.keys {
+            xdr.uint(k.node).uint(k.sensor).uint(k.event_type);
+            xdr.opaque(&k.descriptor.pack());
+        }
+    }
+
+    /// Decode a dictionary previously written by [`encode`](Self::encode).
+    pub fn decode(dec: &mut XdrDecoder) -> Result<DescriptorDict> {
+        let n = dec.uint()? as usize;
+        if n > MAX_DICT_ENTRIES {
+            return Err(BriskError::Codec(format!("absurd dictionary size {n}")));
+        }
+        let mut dict = DescriptorDict::default();
+        for _ in 0..n {
+            let node = dec.uint()?;
+            let sensor = dec.uint()?;
+            let event_type = dec.uint()?;
+            let packed = dec.opaque_bounded(4 * 1024)?;
+            let (descriptor, used) = RecordDescriptor::unpack(packed)?;
+            if used != packed.len() {
+                return Err(BriskError::Codec(
+                    "trailing bytes after packed descriptor in dictionary".into(),
+                ));
+            }
+            dict.intern(DictKey {
+                node,
+                sensor,
+                event_type,
+                descriptor,
+            })?;
+        }
+        if dict.keys.len() != n {
+            return Err(BriskError::Codec(
+                "duplicate shape in descriptor dictionary".into(),
+            ));
+        }
+        Ok(dict)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use brisk_core::{EventTypeId, NodeId, SensorId, UtcMicros, Value};
+
+    fn rec(node: u32, sensor: u32, fields: Vec<Value>) -> EventRecord {
+        EventRecord {
+            node: NodeId(node),
+            sensor: SensorId(sensor),
+            event_type: EventTypeId(7),
+            seq: 1,
+            ts: UtcMicros::from_micros(5),
+            fields,
+        }
+    }
+
+    #[test]
+    fn interning_is_dense_and_idempotent() {
+        let mut d = DescriptorDict::new();
+        let a = d.intern_record(&rec(1, 2, vec![Value::I32(9)])).unwrap();
+        let b = d.intern_record(&rec(1, 2, vec![Value::I32(10)])).unwrap();
+        let c = d.intern_record(&rec(1, 3, vec![Value::I32(9)])).unwrap();
+        let e = d
+            .intern_record(&rec(1, 2, vec![Value::Str("x".into())]))
+            .unwrap();
+        assert_eq!((a, b, c, e), (0, 0, 1, 2));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.get(1).unwrap().sensor, 3);
+    }
+
+    #[test]
+    fn dictionary_round_trips_through_xdr() {
+        let mut d = DescriptorDict::new();
+        d.intern_record(&rec(1, 2, vec![Value::I32(9), Value::F64(0.5)]))
+            .unwrap();
+        d.intern_record(&rec(3, 4, vec![Value::Str("hi".into())]))
+            .unwrap();
+        d.intern_record(&rec(3, 4, vec![])).unwrap();
+        let mut xdr = XdrEncoder::new();
+        d.encode(&mut xdr);
+        let mut dec = XdrDecoder::new(xdr.as_bytes());
+        let back = DescriptorDict::decode(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn corrupt_dictionary_is_rejected() {
+        let mut d = DescriptorDict::new();
+        d.intern_record(&rec(1, 2, vec![Value::Bool(true)]))
+            .unwrap();
+        let mut xdr = XdrEncoder::new();
+        d.encode(&mut xdr);
+        let mut bytes = xdr.as_bytes().to_vec();
+        bytes[0] ^= 0x80; // absurd count
+        assert!(DescriptorDict::decode(&mut XdrDecoder::new(&bytes)).is_err());
+    }
+}

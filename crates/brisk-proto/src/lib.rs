@@ -59,8 +59,10 @@
 // The decode path is a hostile-input boundary; it must never panic.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod dict;
 pub mod namespace;
 
+pub use dict::{DescriptorDict, DictKey};
 pub use namespace::{NamespaceError, NodePrefix};
 
 use brisk_core::{BriskError, EventRecord, NodeId, UtcMicros};

@@ -1,0 +1,152 @@
+//! Shared query-result cache.
+//!
+//! Dashboards refresh the same handful of queries on a timer; without a
+//! cache, N identical viewers cost N decode-scans of the same segments.
+//! The cache maps a *query fingerprint* — the predicate plus the exact
+//! segment set (ids and byte lengths) it would scan — to the materialized
+//! result. Appends, retention, and compaction all change the segment set
+//! or a segment's length, so a stale entry simply stops being addressed;
+//! entries need no explicit invalidation, just LRU-ish bounded space.
+
+use crate::query::QueryReport;
+use brisk_core::EventRecord;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default bound on cached results.
+pub const DEFAULT_CACHE_ENTRIES: usize = 32;
+
+/// One cached query result.
+#[derive(Debug)]
+pub struct CachedQuery {
+    /// The matching records, in store order.
+    pub records: Vec<EventRecord>,
+    /// The report of the scan that produced them (with `cache_hit`
+    /// false; hits re-stamp it).
+    pub report: QueryReport,
+}
+
+/// A bounded, thread-safe map from query fingerprint to result, shared
+/// across any number of [`crate::StoreReader`]s over the same store.
+#[derive(Debug)]
+pub struct QueryCache {
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<u64, Arc<CachedQuery>>,
+    /// Insertion order for eviction.
+    order: VecDeque<u64>,
+}
+
+impl QueryCache {
+    /// A cache bounded to `cap` results (at least 1).
+    pub fn new(cap: usize) -> Arc<QueryCache> {
+        Arc::new(QueryCache {
+            cap: cap.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inner: Mutex::new(Inner::default()),
+        })
+    }
+
+    /// A cache with the default bound.
+    pub fn with_default_capacity() -> Arc<QueryCache> {
+        QueryCache::new(DEFAULT_CACHE_ENTRIES)
+    }
+
+    /// Look up a fingerprint.
+    pub fn get(&self, key: u64) -> Option<Arc<CachedQuery>> {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let hit = inner.map.get(&key).cloned();
+        drop(inner);
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Insert a result, evicting the oldest entry past the bound.
+    pub fn put(&self, key: u64, value: Arc<CachedQuery>) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if inner.map.insert(key, value).is_none() {
+            inner.order.push_back(key);
+        }
+        while inner.order.len() > self.cap {
+            if let Some(old) = inner.order.pop_front() {
+                inner.map.remove(&old);
+            }
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .map
+            .len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime (hits, misses).
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drop every entry (tests; operators never need this — stale entries
+    /// age out by fingerprint change + LRU).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> Arc<CachedQuery> {
+        Arc::new(CachedQuery {
+            records: Vec::new(),
+            report: QueryReport::default(),
+        })
+    }
+
+    #[test]
+    fn bounded_fifo_eviction() {
+        let cache = QueryCache::new(2);
+        cache.put(1, entry());
+        cache.put(2, entry());
+        cache.put(3, entry());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_none(), "oldest evicted");
+        assert!(cache.get(2).is_some() && cache.get(3).is_some());
+        let (hits, misses) = cache.hit_miss();
+        assert_eq!((hits, misses), (2, 1));
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate_order() {
+        let cache = QueryCache::new(2);
+        cache.put(1, entry());
+        cache.put(1, entry());
+        cache.put(2, entry());
+        cache.put(3, entry());
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -25,12 +25,20 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod cache;
+pub mod compact;
 pub mod crc;
+pub mod query;
 pub mod reader;
 pub mod replay;
 pub mod segment;
 pub mod writer;
 
-pub use reader::{RecoveryReport, StoreReader, StoreTailer};
+pub use cache::{CachedQuery, QueryCache};
+pub use compact::{CompactConfig, CompactReport, Compactor};
+pub use query::{
+    causal_chain, windowed_aggregate, AggSource, CausalEvent, Predicate, QueryReport, WindowAgg,
+};
+pub use reader::{ReaderStats, RecoveryReport, StoreReader, StoreTailer};
 pub use replay::{ReplayStats, Replayer};
 pub use writer::{StoreStats, StoreWriter};

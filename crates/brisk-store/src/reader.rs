@@ -11,12 +11,15 @@
 
 use crate::crc::crc32;
 use crate::segment::{
-    index_path, parse_segment_file_name, segment_path, IndexEntry, SegmentHeader, SegmentIndex,
-    FRAME_OVERHEAD, MAX_FRAME_BYTES,
+    decode_any_header, index_path, parse_segment_file_name, segment_path, IndexEntry, SegmentBody,
+    SegmentHeader, SegmentIndex, SensorBloom, ZoneMap, FRAME_OVERHEAD, MAX_FRAME_BYTES,
 };
 use brisk_core::{binenc, BriskError, EventRecord, Result, UtcMicros};
+use brisk_telemetry::Registry;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// What recovery found while reading a store.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -33,6 +36,10 @@ pub struct RecoveryReport {
     /// Structurally complete frames whose CRC or decode failed; the scan
     /// skipped them and resynchronized on the next frame.
     pub corrupt_frames: u64,
+    /// Segments that vanished mid-scan (unlinked by retention between the
+    /// directory listing and the read); their records were already gone,
+    /// the scan skipped them.
+    pub evicted_under_scan: u32,
 }
 
 impl RecoveryReport {
@@ -43,7 +50,29 @@ impl RecoveryReport {
         self.torn_tail_truncations += other.torn_tail_truncations;
         self.torn_bytes += other.torn_bytes;
         self.corrupt_frames += other.corrupt_frames;
+        self.evicted_under_scan += other.evicted_under_scan;
     }
+}
+
+/// Lock-free counters shared by one reader's scans, exportable through
+/// [`StoreReader::bind_telemetry`].
+#[derive(Debug, Default)]
+pub struct ReaderStats {
+    /// Segments that vanished mid-scan (retention eviction) and were
+    /// skipped instead of surfacing an io error.
+    pub evicted_under_scan: AtomicU64,
+    /// Sidecar indexes ignored because their seal stamp disagreed with
+    /// the segment bytes on disk.
+    pub stale_indexes: AtomicU64,
+    /// Segments skipped entirely by zone-map/time-range pruning during
+    /// queries.
+    pub segments_pruned: AtomicU64,
+    /// Segments decode-scanned for queries.
+    pub segments_scanned: AtomicU64,
+    /// Queries answered from the shared result cache.
+    pub cache_hits: AtomicU64,
+    /// Queries that had to scan (cache miss or no cache attached).
+    pub cache_misses: AtomicU64,
 }
 
 /// One record recovered from a segment, with its frame's file offset.
@@ -60,7 +89,8 @@ pub struct ScannedRecord {
 pub(crate) struct SegmentScan {
     /// The decoded header.
     pub header: SegmentHeader,
-    /// Every intact record, in file order.
+    /// Every intact record, in file order. For compacted segments every
+    /// record of a block carries the block frame's offset.
     pub records: Vec<ScannedRecord>,
     /// Offset just past the last structurally complete frame; bytes beyond
     /// this are a torn tail.
@@ -69,21 +99,35 @@ pub(crate) struct SegmentScan {
     pub torn_bytes: u64,
     /// Complete frames with CRC/decode failures, skipped over.
     pub corrupt_frames: u64,
+    /// Offset and stored CRC word of the last structurally complete frame
+    /// seen, if any (feeds the sidecar's seal stamp).
+    pub last_frame: Option<(u64, u32)>,
 }
 
 /// Scan a whole segment image starting at `start` (pass the header end to
 /// resume mid-file; pass 0 to decode the header too — the returned header
-/// is always decoded from the front of `bytes`).
+/// is always decoded from the front of `bytes`). Dispatches on the format
+/// version: plain segments decode one binenc record per frame, compacted
+/// segments one delta block per frame.
 pub(crate) fn scan_segment(bytes: &[u8], start: u64) -> Result<SegmentScan> {
-    let (header, header_end) = SegmentHeader::decode(bytes)?;
+    let (header, body, header_end) = decode_any_header(bytes)?;
     let mut off = if start == 0 {
         header_end
     } else {
         start as usize
     };
+    if off > bytes.len() {
+        // A resume offset past EOF can only come from an index that does
+        // not describe these bytes (stale sidecar): nothing to scan there.
+        return Err(BriskError::Codec(format!(
+            "scan offset {off} past segment end {}",
+            bytes.len()
+        )));
+    }
     let mut records = Vec::new();
     let mut corrupt_frames = 0u64;
     let mut structural_end = off as u64;
+    let mut last_frame = None;
     loop {
         let remaining = bytes.len() - off;
         if remaining == 0 {
@@ -105,16 +149,26 @@ pub(crate) fn scan_segment(bytes: &[u8], start: u64) -> Result<SegmentScan> {
         let frame_off = off as u64;
         off += FRAME_OVERHEAD + len as usize;
         structural_end = off as u64;
+        last_frame = Some((frame_off, crc));
         if crc32(payload) != crc {
             corrupt_frames += 1;
             continue;
         }
-        match binenc::decode_record(payload) {
-            Ok((rec, used)) if used == payload.len() => records.push(ScannedRecord {
-                offset: frame_off,
-                rec,
-            }),
-            _ => corrupt_frames += 1,
+        match &body {
+            SegmentBody::Plain => match binenc::decode_record(payload) {
+                Ok((rec, used)) if used == payload.len() => records.push(ScannedRecord {
+                    offset: frame_off,
+                    rec,
+                }),
+                _ => corrupt_frames += 1,
+            },
+            SegmentBody::Compact(dict) => match crate::compact::decode_block(payload, dict) {
+                Ok(recs) => records.extend(recs.into_iter().map(|rec| ScannedRecord {
+                    offset: frame_off,
+                    rec,
+                })),
+                Err(_) => corrupt_frames += 1,
+            },
         }
     }
     Ok(SegmentScan {
@@ -123,18 +177,25 @@ pub(crate) fn scan_segment(bytes: &[u8], start: u64) -> Result<SegmentScan> {
         torn_bytes: bytes.len() as u64 - structural_end,
         structural_end,
         corrupt_frames,
+        last_frame,
     })
 }
 
-/// Build the sparse index of a scanned segment (used when sealing and when
-/// repairing a crashed store).
-pub(crate) fn index_of_scan(scan: &SegmentScan, index_every: u32) -> SegmentIndex {
+/// Build the zoned sparse index of a scanned segment (used when sealing,
+/// when repairing a crashed store, and after compaction). `seg_len` is
+/// the segment file's byte length the sidecar will describe — the seal
+/// stamp that later lets readers detect a sidecar gone stale.
+pub(crate) fn index_of_scan(scan: &SegmentScan, index_every: u32, seg_len: u64) -> SegmentIndex {
     let mut min_ts = UtcMicros::MAX;
     let mut max_ts = UtcMicros::from_micros(i64::MIN);
     let mut entries = Vec::new();
+    let mut nodes = std::collections::BTreeSet::new();
+    let mut sensors = SensorBloom::new();
     for (i, sr) in scan.records.iter().enumerate() {
         min_ts = min_ts.min(sr.rec.ts);
         max_ts = max_ts.max(sr.rec.ts);
+        nodes.insert(sr.rec.node.0);
+        sensors.insert(sr.rec.sensor.0);
         if (i as u32).is_multiple_of(index_every.max(1)) {
             entries.push(IndexEntry {
                 ordinal: i as u64,
@@ -147,12 +208,20 @@ pub(crate) fn index_of_scan(scan: &SegmentScan, index_every: u32) -> SegmentInde
         min_ts = scan.header.base_ts;
         max_ts = scan.header.base_ts;
     }
+    let (last_frame_offset, tail_crc) = scan.last_frame.unwrap_or((0, 0));
     SegmentIndex {
         segment_id: scan.header.segment_id,
         record_count: scan.records.len() as u64,
         min_ts,
         max_ts,
         entries,
+        zone: Some(ZoneMap {
+            nodes: nodes.into_iter().collect(),
+            sensors,
+            seg_len,
+            last_frame_offset,
+            tail_crc,
+        }),
     }
 }
 
@@ -177,7 +246,11 @@ pub(crate) fn list_segment_ids(dir: &Path) -> Result<Vec<u64>> {
 /// records excluded) but the files are left untouched — repairing the
 /// store on disk is the writer's job when it reopens the directory.
 pub struct StoreReader {
-    dir: PathBuf,
+    pub(crate) dir: PathBuf,
+    pub(crate) stats: Arc<ReaderStats>,
+    pub(crate) cache: Option<Arc<crate::cache::QueryCache>>,
+    /// Query scan latency, when telemetry is bound.
+    pub(crate) scan_micros: Option<Arc<brisk_telemetry::Histogram>>,
 }
 
 impl StoreReader {
@@ -190,12 +263,77 @@ impl StoreReader {
                 dir.display()
             )));
         }
-        Ok(StoreReader { dir })
+        Ok(StoreReader {
+            dir,
+            stats: Arc::new(ReaderStats::default()),
+            cache: None,
+            scan_micros: None,
+        })
+    }
+
+    /// Attach a shared query-result cache (see [`crate::QueryCache`]):
+    /// identical queries over an unchanged segment set are answered
+    /// without a scan. Multiple readers may share one cache.
+    pub fn with_cache(mut self, cache: Arc<crate::cache::QueryCache>) -> StoreReader {
+        self.cache = Some(cache);
+        self
     }
 
     /// The directory this reader scans.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// This reader's scan counters.
+    pub fn stats(&self) -> Arc<ReaderStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Register the reader's counters and the query scan-latency
+    /// histogram on `registry`.
+    pub fn bind_telemetry(&mut self, registry: &Registry) {
+        macro_rules! counter {
+            ($name:literal, $help:literal, $field:ident) => {{
+                let stats = Arc::clone(&self.stats);
+                registry.counter_fn($name, $help, &[], move || {
+                    stats.$field.load(Ordering::Relaxed)
+                });
+            }};
+        }
+        counter!(
+            "brisk_store_reader_evicted_under_scan_total",
+            "Segments unlinked by retention mid-scan, skipped by readers",
+            evicted_under_scan
+        );
+        counter!(
+            "brisk_store_reader_stale_indexes_total",
+            "Sidecar indexes ignored because their seal stamp mismatched",
+            stale_indexes
+        );
+        counter!(
+            "brisk_store_segments_pruned_total",
+            "Segments skipped entirely by zone-map/time-range pruning",
+            segments_pruned
+        );
+        counter!(
+            "brisk_store_segments_scanned_total",
+            "Segments decode-scanned to answer queries",
+            segments_scanned
+        );
+        counter!(
+            "brisk_store_query_cache_hits_total",
+            "Queries answered from the shared result cache",
+            cache_hits
+        );
+        counter!(
+            "brisk_store_query_cache_misses_total",
+            "Queries that had to scan segments",
+            cache_misses
+        );
+        self.scan_micros = Some(registry.histogram(
+            "brisk_store_query_scan_micros",
+            "Wall time spent scanning segments per query (µs)",
+        ));
     }
 
     /// Segment ids currently present, ascending.
@@ -236,13 +374,26 @@ impl StoreReader {
                     continue; // wholly below the bound; indexed skip
                 }
             }
-            let bytes = fs::read(segment_path(&self.dir, id))?;
+            // Retention may unlink a sealed segment between the directory
+            // listing above and this read: that is not an error, those
+            // records were evicted — skip and count.
+            let bytes = match fs::read(segment_path(&self.dir, id)) {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    report.evicted_under_scan += 1;
+                    self.stats
+                        .evicted_under_scan
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
             // Resume from the last index entry *strictly* below the bound.
             // An entry exactly at the bound is no good as a start point: in
             // a sorted segment records with the same timestamp may precede
             // the indexed one, and starting there would skip them even
             // though they satisfy `ts >= from`.
-            let start = match (idx.as_ref(), from) {
+            let mut start = match (idx.as_ref(), from) {
                 (Some(i), Some(from)) => i
                     .entries
                     .iter()
@@ -252,6 +403,14 @@ impl StoreReader {
                     .unwrap_or(0),
                 _ => 0,
             };
+            // Never trust a resume offset from a sidecar that demonstrably
+            // does not describe these bytes (stale after a crash in the
+            // seal window, or a compaction swap between the sidecar load
+            // and the segment read): fall back to a full scan.
+            if start != 0 && !crate::segment::frame_checks_out(&bytes, start, None) {
+                self.stats.stale_indexes.fetch_add(1, Ordering::Relaxed);
+                start = 0;
+            }
             let scan = match scan_segment(&bytes, start) {
                 Ok(s) => s,
                 Err(_) if !out.is_empty() || report.segments > 0 => {
@@ -450,7 +609,7 @@ mod tests {
             let bytes = segment_image(*id, recs);
             fs::write(segment_path(&dir, *id), &bytes).unwrap();
             let scan = scan_segment(&bytes, 0).unwrap();
-            let idx = index_of_scan(&scan, index_every);
+            let idx = index_of_scan(&scan, index_every, bytes.len() as u64);
             fs::write(index_path(&dir, *id), idx.encode()).unwrap();
         }
         dir
@@ -520,12 +679,41 @@ mod tests {
         fs::remove_dir_all(&dir).ok();
     }
 
+    /// Retention eviction racing a live scan (satellite bugfix 1): the
+    /// directory listing returns a segment that is unlinked before the
+    /// reader gets to `fs::read` it. A dangling symlink reproduces that
+    /// window deterministically — `read_dir` lists it, the read fails with
+    /// `NotFound` — exactly what a concurrent eviction produces. The reader
+    /// must skip it, count it, and return every surviving record instead of
+    /// surfacing a raw io error.
+    #[cfg(unix)]
+    #[test]
+    fn eviction_under_scan_is_skipped_not_fatal() {
+        let recs: Vec<_> = (0..10).map(|i| rec(i, i as i64)).collect();
+        let dir = write_indexed_store(&[(0, recs)], 4);
+        std::os::unix::fs::symlink(dir.join("nonexistent-target"), segment_path(&dir, 1)).unwrap();
+        let reader = StoreReader::open(&dir).unwrap();
+        let (got, report) = reader.read_all().unwrap();
+        assert_eq!(got.len(), 10, "surviving segment fully recovered");
+        assert_eq!(report.evicted_under_scan, 1);
+        assert_eq!(
+            reader.stats().evicted_under_scan.load(Ordering::Relaxed),
+            1,
+            "eviction race must be counted for telemetry"
+        );
+        // The seek path takes the same branch.
+        let (got, report) = reader.read_from(UtcMicros::from_micros(0)).unwrap();
+        assert_eq!(got.len(), 10);
+        assert_eq!(report.evicted_under_scan, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn index_of_scan_covers_range() {
         let recs: Vec<_> = (0..130).map(|i| rec(i, 1000 + i as i64)).collect();
         let bytes = segment_image(7, &recs);
         let scan = scan_segment(&bytes, 0).unwrap();
-        let idx = index_of_scan(&scan, 64);
+        let idx = index_of_scan(&scan, 64, bytes.len() as u64);
         assert_eq!(idx.record_count, 130);
         assert_eq!(idx.min_ts, UtcMicros::from_micros(1000));
         assert_eq!(idx.max_ts, UtcMicros::from_micros(1129));

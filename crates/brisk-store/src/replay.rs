@@ -50,12 +50,24 @@ impl Replayer {
     pub fn replay(&self, records: &[EventRecord], sink: &mut dyn EventSink) -> Result<ReplayStats> {
         let start = Instant::now();
         let mut prev_ts = None;
+        // Pacing accumulates a *deadline* instead of sleeping per gap:
+        // truncating each scaled gap to whole microseconds (or to a sleep
+        // the OS rounds up anyway) would, at high speed factors, turn every
+        // sub-microsecond gap into zero — a dense trace replayed at 16×
+        // busy-spins through thousands of records and then lands at the
+        // wrong overall pace. Summing gaps at nanosecond resolution and
+        // sleeping toward `start + trace_elapsed` keeps the cumulative
+        // error bounded regardless of speed or timestamp spacing.
+        let mut trace_elapsed = Duration::ZERO;
         for rec in records {
             if let (true, Some(prev)) = (self.paced(), prev_ts) {
                 let gap_us = rec.ts.micros_since(prev).max(0) as f64 / self.speed;
-                let gap = Duration::from_micros(gap_us as u64).min(MAX_GAP);
-                if !gap.is_zero() {
-                    std::thread::sleep(gap);
+                let gap = Duration::from_nanos((gap_us * 1_000.0) as u64).min(MAX_GAP);
+                trace_elapsed += gap;
+                let deadline = start + trace_elapsed;
+                let now = Instant::now();
+                if deadline > now {
+                    std::thread::sleep(deadline - now);
                 }
             }
             prev_ts = Some(rec.ts);
@@ -139,6 +151,48 @@ mod tests {
             "10x replay must be much faster than the original, took {:?}",
             stats.wall
         );
+    }
+
+    #[test]
+    fn accelerated_replay_of_dense_trace_keeps_pace() {
+        // 3000 records 10 µs apart: a 30 ms trace, ~1.9 ms at 16×. Each
+        // scaled gap is 0.625 µs — per-gap truncation to whole microseconds
+        // sleeps zero for every record and replays the whole trace flat
+        // out; deadline accumulation must preserve the overall pace.
+        let records: Vec<_> = (0..3000).map(|i| rec(i, i as i64 * 10)).collect();
+        let mut sink = |_r: &EventRecord| -> Result<()> { Ok(()) };
+        let stats = Replayer::at_speed(16.0)
+            .replay(&records, &mut sink)
+            .unwrap();
+        assert!(
+            stats.wall >= Duration::from_micros(1_500),
+            "16x replay of a 30 ms trace must take at least ~1.9 ms, took {:?}",
+            stats.wall
+        );
+        assert!(
+            stats.wall < Duration::from_millis(500),
+            "16x replay must stay accelerated, took {:?}",
+            stats.wall
+        );
+    }
+
+    #[test]
+    fn duplicate_timestamp_burst_does_not_stall() {
+        // 50k records sharing one timestamp: zero gaps end to end. A paced
+        // replay must pass the burst straight through without sleeping or
+        // spinning per record.
+        let records: Vec<_> = (0..50_000).map(|i| rec(i, 42)).collect();
+        let mut count = 0u64;
+        let mut sink = |_r: &EventRecord| -> Result<()> {
+            count += 1;
+            Ok(())
+        };
+        let start = Instant::now();
+        Replayer::original_speed()
+            .replay(&records, &mut sink)
+            .unwrap();
+        assert_eq!(count, 50_000);
+        assert!(start.elapsed() < Duration::from_millis(500));
     }
 
     #[test]

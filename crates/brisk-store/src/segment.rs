@@ -36,9 +36,31 @@
 //! timestamp range, so seeks do not scan sealed segments. It is a pure
 //! cache: when missing or corrupt, readers fall back to scanning the `.seg`
 //! file, which remains the single source of truth.
+//!
+//! ## Index v2: zone maps and the seal stamp
+//!
+//! Version-2 sidecars extend v1 with a *zone map* — the distinct node-id
+//! set, a 256-bit bloom filter over sensor ids, and (inherited from v1)
+//! the min/max timestamp — so a query can prune a sealed segment without
+//! reading its `.seg` file at all. They also carry a *seal stamp*: the
+//! segment's byte length, the offset of its last frame, and that frame's
+//! CRC as they were at seal time. A sidecar whose stamp disagrees with
+//! the segment bytes (crash between segment fsync and idx write, or a
+//! compaction that swapped the segment under it) is *stale* and must be
+//! ignored/rebuilt; see [`SegmentIndex::validate_against`]. V1 sidecars
+//! decode fine (`zone: None`) and are back-filled to v2 on writer open.
+//!
+//! ## Compacted segments (format version 2)
+//!
+//! Cold sealed segments may be rewritten in a compacted format: the
+//! header (version 2) additionally carries a descriptor dictionary of
+//! the distinct record shapes, and each CRC frame holds a *block* of
+//! delta-encoded records instead of a single binenc record (see
+//! `compact`). [`decode_any_header`] dispatches on the version.
 
 use crate::crc::crc32;
 use brisk_core::{BriskError, Result, UtcMicros};
+use brisk_proto::DescriptorDict;
 use brisk_xdr::{XdrDecoder, XdrEncoder};
 use std::path::{Path, PathBuf};
 
@@ -46,8 +68,13 @@ use std::path::{Path, PathBuf};
 pub const SEG_MAGIC: &[u8; 8] = b"BRISKSEG";
 /// Magic prefix of an index sidecar.
 pub const IDX_MAGIC: &[u8; 8] = b"BRISKIDX";
-/// On-disk format version.
+/// On-disk format version (plain, one binenc record per frame).
 pub const FORMAT_VERSION: u32 = 1;
+/// On-disk format version of compacted segments (dictionary + delta
+/// blocks, one block per frame).
+pub const COMPACT_VERSION: u32 = 2;
+/// Sidecar format version carrying zone maps + the seal stamp.
+pub const IDX_ZONED_VERSION: u32 = 2;
 /// Bytes of frame header preceding each payload (length + CRC).
 pub const FRAME_OVERHEAD: usize = 8;
 /// Upper bound on a sane frame payload; anything larger in a length word
@@ -123,42 +150,92 @@ impl SegmentHeader {
     }
 
     /// Decode a header from the start of a segment file. Returns the header
-    /// and the offset of the first frame.
+    /// and the offset of the first frame. Accepts both plain and compacted
+    /// segments; use [`decode_any_header`] when the dictionary is needed.
     pub fn decode(bytes: &[u8]) -> Result<(SegmentHeader, usize)> {
-        if bytes.len() < 8 || &bytes[..8] != SEG_MAGIC {
-            return Err(BriskError::Codec("bad segment magic".into()));
-        }
-        let mut dec = XdrDecoder::new(&bytes[8..]);
-        let version = dec.uint()?;
-        if version != FORMAT_VERSION {
-            return Err(BriskError::Codec(format!(
-                "unsupported segment format version {version}"
-            )));
-        }
-        let segment_id = dec.uhyper()?;
-        let base_ts = UtcMicros::from_micros(dec.hyper()?);
-        let n = dec.uint()? as usize;
-        if n > MAX_HEADER_NODES {
-            return Err(BriskError::Codec(format!("absurd header node count {n}")));
-        }
-        let mut nodes = Vec::with_capacity(n);
-        for _ in 0..n {
-            nodes.push(dec.uint()?);
-        }
-        let body_len = dec.position();
-        let want = crc32(&bytes[8..8 + body_len]);
-        let got = dec.uint()?;
-        if want != got {
-            return Err(BriskError::Codec("segment header CRC mismatch".into()));
-        }
-        let header = SegmentHeader {
-            version,
-            segment_id,
-            base_ts,
-            nodes,
-        };
-        Ok((header, 8 + dec.position()))
+        let (header, _, off) = decode_any_header(bytes)?;
+        Ok((header, off))
     }
+}
+
+/// What follows a segment header: plain binenc frames, or compact blocks
+/// decoded against the header's descriptor dictionary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SegmentBody {
+    /// Format v1: each frame payload is one binenc record.
+    Plain,
+    /// Format v2: each frame payload is a delta-encoded block referring
+    /// to this dictionary.
+    Compact(DescriptorDict),
+}
+
+/// Decode a segment header of either format version. Returns the header,
+/// the body kind (with the descriptor dictionary for compacted segments),
+/// and the offset of the first frame.
+pub fn decode_any_header(bytes: &[u8]) -> Result<(SegmentHeader, SegmentBody, usize)> {
+    if bytes.len() < 8 || &bytes[..8] != SEG_MAGIC {
+        return Err(BriskError::Codec("bad segment magic".into()));
+    }
+    let mut dec = XdrDecoder::new(&bytes[8..]);
+    let version = dec.uint()?;
+    if version != FORMAT_VERSION && version != COMPACT_VERSION {
+        return Err(BriskError::Codec(format!(
+            "unsupported segment format version {version}"
+        )));
+    }
+    let segment_id = dec.uhyper()?;
+    let base_ts = UtcMicros::from_micros(dec.hyper()?);
+    let n = dec.uint()? as usize;
+    if n > MAX_HEADER_NODES {
+        return Err(BriskError::Codec(format!("absurd header node count {n}")));
+    }
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        nodes.push(dec.uint()?);
+    }
+    let body = if version == COMPACT_VERSION {
+        SegmentBody::Compact(DescriptorDict::decode(&mut dec)?)
+    } else {
+        SegmentBody::Plain
+    };
+    let body_len = dec.position();
+    let want = crc32(&bytes[8..8 + body_len]);
+    let got = dec.uint()?;
+    if want != got {
+        return Err(BriskError::Codec("segment header CRC mismatch".into()));
+    }
+    let header = SegmentHeader {
+        version,
+        segment_id,
+        base_ts,
+        nodes,
+    };
+    Ok((header, body, 8 + dec.position()))
+}
+
+/// Encode magic + compacted (version-2) header: the common header fields
+/// followed by the descriptor dictionary the segment's blocks refer to.
+pub fn encode_compact_header(
+    segment_id: u64,
+    base_ts: UtcMicros,
+    nodes: &[u32],
+    dict: &DescriptorDict,
+) -> Vec<u8> {
+    let mut xdr = XdrEncoder::with_capacity(64 + 4 * nodes.len() + 16 * dict.len());
+    xdr.uint(COMPACT_VERSION)
+        .uhyper(segment_id)
+        .hyper(base_ts.as_micros())
+        .uint(nodes.len() as u32);
+    for &n in nodes {
+        xdr.uint(n);
+    }
+    dict.encode(&mut xdr);
+    let crc = crc32(xdr.as_bytes());
+    xdr.uint(crc);
+    let mut out = Vec::with_capacity(8 + xdr.len());
+    out.extend_from_slice(SEG_MAGIC);
+    out.extend_from_slice(xdr.as_bytes());
+    out
 }
 
 /// Append one CRC-framed payload to `out`.
@@ -179,6 +256,84 @@ pub struct IndexEntry {
     pub ts: UtcMicros,
 }
 
+/// A 256-bit bloom filter over sensor ids (two probes per id). Sized for
+/// the common case — tens of distinct sensors per segment — where the
+/// false-positive rate stays under ~2%; at higher cardinality it degrades
+/// toward "may contain anything", which only costs a wasted scan, never a
+/// missed record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SensorBloom(pub [u64; 4]);
+
+impl SensorBloom {
+    /// An empty filter (matches nothing).
+    pub fn new() -> SensorBloom {
+        SensorBloom::default()
+    }
+
+    fn probes(id: u32) -> (u32, u32) {
+        // SplitMix64 finalizer: cheap, well-mixed 64 bits from the id;
+        // the low and high halves give two independent probe positions.
+        let mut x = (id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        ((x & 0xFF) as u32, ((x >> 32) & 0xFF) as u32)
+    }
+
+    /// Insert a sensor id.
+    pub fn insert(&mut self, id: u32) {
+        let (a, b) = Self::probes(id);
+        self.0[(a >> 6) as usize] |= 1 << (a & 63);
+        self.0[(b >> 6) as usize] |= 1 << (b & 63);
+    }
+
+    /// False means the id is definitely absent; true means it may be
+    /// present.
+    pub fn may_contain(&self, id: u32) -> bool {
+        let (a, b) = Self::probes(id);
+        self.0[(a >> 6) as usize] & (1 << (a & 63)) != 0
+            && self.0[(b >> 6) as usize] & (1 << (b & 63)) != 0
+    }
+
+    fn to_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, w) in self.0.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<SensorBloom> {
+        if bytes.len() != 32 {
+            return Err(BriskError::Codec("bad sensor bloom length".into()));
+        }
+        let mut words = [0u64; 4];
+        for (i, w) in words.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+            *w = u64::from_le_bytes(b);
+        }
+        Ok(SensorBloom(words))
+    }
+}
+
+/// The v2 sidecar extension: per-segment zone map plus the seal stamp
+/// that binds the sidecar to the exact segment bytes it was built from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZoneMap {
+    /// Distinct node ids appearing in the segment, sorted ascending.
+    pub nodes: Vec<u32>,
+    /// Bloom filter over distinct sensor ids in the segment.
+    pub sensors: SensorBloom,
+    /// Segment file length, in bytes, at seal time.
+    pub seg_len: u64,
+    /// Offset of the last frame at seal time (0 when the segment holds
+    /// no frames).
+    pub last_frame_offset: u64,
+    /// Stored CRC word of the last frame (0 when no frames).
+    pub tail_crc: u32,
+}
+
 /// The sealed-segment summary stored in a `.idx` sidecar.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SegmentIndex {
@@ -192,13 +347,22 @@ pub struct SegmentIndex {
     pub max_ts: UtcMicros,
     /// Sparse entries, ascending by ordinal.
     pub entries: Vec<IndexEntry>,
+    /// Zone map + seal stamp. `None` for v1 sidecars written before zone
+    /// maps existed; the writer back-fills these on open.
+    pub zone: Option<ZoneMap>,
 }
 
 impl SegmentIndex {
-    /// Encode magic + index for the sidecar file.
+    /// Encode magic + index for the sidecar file. Writes the v2 layout
+    /// when a zone map is present, the original v1 layout otherwise.
     pub fn encode(&self) -> Vec<u8> {
-        let mut xdr = XdrEncoder::with_capacity(48 + 24 * self.entries.len());
-        xdr.uint(FORMAT_VERSION)
+        let mut xdr = XdrEncoder::with_capacity(128 + 24 * self.entries.len());
+        let version = if self.zone.is_some() {
+            IDX_ZONED_VERSION
+        } else {
+            FORMAT_VERSION
+        };
+        xdr.uint(version)
             .uhyper(self.segment_id)
             .uhyper(self.record_count)
             .hyper(self.min_ts.as_micros())
@@ -208,6 +372,16 @@ impl SegmentIndex {
             xdr.uhyper(e.ordinal)
                 .uhyper(e.offset)
                 .hyper(e.ts.as_micros());
+        }
+        if let Some(zone) = &self.zone {
+            xdr.uint(zone.nodes.len() as u32);
+            for &n in &zone.nodes {
+                xdr.uint(n);
+            }
+            xdr.opaque_fixed(&zone.sensors.to_bytes());
+            xdr.uhyper(zone.seg_len)
+                .uhyper(zone.last_frame_offset)
+                .uint(zone.tail_crc);
         }
         let crc = crc32(xdr.as_bytes());
         xdr.uint(crc);
@@ -225,7 +399,7 @@ impl SegmentIndex {
         }
         let mut dec = XdrDecoder::new(&bytes[8..]);
         let version = dec.uint()?;
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != IDX_ZONED_VERSION {
             return Err(BriskError::Codec(format!(
                 "unsupported index format version {version}"
             )));
@@ -249,6 +423,29 @@ impl SegmentIndex {
                 ts,
             });
         }
+        let zone = if version >= IDX_ZONED_VERSION {
+            let nn = dec.uint()? as usize;
+            if nn > MAX_HEADER_NODES {
+                return Err(BriskError::Codec(format!("absurd zone node count {nn}")));
+            }
+            let mut nodes = Vec::with_capacity(nn);
+            for _ in 0..nn {
+                nodes.push(dec.uint()?);
+            }
+            let sensors = SensorBloom::from_bytes(dec.opaque_fixed(32)?)?;
+            let seg_len = dec.uhyper()?;
+            let last_frame_offset = dec.uhyper()?;
+            let tail_crc = dec.uint()?;
+            Some(ZoneMap {
+                nodes,
+                sensors,
+                seg_len,
+                last_frame_offset,
+                tail_crc,
+            })
+        } else {
+            None
+        };
         let body_len = dec.position();
         let want = crc32(&bytes[8..8 + body_len]);
         if want != dec.uint()? {
@@ -261,8 +458,57 @@ impl SegmentIndex {
             min_ts,
             max_ts,
             entries,
+            zone,
         })
     }
+
+    /// True when this sidecar demonstrably describes `seg` — the actual
+    /// bytes of its segment file. A v1 sidecar (no seal stamp) cannot be
+    /// validated and returns false, which callers treat as "rebuild".
+    ///
+    /// The check is deliberately cheap relative to a full decode-scan:
+    /// the seal stamp must match the file length and the tail frame's
+    /// stored CRC, the tail frame payload must actually carry that CRC,
+    /// and every sparse entry must point at a frame whose CRC verifies.
+    pub fn validate_against(&self, seg: &[u8]) -> bool {
+        let Some(zone) = &self.zone else {
+            return false;
+        };
+        if zone.seg_len != seg.len() as u64 {
+            return false;
+        }
+        if self.record_count == 0 {
+            return true;
+        }
+        if !frame_checks_out(seg, zone.last_frame_offset, Some(zone.tail_crc)) {
+            return false;
+        }
+        self.entries
+            .iter()
+            .all(|e| frame_checks_out(seg, e.offset, None))
+    }
+}
+
+/// Verify the frame starting at `offset`: header in bounds, sane length,
+/// payload CRC matches the stored word (and `expect_crc`, when given).
+pub(crate) fn frame_checks_out(seg: &[u8], offset: u64, expect_crc: Option<u32>) -> bool {
+    let Ok(off) = usize::try_from(offset) else {
+        return false;
+    };
+    if off + FRAME_OVERHEAD > seg.len() {
+        return false;
+    }
+    let len = u32::from_le_bytes([seg[off], seg[off + 1], seg[off + 2], seg[off + 3]]) as usize;
+    let stored = u32::from_le_bytes([seg[off + 4], seg[off + 5], seg[off + 6], seg[off + 7]]);
+    if len > MAX_FRAME_BYTES as usize || off + FRAME_OVERHEAD + len > seg.len() {
+        return false;
+    }
+    if let Some(want) = expect_crc {
+        if stored != want {
+            return false;
+        }
+    }
+    crc32(&seg[off + FRAME_OVERHEAD..off + FRAME_OVERHEAD + len]) == stored
 }
 
 #[cfg(test)]
@@ -316,6 +562,7 @@ mod tests {
                     ts: UtcMicros::from_micros(10 + i as i64 * 100),
                 })
                 .collect(),
+            zone: None,
         };
         let bytes = idx.encode();
         assert_eq!(SegmentIndex::decode(&bytes).unwrap(), idx);
@@ -323,6 +570,129 @@ mod tests {
         let n = bad.len();
         bad[n / 2] ^= 1;
         assert!(SegmentIndex::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn zoned_index_round_trips() {
+        let mut sensors = SensorBloom::new();
+        sensors.insert(7);
+        sensors.insert(99);
+        let idx = SegmentIndex {
+            segment_id: 3,
+            record_count: 128,
+            min_ts: UtcMicros::from_micros(5),
+            max_ts: UtcMicros::from_micros(500),
+            entries: vec![IndexEntry {
+                ordinal: 0,
+                offset: 53,
+                ts: UtcMicros::from_micros(5),
+            }],
+            zone: Some(ZoneMap {
+                nodes: vec![1, 2, 9],
+                sensors,
+                seg_len: 4096,
+                last_frame_offset: 4000,
+                tail_crc: 0xDEAD_BEEF,
+            }),
+        };
+        let bytes = idx.encode();
+        let back = SegmentIndex::decode(&bytes).unwrap();
+        assert_eq!(back, idx);
+        let z = back.zone.unwrap();
+        assert!(z.sensors.may_contain(7) && z.sensors.may_contain(99));
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let mut b = SensorBloom::new();
+        for id in (0..400).step_by(7) {
+            b.insert(id);
+        }
+        for id in (0..400).step_by(7) {
+            assert!(b.may_contain(id), "false negative for {id}");
+        }
+        // Spot-check that it actually discriminates at low cardinality.
+        let mut small = SensorBloom::new();
+        small.insert(1);
+        let misses = (1000u32..2000).filter(|&i| !small.may_contain(i)).count();
+        assert!(misses > 900, "bloom too dense: {misses}/1000 misses");
+    }
+
+    #[test]
+    fn validate_against_binds_sidecar_to_segment_bytes() {
+        // Build a tiny segment image: header + two frames.
+        let h = SegmentHeader {
+            version: FORMAT_VERSION,
+            segment_id: 0,
+            base_ts: UtcMicros::from_micros(1),
+            nodes: vec![1],
+        };
+        let mut seg = h.encode();
+        let first_off = seg.len() as u64;
+        append_frame(b"first-record", &mut seg);
+        let tail_off = seg.len() as u64;
+        append_frame(b"second-record", &mut seg);
+        let tail_crc = crc32(b"second-record");
+        let mut sensors = SensorBloom::new();
+        sensors.insert(2);
+        let idx = SegmentIndex {
+            segment_id: 0,
+            record_count: 2,
+            min_ts: UtcMicros::from_micros(1),
+            max_ts: UtcMicros::from_micros(2),
+            entries: vec![IndexEntry {
+                ordinal: 0,
+                offset: first_off,
+                ts: UtcMicros::from_micros(1),
+            }],
+            zone: Some(ZoneMap {
+                nodes: vec![1],
+                sensors,
+                seg_len: seg.len() as u64,
+                last_frame_offset: tail_off,
+                tail_crc,
+            }),
+        };
+        assert!(idx.validate_against(&seg));
+        // Stale: segment truncated after the sidecar was written.
+        assert!(!idx.validate_against(&seg[..seg.len() - 4]));
+        // Stale: segment grew (extra frame) after the sidecar was written.
+        let mut grown = seg.clone();
+        append_frame(b"third", &mut grown);
+        assert!(!idx.validate_against(&grown));
+        // Corrupt frame under an entry.
+        let mut bitrot = seg.clone();
+        let p = first_off as usize + FRAME_OVERHEAD + 2;
+        bitrot[p] ^= 0x10;
+        assert!(!idx.validate_against(&bitrot));
+        // V1 sidecars can never validate.
+        let v1 = SegmentIndex { zone: None, ..idx };
+        assert!(!v1.validate_against(&seg));
+    }
+
+    #[test]
+    fn compact_header_round_trips() {
+        use brisk_core::{EventTypeId, NodeId, SensorId, Value};
+        let mut dict = DescriptorDict::new();
+        dict.intern_record(&brisk_core::EventRecord {
+            node: NodeId(1),
+            sensor: SensorId(2),
+            event_type: EventTypeId(3),
+            seq: 0,
+            ts: UtcMicros::ZERO,
+            fields: vec![Value::I32(5), Value::Str("x".into())],
+        })
+        .unwrap();
+        let bytes = encode_compact_header(7, UtcMicros::from_micros(42), &[1, 2], &dict);
+        let (h, body, off) = decode_any_header(&bytes).unwrap();
+        assert_eq!(h.version, COMPACT_VERSION);
+        assert_eq!(h.segment_id, 7);
+        assert_eq!(h.nodes, vec![1, 2]);
+        assert_eq!(off, bytes.len());
+        assert_eq!(body, SegmentBody::Compact(dict));
+        // SegmentHeader::decode accepts it too (dictionary discarded).
+        let (h2, off2) = SegmentHeader::decode(&bytes).unwrap();
+        assert_eq!((h2.segment_id, off2), (7, bytes.len()));
     }
 
     #[test]

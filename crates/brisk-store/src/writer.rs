@@ -19,7 +19,8 @@
 
 use crate::reader::{index_of_scan, list_segment_ids, scan_segment};
 use crate::segment::{
-    append_frame, index_path, segment_path, IndexEntry, SegmentHeader, SegmentIndex, FORMAT_VERSION,
+    append_frame, index_path, segment_path, IndexEntry, SegmentHeader, SegmentIndex, SensorBloom,
+    ZoneMap, FORMAT_VERSION,
 };
 use brisk_core::sink::EventSink;
 use brisk_core::{binenc, BriskError, EventRecord, FsyncPolicy, Result, StoreConfig, UtcMicros};
@@ -143,6 +144,22 @@ impl Drop for WriteBehind {
     }
 }
 
+/// Write `bytes` to `path` durably and atomically: a temp file is written
+/// and fsynced, then renamed over the destination, so a crash leaves either
+/// the old file or the complete new one — never a torn or page-cache-only
+/// sidecar.
+fn write_durable(path: &std::path::Path, bytes: &[u8]) -> Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
 fn thread_gone() -> BriskError {
     std::io::Error::new(
         std::io::ErrorKind::BrokenPipe,
@@ -169,6 +186,10 @@ pub struct StoreStats {
     pub torn_tail_truncations: AtomicU64,
     /// Sealed segments evicted by the retention policy.
     pub retention_evictions: AtomicU64,
+    /// Sidecar indexes rebuilt during the open-time repair pass — missing,
+    /// damaged, pre-zone-map (v1, back-filled), or stale (their seal stamp
+    /// disagreed with the segment bytes, e.g. after a crash mid-seal).
+    pub idx_rebuilds: AtomicU64,
 }
 
 /// A sealed segment the writer still tracks for retention accounting.
@@ -192,6 +213,13 @@ struct ActiveSegment {
     min_ts: UtcMicros,
     max_ts: UtcMicros,
     index: Vec<IndexEntry>,
+    /// Node ids seen in this segment (zone map).
+    nodes: BTreeSet<u32>,
+    /// Sensor ids seen in this segment (zone map).
+    sensors: SensorBloom,
+    /// Offset and CRC word of the most recent frame (the sidecar's seal
+    /// stamp).
+    last_frame: Option<(u64, u32)>,
     /// Appends remaining until the next sparse-index entry (a countdown
     /// beats `records % index_every` on the hot path — the modulo by a
     /// runtime divisor was measurable per record).
@@ -248,16 +276,22 @@ impl StoreWriter {
             next_segment_id = id + 1;
             let seg_path = segment_path(&dir, id);
             let idx_path = index_path(&dir, id);
+            let bytes = fs::read(&seg_path)?;
+            // Trust a sidecar only when its seal stamp provably describes
+            // these segment bytes: a crash in the seal window (or between a
+            // compaction's two renames) can leave a sidecar whose offsets
+            // point into bytes that never made it to disk. Pre-zone-map (v1)
+            // sidecars carry no stamp and are back-filled here.
             let idx = match fs::read(&idx_path)
                 .ok()
                 .and_then(|b| SegmentIndex::decode(&b).ok())
-                .filter(|i| i.segment_id == id)
+                .filter(|i| i.segment_id == id && i.validate_against(&bytes))
             {
                 Some(idx) => idx,
                 None => {
-                    // Crash before seal (or a damaged sidecar): scan the
-                    // segment, truncate any torn tail, rebuild the index.
-                    let bytes = fs::read(&seg_path)?;
+                    // Crash before seal, a damaged/stale sidecar, or a v1
+                    // sidecar: scan the segment, truncate any torn tail,
+                    // rebuild the index.
                     let scan = match scan_segment(&bytes, 0) {
                         Ok(s) => s,
                         Err(_) => {
@@ -289,8 +323,9 @@ impl StoreWriter {
                         stats.torn_tail_truncations.fetch_add(1, Ordering::Relaxed);
                         stats.fsyncs.fetch_add(1, Ordering::Relaxed);
                     }
-                    let idx = index_of_scan(&scan, cfg.index_every);
-                    fs::write(&idx_path, idx.encode())?;
+                    let idx = index_of_scan(&scan, cfg.index_every, scan.structural_end);
+                    write_durable(&idx_path, &idx.encode())?;
+                    stats.idx_rebuilds.fetch_add(1, Ordering::Relaxed);
                     idx
                 }
             };
@@ -381,6 +416,11 @@ impl StoreWriter {
             "Sealed segments evicted by the retention policy",
             retention_evictions
         );
+        counter!(
+            "brisk_store_idx_rebuilds_total",
+            "Sidecar indexes rebuilt on open (missing, damaged, v1 or stale)",
+            idx_rebuilds
+        );
         {
             let s = Arc::clone(&s);
             registry.gauge_fn(
@@ -437,10 +477,18 @@ impl StoreWriter {
         active.index_countdown -= 1;
         let before = active.pending.len();
         append_frame(payload, &mut active.pending);
+        let crc = u32::from_le_bytes(
+            active.pending[before + 4..before + 8]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        active.last_frame = Some((active.bytes, crc));
         active.bytes += (active.pending.len() - before) as u64;
         active.records += 1;
         active.min_ts = active.min_ts.min(rec.ts);
         active.max_ts = active.max_ts.max(rec.ts);
+        active.nodes.insert(rec.node.0);
+        active.sensors.insert(rec.sensor.0);
         let pending_len = active.pending.len();
         if self.last_node != Some(rec.node.0) {
             self.known_nodes.insert(rec.node.0);
@@ -541,14 +589,26 @@ impl StoreWriter {
                 h.record(start.elapsed().as_micros() as u64);
             }
         }
+        let (last_frame_offset, tail_crc) = active.last_frame.unwrap_or((0, 0));
         let idx = SegmentIndex {
             segment_id: active.id,
             record_count: active.records,
             min_ts: active.min_ts,
             max_ts: active.max_ts,
             entries: active.index,
+            zone: Some(ZoneMap {
+                nodes: active.nodes.iter().copied().collect(),
+                sensors: active.sensors,
+                seg_len: active.bytes,
+                last_frame_offset,
+                tail_crc,
+            }),
         };
-        fs::write(index_path(&self.dir, active.id), idx.encode())?;
+        // Durable and atomic: a crash must never leave a half-written
+        // sidecar that a later open would trust, and the segment's own
+        // data is already synced above, so the sidecar must not be the
+        // one thing the page cache still owns.
+        write_durable(&index_path(&self.dir, active.id), &idx.encode())?;
         self.sealed.push(SealedSegment {
             id: active.id,
             bytes: active.bytes,
@@ -594,6 +654,9 @@ impl StoreWriter {
             min_ts: UtcMicros::MAX,
             max_ts: first.ts,
             index: Vec::new(),
+            nodes: BTreeSet::new(),
+            sensors: SensorBloom::new(),
+            last_frame: None,
             index_countdown: 0,
         });
         Ok(())
@@ -785,6 +848,83 @@ mod tests {
         let (recs, report) = StoreReader::open(&dir).unwrap().read_all().unwrap();
         assert_eq!(recs.len(), 39, "every intact record survives");
         assert_eq!(report.torn_tail_truncations, 0, "tail already truncated");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Stale sidecar after a crash in the seal window (satellite bugfix 2):
+    /// the sidecar index reached disk but part of the segment's data never
+    /// did. Reopen used to trust any sidecar that merely decoded; it must
+    /// instead validate the sidecar's seal stamp against the segment bytes,
+    /// rebuild the index and truncate the torn tail.
+    #[test]
+    fn stale_sidecar_is_detected_and_rebuilt_on_reopen() {
+        let dir = temp_dir("stale-idx");
+        let cfg = cfg(&dir);
+        {
+            let mut w = StoreWriter::open(&cfg).unwrap();
+            for i in 0..40 {
+                w.append(&rec(1, i, i as i64)).unwrap();
+            }
+        } // drop seals: segment 0 has a sidecar with a seal stamp
+        let ids = list_segment_ids(&dir).unwrap();
+        let first = segment_path(&dir, ids[0]);
+        // Simulate the crash: the sidecar survived, the tail of the
+        // segment's data did not (page cache lost it before the rename).
+        let len = fs::metadata(&first).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&first).unwrap();
+        f.set_len(len - 7).unwrap();
+        drop(f);
+
+        let w = StoreWriter::open(&cfg).unwrap();
+        assert_eq!(
+            w.stats().idx_rebuilds.load(Ordering::Relaxed),
+            1,
+            "stale sidecar must be detected and rebuilt"
+        );
+        assert_eq!(
+            w.stats().torn_tail_truncations.load(Ordering::Relaxed),
+            1,
+            "the torn tail hiding behind the stale sidecar must be repaired"
+        );
+        drop(w);
+        let (recs, report) = StoreReader::open(&dir).unwrap().read_all().unwrap();
+        assert_eq!(report.torn_tail_truncations, 0, "repair already done");
+        assert!(
+            recs.iter().take_while(|r| r.node.0 == 1).count() > 0,
+            "intact records before the tear survive"
+        );
+        let seqs: Vec<u64> = recs.iter().map(|r| r.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[1] == w[0] + 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Pre-zone-map (v1) sidecars carry no seal stamp: reopening a store
+    /// sealed by an older writer back-fills them with zoned v2 sidecars.
+    #[test]
+    fn v1_sidecar_is_backfilled_with_zone_map_on_reopen() {
+        let dir = temp_dir("backfill");
+        let cfg = cfg(&dir);
+        {
+            let mut w = StoreWriter::open(&cfg).unwrap();
+            for i in 0..40 {
+                w.append(&rec(3, i, i as i64)).unwrap();
+            }
+        }
+        let ids = list_segment_ids(&dir).unwrap();
+        // Strip segment 0's sidecar down to v1 (no zone map), as an older
+        // writer would have written it.
+        let idx_path = index_path(&dir, ids[0]);
+        let mut idx = SegmentIndex::decode(&fs::read(&idx_path).unwrap()).unwrap();
+        idx.zone = None;
+        fs::write(&idx_path, idx.encode()).unwrap();
+
+        let w = StoreWriter::open(&cfg).unwrap();
+        assert!(w.stats().idx_rebuilds.load(Ordering::Relaxed) >= 1);
+        drop(w);
+        let reloaded = SegmentIndex::decode(&fs::read(&idx_path).unwrap()).unwrap();
+        let zone = reloaded.zone.expect("back-filled sidecar is zoned");
+        assert_eq!(zone.nodes, vec![3]);
+        assert!(zone.sensors.may_contain(0));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -87,6 +87,8 @@ struct Args {
     error_budget: u32,
     pump_threads: usize,
     flight_size: Option<usize>,
+    compact_interval: Option<Duration>,
+    compact_keep_hot: usize,
 }
 
 fn parse_args() -> std::result::Result<Args, String> {
@@ -107,6 +109,8 @@ fn parse_args() -> std::result::Result<Args, String> {
         error_budget: IsmConfig::default().protocol_error_budget,
         pump_threads: IsmConfig::default().pump_threads,
         flight_size: None,
+        compact_interval: None,
+        compact_keep_hot: CompactConfig::default().keep_hot,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -196,6 +200,18 @@ fn parse_args() -> std::result::Result<Args, String> {
                         .map_err(|e| format!("bad --flight-size: {e}"))?,
                 )
             }
+            "--compact-interval-ms" => {
+                args.compact_interval = Some(Duration::from_millis(
+                    val("--compact-interval-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --compact-interval-ms: {e}"))?,
+                ))
+            }
+            "--compact-keep-hot" => {
+                args.compact_keep_hot = val("--compact-keep-hot")?
+                    .parse()
+                    .map_err(|e| format!("bad --compact-keep-hot: {e}"))?
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] \
@@ -206,7 +222,8 @@ fn parse_args() -> std::result::Result<Args, String> {
                             [--segment-bytes N] [--credit-records N] \
                             [--max-queued-records N] [--shed-unmarked] \
                             [--node-timeout MS] [--error-budget N] \
-                            [--pump-threads N] [--flight-size N]"
+                            [--pump-threads N] [--flight-size N] \
+                            [--compact-interval-ms N] [--compact-keep-hot N]"
                         .into(),
                 )
             }
@@ -215,6 +232,9 @@ fn parse_args() -> std::result::Result<Args, String> {
     }
     if args.upstream.is_some() != args.node_prefix.is_some() {
         return Err("relay mode needs both --upstream and --node-prefix".into());
+    }
+    if args.compact_interval.is_some() && args.store.dir.is_none() {
+        return Err("--compact-interval-ms needs --store-dir".into());
     }
     Ok(args)
 }
@@ -408,6 +428,33 @@ fn main() {
     // Periodic stats on stderr; stop on stdin EOF / `quit`.
     let memory = Arc::clone(handle.memory());
     let stats_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    // Background compaction: periodically rewrite cold sealed segments
+    // into the dictionary/delta format. Runs in its own thread against
+    // the store directory — readers (including this process's writer)
+    // see the swap atomically via rename.
+    let compact_thread = args.compact_interval.map(|every| {
+        let dir = args.store.dir.clone().expect("validated in parse_args");
+        let keep_hot = args.compact_keep_hot;
+        let stop = Arc::clone(&stats_stop);
+        let registry = Arc::clone(&registry);
+        eprintln!("background compaction every {every:?} (keeping {keep_hot} sealed segments hot)");
+        std::thread::spawn(move || {
+            let compactor = Compactor::new(
+                &dir,
+                CompactConfig {
+                    keep_hot,
+                    ..CompactConfig::default()
+                },
+            );
+            compactor.bind_telemetry(&registry);
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                std::thread::sleep(every);
+                if let Err(e) = compactor.run_once() {
+                    eprintln!("[ismd] compaction pass failed: {e}");
+                }
+            }
+        })
+    });
     let stats_thread = {
         let stop = Arc::clone(&stats_stop);
         let every = args.stats_every;
@@ -438,6 +485,9 @@ fn main() {
     stats_stop.store(true, std::sync::atomic::Ordering::Relaxed);
     let report = handle.stop().expect("orderly ISM shutdown");
     let _ = stats_thread.join();
+    if let Some(t) = compact_thread {
+        let _ = t.join();
+    }
     if let Some(s) = stats_server {
         s.stop();
     }

@@ -1,0 +1,283 @@
+//! `brisk-query` — query, aggregate and compact a durable trace store.
+//!
+//! Companion tool to `brisk-ismd --store-dir`: everything it does runs
+//! against the store directory on disk, concurrently with a live writer.
+//!
+//! ```text
+//! brisk-query DIR [--from-us N] [--to-us N] [--node N]... [--sensor N]...
+//!             [--limit N] [--stats]
+//!             [--window-ms N [--field K]]
+//!             [--chain ID [--max-links N]]
+//!             [--compact [--keep-hot N] [--block-records N]]
+//! ```
+//!
+//! Modes (mutually exclusive; default prints matching records):
+//!
+//! * *select* — print records matching the time-range × node × sensor
+//!   predicate. Zone-map sidecars prune segments that provably hold no
+//!   match, so a narrow query reads a fraction of the store; `--stats`
+//!   shows exactly how many segments were pruned vs scanned.
+//! * `--window-ms N` — windowed aggregation over the matching records:
+//!   per-window record count, rate, and mean/p50/p95/p99 of inter-arrival
+//!   gaps (or of numeric field `K` with `--field K`), from the same
+//!   log2-bucket histograms the live telemetry uses.
+//! * `--chain ID` — walk the CRE reason/conseq links starting from
+//!   correlation id `ID` (decimal or 0xHEX) across the matching records
+//!   and print the causal chain, indented by depth.
+//! * `--compact` — rewrite cold sealed segments into the
+//!   descriptor-dictionary delta format (readable transparently by every
+//!   reader); `--keep-hot N` leaves the N newest sealed segments plain.
+//!
+//! Exit status: 0 on success (even when nothing matches), 2 on usage
+//! errors, 1 on store errors.
+
+use brisk::prelude::*;
+use std::io::Write;
+use std::path::PathBuf;
+
+struct Args {
+    dir: PathBuf,
+    pred: Predicate,
+    limit: Option<usize>,
+    stats: bool,
+    window_ms: Option<u64>,
+    field: Option<usize>,
+    chain: Option<u64>,
+    max_links: usize,
+    compact: bool,
+    keep_hot: usize,
+    block_records: usize,
+}
+
+fn parse_id(s: &str) -> std::result::Result<u64, String> {
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|e| format!("bad correlation id {s:?}: {e}"))
+}
+
+fn parse_args() -> std::result::Result<Args, String> {
+    let defaults = CompactConfig::default();
+    let mut args = Args {
+        dir: PathBuf::new(),
+        pred: Predicate::all(),
+        limit: None,
+        stats: false,
+        window_ms: None,
+        field: None,
+        chain: None,
+        max_links: 1000,
+        compact: false,
+        keep_hot: defaults.keep_hot,
+        block_records: defaults.block_records,
+    };
+    let mut dir = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--from-us" => {
+                args.pred.from = Some(UtcMicros::from_micros(
+                    val("--from-us")?
+                        .parse()
+                        .map_err(|e| format!("bad --from-us: {e}"))?,
+                ))
+            }
+            "--to-us" => {
+                args.pred.to = Some(UtcMicros::from_micros(
+                    val("--to-us")?
+                        .parse()
+                        .map_err(|e| format!("bad --to-us: {e}"))?,
+                ))
+            }
+            "--node" => {
+                let id = val("--node")?
+                    .parse()
+                    .map_err(|e| format!("bad --node: {e}"))?;
+                args.pred = std::mem::take(&mut args.pred).node(id);
+            }
+            "--sensor" => {
+                let id = val("--sensor")?
+                    .parse()
+                    .map_err(|e| format!("bad --sensor: {e}"))?;
+                args.pred = std::mem::take(&mut args.pred).sensor(id);
+            }
+            "--limit" => {
+                args.limit = Some(
+                    val("--limit")?
+                        .parse()
+                        .map_err(|e| format!("bad --limit: {e}"))?,
+                )
+            }
+            "--stats" => args.stats = true,
+            "--window-ms" => {
+                args.window_ms = Some(
+                    val("--window-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --window-ms: {e}"))?,
+                )
+            }
+            "--field" => {
+                args.field = Some(
+                    val("--field")?
+                        .parse()
+                        .map_err(|e| format!("bad --field: {e}"))?,
+                )
+            }
+            "--chain" => args.chain = Some(parse_id(&val("--chain")?)?),
+            "--max-links" => {
+                args.max_links = val("--max-links")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-links: {e}"))?
+            }
+            "--compact" => args.compact = true,
+            "--keep-hot" => {
+                args.keep_hot = val("--keep-hot")?
+                    .parse()
+                    .map_err(|e| format!("bad --keep-hot: {e}"))?
+            }
+            "--block-records" => {
+                args.block_records = val("--block-records")?
+                    .parse()
+                    .map_err(|e| format!("bad --block-records: {e}"))?
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: brisk-query DIR [--from-us N] [--to-us N] [--node N]... \
+                     [--sensor N]... [--limit N] [--stats] \
+                     [--window-ms N [--field K]] [--chain ID [--max-links N]] \
+                     [--compact [--keep-hot N] [--block-records N]]"
+                        .into(),
+                )
+            }
+            other if !other.starts_with('-') && dir.is_none() => dir = Some(PathBuf::from(other)),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    args.dir = dir.ok_or("missing store directory (see --help)")?;
+    if args.field.is_some() && args.window_ms.is_none() {
+        return Err("--field only makes sense with --window-ms".into());
+    }
+    if args.compact && (args.window_ms.is_some() || args.chain.is_some()) {
+        return Err("--compact is a mode of its own".into());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<()> {
+    // Buffered, error-propagating stdout: piping into `head` closes the
+    // pipe mid-listing, and that must end the program quietly (see
+    // `main`), not panic the way `println!` would.
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    if args.compact {
+        let compactor = Compactor::new(
+            &args.dir,
+            CompactConfig {
+                keep_hot: args.keep_hot,
+                block_records: args.block_records,
+                ..CompactConfig::default()
+            },
+        );
+        let report = compactor.run_once()?;
+        writeln!(
+            out,
+            "compacted {} segments ({} skipped): {} -> {} bytes",
+            report.compacted, report.skipped, report.bytes_before, report.bytes_after
+        )?;
+        out.flush()?;
+        return Ok(());
+    }
+
+    let reader = StoreReader::open(&args.dir)?;
+    let (hit, report) = reader.query(&args.pred)?;
+    if args.stats {
+        eprintln!(
+            "brisk-query: {} records matched; {} segments total, {} pruned, \
+             {} scanned, {} evicted mid-scan",
+            report.records_matched,
+            report.segments_total,
+            report.segments_pruned,
+            report.segments_scanned,
+            report.evicted_under_scan,
+        );
+    }
+
+    if let Some(window_ms) = args.window_ms {
+        let source = match args.field {
+            Some(k) => AggSource::Field(k),
+            None => AggSource::Gaps,
+        };
+        let what = match args.field {
+            Some(k) => format!("field[{k}]"),
+            None => "gap_us".into(),
+        };
+        writeln!(out, "window_start_us count rate_hz {what}:mean p50 p95 p99")?;
+        for w in windowed_aggregate(&hit.records, window_ms as i64 * 1000, source) {
+            writeln!(
+                out,
+                "{} {} {:.1} {:.1} {} {} {}",
+                w.start.as_micros(),
+                w.count,
+                w.rate_hz,
+                w.mean,
+                w.p50,
+                w.p95,
+                w.p99
+            )?;
+        }
+        out.flush()?;
+        return Ok(());
+    }
+
+    if let Some(id) = args.chain {
+        let chain = causal_chain(&hit.records, CorrelationId(id), args.max_links);
+        if chain.is_empty() {
+            writeln!(out, "no events linked to correlation id {id:#x}")?;
+        }
+        for ev in &chain {
+            writeln!(
+                out,
+                "{:indent$}[{}] {}",
+                "",
+                ev.depth,
+                ev.record,
+                indent = ev.depth as usize * 2
+            )?;
+        }
+        out.flush()?;
+        return Ok(());
+    }
+
+    let shown = args.limit.unwrap_or(usize::MAX);
+    for rec in hit.records.iter().take(shown) {
+        writeln!(out, "{rec}")?;
+    }
+    out.flush()?;
+    if hit.records.len() > shown {
+        eprintln!("brisk-query: output truncated at {shown} (use --limit)");
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&args) {
+        // A downstream pager/`head` closing the pipe is a normal way to
+        // stop reading, not an error.
+        if let BriskError::Io(io) = &e {
+            if io.kind() == std::io::ErrorKind::BrokenPipe {
+                return;
+            }
+        }
+        eprintln!("brisk-query: {e}");
+        std::process::exit(1);
+    }
+}

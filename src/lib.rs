@@ -119,7 +119,10 @@ pub mod prelude {
     pub use brisk_proto::{Message, NodePrefix};
     pub use brisk_ringbuf::{RingSet, SensorPort};
     pub use brisk_sim::{SortingConfig, SyncSimConfig, SyncSimulation};
-    pub use brisk_store::{Replayer, StoreReader, StoreTailer, StoreWriter};
+    pub use brisk_store::{
+        causal_chain, windowed_aggregate, AggSource, CompactConfig, Compactor, Predicate,
+        QueryCache, QueryReport, Replayer, StoreReader, StoreTailer, StoreWriter,
+    };
     pub use brisk_telemetry::{
         flight, install_flight_panic_hook, serve_prometheus, serve_stats, set_flight_capacity,
         Counter, FlightLevel, FlightRecorder, Gauge, Histogram, Registry, RouteTable,

@@ -181,6 +181,80 @@ fn killed_ism_loses_no_durable_records() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Stale-sidecar crash window e2e: SIGKILL the manager, then simulate the
+/// worst seal-window outcome — the sidecar index survived on disk but the
+/// tail of its segment's data never did (the sidecar used to be written
+/// without fsync, so the reverse was also possible). A reopening writer
+/// must distrust the sidecar, rebuild it from the segment bytes, truncate
+/// the torn data, and lose nothing that is intact.
+#[test]
+fn stale_sidecar_after_kill_is_rebuilt_not_trusted() {
+    let dir = temp_dir("stale-idx");
+    let (mut child, addr) = spawn_ismd(&dir, &["--fsync", "always", "--segment-bytes", "4096"]);
+    let mut conn = TcpTransport.connect(&addr).unwrap();
+    conn.send(
+        &Message::Hello {
+            node: NodeId(1),
+            version: brisk::proto::VERSION,
+        }
+        .encode(),
+    )
+    .unwrap();
+    for b in 0..10u64 {
+        conn.send(&batch(1, b + 1, b * 50..(b + 1) * 50).encode())
+            .unwrap();
+        await_ack(&mut conn, b + 1, Duration::from_secs(5));
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (recs, _) = StoreReader::open(&dir).unwrap().read_all().unwrap();
+        if recs.len() >= 500 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "records never became durable");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("kill ismd");
+    child.wait().expect("reap ismd");
+
+    // Engineer the stale-sidecar state on a sealed segment: its index is
+    // intact, but part of the segment data it describes vanishes.
+    let reader = StoreReader::open(&dir).unwrap();
+    let sealed_with_idx = reader
+        .segment_ids()
+        .unwrap()
+        .into_iter()
+        .find(|&id| reader.load_index(id).is_some())
+        .expect("at least one sealed, indexed segment");
+    let seg = brisk::store::segment::segment_path(&dir, sealed_with_idx);
+    let len = std::fs::metadata(&seg).unwrap().len();
+    let f = std::fs::OpenOptions::new().write(true).open(&seg).unwrap();
+    f.set_len(len - 5).unwrap();
+    drop(f);
+    drop(reader);
+
+    let mut cfg = StoreConfig::at(dir.clone());
+    cfg.segment_bytes = 4096;
+    cfg.fsync = FsyncPolicy::Always;
+    let writer = StoreWriter::open(&cfg).unwrap();
+    assert!(
+        writer
+            .stats()
+            .idx_rebuilds
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
+        "the stale sidecar must be detected and rebuilt"
+    );
+    drop(writer);
+    let (recs, report) = StoreReader::open(&dir).unwrap().read_all().unwrap();
+    assert_eq!(report.torn_tail_truncations, 0, "store clean after repair");
+    assert_eq!(report.corrupt_frames, 0);
+    let seqs: std::collections::BTreeSet<u64> = recs.iter().map(|r| r.seq).collect();
+    assert_eq!(seqs.len(), recs.len(), "no duplicates after repair");
+    assert!(recs.len() >= 499, "at most the torn record is lost");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Replay fidelity e2e: run a live pipeline (EXS → ISM with a store),
 /// record the live delivery order with an [`OrderChecker`], then re-drive
 /// the stored trace through `brisk-load --replay` and demand the identical
