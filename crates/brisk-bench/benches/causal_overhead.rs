@@ -1,0 +1,231 @@
+//! Causal-ordering overhead on the ISM delivery path: records/s through
+//! `push_batch` + `tick` with the default physical-timestamp discipline
+//! versus `OrderMode::Causal` fed `X_HLC`-stamped records.
+//!
+//! The acceptance bar for the causal plane is ≤ 10% versus physical
+//! ordering on the `store_sink` workload shape (64-record batches of
+//! 6-field events through an in-memory `IsmCore`): the per-record work
+//! causal mode adds on this path is the receive-side stamp observation,
+//! the HLC comparison in the CRE switch, and the stamp-keyed sorter
+//! ordering. Producer-side stamp *generation* is a per-node EXS cost
+//! (one `Hlc::tick` + one field append per record, paid at the leaf),
+//! so batches are built — and stamped — outside the timed region here,
+//! exactly as a relay or root ISM would receive them off the wire.
+//!
+//! Like `store_sink`, this is a *paired* benchmark: both variants are
+//! timed in adjacent slices of the same trial and the overhead is the
+//! median of per-trial time ratios, which cancels the slow machine drift
+//! that makes unpaired runs on a shared host vary by more than the bar.
+//!
+//! Set `BENCH_CAUSAL_JSON=<path>` to emit the machine-readable artifact
+//! (`BENCH_causal.json` at the repo root is generated this way).
+
+use brisk_bench::rig::six_i32_fields;
+use brisk_clock::Hlc;
+use brisk_core::{EventRecord, EventTypeId, IsmConfig, NodeId, OrderMode, SensorId, UtcMicros};
+use brisk_ism::IsmCore;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Records per `push_batch` call — the `store_sink` shape.
+const BATCH: usize = 64;
+static BATCHES_PER_TRIAL: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(4);
+
+fn batches_per_trial() -> usize {
+    BATCHES_PER_TRIAL.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// One pipeline under test. The causal variant's input records carry
+/// `X_HLC` stamps from a producer-side [`Hlc`], attached while the batch
+/// is built (untimed), as an EXS would have done before the wire.
+struct Variant {
+    name: &'static str,
+    core: IsmCore,
+    hlc: Option<Arc<Hlc>>,
+    ts: i64,
+    seq: u64,
+    samples: Vec<f64>,
+}
+
+impl Variant {
+    fn new(name: &'static str, order_mode: OrderMode) -> Self {
+        let cfg = IsmConfig {
+            order_mode,
+            ..IsmConfig::default()
+        };
+        Variant {
+            name,
+            core: IsmCore::new(cfg).unwrap(),
+            hlc: (order_mode == OrderMode::Causal).then(Hlc::new),
+            ts: 1_000_000_000,
+            seq: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Build one batch the way the wire would deliver it (stamped when
+    /// the variant is causal). Untimed.
+    fn build_batch(&mut self) -> Vec<EventRecord> {
+        (0..BATCH)
+            .map(|_| {
+                self.ts += 1;
+                self.seq += 1;
+                let mut rec = EventRecord::new(
+                    NodeId(1),
+                    SensorId(0),
+                    EventTypeId(1),
+                    self.seq,
+                    UtcMicros::from_micros(self.ts),
+                    six_i32_fields(self.seq),
+                )
+                .unwrap();
+                if let Some(hlc) = &self.hlc {
+                    rec.set_hlc(hlc.tick(UtcMicros::from_micros(self.ts)));
+                }
+                rec
+            })
+            .collect()
+    }
+
+    /// Push one batch and tick far enough that the sorter releases it.
+    fn run_batch(&mut self, records: Vec<EventRecord>) {
+        let now = UtcMicros::from_micros(self.ts);
+        self.core.push_batch(records, now).unwrap();
+        let released = self
+            .core
+            .tick(UtcMicros::from_micros(self.ts + 10_000_000))
+            .unwrap();
+        black_box(released);
+    }
+
+    /// Time one slice of `batches_per_trial()` batches; record ns/record.
+    fn run_trial(&mut self) {
+        let batches = batches_per_trial();
+        let prebuilt: Vec<Vec<EventRecord>> = (0..batches).map(|_| self.build_batch()).collect();
+        let start = Instant::now();
+        for records in prebuilt {
+            self.run_batch(records);
+        }
+        let ns = start.elapsed().as_nanos() as f64;
+        self.samples.push(ns / (batches * BATCH) as f64);
+    }
+}
+
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in timings"));
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+/// Median of per-trial `num[i] / den[i]` ratios.
+fn median_ratio(num: &[f64], den: &[f64]) -> f64 {
+    let ratios: Vec<f64> = num.iter().zip(den).map(|(n, d)| n / d).collect();
+    median(&ratios)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let trials = env_usize("BENCH_CAUSAL_TRIALS", 400);
+    let warmup = env_usize("BENCH_CAUSAL_WARMUP", 200);
+    BATCHES_PER_TRIAL.store(
+        env_usize("BENCH_CAUSAL_BATCHES", 4),
+        std::sync::atomic::Ordering::Relaxed,
+    );
+
+    let mut variants = [
+        Variant::new("deliver_physical", OrderMode::Physical),
+        Variant::new("deliver_causal_hlc", OrderMode::Causal),
+    ];
+
+    for v in &mut variants {
+        for _ in 0..warmup {
+            let records = v.build_batch();
+            v.run_batch(records);
+        }
+    }
+    for _ in 0..trials {
+        for v in &mut variants {
+            v.run_trial();
+        }
+    }
+
+    let meds: Vec<f64> = variants.iter().map(|v| median(&v.samples)).collect();
+    let means: Vec<f64> = variants
+        .iter()
+        .map(|v| v.samples.iter().sum::<f64>() / v.samples.len() as f64)
+        .collect();
+    for (i, v) in variants.iter().enumerate() {
+        println!(
+            "bench causal_overhead/{} median {:.1} ns/record (mean {:.1}) {:.0} records/s",
+            v.name,
+            meds[i],
+            means[i],
+            1e9 / meds[i]
+        );
+    }
+    let overhead = (median_ratio(&variants[1].samples, &variants[0].samples) - 1.0) * 100.0;
+    let pass = overhead <= 10.0;
+    println!(
+        "causal_overhead vs physical: {overhead:+.1}%  ({trials} paired trials, median of \
+         per-trial ratios)  acceptance(causal <= 10%): {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    if let Ok(path) = std::env::var("BENCH_CAUSAL_JSON") {
+        let mut out = String::from("{\n");
+        out.push_str(
+            "  \"artifact\": \"causal (HLC) ordering overhead on the ISM delivery path\",\n",
+        );
+        out.push_str(&format!(
+            "  \"method\": \"cargo bench -p brisk-bench --bench causal_overhead (paired \
+             interleaved trials; per-trial slices of {}x64-record batches through IsmCore \
+             push_batch+tick; the causal variant receives X_HLC-stamped records and runs the \
+             plane in OrderMode::Causal, so the timed region covers the receive-side stamp \
+             observation, the CRE stamp comparison, and stamp-keyed sorting — batches are \
+             built and stamped untimed, as the wire would deliver them; overhead = median of \
+             per-trial causal/physical time ratios)\",\n",
+            batches_per_trial()
+        ));
+        out.push_str(&format!("  \"trials\": {trials},\n"));
+        out.push_str("  \"results\": [\n");
+        for (i, v) in variants.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"bench\": \"causal_overhead/{}\", \"median_ns_per_record\": {:.1}, \
+                 \"mean_ns_per_record\": {:.1}, \"records_per_sec\": {:.0}}}{}\n",
+                v.name,
+                meds[i],
+                means[i],
+                1e9 / meds[i],
+                if i + 1 < variants.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"summary\": {\n");
+        out.push_str(&format!(
+            "    \"physical_median_ns_per_record\": {:.1},\n",
+            meds[0]
+        ));
+        out.push_str(&format!(
+            "    \"causal_median_ns_per_record\": {:.1},\n",
+            meds[1]
+        ));
+        out.push_str(&format!("    \"overhead_pct\": {overhead:.1},\n"));
+        out.push_str("    \"acceptance\": \"causal-mode overhead <= 10% vs physical ordering\",\n");
+        out.push_str(&format!("    \"pass\": {pass}\n"));
+        out.push_str("  }\n}\n");
+        std::fs::write(&path, out).expect("write BENCH_CAUSAL_JSON");
+        println!("wrote {path}");
+    }
+}

@@ -5,16 +5,67 @@
 //! record to the ISM" (§3.2). [`CorrectedClock`] packages a raw clock with
 //! that correction value; the sync slave adjusts the correction, never the
 //! underlying clock (stepping the OS clock would perturb the application).
+//!
+//! ## Slewing
+//!
+//! Applying a correction as an instant step is fine when it moves the
+//! clock *forward* — corrected time jumps ahead, but never reverses. A
+//! *backward* step (a negative adjustment, as Cristian-mode sync or a
+//! recovering master can issue) would make corrected timestamps go
+//! backwards mid-stream, handing the ISM sorter a self-inflicted tachyon
+//! storm. So [`CorrectedClock::adjust`] applies backward corrections as a
+//! bounded-rate *slew*: the effective correction glides from its current
+//! value to the new target at [`SLEW_RATE_PPM`] (0.5 µs of correction per
+//! raw µs), which keeps corrected time strictly advancing at ≥ half wall
+//! speed until the target is reached. The slew window is therefore
+//! `2 × |backward gap|` of raw time. Forward corrections stay instant.
 
 use crate::clock::Clock;
 use brisk_core::UtcMicros;
-use std::sync::atomic::{AtomicI64, Ordering};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Slew rate in parts-per-million of raw time: the effective correction
+/// moves 0.5 µs per raw µs, so corrected time advances at no less than
+/// half wall speed while a backward correction drains.
+pub const SLEW_RATE_PPM: i64 = 500_000;
+
+/// An in-flight backward correction, interpolated on the raw timeline.
+#[derive(Clone, Copy, Debug)]
+struct Slew {
+    /// Effective correction when the slew started.
+    from_us: i64,
+    /// Target correction (always < `from_us`; forward moves are instant).
+    target_us: i64,
+    /// Raw-clock reading when the slew started.
+    start_raw_us: i64,
+}
+
+impl Slew {
+    /// Effective correction at raw time `raw_us`, and whether the slew
+    /// has fully drained.
+    fn at(&self, raw_us: i64) -> (i64, bool) {
+        let elapsed = (raw_us - self.start_raw_us).max(0);
+        let moved = elapsed.saturating_mul(SLEW_RATE_PPM) / 1_000_000;
+        let gap = self.from_us - self.target_us;
+        if moved >= gap {
+            (self.target_us, true)
+        } else {
+            (self.from_us - moved, false)
+        }
+    }
+}
 
 /// A clock plus an atomically-updatable correction value (microseconds).
 pub struct CorrectedClock<C: Clock> {
     raw: C,
+    /// The *target* correction; during a slew the effective value lags it.
     correction_us: AtomicI64,
+    /// Fast-path flag: `now()` skips the slew lock when no slew runs.
+    slewing: AtomicBool,
+    slew: Mutex<Option<Slew>>,
+    slews_started: AtomicU64,
 }
 
 impl<C: Clock> CorrectedClock<C> {
@@ -23,6 +74,9 @@ impl<C: Clock> CorrectedClock<C> {
         Arc::new(CorrectedClock {
             raw,
             correction_us: AtomicI64::new(0),
+            slewing: AtomicBool::new(false),
+            slew: Mutex::new(None),
+            slews_started: AtomicU64::new(0),
         })
     }
 
@@ -31,19 +85,90 @@ impl<C: Clock> CorrectedClock<C> {
         self.raw.now()
     }
 
-    /// Current correction value in microseconds.
+    /// Target correction value in microseconds. During a slew the
+    /// *effective* correction ([`Self::effective_correction_us`]) lags
+    /// this; the target is what reconnects carry over.
     pub fn correction_us(&self) -> i64 {
         self.correction_us.load(Ordering::Acquire)
     }
 
-    /// Add `delta_us` to the correction value (a sync-round adjustment).
-    pub fn adjust(&self, delta_us: i64) {
-        self.correction_us.fetch_add(delta_us, Ordering::AcqRel);
+    /// The correction actually applied to readings right now — equal to
+    /// the target except while a backward correction is slewing in.
+    pub fn effective_correction_us(&self) -> i64 {
+        if !self.slewing.load(Ordering::Acquire) {
+            return self.correction_us.load(Ordering::Acquire);
+        }
+        self.effective_locked(self.raw.now().as_micros())
     }
 
-    /// Overwrite the correction value.
+    fn effective_locked(&self, raw_us: i64) -> i64 {
+        let mut guard = self.slew.lock();
+        match *guard {
+            Some(s) => {
+                let (eff, done) = s.at(raw_us);
+                if done {
+                    *guard = None;
+                    self.slewing.store(false, Ordering::Release);
+                }
+                eff
+            }
+            None => self.correction_us.load(Ordering::Acquire),
+        }
+    }
+
+    /// Add `delta_us` to the correction value (a sync-round adjustment).
+    /// Forward moves apply instantly; backward moves slew (see module
+    /// docs), so per-node corrected time never goes backwards.
+    pub fn adjust(&self, delta_us: i64) {
+        let raw_us = self.raw.now().as_micros();
+        let mut guard = self.slew.lock();
+        let current = match *guard {
+            Some(s) => s.at(raw_us).0,
+            None => self.correction_us.load(Ordering::Acquire),
+        };
+        let target = self
+            .correction_us
+            .load(Ordering::Acquire)
+            .saturating_add(delta_us);
+        self.correction_us.store(target, Ordering::Release);
+        if target >= current {
+            *guard = None;
+            self.slewing.store(false, Ordering::Release);
+        } else {
+            *guard = Some(Slew {
+                from_us: current,
+                target_us: target,
+                start_raw_us: raw_us,
+            });
+            self.slewing.store(true, Ordering::Release);
+            self.slews_started.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrite the correction value as an instant step, cancelling any
+    /// active slew. This is the *startup* path — a supervisor restoring a
+    /// carried correction before the stream restarts — where no record
+    /// can observe the step.
     pub fn set_correction(&self, value_us: i64) {
+        let mut guard = self.slew.lock();
         self.correction_us.store(value_us, Ordering::Release);
+        *guard = None;
+        self.slewing.store(false, Ordering::Release);
+    }
+
+    /// True while a backward correction is still slewing in.
+    pub fn slew_active(&self) -> bool {
+        if !self.slewing.load(Ordering::Acquire) {
+            return false;
+        }
+        // Resolve: the slew may have drained since the last read.
+        self.effective_locked(self.raw.now().as_micros());
+        self.slewing.load(Ordering::Acquire)
+    }
+
+    /// Number of backward corrections that entered a slew, monotonic.
+    pub fn slews_started_total(&self) -> u64 {
+        self.slews_started.load(Ordering::Relaxed)
     }
 
     /// Access the wrapped raw clock.
@@ -52,12 +177,44 @@ impl<C: Clock> CorrectedClock<C> {
     }
 }
 
+impl<C: Clock + 'static> CorrectedClock<C> {
+    /// Register this clock's gauges on a telemetry registry:
+    /// `brisk_clock_slew_active`, `brisk_clock_slews_total` and
+    /// `brisk_clock_correction_us`, labelled by `node`.
+    pub fn bind_telemetry(self: &Arc<Self>, registry: &brisk_telemetry::Registry, node: &str) {
+        let labels = [("node", node)];
+        let c = Arc::clone(self);
+        registry.gauge_fn(
+            "brisk_clock_slew_active",
+            "1 while a backward clock correction is slewing in, else 0",
+            &labels,
+            move || c.slew_active() as i64,
+        );
+        let c = Arc::clone(self);
+        registry.counter_fn(
+            "brisk_clock_slews_total",
+            "Backward clock corrections applied as a bounded slew",
+            &labels,
+            move || c.slews_started_total(),
+        );
+        let c = Arc::clone(self);
+        registry.gauge_fn(
+            "brisk_clock_correction_us",
+            "Target clock correction value in microseconds",
+            &labels,
+            move || c.correction_us(),
+        );
+    }
+}
+
 impl<C: Clock> Clock for CorrectedClock<C> {
-    /// Corrected reading: raw time plus the correction value.
+    /// Corrected reading: raw time plus the (effective) correction value.
     fn now(&self) -> UtcMicros {
-        self.raw
-            .now()
-            .offset(self.correction_us.load(Ordering::Acquire))
+        let raw = self.raw.now();
+        if !self.slewing.load(Ordering::Acquire) {
+            return raw.offset(self.correction_us.load(Ordering::Acquire));
+        }
+        raw.offset(self.effective_locked(raw.as_micros()))
     }
 }
 
@@ -66,33 +223,106 @@ mod tests {
     use super::*;
     use crate::clock::{SimClock, SimTimeSource};
 
+    fn clock(src: &SimTimeSource) -> Arc<CorrectedClock<SimClock>> {
+        CorrectedClock::new(SimClock::new(src.clone(), 0, 0.0, 1))
+    }
+
     #[test]
     fn zero_correction_is_transparent() {
         let src = SimTimeSource::new();
         src.advance_by(123);
-        let cc = CorrectedClock::new(SimClock::new(src.clone(), 0, 0.0, 1));
+        let cc = clock(&src);
         assert_eq!(cc.now(), cc.raw_now());
         assert_eq!(cc.correction_us(), 0);
+        assert!(!cc.slew_active());
     }
 
     #[test]
-    fn adjust_accumulates() {
+    fn forward_adjust_is_instant() {
         let src = SimTimeSource::new();
-        let cc = CorrectedClock::new(SimClock::new(src.clone(), 0, 0.0, 1));
+        let cc = clock(&src);
         cc.adjust(100);
-        cc.adjust(-30);
-        assert_eq!(cc.correction_us(), 70);
-        assert_eq!(cc.now().as_micros(), 70);
-        assert_eq!(cc.raw_now().as_micros(), 0);
+        assert_eq!(cc.correction_us(), 100);
+        assert_eq!(cc.now().as_micros(), 100);
+        assert!(!cc.slew_active());
+        assert_eq!(cc.slews_started_total(), 0);
     }
 
     #[test]
-    fn set_correction_overwrites() {
+    fn backward_adjust_slews_at_half_rate() {
         let src = SimTimeSource::new();
-        let cc = CorrectedClock::new(SimClock::new(src.clone(), 0, 0.0, 1));
+        let cc = clock(&src);
+        cc.adjust(1_000);
+        // Pull 400 µs back: the effective correction drains at 0.5 µs/µs,
+        // reaching the target after 800 µs of raw time.
+        cc.adjust(-400);
+        assert_eq!(cc.correction_us(), 600, "target moves immediately");
+        assert_eq!(cc.effective_correction_us(), 1_000);
+        assert!(cc.slew_active());
+        assert_eq!(cc.slews_started_total(), 1);
+        src.advance_by(400);
+        assert_eq!(cc.effective_correction_us(), 800);
+        assert_eq!(cc.now().as_micros(), 1_200);
+        src.advance_by(400);
+        assert_eq!(cc.effective_correction_us(), 600);
+        assert!(!cc.slew_active());
+        assert_eq!(cc.now().as_micros(), 1_400);
+    }
+
+    #[test]
+    fn corrected_time_is_monotonic_through_a_backward_step() {
+        let src = SimTimeSource::new();
+        let cc = clock(&src);
+        let mut last = cc.now();
+        cc.adjust(-5_000); // big backward step: would reverse time if instant
+        for _ in 0..200 {
+            src.advance_by(100);
+            let t = cc.now();
+            assert!(t > last, "corrected time went backwards: {t:?} <= {last:?}");
+            last = t;
+        }
+        // Slew complete (20 ms elapsed ≫ 10 ms window); fully applied.
+        assert_eq!(cc.effective_correction_us(), -5_000);
+        assert!(!cc.slew_active());
+    }
+
+    #[test]
+    fn backward_adjust_during_slew_restarts_from_current_effective() {
+        let src = SimTimeSource::new();
+        let cc = clock(&src);
+        cc.adjust(-1_000);
+        src.advance_by(1_000); // halfway: effective = -500
+        assert_eq!(cc.effective_correction_us(), -500);
+        cc.adjust(-1_000); // target now -2000, slews on from -500
+        assert_eq!(cc.correction_us(), -2_000);
+        assert_eq!(cc.effective_correction_us(), -500);
+        assert_eq!(cc.slews_started_total(), 2);
+        src.advance_by(3_000);
+        assert_eq!(cc.effective_correction_us(), -2_000);
+    }
+
+    #[test]
+    fn forward_adjust_cancels_slew_when_it_overtakes() {
+        let src = SimTimeSource::new();
+        let cc = clock(&src);
+        cc.adjust(-1_000);
+        assert!(cc.slew_active());
+        // A forward correction past the current effective value lands
+        // instantly and ends the slew.
+        cc.adjust(2_000);
+        assert_eq!(cc.correction_us(), 1_000);
+        assert_eq!(cc.effective_correction_us(), 1_000);
+        assert!(!cc.slew_active());
+    }
+
+    #[test]
+    fn set_correction_overwrites_instantly() {
+        let src = SimTimeSource::new();
+        let cc = clock(&src);
         cc.adjust(500);
         cc.set_correction(-5);
         assert_eq!(cc.correction_us(), -5);
+        assert!(!cc.slew_active());
         src.advance_by(10);
         assert_eq!(cc.now().as_micros(), 5);
     }
@@ -100,22 +330,43 @@ mod tests {
     #[test]
     fn correction_composes_with_skewed_raw_clock() {
         let src = SimTimeSource::new();
-        // Raw clock is 1 ms ahead of true time; correction cancels it.
+        // Raw clock is 1 ms ahead of true time; correction cancels it
+        // once the (backward) slew has drained.
         let cc = CorrectedClock::new(SimClock::new(src.clone(), 1_000, 0.0, 1));
         cc.adjust(-1_000);
+        src.advance_by(2_500);
+        assert_eq!(cc.effective_correction_us(), -1_000);
         src.advance_by(42);
-        assert_eq!(cc.now().as_micros(), 42);
+        assert_eq!(cc.now().as_micros(), 2_500 + 42);
     }
 
     #[test]
     fn shared_across_threads() {
         let src = SimTimeSource::new();
-        let cc = CorrectedClock::new(SimClock::new(src.clone(), 0, 0.0, 1));
+        let cc = clock(&src);
         let cc2 = Arc::clone(&cc);
         let h = std::thread::spawn(move || {
             cc2.adjust(11);
         });
         h.join().unwrap();
         assert_eq!(cc.correction_us(), 11);
+    }
+
+    #[test]
+    fn telemetry_binding_exposes_slew_state() {
+        let src = SimTimeSource::new();
+        let cc = clock(&src);
+        let reg = brisk_telemetry::Registry::new();
+        cc.bind_telemetry(&reg, "n1");
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("brisk_clock_slew_active"), Some(0));
+        cc.adjust(-1_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("brisk_clock_slew_active"), Some(1));
+        assert_eq!(snap.counter_total("brisk_clock_slews_total"), 1);
+        src.advance_by(5_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("brisk_clock_slew_active"), Some(0));
+        assert_eq!(snap.gauge("brisk_clock_correction_us"), Some(-1_000));
     }
 }

@@ -1,0 +1,141 @@
+//! Clock-fault injection for real deployments.
+//!
+//! [`SimClock`](crate::SimClock) models skew and drift for the in-process
+//! simulator, but it only runs over a [`SimTimeSource`](crate::SimTimeSource). [`FaultClock`]
+//! wraps *any* clock — typically [`SystemClock`](crate::SystemClock) in a
+//! live `brisk-load`/`brisk-exs` process — and distorts its readings with
+//! a constant skew, a proportional drift, and an adjustable step, so a
+//! chaos run can hand one node a clock that is seconds wrong without
+//! touching the OS clock. The wrapped reading is what the EXS treats as
+//! its raw local time; everything downstream (corrections, HLC stamps,
+//! sync) sees the faulted view.
+
+use crate::clock::Clock;
+use brisk_core::UtcMicros;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A clock whose readings are distorted by configurable faults:
+///
+/// * `skew_us` — constant offset added to every reading;
+/// * `drift_ppm` — proportional error accumulated per elapsed second
+///   since construction (1 ppm = 1 µs/s);
+/// * a runtime-adjustable *step* ([`FaultClock::step_by`]) modelling a
+///   sudden jump, e.g. a misfired NTP correction.
+pub struct FaultClock<C: Clock> {
+    inner: C,
+    epoch_us: i64,
+    skew_us: i64,
+    drift_ppm: f64,
+    step_us: AtomicI64,
+}
+
+impl<C: Clock> FaultClock<C> {
+    /// Wrap `inner`, distorting readings by `skew_us` and `drift_ppm`.
+    /// Drift accumulates from the moment of construction.
+    pub fn new(inner: C, skew_us: i64, drift_ppm: f64) -> Arc<Self> {
+        let epoch_us = inner.now().as_micros();
+        Arc::new(FaultClock {
+            inner,
+            epoch_us,
+            skew_us,
+            drift_ppm,
+            step_us: AtomicI64::new(0),
+        })
+    }
+
+    /// Inject a sudden step of `delta_us` (positive jumps the clock
+    /// forward, negative backwards) on top of skew and drift.
+    pub fn step_by(&self, delta_us: i64) {
+        self.step_us.fetch_add(delta_us, Ordering::AcqRel);
+    }
+
+    /// Total injected step so far.
+    pub fn step_us(&self) -> i64 {
+        self.step_us.load(Ordering::Acquire)
+    }
+
+    /// The fault-free inner clock.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// This clock's current error versus the inner clock, in µs.
+    pub fn error_us(&self) -> i64 {
+        self.now().as_micros() - self.inner.now().as_micros()
+    }
+}
+
+impl<C: Clock> Clock for FaultClock<C> {
+    fn now(&self) -> UtcMicros {
+        let t = self.inner.now().as_micros();
+        let elapsed = (t - self.epoch_us) as f64;
+        let drifted = self.epoch_us as f64 + elapsed * (1.0 + self.drift_ppm / 1e6);
+        UtcMicros::from_micros(
+            drifted.round() as i64 + self.skew_us + self.step_us.load(Ordering::Acquire),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{SimClock, SimTimeSource};
+
+    fn base(src: &SimTimeSource) -> SimClock {
+        SimClock::new(src.clone(), 0, 0.0, 1)
+    }
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let src = SimTimeSource::new();
+        src.advance_by(500);
+        let fc = FaultClock::new(base(&src), 0, 0.0);
+        assert_eq!(fc.now(), UtcMicros::from_micros(500));
+        src.advance_by(100);
+        assert_eq!(fc.now(), UtcMicros::from_micros(600));
+        assert_eq!(fc.error_us(), 0);
+    }
+
+    #[test]
+    fn skew_offsets_every_reading() {
+        let src = SimTimeSource::new();
+        let fc = FaultClock::new(base(&src), -2_000_000, 0.0);
+        src.advance_by(1_000);
+        assert_eq!(fc.now(), UtcMicros::from_micros(1_000 - 2_000_000));
+        assert_eq!(fc.error_us(), -2_000_000);
+    }
+
+    #[test]
+    fn drift_accumulates_with_elapsed_time() {
+        let src = SimTimeSource::new();
+        let fc = FaultClock::new(base(&src), 0, 1_000.0); // 1000 ppm = 1 ms/s
+        src.advance_by(1_000_000); // 1 s
+        assert_eq!(fc.now(), UtcMicros::from_micros(1_001_000));
+    }
+
+    #[test]
+    fn step_jumps_and_accumulates() {
+        let src = SimTimeSource::new();
+        let fc = FaultClock::new(base(&src), 0, 0.0);
+        src.advance_by(10);
+        fc.step_by(3_000_000);
+        assert_eq!(fc.now(), UtcMicros::from_micros(3_000_010));
+        fc.step_by(-1_000_000);
+        assert_eq!(fc.step_us(), 2_000_000);
+        assert_eq!(fc.now(), UtcMicros::from_micros(2_000_010));
+    }
+
+    #[test]
+    fn faults_compose() {
+        let src = SimTimeSource::new();
+        let fc = FaultClock::new(base(&src), 500, 1_000.0);
+        src.advance_by(1_000_000);
+        fc.step_by(-100);
+        // drift 1 ms + skew 500 µs − step 100 µs over 1 s elapsed.
+        assert_eq!(
+            fc.now(),
+            UtcMicros::from_micros(1_000_000 + 1_000 + 500 - 100)
+        );
+    }
+}

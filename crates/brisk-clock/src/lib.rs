@@ -15,7 +15,15 @@
 //!   offset, drift in parts-per-million and read granularity, driven by a
 //!   shared [`clock::SimTimeSource`]);
 //! * [`correction::CorrectedClock`] — a clock plus the EXS-maintained
-//!   *correction value* added to every raw reading (§3.2);
+//!   *correction value* added to every raw reading (§3.2), with backward
+//!   corrections applied as a bounded-rate slew so per-node corrected
+//!   time never reverses;
+//! * [`hlc::Hlc`] — a hybrid logical clock generator whose stamps give a
+//!   total order consistent with happened-before even when physical
+//!   clocks disagree (the `X_HLC` system field);
+//! * [`fault::FaultClock`] — a fault-injection wrapper (constant skew,
+//!   proportional drift, runtime steps) over any clock, the chaos plane
+//!   for live clock-fault experiments;
 //! * [`sync`] — the synchronization algorithm itself, written as pure
 //!   functions over skew samples so the same code runs on the real TCP
 //!   transport and inside the deterministic simulator, plus the
@@ -26,8 +34,12 @@
 
 pub mod clock;
 pub mod correction;
+pub mod fault;
+pub mod hlc;
 pub mod sync;
 
 pub use clock::{Clock, SimClock, SimTimeSource, SystemClock};
 pub use correction::CorrectedClock;
+pub use fault::FaultClock;
+pub use hlc::Hlc;
 pub use sync::{Correction, SkewEstimate, SkewSample, SyncMaster, SyncOutcome, SyncSlave};

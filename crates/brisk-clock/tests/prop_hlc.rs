@@ -1,0 +1,155 @@
+//! Property-based tests for the hybrid logical clock: under *arbitrary*
+//! per-node skew, drift, and step-fault schedules, HLC comparison must
+//! stay a total order consistent with happened-before.
+//!
+//! The model: three nodes, each with its own [`Hlc`] and a lying local
+//! clock (constant skew + proportional drift + accumulated step faults
+//! applied to a shared true time). A generated schedule interleaves
+//! local events (`tick`) and message deliveries (`merge` of the sender's
+//! stamp). Happened-before is the transitive closure of
+//!
+//! * session order — consecutive events on one node, and
+//! * message order — a send before its receive,
+//!
+//! so it suffices to check strict stamp growth along exactly those
+//! edges: transitivity of the derived `Ord` does the rest.
+
+use brisk_clock::Hlc;
+use brisk_core::{HlcStamp, UtcMicros};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const NODES: usize = 3;
+
+/// One schedule entry: advance true time, optionally step the actor's
+/// clock, have the actor stamp a local event, and (if `to` differs)
+/// deliver that stamp to `to`, which merges it.
+#[derive(Clone, Debug)]
+struct Op {
+    from: usize,
+    to: usize,
+    advance_us: i64,
+    step_us: i64,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0..NODES, 0..NODES, 0i64..20_000, -2_000_000i64..2_000_000),
+        1..120,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(from, to, advance_us, step_us)| Op {
+                from,
+                to,
+                advance_us,
+                step_us,
+            })
+            .collect()
+    })
+}
+
+fn arb_skews() -> impl Strategy<Value = [i64; NODES]> {
+    let r = || -5_000_000i64..5_000_000;
+    (r(), r(), r()).prop_map(|(a, b, c)| [a, b, c])
+}
+
+fn arb_drifts() -> impl Strategy<Value = [i64; NODES]> {
+    // ±200_000 ppm: clocks up to 20% fast or slow.
+    let r = || -200_000i64..200_000;
+    (r(), r(), r()).prop_map(|(a, b, c)| [a, b, c])
+}
+
+/// The faulted local reading of node `i` at true time `true_us`.
+fn local_now(true_us: i64, skew: &[i64; NODES], drift: &[i64; NODES], i: usize) -> UtcMicros {
+    let drifted = true_us + (true_us as f64 * drift[i] as f64 / 1e6).round() as i64;
+    UtcMicros::from_micros(drifted + skew[i])
+}
+
+proptest! {
+    /// Along every happened-before edge — same-node succession and
+    /// send→receive — stamps strictly increase, no matter how wrong the
+    /// physical clocks are. By transitivity the HLC total order is then
+    /// consistent with the whole happened-before relation.
+    #[test]
+    fn hlc_order_is_consistent_with_happened_before(
+        ops in arb_ops(),
+        skew in arb_skews(),
+        drift in arb_drifts(),
+    ) {
+        let mut skew = skew;
+        let clocks: Vec<Arc<Hlc>> = (0..NODES).map(|_| Hlc::new()).collect();
+        let mut last_stamp: [Option<HlcStamp>; NODES] = [None; NODES];
+        let mut true_us = 0i64;
+        for op in &ops {
+            true_us += op.advance_us;
+            skew[op.from] += op.step_us; // step fault: clock jumps
+            let sent = clocks[op.from].tick(local_now(true_us, &skew, &drift, op.from));
+            if let Some(prev) = last_stamp[op.from] {
+                prop_assert!(
+                    sent > prev,
+                    "session order violated on node {}: {sent} after {prev}",
+                    op.from
+                );
+            }
+            last_stamp[op.from] = Some(sent);
+            if op.to != op.from {
+                let recv = clocks[op.to].merge(sent, local_now(true_us, &skew, &drift, op.to));
+                prop_assert!(
+                    recv > sent,
+                    "message order violated {}→{}: recv {recv} not above send {sent}",
+                    op.from, op.to
+                );
+                if let Some(prev) = last_stamp[op.to] {
+                    prop_assert!(
+                        recv > prev,
+                        "session order violated on receiver {}: {recv} after {prev}",
+                        op.to
+                    );
+                }
+                last_stamp[op.to] = Some(recv);
+            }
+        }
+    }
+
+    /// `tick` alone is strictly monotone over any reading sequence —
+    /// including stalls and backward jumps — because the physical
+    /// component freezes and the logical counter absorbs the fault.
+    #[test]
+    fn ticks_are_strictly_monotone_under_arbitrary_readings(
+        readings in proptest::collection::vec(-10_000_000i64..10_000_000, 1..200),
+    ) {
+        let h = Hlc::new();
+        let mut prev: Option<HlcStamp> = None;
+        for r in readings {
+            let s = h.tick(UtcMicros::from_micros(r));
+            if let Some(p) = prev {
+                prop_assert!(s > p, "tick produced {s} after {p} (reading {r})");
+            }
+            prop_assert!(
+                s.physical >= UtcMicros::from_micros(r),
+                "physical component may never trail the reading that produced it"
+            );
+            prev = Some(s);
+        }
+    }
+
+    /// A merged stamp dominates both inputs, and observing a stamp makes
+    /// every later local stamp dominate it — the relay pass-through
+    /// contract.
+    #[test]
+    fn merge_and_observe_dominate_their_inputs(
+        remote_phys in -5_000_000i64..5_000_000,
+        remote_logical in 0u32..1_000,
+        local_reading in -5_000_000i64..5_000_000,
+    ) {
+        let remote = HlcStamp::new(UtcMicros::from_micros(remote_phys), remote_logical);
+        let h = Hlc::new();
+        let m = h.merge(remote, UtcMicros::from_micros(local_reading));
+        prop_assert!(m > remote);
+        let h2 = Hlc::new();
+        h2.observe(remote);
+        let t = h2.tick(UtcMicros::from_micros(local_reading));
+        prop_assert!(t > remote, "post-observe tick {t} must dominate {remote}");
+    }
+}

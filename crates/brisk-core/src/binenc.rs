@@ -23,6 +23,7 @@
 
 use crate::descriptor::RecordDescriptor;
 use crate::error::{BriskError, Result};
+use crate::hlc::HlcStamp;
 use crate::ids::{CorrelationId, EventTypeId, NodeId, SensorId};
 use crate::record::EventRecord;
 use crate::time::UtcMicros;
@@ -81,6 +82,7 @@ fn encode_value(v: &Value, out: &mut Vec<u8>) {
         Value::Reason(id) => out.extend_from_slice(&id.raw().to_le_bytes()),
         Value::Conseq(id) => out.extend_from_slice(&id.raw().to_le_bytes()),
         Value::Trace(ctx) => ctx.encode_into(out),
+        Value::Hlc(s) => s.encode_into(out),
     }
 }
 
@@ -174,6 +176,7 @@ fn decode_value(vt: ValueType, c: &mut Cursor<'_>) -> Result<Value> {
             c.pos += used;
             Value::Trace(ctx)
         }
+        ValueType::Hlc => Value::Hlc(HlcStamp::decode(c.take(HlcStamp::ENCODED_SIZE)?)?),
     })
 }
 
@@ -214,7 +217,7 @@ mod tests {
             Value::Bytes(vec![0, 255, 7]),
             Value::Ts(UtcMicros::from_micros(-9)),
             Value::Reason(CorrelationId(u64::MAX)),
-            Value::Bool(true),
+            Value::Hlc(HlcStamp::new(UtcMicros::from_micros(123), 4)),
         ])
     }
 

@@ -41,6 +41,17 @@ pub struct ExsConfig {
     /// tag). `Duration::ZERO` disables heartbeats. Keep this well below
     /// the ISM's `node_timeout` or quiet nodes get evicted.
     pub heartbeat_interval: Duration,
+    /// Attach an `X_HLC` hybrid-logical-clock stamp to every record at
+    /// scoop time. The stamp captures per-node causal order even when
+    /// the physical clock is skewed; an ISM running in causal order mode
+    /// merges these stamps into its own HLC. Off by default (adds up to
+    /// 14 bytes per record on the wire).
+    pub stamp_hlc: bool,
+    /// Ignore `SyncAdjust` messages from the ISM, leaving the correction
+    /// value wherever it is. A chaos-plane knob: a node with sync
+    /// disabled drifts freely, which is exactly the condition causal
+    /// ordering must survive. Never set in production.
+    pub sync_disabled: bool,
     /// Self-tracing knobs: sampled `X_TRACE` contexts attached at notice
     /// time.
     pub trace: TraceConfig,
@@ -56,6 +67,8 @@ impl Default for ExsConfig {
             idle_sleep: Duration::from_micros(200),
             retransmit_window_batches: 256,
             heartbeat_interval: Duration::from_millis(500),
+            stamp_hlc: false,
+            sync_disabled: false,
             trace: TraceConfig::default(),
         }
     }
@@ -283,6 +296,14 @@ pub struct CreConfig {
     /// Trigger "an extra round of the clock synchronization algorithm
     /// immediately" when a tachyon is repaired.
     pub extra_sync_on_tachyon: bool,
+    /// Token-bucket burst for extra sync requests: at most this many may
+    /// fire back-to-back. A tachyon *storm* (one badly skewed node tagging
+    /// hundreds of pairs) must not translate into hundreds of sync rounds —
+    /// one round fixes the clock; the rest are pure master load.
+    pub extra_sync_burst: u32,
+    /// Token-bucket refill period: one extra sync token is restored per
+    /// this much elapsed ISM time.
+    pub extra_sync_refill: Duration,
 }
 
 impl Default for CreConfig {
@@ -291,6 +312,8 @@ impl Default for CreConfig {
             hold_timeout: Duration::from_secs(2),
             tachyon_bump_us: 1,
             extra_sync_on_tachyon: true,
+            extra_sync_burst: 4,
+            extra_sync_refill: Duration::from_secs(1),
         }
     }
 }
@@ -303,6 +326,12 @@ impl CreConfig {
         }
         if self.tachyon_bump_us <= 0 {
             return Err(BriskError::Config("tachyon_bump_us must be > 0".into()));
+        }
+        if self.extra_sync_burst == 0 {
+            return Err(BriskError::Config("extra_sync_burst must be > 0".into()));
+        }
+        if self.extra_sync_refill.is_zero() {
+            return Err(BriskError::Config("extra_sync_refill must be > 0".into()));
         }
         Ok(())
     }
@@ -462,6 +491,41 @@ impl FlowConfig {
     }
 }
 
+/// How the ISM merge plane orders the records it releases.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OrderMode {
+    /// Order by the corrected physical header timestamp (the paper's
+    /// behaviour): cheap, but only as truthful as clock synchronization.
+    #[default]
+    Physical,
+    /// Order by the hybrid-logical-clock stamp (`X_HLC`): a total order
+    /// consistent with happened-before, correct even when a node's
+    /// physical clock is seconds wrong. Records without a stamp are
+    /// ordered by their physical timestamp as an HLC with logical 0.
+    Causal,
+}
+
+impl OrderMode {
+    /// Parse the CLI spelling: `physical` or `causal`.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "physical" => Ok(OrderMode::Physical),
+            "causal" => Ok(OrderMode::Causal),
+            other => Err(BriskError::Config(format!(
+                "unknown order mode {other:?} (want physical | causal)"
+            ))),
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OrderMode::Physical => "physical",
+            OrderMode::Causal => "causal",
+        }
+    }
+}
+
 /// ISM knobs: the sorter and CRE configs plus resource bounds.
 #[derive(Clone, Debug, PartialEq)]
 pub struct IsmConfig {
@@ -469,6 +533,9 @@ pub struct IsmConfig {
     pub sorter: SorterConfig,
     /// CRE matcher knobs.
     pub cre: CreConfig,
+    /// Ordering discipline for the merge plane (sorter keying and CRE
+    /// happened-before reasoning).
+    pub order_mode: OrderMode,
     /// Drop events older than the frame when memory pressure exceeds this
     /// many buffered records (Fig. 1 "event dropping"). `0` disables the
     /// bound.
@@ -502,6 +569,7 @@ impl Default for IsmConfig {
         IsmConfig {
             sorter: SorterConfig::default(),
             cre: CreConfig::default(),
+            order_mode: OrderMode::default(),
             max_buffered_records: 0,
             store: StoreConfig::default(),
             flow: FlowConfig::default(),
@@ -636,6 +704,23 @@ mod tests {
         let mut c = CreConfig::default();
         c.tachyon_bump_us = 0;
         assert!(c.validate().is_err());
+        let mut c = CreConfig::default();
+        c.extra_sync_burst = 0;
+        assert!(c.validate().is_err());
+        let mut c = CreConfig::default();
+        c.extra_sync_refill = Duration::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn order_mode_parses() {
+        assert_eq!(OrderMode::parse("physical").unwrap(), OrderMode::Physical);
+        assert_eq!(OrderMode::parse("causal").unwrap(), OrderMode::Causal);
+        assert!(OrderMode::parse("hlc").is_err());
+        assert_eq!(OrderMode::default(), OrderMode::Physical);
+        for m in [OrderMode::Physical, OrderMode::Causal] {
+            assert_eq!(OrderMode::parse(m.as_str()).unwrap(), m);
+        }
     }
 
     #[test]

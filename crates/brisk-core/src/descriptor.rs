@@ -354,7 +354,7 @@ mod tests {
         // Truncated wide descriptor.
         assert!(RecordDescriptor::unpack(&[0x82, 16]).is_err());
         // Unknown wide code.
-        assert!(RecordDescriptor::unpack(&[0x81, 17]).is_err());
+        assert!(RecordDescriptor::unpack(&[0x81, 18]).is_err());
         // Empty wide descriptor can never need the wide form.
         assert!(RecordDescriptor::unpack(&[0x80]).is_err());
     }

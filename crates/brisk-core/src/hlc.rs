@@ -1,0 +1,151 @@
+//! Hybrid logical clock stamps: causality-consistent timestamps.
+//!
+//! A [`HlcStamp`] is the payload of the `X_HLC` dynamic system field
+//! ([`crate::value::ValueType::Hlc`]) — the same mechanism the paper uses
+//! for `X_TS`, so it needs no schema change anywhere: it survives the ring
+//! buffer, the wire, the sorter and the store like any other field.
+//!
+//! The stamp couples a physical timestamp with a logical counter, after
+//! Kulkarni et al.'s hybrid logical clocks: the physical component tracks
+//! synchronized wall time closely (it never lags the local clock at stamp
+//! time), while the logical counter breaks ties so the pair is always
+//! *consistent with happened-before*: if event `a` causally precedes event
+//! `b` (same-node program order, or a send observed by a receive), then
+//! `a.hlc < b.hlc` — regardless of how far each node's wall clock is off.
+//!
+//! The stateful generator that produces stamps (`tick` at a local event,
+//! `merge` on receipt of a remote stamp) lives in `brisk-clock`; this
+//! module defines only the value, its total order and its 12-byte codec
+//! so `brisk-core` stays dependency-free.
+
+use crate::error::{BriskError, Result};
+use crate::time::UtcMicros;
+use std::fmt;
+
+/// The payload of an `X_HLC` field: physical time plus a logical counter.
+///
+/// Ordering is lexicographic `(physical, logical)` — the total order the
+/// causal sorter keys on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct HlcStamp {
+    /// Physical component: microseconds UTC, coupled to the stamping
+    /// node's (corrected) clock but never moving backwards.
+    pub physical: UtcMicros,
+    /// Logical counter: breaks ties between events whose physical
+    /// components collide, carrying causality through clock stalls.
+    pub logical: u32,
+}
+
+impl HlcStamp {
+    /// Encoded size in both the native and XDR forms: i64 physical (8) +
+    /// u32 logical (4).
+    pub const ENCODED_SIZE: usize = 12;
+
+    /// The zero stamp: epoch physical time, zero counter. Orders before
+    /// every real stamp, so it is the identity for merge.
+    pub const ZERO: HlcStamp = HlcStamp {
+        physical: UtcMicros::ZERO,
+        logical: 0,
+    };
+
+    /// Construct from raw parts.
+    #[inline]
+    pub const fn new(physical: UtcMicros, logical: u32) -> Self {
+        HlcStamp { physical, logical }
+    }
+
+    /// Shift the physical component by the EXS clock-correction value,
+    /// like every other embedded timestamp. The logical counter is
+    /// untouched: a uniform shift preserves the stamp order.
+    #[inline]
+    pub fn shift(&mut self, delta_us: i64) {
+        self.physical = self.physical.offset(delta_us);
+    }
+
+    /// Signed distance between the physical component and a wall-clock
+    /// reading, in microseconds — the "physical/HLC divergence" telemetry
+    /// feeds on this.
+    #[inline]
+    pub fn divergence_us(&self, wall: UtcMicros) -> i64 {
+        self.physical.micros_since(wall)
+    }
+
+    /// Append the native little-endian encoding (12 bytes) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.physical.as_micros().to_le_bytes());
+        out.extend_from_slice(&self.logical.to_le_bytes());
+    }
+
+    /// Decode a stamp from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<HlcStamp> {
+        if buf.len() < Self::ENCODED_SIZE {
+            return Err(BriskError::Codec("truncated HLC stamp".into()));
+        }
+        let physical = i64::from_le_bytes(buf[..8].try_into().unwrap());
+        let logical = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        Ok(HlcStamp {
+            physical: UtcMicros::from_micros(physical),
+            logical,
+        })
+    }
+}
+
+impl fmt::Display for HlcStamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hlc:{}+{}", self.physical, self.logical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_physical_then_logical() {
+        let a = HlcStamp::new(UtcMicros::from_micros(10), 5);
+        let b = HlcStamp::new(UtcMicros::from_micros(10), 6);
+        let c = HlcStamp::new(UtcMicros::from_micros(11), 0);
+        assert!(a < b);
+        assert!(b < c);
+        assert!(HlcStamp::ZERO < a);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = HlcStamp::new(UtcMicros::from_micros(-7), u32::MAX);
+        let mut buf = Vec::new();
+        s.encode_into(&mut buf);
+        assert_eq!(buf.len(), HlcStamp::ENCODED_SIZE);
+        assert_eq!(HlcStamp::decode(&buf).unwrap(), s);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        HlcStamp::new(UtcMicros::from_micros(3), 4).encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(HlcStamp::decode(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn shift_moves_physical_only() {
+        let mut s = HlcStamp::new(UtcMicros::from_micros(100), 9);
+        s.shift(-30);
+        assert_eq!(s.physical, UtcMicros::from_micros(70));
+        assert_eq!(s.logical, 9);
+    }
+
+    #[test]
+    fn divergence_is_signed() {
+        let s = HlcStamp::new(UtcMicros::from_micros(150), 0);
+        assert_eq!(s.divergence_us(UtcMicros::from_micros(100)), 50);
+        assert_eq!(s.divergence_us(UtcMicros::from_micros(200)), -50);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = HlcStamp::new(UtcMicros::from_secs(1), 2);
+        assert_eq!(s.to_string(), "hlc:1.000000+2");
+    }
+}

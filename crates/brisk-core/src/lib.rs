@@ -32,6 +32,7 @@ pub mod binenc;
 pub mod config;
 pub mod descriptor;
 pub mod error;
+pub mod hlc;
 pub mod ids;
 pub mod record;
 pub mod sink;
@@ -40,11 +41,12 @@ pub mod trace;
 pub mod value;
 
 pub use config::{
-    CreConfig, ExsConfig, FlowConfig, FsyncPolicy, IsmConfig, SorterConfig, StoreConfig,
+    CreConfig, ExsConfig, FlowConfig, FsyncPolicy, IsmConfig, OrderMode, SorterConfig, StoreConfig,
     SyncConfig, TraceConfig,
 };
 pub use descriptor::RecordDescriptor;
 pub use error::{BriskError, Result};
+pub use hlc::HlcStamp;
 pub use ids::{CorrelationId, EventTypeId, NodeId, SensorId};
 pub use record::EventRecord;
 pub use sink::EventSink;
@@ -55,11 +57,12 @@ pub use value::{Value, ValueType};
 /// Convenient glob-import surface: `use brisk_core::prelude::*;`.
 pub mod prelude {
     pub use crate::config::{
-        CreConfig, ExsConfig, FlowConfig, FsyncPolicy, IsmConfig, SorterConfig, StoreConfig,
-        SyncConfig, TraceConfig,
+        CreConfig, ExsConfig, FlowConfig, FsyncPolicy, IsmConfig, OrderMode, SorterConfig,
+        StoreConfig, SyncConfig, TraceConfig,
     };
     pub use crate::descriptor::RecordDescriptor;
     pub use crate::error::{BriskError, Result};
+    pub use crate::hlc::HlcStamp;
     pub use crate::ids::{CorrelationId, EventTypeId, NodeId, SensorId};
     pub use crate::record::EventRecord;
     pub use crate::sink::EventSink;

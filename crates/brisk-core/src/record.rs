@@ -13,6 +13,7 @@
 
 use crate::descriptor::{RecordDescriptor, MAX_FIELDS};
 use crate::error::{BriskError, Result};
+use crate::hlc::HlcStamp;
 use crate::ids::{CorrelationId, EventTypeId, NodeId, SensorId};
 use crate::time::UtcMicros;
 use crate::trace::{TraceContext, TraceStage};
@@ -110,6 +111,7 @@ impl EventRecord {
             match f {
                 Value::Ts(t) => *t = t.offset(delta_us),
                 Value::Trace(ctx) => ctx.shift(delta_us),
+                Value::Hlc(s) => s.shift(delta_us),
                 _ => {}
             }
         }
@@ -136,6 +138,28 @@ impl EventRecord {
         if let Some(ctx) = self.trace_mut() {
             ctx.stamp(stage, ts);
         }
+    }
+
+    /// The record's hybrid logical clock stamp (`X_HLC`), if present.
+    pub fn hlc(&self) -> Option<HlcStamp> {
+        self.fields.iter().find_map(Value::as_hlc)
+    }
+
+    /// Attach or replace the record's `X_HLC` stamp. When the record is
+    /// already at the field limit and carries no HLC, the stamp is dropped
+    /// (better an un-stamped record than a lost one) and `false` returned.
+    pub fn set_hlc(&mut self, stamp: HlcStamp) -> bool {
+        for f in &mut self.fields {
+            if let Value::Hlc(s) = f {
+                *s = stamp;
+                return true;
+            }
+        }
+        if self.fields.len() >= MAX_FIELDS {
+            return false;
+        }
+        self.fields.push(Value::Hlc(stamp));
+        true
     }
 
     /// Force the header timestamp to `ts` — used by the ISM's CRE handling
@@ -165,6 +189,14 @@ impl EventRecord {
     /// sequence number as stable tiebreakers.
     pub fn sort_key(&self) -> (UtcMicros, u32, u32, u64) {
         (self.ts, self.node.raw(), self.sensor.raw(), self.seq)
+    }
+
+    /// The key the sorter orders by in causal mode: the `X_HLC` stamp
+    /// (a record without one is ordered as an HLC with logical 0 at its
+    /// physical timestamp), then origin and sequence as tiebreakers.
+    pub fn causal_sort_key(&self) -> (HlcStamp, u32, u32, u64) {
+        let h = self.hlc().unwrap_or(HlcStamp::new(self.ts, 0));
+        (h, self.node.raw(), self.sensor.raw(), self.seq)
     }
 }
 
@@ -212,6 +244,11 @@ impl RecordBuilder {
     /// Append an embedded `X_TS` timestamp.
     pub fn embed_ts(self, ts: UtcMicros) -> Self {
         self.field(Value::Ts(ts))
+    }
+
+    /// Append an `X_HLC` hybrid logical clock stamp.
+    pub fn hlc(self, stamp: HlcStamp) -> Self {
+        self.field(Value::Hlc(stamp))
     }
 
     /// Finalize with origin, sequence number and timestamp.
@@ -346,6 +383,26 @@ mod tests {
         r.override_ts(UtcMicros::from_micros(500));
         assert_eq!(r.ts, UtcMicros::from_micros(500));
         assert_eq!(r.fields[0], Value::Ts(UtcMicros::from_micros(90)));
+    }
+
+    #[test]
+    fn hlc_accessors_and_correction() {
+        let mut r = rec(100, vec![Value::I32(1)]);
+        assert_eq!(r.hlc(), None);
+        assert!(r.set_hlc(HlcStamp::new(UtcMicros::from_micros(90), 3)));
+        assert_eq!(r.hlc(), Some(HlcStamp::new(UtcMicros::from_micros(90), 3)));
+        // Replacing updates in place, never grows the field list.
+        let n = r.fields.len();
+        assert!(r.set_hlc(HlcStamp::new(UtcMicros::from_micros(95), 0)));
+        assert_eq!(r.fields.len(), n);
+        assert_eq!(r.hlc(), Some(HlcStamp::new(UtcMicros::from_micros(95), 0)));
+        // Correction shifts the physical component like any timestamp.
+        r.apply_correction(-30);
+        assert_eq!(r.hlc(), Some(HlcStamp::new(UtcMicros::from_micros(65), 0)));
+        // A full record without an HLC cannot take one.
+        let mut full = rec(0, vec![Value::I32(0); 8]);
+        assert!(!full.set_hlc(HlcStamp::ZERO));
+        assert_eq!(full.hlc(), None);
     }
 
     #[test]

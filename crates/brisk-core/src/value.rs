@@ -18,6 +18,7 @@
 //! descriptor form — see [`crate::descriptor::RecordDescriptor::pack`].
 
 use crate::error::{BriskError, Result};
+use crate::hlc::HlcStamp;
 use crate::ids::CorrelationId;
 use crate::time::UtcMicros;
 use crate::trace::TraceContext;
@@ -65,11 +66,15 @@ pub enum ValueType {
     /// System type `X_TRACE`: self-tracing context of a sampled record
     /// (trace id + per-stage stamps). First code beyond the nibble range.
     Trace = 16,
+    /// System type `X_HLC`: hybrid logical clock stamp, a timestamp
+    /// consistent with happened-before even when wall clocks disagree.
+    /// Wide (one byte) code, like `X_TRACE`.
+    Hlc = 17,
 }
 
 impl ValueType {
     /// All value types in code order.
-    pub const ALL: [ValueType; 17] = [
+    pub const ALL: [ValueType; 18] = [
         ValueType::I8,
         ValueType::U8,
         ValueType::I16,
@@ -87,9 +92,10 @@ impl ValueType {
         ValueType::Reason,
         ValueType::Conseq,
         ValueType::Trace,
+        ValueType::Hlc,
     ];
 
-    /// Wire code (0..=16).
+    /// Wire code (0..=17).
     #[inline]
     pub const fn code(self) -> u8 {
         self as u8
@@ -104,12 +110,16 @@ impl ValueType {
     }
 
     /// True for the system types (`X_TS`, `X_REASON`, `X_CONSEQ`,
-    /// `X_TRACE`).
+    /// `X_TRACE`, `X_HLC`).
     #[inline]
     pub const fn is_system(self) -> bool {
         matches!(
             self,
-            ValueType::Ts | ValueType::Reason | ValueType::Conseq | ValueType::Trace
+            ValueType::Ts
+                | ValueType::Reason
+                | ValueType::Conseq
+                | ValueType::Trace
+                | ValueType::Hlc
         )
     }
 
@@ -131,6 +141,7 @@ impl ValueType {
             | ValueType::Ts
             | ValueType::Reason
             | ValueType::Conseq => Some(8),
+            ValueType::Hlc => Some(HlcStamp::ENCODED_SIZE),
             ValueType::Str | ValueType::Bytes | ValueType::Trace => None,
         }
     }
@@ -156,6 +167,7 @@ impl fmt::Display for ValueType {
             ValueType::Reason => "X_REASON",
             ValueType::Conseq => "X_CONSEQ",
             ValueType::Trace => "X_TRACE",
+            ValueType::Hlc => "X_HLC",
         };
         f.write_str(s)
     }
@@ -198,6 +210,8 @@ pub enum Value {
     Conseq(CorrelationId),
     /// Self-tracing context (`X_TRACE`).
     Trace(TraceContext),
+    /// Hybrid logical clock stamp (`X_HLC`).
+    Hlc(HlcStamp),
 }
 
 impl Value {
@@ -221,6 +235,7 @@ impl Value {
             Value::Reason(_) => ValueType::Reason,
             Value::Conseq(_) => ValueType::Conseq,
             Value::Trace(_) => ValueType::Trace,
+            Value::Hlc(_) => ValueType::Hlc,
         }
     }
 
@@ -291,6 +306,14 @@ impl Value {
         }
     }
 
+    /// Hybrid logical clock stamp, for `X_HLC` values.
+    pub fn as_hlc(&self) -> Option<HlcStamp> {
+        match *self {
+            Value::Hlc(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Size of this value's payload in the native binary encoding
     /// (excluding the type nibble held in the record header).
     pub fn native_size(&self) -> usize {
@@ -323,6 +346,8 @@ impl Value {
             | Value::Ts(_)
             | Value::Reason(_)
             | Value::Conseq(_) => 8,
+            // hyper physical + uint logical.
+            Value::Hlc(_) => 12,
             Value::Str(s) => 4 + pad4(s.len()),
             Value::Bytes(b) => 4 + pad4(b.len()),
             // uhyper id + uint stamp count + (uint stage + hyper ts) each.
@@ -380,6 +405,7 @@ impl fmt::Display for Value {
             Value::Reason(id) => write!(f, "reason:{id}"),
             Value::Conseq(id) => write!(f, "conseq:{id}"),
             Value::Trace(ctx) => write!(f, "{ctx}"),
+            Value::Hlc(s) => write!(f, "{s}"),
         }
     }
 }
@@ -392,12 +418,13 @@ mod tests {
     fn codes_round_trip() {
         for vt in ValueType::ALL {
             assert_eq!(ValueType::from_code(vt.code()).unwrap(), vt);
-            if vt != ValueType::Trace {
+            if !matches!(vt, ValueType::Trace | ValueType::Hlc) {
                 assert!(vt.code() < 16, "classic codes must fit in a nibble");
             }
         }
         assert_eq!(ValueType::Trace.code(), 16);
-        assert!(ValueType::from_code(17).is_err());
+        assert_eq!(ValueType::Hlc.code(), 17);
+        assert!(ValueType::from_code(18).is_err());
         assert!(ValueType::from_code(255).is_err());
     }
 
@@ -407,6 +434,7 @@ mod tests {
         assert!(ValueType::Reason.is_system());
         assert!(ValueType::Conseq.is_system());
         assert!(ValueType::Trace.is_system());
+        assert!(ValueType::Hlc.is_system());
         assert!(!ValueType::I32.is_system());
         assert!(!ValueType::Str.is_system());
     }
@@ -433,6 +461,10 @@ mod tests {
             (
                 Value::Trace(TraceContext::origin(7, UtcMicros::ZERO)),
                 ValueType::Trace,
+            ),
+            (
+                Value::Hlc(HlcStamp::new(UtcMicros::from_micros(3), 1)),
+                ValueType::Hlc,
             ),
         ];
         for (v, vt) in cases {
@@ -482,6 +514,7 @@ mod tests {
         assert_eq!(Value::I16(0).native_size(), 2);
         assert_eq!(Value::F32(0.0).native_size(), 4);
         assert_eq!(Value::Ts(UtcMicros::ZERO).native_size(), 8);
+        assert_eq!(Value::Hlc(HlcStamp::ZERO).native_size(), 12);
         assert_eq!(Value::Str("abc".into()).native_size(), 7);
         assert_eq!(Value::Bytes(vec![0; 10]).native_size(), 14);
         // id (8) + count (1) + one origin stamp (9).
@@ -502,9 +535,20 @@ mod tests {
     }
 
     #[test]
+    fn hlc_accessor() {
+        let s = HlcStamp::new(UtcMicros::from_micros(5), 2);
+        let v = Value::Hlc(s);
+        assert_eq!(v.as_hlc(), Some(s));
+        assert_eq!(Value::I32(0).as_hlc(), None);
+        assert_eq!(v.as_i64(), None);
+        assert_eq!(v.as_f64(), None);
+    }
+
+    #[test]
     fn xdr_sizes_are_four_byte_aligned() {
         assert_eq!(Value::U8(0).xdr_size(), 4);
         assert_eq!(Value::I64(0).xdr_size(), 8);
+        assert_eq!(Value::Hlc(HlcStamp::ZERO).xdr_size(), 12);
         assert_eq!(Value::Str("abc".into()).xdr_size(), 8); // 4 len + 3 pad to 4
         assert_eq!(Value::Str("abcd".into()).xdr_size(), 8);
         assert_eq!(Value::Str("abcde".into()).xdr_size(), 12);

@@ -17,7 +17,9 @@
 //! * "a causally-marked event of either type is kept in memory no longer
 //!   than a specified timeout, because its peer may have been dropped."
 
-use brisk_core::{CorrelationId, CreConfig, EventRecord, Result, TraceStage, UtcMicros};
+use brisk_core::{
+    CorrelationId, CreConfig, EventRecord, HlcStamp, OrderMode, Result, TraceStage, UtcMicros,
+};
 use std::collections::HashMap;
 
 /// Counters describing CRE behaviour.
@@ -37,6 +39,9 @@ pub struct CreStats {
     pub expired: u64,
     /// Extra synchronization rounds requested.
     pub extra_syncs_requested: u64,
+    /// Extra sync requests suppressed by the token-bucket rate limit
+    /// (the tachyon was still repaired; only the sync round was skipped).
+    pub extra_syncs_suppressed: u64,
 }
 
 /// What the matcher did with one input record.
@@ -53,6 +58,7 @@ pub struct CreOutput {
 
 struct ReasonEntry {
     ts: UtcMicros,
+    hlc: Option<HlcStamp>,
     seen_at: UtcMicros,
 }
 
@@ -88,9 +94,13 @@ struct HeldConseq {
 /// ```
 pub struct CreMatcher {
     cfg: CreConfig,
+    order: OrderMode,
     reasons: HashMap<CorrelationId, ReasonEntry>,
     waiting: HashMap<CorrelationId, Vec<HeldConseq>>,
     stats: CreStats,
+    /// Extra-sync token bucket: available tokens and last refill time.
+    sync_tokens: u32,
+    sync_last_refill: Option<UtcMicros>,
 }
 
 impl CreMatcher {
@@ -98,11 +108,22 @@ impl CreMatcher {
     pub fn new(cfg: CreConfig) -> Result<Self> {
         cfg.validate()?;
         Ok(CreMatcher {
+            sync_tokens: cfg.extra_sync_burst,
             cfg,
+            order: OrderMode::default(),
             reasons: HashMap::new(),
             waiting: HashMap::new(),
             stats: CreStats::default(),
+            sync_last_refill: None,
         })
+    }
+
+    /// Select the ordering discipline: in [`OrderMode::Causal`] the
+    /// tachyon test compares `X_HLC` stamps (provable happened-before)
+    /// when both sides carry one, falling back to the timestamp heuristic
+    /// otherwise.
+    pub fn set_order_mode(&mut self, order: OrderMode) {
+        self.order = order;
     }
 
     /// Counters so far.
@@ -136,15 +157,9 @@ impl CreMatcher {
             self.stats.conseqs += 1;
             match self.reasons.get(&id) {
                 Some(entry) => {
-                    if rec.ts <= entry.ts {
-                        // Tachyon: consequence not after its reason.
-                        rec.override_ts(entry.ts.offset(self.cfg.tachyon_bump_us));
-                        rec.stamp_trace(TraceStage::CreRepair, now);
-                        self.stats.tachyons_repaired += 1;
-                        if self.cfg.extra_sync_on_tachyon {
-                            self.stats.extra_syncs_requested += 1;
-                            out.request_extra_sync = true;
-                        }
+                    if Self::is_tachyon(self.order, &rec, entry) {
+                        let (ts, hlc) = (entry.ts, entry.hlc);
+                        self.repair(&mut rec, ts, hlc, now, &mut out);
                     }
                 }
                 None => {
@@ -159,6 +174,7 @@ impl CreMatcher {
                             rid,
                             ReasonEntry {
                                 ts: rec.ts,
+                                hlc: rec.hlc(),
                                 seen_at: now,
                             },
                         );
@@ -177,10 +193,12 @@ impl CreMatcher {
         if let Some(id) = reason_id {
             self.stats.reasons += 1;
             let reason_ts = rec.ts;
+            let reason_hlc = rec.hlc();
             self.reasons.insert(
                 id,
                 ReasonEntry {
                     ts: reason_ts,
+                    hlc: reason_hlc,
                     seen_at: now,
                 },
             );
@@ -188,7 +206,7 @@ impl CreMatcher {
             if let Some(held) = self.waiting.remove(&id) {
                 // The reason itself goes first so consumers see causality.
                 out.pass.push(rec);
-                self.release_cascade(reason_ts, held, now, &mut out);
+                self.release_cascade(reason_ts, reason_hlc, held, now, &mut out);
                 return out;
             }
         } else if conseq_id.is_none() {
@@ -199,41 +217,116 @@ impl CreMatcher {
         out
     }
 
+    /// The causality test: did this consequence provably NOT happen after
+    /// its reason? In causal mode an `X_HLC` comparison decides when both
+    /// sides carry a stamp — provable happened-before, immune to clock
+    /// skew; otherwise (and always in physical mode) the timestamp
+    /// heuristic of §3.6 applies.
+    fn is_tachyon(order: OrderMode, conseq: &EventRecord, reason: &ReasonEntry) -> bool {
+        match (order, conseq.hlc(), reason.hlc) {
+            (OrderMode::Causal, Some(c), Some(r)) => c <= r,
+            _ => conseq.ts <= reason.ts,
+        }
+    }
+
+    /// Repair one tachyonic consequence against its reason's stamps:
+    /// raise its `X_HLC` strictly above the reason's (causal mode) and
+    /// reconcile its physical timestamp toward the HLC bound — the
+    /// repaired record must sort after its reason under BOTH disciplines,
+    /// so causal repairs survive a physically-ordered downstream tier.
+    fn repair(
+        &mut self,
+        rec: &mut EventRecord,
+        reason_ts: UtcMicros,
+        reason_hlc: Option<HlcStamp>,
+        now: UtcMicros,
+        out: &mut CreOutput,
+    ) {
+        let mut ts_floor = reason_ts;
+        if self.order == OrderMode::Causal {
+            if let Some(r) = reason_hlc {
+                let bound = HlcStamp::new(r.physical, r.logical.saturating_add(1));
+                match rec.hlc() {
+                    Some(c) if c > bound => {}
+                    _ => {
+                        rec.set_hlc(bound);
+                    }
+                }
+                ts_floor = ts_floor.max(r.physical);
+            }
+        }
+        if rec.ts <= ts_floor {
+            rec.override_ts(ts_floor.offset(self.cfg.tachyon_bump_us));
+        }
+        rec.stamp_trace(TraceStage::CreRepair, now);
+        self.stats.tachyons_repaired += 1;
+        if self.cfg.extra_sync_on_tachyon {
+            if self.take_sync_token(now) {
+                self.stats.extra_syncs_requested += 1;
+                out.request_extra_sync = true;
+            } else {
+                self.stats.extra_syncs_suppressed += 1;
+            }
+        }
+    }
+
+    /// Token-bucket gate for extra sync rounds: `extra_sync_burst` tokens,
+    /// one restored per `extra_sync_refill` of ISM time.
+    fn take_sync_token(&mut self, now: UtcMicros) -> bool {
+        let refill_us = self.cfg.extra_sync_refill.as_micros() as i64;
+        let last = *self.sync_last_refill.get_or_insert(now);
+        let steps = now.micros_since(last).max(0) / refill_us;
+        if steps > 0 {
+            let add = u32::try_from(steps).unwrap_or(u32::MAX);
+            self.sync_tokens = self
+                .sync_tokens
+                .saturating_add(add)
+                .min(self.cfg.extra_sync_burst);
+            self.sync_last_refill = Some(last.offset(steps.saturating_mul(refill_us)));
+        }
+        if self.sync_tokens > 0 {
+            self.sync_tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Release `held` (the waiters of a reason stamped `reason_ts`),
     /// repairing tachyons, and transitively release the waiters of any
     /// released record that is itself a reason (a relay hop). The hop's
     /// reason entry is refreshed with its final — possibly bumped —
-    /// timestamp so its consequences land causally after it.
+    /// stamps so its consequences land causally after it.
     fn release_cascade(
         &mut self,
         reason_ts: UtcMicros,
+        reason_hlc: Option<HlcStamp>,
         held: Vec<HeldConseq>,
         now: UtcMicros,
         out: &mut CreOutput,
     ) {
         let mut work = std::collections::VecDeque::new();
-        work.push_back((reason_ts, held));
-        while let Some((reason_ts, held)) = work.pop_front() {
+        work.push_back((reason_ts, reason_hlc, held));
+        while let Some((reason_ts, reason_hlc, held)) = work.pop_front() {
+            let entry = ReasonEntry {
+                ts: reason_ts,
+                hlc: reason_hlc,
+                seen_at: now,
+            };
             for mut h in held {
-                if h.rec.ts <= reason_ts {
-                    h.rec
-                        .override_ts(reason_ts.offset(self.cfg.tachyon_bump_us));
-                    h.rec.stamp_trace(TraceStage::CreRepair, now);
-                    self.stats.tachyons_repaired += 1;
-                    if self.cfg.extra_sync_on_tachyon {
-                        self.stats.extra_syncs_requested += 1;
-                        out.request_extra_sync = true;
-                    }
+                if Self::is_tachyon(self.order, &h.rec, &entry) {
+                    self.repair(&mut h.rec, reason_ts, reason_hlc, now, out);
                 }
                 // `stats.reasons` already counted when the hop registered
                 // its id at hold time — only the entry is refreshed here.
                 if let Some(rid) = h.rec.reason_id() {
                     if let Some(entry) = self.reasons.get_mut(&rid) {
                         entry.ts = h.rec.ts;
+                        entry.hlc = h.rec.hlc();
                         entry.seen_at = now;
                     }
                     if let Some(waiters) = self.waiting.remove(&rid) {
-                        work.push_back((h.rec.ts, waiters));
+                        work.push_back((h.rec.ts, h.rec.hlc(), waiters));
                     }
                 }
                 out.pass.push(h.rec);
@@ -319,6 +412,7 @@ mod tests {
             hold_timeout: Duration::from_millis(100),
             tachyon_bump_us: 1,
             extra_sync_on_tachyon: true,
+            ..CreConfig::default()
         })
         .unwrap()
     }
@@ -441,6 +535,133 @@ mod tests {
         assert!(!out.request_extra_sync);
         assert_eq!(m.stats().tachyons_repaired, 1);
         assert_eq!(m.stats().extra_syncs_requested, 0);
+    }
+
+    fn with_hlc(mut rec: EventRecord, phys: i64, logical: u32) -> EventRecord {
+        rec.set_hlc(HlcStamp::new(UtcMicros::from_micros(phys), logical));
+        rec
+    }
+
+    fn causal_matcher() -> CreMatcher {
+        let mut m = matcher();
+        m.set_order_mode(OrderMode::Causal);
+        m
+    }
+
+    #[test]
+    fn causal_mode_detects_tachyon_by_hlc_despite_plausible_ts() {
+        // The conseq's physical ts LOOKS fine (150 > 100) because its
+        // node's clock is fast — but its HLC proves it cannot have
+        // happened after the reason. Physical mode would pass it
+        // untouched; causal mode repairs it.
+        let mut m = causal_matcher();
+        let now = UtcMicros::ZERO;
+        m.process(with_hlc(reason(7, 100), 100, 4), now);
+        let out = m.process(with_hlc(conseq(7, 150), 100, 2), now);
+        assert_eq!(m.stats().tachyons_repaired, 1);
+        let repaired = &out.pass[0];
+        let h = repaired.hlc().unwrap();
+        assert!(
+            h > HlcStamp::new(UtcMicros::from_micros(100), 4),
+            "repaired stamp must dominate the reason's"
+        );
+        assert_eq!(h, HlcStamp::new(UtcMicros::from_micros(100), 5));
+        assert_eq!(repaired.ts.as_micros(), 150, "plausible ts left alone");
+    }
+
+    #[test]
+    fn causal_mode_accepts_hlc_ordered_pair_with_skewed_ts() {
+        // The conseq's ts is EARLIER (its node's clock is 2 s slow) but
+        // its HLC dominates the reason's: provably ordered, no repair.
+        // The physical heuristic would have flagged this as a tachyon.
+        let mut m = causal_matcher();
+        let now = UtcMicros::ZERO;
+        m.process(with_hlc(reason(7, 2_000_100), 2_000_100, 0), now);
+        let out = m.process(with_hlc(conseq(7, 200), 2_000_100, 3), now);
+        assert_eq!(m.stats().tachyons_repaired, 0, "provably ordered");
+        assert_eq!(out.pass[0].ts.as_micros(), 200, "not touched");
+        assert!(!out.request_extra_sync);
+    }
+
+    #[test]
+    fn causal_repair_reconciles_ts_toward_hlc_bound() {
+        // Reason stamped at HLC physical 2_000_000 (its clock is right);
+        // the conseq comes from a node 2 s behind: ts 90, HLC (90, 0).
+        // The repair must raise BOTH the stamp and the physical ts past
+        // the reason's, so the pair survives a physically-ordered tier.
+        let mut m = causal_matcher();
+        let now = UtcMicros::ZERO;
+        m.process(with_hlc(reason(9, 2_000_000), 2_000_000, 0), now);
+        let out = m.process(with_hlc(conseq(9, 90), 90, 0), now);
+        assert_eq!(m.stats().tachyons_repaired, 1);
+        let repaired = &out.pass[0];
+        assert_eq!(
+            repaired.hlc().unwrap(),
+            HlcStamp::new(UtcMicros::from_micros(2_000_000), 1)
+        );
+        assert_eq!(
+            repaired.ts.as_micros(),
+            2_000_001,
+            "ts reconciled to the HLC bound + bump"
+        );
+    }
+
+    #[test]
+    fn causal_mode_falls_back_to_ts_without_stamps() {
+        let mut m = causal_matcher();
+        let now = UtcMicros::ZERO;
+        m.process(reason(7, 100), now);
+        let out = m.process(conseq(7, 90), now);
+        assert_eq!(out.pass[0].ts.as_micros(), 101, "ts heuristic still works");
+        assert_eq!(m.stats().tachyons_repaired, 1);
+    }
+
+    #[test]
+    fn causal_held_conseq_repaired_by_hlc_on_release() {
+        let mut m = causal_matcher();
+        let now = UtcMicros::ZERO;
+        // Conseq first (held), stamped causally before the reason.
+        assert!(m
+            .process(with_hlc(conseq(9, 500), 100, 1), now)
+            .pass
+            .is_empty());
+        let out = m.process(with_hlc(reason(9, 80), 100, 7), now);
+        assert_eq!(out.pass.len(), 2);
+        let h = out.pass[1].hlc().unwrap();
+        assert_eq!(h, HlcStamp::new(UtcMicros::from_micros(100), 8));
+        assert_eq!(m.stats().tachyons_repaired, 1);
+    }
+
+    #[test]
+    fn extra_sync_requests_are_rate_limited() {
+        // A tachyon storm (one skewed node mis-stamping many pairs) must
+        // not turn into a sync-round storm: the token bucket allows a
+        // burst, suppresses the rest, and refills with time.
+        let mut m = CreMatcher::new(CreConfig {
+            hold_timeout: Duration::from_millis(100),
+            tachyon_bump_us: 1,
+            extra_sync_on_tachyon: true,
+            extra_sync_burst: 2,
+            extra_sync_refill: Duration::from_secs(1),
+        })
+        .unwrap();
+        let t0 = UtcMicros::ZERO;
+        for id in 0..4u64 {
+            m.process(reason(id, 100), t0);
+        }
+        assert!(m.process(conseq(0, 50), t0).request_extra_sync);
+        assert!(m.process(conseq(1, 50), t0).request_extra_sync);
+        // Burst exhausted: tachyons are still repaired, syncs suppressed.
+        let out = m.process(conseq(2, 50), t0);
+        assert!(!out.request_extra_sync, "third request must be suppressed");
+        assert_eq!(out.pass[0].ts.as_micros(), 101, "repair still happens");
+        assert_eq!(m.stats().extra_syncs_requested, 2);
+        assert_eq!(m.stats().extra_syncs_suppressed, 1);
+        // One refill period later a token is back.
+        let t1 = t0 + Duration::from_secs(1);
+        assert!(m.process(conseq(3, 50), t1).request_extra_sync);
+        assert_eq!(m.stats().extra_syncs_requested, 3);
+        assert_eq!(m.stats().extra_syncs_suppressed, 1);
     }
 
     #[test]

@@ -23,9 +23,13 @@
 
 use crate::cre::{CreMatcher, CreStats};
 use crate::sorter::{OnlineSorter, OverloadPolicy, SorterStats};
-use brisk_core::{EventRecord, IsmConfig, NodeId, Result, TraceStage, UtcMicros};
-use brisk_telemetry::{Counter, Gauge, Registry};
+use brisk_clock::Hlc;
+use brisk_core::{
+    EventRecord, HlcStamp, IsmConfig, NodeId, OrderMode, Result, TraceStage, UtcMicros,
+};
+use brisk_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Where merged, repaired records go. Implemented by the local output
 /// stage (leaf/root mode) and by the upstream exporter (relay mode).
@@ -76,20 +80,24 @@ pub struct MergeStats {
 /// exported by publishing stat deltas each tick rather than by threading
 /// atomics through those components.
 struct MergeTelemetry {
-    records_in: std::sync::Arc<Counter>,
-    records_out: std::sync::Arc<Counter>,
-    batches_in: std::sync::Arc<Counter>,
-    duplicate_batches: std::sync::Arc<Counter>,
-    duplicate_records: std::sync::Arc<Counter>,
-    sorter_depth: std::sync::Arc<Gauge>,
-    sorter_frame_us: std::sync::Arc<Gauge>,
-    cre_held: std::sync::Arc<Gauge>,
-    tachyons_repaired: std::sync::Arc<Counter>,
+    records_in: Arc<Counter>,
+    records_out: Arc<Counter>,
+    batches_in: Arc<Counter>,
+    duplicate_batches: Arc<Counter>,
+    duplicate_records: Arc<Counter>,
+    sorter_depth: Arc<Gauge>,
+    sorter_frame_us: Arc<Gauge>,
+    cre_held: Arc<Gauge>,
+    tachyons_repaired: Arc<Counter>,
     last_tachyons: u64,
-    shed: std::sync::Arc<Counter>,
+    shed: Arc<Counter>,
     last_shed: u64,
-    ts_clamped: std::sync::Arc<Counter>,
+    ts_clamped: Arc<Counter>,
     last_ts_clamped: u64,
+    extra_sync_suppressed: Arc<Counter>,
+    last_suppressed: u64,
+    causal_reorders: Arc<Counter>,
+    hlc_divergence_us: Arc<Histogram>,
 }
 
 /// CRE switch + adaptive sorter + per-node dedup, decoupled from any
@@ -97,8 +105,22 @@ struct MergeTelemetry {
 pub struct MergePlane {
     cre: CreMatcher,
     sorter: OnlineSorter,
+    order: OrderMode,
+    /// The plane's own hybrid logical clock: merged with every received
+    /// stamp (so downstream stamps dominate the whole subtree) and the
+    /// source of stamps for records that arrive without one in causal
+    /// mode.
+    hlc: Arc<Hlc>,
     stats: MergeStats,
     extra_sync_pending: bool,
+    /// Records delivered out of physical-timestamp order because the HLC
+    /// order demanded it — the visible work causal mode does.
+    causal_reorders: u64,
+    /// Last delivered physical ts (causal-reorder detection).
+    last_out_ts: Option<UtcMicros>,
+    /// |HLC physical − ISM now| already above the flight-recorder alert
+    /// threshold?
+    flight_divergence_alerted: bool,
     /// Highest batch sequence number accepted per node (protocol v2).
     /// Replayed batches (seq ≤ the entry) are dropped here, which is what
     /// turns the wire's at-least-once delivery into exactly-once at the
@@ -118,11 +140,19 @@ impl MergePlane {
         if cfg.flow.shed_unmarked {
             sorter.set_overload_policy(OverloadPolicy::ShedUnmarked);
         }
+        sorter.set_order_mode(cfg.order_mode);
+        let mut cre = CreMatcher::new(cfg.cre.clone())?;
+        cre.set_order_mode(cfg.order_mode);
         Ok(MergePlane {
-            cre: CreMatcher::new(cfg.cre.clone())?,
+            cre,
             sorter,
+            order: cfg.order_mode,
+            hlc: Hlc::new(),
             stats: MergeStats::default(),
             extra_sync_pending: false,
+            causal_reorders: 0,
+            last_out_ts: None,
+            flight_divergence_alerted: false,
             last_seq: HashMap::new(),
             telemetry: None,
             flight_last_shed: 0,
@@ -131,7 +161,8 @@ impl MergePlane {
 
     /// Bind the plane's counters and gauges to `registry`. Gauges for the
     /// sorter window and CRE hold queue refresh on every [`Self::tick`].
-    pub fn bind_telemetry(&mut self, registry: &std::sync::Arc<Registry>) {
+    pub fn bind_telemetry(&mut self, registry: &Arc<Registry>) {
+        self.hlc.bind_telemetry(registry, "ism");
         self.telemetry = Some(MergeTelemetry {
             records_in: registry.counter(
                 "brisk_ism_records_in_total",
@@ -180,7 +211,30 @@ impl MergePlane {
                 "Non-monotone same-source records whose timestamp was clamped",
             ),
             last_ts_clamped: self.sorter.stats().ts_clamped,
+            extra_sync_suppressed: registry.counter(
+                "brisk_sync_extra_suppressed_total",
+                "Extra sync requests suppressed by the token-bucket rate limit",
+            ),
+            last_suppressed: self.cre.stats().extra_syncs_suppressed,
+            causal_reorders: registry.counter(
+                "brisk_hlc_causal_reorders_total",
+                "Records delivered out of physical-ts order because HLC order demanded it",
+            ),
+            hlc_divergence_us: registry.histogram(
+                "brisk_hlc_divergence_us",
+                "|X_HLC physical - ISM clock| at batch receive (us)",
+            ),
         });
+    }
+
+    /// The plane's hybrid logical clock (merged with every received stamp).
+    pub fn hlc(&self) -> &Arc<Hlc> {
+        &self.hlc
+    }
+
+    /// Records delivered out of physical-ts order under causal ordering.
+    pub fn causal_reorders(&self) -> u64 {
+        self.causal_reorders
     }
 
     /// Aggregate counters.
@@ -259,10 +313,20 @@ impl MergePlane {
         if let Some(t) = &self.telemetry {
             t.batches_in.inc();
         }
-        for rec in records {
+        // Observing a stamp is a set-max, which is associative: folding the
+        // batch down to its max stamp and observing that once is equivalent
+        // to observing every record, without taking the HLC lock per record.
+        let mut batch_max: Option<HlcStamp> = None;
+        let mut batch_max_logical = 0u32;
+        for mut rec in records {
             self.stats.records_in += 1;
             if let Some(t) = &self.telemetry {
                 t.records_in.inc();
+            }
+            if self.order == OrderMode::Causal {
+                let stamp = self.merge_hlc(&mut rec, now);
+                batch_max = Some(batch_max.map_or(stamp, |m| m.max(stamp)));
+                batch_max_logical = batch_max_logical.max(stamp.logical);
             }
             let out = self.cre.process(rec, now);
             if out.request_extra_sync {
@@ -273,7 +337,46 @@ impl MergePlane {
                 self.sorter.push(passed);
             }
         }
+        if let Some(max) = batch_max {
+            self.hlc.observe(max);
+            self.hlc.note_logical(batch_max_logical);
+        }
         Ok(())
+    }
+
+    /// Causal-mode receive step: read the record's `X_HLC` (stamping
+    /// records that arrived without one — the stamp materializes the
+    /// physical-ts fallback so it survives re-export through relay tiers)
+    /// and return it for the caller's batch-max fold into the plane's
+    /// clock, so everything stamped downstream dominates the whole
+    /// subtree.
+    fn merge_hlc(&mut self, rec: &mut EventRecord, now: UtcMicros) -> HlcStamp {
+        let stamp = match rec.hlc() {
+            Some(s) => s,
+            None => {
+                let s = HlcStamp::new(rec.ts, 0);
+                rec.set_hlc(s);
+                s
+            }
+        };
+        let divergence = stamp.divergence_us(now).unsigned_abs();
+        if let Some(t) = &self.telemetry {
+            t.hlc_divergence_us.record(divergence);
+        }
+        // One flight-recorder alert per plane once physical clocks have
+        // visibly diverged from causal time — the breadcrumb that says
+        // "trust HLC order, not the timestamps" when debugging a capture.
+        if divergence > 1_000_000 && !self.flight_divergence_alerted {
+            self.flight_divergence_alerted = true;
+            brisk_telemetry::flight_log!(
+                Warn,
+                "ism.hlc",
+                "divergence",
+                "X_HLC physical diverges from ISM clock by {divergence} us (node {})",
+                rec.node
+            );
+        }
+        stamp
     }
 
     /// Advance the pipeline: pump the output, expire held CRE records,
@@ -317,6 +420,9 @@ impl MergePlane {
             let clamped = self.sorter.stats().ts_clamped;
             t.ts_clamped.add(clamped - t.last_ts_clamped);
             t.last_ts_clamped = clamped;
+            let suppressed = self.cre.stats().extra_syncs_suppressed;
+            t.extra_sync_suppressed.add(suppressed - t.last_suppressed);
+            t.last_suppressed = suppressed;
         }
         Ok(n)
     }
@@ -342,6 +448,17 @@ impl MergePlane {
     ) -> Result<usize> {
         let n = records.len();
         for rec in records {
+            if self.order == OrderMode::Causal {
+                if let Some(last) = self.last_out_ts {
+                    if rec.ts < last {
+                        self.causal_reorders += 1;
+                        if let Some(t) = &self.telemetry {
+                            t.causal_reorders.inc();
+                        }
+                    }
+                }
+                self.last_out_ts = Some(rec.ts.max(self.last_out_ts.unwrap_or(rec.ts)));
+            }
             out.on_record(rec, now)?;
             self.stats.records_out += 1;
             if let Some(t) = &self.telemetry {
@@ -433,6 +550,43 @@ mod tests {
         let ts: Vec<i64> = out.got.iter().map(|r| r.ts.as_micros()).collect();
         assert_eq!(ts, vec![100, 200]);
         assert_eq!(p.stats().records_out, 2);
+    }
+
+    #[test]
+    fn causal_plane_stamps_unstamped_records_and_counts_reorders() {
+        let cfg = IsmConfig {
+            sorter: SorterConfig {
+                initial_frame_us: 0,
+                min_frame_us: 0,
+                ..SorterConfig::default()
+            },
+            order_mode: brisk_core::OrderMode::Causal,
+            ..IsmConfig::default()
+        };
+        let mut p = MergePlane::new(&cfg).unwrap();
+        let mut out = TestOut::new();
+        // Node 1's clock is 2 s fast: its record's header ts looks far
+        // later than node 2's, but its HLC stamp is causally earlier.
+        let mut fast = rec(1, 0, 2_000_300);
+        fast.set_hlc(brisk_core::HlcStamp::new(UtcMicros::from_micros(300), 0));
+        let slow = rec(2, 0, 400); // unstamped: falls back to ts 400
+        let now = UtcMicros::from_micros(500);
+        p.push_batch(vec![fast, slow], now).unwrap();
+        p.tick(UtcMicros::from_micros(10_000_000), &mut out)
+            .unwrap();
+        assert_eq!(out.got.len(), 2);
+        assert!(
+            out.got.iter().all(|r| r.hlc().is_some()),
+            "every delivered record carries a stamp in causal mode"
+        );
+        assert_eq!(out.got[0].node, NodeId(1), "hlc 300 first");
+        assert_eq!(out.got[1].node, NodeId(2));
+        assert_eq!(
+            p.causal_reorders(),
+            1,
+            "node 2's record was delivered after a (physically) later one"
+        );
+        assert!(p.hlc().last().physical >= UtcMicros::from_micros(300));
     }
 
     #[test]

@@ -19,15 +19,35 @@
 //! in a trade-off between the event ordering and latency."
 
 use brisk_core::config::FrameGrowth;
-use brisk_core::{EventRecord, NodeId, Result, SensorId, SorterConfig, UtcMicros};
+use brisk_core::{
+    EventRecord, HlcStamp, NodeId, OrderMode, Result, SensorId, SorterConfig, UtcMicros,
+};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Key of one input queue.
 type QueueKey = (NodeId, SensorId);
 
+/// The merge key. Both order modes use the same shape: physical mode
+/// orders by the header timestamp as an HLC with logical 0, causal mode
+/// by the `X_HLC` stamp; node/sensor/seq are stable tiebreakers.
+type SortKey = (HlcStamp, u32, u32, u64);
+
+/// The sort key of `rec` under `order`.
+fn key_under(order: OrderMode, rec: &EventRecord) -> SortKey {
+    match order {
+        OrderMode::Physical => (
+            HlcStamp::new(rec.ts, 0),
+            rec.node.raw(),
+            rec.sensor.raw(),
+            rec.seq,
+        ),
+        OrderMode::Causal => rec.causal_sort_key(),
+    }
+}
+
 /// Heap entry: the head record's sort key plus its queue.
-type HeapEntry = Reverse<((UtcMicros, u32, u32, u64), QueueKey)>;
+type HeapEntry = Reverse<(SortKey, QueueKey)>;
 
 /// Counters describing sorter behaviour.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -96,12 +116,17 @@ pub struct OnlineSorter {
     /// Upper bound on buffered records; 0 = unbounded.
     max_buffered: usize,
     overload: OverloadPolicy,
-    queues: HashMap<QueueKey, VecDeque<EventRecord>>,
+    order: OrderMode,
+    /// Per-source FIFO queues; each record is stored with its sort key,
+    /// computed once at push time (an `X_HLC` lookup scans the record's
+    /// fields — doing it per heap operation instead would dominate the
+    /// causal-mode merge cost).
+    queues: HashMap<QueueKey, VecDeque<(EventRecord, SortKey)>>,
     /// Min-heap over the head of every non-empty queue.
     heads: BinaryHeap<HeapEntry>,
     buffered: usize,
     frame_us: i64,
-    last_released_ts: Option<UtcMicros>,
+    last_released_key: Option<HlcStamp>,
     last_released_from: Option<QueueKey>,
     last_decay_at: Option<UtcMicros>,
     stats: SorterStats,
@@ -116,10 +141,11 @@ impl OnlineSorter {
             cfg,
             max_buffered,
             overload: OverloadPolicy::default(),
+            order: OrderMode::default(),
             queues: HashMap::new(),
             heads: BinaryHeap::new(),
             buffered: 0,
-            last_released_ts: None,
+            last_released_key: None,
             last_released_from: None,
             last_decay_at: None,
             stats: SorterStats::default(),
@@ -129,6 +155,13 @@ impl OnlineSorter {
     /// Select the policy applied when the buffer bound is exceeded.
     pub fn set_overload_policy(&mut self, policy: OverloadPolicy) {
         self.overload = policy;
+    }
+
+    /// Select the ordering discipline. Must be called before any record
+    /// is pushed — heap keys are computed at push time.
+    pub fn set_order_mode(&mut self, order: OrderMode) {
+        debug_assert_eq!(self.buffered, 0, "order mode change with records buffered");
+        self.order = order;
     }
 
     /// Current time frame `T` in microseconds.
@@ -157,25 +190,46 @@ impl OnlineSorter {
 
     /// Accept one record.
     pub fn push(&mut self, rec: EventRecord) {
-        let key = (rec.node, rec.sensor);
-        let q = self.queues.entry(key).or_default();
+        let qkey = (rec.node, rec.sensor);
+        let q = self.queues.entry(qkey).or_default();
         let was_empty = q.is_empty();
         // Defensive: a sensor whose clock stepped backwards could emit a
         // non-monotone stream; clamp so the queue invariant holds and the
         // inversion is surfaced by the merge rather than corrupting it.
+        // The tail's key is read from the queue — never recomputed from
+        // its fields — so a push costs one key computation total.
         let mut rec = rec;
-        if let Some(back) = q.back() {
-            if rec.ts < back.ts {
-                rec.ts = back.ts;
-                self.stats.ts_clamped += 1;
+        let mut rec_key = key_under(self.order, &rec);
+        if let Some((back, back_key)) = q.back() {
+            match self.order {
+                OrderMode::Physical => {
+                    if rec.ts < back.ts {
+                        rec.ts = back.ts;
+                        rec_key = key_under(self.order, &rec);
+                        self.stats.ts_clamped += 1;
+                    }
+                }
+                OrderMode::Causal => {
+                    let bk = back_key.0;
+                    if rec_key.0 < bk {
+                        // Raise the stamp just above the queue tail; keep
+                        // the physical ts monotone too so a later switch
+                        // back to timestamp views stays coherent.
+                        rec.set_hlc(HlcStamp::new(bk.physical, bk.logical.saturating_add(1)));
+                        if rec.ts < back.ts {
+                            rec.ts = back.ts;
+                        }
+                        rec_key = key_under(self.order, &rec);
+                        self.stats.ts_clamped += 1;
+                    }
+                }
             }
         }
-        q.push_back(rec);
+        q.push_back((rec, rec_key));
         self.buffered += 1;
         self.stats.pushed += 1;
         if was_empty {
-            let head = self.queues[&key].front().expect("just pushed");
-            self.heads.push(Reverse((head.sort_key(), key)));
+            self.heads.push(Reverse((rec_key, qkey)));
         }
     }
 
@@ -193,19 +247,19 @@ impl OnlineSorter {
         loop {
             // Memory pressure: evict the globally-smallest head early.
             let force = self.max_buffered != 0 && self.buffered > self.max_buffered;
-            let Some(&Reverse((key_ts, qkey))) = self.heads.peek() else {
+            let Some(&Reverse((key, qkey))) = self.heads.peek() else {
                 break;
             };
-            let release_deadline = key_ts.0.offset(self.frame_us);
+            let release_deadline = key.0.physical.offset(self.frame_us);
             if !force && now < release_deadline {
                 break;
             }
             self.heads.pop();
             let q = self.queues.get_mut(&qkey).expect("queue for heap entry");
-            let rec = q.pop_front().expect("non-empty queue in heap");
+            let (rec, _) = q.pop_front().expect("non-empty queue in heap");
             self.buffered -= 1;
-            if let Some(next) = q.front() {
-                self.heads.push(Reverse((next.sort_key(), qkey)));
+            if let Some((_, next_key)) = q.front() {
+                self.heads.push(Reverse((*next_key, qkey)));
             }
             if force {
                 // Under ShedUnmarked, plain records are dropped outright;
@@ -218,20 +272,22 @@ impl OnlineSorter {
                 self.stats.forced_releases += 1;
             }
             self.stats.released += 1;
-            self.observe_release(&rec, now);
+            self.observe_release(key.0, qkey);
             out.push(rec);
         }
         out
     }
 
     /// Inversion detection and frame growth: "two successive records from
-    /// different external sensors … extracted out of order".
-    fn observe_release(&mut self, rec: &EventRecord, _now: UtcMicros) {
-        let from = (rec.node, rec.sensor);
-        if let (Some(last_ts), Some(last_from)) = (self.last_released_ts, self.last_released_from) {
-            if rec.ts < last_ts && from != last_from {
+    /// different external sensors … extracted out of order". `key` is the
+    /// released record's cached stamp (from its heap entry) and `from` its
+    /// queue — no field rescan on release.
+    fn observe_release(&mut self, key: HlcStamp, from: QueueKey) {
+        if let (Some(last_key), Some(last_from)) = (self.last_released_key, self.last_released_from)
+        {
+            if key < last_key && from != last_from {
                 self.stats.inversions += 1;
-                let lateness = last_ts.micros_since(rec.ts);
+                let lateness = last_key.physical.micros_since(key.physical);
                 let grown = match self.cfg.growth {
                     FrameGrowth::ToObservedLateness => lateness,
                     // max(1) so a frame that decayed to 0 (legal with
@@ -250,7 +306,7 @@ impl OnlineSorter {
         }
         // "Two SUCCESSIVE records": the comparison baseline is always the
         // record released immediately before this one.
-        self.last_released_ts = Some(rec.ts);
+        self.last_released_key = Some(key);
         self.last_released_from = Some(from);
     }
 
@@ -533,6 +589,74 @@ mod tests {
         assert_eq!(ts, vec![10, 20, 30]);
         assert_eq!(s.frame_us(), 500);
         assert_eq!(s.buffered(), 0);
+    }
+
+    fn hlc_rec(node: u32, seq: u64, ts: i64, hlc_phys: i64, hlc_logical: u32) -> EventRecord {
+        let mut r = rec(node, 0, seq, ts);
+        r.set_hlc(HlcStamp::new(UtcMicros::from_micros(hlc_phys), hlc_logical));
+        r
+    }
+
+    #[test]
+    fn causal_mode_orders_by_hlc_not_timestamp() {
+        let mut s = OnlineSorter::new(cfg(0), 0).unwrap();
+        s.set_order_mode(OrderMode::Causal);
+        // Node 0's clock is 2 s ahead: its record's physical ts LOOKS later,
+        // but its HLC stamp is causally earlier.
+        s.push(hlc_rec(0, 0, 2_000_100, 100, 0));
+        s.push(hlc_rec(1, 0, 200, 150, 0));
+        let out = s.poll(UtcMicros::from_micros(10_000_000));
+        assert_eq!(out[0].node, NodeId(0), "HLC order wins over ts order");
+        assert_eq!(out[1].node, NodeId(1));
+    }
+
+    #[test]
+    fn causal_mode_logical_counter_breaks_physical_ties() {
+        let mut s = OnlineSorter::new(cfg(0), 0).unwrap();
+        s.set_order_mode(OrderMode::Causal);
+        s.push(hlc_rec(0, 0, 10, 100, 5));
+        s.push(hlc_rec(1, 0, 20, 100, 2));
+        let out = s.poll(UtcMicros::from_micros(1_000));
+        assert_eq!(out[0].node, NodeId(1), "lower logical first");
+        assert_eq!(out[1].node, NodeId(0));
+    }
+
+    #[test]
+    fn causal_mode_unstamped_records_fall_back_to_timestamp() {
+        let mut s = OnlineSorter::new(cfg(0), 0).unwrap();
+        s.set_order_mode(OrderMode::Causal);
+        s.push(rec(0, 0, 0, 300));
+        s.push(hlc_rec(1, 0, 0, 250, 1));
+        let out = s.poll(UtcMicros::from_micros(1_000));
+        assert_eq!(out[0].node, NodeId(1), "hlc 250 before plain ts 300");
+        assert_eq!(out[1].node, NodeId(0));
+    }
+
+    #[test]
+    fn causal_mode_clamps_non_monotone_queue_stamps() {
+        let mut s = OnlineSorter::new(cfg(0), 0).unwrap();
+        s.set_order_mode(OrderMode::Causal);
+        s.push(hlc_rec(0, 0, 0, 100, 0));
+        s.push(hlc_rec(0, 1, 0, 50, 0)); // same queue, stamp went backwards
+        let out = s.poll(UtcMicros::from_micros(1_000));
+        assert_eq!(out.len(), 2);
+        assert_eq!(s.stats().ts_clamped, 1);
+        let k0 = out[0].causal_sort_key().0;
+        let k1 = out[1].causal_sort_key().0;
+        assert!(k1 > k0, "clamped stamp must restore queue monotonicity");
+    }
+
+    #[test]
+    fn causal_inversion_grows_frame() {
+        let mut s = OnlineSorter::new(cfg(0), 0).unwrap();
+        s.set_order_mode(OrderMode::Causal);
+        s.push(hlc_rec(0, 0, 100, 100, 0));
+        assert_eq!(s.poll(UtcMicros::from_micros(200)).len(), 1);
+        // Late arrival, causally earlier: an inversion in causal terms.
+        s.push(hlc_rec(1, 0, 90, 40, 0));
+        assert_eq!(s.poll(UtcMicros::from_micros(300)).len(), 1);
+        assert_eq!(s.stats().inversions, 1);
+        assert_eq!(s.frame_us(), 60, "grown to observed HLC-physical lateness");
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! which force-flushes) for timeout flushes to fire.
 
 use crate::batch::{Batcher, FlushReason, SendWindow};
-use brisk_clock::{Clock, CorrectedClock};
+use brisk_clock::{Clock, CorrectedClock, Hlc};
 use brisk_core::{BriskError, EventRecord, ExsConfig, NodeId, Result, TraceStage};
 use brisk_net::Connection;
 use brisk_proto::Message;
@@ -55,6 +55,9 @@ pub struct ExsStats {
     pub sync_replies: u64,
     /// Sync adjustments applied.
     pub adjustments: u64,
+    /// Sync adjustments ignored because `sync_disabled` is set (chaos
+    /// plane: the node's clock is deliberately left to drift).
+    pub sync_ignored: u64,
     /// Cumulative `BatchAck`s received from the ISM (v2 delivery).
     pub acks_received: u64,
     /// Batches replayed from the retransmit window after a reconnect.
@@ -94,6 +97,7 @@ pub struct ExsTelemetry {
     flush_forced: AtomicU64,
     sync_replies: AtomicU64,
     adjustments: AtomicU64,
+    sync_ignored: AtomicU64,
     acks_received: AtomicU64,
     batches_retransmitted: AtomicU64,
     window_evicted: AtomicU64,
@@ -132,6 +136,7 @@ impl ExsTelemetry {
             flush_forced: ld(&self.flush_forced),
             sync_replies: ld(&self.sync_replies),
             adjustments: ld(&self.adjustments),
+            sync_ignored: ld(&self.sync_ignored),
             acks_received: ld(&self.acks_received),
             batches_retransmitted: ld(&self.batches_retransmitted),
             window_evicted: ld(&self.window_evicted),
@@ -169,7 +174,7 @@ impl ExsTelemetry {
     pub fn bind(self: &Arc<Self>, node: NodeId, registry: &Registry) {
         type Field = fn(&ExsTelemetry) -> &AtomicU64;
         let n = node.0.to_string();
-        let counters: [(&str, &str, Field); 14] = [
+        let counters: [(&str, &str, Field); 15] = [
             (
                 "brisk_exs_records_drained_total",
                 "Records drained from sensor rings",
@@ -192,6 +197,11 @@ impl ExsTelemetry {
                 "brisk_exs_adjustments_total",
                 "Clock adjustments applied",
                 |t| &t.adjustments,
+            ),
+            (
+                "brisk_exs_sync_ignored_total",
+                "Clock adjustments ignored (sync disabled on this node)",
+                |t| &t.sync_ignored,
             ),
             (
                 "brisk_exs_acks_total",
@@ -333,9 +343,21 @@ pub struct ExternalSensor {
     /// until one arrives. Heartbeats (a v3 tag) are sent only once this
     /// proves the peer can decode them.
     negotiated: Option<u32>,
-    /// Corrected-clock µs of the last frame sent, for heartbeat pacing
-    /// (node clock, so pacing is deterministic under simulation).
+    /// Monotonically accumulated raw-clock µs, the heartbeat pacing
+    /// basis. Forward progress of the raw node clock accrues here;
+    /// backward jumps (a stepped or faulted clock) contribute nothing,
+    /// so a misbehaving clock can neither stall heartbeats for the size
+    /// of the jump nor flood them. Sync corrections never touch it —
+    /// pacing reads the *raw* clock, which also keeps it deterministic
+    /// under simulation.
+    pacing_us: i64,
+    /// Last raw-clock reading, to derive forward deltas for `pacing_us`.
+    pacing_raw_us: i64,
+    /// Value of `pacing_us` at the last frame sent, for heartbeat pacing.
     last_send_us: i64,
+    /// Hybrid logical clock, ticked per record at scoop time when
+    /// `cfg.stamp_hlc` is set (the stamp rides as `X_HLC`).
+    hlc: Arc<Hlc>,
     /// Undecodable inbound control frames this incarnation; past
     /// [`CONTROL_ERROR_BUDGET`] the connection is treated as broken.
     control_errors: u32,
@@ -402,10 +424,12 @@ impl ExternalSensor {
             }
             .encode(),
         )?;
+        let clock = CorrectedClock::new(raw_clock);
+        let pacing_raw_us = clock.raw_now().as_micros();
         let mut exs = ExternalSensor {
             node,
             rings,
-            clock: CorrectedClock::new(raw_clock),
+            clock,
             conn,
             batcher: Batcher::new(cfg.clone()),
             cfg,
@@ -414,11 +438,13 @@ impl ExternalSensor {
             window: Some(window),
             credit: None,
             negotiated: None,
+            pacing_us: 0,
+            pacing_raw_us,
             last_send_us: 0,
+            hlc: Hlc::new(),
             control_errors: 0,
             credit_stalled: false,
         };
-        exs.last_send_us = exs.clock.now().as_micros();
         // Replay deliberately ignores credit: those records were already
         // granted in-flight by the previous connection, and holding them
         // back would stall recovery behind acks that cannot arrive yet.
@@ -524,6 +550,26 @@ impl ExternalSensor {
         self.node
     }
 
+    /// This EXS's hybrid logical clock (stamps records when
+    /// `cfg.stamp_hlc` is set; always safe to observe).
+    pub fn hlc(&self) -> &Arc<Hlc> {
+        &self.hlc
+    }
+
+    /// Advance and read the monotonic heartbeat-pacing clock: forward
+    /// raw-clock progress accrues, backward jumps are dropped. Correct
+    /// regardless of call frequency — a stale `pacing_raw_us` just means
+    /// the next call accounts the whole span at once.
+    fn pacing_now_us(&mut self) -> i64 {
+        let raw = self.clock.raw_now().as_micros();
+        let delta = raw.saturating_sub(self.pacing_raw_us);
+        self.pacing_raw_us = raw;
+        if delta > 0 {
+            self.pacing_us = self.pacing_us.saturating_add(delta);
+        }
+        self.pacing_us
+    }
+
     /// The corrected clock (shared view; records are stamped with raw time
     /// by sensors and shifted by this clock's correction on the way out).
     pub fn corrected_clock(&self) -> &Arc<CorrectedClock<Arc<dyn Clock>>> {
@@ -580,7 +626,10 @@ impl ExternalSensor {
         //    deterministic) under simulation.
         let drain_hist = Arc::clone(&self.shared.drain_us);
         let drain_timer = StageTimer::start(&drain_hist, self.clock.now().as_micros());
-        let correction = self.clock.correction_us();
+        // The *effective* correction: while a slew is smearing a backward
+        // adjustment, records get the partially applied value, matching
+        // the clock the later trace stamps read.
+        let correction = self.clock.effective_correction_us();
         self.drain_buf.clear();
         let drained = if paused {
             0
@@ -606,6 +655,9 @@ impl ExternalSensor {
             // After the correction: scoop time and every later stamp are
             // on the synchronized clock, only the notice stamp was shifted.
             rec.stamp_trace(TraceStage::ExsScoop, now);
+            if self.cfg.stamp_hlc {
+                rec.set_hlc(self.hlc.tick(now));
+            }
             if let Some((batch, reason)) = self.batcher.push(rec, now) {
                 if disconnect.is_some() {
                     self.stash_batch(batch);
@@ -701,7 +753,7 @@ impl ExternalSensor {
         if self.cfg.heartbeat_interval.is_zero() || self.negotiated.is_none_or(|v| v < 3) {
             return Ok(());
         }
-        let now_us = self.clock.now().as_micros();
+        let now_us = self.pacing_now_us();
         let interval_us = self.cfg.heartbeat_interval.as_micros() as i64;
         if now_us.saturating_sub(self.last_send_us) >= interval_us {
             self.conn.send(&Message::Heartbeat.encode())?;
@@ -727,13 +779,19 @@ impl ExternalSensor {
                     slave_time: self.clock.now(),
                 };
                 self.conn.send(&reply.encode())?;
-                self.last_send_us = self.clock.now().as_micros();
+                self.last_send_us = self.pacing_now_us();
                 self.shared.sync_replies.fetch_add(1, Ordering::Relaxed);
                 Ok(ExsStep::Busy)
             }
             Message::SyncAdjust { advance_us, .. } => {
-                self.clock.adjust(advance_us);
-                self.shared.adjustments.fetch_add(1, Ordering::Relaxed);
+                if self.cfg.sync_disabled {
+                    // Chaos plane: the node deliberately refuses sync and
+                    // lets its clock run wherever the fault takes it.
+                    self.shared.sync_ignored.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.clock.adjust(advance_us);
+                    self.shared.adjustments.fetch_add(1, Ordering::Relaxed);
+                }
                 Ok(ExsStep::Busy)
             }
             Message::HelloAck { version, credit } => {
@@ -802,7 +860,7 @@ impl ExternalSensor {
             records,
         };
         self.conn.send(&msg.encode())?;
-        self.last_send_us = self.clock.now().as_micros();
+        self.last_send_us = self.pacing_now_us();
         self.update_credit_balance();
         self.shared.records_sent.fetch_add(n, Ordering::Relaxed);
         self.shared.batches_sent.fetch_add(1, Ordering::Relaxed);
@@ -834,7 +892,7 @@ impl ExternalSensor {
     /// and returns its final stats.
     pub fn finish(mut self) -> Result<ExsStats> {
         self.drain_buf.clear();
-        let correction = self.clock.correction_us();
+        let correction = self.clock.effective_correction_us();
         self.rings.drain_into(usize::MAX, &mut self.drain_buf)?;
         // The final drain counts too: without this, records that only
         // leave the rings during teardown would vanish from the drained
@@ -847,6 +905,9 @@ impl ExternalSensor {
         for mut rec in pending {
             rec.apply_correction(correction);
             rec.stamp_trace(TraceStage::ExsScoop, now);
+            if self.cfg.stamp_hlc {
+                rec.set_hlc(self.hlc.tick(now));
+            }
             if let Some((batch, reason)) = self.batcher.push(rec, now) {
                 self.send_batch(batch, reason)?;
             }
@@ -1573,6 +1634,112 @@ mod tests {
             "a v2 peer cannot decode the Heartbeat tag"
         );
         assert_eq!(r.exs.stats().heartbeats_sent, 0);
+    }
+
+    #[test]
+    fn heartbeat_pacing_survives_backward_clock_step() {
+        use brisk_clock::FaultClock;
+        // A node whose raw clock steps backward by 10 s must not stall
+        // heartbeats for those 10 s (corrected-clock pacing would: the
+        // elapsed-since-last-send computation goes negative until the
+        // clock climbs back past its old reading).
+        let t = MemTransport::with_model(LinkModel::ideal());
+        let mut l = t.listen("ism").unwrap();
+        let conn = t.connect("ism").unwrap();
+        let mut ism_side = l.accept(Some(Duration::from_secs(1))).unwrap().unwrap();
+        let src = SimTimeSource::new();
+        let sim: Arc<dyn Clock> = Arc::new(SimClock::new(src.clone(), 0, 0.0, 1));
+        let fault = FaultClock::new(sim, 0, 0.0);
+        let raw: Arc<dyn Clock> = Arc::clone(&fault) as Arc<dyn Clock>;
+        let mut cfg = ExsConfig::default();
+        cfg.heartbeat_interval = Duration::from_millis(100);
+        let rings = RingSet::new(NodeId(7), cfg.ring_capacity);
+        let mut exs = ExternalSensor::new(NodeId(7), rings, raw, conn, cfg).unwrap();
+        recv_msg(&mut ism_side); // hello
+        ism_side
+            .send(
+                &Message::HelloAck {
+                    version: 3,
+                    credit: None,
+                }
+                .encode(),
+            )
+            .unwrap();
+        exs.step().unwrap();
+        src.advance_by(150_000);
+        exs.step().unwrap();
+        assert_eq!(recv_msg(&mut ism_side), Message::Heartbeat);
+        assert_eq!(exs.stats().heartbeats_sent, 1);
+
+        // The clock steps back 10 s. The next step rebases the pacing
+        // clock without sending a spurious heartbeat...
+        fault.step_by(-10_000_000);
+        exs.step().unwrap();
+        assert_eq!(exs.stats().heartbeats_sent, 1);
+        // ...and one more idle interval of *forward* progress produces
+        // the next heartbeat on schedule, stall-free.
+        src.advance_by(150_000);
+        exs.step().unwrap();
+        assert_eq!(recv_msg(&mut ism_side), Message::Heartbeat);
+        assert_eq!(exs.stats().heartbeats_sent, 2);
+    }
+
+    #[test]
+    fn stamp_hlc_attaches_monotone_stamps_at_scoop() {
+        let mut cfg = ExsConfig::default();
+        cfg.max_batch_records = 2;
+        cfg.stamp_hlc = true;
+        let mut r = rig(cfg, 0);
+        recv_msg(&mut r.ism_side); // hello
+        let mut port = r.rings.register();
+        r.src.advance_by(50);
+        port.emit(
+            EventTypeId(1),
+            UtcMicros::from_micros(50),
+            vec![Value::I32(1)],
+        )
+        .unwrap();
+        port.emit(
+            EventTypeId(1),
+            UtcMicros::from_micros(50),
+            vec![Value::I32(2)],
+        )
+        .unwrap();
+        r.exs.step().unwrap();
+        match recv_msg(&mut r.ism_side) {
+            Message::EventBatch { records, .. } => {
+                let a = records[0].hlc().expect("first record carries X_HLC");
+                let b = records[1].hlc().expect("second record carries X_HLC");
+                // Both scooped at the same corrected instant: the physical
+                // component ties and the logical counter breaks it.
+                assert_eq!(a.physical, UtcMicros::from_micros(50));
+                assert_eq!(b.physical, UtcMicros::from_micros(50));
+                assert!(a < b, "scoop order is preserved in the stamps");
+                assert_eq!(b.logical, a.logical + 1);
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_disabled_ignores_sync_adjust() {
+        let mut cfg = ExsConfig::default();
+        cfg.sync_disabled = true;
+        let mut r = rig(cfg, 0);
+        recv_msg(&mut r.ism_side); // hello
+        r.ism_side
+            .send(
+                &Message::SyncAdjust {
+                    round: 1,
+                    advance_us: 777,
+                }
+                .encode(),
+            )
+            .unwrap();
+        r.exs.step().unwrap();
+        assert_eq!(r.exs.corrected_clock().correction_us(), 0);
+        assert_eq!(r.exs.stats().adjustments, 0);
+        assert_eq!(r.exs.stats().sync_ignored, 1);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! §3.4.
 
 use crate::{XdrDecoder, XdrEncoder};
+#[cfg(test)]
+use brisk_core::HlcStamp;
 use brisk_core::{
     BriskError, EventRecord, EventTypeId, NodeId, RecordDescriptor, Result, SensorId, UtcMicros,
     Value, ValueType,
@@ -47,6 +49,10 @@ pub fn encode_value(v: &Value, e: &mut XdrEncoder) {
                 e.hyper(ts.as_micros());
             }
             &mut *e
+        }
+        Value::Hlc(s) => {
+            e.hyper(s.physical.as_micros());
+            e.uint(s.logical)
         }
     };
 }
@@ -135,6 +141,7 @@ mod tests {
                 c.stamp(TraceStage::PumpRecv, UtcMicros::from_micros(40));
                 c
             }),
+            Value::Hlc(HlcStamp::new(UtcMicros::from_micros(-3), u32::MAX)),
         ];
         for v in values {
             let mut e = XdrEncoder::new();

@@ -26,8 +26,8 @@ use crate::values::MAX_FIELD_BYTES;
 use crate::XdrDecoder;
 use brisk_core::trace::{TraceContext, TraceStage};
 use brisk_core::{
-    BriskError, CorrelationId, EventRecord, EventTypeId, NodeId, RecordDescriptor, Result,
-    SensorId, UtcMicros, Value, ValueType, MAX_TRACE_STAMPS,
+    BriskError, CorrelationId, EventRecord, EventTypeId, HlcStamp, NodeId, RecordDescriptor,
+    Result, SensorId, UtcMicros, Value, ValueType, MAX_TRACE_STAMPS,
 };
 
 /// One decoded field whose variable-size payload borrows the input buffer.
@@ -71,6 +71,8 @@ pub enum ValueRef<'a> {
     Conseq(CorrelationId),
     /// Self-tracing context (`X_TRACE`).
     Trace(TraceContext),
+    /// Hybrid logical clock stamp (`X_HLC`).
+    Hlc(HlcStamp),
 }
 
 impl ValueRef<'_> {
@@ -94,6 +96,7 @@ impl ValueRef<'_> {
             ValueRef::Reason(_) => ValueType::Reason,
             ValueRef::Conseq(_) => ValueType::Conseq,
             ValueRef::Trace(_) => ValueType::Trace,
+            ValueRef::Hlc(_) => ValueType::Hlc,
         }
     }
 
@@ -117,6 +120,7 @@ impl ValueRef<'_> {
             ValueRef::Reason(id) => Value::Reason(id),
             ValueRef::Conseq(id) => Value::Conseq(id),
             ValueRef::Trace(ctx) => Value::Trace(ctx),
+            ValueRef::Hlc(s) => Value::Hlc(s),
         }
     }
 }
@@ -171,6 +175,11 @@ pub fn decode_value_ref<'a>(vt: ValueType, d: &mut XdrDecoder<'a>) -> Result<Val
                 stamps.push((stage, UtcMicros::from_micros(d.hyper()?)));
             }
             ValueRef::Trace(TraceContext::with_stamps(trace_id, stamps)?)
+        }
+        ValueType::Hlc => {
+            let physical = UtcMicros::from_micros(d.hyper()?);
+            let logical = d.uint()?;
+            ValueRef::Hlc(HlcStamp::new(physical, logical))
         }
     })
 }
@@ -383,6 +392,7 @@ mod tests {
             Value::Ts(UtcMicros::from_micros(-77)),
             Value::Reason(CorrelationId(9)),
             Value::Conseq(CorrelationId(10)),
+            Value::Hlc(HlcStamp::new(UtcMicros::from_micros(321), 7)),
         ];
         for v in values {
             let mut e = XdrEncoder::new();

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] [--ts utc|secs]
+//!            [--order-mode physical|causal]
 //!            [--upstream HOST:PORT --node-prefix N]
 //!            [--poll-period-ms N] [--stats-every-s N] [--stats-addr HOST:PORT]
 //!            [--store-dir DIR] [--fsync always|never|interval:MS]
@@ -13,6 +14,14 @@
 //!            [--credit-records N] [--max-queued-records N] [--shed-unmarked]
 //!            [--node-timeout MS] [--error-budget N] [--pump-threads N]
 //! ```
+//!
+//! `--order-mode causal` switches the merge plane from physical-timestamp
+//! order to hybrid-logical-clock order (DESIGN.md, "Causal ordering &
+//! clock faults"): the sorter keys on each record's `X_HLC` stamp and the
+//! CRE detects tachyons by provable happened-before instead of timestamp
+//! heuristics, so reason→consequence order survives nodes whose clocks
+//! are seconds wrong. Records without a stamp sort by their physical
+//! timestamp, so mixed fleets degrade gracefully.
 //!
 //! `--upstream` + `--node-prefix` switch the daemon into *relay mode*
 //! (DESIGN.md, "Relay topology"): it still accepts downstream EXS or
@@ -78,6 +87,7 @@ struct Args {
     node_prefix: Option<u32>,
     picl: Option<String>,
     ts_secs: bool,
+    order_mode: OrderMode,
     poll_period: Duration,
     stats_every: Duration,
     stats_addr: Option<String>,
@@ -100,6 +110,7 @@ fn parse_args() -> std::result::Result<Args, String> {
         node_prefix: None,
         picl: None,
         ts_secs: false,
+        order_mode: OrderMode::default(),
         poll_period: Duration::from_secs(5),
         stats_every: Duration::from_secs(10),
         stats_addr: None,
@@ -128,6 +139,10 @@ fn parse_args() -> std::result::Result<Args, String> {
                 )
             }
             "--picl" => args.picl = Some(val("--picl")?),
+            "--order-mode" => {
+                args.order_mode = OrderMode::parse(&val("--order-mode")?)
+                    .map_err(|e| format!("bad --order-mode: {e}"))?
+            }
             "--ts" => {
                 args.ts_secs = match val("--ts")?.as_str() {
                     "utc" => false,
@@ -215,6 +230,7 @@ fn parse_args() -> std::result::Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: brisk-ismd [--tcp HOST:PORT | --uds PATH] [--picl FILE] \
+                            [--order-mode physical|causal] \
                             [--upstream HOST:PORT --node-prefix N] \
                             [--ts utc|secs] [--poll-period-ms N] [--stats-every-s N] \
                             [--stats-addr HOST:PORT] [--store-dir DIR] \
@@ -288,6 +304,7 @@ fn main() {
     let ism_cfg = IsmConfig {
         store: args.store.clone(),
         flow: args.flow,
+        order_mode: args.order_mode,
         node_timeout: args.node_timeout,
         protocol_error_budget: args.error_budget,
         pump_threads: args.pump_threads,
@@ -339,6 +356,9 @@ fn main() {
             dir.display(),
             args.store.fsync
         );
+    }
+    if args.order_mode == OrderMode::Causal {
+        eprintln!("causal order mode: merge plane keys on X_HLC stamps");
     }
     if args.flow != FlowConfig::default() {
         eprintln!(

@@ -9,7 +9,9 @@
 //! brisk-load [--tcp HOST:PORT | --uds PATH] [--node N] [--sensors N]
 //!            [--rate EV_PER_S] [--duration-s N] [--causal] [--stats]
 //!            [--stats-addr HOST:PORT] [--trace-sample N]
-//!            [--heartbeat-interval-ms N]
+//!            [--heartbeat-interval-ms N] [--stamp-hlc]
+//!            [--clock-skew-us N] [--clock-drift-ppm F] [--clock-step-ms N]
+//!            [--no-sync]
 //!            [--fault-seed N] [--fault-corrupt R] [--fault-truncate R]
 //!            [--fault-duplicate R] [--fault-reorder R] [--fault-delay R]
 //!            [--fault-max-delay-ms N] [--fault-kill-after N]
@@ -28,6 +30,15 @@
 //! sampled records accumulate per-stage timestamps at every pipeline hop,
 //! which the ISM turns into `/trace` latency exemplars renderable with
 //! `brisk-trace`. `N=1` traces every record (use only at low rates).
+//!
+//! The clock-fault knobs are the chaos plane's *time* half: they wrap the
+//! node's clock in a [`FaultClock`] with a constant `--clock-skew-us`
+//! offset, a proportional `--clock-drift-ppm` drift, and a sudden
+//! `--clock-step-ms` step injected halfway through the run. `--no-sync`
+//! makes the node ignore the ISM's `SyncAdjust` corrections, so the fault
+//! is never repaired — the condition `--order-mode causal` (on the ISM)
+//! must survive. `--stamp-hlc` attaches an `X_HLC` hybrid-logical-clock
+//! stamp to every record at scoop, which is what causal mode keys on.
 //!
 //! The `--fault-*` knobs wrap the ISM connection in the brisk-net fault
 //! plane: each rate `R` (0.0–1.0) injects the corresponding wire fault
@@ -61,6 +72,11 @@ struct Args {
     speed: Option<f64>,
     heartbeat_interval: Option<Duration>,
     trace_sample: u32,
+    stamp_hlc: bool,
+    clock_skew_us: i64,
+    clock_drift_ppm: f64,
+    clock_step_ms: i64,
+    no_sync: bool,
     fault: FaultSpec,
 }
 
@@ -80,6 +96,11 @@ fn parse_args() -> std::result::Result<Args, String> {
         speed: None,
         heartbeat_interval: None,
         trace_sample: 0,
+        stamp_hlc: false,
+        clock_skew_us: 0,
+        clock_drift_ppm: 0.0,
+        clock_step_ms: 0,
+        no_sync: false,
         fault: FaultSpec::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -119,6 +140,23 @@ fn parse_args() -> std::result::Result<Args, String> {
                         .map_err(|e| format!("bad --heartbeat-interval-ms: {e}"))?,
                 ))
             }
+            "--stamp-hlc" => args.stamp_hlc = true,
+            "--clock-skew-us" => {
+                args.clock_skew_us = val("--clock-skew-us")?
+                    .parse()
+                    .map_err(|e| format!("bad --clock-skew-us: {e}"))?
+            }
+            "--clock-drift-ppm" => {
+                args.clock_drift_ppm = val("--clock-drift-ppm")?
+                    .parse()
+                    .map_err(|e| format!("bad --clock-drift-ppm: {e}"))?
+            }
+            "--clock-step-ms" => {
+                args.clock_step_ms = val("--clock-step-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --clock-step-ms: {e}"))?
+            }
+            "--no-sync" => args.no_sync = true,
             "--fault-seed" => {
                 args.fault.seed = val("--fault-seed")?
                     .parse()
@@ -168,7 +206,9 @@ fn parse_args() -> std::result::Result<Args, String> {
                     "usage: brisk-load [--tcp HOST:PORT | --uds PATH] [--node N] \
                             [--sensors N] [--rate EV_PER_S] [--duration-s N] [--causal] \
                             [--stats] [--stats-addr HOST:PORT] [--trace-sample N] \
-                            [--heartbeat-interval-ms N] [--fault-seed N] \
+                            [--heartbeat-interval-ms N] [--stamp-hlc] \
+                            [--clock-skew-us N] [--clock-drift-ppm F] \
+                            [--clock-step-ms N] [--no-sync] [--fault-seed N] \
                             [--fault-corrupt R] [--fault-truncate R] [--fault-duplicate R] \
                             [--fault-reorder R] [--fault-delay R] [--fault-max-delay-ms N] \
                             [--fault-kill-after N] \
@@ -261,8 +301,33 @@ fn main() {
         return;
     }
 
-    let clock = Arc::new(SystemClock);
-    let mut cfg = ExsConfig::default();
+    // Clock fault plane: wrap the node's clock so skew/drift/step distort
+    // every raw reading (sensors and EXS alike), exactly as a broken
+    // oscillator or a misconfigured NTP daemon would.
+    let clock_faulted =
+        args.clock_skew_us != 0 || args.clock_drift_ppm != 0.0 || args.clock_step_ms != 0;
+    let base: Arc<dyn Clock> = Arc::new(SystemClock);
+    let fault_clock = clock_faulted
+        .then(|| FaultClock::new(Arc::clone(&base), args.clock_skew_us, args.clock_drift_ppm));
+    let clock: Arc<dyn Clock> = match &fault_clock {
+        Some(f) => Arc::clone(f) as Arc<dyn Clock>,
+        None => base,
+    };
+    if fault_clock.is_some() {
+        eprintln!(
+            "brisk-load: clock fault plane armed: skew {} us, drift {} ppm, \
+             step {} ms at half-run{}",
+            args.clock_skew_us,
+            args.clock_drift_ppm,
+            args.clock_step_ms,
+            if args.no_sync { ", sync disabled" } else { "" },
+        );
+    }
+    let mut cfg = ExsConfig {
+        stamp_hlc: args.stamp_hlc,
+        sync_disabled: args.no_sync,
+        ..ExsConfig::default()
+    };
     if let Some(interval) = args.heartbeat_interval {
         cfg.heartbeat_interval = interval;
     }
@@ -273,7 +338,7 @@ fn main() {
             args.trace_sample
         );
     }
-    let lis = Lis::new(NodeId(args.node), Arc::clone(&clock), &cfg);
+    let lis = Lis::new(NodeId(args.node), Arc::new(Arc::clone(&clock)), &cfg);
     let conn = connect(&args).unwrap_or_else(|e| {
         eprintln!("cannot connect to the ISM: {e}");
         std::process::exit(1);
@@ -339,6 +404,19 @@ fn main() {
             ""
         },
     );
+
+    // The step fault fires halfway through the run, so the stream crosses
+    // a live discontinuity rather than starting on one.
+    let step_thread = (args.clock_step_ms != 0).then(|| {
+        let f = Arc::clone(fault_clock.as_ref().expect("step implies fault clock"));
+        let delay = args.duration / 2;
+        let step_us = args.clock_step_ms * 1_000;
+        std::thread::spawn(move || {
+            std::thread::sleep(delay);
+            f.step_by(step_us);
+            eprintln!("brisk-load: clock stepped by {step_us} us");
+        })
+    });
 
     // One worker thread per sensor, each pacing its share of the rate.
     let per_sensor_rate = args.rate / args.sensors as f64;
@@ -407,6 +485,9 @@ fn main() {
         total_emitted += e;
         total_dropped += d;
     }
+    if let Some(t) = step_thread {
+        let _ = t.join();
+    }
     // Give the EXS a moment to drain the tail, then stop it (flushes).
     std::thread::sleep(Duration::from_millis(100));
     let stats = exs.stop().expect("EXS shutdown");
@@ -417,9 +498,19 @@ fn main() {
     }
     eprintln!(
         "brisk-load: emitted {total_emitted} (dropped {total_dropped}); EXS sent {} records \
-         in {} batches, answered {} sync polls, applied {} adjustments",
-        stats.records_sent, stats.batches_sent, stats.sync_replies, stats.adjustments,
+         in {} batches, answered {} sync polls, applied {} adjustments ({} ignored)",
+        stats.records_sent,
+        stats.batches_sent,
+        stats.sync_replies,
+        stats.adjustments,
+        stats.sync_ignored,
     );
+    if let Some(f) = &fault_clock {
+        eprintln!(
+            "brisk-load: clock fault plane: raw clock ended {} us off true time",
+            f.error_us()
+        );
+    }
     if let Some(fault_stats) = fault_stats {
         let (corrupted, truncated, duplicated, reordered, delayed, killed) = fault_stats.counts();
         eprintln!(

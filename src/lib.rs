@@ -95,7 +95,9 @@ pub use brisk_lis::{define_notice, notice, notice_gated};
 
 /// Everything needed for typical use in one import.
 pub mod prelude {
-    pub use brisk_clock::{Clock, CorrectedClock, SimClock, SimTimeSource, SystemClock};
+    pub use brisk_clock::{
+        Clock, CorrectedClock, FaultClock, Hlc, SimClock, SimTimeSource, SystemClock,
+    };
     pub use brisk_consumers::{
         EventCounter, LatencyTracker, OrderChecker, RateMeter, SummaryStats, TextPane,
         VisualObject, VisualObjectRegistry, VisualObjectSink,
